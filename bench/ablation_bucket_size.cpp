@@ -1,0 +1,31 @@
+// Ablation: DDP gradient bucket size (Section 2.2 "Bucketing Gradients") —
+// tiny buckets pay per-collective latency, one giant bucket destroys the
+// comm/compute overlap; PyTorch's 25 MB default sits in the flat middle.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gradcomp;
+  bench::print_header("Ablation — gradient bucket size (syncSGD, ResNet-50, 64 GPUs, 10 Gbps)",
+                      "both extremes lose; the 25 MB default is near-optimal");
+
+  core::PerfModel model;
+  const core::Cluster cluster = bench::default_cluster(64);
+  core::Workload workload = bench::make_workload(models::resnet50(), 64);
+
+  stats::Table table({"bucket size", "#buckets", "iteration (ms)", "exposed comm (ms)"});
+  for (std::int64_t mb : {1, 2, 5, 10, 25, 50, 100, 1024}) {
+    workload.bucket_bytes = mb * 1024 * 1024;
+    const auto sizes = models::bucket_sizes(workload.model, workload.bucket_bytes);
+    const auto b = model.syncsgd(workload, cluster);
+    table.add_row({std::to_string(mb) + " MB", std::to_string(sizes.size()),
+                   stats::Table::fmt_ms(b.total_s), stats::Table::fmt_ms(b.exposed_comm_s)});
+  }
+  bench::emit(table);
+
+  std::cout << "\nShape check: the 1024 MB row (single bucket, zero overlap) is the worst;\n"
+               "iteration time is flat across the 5-50 MB band containing the 25 MB\n"
+               "PyTorch default.\n";
+  return 0;
+}

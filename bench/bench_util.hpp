@@ -1,0 +1,122 @@
+// Shared scaffolding for the per-table / per-figure benchmark harnesses.
+//
+// Every harness prints (a) a header identifying the paper artifact it
+// regenerates, (b) an aligned human-readable table, and (c) the same rows
+// as "csv,..." lines for downstream plotting, then states the expected
+// qualitative shape so EXPERIMENTS.md checks are reproducible.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/perf_model.hpp"
+#include "sim/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace gradcomp::bench {
+
+inline void print_header(const std::string& artifact, const std::string& claim) {
+  std::cout << "\n================================================================\n"
+            << artifact << "\n"
+            << "Paper claim: " << claim << "\n"
+            << "================================================================\n";
+}
+
+// The paper's testbed defaults: p3.8xlarge-style nodes, 10 Gbps, V100.
+inline core::Cluster default_cluster(int workers, double gbps = 10.0) {
+  core::Cluster c;
+  c.world_size = workers;
+  c.network = comm::Network::from_gbps(gbps);
+  c.device = models::Device::v100();
+  return c;
+}
+
+inline core::Workload make_workload(const models::ModelProfile& model, int batch) {
+  core::Workload w;
+  w.model = model;
+  w.batch_size = batch;
+  return w;
+}
+
+// Simulator options playing the role of the real cluster: incast on
+// all-gathers and ~3% run-to-run jitter for error bars.
+inline sim::SimOptions testbed_options(double jitter = 0.03, std::uint64_t seed = 1) {
+  sim::SimOptions o;
+  o.incast_penalty = 0.08;
+  o.jitter_frac = jitter;
+  o.seed = seed;
+  return o;
+}
+
+// Paper batch conventions: vision models at 64/GPU, BERT at 10/GPU.
+inline int paper_batch(const models::ModelProfile& model) {
+  return model.name.rfind("bert", 0) == 0 ? 10 : 64;
+}
+
+inline compress::CompressorConfig make_config(compress::Method method, int rank = 4,
+                                              double fraction = 0.01) {
+  compress::CompressorConfig c;
+  c.method = method;
+  c.rank = rank;
+  c.fraction = fraction;
+  return c;
+}
+
+inline void emit(const stats::Table& table) {
+  table.print(std::cout);
+  table.print_csv(std::cout);
+}
+
+// One labelled compression variant in a scalability study.
+struct Variant {
+  std::string label;
+  compress::CompressorConfig config;
+};
+
+// Weak-scaling comparison (Figures 4-6): for each model and each variant,
+// simulated mean +/- std iteration time vs syncSGD across worker counts,
+// following the paper's 110-iteration measurement protocol.
+//
+// `max_workers_for_gather` reproduces the paper's BERT constraint: methods
+// whose memory grows linearly with p (all-gather aggregation) ran out of
+// memory past 32 GPUs on BERT, so those points are reported as OOM.
+inline void run_scalability(const std::vector<models::ModelProfile>& model_list,
+                            const std::vector<Variant>& variants,
+                            int max_gather_workers_bert = 32) {
+  const std::vector<int> worker_counts = {8, 16, 32, 64, 96};
+  for (const auto& model : model_list) {
+    const core::Workload workload = make_workload(model, paper_batch(model));
+    std::cout << "\n--- " << model.name << " (" << stats::Table::fmt(model.total_mb(), 0)
+              << " MB, batch " << workload.batch_size << "/GPU, 10 Gbps) ---\n";
+
+    std::vector<std::string> headers = {"GPUs", "syncSGD (ms)"};
+    for (const auto& v : variants) headers.push_back(v.label + " (ms)");
+    stats::Table table(std::move(headers));
+
+    for (int p : worker_counts) {
+      const core::Cluster cluster = default_cluster(p);
+      const auto protocol = sim::MeasurementProtocol{};
+      const auto sync = sim::measure(cluster, testbed_options(), {}, workload, protocol);
+      std::vector<std::string> row = {std::to_string(p),
+                                      stats::Table::fmt(sync.mean_s * 1e3, 1) + " +/- " +
+                                          stats::Table::fmt(sync.stddev_s * 1e3, 1)};
+      for (const auto& v : variants) {
+        const bool gather_method =
+            !compress::make_compressor(v.config)->traits().allreduce_compatible;
+        const bool oom = gather_method && model.name.rfind("bert", 0) == 0 &&
+                         p > max_gather_workers_bert;
+        if (oom) {
+          row.push_back("OOM");
+          continue;
+        }
+        const auto m = sim::measure(cluster, testbed_options(), v.config, workload, protocol);
+        row.push_back(stats::Table::fmt(m.mean_s * 1e3, 1) + " +/- " +
+                      stats::Table::fmt(m.stddev_s * 1e3, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    emit(table);
+  }
+}
+
+}  // namespace gradcomp::bench

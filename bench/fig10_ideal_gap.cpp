@@ -1,0 +1,42 @@
+// Regenerates Figure 10: the gap between ideal (perfect) scaling and the
+// optimized syncSGD implementation — the entire budget a compression method
+// has for encode + decode + communication.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gradcomp;
+  bench::print_header(
+      "Figure 10 — ideal vs observed syncSGD (10 Gbps)",
+      "the gap is small: ~50 ms for ResNet-50, ~100 ms for ResNet-101, ~200 ms for BERT "
+      "even at 150 workers");
+
+  core::PerfModel model;
+  struct Case {
+    models::ModelProfile m;
+    int batch;
+  };
+  const Case cases[] = {
+      {models::resnet50(), 64}, {models::resnet101(), 64}, {models::bert_base(), 16}};
+
+  for (const auto& c : cases) {
+    const core::Workload w = bench::make_workload(c.m, c.batch);
+    std::cout << "\n--- " << c.m.name << " (batch " << c.batch << "/GPU) ---\n";
+    stats::Table table({"workers", "ideal (ms)", "syncSGD (ms)", "gap (ms)"});
+    for (int p : {8, 16, 32, 64, 96, 128, 150}) {
+      const core::Cluster cluster = bench::default_cluster(p);
+      const double ideal = model.ideal_seconds(w, cluster);
+      const double observed = model.syncsgd(w, cluster).total_s;
+      table.add_row({std::to_string(p), stats::Table::fmt_ms(ideal),
+                     stats::Table::fmt_ms(observed),
+                     stats::Table::fmt_ms(observed - ideal)});
+    }
+    bench::emit(table);
+  }
+
+  std::cout << "\nShape check: the gap grows with worker count and with model size, but\n"
+               "stays in the ~50-250 ms band — existing methods' encode/decode alone\n"
+               "(Table 2) consumes most or all of it.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Regenerates Figure 2: the two-stream trace of one DDP backward pass —
+// gradient communication proceeds on a separate stream, overlapped with
+// computation; only the last bucket's all-reduce extends past the backward.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gradcomp;
+  bench::print_header("Figure 2 — overlap of gradient communication with computation",
+                      "communication runs on a separate stream; only the last bucket "
+                      "serializes after the backward pass");
+
+  const auto cluster = bench::default_cluster(8);
+  sim::ClusterSim simulator(cluster, bench::testbed_options(/*jitter=*/0.0));
+  const auto result = simulator.run_syncsgd(bench::make_workload(models::resnet50(), 64));
+
+  std::cout << "\nResNet-50, batch 64/GPU, 8 GPUs, 10 Gbps — one iteration ("
+            << stats::Table::fmt(result.iteration_s * 1e3, 1) << " ms):\n\n";
+  result.timeline.render_ascii(std::cout, 100);
+  std::cout << '\n';
+  result.timeline.render_csv(std::cout);
+
+  const double hidden = result.comm_s - result.exposed_comm_s;
+  std::cout << "\ncompute stream busy: " << stats::Table::fmt(result.compute_s * 1e3, 1)
+            << " ms; comm stream busy: " << stats::Table::fmt(result.comm_s * 1e3, 1)
+            << " ms; comm hidden behind compute: " << stats::Table::fmt(hidden * 1e3, 1)
+            << " ms; exposed: " << stats::Table::fmt(result.exposed_comm_s * 1e3, 1) << " ms\n";
+  std::cout << "Shape check: the comm stream overlaps the compute stream for most of the\n"
+               "iteration; the unhidden tail is the final bucket, as in the Nsight trace.\n";
+  return 0;
+}

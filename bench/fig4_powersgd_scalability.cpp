@@ -1,0 +1,26 @@
+// Regenerates Figure 4: weak scaling of PowerSGD rank 4/8/16 vs syncSGD on
+// ResNet-50, ResNet-101 and BERT_BASE, 8-96 GPUs at 10 Gbps.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gradcomp;
+  bench::print_header(
+      "Figure 4 — scalability of PowerSGD",
+      "PowerSGD is SLOWER than syncSGD on ResNet-50/101 at batch 64; on BERT at 96 GPUs "
+      "rank-4 wins ~23% and rank-16 loses");
+
+  bench::run_scalability(
+      {models::resnet50(), models::resnet101(), models::bert_base()},
+      {
+          {"PowerSGD r4", bench::make_config(compress::Method::kPowerSgd, 4)},
+          {"PowerSGD r8", bench::make_config(compress::Method::kPowerSgd, 8)},
+          {"PowerSGD r16", bench::make_config(compress::Method::kPowerSgd, 16)},
+      });
+
+  std::cout << "\nShape check: ResNet columns — every PowerSGD rank is at or above syncSGD.\n"
+               "BERT at 96 GPUs — rank-4 (and usually rank-8) beat syncSGD; rank-16's\n"
+               "encode cost erodes the win, matching the paper's Figure 4.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// google-benchmark microbenchmarks: the in-process ring all-reduce and
+// all-gather, plus the alpha-beta cost model evaluations (ring vs
+// double-tree ablation).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/thread_comm.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+void BM_ThreadRingAllreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  comm::ThreadComm comm(p);
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p),
+                                       std::vector<float>(n, 1.0F));
+  for (auto _ : state) {
+    comm::run_ranks(p, [&](int rank) {
+      comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+    });
+    benchmark::DoNotOptimize(data[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(float)));
+}
+
+void BM_ThreadAllgather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  comm::ThreadComm comm(p);
+  const std::vector<std::byte> payload(n, std::byte{1});
+  for (auto _ : state) {
+    comm::run_ranks(p, [&](int rank) {
+      auto gathered = comm.allgather(rank, payload);
+      benchmark::DoNotOptimize(gathered.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * static_cast<std::size_t>(p)));
+}
+
+// Cost-model ablation: ring vs double-tree latency behaviour at scale.
+void BM_CostRingVsTree(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const comm::Network net = comm::Network::from_gbps(10.0);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += comm::ring_allreduce_seconds(100e6, p, net);
+    sink += comm::tree_allreduce_seconds(100e6, p, net);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+
+BENCHMARK(BM_ThreadRingAllreduce)->Args({2, 1 << 16})->Args({4, 1 << 16})->Args({8, 1 << 16})
+    ->Args({4, 1 << 20});
+BENCHMARK(BM_ThreadAllgather)->Args({2, 1 << 14})->Args({4, 1 << 14})->Args({8, 1 << 14});
+BENCHMARK(BM_CostRingVsTree)->Arg(8)->Arg(96)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

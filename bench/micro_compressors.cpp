@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks: encode/decode throughput of every
+// compressor on a ResNet-style 512x1024 layer gradient (ablation support
+// for the Table 2 harness).
+#include <benchmark/benchmark.h>
+
+#include "compress/compressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+const tensor::Tensor& layer_gradient() {
+  static const tensor::Tensor grad = [] {
+    tensor::Rng rng(11);
+    return tensor::Tensor::randn({512, 1024}, rng);
+  }();
+  return grad;
+}
+
+void run_roundtrip(benchmark::State& state, const compress::CompressorConfig& config) {
+  auto compressor = compress::make_compressor(config);
+  const tensor::Tensor& grad = layer_gradient();
+  for (auto _ : state) {
+    tensor::Tensor out = compressor->roundtrip(0, grad);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grad.byte_size()));
+  state.counters["wire_bytes"] =
+      static_cast<double>(compressor->compressed_bytes(grad.shape()));
+}
+
+compress::CompressorConfig config_of(compress::Method m, int rank = 4, double fraction = 0.01,
+                                     bool ef = false) {
+  compress::CompressorConfig c;
+  c.method = m;
+  c.rank = rank;
+  c.fraction = fraction;
+  c.error_feedback = ef;
+  return c;
+}
+
+void BM_Fp16(benchmark::State& s) { run_roundtrip(s, config_of(compress::Method::kFp16)); }
+void BM_SignSgd(benchmark::State& s) { run_roundtrip(s, config_of(compress::Method::kSignSgd)); }
+void BM_EfSignSgd(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kSignSgd, 4, 0.01, true));
+}
+void BM_TernGrad(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kTernGrad));
+}
+void BM_Qsgd(benchmark::State& s) { run_roundtrip(s, config_of(compress::Method::kQsgd)); }
+
+void BM_TopK(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kTopK, 4,
+                             static_cast<double>(s.range(0)) / 100.0));
+}
+void BM_RandomK(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kRandomK, 4,
+                             static_cast<double>(s.range(0)) / 100.0));
+}
+void BM_PowerSgd(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kPowerSgd, static_cast<int>(s.range(0))));
+}
+void BM_Atomo(benchmark::State& s) {
+  run_roundtrip(s, config_of(compress::Method::kAtomo, static_cast<int>(s.range(0))));
+}
+
+BENCHMARK(BM_Fp16);
+BENCHMARK(BM_SignSgd);
+BENCHMARK(BM_EfSignSgd);
+BENCHMARK(BM_TernGrad);
+BENCHMARK(BM_Qsgd);
+BENCHMARK(BM_TopK)->Arg(1)->Arg(10)->Arg(20);
+BENCHMARK(BM_RandomK)->Arg(1)->Arg(10);
+BENCHMARK(BM_PowerSgd)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_Atomo)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

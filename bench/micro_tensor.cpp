@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks for the tensor substrate: GEMM (the
+// PowerSGD kernel), top-k selection (the TopK kernel), fp16 conversion (the
+// half-precision kernel) and Gram-Schmidt orthogonalization.
+#include <benchmark/benchmark.h>
+
+#include "tensor/half.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/topk.hpp"
+
+namespace {
+
+using namespace gradcomp::tensor;
+
+void BM_MatmulRankR(benchmark::State& state) {
+  // M (512 x 1024) times Q (1024 x r): PowerSGD's P = M Q.
+  const auto r = state.range(0);
+  Rng rng(1);
+  const Tensor m = Tensor::randn({512, 1024}, rng);
+  const Tensor q = Tensor::randn({1024, r}, rng);
+  for (auto _ : state) {
+    Tensor p = matmul(m, q);
+    benchmark::DoNotOptimize(p.data().data());
+  }
+  state.counters["flops"] = static_cast<double>(2 * 512 * 1024 * r);
+}
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+
+void BM_TopKSelect(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  const Tensor t = Tensor::randn({n}, rng);
+  const std::int64_t k = n / 100;
+  for (auto _ : state) {
+    auto result = top_k_abs(t.data(), k);
+    benchmark::DoNotOptimize(result.indices.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_HalfConversion(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(4);
+  const Tensor t = Tensor::randn({n}, rng);
+  std::vector<float> back(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    const auto halves = to_half(t.data());
+    from_half(halves, back);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+
+void BM_Orthonormalize(benchmark::State& state) {
+  const auto r = state.range(0);
+  Rng rng(5);
+  const Tensor base = Tensor::randn({512, r}, rng);
+  for (auto _ : state) {
+    Tensor m = base;
+    orthonormalize_columns(m);
+    benchmark::DoNotOptimize(m.data().data());
+  }
+}
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(6);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    auto result = svd(a);
+    benchmark::DoNotOptimize(result.sigma.data());
+  }
+}
+
+BENCHMARK(BM_MatmulRankR)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(256);
+BENCHMARK(BM_TopKSelect)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_HalfConversion)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_Orthonormalize)->Arg(4)->Arg(16);
+BENCHMARK(BM_JacobiSvd)->Arg(16)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

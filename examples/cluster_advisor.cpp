@@ -1,0 +1,106 @@
+// cluster_advisor: the command-line what-if tool the paper's Section 7
+// proposes for data scientists — "will gradient compression help on MY
+// cluster?"
+//
+// Usage:
+//   cluster_advisor [--model resnet50|resnet101|bert_base|bert_large|vgg16]
+//                   [--gpus N] [--gbps G] [--batch B] [--compute-scale S]
+//
+// With no arguments it analyses the paper's default testbed.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+struct Args {
+  std::string model = "resnet50";
+  int gpus = 64;
+  double gbps = 10.0;
+  int batch = 0;  // 0 = model default (64 vision / 10 BERT)
+  double compute_scale = 1.0;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--model resnet50|resnet101|bert_base|bert_large|vgg16] [--gpus N]"
+               " [--gbps G] [--batch B] [--compute-scale S]\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--model") {
+      args.model = next();
+    } else if (flag == "--gpus") {
+      args.gpus = std::stoi(next());
+    } else if (flag == "--gbps") {
+      args.gbps = std::stod(next());
+    } else if (flag == "--batch") {
+      args.batch = std::stoi(next());
+    } else if (flag == "--compute-scale") {
+      args.compute_scale = std::stod(next());
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (args.gpus < 1 || args.gbps <= 0 || args.batch < 0 || args.compute_scale <= 0)
+    usage_and_exit(argv[0]);
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  core::Workload workload;
+  try {
+    workload.model = models::model_by_name(args.model);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return 2;
+  }
+  const bool is_bert = workload.model.name.rfind("bert", 0) == 0;
+  workload.batch_size = args.batch > 0 ? args.batch : (is_bert ? 10 : 64);
+
+  core::Cluster cluster;
+  cluster.world_size = args.gpus;
+  cluster.network = comm::Network::from_gbps(args.gbps);
+  cluster.device.compute_scale = args.compute_scale;
+
+  std::cout << "Cluster: " << args.gpus << " GPUs @ " << args.gbps << " Gbps, compute "
+            << args.compute_scale << "x V100\nWorkload: " << workload.model.name << " ("
+            << stats::Table::fmt(workload.model.total_mb(), 0) << " MB), batch "
+            << workload.batch_size << "/GPU\n\n";
+
+  const core::Recommendation rec = core::advise(workload, cluster);
+
+  std::cout << "syncSGD iteration: " << stats::Table::fmt_ms(rec.sync.total_s) << " ms ("
+            << stats::Table::fmt((rec.sync.total_s / rec.ideal_s - 1.0) * 100.0, 1)
+            << "% above perfect scaling — the budget any compressor must beat)\n"
+            << "required compression for linear scaling: "
+            << stats::Table::fmt(rec.required_compression, 2) << "x\n\n";
+
+  stats::Table table({"method", "iteration (ms)", "encode+decode (ms)", "speedup", "verdict"});
+  for (const auto& result : rec.ranked)
+    table.add_row({result.candidate.label, stats::Table::fmt_ms(result.breakdown.total_s),
+                   stats::Table::fmt_ms(result.breakdown.encode_decode_s()),
+                   stats::Table::fmt(result.speedup, 2) + "x",
+                   result.helps() ? "helps" : "hurts"});
+  table.print(std::cout);
+
+  std::cout << '\n' << rec.summary() << '\n';
+  return 0;
+}

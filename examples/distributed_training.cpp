@@ -1,0 +1,59 @@
+// End-to-end data-parallel training with real compressors and real
+// collectives: 4 worker threads train an MLP on synthetic blobs under five
+// aggregation strategies, reporting loss/accuracy and bytes moved.
+//
+// This demonstrates the accuracy side the paper brackets out of its timing
+// study: lossy methods converge (error feedback repairs TopK), while the
+// wire traffic differs by orders of magnitude.
+#include <iostream>
+
+#include "stats/table.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace gradcomp;
+
+  const train::Dataset data = train::make_blobs(/*classes=*/4, /*dim=*/16, /*per_class=*/64,
+                                                /*spread=*/0.6F, /*seed=*/21);
+
+  struct Strategy {
+    const char* label;
+    compress::CompressorConfig config;
+    double lr;
+  };
+  const Strategy strategies[] = {
+      {"syncSGD", {}, 0.1},
+      {"FP16", {compress::Method::kFp16}, 0.1},
+      {"PowerSGD r2 (EF)", {compress::Method::kPowerSgd, 0.01, 2}, 0.1},
+      {"EF-TopK 10%",
+       {compress::Method::kTopK, 0.10, 4, 127, /*error_feedback=*/true}, 0.1},
+      {"SignSGD (majority)", {compress::Method::kSignSgd}, 0.005},
+  };
+
+  stats::Table table({"strategy", "final loss", "accuracy", "bytes/worker/step",
+                      "replica divergence"});
+  for (const auto& s : strategies) {
+    train::TrainerConfig config;
+    config.world_size = 4;
+    config.layer_dims = {16, 32, 4};
+    config.batch_per_worker = 16;
+    config.compression = s.config;
+    config.optimizer.lr = s.lr;
+
+    train::DataParallelTrainer trainer(config, data);
+    train::StepStats last{};
+    for (int step = 0; step < 100; ++step) last = trainer.step();
+
+    table.add_row({s.label, stats::Table::fmt(trainer.loss(), 4),
+                   stats::Table::fmt(trainer.accuracy() * 100.0, 1) + "%",
+                   std::to_string(last.bytes_per_worker),
+                   stats::Table::fmt(trainer.replica_divergence(), 9)});
+  }
+
+  std::cout << "4 workers x batch 16, 100 synchronous steps, 16-d blobs, 4 classes\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote: every strategy keeps all replicas bit-identical (divergence 0) —\n"
+               "the core correctness invariant of synchronous data parallelism — while\n"
+               "moving very different byte volumes per step.\n";
+  return 0;
+}

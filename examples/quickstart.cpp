@@ -1,0 +1,60 @@
+// Quickstart: the three things this library does, in ~60 lines.
+//
+//   1. Compress a real gradient tensor with a real compressor.
+//   2. Ask the performance model whether that method pays off on a cluster.
+//   3. Run one what-if query (what bandwidth makes it stop paying off?).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "core/whatif.hpp"
+#include "tensor/rng.hpp"
+
+int main() {
+  using namespace gradcomp;
+
+  // --- 1. Compress a gradient -----------------------------------------------
+  tensor::Rng rng(42);
+  const tensor::Tensor grad = tensor::Tensor::randn({512, 1024}, rng);
+
+  compress::CompressorConfig config;
+  config.method = compress::Method::kPowerSgd;
+  config.rank = 4;
+  auto compressor = compress::make_compressor(config);
+
+  const tensor::Tensor approx = compressor->roundtrip(/*layer=*/0, grad);
+  std::cout << "PowerSGD rank-4 on a 512x1024 gradient:\n"
+            << "  wire bytes:   " << compressor->compressed_bytes(grad.shape()) << " (raw "
+            << grad.byte_size() << ", "
+            << grad.byte_size() / compressor->compressed_bytes(grad.shape()) << "x compression)\n"
+            << "  rel. L2 error of one step (before error feedback catches up): "
+            << tensor::relative_l2_error(approx, grad) << "\n\n";
+
+  // --- 2. Will it pay off on my cluster? ------------------------------------
+  core::PerfModel model;
+  core::Cluster cluster;
+  cluster.world_size = 64;
+  cluster.network = comm::Network::from_gbps(10.0);
+
+  core::Workload workload;
+  workload.model = models::resnet50();
+  workload.batch_size = 64;
+
+  const auto sync = model.syncsgd(workload, cluster);
+  const auto compressed = model.compressed(config, workload, cluster);
+  std::cout << "ResNet-50, batch 64/GPU, 64 GPUs, 10 Gbps:\n"
+            << "  syncSGD iteration:  " << sync.total_s * 1e3 << " ms\n"
+            << "  PowerSGD iteration: " << compressed.total_s * 1e3 << " ms ("
+            << compressed.encode_decode_s() * 1e3 << " ms of that is encode/decode)\n"
+            << "  verdict: " << (compressed.total_s < sync.total_s ? "compression helps"
+                                                                   : "stick with syncSGD")
+            << "\n\n";
+
+  // --- 3. What-if: where is the crossover? ----------------------------------
+  const core::WhatIf whatif;
+  std::cout << "syncSGD overtakes PowerSGD rank-4 above "
+            << whatif.crossover_bandwidth_gbps(config, workload, cluster)
+            << " Gbps on this workload.\n";
+  return 0;
+}

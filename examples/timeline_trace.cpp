@@ -1,0 +1,57 @@
+// Visualizing iteration schedules (the paper's Figure 2 methodology): ASCII
+// Gantt charts of one simulated iteration under syncSGD (bucketed overlap),
+// sequential PowerSGD, and the deliberately-overlapped compression schedule
+// that Section 3.1 shows is counterproductive.
+#include <iostream>
+
+#include "sim/ddp_sim.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+void show(const char* title, const sim::SimResult& result) {
+  std::cout << "\n--- " << title << " — " << result.iteration_s * 1e3 << " ms ---\n";
+  result.timeline.render_ascii(std::cout, 96);
+}
+
+}  // namespace
+
+int main() {
+  core::Cluster cluster;
+  cluster.world_size = 16;
+  cluster.network = comm::Network::from_gbps(10.0);
+
+  core::Workload workload;
+  workload.model = models::resnet50();
+  workload.batch_size = 64;
+
+  sim::SimOptions options;
+  options.jitter_frac = 0.0;
+
+  compress::CompressorConfig powersgd;
+  powersgd.method = compress::Method::kPowerSgd;
+  powersgd.rank = 4;
+
+  std::cout << "ResNet-50, batch 64/GPU, 16 GPUs, 10 Gbps\n";
+
+  sim::ClusterSim sync_sim(cluster, options);
+  show("syncSGD: buckets all-reduce on a second stream, overlapped",
+       sync_sim.run_syncsgd(workload));
+
+  sim::ClusterSim seq_sim(cluster, options);
+  show("PowerSGD rank-4, sequential (the sensible schedule)",
+       seq_sim.run_compressed(powersgd, workload));
+
+  sim::SimOptions overlapped = options;
+  overlapped.overlap_compression = true;
+  sim::ClusterSim ovl_sim(cluster, overlapped);
+  show("PowerSGD rank-4, encode overlapped with backward (GPU contention!)",
+       ovl_sim.run_compressed(powersgd, workload));
+
+  std::cout << "\nReading the charts: '#' marks stream activity across the iteration.\n"
+               "syncSGD hides most communication behind compute; the overlapped\n"
+               "compression schedule stretches BOTH streams (contention), ending later\n"
+               "than the sequential one — the paper's Figure 3 takeaway.\n";
+  return 0;
+}

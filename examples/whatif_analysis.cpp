@@ -1,0 +1,66 @@
+// Scenario: a data scientist must pick an aggregation strategy for BERT
+// fine-tuning on a 32-node cluster, and wants to know how the answer
+// changes if the team upgrades the network or the GPUs (the paper's
+// Section 7 "What-if analysis for users").
+#include <iostream>
+
+#include "core/whatif.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace gradcomp;
+
+  core::Workload workload;
+  workload.model = models::bert_base();
+  workload.batch_size = 12;
+
+  core::Cluster cluster;
+  cluster.world_size = 32;
+  cluster.network = comm::Network::from_gbps(10.0);
+
+  core::PerfModel model;
+  const core::WhatIf whatif;
+
+  // --- Candidate methods on today's cluster ---------------------------------
+  std::cout << "BERT_BASE, batch 12/GPU, 32 GPUs, 10 Gbps — candidate methods:\n\n";
+  struct Candidate {
+    const char* label;
+    compress::CompressorConfig config;
+  };
+  const Candidate candidates[] = {
+      {"syncSGD (baseline)", {}},
+      {"FP16", {compress::Method::kFp16}},
+      {"PowerSGD rank-4", {compress::Method::kPowerSgd, 0.01, 4}},
+      {"PowerSGD rank-16", {compress::Method::kPowerSgd, 0.01, 16}},
+      {"TopK 1%", {compress::Method::kTopK, 0.01}},
+      {"SignSGD", {compress::Method::kSignSgd}},
+  };
+  const double baseline = model.syncsgd(workload, cluster).total_s;
+  stats::Table table({"method", "iteration (ms)", "vs syncSGD"});
+  for (const auto& c : candidates) {
+    const double t = model.compressed(c.config, workload, cluster).total_s;
+    table.add_row({c.label, stats::Table::fmt_ms(t),
+                   stats::Table::fmt((baseline / t - 1.0) * 100.0, 1) + "%"});
+  }
+  table.print(std::cout);
+
+  // --- Upgrade path A: faster network ---------------------------------------
+  compress::CompressorConfig ps4;
+  ps4.method = compress::Method::kPowerSgd;
+  ps4.rank = 4;
+  std::cout << "\nUpgrade path A — network upgrade (PowerSGD rank-4 vs syncSGD):\n";
+  for (const auto& pt : whatif.sweep_bandwidth(ps4, workload, cluster, {10, 25, 50, 100}))
+    std::cout << "  " << pt.x << " Gbps: speedup " << stats::Table::fmt(pt.speedup(), 2)
+              << "x\n";
+
+  // --- Upgrade path B: faster GPUs -------------------------------------------
+  std::cout << "\nUpgrade path B — GPU upgrade at 10 Gbps (PowerSGD rank-4 vs syncSGD):\n";
+  for (const auto& pt : whatif.sweep_compute(ps4, workload, cluster, {1.0, 2.0, 4.0}))
+    std::cout << "  " << pt.x << "x compute: speedup " << stats::Table::fmt(pt.speedup(), 2)
+              << "x\n";
+
+  std::cout << "\nConclusion (matches the paper): on today's 10 Gbps cluster, modest\n"
+               "compression (FP16 / PowerSGD rank-4) is the sweet spot; a network upgrade\n"
+               "erases the benefit while a GPU upgrade amplifies it.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "comm/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gradcomp::comm {
+
+namespace {
+
+void require_valid(double bytes, int p, const Network& net) {
+  if (bytes < 0) throw std::invalid_argument("collective cost: negative byte count");
+  if (p < 1) throw std::invalid_argument("collective cost: world size must be >= 1");
+  if (net.bandwidth_bps <= 0) throw std::invalid_argument("collective cost: bandwidth <= 0");
+}
+
+double log2_clamped(int p) { return p > 1 ? std::log2(static_cast<double>(p)) : 0.0; }
+
+}  // namespace
+
+double ring_allreduce_seconds(double bytes, int p, const Network& net) {
+  require_valid(bytes, p, net);
+  if (p == 1) return 0.0;
+  const double latency = net.alpha_s * static_cast<double>(p - 1);
+  const double bandwidth =
+      2.0 * bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
+  return latency + bandwidth;
+}
+
+double tree_allreduce_seconds(double bytes, int p, const Network& net) {
+  require_valid(bytes, p, net);
+  if (p == 1) return 0.0;
+  const double latency = net.alpha_s * log2_clamped(p);
+  const double bandwidth =
+      2.0 * bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
+  return latency + bandwidth;
+}
+
+double allgather_seconds(double bytes_per_rank, int p, const Network& net) {
+  require_valid(bytes_per_rank, p, net);
+  if (p == 1) return 0.0;
+  const double latency = net.alpha_s * static_cast<double>(p - 1);
+  const double incast = 1.0 + net.incast_penalty * log2_clamped(p);
+  const double bandwidth =
+      bytes_per_rank * static_cast<double>(p - 1) / net.bandwidth_bps * incast;
+  return latency + bandwidth;
+}
+
+double reduce_scatter_seconds(double bytes, int p, const Network& net) {
+  require_valid(bytes, p, net);
+  if (p == 1) return 0.0;
+  const double latency = net.alpha_s * static_cast<double>(p - 1);
+  const double bandwidth =
+      bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
+  return latency + bandwidth;
+}
+
+double broadcast_seconds(double bytes, int p, const Network& net) {
+  require_valid(bytes, p, net);
+  if (p == 1) return 0.0;
+  const double hops = std::ceil(log2_clamped(p));
+  return hops * (net.alpha_s + bytes / net.bandwidth_bps);
+}
+
+double send_seconds(double bytes, const Network& net) {
+  require_valid(bytes, 1, net);
+  return net.alpha_s + bytes / net.bandwidth_bps;
+}
+
+double parameter_server_seconds(double bytes, int p, int servers, const Network& net) {
+  require_valid(bytes, p, net);
+  if (servers < 1) throw std::invalid_argument("parameter_server_seconds: servers must be >= 1");
+  if (p == 1) return 0.0;
+  const double per_server_bytes = static_cast<double>(p) * bytes / static_cast<double>(servers);
+  const double incast = 1.0 + net.incast_penalty * (p > 1 ? std::log2(static_cast<double>(p)) : 0.0);
+  return 2.0 * net.alpha_s + 2.0 * per_server_bytes / net.bandwidth_bps * incast;
+}
+
+}  // namespace gradcomp::comm

@@ -1,0 +1,235 @@
+#include "comm/thread_comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace gradcomp::comm {
+
+namespace {
+
+// Chunk boundaries for splitting n elements into p near-equal parts.
+std::vector<std::size_t> chunk_offsets(std::size_t n, int p) {
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t rem = n % static_cast<std::size_t>(p);
+  for (int c = 0; c < p; ++c) {
+    const std::size_t len = base + (static_cast<std::size_t>(c) < rem ? 1 : 0);
+    offsets[static_cast<std::size_t>(c) + 1] = offsets[static_cast<std::size_t>(c)] + len;
+  }
+  return offsets;
+}
+
+int mod(int a, int p) { return ((a % p) + p) % p; }
+
+}  // namespace
+
+namespace {
+
+// Validated before std::barrier construction, whose behaviour is undefined
+// for negative counts.
+int checked_world_size(int world_size) {
+  if (world_size < 1) throw std::invalid_argument("ThreadComm: world size must be >= 1");
+  return world_size;
+}
+
+}  // namespace
+
+ThreadComm::ThreadComm(int world_size)
+    : world_size_(checked_world_size(world_size)),
+      barrier_(world_size_),
+      mail_(static_cast<std::size_t>(world_size_)),
+      byte_slots_(static_cast<std::size_t>(world_size_)) {}
+
+void ThreadComm::validate_rank(int rank) const {
+  if (rank < 0 || rank >= world_size_)
+    throw std::invalid_argument("ThreadComm: rank out of range");
+}
+
+void ThreadComm::barrier() { barrier_.arrive_and_wait(); }
+
+void ThreadComm::allreduce_sum(int rank, std::span<float> data, Algorithm algorithm) {
+  validate_rank(rank);
+  if (world_size_ == 1) {
+    if (rank == 0) ++allreduce_ops_;
+    return;
+  }
+  if (algorithm == Algorithm::kTree) {
+    allreduce_tree(rank, data);
+  } else {
+    allreduce_ring(rank, data);
+  }
+  if (rank == 0) ++allreduce_ops_;
+  barrier();
+}
+
+void ThreadComm::allreduce_ring(int rank, std::span<float> data) {
+  const int p = world_size_;
+  const auto offsets = chunk_offsets(data.size(), p);
+  const auto chunk = [&](int c) {
+    const std::size_t lo = offsets[static_cast<std::size_t>(c)];
+    const std::size_t hi = offsets[static_cast<std::size_t>(c) + 1];
+    return data.subspan(lo, hi - lo);
+  };
+  const int next = mod(rank + 1, p);
+
+  // Phase 1: ring reduce-scatter. After p-1 steps rank r owns the fully
+  // reduced chunk (r+1) mod p.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = mod(rank - s, p);
+    const int recv_c = mod(rank - s - 1, p);
+    auto out = chunk(send_c);
+    mail_[static_cast<std::size_t>(next)].assign(out.begin(), out.end());
+    barrier();
+    const auto& in = mail_[static_cast<std::size_t>(rank)];
+    auto acc = chunk(recv_c);
+    if (in.size() != acc.size()) throw std::logic_error("allreduce_sum: chunk size mismatch");
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+    barrier();
+  }
+
+  // Phase 2: ring all-gather of the reduced chunks.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_c = mod(rank + 1 - s, p);
+    const int recv_c = mod(rank - s, p);
+    auto out = chunk(send_c);
+    mail_[static_cast<std::size_t>(next)].assign(out.begin(), out.end());
+    barrier();
+    const auto& in = mail_[static_cast<std::size_t>(rank)];
+    auto dst = chunk(recv_c);
+    if (in.size() != dst.size()) throw std::logic_error("allreduce_sum: chunk size mismatch");
+    std::copy(in.begin(), in.end(), dst.begin());
+    barrier();
+  }
+}
+
+void ThreadComm::allreduce_tree(int rank, std::span<float> data) {
+  const int p = world_size_;
+  int rounds = 0;
+  while ((1 << rounds) < p) ++rounds;
+
+  // Binomial reduce toward rank 0: in round k, rank r with bit k set (and
+  // lower bits clear) sends its partial sum to r - 2^k.
+  for (int k = 0; k < rounds; ++k) {
+    const int stride = 1 << k;
+    const int group = stride << 1;
+    const bool sender = rank % group == stride;
+    const bool receiver = rank % group == 0 && rank + stride < p;
+    if (sender) mail_[static_cast<std::size_t>(rank - stride)].assign(data.begin(), data.end());
+    barrier();
+    if (receiver) {
+      const auto& in = mail_[static_cast<std::size_t>(rank)];
+      if (in.size() != data.size())
+        throw std::logic_error("allreduce_tree: message size mismatch");
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] += in[i];
+    }
+    barrier();
+  }
+
+  // Binomial broadcast from rank 0, mirroring the reduce.
+  for (int k = rounds - 1; k >= 0; --k) {
+    const int stride = 1 << k;
+    const int group = stride << 1;
+    const bool sender = rank % group == 0 && rank + stride < p;
+    const bool receiver = rank % group == stride;
+    if (sender) mail_[static_cast<std::size_t>(rank + stride)].assign(data.begin(), data.end());
+    barrier();
+    if (receiver) {
+      const auto& in = mail_[static_cast<std::size_t>(rank)];
+      if (in.size() != data.size())
+        throw std::logic_error("allreduce_tree: message size mismatch");
+      std::copy(in.begin(), in.end(), data.begin());
+    }
+    barrier();
+  }
+}
+
+std::vector<std::vector<std::byte>> ThreadComm::allgather(int rank,
+                                                          std::span<const std::byte> bytes) {
+  validate_rank(rank);
+  byte_slots_[static_cast<std::size_t>(rank)].assign(bytes.begin(), bytes.end());
+  barrier();
+  std::vector<std::vector<std::byte>> result = byte_slots_;
+  barrier();
+  return result;
+}
+
+void ThreadComm::allgather_ring(int rank, std::span<const float> mine, std::span<float> out) {
+  validate_rank(rank);
+  const int p = world_size_;
+  const std::size_t block = mine.size();
+  if (out.size() != block * static_cast<std::size_t>(p))
+    throw std::invalid_argument("allgather_ring: output must hold world_size blocks");
+
+  // Place own block, then forward the block received last step for p-1 steps.
+  std::copy(mine.begin(), mine.end(), out.begin() + static_cast<std::ptrdiff_t>(
+                                                        static_cast<std::size_t>(rank) * block));
+  if (p == 1) return;
+  const int next = mod(rank + 1, p);
+  for (int s = 0; s < p - 1; ++s) {
+    // In step s, rank r sends the block of rank (r - s) mod p and receives
+    // the block of rank (r - s - 1) mod p from its predecessor.
+    const int send_owner = mod(rank - s, p);
+    const int recv_owner = mod(rank - s - 1, p);
+    const auto send_at = out.subspan(static_cast<std::size_t>(send_owner) * block, block);
+    mail_[static_cast<std::size_t>(next)].assign(send_at.begin(), send_at.end());
+    barrier();
+    const auto& in = mail_[static_cast<std::size_t>(rank)];
+    if (in.size() != block) throw std::logic_error("allgather_ring: block size mismatch");
+    std::copy(in.begin(), in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                static_cast<std::size_t>(recv_owner) * block));
+    barrier();
+  }
+}
+
+std::vector<std::vector<float>> ThreadComm::allgather_floats(int rank,
+                                                             std::span<const float> values) {
+  const auto as_bytes = std::as_bytes(values);
+  auto gathered = allgather(rank, as_bytes);
+  std::vector<std::vector<float>> result(gathered.size());
+  for (std::size_t r = 0; r < gathered.size(); ++r) {
+    const std::size_t n = gathered[r].size() / sizeof(float);
+    result[r].resize(n);
+    if (n > 0) std::memcpy(result[r].data(), gathered[r].data(), n * sizeof(float));
+  }
+  return result;
+}
+
+void ThreadComm::broadcast(int rank, int root, std::span<float> data) {
+  validate_rank(rank);
+  validate_rank(root);
+  if (rank == root) {
+    broadcast_src_ = data.data();
+    broadcast_len_ = data.size();
+  }
+  barrier();
+  if (rank != root) {
+    if (broadcast_len_ != data.size()) throw std::invalid_argument("broadcast: size mismatch");
+    std::copy(broadcast_src_, broadcast_src_ + broadcast_len_, data.begin());
+  }
+  barrier();
+}
+
+void run_ranks(int world_size, const std::function<void(int)>& body) {
+  if (world_size < 1) throw std::invalid_argument("run_ranks: world size must be >= 1");
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_size));
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+}  // namespace gradcomp::comm

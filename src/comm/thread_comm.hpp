@@ -1,0 +1,86 @@
+// Real in-process collectives over a group of worker threads.
+//
+// This is the "cluster" the end-to-end trainer and the numerical tests run
+// on: p ranks, each a thread, exchanging messages through per-step
+// mailboxes. The all-reduce genuinely executes the ring algorithm (p-1
+// reduce-scatter steps followed by p-1 all-gather steps, chunked), not a
+// shortcut shared-memory sum, so the aggregation path compression methods
+// must be compatible with is exercised for real.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gradcomp::comm {
+
+class ThreadComm {
+ public:
+  explicit ThreadComm(int world_size);
+
+  ThreadComm(const ThreadComm&) = delete;
+  ThreadComm& operator=(const ThreadComm&) = delete;
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  // All collectives must be entered by every rank (SPMD). Rank is the
+  // caller's identity in [0, world_size).
+
+  void barrier();
+
+  // Which all-reduce algorithm to execute. Ring is bandwidth-optimal with
+  // latency ~p; the binomial double-tree-style reduce+broadcast has latency
+  // ~log2(p) (the trade NCCL switches on at scale, Section 2.2).
+  enum class Algorithm : std::uint8_t { kRing, kTree };
+
+  // In-place sum all-reduce. Every rank's `data` must have the same length.
+  void allreduce_sum(int rank, std::span<float> data,
+                     Algorithm algorithm = Algorithm::kRing);
+
+  // Gathers each rank's byte payload; returns all payloads indexed by rank.
+  // Payload sizes may differ across ranks (the TopK case).
+  [[nodiscard]] std::vector<std::vector<std::byte>> allgather(int rank,
+                                                              std::span<const std::byte> bytes);
+
+  // Float convenience wrapper over allgather.
+  [[nodiscard]] std::vector<std::vector<float>> allgather_floats(int rank,
+                                                                 std::span<const float> values);
+
+  // True ring all-gather of equal-size float blocks: p-1 steps, each rank
+  // forwarding the block it received in the previous step to its successor
+  // (the message pattern whose wire cost is n*(p-1)/BW — the term that
+  // dooms non-all-reducible compressors at scale). `out` must hold
+  // world_size * mine.size() floats and receives the blocks in rank order.
+  void allgather_ring(int rank, std::span<const float> mine, std::span<float> out);
+
+  // Copies root's data into every rank's buffer (sizes must match).
+  void broadcast(int rank, int root, std::span<float> data);
+
+  // Counts completed collective operations (for tests asserting the ring
+  // path actually ran).
+  [[nodiscard]] std::uint64_t allreduce_count() const noexcept { return allreduce_ops_; }
+
+ private:
+  void validate_rank(int rank) const;
+  void allreduce_ring(int rank, std::span<float> data);
+  // Binomial-tree reduce to rank 0 followed by binomial broadcast.
+  void allreduce_tree(int rank, std::span<float> data);
+
+  int world_size_;
+  std::barrier<> barrier_;
+  // mail_[r] is the message most recently addressed to rank r.
+  std::vector<std::vector<float>> mail_;
+  std::vector<std::vector<std::byte>> byte_slots_;
+  const float* broadcast_src_ = nullptr;
+  std::size_t broadcast_len_ = 0;
+  std::uint64_t allreduce_ops_ = 0;
+};
+
+// Runs `body(rank)` on world_size threads and joins them. Exceptions thrown
+// by any rank are rethrown (first one wins) after all threads join.
+void run_ranks(int world_size, const std::function<void(int)>& body);
+
+}  // namespace gradcomp::comm

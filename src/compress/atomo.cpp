@@ -1,0 +1,141 @@
+#include "compress/atomo.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+namespace {
+
+// Serializes two matrices as [m:i64][n:i64][r:i64][P floats][V floats].
+std::vector<std::byte> serialize_factors(const tensor::Tensor& p, const tensor::Tensor& v) {
+  const std::int64_t m = p.dim(0);
+  const std::int64_t n = v.dim(0);
+  const std::int64_t r = p.dim(1);
+  std::vector<std::byte> out(3 * sizeof(std::int64_t) + p.byte_size() + v.byte_size());
+  std::byte* ptr = out.data();
+  for (const std::int64_t* header : {&m, &n, &r}) {
+    std::memcpy(ptr, header, sizeof(std::int64_t));
+    ptr += sizeof(std::int64_t);
+  }
+  std::memcpy(ptr, p.data().data(), p.byte_size());
+  ptr += p.byte_size();
+  std::memcpy(ptr, v.data().data(), v.byte_size());
+  return out;
+}
+
+std::pair<tensor::Tensor, tensor::Tensor> deserialize_factors(std::span<const std::byte> bytes) {
+  if (bytes.size() < 3 * sizeof(std::int64_t))
+    throw std::invalid_argument("AtomoCompressor: truncated payload");
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t r = 0;
+  const std::byte* ptr = bytes.data();
+  for (std::int64_t* header : {&m, &n, &r}) {
+    std::memcpy(header, ptr, sizeof(std::int64_t));
+    ptr += sizeof(std::int64_t);
+  }
+  const std::size_t expected = 3 * sizeof(std::int64_t) +
+                               static_cast<std::size_t>((m + n) * r) * sizeof(float);
+  if (m < 0 || n < 0 || r < 0 || bytes.size() != expected)
+    throw std::invalid_argument("AtomoCompressor: corrupt payload");
+  tensor::Tensor p({m, r});
+  tensor::Tensor v({n, r});
+  std::memcpy(p.data().data(), ptr, p.byte_size());
+  ptr += p.byte_size();
+  std::memcpy(v.data().data(), ptr, v.byte_size());
+  return {std::move(p), std::move(v)};
+}
+
+}  // namespace
+
+AtomoCompressor::AtomoCompressor(int rank, int power_iters, std::uint64_t seed)
+    : rank_(rank), power_iters_(power_iters), seed_(seed) {
+  if (rank < 1) throw std::invalid_argument("AtomoCompressor: rank must be >= 1");
+  if (power_iters < 1) throw std::invalid_argument("AtomoCompressor: power_iters must be >= 1");
+}
+
+int AtomoCompressor::effective_rank(std::int64_t m, std::int64_t n) const {
+  return static_cast<int>(std::min<std::int64_t>({rank_, m, n}));
+}
+
+std::size_t AtomoCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  const std::int64_t numel = tensor::shape_numel(shape);
+  if (numel == 0) return 0;
+  const std::int64_t m = shape.empty() ? numel : shape.front();
+  const std::int64_t n = m > 0 ? numel / m : 0;
+  if (m <= 1 || n <= 1) return static_cast<std::size_t>(numel) * sizeof(float);
+  const int r = effective_rank(m, n);
+  return static_cast<std::size_t>(m + n) * static_cast<std::size_t>(r) * sizeof(float);
+}
+
+AtomoCompressor::Factors AtomoCompressor::factorize(LayerId layer,
+                                                    const tensor::Tensor& mat) const {
+  const std::int64_t m = mat.dim(0);
+  const std::int64_t n = mat.dim(1);
+  const int r = effective_rank(m, n);
+
+  // Randomized subspace iteration for the top-r singular subspace.
+  tensor::Rng rng(seed_ ^ (static_cast<std::uint64_t>(layer) * 0x94D049BB133111EBULL));
+  tensor::Tensor v = tensor::Tensor::randn({n, r}, rng);
+  tensor::orthonormalize_columns(v);
+  tensor::Tensor u({m, r});
+  for (int iter = 0; iter < power_iters_; ++iter) {
+    u = tensor::matmul(mat, v);  // m x r
+    tensor::orthonormalize_columns(u);
+    v = tensor::matmul(mat, u, tensor::Transpose::kYes);  // n x r
+    if (iter + 1 < power_iters_) tensor::orthonormalize_columns(v);
+  }
+  // After the loop v = M^T u with orthonormal u, so M ~= u * v^T directly:
+  // the singular values live in v's column norms.
+  return Factors{std::move(u), std::move(v)};
+}
+
+AggregateStats AtomoCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                          tensor::Tensor& grad) {
+  AggregateStats stats;
+  tensor::Tensor mat = grad.matricize();
+  const std::int64_t m = mat.dim(0);
+  const std::int64_t n = mat.dim(1);
+  if (m <= 1 || n <= 1) {
+    comm.allreduce_sum(rank, grad.data());
+    grad.scale(1.0F / static_cast<float>(comm.world_size()));
+    stats.bytes_sent = grad.byte_size();
+    return stats;
+  }
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const Factors factors = factorize(layer, mat);
+  const auto payload = serialize_factors(factors.p, factors.v);
+  stats.encode_seconds = encode_timer.seconds();
+
+  // Per-rank singular bases differ -> all-gather, reconstruct each, average.
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  tensor::Tensor sum({m, n});
+  for (const auto& msg : gathered) {
+    const auto [p, v] = deserialize_factors(msg);
+    sum.add_(tensor::matmul(p, v, tensor::Transpose::kNo, tensor::Transpose::kYes));
+  }
+  sum.scale(1.0F / static_cast<float>(comm.world_size()));
+  grad = sum.reshape(grad.shape());
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor AtomoCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  tensor::Tensor mat = grad.matricize();
+  if (mat.dim(0) <= 1 || mat.dim(1) <= 1) return grad;
+  const Factors factors = factorize(layer, mat);
+  return tensor::matmul(factors.p, factors.v, tensor::Transpose::kNo, tensor::Transpose::kYes)
+      .reshape(grad.shape());
+}
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,49 @@
+// ATOMO (Wang et al.): SVD-based atomic low-rank compression.
+//
+// Each rank factors its OWN matricized gradient with a truncated SVD and
+// ships the top-r factors. Because every rank's singular basis differs, the
+// compressed forms are not summable: Table 1 classifies ATOMO as NOT
+// all-reduce compatible (unlike PowerSGD, whose shared Q makes sums align),
+// so aggregation is an all-gather followed by per-rank reconstruction and
+// averaging. The SVD also makes its encode step markedly more expensive
+// than PowerSGD's single power iteration — the contrast the paper draws in
+// Section 2.1.
+//
+// The truncated SVD runs `power_iters` rounds of randomized subspace
+// iteration, which converges to the top-r singular subspace.
+#pragma once
+
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class AtomoCompressor final : public Compressor {
+ public:
+  explicit AtomoCompressor(int rank, int power_iters = 8, std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string name() const override {
+    return "atomo-r" + std::to_string(rank_);
+  }
+  [[nodiscard]] Traits traits() const override { return Traits{false, true, "low-rank"}; }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+ private:
+  struct Factors {
+    tensor::Tensor p;  // m x r (left factor, scaled by singular values)
+    tensor::Tensor v;  // n x r (right singular vectors)
+  };
+  [[nodiscard]] Factors factorize(LayerId layer, const tensor::Tensor& mat) const;
+  [[nodiscard]] int effective_rank(std::int64_t m, std::int64_t n) const;
+
+  int rank_;
+  int power_iters_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,120 @@
+// Gradient compressor interface.
+//
+// A Compressor owns one rank's compression state (PowerSGD's warm-start Q
+// and error-feedback memory are per-worker), encodes that rank's gradient,
+// drives the aggregation collective appropriate to the method — all-reduce
+// when the aggregation operator is associative, all-gather otherwise
+// (Section 2.2, Table 1) — and decodes the aggregate back into a dense
+// gradient.
+//
+// Two properties from the paper govern scalability (Section 4.2):
+//   * all-reduce compatible?  -> per-rank traffic constant vs. linear in p
+//   * layer-wise?             -> can compression interleave with backward
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "comm/thread_comm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::compress {
+
+struct Traits {
+  bool allreduce_compatible = false;
+  bool layerwise = false;
+  std::string family;  // "none" | "quantization" | "sparsification" | "low-rank"
+};
+
+// Measured cost and traffic of one aggregate() call.
+struct AggregateStats {
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  std::size_t bytes_sent = 0;  // wire bytes this rank transmitted
+
+  AggregateStats& operator+=(const AggregateStats& other) {
+    encode_seconds += other.encode_seconds;
+    decode_seconds += other.decode_seconds;
+    bytes_sent += other.bytes_sent;
+    return *this;
+  }
+};
+
+// Stable identifier of the layer (or flat-gradient segment) being
+// compressed; keys per-layer state such as PowerSGD's Q matrix.
+using LayerId = std::int64_t;
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Traits traits() const = 0;
+
+  // Wire bytes one rank transmits for an n-element gradient of the given
+  // shape (shape matters for low-rank methods). Pure size accounting.
+  [[nodiscard]] virtual std::size_t compressed_bytes(const tensor::Shape& shape) const = 0;
+
+  // Replaces `grad` with the aggregated (mean-semantics) gradient across all
+  // ranks of `comm`. Must be called collectively by every rank.
+  virtual AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                   tensor::Tensor& grad) = 0;
+
+  // Local lossy encode+decode round trip (no communication): what this rank
+  // would contribute. Used for compression-error properties and Table 2
+  // encode/decode timing.
+  [[nodiscard]] virtual tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Factory.
+
+enum class Method : std::uint8_t {
+  kSyncSgd,    // no compression (baseline)
+  kFp16,
+  kSignSgd,
+  kTopK,
+  kRandomK,
+  kPowerSgd,
+  kQsgd,
+  kTernGrad,
+  kAtomo,
+  kDgc,        // Deep Gradient Compression (momentum-corrected sparsification)
+  kOneBit,     // 1-bit SGD (partition-mean quantization + error feedback)
+  kNatural,    // natural compression (stochastic power-of-two rounding)
+};
+
+// All factory-constructible methods, for parameterized tests and sweeps.
+[[nodiscard]] std::vector<Method> all_methods();
+
+struct CompressorConfig {
+  Method method = Method::kSyncSgd;
+  // TopK / RandomK: fraction of coordinates kept, in (0, 1].
+  double fraction = 0.01;
+  // PowerSGD / ATOMO: target rank (>=1).
+  int rank = 4;
+  // QSGD: quantization levels (2..127).
+  int levels = 127;
+  // TopK / SignSGD: keep a local residual and fold it into the next step.
+  bool error_feedback = false;
+  // TopK: transmit the kept values in half precision (GRACE-style composition
+  // of sparsification + quantization), shrinking each entry from 8 to 6
+  // bytes on the wire.
+  bool fp16_values = false;
+  // RandomK / QSGD / TernGrad / Natural: seed for stochastic choices.
+  std::uint64_t seed = 42;
+  // PowerSGD: reuse the previous step's Q as the power-iteration warm start.
+  bool warm_start = true;
+  // DGC: velocity decay for momentum correction.
+  double momentum = 0.9;
+};
+
+// Creates one rank's compressor instance. Throws std::invalid_argument on
+// out-of-range parameters.
+[[nodiscard]] std::unique_ptr<Compressor> make_compressor(const CompressorConfig& config);
+
+// Human-readable method name ("powersgd", "topk", ...).
+[[nodiscard]] std::string method_name(Method method);
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,25 @@
+// Half-precision gradient communication.
+//
+// The paper's first finding: in data-center settings, "a compression
+// resulting in 33-50% the size of the original gradients suffices. Often
+// this can be achieved simply by communicating at half precision." FP16 is
+// all-reduce compatible (sum of halves is associative enough in practice)
+// and layer-wise, and its encode cost is a single conversion pass.
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class Fp16Compressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "fp16"; }
+  [[nodiscard]] Traits traits() const override { return Traits{true, true, "quantization"}; }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+};
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,20 @@
+#include "compress/identity.hpp"
+
+namespace gradcomp::compress {
+
+std::size_t IdentityCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  return static_cast<std::size_t>(tensor::shape_numel(shape)) * sizeof(float);
+}
+
+AggregateStats IdentityCompressor::aggregate(LayerId /*layer*/, int rank,
+                                             comm::ThreadComm& comm, tensor::Tensor& grad) {
+  comm.allreduce_sum(rank, grad.data());
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  return AggregateStats{0.0, 0.0, compressed_bytes(grad.shape())};
+}
+
+tensor::Tensor IdentityCompressor::roundtrip(LayerId /*layer*/, const tensor::Tensor& grad) {
+  return grad;  // lossless
+}
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,19 @@
+// syncSGD baseline: no compression, plain sum all-reduce + averaging.
+#pragma once
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class IdentityCompressor final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "syncsgd"; }
+  [[nodiscard]] Traits traits() const override { return Traits{true, true, "none"}; }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+};
+
+}  // namespace gradcomp::compress

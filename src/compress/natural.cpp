@@ -1,0 +1,82 @@
+#include "compress/natural.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+
+namespace gradcomp::compress {
+
+namespace {
+
+constexpr int kExponentBias = 64;  // codes 1..127 cover exponents -63..62
+
+}  // namespace
+
+std::size_t NaturalCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  return static_cast<std::size_t>(tensor::shape_numel(shape));  // one byte per coordinate
+}
+
+std::vector<std::byte> NaturalCompressor::encode(std::span<const float> values) {
+  std::vector<std::byte> out(values.size(), std::byte{0});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float v = values[i];
+    if (v == 0.0F || !std::isfinite(v)) continue;  // zero code
+    const double mag = std::abs(static_cast<double>(v));
+    int e = static_cast<int>(std::floor(std::log2(mag)));
+    const double lower = std::ldexp(1.0, e);
+    // P(round down) = (2^(e+1) - |v|) / 2^e; unbiased.
+    const double p_down = (2.0 * lower - mag) / lower;
+    if (rng_.next_double() >= p_down) ++e;
+    e = std::clamp(e, -kExponentBias + 1, kExponentBias - 2);
+    std::uint8_t code = static_cast<std::uint8_t>(e + kExponentBias);
+    if (v < 0.0F) code |= 0x80U;
+    out[i] = static_cast<std::byte>(code);
+  }
+  return out;
+}
+
+std::vector<float> NaturalCompressor::decode(std::span<const std::byte> payload, std::size_t n) {
+  if (payload.size() != n)
+    throw std::invalid_argument("NaturalCompressor::decode: payload size mismatch");
+  std::vector<float> out(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto code = static_cast<std::uint8_t>(payload[i]);
+    if ((code & 0x7FU) == 0) continue;  // zero
+    const int e = static_cast<int>(code & 0x7FU) - kExponentBias;
+    const float mag = static_cast<float>(std::ldexp(1.0, e));
+    out[i] = (code & 0x80U) != 0 ? -mag : mag;
+  }
+  return out;
+}
+
+AggregateStats NaturalCompressor::aggregate(LayerId /*layer*/, int rank,
+                                            comm::ThreadComm& comm, tensor::Tensor& grad) {
+  AggregateStats stats;
+  const auto n = static_cast<std::size_t>(grad.numel());
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const auto payload = encode(grad.data());
+  stats.encode_seconds = encode_timer.seconds();
+
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  grad.fill(0.0F);
+  auto out = grad.data();
+  for (const auto& msg : gathered) {
+    const auto values = decode(msg, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] += values[i];
+  }
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor NaturalCompressor::roundtrip(LayerId /*layer*/, const tensor::Tensor& grad) {
+  const auto payload = encode(grad.data());
+  return tensor::Tensor(grad.shape(), decode(payload, static_cast<std::size_t>(grad.numel())));
+}
+
+}  // namespace gradcomp::compress

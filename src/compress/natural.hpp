@@ -1,0 +1,42 @@
+// NATURAL COMPRESSION (Horvath et al.), referenced in the paper's
+// quantization survey (Section 2.1).
+//
+// Each coordinate is stochastically rounded to a signed power of two: for
+// |v| in [2^e, 2^(e+1)) the value becomes 2^e with probability
+// (2^(e+1)-|v|)/2^e, else 2^(e+1) — an unbiased quantizer whose output fits
+// in one byte (sign + 7-bit biased exponent). Encode is a single cheap pass,
+// making it the "minimal encode time, modest ratio (4x)" end of the design
+// space the paper's Figure 13 argues for; aggregation still needs an
+// all-gather (sums of powers of two are not powers of two).
+#pragma once
+
+#include "compress/compressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+class NaturalCompressor final : public Compressor {
+ public:
+  explicit NaturalCompressor(std::uint64_t seed = 42) : rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "natural"; }
+  [[nodiscard]] Traits traits() const override {
+    return Traits{false, true, "quantization"};
+  }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  // Wire codes: 0 encodes zero; otherwise bit7 = sign, bits 0-6 = exponent
+  // biased by 64 (covering 2^-63 .. 2^62).
+  [[nodiscard]] std::vector<std::byte> encode(std::span<const float> values);
+  [[nodiscard]] static std::vector<float> decode(std::span<const std::byte> payload,
+                                                 std::size_t n);
+
+ private:
+  tensor::Rng rng_;
+};
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,101 @@
+#include "compress/onebit.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+
+namespace gradcomp::compress {
+
+std::size_t OneBitCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  const auto n = static_cast<std::size_t>(tensor::shape_numel(shape));
+  return 2 * sizeof(float) + (n + 7) / 8;
+}
+
+std::vector<std::byte> OneBitCompressor::encode(std::span<const float> values) {
+  double pos_sum = 0.0;
+  double neg_sum = 0.0;
+  std::size_t pos_count = 0;
+  for (float v : values) {
+    if (v >= 0.0F) {
+      pos_sum += v;
+      ++pos_count;
+    } else {
+      neg_sum += v;
+    }
+  }
+  const std::size_t neg_count = values.size() - pos_count;
+  const float pos_level = pos_count > 0 ? static_cast<float>(pos_sum / pos_count) : 0.0F;
+  const float neg_level = neg_count > 0 ? static_cast<float>(neg_sum / neg_count) : 0.0F;
+
+  std::vector<std::byte> out(2 * sizeof(float) + (values.size() + 7) / 8, std::byte{0});
+  std::memcpy(out.data(), &pos_level, sizeof(float));
+  std::memcpy(out.data() + sizeof(float), &neg_level, sizeof(float));
+  std::byte* bits = out.data() + 2 * sizeof(float);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] >= 0.0F) bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+  return out;
+}
+
+std::vector<float> OneBitCompressor::decode(std::span<const std::byte> payload, std::size_t n) {
+  if (payload.size() != 2 * sizeof(float) + (n + 7) / 8)
+    throw std::invalid_argument("OneBitCompressor::decode: payload size mismatch");
+  float pos_level = 0.0F;
+  float neg_level = 0.0F;
+  std::memcpy(&pos_level, payload.data(), sizeof(float));
+  std::memcpy(&neg_level, payload.data() + sizeof(float), sizeof(float));
+  const std::byte* bits = payload.data() + 2 * sizeof(float);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
+    out[i] = positive ? pos_level : neg_level;
+  }
+  return out;
+}
+
+std::vector<std::byte> OneBitCompressor::encode_with_feedback(LayerId layer,
+                                                              const tensor::Tensor& grad) {
+  tensor::Tensor work = grad;
+  const auto it = residuals_.find(layer);
+  if (it != residuals_.end()) work.add_(it->second);
+
+  const auto payload = encode(work.data());
+  const auto estimate = decode(payload, static_cast<std::size_t>(work.numel()));
+  tensor::Tensor residual = work;
+  auto res = residual.data();
+  for (std::size_t i = 0; i < estimate.size(); ++i) res[i] -= estimate[i];
+  residuals_[layer] = std::move(residual);
+  return payload;
+}
+
+AggregateStats OneBitCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                           tensor::Tensor& grad) {
+  AggregateStats stats;
+  const auto n = static_cast<std::size_t>(grad.numel());
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const auto payload = encode_with_feedback(layer, grad);
+  stats.encode_seconds = encode_timer.seconds();
+
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  grad.fill(0.0F);
+  auto out = grad.data();
+  for (const auto& msg : gathered) {
+    const auto values = decode(msg, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] += values[i];
+  }
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor OneBitCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  const auto payload = encode_with_feedback(layer, grad);
+  return tensor::Tensor(grad.shape(),
+                        decode(payload, static_cast<std::size_t>(grad.numel())));
+}
+
+}  // namespace gradcomp::compress

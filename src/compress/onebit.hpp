@@ -1,0 +1,44 @@
+// 1-BIT SGD (Seide et al.), the earliest quantization method the paper's
+// background covers (Section 2.1).
+//
+// Each coordinate is quantized to one bit; the two reconstruction levels are
+// the means of the positive and negative partitions, so the quantizer is
+// exact on average within each partition. The quantization error is carried
+// to the next step (the original error-feedback scheme). Aggregation needs
+// an all-gather: per-rank reconstruction levels differ.
+#pragma once
+
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class OneBitCompressor final : public Compressor {
+ public:
+  OneBitCompressor() = default;
+
+  [[nodiscard]] std::string name() const override { return "onebit"; }
+  [[nodiscard]] Traits traits() const override {
+    return Traits{false, true, "quantization"};
+  }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  // Wire helpers: [pos_level:f32][neg_level:f32][sign bits].
+  [[nodiscard]] static std::vector<std::byte> encode(std::span<const float> values);
+  [[nodiscard]] static std::vector<float> decode(std::span<const std::byte> payload,
+                                                 std::size_t n);
+
+ private:
+  // Applies the residual, encodes, updates the residual, returns the payload.
+  [[nodiscard]] std::vector<std::byte> encode_with_feedback(LayerId layer,
+                                                            const tensor::Tensor& grad);
+
+  std::unordered_map<LayerId, tensor::Tensor> residuals_;
+};
+
+}  // namespace gradcomp::compress

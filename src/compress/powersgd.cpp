@@ -1,0 +1,119 @@
+#include "compress/powersgd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+PowerSgdCompressor::PowerSgdCompressor(int rank, bool warm_start, std::uint64_t seed)
+    : rank_(rank), warm_start_(warm_start), seed_(seed) {
+  if (rank < 1) throw std::invalid_argument("PowerSgdCompressor: rank must be >= 1");
+}
+
+std::string PowerSgdCompressor::name() const {
+  return "powersgd-r" + std::to_string(rank_);
+}
+
+int PowerSgdCompressor::effective_rank(std::int64_t m, std::int64_t n) const {
+  return static_cast<int>(std::min<std::int64_t>({rank_, m, n}));
+}
+
+std::size_t PowerSgdCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  // Matricized view of this shape.
+  const std::int64_t numel = tensor::shape_numel(shape);
+  if (numel == 0) return 0;
+  const std::int64_t m = shape.empty() ? numel : shape.front();
+  const std::int64_t n = m > 0 ? numel / m : 0;
+  if (m <= 1 || n <= 1) return static_cast<std::size_t>(numel) * sizeof(float);
+  const int r = effective_rank(m, n);
+  return static_cast<std::size_t>(m + n) * static_cast<std::size_t>(r) * sizeof(float);
+}
+
+PowerSgdCompressor::LayerState& PowerSgdCompressor::state_for(LayerId layer, std::int64_t m,
+                                                              std::int64_t n) {
+  auto& state = states_[layer];
+  if (!state.initialized) {
+    const int r = effective_rank(m, n);
+    // Same seed on every rank -> identical cold-start Q, a correctness
+    // requirement for the distributed power iteration.
+    tensor::Rng rng(seed_ ^ (static_cast<std::uint64_t>(layer) * 0x9E3779B97F4A7C15ULL));
+    state.q = tensor::Tensor::randn({n, r}, rng);
+    tensor::orthonormalize_columns(state.q);
+    state.residual = tensor::Tensor({m, n});
+    state.initialized = true;
+  }
+  return state;
+}
+
+AggregateStats PowerSgdCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                             tensor::Tensor& grad) {
+  AggregateStats stats;
+  const float inv_p = 1.0F / static_cast<float>(comm.world_size());
+
+  tensor::Tensor mat = grad.matricize();
+  const std::int64_t m = mat.dim(0);
+  const std::int64_t n = mat.dim(1);
+  if (m <= 1 || n <= 1) {
+    // 1-D parameter: not worth factoring; plain averaged all-reduce.
+    comm.allreduce_sum(rank, grad.data());
+    grad.scale(inv_p);
+    stats.bytes_sent = grad.byte_size();
+    return stats;
+  }
+
+  auto& state = state_for(layer, m, n);
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  // --- Encode (left factor): M = grad + residual, P = M Q.
+  stats::WallTimer encode_timer;
+  mat.add_(state.residual);
+  tensor::Tensor p_mat = tensor::matmul(mat, state.q);
+  stats.encode_seconds = encode_timer.seconds();
+
+  comm.allreduce_sum(rank, p_mat.data());
+  p_mat.scale(inv_p);
+
+  // --- Encode (right factor): orthonormalize P, Q = M^T P.
+  encode_timer.reset();
+  tensor::orthonormalize_columns(p_mat);
+  tensor::Tensor q_new = tensor::matmul(mat, p_mat, tensor::Transpose::kYes);
+  stats.encode_seconds += encode_timer.seconds();
+
+  comm.allreduce_sum(rank, q_new.data());
+  q_new.scale(inv_p);
+
+  // --- Decode: low-rank reconstruction + error-feedback update.
+  stats::WallTimer decode_timer;
+  tensor::Tensor decoded = tensor::matmul(p_mat, q_new, tensor::Transpose::kNo,
+                                          tensor::Transpose::kYes);
+  // residual = (grad + old residual) - decoded.
+  state.residual = tensor::sub(mat, decoded);
+  if (warm_start_) state.q = q_new;
+  grad = decoded.reshape(grad.shape());
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor PowerSgdCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  tensor::Tensor mat = grad.matricize();
+  const std::int64_t m = mat.dim(0);
+  const std::int64_t n = mat.dim(1);
+  if (m <= 1 || n <= 1) return grad;  // transmitted uncompressed
+
+  auto& state = state_for(layer, m, n);
+  mat.add_(state.residual);
+  tensor::Tensor p_mat = tensor::matmul(mat, state.q);
+  tensor::orthonormalize_columns(p_mat);
+  tensor::Tensor q_new = tensor::matmul(mat, p_mat, tensor::Transpose::kYes);
+  tensor::Tensor decoded = tensor::matmul(p_mat, q_new, tensor::Transpose::kNo,
+                                          tensor::Transpose::kYes);
+  state.residual = tensor::sub(mat, decoded);
+  if (warm_start_) state.q = q_new;
+  return decoded.reshape(grad.shape());
+}
+
+}  // namespace gradcomp::compress

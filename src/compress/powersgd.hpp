@@ -1,0 +1,57 @@
+// POWERSGD (Vogels et al.), the paper's representative low-rank method and
+// its best performer.
+//
+// Each 2-D (matricized) layer gradient M (m x n) is factored as P * Q^T with
+// rank r via one warm-started power iteration:
+//
+//   P = M Q;  all-reduce(P);  orthonormalize(P);  Q = M^T P;  all-reduce(Q)
+//
+// Both all-reduces carry tiny (m+n)*r payloads, and summation is associative
+// — PowerSGD is all-reduce compatible (Table 1), which is why it scales
+// where SignSGD and TopK do not. Error feedback (M += residual before
+// factoring, residual = M - P Q^T after) is integral to the method.
+// 1-D layers (biases, norms) are aggregated uncompressed, as in the
+// reference implementation.
+#pragma once
+
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class PowerSgdCompressor final : public Compressor {
+ public:
+  // rank >= 1; warm_start reuses last step's Q as the iteration's starting
+  // point (the paper's and reference implementation's default). seed makes
+  // the cold-start Q identical across ranks, which correctness requires.
+  explicit PowerSgdCompressor(int rank, bool warm_start = true, std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Traits traits() const override { return Traits{true, true, "low-rank"}; }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  [[nodiscard]] int target_rank() const noexcept { return rank_; }
+
+ private:
+  struct LayerState {
+    tensor::Tensor q;         // n x r warm start
+    tensor::Tensor residual;  // m x n error-feedback memory
+    bool initialized = false;
+  };
+
+  // Effective rank for an m x n matrix: min(r, m, n).
+  [[nodiscard]] int effective_rank(std::int64_t m, std::int64_t n) const;
+  LayerState& state_for(LayerId layer, std::int64_t m, std::int64_t n);
+
+  int rank_;
+  bool warm_start_;
+  std::uint64_t seed_;
+  std::unordered_map<LayerId, LayerState> states_;
+};
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,91 @@
+#include "compress/qsgd.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+
+namespace gradcomp::compress {
+
+QsgdCompressor::QsgdCompressor(int levels, std::uint64_t seed) : levels_(levels), rng_(seed) {
+  if (levels < 1 || levels > 127)
+    throw std::invalid_argument("QsgdCompressor: levels must be in [1, 127]");
+}
+
+std::size_t QsgdCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  return sizeof(float) + static_cast<std::size_t>(tensor::shape_numel(shape));
+}
+
+std::vector<std::byte> QsgdCompressor::encode(std::span<const float> values) {
+  double norm_sq = 0.0;
+  for (float v : values) norm_sq += static_cast<double>(v) * static_cast<double>(v);
+  const auto norm = static_cast<float>(std::sqrt(norm_sq));
+
+  std::vector<std::byte> out(sizeof(float) + values.size());
+  std::memcpy(out.data(), &norm, sizeof(norm));
+  auto* codes = reinterpret_cast<std::uint8_t*>(out.data() + sizeof(float));
+  const double s = levels_;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint8_t code = 0;
+    if (norm > 0.0F) {
+      const double ratio = std::abs(static_cast<double>(values[i])) / norm * s;
+      auto level = static_cast<std::uint32_t>(ratio);  // floor
+      // Stochastic rounding keeps the quantizer unbiased.
+      if (rng_.next_double() < ratio - static_cast<double>(level)) ++level;
+      if (level > 127U) level = 127U;
+      code = static_cast<std::uint8_t>(level);
+    }
+    if (values[i] < 0.0F) code |= 0x80U;
+    codes[i] = code;
+  }
+  return out;
+}
+
+std::vector<float> QsgdCompressor::decode(std::span<const std::byte> payload, std::size_t n,
+                                          int levels) {
+  if (payload.size() != sizeof(float) + n)
+    throw std::invalid_argument("QsgdCompressor::decode: payload size mismatch");
+  float norm = 0.0F;
+  std::memcpy(&norm, payload.data(), sizeof(norm));
+  const auto* codes = reinterpret_cast<const std::uint8_t*>(payload.data() + sizeof(float));
+  std::vector<float> out(n);
+  const auto s = static_cast<float>(levels);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float magnitude = norm * static_cast<float>(codes[i] & 0x7FU) / s;
+    out[i] = (codes[i] & 0x80U) != 0 ? -magnitude : magnitude;
+  }
+  return out;
+}
+
+AggregateStats QsgdCompressor::aggregate(LayerId /*layer*/, int rank, comm::ThreadComm& comm,
+                                         tensor::Tensor& grad) {
+  AggregateStats stats;
+  const auto n = static_cast<std::size_t>(grad.numel());
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const auto payload = encode(grad.data());
+  stats.encode_seconds = encode_timer.seconds();
+
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  grad.fill(0.0F);
+  auto out = grad.data();
+  for (const auto& msg : gathered) {
+    const auto values = decode(msg, n, levels_);
+    for (std::size_t i = 0; i < n; ++i) out[i] += values[i];
+  }
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor QsgdCompressor::roundtrip(LayerId /*layer*/, const tensor::Tensor& grad) {
+  const auto payload = encode(grad.data());
+  return tensor::Tensor(grad.shape(),
+                        decode(payload, static_cast<std::size_t>(grad.numel()), levels_));
+}
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,42 @@
+// QSGD (Alistarh et al.): stochastic uniform quantization with s levels.
+//
+// Each coordinate is quantized to sign * (l/s) * ||g||_2 where the level l
+// is stochastically rounded so the quantizer is unbiased. Listed in the
+// paper's Table 1 as NOT all-reduce compatible (different ranks' norms make
+// the compressed form non-summable), so aggregation uses all-gather.
+// Wire format: fp32 norm + one byte per coordinate (sign bit + 7-bit level,
+// so levels <= 127).
+#pragma once
+
+#include "compress/compressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+class QsgdCompressor final : public Compressor {
+ public:
+  explicit QsgdCompressor(int levels = 127, std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string name() const override {
+    return "qsgd-" + std::to_string(levels_);
+  }
+  [[nodiscard]] Traits traits() const override {
+    return Traits{false, true, "quantization"};
+  }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  // Wire helpers (exposed for tests).
+  [[nodiscard]] std::vector<std::byte> encode(std::span<const float> values);
+  [[nodiscard]] static std::vector<float> decode(std::span<const std::byte> payload,
+                                                 std::size_t n, int levels);
+
+ private:
+  int levels_;
+  tensor::Rng rng_;
+};
+
+}  // namespace gradcomp::compress

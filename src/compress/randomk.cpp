@@ -1,0 +1,89 @@
+#include "compress/randomk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+RandomKCompressor::RandomKCompressor(double fraction, std::uint64_t seed)
+    : fraction_(fraction), seed_(seed) {
+  if (!(fraction > 0.0) || fraction > 1.0)
+    throw std::invalid_argument("RandomKCompressor: fraction must be in (0, 1]");
+}
+
+std::string RandomKCompressor::name() const {
+  const int pct = static_cast<int>(std::lround(fraction_ * 100.0));
+  return "randomk-" + std::to_string(pct) + "%";
+}
+
+std::int64_t RandomKCompressor::k_for(std::int64_t numel) const {
+  if (numel == 0) return 0;
+  const auto k = static_cast<std::int64_t>(std::ceil(fraction_ * static_cast<double>(numel)));
+  return std::clamp<std::int64_t>(k, 1, numel);
+}
+
+std::size_t RandomKCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  // Only the k values travel; indices are derived from the shared seed.
+  return static_cast<std::size_t>(k_for(tensor::shape_numel(shape))) * sizeof(float);
+}
+
+std::vector<std::int64_t> RandomKCompressor::indices_for(LayerId layer, std::uint64_t round,
+                                                         std::int64_t n) const {
+  const std::int64_t k = k_for(n);
+  tensor::Rng rng(seed_ ^ (static_cast<std::uint64_t>(layer) * 0x9E3779B97F4A7C15ULL) ^
+                  (round * 0xBF58476D1CE4E5B9ULL));
+  // Partial Fisher-Yates: uniform k-subset without replacement.
+  std::vector<std::int64_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (std::int64_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::int64_t>(
+        rng.next_below(static_cast<std::uint64_t>(n - i))) + i;
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+AggregateStats RandomKCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                            tensor::Tensor& grad) {
+  AggregateStats stats;
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const std::uint64_t round = rounds_[layer]++;
+  const auto indices = indices_for(layer, round, grad.numel());
+  std::vector<float> values(indices.size());
+  auto data = grad.data();
+  for (std::size_t j = 0; j < indices.size(); ++j)
+    values[j] = data[static_cast<std::size_t>(indices[j])];
+  stats.encode_seconds = encode_timer.seconds();
+
+  // All ranks hold values for the SAME coordinates: associative sum.
+  comm.allreduce_sum(rank, values);
+
+  stats::WallTimer decode_timer;
+  const float inv_p = 1.0F / static_cast<float>(comm.world_size());
+  grad.fill(0.0F);
+  for (std::size_t j = 0; j < indices.size(); ++j)
+    data[static_cast<std::size_t>(indices[j])] = values[j] * inv_p;
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor RandomKCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  const std::uint64_t round = rounds_[layer]++;
+  const auto indices = indices_for(layer, round, grad.numel());
+  tensor::Tensor out(grad.shape());
+  auto src = grad.data();
+  auto dst = out.data();
+  for (auto i : indices) dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(i)];
+  return out;
+}
+
+}  // namespace gradcomp::compress

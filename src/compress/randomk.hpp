@@ -1,0 +1,43 @@
+// RANDOM-K sparsification (Wangni et al. variant).
+//
+// All ranks draw the SAME k random coordinates each round from a shared
+// seeded generator, so the compressed representation (the k values in index
+// order) is summable and the aggregation is a plain all-reduce — Table 1
+// classifies Random-k as all-reduce compatible but not layer-wise (it draws
+// one index set over the whole flat gradient). Indices never travel on the
+// wire; only k fp32 values do.
+#pragma once
+
+#include <unordered_map>
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+class RandomKCompressor final : public Compressor {
+ public:
+  explicit RandomKCompressor(double fraction, std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Traits traits() const override {
+    return Traits{true, false, "sparsification"};
+  }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  [[nodiscard]] std::int64_t k_for(std::int64_t numel) const;
+  // The shared index set for a given (layer, round, n). Deterministic in its
+  // arguments so every rank derives the same set without communicating.
+  [[nodiscard]] std::vector<std::int64_t> indices_for(LayerId layer, std::uint64_t round,
+                                                      std::int64_t n) const;
+
+ private:
+  double fraction_;
+  std::uint64_t seed_;
+  std::unordered_map<LayerId, std::uint64_t> rounds_;
+};
+
+}  // namespace gradcomp::compress

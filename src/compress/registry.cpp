@@ -1,0 +1,89 @@
+#include "compress/registry.hpp"
+
+#include <stdexcept>
+
+#include "compress/atomo.hpp"
+#include "compress/dgc.hpp"
+#include "compress/fp16.hpp"
+#include "compress/identity.hpp"
+#include "compress/natural.hpp"
+#include "compress/onebit.hpp"
+#include "compress/powersgd.hpp"
+#include "compress/qsgd.hpp"
+#include "compress/randomk.hpp"
+#include "compress/signsgd.hpp"
+#include "compress/terngrad.hpp"
+#include "compress/topk_compressor.hpp"
+
+namespace gradcomp::compress {
+
+std::vector<MethodInfo> table1_registry() {
+  return {
+      {"syncSGD", true, true, "none", true},
+      {"GradiVeq", true, true, "low-rank", false},
+      {"PowerSGD", true, true, "low-rank", true},
+      {"Random-k", true, false, "sparsification", true},
+      {"ATOMO", false, true, "low-rank", true},
+      {"SignSGD", false, true, "quantization", true},
+      {"TernGrad", false, true, "quantization", true},
+      {"QSGD", false, true, "quantization", true},
+      {"DGC", false, true, "sparsification", true},
+  };
+}
+
+std::vector<Method> all_methods() {
+  return {Method::kSyncSgd, Method::kFp16,     Method::kSignSgd, Method::kTopK,
+          Method::kRandomK, Method::kPowerSgd, Method::kQsgd,    Method::kTernGrad,
+          Method::kAtomo,   Method::kDgc,      Method::kOneBit,  Method::kNatural};
+}
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kSyncSgd: return "syncsgd";
+    case Method::kFp16: return "fp16";
+    case Method::kSignSgd: return "signsgd";
+    case Method::kTopK: return "topk";
+    case Method::kRandomK: return "randomk";
+    case Method::kPowerSgd: return "powersgd";
+    case Method::kQsgd: return "qsgd";
+    case Method::kTernGrad: return "terngrad";
+    case Method::kAtomo: return "atomo";
+    case Method::kDgc: return "dgc";
+    case Method::kOneBit: return "onebit";
+    case Method::kNatural: return "natural";
+  }
+  throw std::invalid_argument("method_name: unknown method");
+}
+
+std::unique_ptr<Compressor> make_compressor(const CompressorConfig& config) {
+  switch (config.method) {
+    case Method::kSyncSgd:
+      return std::make_unique<IdentityCompressor>();
+    case Method::kFp16:
+      return std::make_unique<Fp16Compressor>();
+    case Method::kSignSgd:
+      return std::make_unique<SignSgdCompressor>(config.error_feedback);
+    case Method::kTopK:
+      return std::make_unique<TopKCompressor>(config.fraction, config.error_feedback,
+                                              config.fp16_values);
+    case Method::kRandomK:
+      return std::make_unique<RandomKCompressor>(config.fraction, config.seed);
+    case Method::kPowerSgd:
+      return std::make_unique<PowerSgdCompressor>(config.rank, config.warm_start, config.seed);
+    case Method::kQsgd:
+      return std::make_unique<QsgdCompressor>(config.levels, config.seed);
+    case Method::kTernGrad:
+      return std::make_unique<TernGradCompressor>(config.seed);
+    case Method::kAtomo:
+      return std::make_unique<AtomoCompressor>(config.rank, /*power_iters=*/8, config.seed);
+    case Method::kDgc:
+      return std::make_unique<DgcCompressor>(config.fraction, config.momentum);
+    case Method::kOneBit:
+      return std::make_unique<OneBitCompressor>();
+    case Method::kNatural:
+      return std::make_unique<NaturalCompressor>(config.seed);
+  }
+  throw std::invalid_argument("make_compressor: unknown method");
+}
+
+}  // namespace gradcomp::compress

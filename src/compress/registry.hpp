@@ -1,0 +1,23 @@
+// Method registry: the classification the paper presents as Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+
+namespace gradcomp::compress {
+
+struct MethodInfo {
+  std::string name;        // as printed in Table 1
+  bool allreduce;          // aggregation operator is associative
+  bool layerwise;          // can compress per layer (enables overlap)
+  std::string family;
+  bool implemented;        // has a Compressor in this library
+};
+
+// The nine rows of the paper's Table 1, in paper order, annotated with
+// whether this library ships a working implementation.
+[[nodiscard]] std::vector<MethodInfo> table1_registry();
+
+}  // namespace gradcomp::compress

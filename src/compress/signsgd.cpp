@@ -1,0 +1,119 @@
+#include "compress/signsgd.hpp"
+
+#include <cstring>
+
+#include "stats/timer.hpp"
+
+namespace gradcomp::compress {
+
+namespace {
+
+// Local EF-signSGD estimate: (||x||_1 / n) * sign(x).
+tensor::Tensor scaled_sign(const tensor::Tensor& x) {
+  tensor::Tensor out = x;
+  const auto n = static_cast<double>(x.numel());
+  const float scale = n > 0 ? static_cast<float>(x.l1_norm() / n) : 0.0F;
+  for (auto& v : out.data()) v = v >= 0.0F ? scale : -scale;
+  return out;
+}
+
+}  // namespace
+
+std::size_t SignSgdCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  const auto n = static_cast<std::size_t>(tensor::shape_numel(shape));
+  return (n + 7) / 8 + (error_feedback_ ? sizeof(float) : 0);
+}
+
+std::vector<std::byte> SignSgdCompressor::pack_signs(std::span<const float> values) {
+  std::vector<std::byte> bits((values.size() + 7) / 8, std::byte{0});
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] >= 0.0F) bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+  return bits;
+}
+
+std::vector<float> SignSgdCompressor::unpack_signs(std::span<const std::byte> bits,
+                                                   std::size_t n) {
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive =
+        (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
+    out[i] = positive ? 1.0F : -1.0F;
+  }
+  return out;
+}
+
+tensor::Tensor SignSgdCompressor::with_residual(LayerId layer,
+                                                const tensor::Tensor& grad) const {
+  if (!error_feedback_) return grad;
+  const auto it = residuals_.find(layer);
+  if (it == residuals_.end()) return grad;
+  return tensor::add(grad, it->second);
+}
+
+void SignSgdCompressor::update_residual(LayerId layer, const tensor::Tensor& input,
+                                        const tensor::Tensor& estimate) {
+  residuals_[layer] = tensor::sub(input, estimate);
+}
+
+AggregateStats SignSgdCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                            tensor::Tensor& grad) {
+  AggregateStats stats;
+  const auto n = static_cast<std::size_t>(grad.numel());
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  tensor::Tensor work = with_residual(layer, grad);
+  std::vector<std::byte> payload = pack_signs(work.data());
+  float ef_scale = 0.0F;
+  if (error_feedback_) {
+    ef_scale = n > 0 ? static_cast<float>(work.l1_norm() / static_cast<double>(n)) : 0.0F;
+    const std::size_t bits_len = payload.size();
+    payload.resize(bits_len + sizeof(float));
+    std::memcpy(payload.data() + bits_len, &ef_scale, sizeof(float));
+    update_residual(layer, work, scaled_sign(work));
+  }
+  stats.encode_seconds = encode_timer.seconds();
+
+  // Not all-reduce compatible: every rank gathers every other rank's signs.
+  const auto gathered = comm.allgather(rank, payload);
+
+  // Decode cost grows linearly with p — each rank unpacks and combines p
+  // bit vectors (part of the paper's SignSGD slowdown at scale).
+  stats::WallTimer decode_timer;
+  std::vector<double> vote(n, 0.0);
+  if (error_feedback_) {
+    // Average of scaled signs.
+    for (const auto& msg : gathered) {
+      const std::size_t bits_len = (n + 7) / 8;
+      float scale = 0.0F;
+      std::memcpy(&scale, msg.data() + bits_len, sizeof(float));
+      const auto signs = unpack_signs({msg.data(), bits_len}, n);
+      for (std::size_t i = 0; i < n; ++i) vote[i] += static_cast<double>(scale) * signs[i];
+    }
+    const auto p = static_cast<double>(comm.world_size());
+    for (std::size_t i = 0; i < n; ++i)
+      grad.data()[i] = static_cast<float>(vote[i] / p);
+  } else {
+    // Majority vote: sign of the sum of signs; ties resolve to +1 (>= 0).
+    for (const auto& msg : gathered) {
+      const auto signs = unpack_signs(msg, n);
+      for (std::size_t i = 0; i < n; ++i) vote[i] += signs[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) grad.data()[i] = vote[i] >= 0.0 ? 1.0F : -1.0F;
+  }
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor SignSgdCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  tensor::Tensor work = with_residual(layer, grad);
+  tensor::Tensor estimate = error_feedback_ ? scaled_sign(work) : work;
+  if (!error_feedback_) {
+    for (auto& v : estimate.data()) v = v >= 0.0F ? 1.0F : -1.0F;
+  } else {
+    update_residual(layer, work, estimate);
+  }
+  return estimate;
+}
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,81 @@
+#include "compress/terngrad.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+
+namespace gradcomp::compress {
+
+std::size_t TernGradCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  const auto n = static_cast<std::size_t>(tensor::shape_numel(shape));
+  return sizeof(float) + (n + 3) / 4;  // 2 bits per coordinate
+}
+
+std::vector<std::byte> TernGradCompressor::encode(std::span<const float> values) {
+  float scale = 0.0F;
+  for (float v : values) scale = std::max(scale, std::abs(v));
+
+  std::vector<std::byte> out(sizeof(float) + (values.size() + 3) / 4, std::byte{0});
+  std::memcpy(out.data(), &scale, sizeof(scale));
+  auto* codes = reinterpret_cast<std::uint8_t*>(out.data() + sizeof(float));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::uint8_t code = 0;  // zero
+    if (scale > 0.0F) {
+      const double keep_prob = std::abs(static_cast<double>(values[i])) / scale;
+      if (rng_.next_double() < keep_prob) code = values[i] >= 0.0F ? 1 : 2;
+    }
+    codes[i / 4] |= static_cast<std::uint8_t>(code << (2 * (i % 4)));
+  }
+  return out;
+}
+
+std::vector<float> TernGradCompressor::decode(std::span<const std::byte> payload,
+                                              std::size_t n) {
+  if (payload.size() != sizeof(float) + (n + 3) / 4)
+    throw std::invalid_argument("TernGradCompressor::decode: payload size mismatch");
+  float scale = 0.0F;
+  std::memcpy(&scale, payload.data(), sizeof(scale));
+  const auto* codes = reinterpret_cast<const std::uint8_t*>(payload.data() + sizeof(float));
+  std::vector<float> out(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t code = (codes[i / 4] >> (2 * (i % 4))) & 0x3U;
+    if (code == 1)
+      out[i] = scale;
+    else if (code == 2)
+      out[i] = -scale;
+  }
+  return out;
+}
+
+AggregateStats TernGradCompressor::aggregate(LayerId /*layer*/, int rank,
+                                             comm::ThreadComm& comm, tensor::Tensor& grad) {
+  AggregateStats stats;
+  const auto n = static_cast<std::size_t>(grad.numel());
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  const auto payload = encode(grad.data());
+  stats.encode_seconds = encode_timer.seconds();
+
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  grad.fill(0.0F);
+  auto out = grad.data();
+  for (const auto& msg : gathered) {
+    const auto values = decode(msg, n);
+    for (std::size_t i = 0; i < n; ++i) out[i] += values[i];
+  }
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor TernGradCompressor::roundtrip(LayerId /*layer*/, const tensor::Tensor& grad) {
+  const auto payload = encode(grad.data());
+  return tensor::Tensor(grad.shape(), decode(payload, static_cast<std::size_t>(grad.numel())));
+}
+
+}  // namespace gradcomp::compress

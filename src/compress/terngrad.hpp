@@ -1,0 +1,37 @@
+// TERNGRAD (Wen et al.): stochastic ternarization to {-1, 0, +1} * s_max.
+//
+// s_max = max_i |g_i|; coordinate i becomes sign(g_i) * s_max with
+// probability |g_i| / s_max, else 0 — an unbiased estimator. Two bits per
+// coordinate on the wire plus the fp32 scale. Table 1 classifies TernGrad
+// as NOT all-reduce compatible (per-rank scales), so it all-gathers.
+#pragma once
+
+#include "compress/compressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+
+class TernGradCompressor final : public Compressor {
+ public:
+  explicit TernGradCompressor(std::uint64_t seed = 42) : rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "terngrad"; }
+  [[nodiscard]] Traits traits() const override {
+    return Traits{false, true, "quantization"};
+  }
+  [[nodiscard]] std::size_t compressed_bytes(const tensor::Shape& shape) const override;
+
+  AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                           tensor::Tensor& grad) override;
+  [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+
+  // Wire helpers: [scale:f32][2-bit codes: 0 -> 0, 1 -> +1, 2 -> -1].
+  [[nodiscard]] std::vector<std::byte> encode(std::span<const float> values);
+  [[nodiscard]] static std::vector<float> decode(std::span<const std::byte> payload,
+                                                 std::size_t n);
+
+ private:
+  tensor::Rng rng_;
+};
+
+}  // namespace gradcomp::compress

@@ -1,0 +1,182 @@
+#include "compress/topk_compressor.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "stats/timer.hpp"
+#include "tensor/half.hpp"
+
+namespace gradcomp::compress {
+
+TopKCompressor::TopKCompressor(double fraction, bool error_feedback, bool fp16_values)
+    : fraction_(fraction), error_feedback_(error_feedback), fp16_values_(fp16_values) {
+  if (!(fraction > 0.0) || fraction > 1.0)
+    throw std::invalid_argument("TopKCompressor: fraction must be in (0, 1]");
+}
+
+std::string TopKCompressor::name() const {
+  const int pct = static_cast<int>(std::lround(fraction_ * 100.0));
+  std::string base = "topk-" + std::to_string(pct) + "%";
+  if (fp16_values_) base += "-fp16";
+  return error_feedback_ ? "ef-" + base : base;
+}
+
+std::int64_t TopKCompressor::k_for(std::int64_t numel) const {
+  if (numel == 0) return 0;
+  const auto k = static_cast<std::int64_t>(std::ceil(fraction_ * static_cast<double>(numel)));
+  return std::clamp<std::int64_t>(k, 1, numel);
+}
+
+std::size_t TopKCompressor::compressed_bytes(const tensor::Shape& shape) const {
+  const std::int64_t k = k_for(tensor::shape_numel(shape));
+  // int32 index + fp32 (or fp16) value per kept coordinate, plus the header.
+  const std::size_t value_bytes = fp16_values_ ? sizeof(std::uint16_t) : sizeof(float);
+  return sizeof(std::int64_t) +
+         static_cast<std::size_t>(k) * (sizeof(std::int32_t) + value_bytes);
+}
+
+std::vector<std::byte> TopKCompressor::serialize(const tensor::TopKResult& sparse) {
+  const auto k = static_cast<std::int64_t>(sparse.indices.size());
+  std::vector<std::byte> out(sizeof(std::int64_t) +
+                             static_cast<std::size_t>(k) * (sizeof(std::int32_t) + sizeof(float)));
+  std::byte* p = out.data();
+  std::memcpy(p, &k, sizeof(k));
+  p += sizeof(k);
+  for (auto idx : sparse.indices) {
+    const auto idx32 = static_cast<std::int32_t>(idx);
+    std::memcpy(p, &idx32, sizeof(idx32));
+    p += sizeof(idx32);
+  }
+  std::memcpy(p, sparse.values.data(), sparse.values.size() * sizeof(float));
+  return out;
+}
+
+tensor::TopKResult TopKCompressor::deserialize(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(std::int64_t))
+    throw std::invalid_argument("TopKCompressor::deserialize: truncated payload");
+  std::int64_t k = 0;
+  std::memcpy(&k, bytes.data(), sizeof(k));
+  const std::size_t expected =
+      sizeof(std::int64_t) + static_cast<std::size_t>(k) * (sizeof(std::int32_t) + sizeof(float));
+  if (k < 0 || bytes.size() != expected)
+    throw std::invalid_argument("TopKCompressor::deserialize: corrupt payload");
+  tensor::TopKResult sparse;
+  sparse.indices.resize(static_cast<std::size_t>(k));
+  sparse.values.resize(static_cast<std::size_t>(k));
+  const std::byte* p = bytes.data() + sizeof(k);
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    std::int32_t idx32 = 0;
+    std::memcpy(&idx32, p, sizeof(idx32));
+    p += sizeof(idx32);
+    sparse.indices[i] = idx32;
+  }
+  std::memcpy(sparse.values.data(), p, sparse.values.size() * sizeof(float));
+  return sparse;
+}
+
+std::vector<std::byte> TopKCompressor::serialize_half(const tensor::TopKResult& sparse) {
+  const auto k = static_cast<std::int64_t>(sparse.indices.size());
+  std::vector<std::byte> out(sizeof(std::int64_t) + static_cast<std::size_t>(k) *
+                                                        (sizeof(std::int32_t) +
+                                                         sizeof(std::uint16_t)));
+  std::byte* p = out.data();
+  std::memcpy(p, &k, sizeof(k));
+  p += sizeof(k);
+  for (auto idx : sparse.indices) {
+    const auto idx32 = static_cast<std::int32_t>(idx);
+    std::memcpy(p, &idx32, sizeof(idx32));
+    p += sizeof(idx32);
+  }
+  const auto halves = tensor::to_half(sparse.values);
+  std::memcpy(p, halves.data(), halves.size() * sizeof(std::uint16_t));
+  return out;
+}
+
+tensor::TopKResult TopKCompressor::deserialize_half(std::span<const std::byte> bytes) {
+  if (bytes.size() < sizeof(std::int64_t))
+    throw std::invalid_argument("TopKCompressor::deserialize_half: truncated payload");
+  std::int64_t k = 0;
+  std::memcpy(&k, bytes.data(), sizeof(k));
+  const std::size_t expected =
+      sizeof(std::int64_t) +
+      static_cast<std::size_t>(k) * (sizeof(std::int32_t) + sizeof(std::uint16_t));
+  if (k < 0 || bytes.size() != expected)
+    throw std::invalid_argument("TopKCompressor::deserialize_half: corrupt payload");
+  tensor::TopKResult sparse;
+  sparse.indices.resize(static_cast<std::size_t>(k));
+  sparse.values.resize(static_cast<std::size_t>(k));
+  const std::byte* p = bytes.data() + sizeof(k);
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    std::int32_t idx32 = 0;
+    std::memcpy(&idx32, p, sizeof(idx32));
+    p += sizeof(idx32);
+    sparse.indices[i] = idx32;
+  }
+  std::vector<std::uint16_t> halves(static_cast<std::size_t>(k));
+  std::memcpy(halves.data(), p, halves.size() * sizeof(std::uint16_t));
+  tensor::from_half(halves, sparse.values);
+  return sparse;
+}
+
+std::vector<std::byte> TopKCompressor::encode(const tensor::TopKResult& sparse) const {
+  return fp16_values_ ? serialize_half(sparse) : serialize(sparse);
+}
+
+tensor::TopKResult TopKCompressor::decode(std::span<const std::byte> bytes) const {
+  return fp16_values_ ? deserialize_half(bytes) : deserialize(bytes);
+}
+
+tensor::Tensor TopKCompressor::with_residual(LayerId layer, const tensor::Tensor& grad) const {
+  if (!error_feedback_) return grad;
+  const auto it = residuals_.find(layer);
+  if (it == residuals_.end()) return grad;
+  return tensor::add(grad, it->second);
+}
+
+AggregateStats TopKCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
+                                         tensor::Tensor& grad) {
+  AggregateStats stats;
+  const std::int64_t n = grad.numel();
+  stats.bytes_sent = compressed_bytes(grad.shape());
+
+  stats::WallTimer encode_timer;
+  tensor::Tensor work = with_residual(layer, grad);
+  const auto sparse = tensor::top_k_abs(work.data(), k_for(n));
+  const auto payload = encode(sparse);
+  if (error_feedback_) {
+    // Residual = what the selection (and, in fp16 mode, the value
+    // quantization) dropped: measured against the decoded estimate.
+    tensor::Tensor kept(grad.shape(), tensor::scatter(decode(payload), n));
+    residuals_[layer] = tensor::sub(work, kept);
+  }
+  stats.encode_seconds = encode_timer.seconds();
+
+  // Not all-reduce compatible: gather everyone's sparse payload. Memory and
+  // decode work grow linearly with p (the paper's BERT runs OOM past 32
+  // GPUs for exactly this reason).
+  const auto gathered = comm.allgather(rank, payload);
+
+  stats::WallTimer decode_timer;
+  grad.fill(0.0F);
+  auto out = grad.data();
+  for (const auto& msg : gathered) {
+    const auto remote = decode(msg);
+    for (std::size_t j = 0; j < remote.indices.size(); ++j)
+      out[static_cast<std::size_t>(remote.indices[j])] += remote.values[j];
+  }
+  grad.scale(1.0F / static_cast<float>(comm.world_size()));
+  stats.decode_seconds = decode_timer.seconds();
+  return stats;
+}
+
+tensor::Tensor TopKCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
+  tensor::Tensor work = with_residual(layer, grad);
+  const auto sparse = tensor::top_k_abs(work.data(), k_for(grad.numel()));
+  tensor::Tensor kept(grad.shape(),
+                      tensor::scatter(decode(encode(sparse)), grad.numel()));
+  if (error_feedback_) residuals_[layer] = tensor::sub(work, kept);
+  return kept;
+}
+
+}  // namespace gradcomp::compress

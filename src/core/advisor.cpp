@@ -1,0 +1,90 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gradcomp::core {
+
+std::optional<CandidateResult> Recommendation::best() const {
+  if (ranked.empty() || !ranked.front().helps()) return std::nullopt;
+  return ranked.front();
+}
+
+std::string Recommendation::summary() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << "syncSGD runs " << sync.total_s * 1e3 << " ms/iteration, "
+     << (sync.total_s / ideal_s - 1.0) * 100.0 << "% above perfect scaling; "
+     << required_compression << "x compression would suffice for linear speedup. ";
+  const auto winner = best();
+  if (!winner) {
+    os << "No candidate beats the optimized syncSGD baseline on this cluster: "
+          "stay with syncSGD (the paper's data-center verdict).";
+  } else {
+    os << "Recommended: " << winner->candidate.label << " at "
+       << winner->breakdown.total_s * 1e3 << " ms/iteration ("
+       << (winner->speedup - 1.0) * 100.0 << "% faster); it stops paying off above "
+       << winner_crossover_gbps << " Gbps.";
+  }
+  return os.str();
+}
+
+std::vector<Candidate> default_candidates() {
+  const auto make = [](const char* label, compress::Method method, double fraction = 0.01,
+                       int rank = 4) {
+    Candidate c;
+    c.label = label;
+    c.config.method = method;
+    c.config.fraction = fraction;
+    c.config.rank = rank;
+    return c;
+  };
+  return {
+      make("FP16", compress::Method::kFp16),
+      make("PowerSGD rank-4", compress::Method::kPowerSgd, 0.01, 4),
+      make("PowerSGD rank-8", compress::Method::kPowerSgd, 0.01, 8),
+      make("TopK 1%", compress::Method::kTopK, 0.01),
+      make("DGC 0.1%", compress::Method::kDgc, 0.001),
+      make("SignSGD", compress::Method::kSignSgd),
+      make("Natural compression", compress::Method::kNatural),
+  };
+  // Random-K is deliberately absent: with near-zero encode cost a timing-only
+  // comparison would always favor it, but at fractions small enough to matter
+  // its accuracy loss is severe — the caveat the paper flags when it calls
+  // its own per-iteration analysis "generous" to compression (Section 1).
+  // Pass a custom panel to evaluate it anyway.
+}
+
+Recommendation advise(const Workload& workload, const Cluster& cluster,
+                      std::vector<Candidate> candidates) {
+  if (candidates.empty()) candidates = default_candidates();
+
+  const PerfModel model;
+  Recommendation rec;
+  rec.sync = model.syncsgd(workload, cluster);
+  rec.ideal_s = model.ideal_seconds(workload, cluster);
+  rec.required_compression = model.required_compression_ratio(workload, cluster);
+
+  rec.ranked.reserve(candidates.size());
+  for (auto& candidate : candidates) {
+    CandidateResult result;
+    result.breakdown = model.compressed(candidate.config, workload, cluster);
+    result.speedup =
+        result.breakdown.total_s > 0 ? rec.sync.total_s / result.breakdown.total_s : 0.0;
+    result.candidate = std::move(candidate);
+    rec.ranked.push_back(std::move(result));
+  }
+  std::sort(rec.ranked.begin(), rec.ranked.end(),
+            [](const CandidateResult& a, const CandidateResult& b) {
+              return a.breakdown.total_s < b.breakdown.total_s;
+            });
+
+  if (const auto winner = rec.best()) {
+    const WhatIf whatif;
+    rec.winner_crossover_gbps =
+        whatif.crossover_bandwidth_gbps(winner->candidate.config, workload, cluster);
+  }
+  return rec;
+}
+
+}  // namespace gradcomp::core

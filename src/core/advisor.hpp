@@ -1,0 +1,52 @@
+// Advisor: the paper's Section 7 proposal packaged as an API — given a
+// cluster and a workload, evaluate a panel of compression candidates with
+// the performance model and recommend a strategy (or syncSGD).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "core/whatif.hpp"
+
+namespace gradcomp::core {
+
+struct Candidate {
+  std::string label;
+  compress::CompressorConfig config;
+};
+
+struct CandidateResult {
+  Candidate candidate;
+  IterationBreakdown breakdown;
+  double speedup = 0.0;  // syncSGD time / candidate time; > 1 means faster
+
+  [[nodiscard]] bool helps() const { return speedup > 1.0; }
+};
+
+struct Recommendation {
+  IterationBreakdown sync;
+  double ideal_s = 0.0;                  // perfect-scaling floor
+  double required_compression = 0.0;     // Figure 9 solver output
+  std::vector<CandidateResult> ranked;   // fastest first
+
+  // The winning candidate, or nullopt when syncSGD beats everything (the
+  // paper's typical data-center verdict).
+  [[nodiscard]] std::optional<CandidateResult> best() const;
+  // Bandwidth above which the winner stops helping (only meaningful when
+  // best() is set).
+  double winner_crossover_gbps = 0.0;
+  // One-paragraph human-readable verdict.
+  [[nodiscard]] std::string summary() const;
+};
+
+// The default evaluation panel (the methods the paper studies plus the
+// cheap-quantizer extensions).
+[[nodiscard]] std::vector<Candidate> default_candidates();
+
+// Evaluates candidates (default panel if empty) and ranks them.
+[[nodiscard]] Recommendation advise(const Workload& workload, const Cluster& cluster,
+                                    std::vector<Candidate> candidates = {});
+
+}  // namespace gradcomp::core

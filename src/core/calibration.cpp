@@ -1,0 +1,238 @@
+#include "core/calibration.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace gradcomp::core {
+
+namespace {
+
+// --- Published anchors (V100, ResNet-50, 4 workers; paper Table 2) --------
+
+constexpr double kPowerSgdR4Ms = 45.0;
+constexpr double kPowerSgdR8Ms = 64.0;
+constexpr double kPowerSgdR16Ms = 130.0;
+constexpr double kTopk20Ms = 295.0;
+constexpr double kTopk10Ms = 289.0;
+constexpr double kTopk1Ms = 240.0;
+constexpr double kSignSgdMs = 16.34;
+
+// SignSGD's 16.34 ms at p=4 splits into a sign-pack pass over the gradient
+// and an unpack-and-vote pass over p gathered vectors (decode grows with p).
+constexpr double kSignEncodeShare = 0.5;
+
+// Single-pass conversion throughputs (V100 seconds per byte).
+constexpr double kFp16PerByte = 5.0e-11;      // ~20 GB/s each direction
+constexpr double kQsgdPerByte = 1.5e-10;      // stochastic rounding pass
+constexpr double kTernGradPerByte = 1.5e-10;
+// Per-value scatter cost for sparse decodes (TopK).
+constexpr double kScatterPerValue = 1.0e-9;
+// ATOMO runs `power_iters` subspace iterations; PowerSGD runs one.
+constexpr int kAtomoPowerIters = 8;
+
+// Solves the 3x3 linear system A x = b by Gaussian elimination with partial
+// pivoting. Throws if the system is singular.
+std::array<double, 3> solve3(std::array<std::array<double, 3>, 3> a, std::array<double, 3> b) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 3; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    if (std::abs(a[pivot][col]) < 1e-30)
+      throw std::runtime_error("calibration: singular PowerSGD system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int row = col + 1; row < 3; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (int k = col; k < 3; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  std::array<double, 3> x{};
+  for (int row = 2; row >= 0; --row) {
+    double s = b[row];
+    for (int k = row + 1; k < 3; ++k) s -= a[row][k] * x[k];
+    x[row] = s / a[row][row];
+  }
+  return x;
+}
+
+// Piecewise-linear TopK encode ms on ResNet-50 as a function of fraction,
+// through the three published points; clamped outside [1%, 20%].
+double topk_resnet50_ms(double fraction) {
+  struct Point {
+    double frac;
+    double ms;
+  };
+  constexpr std::array<Point, 3> points{{{0.01, kTopk1Ms}, {0.10, kTopk10Ms}, {0.20, kTopk20Ms}}};
+  if (fraction <= points.front().frac) return points.front().ms;
+  if (fraction >= points.back().frac) return points.back().ms;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    if (fraction <= points[i + 1].frac) {
+      const double t = (fraction - points[i].frac) / (points[i + 1].frac - points[i].frac);
+      return points[i].ms * (1.0 - t) + points[i + 1].ms * t;
+    }
+  }
+  return points.back().ms;
+}
+
+}  // namespace
+
+std::vector<Table2Anchor> table2_anchors() {
+  return {
+      {"PowerSGD", "Rank-4", kPowerSgdR4Ms},   {"PowerSGD", "Rank-8", kPowerSgdR8Ms},
+      {"PowerSGD", "Rank-16", kPowerSgdR16Ms}, {"Top-K", "20%", kTopk20Ms},
+      {"Top-K", "10%", kTopk10Ms},             {"Top-K", "1%", kTopk1Ms},
+      {"SignSGD", "", kSignSgdMs},
+  };
+}
+
+int EncodeCostModel::matrix_layer_count(const models::ModelProfile& model) {
+  int count = 0;
+  for (const auto& layer : model.layers)
+    if (layer.is_matrix()) ++count;
+  return count;
+}
+
+double EncodeCostModel::powersgd_gemm_flops(const models::ModelProfile& model, int rank) {
+  // Three rank-r GEMMs per layer and step: P = M Q, Q = M^T P, and the
+  // reconstruction P Q^T — each 2*m*n*r flops.
+  double flops = 0.0;
+  for (const auto& layer : model.layers) {
+    if (!layer.is_matrix()) continue;
+    const auto m = static_cast<double>(layer.matrix_rows());
+    const auto n = static_cast<double>(layer.matrix_cols());
+    const double r = std::min<double>(rank, std::min(m, n));
+    flops += 6.0 * m * n * r;
+  }
+  return flops;
+}
+
+double EncodeCostModel::powersgd_orth_flops(const models::ModelProfile& model, int rank) {
+  // Gram-Schmidt on the m x r factor: ~2*m*r^2 flops per layer.
+  double flops = 0.0;
+  for (const auto& layer : model.layers) {
+    if (!layer.is_matrix()) continue;
+    const auto m = static_cast<double>(layer.matrix_rows());
+    const auto n = static_cast<double>(layer.matrix_cols());
+    const double r = std::min<double>(rank, std::min(m, n));
+    flops += 2.0 * m * r * r;
+  }
+  return flops;
+}
+
+EncodeCostModel::EncodeCostModel() {
+  // Solve (k_fix, k_gemm, k_orth) exactly from the three ResNet-50 anchors.
+  const models::ModelProfile r50 = models::resnet50();
+  const auto layers = static_cast<double>(matrix_layer_count(r50));
+  const std::array<int, 3> ranks{4, 8, 16};
+  const std::array<double, 3> anchors_s{kPowerSgdR4Ms / 1e3, kPowerSgdR8Ms / 1e3,
+                                        kPowerSgdR16Ms / 1e3};
+  std::array<std::array<double, 3>, 3> a{};
+  for (int i = 0; i < 3; ++i)
+    a[static_cast<std::size_t>(i)] = {layers, powersgd_gemm_flops(r50, ranks[static_cast<std::size_t>(i)]),
+                                      powersgd_orth_flops(r50, ranks[static_cast<std::size_t>(i)])};
+  const auto x = solve3(a, anchors_s);
+  k_fix_ = x[0];
+  k_gemm_ = x[1];
+  k_orth_ = x[2];
+}
+
+EncodeDecodeEstimate EncodeCostModel::estimate(const compress::CompressorConfig& config,
+                                               const models::ModelProfile& model,
+                                               const models::Device& device,
+                                               int world_size) const {
+  if (world_size < 1)
+    throw std::invalid_argument("EncodeCostModel: world_size must be >= 1");
+  const auto bytes = static_cast<double>(model.total_bytes());
+  const double r50_bytes = static_cast<double>(models::resnet50().total_bytes());
+  const auto p = static_cast<double>(world_size);
+
+  EncodeDecodeEstimate est;
+  switch (config.method) {
+    case compress::Method::kSyncSgd:
+      break;
+    case compress::Method::kFp16:
+      est.encode_s = bytes * kFp16PerByte;
+      est.decode_s = bytes * kFp16PerByte;
+      break;
+    case compress::Method::kSignSgd: {
+      // Anchor: encode share at p=4 on ResNet-50.
+      const double anchor_s = kSignSgdMs / 1e3;
+      const double encode_per_byte = anchor_s * kSignEncodeShare / r50_bytes;
+      const double decode_per_byte_rank = anchor_s * (1.0 - kSignEncodeShare) / (r50_bytes * 4.0);
+      est.encode_s = bytes * encode_per_byte;
+      est.decode_s = bytes * decode_per_byte_rank * p;  // unpack + vote over p vectors
+      break;
+    }
+    case compress::Method::kTopK: {
+      est.encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes);
+      const double kept_values = config.fraction * static_cast<double>(model.total_params());
+      est.decode_s = kept_values * p * kScatterPerValue;
+      break;
+    }
+    case compress::Method::kDgc: {
+      // Top-K selection plus two accumulator passes (momentum correction and
+      // gradient accumulation) over the full gradient.
+      est.encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes) +
+                     2.0 * bytes * kFp16PerByte;
+      const double kept_values = config.fraction * static_cast<double>(model.total_params());
+      est.decode_s = kept_values * p * kScatterPerValue;
+      break;
+    }
+    case compress::Method::kOneBit: {
+      // Two passes (level computation + packing) vs SignSGD's one; same
+      // p-proportional unpack on decode.
+      const double anchor_s = kSignSgdMs / 1e3;
+      const double encode_per_byte = anchor_s * kSignEncodeShare / r50_bytes;
+      const double decode_per_byte_rank = anchor_s * (1.0 - kSignEncodeShare) / (r50_bytes * 4.0);
+      est.encode_s = 2.0 * bytes * encode_per_byte;
+      est.decode_s = bytes * decode_per_byte_rank * p;
+      break;
+    }
+    case compress::Method::kNatural: {
+      // Single exponent-rounding pass; cheapest quantizer in the library.
+      est.encode_s = bytes * kFp16PerByte;
+      est.decode_s = bytes * kFp16PerByte * p;
+      break;
+    }
+    case compress::Method::kRandomK: {
+      // No selection pass: gather k values (index set derived from seed).
+      const double kept_values = config.fraction * static_cast<double>(model.total_params());
+      est.encode_s = kept_values * kScatterPerValue;
+      est.decode_s = kept_values * kScatterPerValue;
+      break;
+    }
+    case compress::Method::kPowerSgd: {
+      const double total_s =
+          k_fix_ * matrix_layer_count(model) + k_gemm_ * powersgd_gemm_flops(model, config.rank) +
+          k_orth_ * powersgd_orth_flops(model, config.rank);
+      // 2 of 3 GEMMs + orth are encode-side; the reconstruction is decode.
+      est.encode_s = total_s * (2.0 / 3.0);
+      est.decode_s = total_s * (1.0 / 3.0);
+      break;
+    }
+    case compress::Method::kAtomo: {
+      const double gemm_per_iter = powersgd_gemm_flops(model, config.rank) * (4.0 / 6.0);
+      est.encode_s = k_fix_ * matrix_layer_count(model) +
+                     k_gemm_ * gemm_per_iter * kAtomoPowerIters +
+                     k_orth_ * powersgd_orth_flops(model, config.rank) * kAtomoPowerIters;
+      // Reconstruction of p gathered factor pairs.
+      est.decode_s = k_gemm_ * powersgd_gemm_flops(model, config.rank) * (2.0 / 6.0) * p;
+      break;
+    }
+    case compress::Method::kQsgd:
+      est.encode_s = bytes * kQsgdPerByte;
+      est.decode_s = bytes * kQsgdPerByte * p;  // all-gather decode
+      break;
+    case compress::Method::kTernGrad:
+      est.encode_s = bytes * kTernGradPerByte;
+      est.decode_s = bytes * kTernGradPerByte * p;
+      break;
+  }
+  est.encode_s = device.scaled(est.encode_s);
+  est.decode_s = device.scaled(est.decode_s);
+  return est;
+}
+
+}  // namespace gradcomp::core

@@ -1,0 +1,134 @@
+// The paper's performance model (Section 4) — the primary contribution.
+//
+// Synchronous SGD (PyTorch-DDP-style, Section 4.1):
+//
+//   T_obs ~= max(gamma*T_comp, sum_{i<k-1} T_ring(b_i, p, BW)) + T_ring(b_hat, p, BW)
+//
+// where b_0..b_{k-2} are the overlappable gradient buckets, b_hat is the
+// final bucket that can only be communicated after the backward pass
+// finishes, and gamma >= 1 is the measured slowdown of the backward pass
+// when communication runs concurrently.
+//
+// Compressed methods (Section 4.2) run encode -> collective -> decode
+// SEQUENTIALLY after the backward pass, per the Section 3.1 finding that
+// overlapping compression with computation slows both down:
+//
+//   PowerSGD: T_comp + T_encdec + T_ring(P) + T_ring(Q)       (+1-D layers)
+//   TopK:     T_comp + T_encdec + T_gather(values) + T_gather(indices)
+//   SignSGD:  T_comp + T_encdec + T_gather(g/32)
+//
+// FP16 keeps DDP's bucketed overlap (it is layer-wise, all-reducible, and
+// its conversion is cheap enough to fold into the stream), with every
+// bucket halved.
+#pragma once
+
+#include "comm/cost_model.hpp"
+#include "compress/compressor.hpp"
+#include "core/calibration.hpp"
+#include "models/bucketing.hpp"
+#include "models/device.hpp"
+#include "models/model_profile.hpp"
+
+namespace gradcomp::core {
+
+struct Cluster {
+  int world_size = 4;
+  comm::Network network;
+  models::Device device;
+};
+
+struct Workload {
+  models::ModelProfile model;
+  int batch_size = 64;  // per worker (weak scaling)
+  std::int64_t bucket_bytes = models::kDefaultBucketBytes;
+};
+
+// Per-iteration time decomposition (backward + aggregation; forward pass is
+// out of scope, matching the paper's measurements).
+struct IterationBreakdown {
+  double total_s = 0.0;
+  double compute_s = 0.0;       // backward pass (gamma-scaled when overlapped)
+  double encode_s = 0.0;
+  double decode_s = 0.0;
+  double comm_s = 0.0;          // total collective wall time
+  double exposed_comm_s = 0.0;  // collective time NOT hidden behind compute
+
+  [[nodiscard]] double encode_decode_s() const { return encode_s + decode_s; }
+};
+
+// Hypothetical knobs for the Figure 13 trade-off study: scale the
+// encode/decode time by 1/k while the transmitted bytes grow by l*k.
+struct Adjust {
+  double encode_decode_scale = 1.0;
+  double bytes_scale = 1.0;
+};
+
+class PerfModel {
+ public:
+  PerfModel() = default;
+
+  // --- Iteration models ----------------------------------------------------
+
+  [[nodiscard]] IterationBreakdown syncsgd(const Workload& workload,
+                                           const Cluster& cluster) const;
+
+  // Dispatches on config.method; Adjust supports the what-if sweeps.
+  [[nodiscard]] IterationBreakdown compressed(const compress::CompressorConfig& config,
+                                              const Workload& workload, const Cluster& cluster,
+                                              const Adjust& adjust = {}) const;
+
+  // Per-iteration time under perfect scaling: the backward pass alone.
+  [[nodiscard]] double ideal_seconds(const Workload& workload, const Cluster& cluster) const;
+
+  // Gradient accumulation (Section 2's "minimize the frequency of
+  // communication"): run `accumulation_steps` backward passes locally and
+  // synchronize once. Returns the amortized time per minibatch — the other
+  // lever (besides compression) for hiding communication.
+  [[nodiscard]] double syncsgd_accumulated_seconds_per_minibatch(const Workload& workload,
+                                                                 const Cluster& cluster,
+                                                                 int accumulation_steps) const;
+
+  // Finding 2's second mechanism: "when training for a fixed number of
+  // epochs, larger batches lead to less frequent communication per epoch."
+  // Time for one epoch over `dataset_size` samples under weak scaling:
+  // ceil(N / (batch * p)) iterations of the given method.
+  [[nodiscard]] double epoch_seconds(const compress::CompressorConfig& config,
+                                     const Workload& workload, const Cluster& cluster,
+                                     std::int64_t dataset_size) const;
+
+  // --- Section 5 analyses --------------------------------------------------
+
+  // Gap between the observed syncSGD time and perfect scaling (Figure 10).
+  [[nodiscard]] double ideal_gap_seconds(const Workload& workload, const Cluster& cluster) const;
+
+  // Minimum compression ratio (original/compressed bytes) for which a fully
+  // overlapped, all-reduced gradient hides behind the backward pass, i.e.
+  // T_comp = T_ring(g_hat) (Figure 9). Returns 1.0 when no compression is
+  // needed and +infinity when even zero bytes cannot meet it (latency-bound).
+  [[nodiscard]] double required_compression_ratio(const Workload& workload,
+                                                  const Cluster& cluster) const;
+
+  // --- Wire-size accounting ------------------------------------------------
+
+  // Bytes one rank transmits per iteration under a method (logical payload;
+  // collective amplification is inside the cost model).
+  [[nodiscard]] double wire_bytes(const compress::CompressorConfig& config,
+                                  const models::ModelProfile& model) const;
+
+  [[nodiscard]] const EncodeCostModel& encode_model() const noexcept { return encode_model_; }
+
+  // Byte split of a low-rank method's payload (shared with the simulator).
+  struct LowRankBytes {
+    double p_bytes = 0.0;       // left factors
+    double q_bytes = 0.0;       // right factors
+    double dense_bytes = 0.0;   // 1-D layers sent uncompressed
+  };
+  [[nodiscard]] static LowRankBytes low_rank_bytes(const models::ModelProfile& model, int rank);
+
+ private:
+  [[nodiscard]] double backward_seconds(const Workload& workload, const Cluster& cluster) const;
+
+  EncodeCostModel encode_model_;
+};
+
+}  // namespace gradcomp::core

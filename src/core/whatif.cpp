@@ -1,0 +1,123 @@
+#include "core/whatif.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gradcomp::core {
+
+std::vector<ComparisonPoint> WhatIf::sweep_bandwidth(const compress::CompressorConfig& config,
+                                                     const Workload& workload, Cluster cluster,
+                                                     const std::vector<double>& gbps_values) const {
+  std::vector<ComparisonPoint> points;
+  points.reserve(gbps_values.size());
+  for (double gbps : gbps_values) {
+    cluster.network = comm::Network::from_gbps(gbps, cluster.network.alpha_s,
+                                               cluster.network.incast_penalty);
+    ComparisonPoint pt;
+    pt.x = gbps;
+    pt.sync = model_.syncsgd(workload, cluster);
+    pt.compressed = model_.compressed(config, workload, cluster);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+std::vector<ComparisonPoint> WhatIf::sweep_compute(const compress::CompressorConfig& config,
+                                                   const Workload& workload, Cluster cluster,
+                                                   const std::vector<double>& compute_factors) const {
+  std::vector<ComparisonPoint> points;
+  points.reserve(compute_factors.size());
+  const models::Device base = cluster.device;
+  for (double factor : compute_factors) {
+    if (factor <= 0) throw std::invalid_argument("sweep_compute: factor must be > 0");
+    cluster.device = base;
+    cluster.device.compute_scale = base.compute_scale * factor;
+    ComparisonPoint pt;
+    pt.x = factor;
+    pt.sync = model_.syncsgd(workload, cluster);
+    pt.compressed = model_.compressed(config, workload, cluster);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+std::vector<ComparisonPoint> WhatIf::sweep_workers(const compress::CompressorConfig& config,
+                                                   const Workload& workload, Cluster cluster,
+                                                   const std::vector<int>& worker_counts) const {
+  std::vector<ComparisonPoint> points;
+  points.reserve(worker_counts.size());
+  for (int p : worker_counts) {
+    cluster.world_size = p;
+    ComparisonPoint pt;
+    pt.x = static_cast<double>(p);
+    pt.sync = model_.syncsgd(workload, cluster);
+    pt.compressed = model_.compressed(config, workload, cluster);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+std::vector<ComparisonPoint> WhatIf::sweep_batch_size(const compress::CompressorConfig& config,
+                                                      Workload workload, const Cluster& cluster,
+                                                      const std::vector<int>& batch_sizes) const {
+  std::vector<ComparisonPoint> points;
+  points.reserve(batch_sizes.size());
+  for (int bs : batch_sizes) {
+    if (bs < 1) throw std::invalid_argument("sweep_batch_size: batch size must be >= 1");
+    workload.batch_size = bs;
+    ComparisonPoint pt;
+    pt.x = static_cast<double>(bs);
+    pt.sync = model_.syncsgd(workload, cluster);
+    pt.compressed = model_.compressed(config, workload, cluster);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+std::vector<WhatIf::TradeoffPoint> WhatIf::sweep_tradeoff(
+    const compress::CompressorConfig& config, const Workload& workload, const Cluster& cluster,
+    const std::vector<double>& k_values, const std::vector<double>& l_values) const {
+  std::vector<TradeoffPoint> points;
+  points.reserve(k_values.size() * l_values.size());
+  const IterationBreakdown sync = model_.syncsgd(workload, cluster);
+  for (double l : l_values) {
+    for (double k : k_values) {
+      if (k <= 0 || l <= 0)
+        throw std::invalid_argument("sweep_tradeoff: k and l must be > 0");
+      TradeoffPoint pt;
+      pt.k = k;
+      pt.l = l;
+      pt.sync = sync;
+      // k=1 is the baseline scheme itself: bytes unscaled. For k>1 the
+      // encode time shrinks by k and the payload grows by l*k (Section 6).
+      const Adjust adjust{1.0 / k, k > 1.0 ? l * k : 1.0};
+      pt.compressed = model_.compressed(config, workload, cluster, adjust);
+      points.push_back(pt);
+    }
+  }
+  return points;
+}
+
+double WhatIf::crossover_bandwidth_gbps(const compress::CompressorConfig& config,
+                                        const Workload& workload, Cluster cluster, double lo_gbps,
+                                        double hi_gbps) const {
+  const auto faster_at = [&](double gbps) {
+    cluster.network = comm::Network::from_gbps(gbps, cluster.network.alpha_s,
+                                               cluster.network.incast_penalty);
+    return model_.compressed(config, workload, cluster).total_s <
+           model_.syncsgd(workload, cluster).total_s;
+  };
+  if (!faster_at(lo_gbps)) return lo_gbps;  // never faster
+  if (faster_at(hi_gbps)) return std::numeric_limits<double>::infinity();
+  // Bisection: compression wins below the crossover, loses above.
+  double lo = lo_gbps;
+  double hi = hi_gbps;
+  for (int iter = 0; iter < 60 && (hi - lo) > 1e-3; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (faster_at(mid) ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace gradcomp::core

@@ -1,0 +1,77 @@
+// What-if analysis engine (Sections 5-6): the user-facing API the paper
+// proposes for data scientists deciding whether a compression scheme will
+// pay off on THEIR cluster.
+#pragma once
+
+#include <vector>
+
+#include "core/perf_model.hpp"
+
+namespace gradcomp::core {
+
+// One point of a sweep comparing a compression method to syncSGD.
+struct ComparisonPoint {
+  double x = 0.0;  // swept variable (Gbps, compute factor, workers, ...)
+  IterationBreakdown sync;
+  IterationBreakdown compressed;
+
+  // > 1 means the compression method is faster.
+  [[nodiscard]] double speedup() const {
+    return compressed.total_s > 0 ? sync.total_s / compressed.total_s : 0.0;
+  }
+};
+
+class WhatIf {
+ public:
+  explicit WhatIf(PerfModel model = {}) : model_(std::move(model)) {}
+
+  // Figure 11: vary network bandwidth, everything else fixed.
+  [[nodiscard]] std::vector<ComparisonPoint> sweep_bandwidth(
+      const compress::CompressorConfig& config, const Workload& workload, Cluster cluster,
+      const std::vector<double>& gbps_values) const;
+
+  // Figure 12: vary compute capability (backward AND encode/decode scale
+  // together), network fixed.
+  [[nodiscard]] std::vector<ComparisonPoint> sweep_compute(
+      const compress::CompressorConfig& config, const Workload& workload, Cluster cluster,
+      const std::vector<double>& compute_factors) const;
+
+  // Figures 4-6 backbone: vary the number of workers (weak scaling).
+  [[nodiscard]] std::vector<ComparisonPoint> sweep_workers(
+      const compress::CompressorConfig& config, const Workload& workload, Cluster cluster,
+      const std::vector<int>& worker_counts) const;
+
+  // Figure 7: vary the per-worker batch size.
+  [[nodiscard]] std::vector<ComparisonPoint> sweep_batch_size(
+      const compress::CompressorConfig& config, Workload workload, const Cluster& cluster,
+      const std::vector<int>& batch_sizes) const;
+
+  // Figure 13: hypothetical schemes derived from `config` whose
+  // encode/decode time shrinks by k while transmitted bytes grow by l*k.
+  struct TradeoffPoint {
+    double k = 1.0;
+    double l = 1.0;
+    IterationBreakdown sync;
+    IterationBreakdown compressed;
+    [[nodiscard]] double speedup() const {
+      return compressed.total_s > 0 ? sync.total_s / compressed.total_s : 0.0;
+    }
+  };
+  [[nodiscard]] std::vector<TradeoffPoint> sweep_tradeoff(
+      const compress::CompressorConfig& config, const Workload& workload, const Cluster& cluster,
+      const std::vector<double>& k_values, const std::vector<double>& l_values) const;
+
+  // The crossover bandwidth (Gbps) above which syncSGD beats the method
+  // (Figure 11's headline numbers: ~9 Gbps for ResNet-50, ~15 for BERT).
+  // Returns +infinity if the method wins everywhere in [lo, hi].
+  [[nodiscard]] double crossover_bandwidth_gbps(const compress::CompressorConfig& config,
+                                                const Workload& workload, Cluster cluster,
+                                                double lo_gbps = 1.0, double hi_gbps = 100.0) const;
+
+  [[nodiscard]] const PerfModel& model() const noexcept { return model_; }
+
+ private:
+  PerfModel model_;
+};
+
+}  // namespace gradcomp::core

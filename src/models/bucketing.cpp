@@ -1,0 +1,32 @@
+#include "models/bucketing.hpp"
+
+#include <stdexcept>
+
+namespace gradcomp::models {
+
+std::vector<Bucket> make_buckets(const ModelProfile& model, std::int64_t bucket_bytes) {
+  if (bucket_bytes <= 0) throw std::invalid_argument("make_buckets: bucket_bytes must be > 0");
+  std::vector<Bucket> buckets;
+  Bucket current;
+  // Reverse layer order: the backward pass produces the last layer's
+  // gradient first, so DDP fills buckets back-to-front.
+  for (std::size_t i = model.layers.size(); i-- > 0;) {
+    const std::int64_t b = model.layers[i].bytes();
+    if (current.bytes > 0 && current.bytes + b > bucket_bytes) {
+      buckets.push_back(std::move(current));
+      current = Bucket{};
+    }
+    current.layer_indices.push_back(i);
+    current.bytes += b;
+  }
+  if (current.bytes > 0 || !current.layer_indices.empty()) buckets.push_back(std::move(current));
+  return buckets;
+}
+
+std::vector<std::int64_t> bucket_sizes(const ModelProfile& model, std::int64_t bucket_bytes) {
+  std::vector<std::int64_t> sizes;
+  for (const auto& b : make_buckets(model, bucket_bytes)) sizes.push_back(b.bytes);
+  return sizes;
+}
+
+}  // namespace gradcomp::models

@@ -1,0 +1,36 @@
+// DDP-style gradient bucketing (Section 2.2 "Bucketing Gradients").
+//
+// PyTorch DDP coalesces per-layer gradients into fixed-capacity buckets
+// (25 MB by default) filled in *reverse* layer order — the order gradients
+// become ready during the backward pass — and launches one all-reduce per
+// filled bucket. The performance model's (k-1) overlapped buckets of size b
+// plus a trailing bucket b_hat correspond exactly to this partition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "models/model_profile.hpp"
+
+namespace gradcomp::models {
+
+inline constexpr std::int64_t kDefaultBucketBytes = 25 * 1024 * 1024;
+
+struct Bucket {
+  std::vector<std::size_t> layer_indices;  // indices into ModelProfile::layers
+  std::int64_t bytes = 0;
+};
+
+// Partitions the model's layers into buckets of at most `bucket_bytes`,
+// filling in reverse layer order. Buckets are returned in the order their
+// all-reduce launches (i.e. bucket 0 holds the *last* layers of the model).
+// A single layer larger than `bucket_bytes` gets a bucket of its own.
+[[nodiscard]] std::vector<Bucket> make_buckets(const ModelProfile& model,
+                                               std::int64_t bucket_bytes = kDefaultBucketBytes);
+
+// Bucket byte sizes in launch order (the performance model's input).
+[[nodiscard]] std::vector<std::int64_t> bucket_sizes(const ModelProfile& model,
+                                                     std::int64_t bucket_bytes = kDefaultBucketBytes);
+
+}  // namespace gradcomp::models

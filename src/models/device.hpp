@@ -1,0 +1,34 @@
+// Device profiles: compute-capability scaling for what-if analyses.
+//
+// The paper's Figure 12 asks "what if compute gets k-times faster while the
+// network stays at 10 Gbps?" — both the backward pass *and* encode/decode
+// shrink by the same factor (Section 6). A Device is therefore just a
+// scaling applied to every compute-side duration of the calibrated V100
+// baseline.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gradcomp::models {
+
+struct Device {
+  std::string name = "v100";
+  // Relative throughput vs the calibrated V100 (2.0 = twice as fast).
+  double compute_scale = 1.0;
+  // Compute slowdown applied when backward and communication overlap
+  // (the paper's gamma, measured via Nsight; Section 4.1). gamma >= 1.
+  double gamma = 1.18;
+
+  [[nodiscard]] double scaled(double v100_seconds) const {
+    if (compute_scale <= 0) throw std::invalid_argument("Device: compute_scale must be > 0");
+    return v100_seconds / compute_scale;
+  }
+
+  [[nodiscard]] static Device v100() { return Device{}; }
+  [[nodiscard]] static Device v100_times(double factor) {
+    return Device{"v100 x" + std::to_string(factor), factor, 1.18};
+  }
+};
+
+}  // namespace gradcomp::models

@@ -1,0 +1,186 @@
+#include "models/model_profile.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace gradcomp::models {
+
+std::int64_t LayerSpec::matrix_rows() const {
+  return shape.empty() ? 0 : shape.front();
+}
+
+std::int64_t LayerSpec::matrix_cols() const {
+  if (shape.empty()) return 0;
+  std::int64_t c = 1;
+  for (std::size_t i = 1; i < shape.size(); ++i) c *= shape[i];
+  return c;
+}
+
+std::int64_t ModelProfile::total_params() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.numel();
+  return n;
+}
+
+namespace {
+
+// Builder helpers -----------------------------------------------------------
+
+void add(std::vector<LayerSpec>& layers, std::string name, tensor::Shape shape) {
+  layers.push_back(LayerSpec{std::move(name), std::move(shape)});
+}
+
+void add_conv_bn(std::vector<LayerSpec>& layers, const std::string& name, std::int64_t out_c,
+                 std::int64_t in_c, std::int64_t k) {
+  add(layers, name + ".conv", {out_c, in_c, k, k});
+  add(layers, name + ".bn.weight", {out_c});
+  add(layers, name + ".bn.bias", {out_c});
+}
+
+// ResNet bottleneck block: 1x1 reduce, 3x3, 1x1 expand (+1x1 downsample on
+// the first block of each stage).
+void add_bottleneck(std::vector<LayerSpec>& layers, const std::string& name, std::int64_t in_c,
+                    std::int64_t mid_c, std::int64_t out_c, bool downsample) {
+  add_conv_bn(layers, name + ".conv1", mid_c, in_c, 1);
+  add_conv_bn(layers, name + ".conv2", mid_c, mid_c, 3);
+  add_conv_bn(layers, name + ".conv3", out_c, mid_c, 1);
+  if (downsample) add_conv_bn(layers, name + ".downsample", out_c, in_c, 1);
+}
+
+ModelProfile make_resnet(const std::string& name, const std::array<int, 4>& blocks,
+                         double backward_ms_per_sample) {
+  ModelProfile m;
+  m.name = name;
+  m.backward_ms_per_sample = backward_ms_per_sample;
+  m.forward_ms_per_sample = backward_ms_per_sample * 0.5;  // fwd ~ half of bwd
+
+  add_conv_bn(m.layers, "stem", 64, 3, 7);
+
+  const std::array<std::int64_t, 4> mids = {64, 128, 256, 512};
+  std::int64_t in_c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t mid = mids[static_cast<std::size_t>(stage)];
+    const std::int64_t out_c = mid * 4;
+    for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const std::string bname =
+          "layer" + std::to_string(stage + 1) + ".block" + std::to_string(b);
+      add_bottleneck(m.layers, bname, in_c, mid, out_c, /*downsample=*/b == 0);
+      in_c = out_c;
+    }
+  }
+  add(m.layers, "fc.weight", {1000, in_c});
+  add(m.layers, "fc.bias", {1000});
+  return m;
+}
+
+void add_transformer_block(std::vector<LayerSpec>& layers, const std::string& name,
+                           std::int64_t hidden, std::int64_t ff) {
+  for (const char* proj : {"query", "key", "value", "output"}) {
+    add(layers, name + ".attn." + proj + ".weight", {hidden, hidden});
+    add(layers, name + ".attn." + std::string(proj) + ".bias", {hidden});
+  }
+  add(layers, name + ".attn.layernorm.weight", {hidden});
+  add(layers, name + ".attn.layernorm.bias", {hidden});
+  add(layers, name + ".ff.intermediate.weight", {ff, hidden});
+  add(layers, name + ".ff.intermediate.bias", {ff});
+  add(layers, name + ".ff.output.weight", {hidden, ff});
+  add(layers, name + ".ff.output.bias", {hidden});
+  add(layers, name + ".ff.layernorm.weight", {hidden});
+  add(layers, name + ".ff.layernorm.bias", {hidden});
+}
+
+ModelProfile make_bert(const std::string& name, int num_layers, std::int64_t hidden,
+                       std::int64_t ff, double backward_ms_per_sample) {
+  ModelProfile m;
+  m.name = name;
+  m.backward_ms_per_sample = backward_ms_per_sample;
+  m.forward_ms_per_sample = backward_ms_per_sample * 0.5;
+
+  add(m.layers, "embeddings.word.weight", {30522, hidden});
+  add(m.layers, "embeddings.position.weight", {512, hidden});
+  add(m.layers, "embeddings.token_type.weight", {2, hidden});
+  add(m.layers, "embeddings.layernorm.weight", {hidden});
+  add(m.layers, "embeddings.layernorm.bias", {hidden});
+  for (int l = 0; l < num_layers; ++l)
+    add_transformer_block(m.layers, "encoder.layer" + std::to_string(l), hidden, ff);
+  add(m.layers, "pooler.weight", {hidden, hidden});
+  add(m.layers, "pooler.bias", {hidden});
+  return m;
+}
+
+std::string normalize(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+}  // namespace
+
+// Calibrated V100 backward times (DESIGN.md Section 5): ResNet-50 backward
+// is ~122 ms at batch 64 (Table 2 text), ResNet-101 scales by depth. BERT's
+// per-sample time is set so PowerSGD rank-4's speedup at 96 GPUs / batch 10
+// lands at the paper's ~23% (Figure 4) — BERT trains at batch 10-12 with a
+// long sequence length, making each sample compute-heavy.
+ModelProfile resnet50() { return make_resnet("resnet50", {3, 4, 6, 3}, 122.0 / 64.0); }
+
+ModelProfile resnet101() { return make_resnet("resnet101", {3, 4, 23, 3}, 211.0 / 64.0); }
+
+ModelProfile bert_base() { return make_bert("bert_base", 12, 768, 3072, 45.0); }
+
+ModelProfile bert_large() { return make_bert("bert_large", 24, 1024, 4096, 140.0); }
+
+ModelProfile vgg16() {
+  // VGG-16 with batch norm omitted (original architecture): 13 convs + 3 FC
+  // layers, ~138M parameters, ~90% of them in fc1 (25088 x 4096) — the
+  // extreme parameters-per-FLOP workload that motivated early compression
+  // work.
+  ModelProfile m;
+  m.name = "vgg16";
+  m.backward_ms_per_sample = 2.9;  // V100-calibrated; compute-light for its size
+  m.forward_ms_per_sample = 1.45;
+  const std::array<std::array<std::int64_t, 2>, 13> convs = {{{3, 64},
+                                                              {64, 64},
+                                                              {64, 128},
+                                                              {128, 128},
+                                                              {128, 256},
+                                                              {256, 256},
+                                                              {256, 256},
+                                                              {256, 512},
+                                                              {512, 512},
+                                                              {512, 512},
+                                                              {512, 512},
+                                                              {512, 512},
+                                                              {512, 512}}};
+  for (std::size_t i = 0; i < convs.size(); ++i) {
+    const auto [in_c, out_c] = convs[i];
+    add(m.layers, "conv" + std::to_string(i) + ".weight", {out_c, in_c, 3, 3});
+    add(m.layers, "conv" + std::to_string(i) + ".bias", {out_c});
+  }
+  add(m.layers, "fc1.weight", {4096, 25088});
+  add(m.layers, "fc1.bias", {4096});
+  add(m.layers, "fc2.weight", {4096, 4096});
+  add(m.layers, "fc2.bias", {4096});
+  add(m.layers, "fc3.weight", {1000, 4096});
+  add(m.layers, "fc3.bias", {1000});
+  return m;
+}
+
+ModelProfile model_by_name(const std::string& name) {
+  const std::string key = normalize(name);
+  if (key == "resnet50") return resnet50();
+  if (key == "resnet101") return resnet101();
+  if (key == "bertbase" || key == "bert") return bert_base();
+  if (key == "bertlarge") return bert_large();
+  if (key == "vgg16" || key == "vgg") return vgg16();
+  throw std::invalid_argument("model_by_name: unknown model '" + name + "'");
+}
+
+std::vector<ModelProfile> all_models() {
+  return {resnet50(), resnet101(), bert_base(), bert_large(), vgg16()};
+}
+
+}  // namespace gradcomp::models

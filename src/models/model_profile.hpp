@@ -1,0 +1,69 @@
+// Layer-accurate parameter profiles of the paper's workload models.
+//
+// The timing experiments need (a) per-layer gradient shapes — PowerSGD and
+// ATOMO compress each layer's matricized gradient, so shapes determine
+// encode cost and compressed size — and (b) total gradient bytes and
+// calibrated backward-pass durations. The profiles are constructed
+// programmatically from the published architectures: ResNet-50/101 (He et
+// al.) and BERT_BASE/LARGE (Devlin et al.), matching the paper's quoted
+// model sizes (~97 MB / ~170 MB / ~418 MB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::models {
+
+struct LayerSpec {
+  std::string name;
+  tensor::Shape shape;  // parameter tensor shape (e.g. {out,in,kh,kw} for conv)
+
+  [[nodiscard]] std::int64_t numel() const { return tensor::shape_numel(shape); }
+  [[nodiscard]] std::int64_t bytes() const { return numel() * 4; }
+  // Rows/cols of the PowerSGD-style matricization (dim0 x rest).
+  [[nodiscard]] std::int64_t matrix_rows() const;
+  [[nodiscard]] std::int64_t matrix_cols() const;
+  // 1-D layers (biases, layer norms) are not worth low-rank compressing;
+  // PowerSGD sends them uncompressed, as the reference implementation does.
+  [[nodiscard]] bool is_matrix() const { return matrix_rows() > 1 && matrix_cols() > 1; }
+};
+
+struct ModelProfile {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  // Calibrated V100 backward-pass time per sample (milliseconds). Scales
+  // linearly with batch size; see DESIGN.md "Calibration constants".
+  double backward_ms_per_sample = 0.0;
+  // Forward pass, for completeness in end-to-end iteration estimates.
+  double forward_ms_per_sample = 0.0;
+
+  [[nodiscard]] std::int64_t total_params() const;
+  [[nodiscard]] std::int64_t total_bytes() const { return total_params() * 4; }
+  [[nodiscard]] double total_mb() const {
+    return static_cast<double>(total_bytes()) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] double backward_seconds(int batch_size) const {
+    return backward_ms_per_sample * static_cast<double>(batch_size) / 1e3;
+  }
+};
+
+// The paper's three primary workloads plus BERT_LARGE (mentioned in
+// finding 5) and VGG-16 (the classic parameter-heavy/compute-light CNN —
+// the most favourable realistic case for gradient compression).
+[[nodiscard]] ModelProfile resnet50();
+[[nodiscard]] ModelProfile resnet101();
+[[nodiscard]] ModelProfile bert_base();
+[[nodiscard]] ModelProfile bert_large();
+[[nodiscard]] ModelProfile vgg16();
+
+// Lookup by case-insensitive name ("resnet50", "resnet-50", ...). Throws
+// std::invalid_argument for unknown names.
+[[nodiscard]] ModelProfile model_by_name(const std::string& name);
+
+// All built-in profiles (for parameterized tests/benches).
+[[nodiscard]] std::vector<ModelProfile> all_models();
+
+}  // namespace gradcomp::models

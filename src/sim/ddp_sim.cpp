@@ -1,0 +1,254 @@
+#include "sim/ddp_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace gradcomp::sim {
+
+namespace {
+
+// One EncodeCostModel per process: construction solves the calibration
+// system; the result is immutable.
+const core::EncodeCostModel& encode_cost_model() {
+  static const core::EncodeCostModel model;
+  return model;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
+    : cluster_(std::move(cluster)), options_(options), rng_(options.seed) {
+  if (cluster_.world_size < 1)
+    throw std::invalid_argument("ClusterSim: world size must be >= 1");
+  if (options_.contention_factor < 1.0)
+    throw std::invalid_argument("ClusterSim: contention_factor must be >= 1");
+}
+
+double ClusterSim::jittered(double seconds) {
+  if (options_.jitter_frac <= 0.0) return seconds;
+  const double noise = 1.0 + options_.jitter_frac * static_cast<double>(rng_.gaussian());
+  return seconds * std::max(noise, 0.05);
+}
+
+double ClusterSim::straggler_stretch() {
+  if (options_.straggler_prob <= 0.0) return 1.0;
+  // P(at least one of p workers straggles) = 1 - (1-q)^p.
+  const double p_any = 1.0 - std::pow(1.0 - options_.straggler_prob,
+                                      static_cast<double>(cluster_.world_size));
+  return rng_.next_double() < p_any ? options_.straggler_factor : 1.0;
+}
+
+comm::Network ClusterSim::effective_network() const {
+  comm::Network net = cluster_.network;
+  net.incast_penalty = options_.incast_penalty;
+  return net;
+}
+
+double ClusterSim::allreduce_seconds(double bytes) const {
+  const comm::Network net = effective_network();
+  return options_.use_tree_allreduce
+             ? comm::tree_allreduce_seconds(bytes, cluster_.world_size, net)
+             : comm::ring_allreduce_seconds(bytes, cluster_.world_size, net);
+}
+
+double ClusterSim::allgather_seconds(double bytes_per_rank) const {
+  return comm::allgather_seconds(bytes_per_rank, cluster_.world_size, effective_network());
+}
+
+SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
+  SimResult result;
+  const int p = cluster_.world_size;
+  const double t_comp =
+      cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
+
+  if (p == 1) {
+    const double dur = jittered(t_comp) * straggler_stretch();
+    result.timeline.add("compute", "backward", 0.0, dur);
+    result.compute_s = dur;
+    result.iteration_s = dur;
+    return result;
+  }
+  const double stretch = straggler_stretch();
+
+  const auto buckets = models::make_buckets(workload.model, options_.bucket_bytes);
+  const auto total_layers = static_cast<double>(workload.model.layers.size());
+
+  // Matching the analytical model's interpretation: the gamma slowdown only
+  // applies to the fraction of the backward pass that actually shares the
+  // GPU with in-flight communication.
+  double overlappable_comm = 0.0;
+  for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
+    overlappable_comm += allreduce_seconds(static_cast<double>(buckets[i].bytes));
+  const double gamma =
+      1.0 + (cluster_.device.gamma - 1.0) * std::min(1.0, overlappable_comm / t_comp);
+
+  // The backward pass produces each bucket's gradients after a compute slice
+  // proportional to the bucket's LAYER count, not its byte count: deep-layer
+  // parameters (which fill the first buckets) are parameter-dense but
+  // compute-light, which is exactly why DDP's first all-reduce launches
+  // early in the real trace (Figure 2).
+  EventQueue queue;
+  double compute_t = 0.0;
+  double comm_free = 0.0;
+  double comm_busy = 0.0;
+  double last_comm_end = 0.0;
+
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double share = static_cast<double>(buckets[i].layer_indices.size()) / total_layers;
+    const double slice = jittered(gamma * t_comp * share) * stretch;
+    result.timeline.add("compute", "backward bucket " + std::to_string(i), compute_t,
+                        compute_t + slice);
+    compute_t += slice;
+
+    const double ready = compute_t;
+    const double duration = jittered(allreduce_seconds(static_cast<double>(buckets[i].bytes)));
+    queue.schedule(ready, [&, i, duration] {
+      const double start = std::max(queue.now(), comm_free);
+      const double end = start + duration;
+      comm_free = end;
+      comm_busy += duration;
+      last_comm_end = end;
+      result.timeline.add("comm", "allreduce bucket " + std::to_string(i), start, end);
+    });
+  }
+  queue.run();
+
+  result.compute_s = compute_t;
+  result.comm_s = comm_busy;
+  result.iteration_s = std::max(compute_t, last_comm_end);
+  result.exposed_comm_s = result.iteration_s - result.compute_s;
+  return result;
+}
+
+SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
+                                     const core::Workload& workload) {
+  if (config.method == compress::Method::kSyncSgd) return run_syncsgd(workload);
+
+  // FP16 keeps the DDP bucketed-overlap structure with halved payloads.
+  if (config.method == compress::Method::kFp16) {
+    core::Workload halved = workload;
+    // Halve wire bytes by doubling bucket capacity then halving each
+    // all-reduce's bytes: simplest is to scale the network instead.
+    ClusterSim inner(cluster_, options_);
+    inner.cluster_.network.bandwidth_bps *= 2.0;  // half the bytes == double BW
+    inner.rng_ = rng_;
+    SimResult result = inner.run_syncsgd(halved);
+    rng_ = inner.rng_;
+    const auto encdec =
+        encode_cost_model().estimate(config, workload.model, cluster_.device,
+                                     cluster_.world_size);
+    const double enc = jittered(encdec.encode_s);
+    const double dec = jittered(encdec.decode_s);
+    result.timeline.add("encode", "fp16 convert", result.compute_s, result.compute_s + enc);
+    result.encode_s = enc;
+    result.decode_s = dec;
+    result.iteration_s = std::max(result.iteration_s, result.compute_s + enc) + dec;
+    return result;
+  }
+
+  SimResult result;
+  const int p = cluster_.world_size;
+  const double t_comp =
+      cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
+  const auto encdec =
+      encode_cost_model().estimate(config, workload.model, cluster_.device, p);
+
+  double t = 0.0;
+  const double stretch = straggler_stretch();
+  const double backward = jittered(t_comp) * stretch;
+  const double encode = jittered(encdec.encode_s) * stretch;
+
+  if (options_.overlap_compression) {
+    // Section 3.1 schedule: compression shares the GPU with the backward
+    // pass; both slow down by the contention factor while co-resident.
+    const double c = options_.contention_factor;
+    result.timeline.add("compute", "backward (contended)", 0.0, backward * c);
+    result.timeline.add("encode", "encode (contended)", 0.0, encode * c);
+    t = std::max(backward * c, encode * c);
+    result.compute_s = backward * c;
+    result.encode_s = encode * c;
+  } else {
+    result.timeline.add("compute", "backward", 0.0, backward);
+    result.timeline.add("encode", "encode", backward, backward + encode);
+    t = backward + encode;
+    result.compute_s = backward;
+    result.encode_s = encode;
+  }
+
+  // Collectives, serialized on the comm stream.
+  std::vector<std::pair<std::string, double>> collectives;
+  switch (config.method) {
+    case compress::Method::kPowerSgd: {
+      const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
+      collectives.emplace_back("allreduce P", allreduce_seconds(bytes.p_bytes));
+      collectives.emplace_back("allreduce Q", allreduce_seconds(bytes.q_bytes));
+      if (bytes.dense_bytes > 0)
+        collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
+      break;
+    }
+    case compress::Method::kRandomK: {
+      const double values_bytes =
+          config.fraction * static_cast<double>(workload.model.total_params()) * 4.0;
+      collectives.emplace_back("allreduce values", allreduce_seconds(values_bytes));
+      break;
+    }
+    case compress::Method::kTopK:
+    case compress::Method::kDgc: {
+      const double half =
+          config.fraction * static_cast<double>(workload.model.total_params()) * 4.0;
+      collectives.emplace_back("allgather values", allgather_seconds(half));
+      collectives.emplace_back("allgather indices", allgather_seconds(half));
+      break;
+    }
+    case compress::Method::kSignSgd:
+    case compress::Method::kOneBit: {
+      const double bytes = static_cast<double>(workload.model.total_params()) / 8.0;
+      collectives.emplace_back("allgather signs", allgather_seconds(bytes));
+      break;
+    }
+    case compress::Method::kQsgd:
+    case compress::Method::kNatural: {
+      collectives.emplace_back("allgather codes",
+                               allgather_seconds(static_cast<double>(workload.model.total_params())));
+      break;
+    }
+    case compress::Method::kTernGrad: {
+      collectives.emplace_back(
+          "allgather codes",
+          allgather_seconds(static_cast<double>(workload.model.total_params()) / 4.0));
+      break;
+    }
+    case compress::Method::kAtomo: {
+      const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
+      collectives.emplace_back("allgather factors",
+                               allgather_seconds(bytes.p_bytes + bytes.q_bytes));
+      if (bytes.dense_bytes > 0)
+        collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
+      break;
+    }
+    case compress::Method::kSyncSgd:
+    case compress::Method::kFp16:
+      break;  // handled above
+  }
+  for (const auto& [label, nominal] : collectives) {
+    const double dur = jittered(nominal);
+    result.timeline.add("comm", label, t, t + dur);
+    t += dur;
+    result.comm_s += dur;
+  }
+
+  const double decode = jittered(encdec.decode_s) * stretch;
+  result.timeline.add("decode", "decode", t, t + decode);
+  t += decode;
+  result.decode_s = decode;
+
+  result.iteration_s = t;
+  result.exposed_comm_s = result.comm_s;
+  return result;
+}
+
+}  // namespace gradcomp::sim

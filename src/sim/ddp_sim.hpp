@@ -1,0 +1,94 @@
+// Discrete-event simulator of one data-parallel training iteration.
+//
+// This plays the role of the paper's AWS testbed (24x p3.8xlarge / 96
+// V100s): it executes the *timeline* of an iteration — per-layer backward
+// progress, DDP bucket launches on a separate communication stream,
+// ring/tree/all-gather collectives, sequential or (deliberately contended)
+// overlapped compression — against the calibrated device and network
+// models. The analytical PerfModel (core/) is validated against this
+// simulator exactly as the paper validates its model against the real
+// cluster (Figure 8).
+//
+// Differences from the analytical model, mirroring real-cluster effects:
+//   * the communication stream serializes bucket all-reduces and only
+//     starts once the first bucket is ready (the model assumes perfect
+//     packing);
+//   * all-gathers suffer an incast penalty (Section 4.3 attributes the
+//     model's 14.2% SignSGD error to exactly this);
+//   * optional multiplicative jitter reproduces run-to-run variance.
+#pragma once
+
+#include <cstdint>
+
+#include "core/perf_model.hpp"
+#include "tensor/rng.hpp"
+#include "trace/timeline.hpp"
+
+namespace gradcomp::sim {
+
+struct SimOptions {
+  std::int64_t bucket_bytes = models::kDefaultBucketBytes;
+  // Use NCCL-style double-tree instead of ring for all-reduce.
+  bool use_tree_allreduce = false;
+  // Run compression concurrently with the backward pass (the Section 3.1
+  // experiment). Both streams slow down by `contention_factor` while they
+  // share the GPU.
+  bool overlap_compression = false;
+  double contention_factor = 1.6;
+  // All-gather bandwidth degradation (incast); 0 disables.
+  double incast_penalty = 0.08;
+  // Multiplicative gaussian jitter applied to every duration (0 = exact).
+  double jitter_frac = 0.0;
+  // Straggler model: each worker independently straggles with this
+  // probability per iteration, stretching its compute by straggler_factor.
+  // Synchronous training waits for the slowest worker, so the iteration
+  // stalls whenever ANY of the p workers straggles — a probability that
+  // grows with scale.
+  double straggler_prob = 0.0;
+  double straggler_factor = 2.0;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  double iteration_s = 0.0;
+  double compute_s = 0.0;
+  double encode_s = 0.0;
+  double decode_s = 0.0;
+  double comm_s = 0.0;          // busy time on the comm stream
+  double exposed_comm_s = 0.0;  // iteration time beyond compute+encode+decode
+  trace::Timeline timeline;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(core::Cluster cluster, SimOptions options);
+
+  // One optimized synchronous-SGD iteration (bucketed, overlapped).
+  [[nodiscard]] SimResult run_syncsgd(const core::Workload& workload);
+
+  // One iteration with a compression method. Sequential encode -> collective
+  // -> decode by default; options_.overlap_compression switches to the
+  // contended-overlap schedule of Figure 3.
+  [[nodiscard]] SimResult run_compressed(const compress::CompressorConfig& config,
+                                         const core::Workload& workload);
+
+  [[nodiscard]] const core::Cluster& cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+ private:
+  // Applies jitter (if configured) to a nominal duration.
+  [[nodiscard]] double jittered(double seconds);
+  // Compute stretch for this iteration: straggler_factor if any of the p
+  // workers straggles this iteration, else 1.
+  [[nodiscard]] double straggler_stretch();
+  // Collective time for one all-reduce of `bytes` under the cluster network.
+  [[nodiscard]] double allreduce_seconds(double bytes) const;
+  [[nodiscard]] double allgather_seconds(double bytes_per_rank) const;
+  [[nodiscard]] comm::Network effective_network() const;
+
+  core::Cluster cluster_;
+  SimOptions options_;
+  tensor::Rng rng_;
+};
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gradcomp::sim {
+
+void EventQueue::schedule(double at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(double delay, Callback fn) {
+  if (delay < 0) throw std::invalid_argument("EventQueue::schedule_after: negative delay");
+  schedule(now_ + delay, std::move(fn));
+}
+
+double EventQueue::run() {
+  while (!events_.empty()) {
+    // priority_queue::top returns const&; move the callback out via a copy of
+    // the wrapper (cheap: std::function move after const_cast is UB-prone,
+    // so copy).
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,51 @@
+// Minimal discrete-event simulation engine.
+//
+// Events are (time, callback) pairs executed in time order; ties break by
+// insertion order so runs are deterministic. The DDP simulator schedules
+// layer-completion and collective-completion events on this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gradcomp::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `at` (seconds); `at` must not precede
+  // the current simulation time.
+  void schedule(double at, Callback fn);
+  // Schedules `fn` at now() + delay.
+  void schedule_after(double delay, Callback fn);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+  // Executes events in time order until the queue drains. Returns the final
+  // simulation time.
+  double run();
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace gradcomp::sim

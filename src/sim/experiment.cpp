@@ -1,0 +1,47 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+namespace gradcomp::sim {
+
+Measurement measure(const core::Cluster& cluster, const SimOptions& options,
+                    const compress::CompressorConfig& config, const core::Workload& workload,
+                    const MeasurementProtocol& protocol) {
+  if (protocol.iterations <= protocol.warmup)
+    throw std::invalid_argument("measure: iterations must exceed warmup");
+
+  ClusterSim sim(cluster, options);
+  stats::Summary total(static_cast<std::size_t>(protocol.warmup));
+  stats::Summary encode(static_cast<std::size_t>(protocol.warmup));
+  stats::Summary decode(static_cast<std::size_t>(protocol.warmup));
+  stats::Summary comm(static_cast<std::size_t>(protocol.warmup));
+  for (int i = 0; i < protocol.iterations; ++i) {
+    const SimResult r = sim.run_compressed(config, workload);
+    total.add(r.iteration_s);
+    encode.add(r.encode_s);
+    decode.add(r.decode_s);
+    comm.add(r.comm_s);
+  }
+  return Measurement{total.mean(), total.stddev(), encode.mean(), decode.mean(), comm.mean()};
+}
+
+std::vector<ScalingPoint> weak_scaling(core::Cluster cluster, const SimOptions& options,
+                                       const compress::CompressorConfig& config,
+                                       const core::Workload& workload,
+                                       const std::vector<int>& worker_counts,
+                                       const MeasurementProtocol& protocol) {
+  std::vector<ScalingPoint> points;
+  points.reserve(worker_counts.size());
+  const compress::CompressorConfig baseline{};  // syncSGD
+  for (int p : worker_counts) {
+    cluster.world_size = p;
+    ScalingPoint pt;
+    pt.workers = p;
+    pt.sync = measure(cluster, options, baseline, workload, protocol);
+    pt.compressed = measure(cluster, options, config, workload, protocol);
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,51 @@
+// Weak-scaling experiment driver, replicating the paper's measurement
+// protocol (Section 3.2): run 110 iterations, discard the first 10, report
+// mean and standard deviation over the remaining 100.
+#pragma once
+
+#include <vector>
+
+#include "sim/ddp_sim.hpp"
+#include "stats/summary.hpp"
+
+namespace gradcomp::sim {
+
+struct MeasurementProtocol {
+  int iterations = 110;
+  int warmup = 10;
+};
+
+struct Measurement {
+  double mean_s = 0.0;
+  double stddev_s = 0.0;
+  double mean_encode_s = 0.0;
+  double mean_decode_s = 0.0;
+  double mean_comm_s = 0.0;
+};
+
+// Repeated simulated iterations of one configuration.
+[[nodiscard]] Measurement measure(const core::Cluster& cluster, const SimOptions& options,
+                                  const compress::CompressorConfig& config,
+                                  const core::Workload& workload,
+                                  const MeasurementProtocol& protocol = {});
+
+struct ScalingPoint {
+  int workers = 0;
+  Measurement sync;
+  Measurement compressed;
+
+  [[nodiscard]] double speedup() const {
+    return compressed.mean_s > 0 ? sync.mean_s / compressed.mean_s : 0.0;
+  }
+};
+
+// Weak scaling sweep: per-worker batch fixed, worker count varies
+// (Figures 4-6). Worker counts where the method would exceed `max_workers`
+// constraints (e.g. the paper's BERT OOM past 32 GPUs for all-gather
+// methods) are the caller's concern; this runs what it is given.
+[[nodiscard]] std::vector<ScalingPoint> weak_scaling(
+    core::Cluster cluster, const SimOptions& options, const compress::CompressorConfig& config,
+    const core::Workload& workload, const std::vector<int>& worker_counts,
+    const MeasurementProtocol& protocol = {});
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,51 @@
+#include "sim/probe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace gradcomp::sim {
+
+NetworkEstimate probe_network(const core::Cluster& cluster, const ProbeOptions& options) {
+  if (cluster.world_size < 2)
+    throw std::invalid_argument("probe_network: need at least two workers");
+  tensor::Rng rng(options.seed);
+  const auto jittered = [&](double seconds) {
+    if (options.jitter_frac <= 0.0) return seconds;
+    return seconds * std::max(1.0 + options.jitter_frac * static_cast<double>(rng.gaussian()),
+                              0.05);
+  };
+
+  const int p = cluster.world_size;
+  NetworkEstimate estimate;
+
+  // --- alpha: ring-reduce a tiny tensor, divide by (p-1) --------------------
+  const double tiny_time =
+      jittered(comm::ring_allreduce_seconds(options.alpha_probe_bytes, p, cluster.network));
+  estimate.alpha_s = tiny_time / static_cast<double>(p - 1);
+
+  // --- bandwidth: iperf3-style pairwise transfers, keep the minimum ---------
+  double min_bw = 0.0;
+  double max_bw = 0.0;
+  bool first = true;
+  for (int a = 0; a < p; ++a) {
+    for (int b = a + 1; b < p; ++b) {
+      const double transfer =
+          jittered(comm::send_seconds(options.bandwidth_probe_bytes, cluster.network));
+      const double effective = transfer > cluster.network.alpha_s
+                                   ? options.bandwidth_probe_bytes /
+                                         (transfer - cluster.network.alpha_s)
+                                   : options.bandwidth_probe_bytes / transfer;
+      if (first || effective < min_bw) min_bw = effective;
+      if (first || effective > max_bw) max_bw = effective;
+      first = false;
+    }
+  }
+  estimate.bandwidth_bps = min_bw;
+  estimate.min_pair_gbps = min_bw * 8.0 / 1e9;
+  estimate.max_pair_gbps = max_bw * 8.0 / 1e9;
+  return estimate;
+}
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,43 @@
+// Network probing, replicating the paper's measurement methodology
+// (Section 4.3):
+//
+//   * "Before each run we calculate available bandwidth between each pair of
+//      instances using iperf3 and take the minimum of these values as BW."
+//   * "For calculating alpha we perform ring-reduce on a small tensor and
+//      divide the obtained value by (p-1)."
+//
+// The probe runs those procedures against the simulated cluster (with its
+// jitter) and recovers the effective alpha and bandwidth — the calibration
+// inputs the performance model consumes. Tests assert the estimates match
+// the configured network.
+#pragma once
+
+#include "core/perf_model.hpp"
+#include "sim/ddp_sim.hpp"
+
+namespace gradcomp::sim {
+
+struct NetworkEstimate {
+  double alpha_s = 0.0;          // per-hop latency estimate
+  double bandwidth_bps = 0.0;    // effective bandwidth (min over pairs)
+  double min_pair_gbps = 0.0;    // worst pairwise iperf-style measurement
+  double max_pair_gbps = 0.0;    // best pairwise measurement
+};
+
+struct ProbeOptions {
+  // Small tensor for the alpha measurement (bytes) — small enough that the
+  // bandwidth term is negligible, as the paper's "vector of size equivalent
+  // to number of machines".
+  double alpha_probe_bytes = 4.0 * 96;
+  // Large transfer for the pairwise bandwidth measurement.
+  double bandwidth_probe_bytes = 64.0 * 1024 * 1024;
+  // Multiplicative jitter on each measurement (run-to-run variance).
+  double jitter_frac = 0.02;
+  std::uint64_t seed = 7;
+};
+
+// Probes the cluster's network the way the paper probes its testbed.
+[[nodiscard]] NetworkEstimate probe_network(const core::Cluster& cluster,
+                                            const ProbeOptions& options = {});
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,99 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gradcomp::stats {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Summary::add(double x) { samples_.push_back(x); }
+
+std::vector<double> Summary::effective() const {
+  if (samples_.size() <= warmup_) return {};
+  return {samples_.begin() + static_cast<std::ptrdiff_t>(warmup_), samples_.end()};
+}
+
+std::size_t Summary::count() const noexcept {
+  return samples_.size() > warmup_ ? samples_.size() - warmup_ : 0;
+}
+
+double Summary::mean() const {
+  OnlineStats s;
+  for (double x : effective()) s.add(x);
+  return s.mean();
+}
+
+double Summary::stddev() const {
+  OnlineStats s;
+  for (double x : effective()) s.add(x);
+  return s.stddev();
+}
+
+double Summary::min() const {
+  OnlineStats s;
+  for (double x : effective()) s.add(x);
+  return s.count() > 0 ? s.min() : 0.0;
+}
+
+double Summary::max() const {
+  OnlineStats s;
+  for (double x : effective()) s.add(x);
+  return s.count() > 0 ? s.max() : 0.0;
+}
+
+double Summary::median() const { return percentile(0.5); }
+
+double Summary::percentile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q must be in [0,1]");
+  auto v = effective();
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v.front();
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median_relative_error(const std::vector<double>& predicted,
+                             const std::vector<double>& measured) {
+  if (predicted.size() != measured.size())
+    throw std::invalid_argument("median_relative_error: size mismatch");
+  if (predicted.empty()) return 0.0;
+  std::vector<double> errs;
+  errs.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double denom = std::abs(measured[i]) > std::numeric_limits<double>::epsilon()
+                             ? std::abs(measured[i])
+                             : 1.0;
+    errs.push_back(std::abs(predicted[i] - measured[i]) / denom);
+  }
+  std::sort(errs.begin(), errs.end());
+  const std::size_t n = errs.size();
+  return n % 2 == 1 ? errs[n / 2] : 0.5 * (errs[n / 2 - 1] + errs[n / 2]);
+}
+
+}  // namespace gradcomp::stats

@@ -1,0 +1,64 @@
+// Streaming and batch summary statistics used by every benchmark harness.
+//
+// The paper reports iteration timings as "run 110 iterations, discard the
+// first 10, average the remaining 100, error bars are standard deviation"
+// (Section 3.2). `Summary` implements exactly that protocol; `OnlineStats`
+// is the allocation-free Welford accumulator underneath.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gradcomp::stats {
+
+// Welford online mean/variance accumulator. O(1) memory, numerically stable.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch summary that retains samples so order statistics are available.
+// `warmup` leading samples are excluded from every statistic, mirroring the
+// paper's discard-first-10 measurement protocol.
+class Summary {
+ public:
+  explicit Summary(std::size_t warmup = 0) : warmup_(warmup) {}
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const noexcept;  // post-warmup samples
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double median() const;
+  // q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  [[nodiscard]] std::vector<double> effective() const;
+
+  std::size_t warmup_;
+  std::vector<double> samples_;
+};
+
+// Median of |a-b|/b over paired series, as used for the Figure 8 model
+// validation ("median difference between predictions and measured runtime").
+[[nodiscard]] double median_relative_error(const std::vector<double>& predicted,
+                                           const std::vector<double>& measured);
+
+}  // namespace gradcomp::stats

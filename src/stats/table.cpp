@@ -1,0 +1,66 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gradcomp::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    os << '\n';
+  };
+
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << "csv";
+    for (const auto& cell : cells) os << ',' << cell;
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::fmt_ms(double seconds, int precision) {
+  return fmt(seconds * 1e3, precision);
+}
+
+}  // namespace gradcomp::stats

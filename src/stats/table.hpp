@@ -1,0 +1,38 @@
+// Console table / CSV emitter shared by the per-figure benchmark harnesses.
+//
+// Every bench binary prints the same rows the paper's table or figure
+// reports: an aligned human-readable table plus a machine-readable CSV block
+// (prefixed "csv," so downstream plotting can grep it out).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gradcomp::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+
+  // Aligned, boxed console rendering.
+  void print(std::ostream& os) const;
+  // One "csv,<c1>,<c2>,..." line per row (headers first).
+  void print_csv(std::ostream& os) const;
+
+  // Formatting helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_ms(double seconds, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gradcomp::stats

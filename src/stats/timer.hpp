@@ -1,0 +1,33 @@
+// Wall-clock timing utilities for encode/decode measurements (Table 2).
+#pragma once
+
+#include <chrono>
+
+namespace gradcomp::stats {
+
+// Monotonic stopwatch. Construction starts it; `seconds()` reads elapsed time.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Times `fn` over `iters` invocations and returns mean seconds per call.
+template <typename Fn>
+[[nodiscard]] double time_mean_seconds(Fn&& fn, int iters) {
+  WallTimer t;
+  for (int i = 0; i < iters; ++i) fn();
+  return t.seconds() / static_cast<double>(iters > 0 ? iters : 1);
+}
+
+}  // namespace gradcomp::stats

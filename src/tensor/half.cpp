@@ -1,0 +1,74 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace gradcomp::tensor {
+
+std::uint16_t float_to_half(float value) noexcept {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000U;
+  const std::int32_t exponent = static_cast<std::int32_t>((f >> 23) & 0xFFU) - 127 + 15;
+  std::uint32_t mantissa = f & 0x7FFFFFU;
+
+  if (((f >> 23) & 0xFFU) == 0xFFU) {  // inf or NaN
+    const std::uint32_t payload = mantissa != 0 ? 0x200U : 0U;  // quiet NaN keeps a bit
+    return static_cast<std::uint16_t>(sign | 0x7C00U | payload);
+  }
+  if (exponent >= 0x1F) {  // overflow -> inf
+    return static_cast<std::uint16_t>(sign | 0x7C00U);
+  }
+  if (exponent <= 0) {  // subnormal or zero
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+    mantissa |= 0x800000U;  // restore implicit leading 1
+    const int shift = 14 - exponent;  // in [14, 24]
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even on the bits shifted out.
+    const std::uint32_t rem = mantissa & ((1U << shift) - 1U);
+    const std::uint32_t halfway = 1U << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1U))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+  // Normal range: keep top 10 mantissa bits, round to nearest even.
+  std::uint32_t half = sign | (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+  const std::uint32_t rem = mantissa & 0x1FFFU;
+  if (rem > 0x1000U || (rem == 0x1000U && (half & 1U))) ++half;  // may carry into exponent: correct
+  return static_cast<std::uint16_t>(half);
+}
+
+float half_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000U) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1FU;
+  std::uint32_t mantissa = bits & 0x3FFU;
+
+  if (exponent == 0x1FU) {  // inf / NaN
+    return std::bit_cast<float>(sign | 0x7F800000U | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return std::bit_cast<float>(sign);  // signed zero
+    // Subnormal: normalize.
+    int e = -1;
+    do {
+      ++e;
+      mantissa <<= 1;
+    } while ((mantissa & 0x400U) == 0);
+    mantissa &= 0x3FFU;
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return std::bit_cast<float>(sign | (exp32 << 23) | (mantissa << 13));
+  }
+  const std::uint32_t exp32 = exponent - 15 + 127;
+  return std::bit_cast<float>(sign | (exp32 << 23) | (mantissa << 13));
+}
+
+std::vector<std::uint16_t> to_half(std::span<const float> src) {
+  std::vector<std::uint16_t> out(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) out[i] = float_to_half(src[i]);
+  return out;
+}
+
+void from_half(std::span<const std::uint16_t> src, std::span<float> dst) {
+  if (src.size() != dst.size()) throw std::invalid_argument("from_half: size mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = half_to_float(src[i]);
+}
+
+}  // namespace gradcomp::tensor

@@ -1,0 +1,24 @@
+// IEEE-754 binary16 conversion, implemented in software.
+//
+// FP16 gradient transmission is the paper's reference point for "cheap"
+// compression (finding 1: ~2x compression via half precision often
+// suffices). We implement round-to-nearest-even fp32 -> fp16 with proper
+// subnormal, infinity, and NaN handling, plus the exact inverse widening.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gradcomp::tensor {
+
+// fp32 -> fp16 bits, round-to-nearest-even; overflow saturates to +/-inf.
+[[nodiscard]] std::uint16_t float_to_half(float value) noexcept;
+// fp16 bits -> fp32 (exact).
+[[nodiscard]] float half_to_float(std::uint16_t bits) noexcept;
+
+// Bulk conversions.
+[[nodiscard]] std::vector<std::uint16_t> to_half(std::span<const float> src);
+void from_half(std::span<const std::uint16_t> src, std::span<float> dst);
+
+}  // namespace gradcomp::tensor

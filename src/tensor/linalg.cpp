@@ -1,0 +1,256 @@
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gradcomp::tensor {
+
+namespace {
+
+void require_2d(const Tensor& t, const char* who) {
+  if (t.ndim() != 2) throw std::invalid_argument(std::string(who) + ": tensor must be 2-D");
+}
+
+// Returns the (rows, cols) of A(op).
+std::pair<std::int64_t, std::int64_t> op_dims(const Tensor& a, Transpose op) {
+  return op == Transpose::kNo ? std::pair{a.dim(0), a.dim(1)} : std::pair{a.dim(1), a.dim(0)};
+}
+
+// Materializes A(op) into a plain row-major matrix; identity op is a copy.
+// Keeping the kernel to one (no-transpose) case keeps it simple and fast
+// enough for the rank<=16 matrices PowerSGD produces.
+Tensor materialize(const Tensor& a, Transpose op) {
+  if (op == Transpose::kNo) return a;
+  const std::int64_t r = a.dim(0);
+  const std::int64_t c = a.dim(1);
+  Tensor out({c, r});
+  auto src = a.data();
+  auto dst = out.data();
+  for (std::int64_t i = 0; i < r; ++i)
+    for (std::int64_t j = 0; j < c; ++j)
+      dst[static_cast<std::size_t>(j * r + i)] = src[static_cast<std::size_t>(i * c + j)];
+  return out;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb) {
+  require_2d(a, "matmul(a)");
+  require_2d(b, "matmul(b)");
+  const auto [m, ka] = op_dims(a, ta);
+  const auto [kb, n] = op_dims(b, tb);
+  if (ka != kb) throw std::invalid_argument("matmul: inner dimensions mismatch");
+
+  const Tensor am = materialize(a, ta);
+  const Tensor bm = materialize(b, tb);
+  Tensor c({m, n});
+
+  const float* __restrict pa = am.data().data();
+  const float* __restrict pb = bm.data().data();
+  float* __restrict pc = c.data().data();
+  const std::int64_t k = ka;
+
+  // Cache-blocked i-k-j loop: the inner j loop is a contiguous AXPY, which
+  // auto-vectorizes well.
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::int64_t i1 = std::min(i0 + kBlock, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+      const std::int64_t k1 = std::min(k0 + kBlock, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = pa[i * k + kk];
+          const float* __restrict brow = pb + kk * n;
+          float* __restrict crow = pc + i * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  require_2d(a, "matvec(a)");
+  if (x.numel() != a.dim(1)) throw std::invalid_argument("matvec: dimension mismatch");
+  Tensor y({a.dim(0)});
+  auto pa = a.data();
+  auto px = x.data();
+  auto py = y.data();
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  for (std::int64_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < n; ++j)
+      s += static_cast<double>(pa[static_cast<std::size_t>(i * n + j)]) *
+           static_cast<double>(px[static_cast<std::size_t>(j)]);
+    py[static_cast<std::size_t>(i)] = static_cast<float>(s);
+  }
+  return y;
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) throw std::invalid_argument("dot: size mismatch");
+  auto pa = a.data();
+  auto pb = b.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    s += static_cast<double>(pa[i]) * static_cast<double>(pb[i]);
+  return s;
+}
+
+void orthonormalize_columns(Tensor& m) {
+  require_2d(m, "orthonormalize_columns");
+  const std::int64_t rows = m.dim(0);
+  const std::int64_t cols = m.dim(1);
+  auto p = m.data();
+  const auto col = [&](std::int64_t j, std::int64_t i) -> float& {
+    return p[static_cast<std::size_t>(i * cols + j)];
+  };
+  const auto project_out_previous = [&](std::int64_t j) {
+    for (std::int64_t k = 0; k < j; ++k) {
+      double proj = 0.0;
+      for (std::int64_t i = 0; i < rows; ++i)
+        proj += static_cast<double>(col(j, i)) * static_cast<double>(col(k, i));
+      for (std::int64_t i = 0; i < rows; ++i)
+        col(j, i) -= static_cast<float>(proj) * col(k, i);
+    }
+  };
+  const auto column_norm = [&](std::int64_t j) {
+    double norm = 0.0;
+    for (std::int64_t i = 0; i < rows; ++i)
+      norm += static_cast<double>(col(j, i)) * static_cast<double>(col(j, i));
+    return std::sqrt(norm);
+  };
+
+  for (std::int64_t j = 0; j < cols; ++j) {
+    const double pre_norm = column_norm(j);
+    project_out_previous(j);
+    double norm = column_norm(j);
+    // "Twice is enough": a large cancellation leaves a direction dominated
+    // by rounding error; one re-orthogonalization pass restores accuracy.
+    if (norm < 0.5 * pre_norm) {
+      project_out_previous(j);
+      norm = column_norm(j);
+    }
+    if (norm <= 1e-5 * pre_norm || norm < 1e-12) {
+      // Degenerate (e.g. duplicate) column: substitute a unit vector and
+      // orthogonalize it against the previous columns (twice, same reason).
+      for (std::int64_t i = 0; i < rows; ++i) col(j, i) = 0.0F;
+      col(j, j % rows) = 1.0F;
+      project_out_previous(j);
+      project_out_previous(j);
+      norm = std::max(column_norm(j), 1e-12);
+    }
+    const float inv = static_cast<float>(1.0 / norm);
+    for (std::int64_t i = 0; i < rows; ++i) col(j, i) *= inv;
+  }
+}
+
+bool has_orthonormal_columns(const Tensor& m, double tol) {
+  Tensor gram = matmul(m, m, Transpose::kYes, Transpose::kNo);
+  const std::int64_t k = gram.dim(0);
+  for (std::int64_t i = 0; i < k; ++i)
+    for (std::int64_t j = 0; j < k; ++j) {
+      const double expect = i == j ? 1.0 : 0.0;
+      if (std::abs(static_cast<double>(gram.at(i, j)) - expect) > tol) return false;
+    }
+  return true;
+}
+
+SvdResult svd(const Tensor& a, int max_sweeps, double tol) {
+  require_2d(a, "svd");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t n = a.dim(1);
+  if (m < n) {
+    // svd(A^T) = (V, s, U); swap back.
+    SvdResult t = svd(materialize(a, Transpose::kYes), max_sweeps, tol);
+    return SvdResult{std::move(t.v), std::move(t.sigma), std::move(t.u)};
+  }
+
+  // One-sided Jacobi: rotate column pairs of W (a working copy of A) until
+  // all pairs are numerically orthogonal; then sigma_j = ||w_j||,
+  // u_j = w_j / sigma_j, and V accumulates the rotations.
+  Tensor w = a;
+  Tensor v({n, n});
+  for (std::int64_t i = 0; i < n; ++i) v.at(i, i) = 1.0F;
+
+  auto pw = w.data();
+  auto pv = v.data();
+  const auto wcol = [&](std::int64_t j, std::int64_t i) -> float& {
+    return pw[static_cast<std::size_t>(i * n + j)];
+  };
+  const auto vcol = [&](std::int64_t j, std::int64_t i) -> float& {
+    return pv[static_cast<std::size_t>(i * n + j)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::int64_t p = 0; p < n - 1; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (std::int64_t i = 0; i < m; ++i) {
+          const double wp = wcol(p, i);
+          const double wq = wcol(q, i);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) + 1e-300) continue;
+        converged = false;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float wp = wcol(p, i);
+          const float wq = wcol(q, i);
+          wcol(p, i) = static_cast<float>(c * wp - s * wq);
+          wcol(q, i) = static_cast<float>(s * wp + c * wq);
+        }
+        for (std::int64_t i = 0; i < n; ++i) {
+          const float vp = vcol(p, i);
+          const float vq = vcol(q, i);
+          vcol(p, i) = static_cast<float>(c * vp - s * vq);
+          vcol(q, i) = static_cast<float>(s * vp + c * vq);
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Extract singular values, sort descending, and build U.
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (std::int64_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < m; ++i)
+      s += static_cast<double>(wcol(j, i)) * static_cast<double>(wcol(j, i));
+    sigma[static_cast<std::size_t>(j)] = std::sqrt(s);
+  }
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return sigma[static_cast<std::size_t>(x)] > sigma[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult result{Tensor({m, n}), std::vector<double>(static_cast<std::size_t>(n)),
+                   Tensor({n, n})};
+  for (std::int64_t jj = 0; jj < n; ++jj) {
+    const std::int64_t j = order[static_cast<std::size_t>(jj)];
+    const double s = sigma[static_cast<std::size_t>(j)];
+    result.sigma[static_cast<std::size_t>(jj)] = s;
+    const double inv = s > 1e-300 ? 1.0 / s : 0.0;
+    for (std::int64_t i = 0; i < m; ++i)
+      result.u.at(i, jj) = static_cast<float>(wcol(j, i) * inv);
+    for (std::int64_t i = 0; i < n; ++i) result.v.at(i, jj) = vcol(j, i);
+  }
+  return result;
+}
+
+double frobenius_norm(const Tensor& a) { return a.l2_norm(); }
+
+}  // namespace gradcomp::tensor

@@ -1,0 +1,34 @@
+// Deterministic, fast PRNG for tensor fills and stochastic compressors.
+//
+// xoshiro256** seeded through SplitMix64, per Blackman & Vigna. A dedicated
+// generator (rather than std::mt19937) keeps results bit-identical across
+// standard libraries, which the golden-value tests rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gradcomp::tensor {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64() noexcept;
+  // Uniform in [0, 1).
+  double next_double() noexcept;
+  // Uniform in [lo, hi).
+  float uniform(float lo, float hi) noexcept;
+  // Standard normal via Box-Muller (cached second value).
+  float gaussian() noexcept;
+  // Uniform integer in [0, n); n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_ = false;
+  float cached_ = 0.0F;
+};
+
+}  // namespace gradcomp::tensor

@@ -1,0 +1,48 @@
+#include "tensor/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gradcomp::tensor {
+
+TopKResult top_k_abs(std::span<const float> data, std::int64_t k) {
+  if (k < 0) throw std::invalid_argument("top_k_abs: k must be non-negative");
+  const auto n = static_cast<std::int64_t>(data.size());
+  k = std::min(k, n);
+
+  TopKResult result;
+  if (k == 0) return result;
+
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  const auto greater_abs = [&](std::int64_t a, std::int64_t b) {
+    const float fa = std::abs(data[static_cast<std::size_t>(a)]);
+    const float fb = std::abs(data[static_cast<std::size_t>(b)]);
+    if (fa != fb) return fa > fb;
+    return a < b;  // deterministic tie-break
+  };
+  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(), greater_abs);
+  idx.resize(static_cast<std::size_t>(k));
+  std::sort(idx.begin(), idx.end());
+
+  result.indices = std::move(idx);
+  result.values.reserve(static_cast<std::size_t>(k));
+  for (auto i : result.indices) result.values.push_back(data[static_cast<std::size_t>(i)]);
+  return result;
+}
+
+std::vector<float> scatter(const TopKResult& sparse, std::int64_t n) {
+  if (sparse.indices.size() != sparse.values.size())
+    throw std::invalid_argument("scatter: indices/values size mismatch");
+  std::vector<float> dense(static_cast<std::size_t>(n), 0.0F);
+  for (std::size_t j = 0; j < sparse.indices.size(); ++j) {
+    const std::int64_t i = sparse.indices[j];
+    if (i < 0 || i >= n) throw std::out_of_range("scatter: index out of range");
+    dense[static_cast<std::size_t>(i)] = sparse.values[j];
+  }
+  return dense;
+}
+
+}  // namespace gradcomp::tensor

@@ -1,0 +1,28 @@
+// Top-k-by-magnitude selection, the kernel of TOP-K sparsification.
+//
+// Selection is the dominant encode cost the paper measures for TOP-K
+// (Table 2: 240-295 ms on ResNet-50) — it requires a pass over the full
+// gradient regardless of how small k is, which is why TopK-1% is barely
+// cheaper than TopK-20%.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gradcomp::tensor {
+
+struct TopKResult {
+  std::vector<std::int64_t> indices;  // positions of the k largest |values|
+  std::vector<float> values;          // original (signed) values at those positions
+};
+
+// Returns the k elements of `data` largest in absolute value. k is clamped
+// to data.size(). Indices are returned in ascending order (deterministic,
+// and friendlier to the decoder's scatter). Ties broken by lower index.
+[[nodiscard]] TopKResult top_k_abs(std::span<const float> data, std::int64_t k);
+
+// Scatters values back into a zeroed dense vector of length n.
+[[nodiscard]] std::vector<float> scatter(const TopKResult& sparse, std::int64_t n);
+
+}  // namespace gradcomp::tensor

@@ -1,0 +1,84 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace gradcomp::trace {
+
+void Timeline::add(std::string stream, std::string label, double start_s, double end_s) {
+  if (end_s < start_s) throw std::invalid_argument("Timeline::add: end before start");
+  spans_.push_back(Span{std::move(stream), std::move(label), start_s, end_s});
+}
+
+double Timeline::makespan() const noexcept {
+  double m = 0.0;
+  for (const auto& s : spans_) m = std::max(m, s.end_s);
+  return m;
+}
+
+double Timeline::stream_busy(const std::string& stream) const {
+  // Merge overlapping spans on the stream before summing.
+  std::vector<std::pair<double, double>> intervals;
+  for (const auto& s : spans_)
+    if (s.stream == stream) intervals.emplace_back(s.start_s, s.end_s);
+  std::sort(intervals.begin(), intervals.end());
+  double busy = 0.0;
+  double cur_start = 0.0;
+  double cur_end = -1.0;
+  for (const auto& [a, b] : intervals) {
+    if (cur_end < 0 || a > cur_end) {
+      if (cur_end >= 0) busy += cur_end - cur_start;
+      cur_start = a;
+      cur_end = b;
+    } else {
+      cur_end = std::max(cur_end, b);
+    }
+  }
+  if (cur_end >= 0) busy += cur_end - cur_start;
+  return busy;
+}
+
+std::vector<std::string> Timeline::streams() const {
+  std::vector<std::string> names;
+  for (const auto& s : spans_)
+    if (std::find(names.begin(), names.end(), s.stream) == names.end())
+      names.push_back(s.stream);
+  return names;
+}
+
+void Timeline::render_ascii(std::ostream& os, int width) const {
+  const double total = makespan();
+  if (total <= 0 || width <= 0) {
+    os << "(empty timeline)\n";
+    return;
+  }
+  std::size_t name_w = 0;
+  for (const auto& name : streams()) name_w = std::max(name_w, name.size());
+
+  for (const auto& name : streams()) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& s : spans_) {
+      if (s.stream != name) continue;
+      auto lo = static_cast<int>(std::floor(s.start_s / total * width));
+      auto hi = static_cast<int>(std::ceil(s.end_s / total * width));
+      lo = std::clamp(lo, 0, width);
+      hi = std::clamp(hi, lo, width);
+      for (int i = lo; i < hi; ++i) row[static_cast<std::size_t>(i)] = '#';
+    }
+    os << std::left << std::setw(static_cast<int>(name_w)) << name << " |" << row << "|\n";
+  }
+  os << std::left << std::setw(static_cast<int>(name_w)) << "" << "  0" << std::right
+     << std::setw(width - 1) << Span{"", "", 0, total}.duration() * 1e3 << " ms\n";
+}
+
+void Timeline::render_csv(std::ostream& os) const {
+  os << "csv,stream,label,start_ms,end_ms\n";
+  for (const auto& s : spans_)
+    os << "csv," << s.stream << ',' << s.label << ',' << s.start_s * 1e3 << ',' << s.end_s * 1e3
+       << '\n';
+}
+
+}  // namespace gradcomp::trace

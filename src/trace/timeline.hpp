@@ -1,0 +1,45 @@
+// Span-based execution timeline, our stand-in for the NVIDIA Nsight traces
+// the paper uses (Figure 2) to show gradient communication proceeding on a
+// separate CUDA stream, overlapped with the backward pass.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gradcomp::trace {
+
+struct Span {
+  std::string stream;  // e.g. "compute", "comm", "encode"
+  std::string label;   // e.g. "bucket 3 allreduce"
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  [[nodiscard]] double duration() const { return end_s - start_s; }
+};
+
+class Timeline {
+ public:
+  // Adds a span; throws std::invalid_argument if end < start.
+  void add(std::string stream, std::string label, double start_s, double end_s);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  // Latest end time across all spans (0 when empty).
+  [[nodiscard]] double makespan() const noexcept;
+  // Total busy time on one stream.
+  [[nodiscard]] double stream_busy(const std::string& stream) const;
+  // Distinct stream names in first-appearance order.
+  [[nodiscard]] std::vector<std::string> streams() const;
+
+  // ASCII Gantt chart: one row per stream, `width` characters across the
+  // makespan, '#' where any span on that stream is active.
+  void render_ascii(std::ostream& os, int width = 100) const;
+  // "csv,stream,label,start_ms,end_ms" rows.
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace gradcomp::trace

@@ -1,0 +1,195 @@
+#include "train/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+
+namespace {
+
+void require_4d(const tensor::Tensor& t, const char* who) {
+  if (t.ndim() != 4) throw std::invalid_argument(std::string(who) + ": expected a 4-D tensor");
+}
+
+// {B, out, OH, OW} <-> {out, B*OH*OW} rearrangements.
+tensor::Tensor to_channel_major(const tensor::Tensor& t) {
+  const std::int64_t b = t.dim(0);
+  const std::int64_t c = t.dim(1);
+  const std::int64_t h = t.dim(2);
+  const std::int64_t w = t.dim(3);
+  tensor::Tensor out({c, b * h * w});
+  auto src = t.data();
+  auto dst = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t ci = 0; ci < c; ++ci)
+      for (std::int64_t i = 0; i < h * w; ++i)
+        dst[static_cast<std::size_t>(ci * b * h * w + bi * h * w + i)] =
+            src[static_cast<std::size_t>(((bi * c) + ci) * h * w + i)];
+  return out;
+}
+
+tensor::Tensor from_channel_major(const tensor::Tensor& t, std::int64_t b, std::int64_t h,
+                                  std::int64_t w) {
+  const std::int64_t c = t.dim(0);
+  tensor::Tensor out({b, c, h, w});
+  auto src = t.data();
+  auto dst = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t ci = 0; ci < c; ++ci)
+      for (std::int64_t i = 0; i < h * w; ++i)
+        dst[static_cast<std::size_t>(((bi * c) + ci) * h * w + i)] =
+            src[static_cast<std::size_t>(ci * b * h * w + bi * h * w + i)];
+  return out;
+}
+
+}  // namespace
+
+tensor::Tensor im2col(const tensor::Tensor& input, const ConvSpec& spec) {
+  require_4d(input, "im2col");
+  const std::int64_t b = input.dim(0);
+  const std::int64_t c = input.dim(1);
+  const std::int64_t h = input.dim(2);
+  const std::int64_t w = input.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+  const std::int64_t oh = spec.out_size(h);
+  const std::int64_t ow = spec.out_size(w);
+  if (oh < 1 || ow < 1) throw std::invalid_argument("im2col: kernel larger than padded input");
+
+  const std::int64_t k = spec.kernel;
+  tensor::Tensor cols({c * k * k, b * oh * ow});
+  auto src = input.data();
+  auto dst = cols.data();
+  const std::int64_t col_count = b * oh * ow;
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (std::int64_t kh = 0; kh < k; ++kh) {
+      for (std::int64_t kw = 0; kw < k; ++kw) {
+        const std::int64_t row = (ci * k + kh) * k + kw;
+        for (std::int64_t bi = 0; bi < b; ++bi) {
+          for (std::int64_t ohi = 0; ohi < oh; ++ohi) {
+            const std::int64_t hi = ohi * spec.stride + kh - spec.padding;
+            for (std::int64_t owi = 0; owi < ow; ++owi) {
+              const std::int64_t wi = owi * spec.stride + kw - spec.padding;
+              const std::int64_t col = (bi * oh + ohi) * ow + owi;
+              float value = 0.0F;
+              if (hi >= 0 && hi < h && wi >= 0 && wi < w)
+                value = src[static_cast<std::size_t>(((bi * c + ci) * h + hi) * w + wi)];
+              dst[static_cast<std::size_t>(row * col_count + col)] = value;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+tensor::Tensor col2im(const tensor::Tensor& columns, const ConvSpec& spec,
+                      const tensor::Shape& input_shape) {
+  if (input_shape.size() != 4) throw std::invalid_argument("col2im: expected 4-D input shape");
+  const std::int64_t b = input_shape[0];
+  const std::int64_t c = input_shape[1];
+  const std::int64_t h = input_shape[2];
+  const std::int64_t w = input_shape[3];
+  const std::int64_t oh = spec.out_size(h);
+  const std::int64_t ow = spec.out_size(w);
+  const std::int64_t k = spec.kernel;
+  if (columns.dim(0) != c * k * k || columns.dim(1) != b * oh * ow)
+    throw std::invalid_argument("col2im: column shape mismatch");
+
+  tensor::Tensor out({b, c, h, w});
+  auto src = columns.data();
+  auto dst = out.data();
+  const std::int64_t col_count = b * oh * ow;
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    for (std::int64_t kh = 0; kh < k; ++kh) {
+      for (std::int64_t kw = 0; kw < k; ++kw) {
+        const std::int64_t row = (ci * k + kh) * k + kw;
+        for (std::int64_t bi = 0; bi < b; ++bi) {
+          for (std::int64_t ohi = 0; ohi < oh; ++ohi) {
+            const std::int64_t hi = ohi * spec.stride + kh - spec.padding;
+            if (hi < 0 || hi >= h) continue;
+            for (std::int64_t owi = 0; owi < ow; ++owi) {
+              const std::int64_t wi = owi * spec.stride + kw - spec.padding;
+              if (wi < 0 || wi >= w) continue;
+              const std::int64_t col = (bi * oh + ohi) * ow + owi;
+              dst[static_cast<std::size_t>(((bi * c + ci) * h + hi) * w + wi)] +=
+                  src[static_cast<std::size_t>(row * col_count + col)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2d::Conv2d(ConvSpec spec, std::uint64_t seed)
+    : spec_(spec),
+      weight_({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      bias_({spec.out_channels}),
+      grad_weight_(weight_.shape()),
+      grad_bias_(bias_.shape()) {
+  if (spec.in_channels < 1 || spec.out_channels < 1 || spec.kernel < 1 || spec.stride < 1 ||
+      spec.padding < 0)
+    throw std::invalid_argument("Conv2d: invalid spec");
+  tensor::Rng rng(seed);
+  weight_ = tensor::Tensor::randn(weight_.shape(), rng);
+  const double fan_in =
+      static_cast<double>(spec.in_channels * spec.kernel * spec.kernel);
+  weight_.scale(static_cast<float>(std::sqrt(2.0 / fan_in)));
+}
+
+tensor::Tensor Conv2d::forward(const tensor::Tensor& input) {
+  require_4d(input, "Conv2d::forward");
+  cached_input_shape_ = input.shape();
+  cached_cols_ = im2col(input, spec_);
+
+  // {out, C*k*k} x {C*k*k, B*OH*OW}.
+  const tensor::Tensor w_mat = weight_.reshape({spec_.out_channels, -1});
+  tensor::Tensor out_mat = tensor::matmul(w_mat, cached_cols_);
+  auto po = out_mat.data();
+  auto pb = bias_.data();
+  const std::int64_t cols = out_mat.dim(1);
+  for (std::int64_t o = 0; o < spec_.out_channels; ++o)
+    for (std::int64_t j = 0; j < cols; ++j)
+      po[static_cast<std::size_t>(o * cols + j)] += pb[static_cast<std::size_t>(o)];
+
+  const std::int64_t b = input.dim(0);
+  const std::int64_t oh = spec_.out_size(input.dim(2));
+  const std::int64_t ow = spec_.out_size(input.dim(3));
+  return from_channel_major(out_mat, b, oh, ow);
+}
+
+tensor::Tensor Conv2d::backward(const tensor::Tensor& grad_output) {
+  require_4d(grad_output, "Conv2d::backward");
+  if (cached_input_shape_.empty())
+    throw std::logic_error("Conv2d::backward: forward() must run first");
+
+  const tensor::Tensor grad_mat = to_channel_major(grad_output);  // {out, B*OH*OW}
+
+  // dW = dOut * cols^T, db = row sums of dOut.
+  grad_weight_ =
+      tensor::matmul(grad_mat, cached_cols_, tensor::Transpose::kNo, tensor::Transpose::kYes)
+          .reshape(weight_.shape());
+  grad_bias_.fill(0.0F);
+  auto gb = grad_bias_.data();
+  auto gm = grad_mat.data();
+  const std::int64_t cols = grad_mat.dim(1);
+  for (std::int64_t o = 0; o < spec_.out_channels; ++o) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j)
+      sum += gm[static_cast<std::size_t>(o * cols + j)];
+    gb[static_cast<std::size_t>(o)] = static_cast<float>(sum);
+  }
+
+  // dInput = col2im(W^T * dOut).
+  const tensor::Tensor w_mat = weight_.reshape({spec_.out_channels, -1});
+  const tensor::Tensor dcols =
+      tensor::matmul(w_mat, grad_mat, tensor::Transpose::kYes, tensor::Transpose::kNo);
+  return col2im(dcols, spec_, cached_input_shape_);
+}
+
+}  // namespace gradcomp::train

@@ -1,0 +1,63 @@
+// 2-D convolution via im2col + GEMM, with manual backward.
+//
+// Convolutions matter to this study because their 4-D weight gradients are
+// what PowerSGD/ATOMO matricize ({out, in, kh, kw} -> {out, in*kh*kw});
+// a CNN trained through the data-parallel stack exercises that path with
+// real gradients rather than synthetic tensors.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::train {
+
+struct ConvSpec {
+  std::int64_t in_channels = 1;
+  std::int64_t out_channels = 1;
+  std::int64_t kernel = 3;   // square kernels
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;  // zero padding on all sides
+
+  [[nodiscard]] std::int64_t out_size(std::int64_t in_size) const {
+    return (in_size + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+// Lowers {batch, C, H, W} input patches to a {C*k*k, B*OH*OW} matrix so the
+// convolution becomes one GEMM.
+[[nodiscard]] tensor::Tensor im2col(const tensor::Tensor& input, const ConvSpec& spec);
+
+// Inverse scatter-add of im2col: accumulates column gradients back to a
+// {batch, C, H, W} tensor.
+[[nodiscard]] tensor::Tensor col2im(const tensor::Tensor& columns, const ConvSpec& spec,
+                                    const tensor::Shape& input_shape);
+
+class Conv2d {
+ public:
+  // Weight {out, in, k, k} initialized Kaiming-style from `seed`; bias zero.
+  Conv2d(ConvSpec spec, std::uint64_t seed);
+
+  // input {B, C, H, W} -> output {B, out, OH, OW}; caches im2col for backward.
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input);
+
+  // grad_output {B, out, OH, OW} -> grad wrt input; fills grad_weight/bias.
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output);
+
+  [[nodiscard]] const ConvSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] tensor::Tensor& weight() noexcept { return weight_; }
+  [[nodiscard]] tensor::Tensor& bias() noexcept { return bias_; }
+  [[nodiscard]] tensor::Tensor& grad_weight() noexcept { return grad_weight_; }
+  [[nodiscard]] tensor::Tensor& grad_bias() noexcept { return grad_bias_; }
+
+ private:
+  ConvSpec spec_;
+  tensor::Tensor weight_;       // {out, in, k, k}
+  tensor::Tensor bias_;         // {out}
+  tensor::Tensor grad_weight_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor cached_cols_;  // im2col of the last forward input
+  tensor::Shape cached_input_shape_;
+};
+
+}  // namespace gradcomp::train

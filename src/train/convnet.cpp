@@ -1,0 +1,185 @@
+#include "train/convnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+
+namespace {
+
+void relu_inplace(tensor::Tensor& t) {
+  for (auto& v : t.data()) v = std::max(v, 0.0F);
+}
+
+// {B, C, H, W} -> {B, C} global average pooling.
+tensor::Tensor global_avg_pool(const tensor::Tensor& t) {
+  const std::int64_t b = t.dim(0);
+  const std::int64_t c = t.dim(1);
+  const std::int64_t hw = t.dim(2) * t.dim(3);
+  tensor::Tensor out({b, c});
+  auto src = t.data();
+  auto dst = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      double sum = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i)
+        sum += src[static_cast<std::size_t>((bi * c + ci) * hw + i)];
+      dst[static_cast<std::size_t>(bi * c + ci)] =
+          static_cast<float>(sum / static_cast<double>(hw));
+    }
+  return out;
+}
+
+}  // namespace
+
+ConvNet::ConvNet(std::int64_t in_channels, std::int64_t image_size, std::int64_t classes,
+                 std::uint64_t seed, std::int64_t hidden_channels)
+    : classes_(classes),
+      image_size_(image_size),
+      conv1_(ConvSpec{in_channels, hidden_channels, 3, 1, 1}, seed),
+      conv2_(ConvSpec{hidden_channels, hidden_channels, 3, 1, 1}, seed ^ 0x5DEECE66DULL),
+      fc_{tensor::Tensor({classes, hidden_channels}), tensor::Tensor({classes}),
+          tensor::Tensor({classes, hidden_channels}), tensor::Tensor({classes})} {
+  if (classes < 2 || image_size < 3)
+    throw std::invalid_argument("ConvNet: need classes >= 2 and image_size >= 3");
+  tensor::Rng rng(seed ^ 0x2545F4914F6CDD1DULL);
+  fc_.w = tensor::Tensor::randn(fc_.w.shape(), rng);
+  fc_.w.scale(static_cast<float>(std::sqrt(2.0 / static_cast<double>(hidden_channels))));
+}
+
+ConvNet::Activations ConvNet::run_forward(const tensor::Tensor& images) const {
+  if (images.ndim() != 4 || images.dim(2) != image_size_ || images.dim(3) != image_size_)
+    throw std::invalid_argument("ConvNet: bad image shape");
+  Activations acts;
+  acts.a1 = conv1_.forward(images);
+  relu_inplace(acts.a1);
+  acts.a2 = conv2_.forward(acts.a1);
+  relu_inplace(acts.a2);
+  acts.pooled = global_avg_pool(acts.a2);
+  return acts;
+}
+
+tensor::Tensor ConvNet::forward(const tensor::Tensor& images) const {
+  const Activations acts = run_forward(images);
+  tensor::Tensor logits =
+      tensor::matmul(acts.pooled, fc_.w, tensor::Transpose::kNo, tensor::Transpose::kYes);
+  auto pl = logits.data();
+  auto pb = fc_.b.data();
+  const std::int64_t b = logits.dim(0);
+  for (std::int64_t i = 0; i < b; ++i)
+    for (std::int64_t j = 0; j < classes_; ++j)
+      pl[static_cast<std::size_t>(i * classes_ + j)] += pb[static_cast<std::size_t>(j)];
+  return logits;
+}
+
+double ConvNet::compute_gradients(const tensor::Tensor& images, const std::vector<int>& labels) {
+  const std::int64_t batch = images.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != batch)
+    throw std::invalid_argument("ConvNet::compute_gradients: label count mismatch");
+
+  const Activations acts = run_forward(images);
+  tensor::Tensor logits =
+      tensor::matmul(acts.pooled, fc_.w, tensor::Transpose::kNo, tensor::Transpose::kYes);
+  {
+    auto pl = logits.data();
+    auto pb = fc_.b.data();
+    for (std::int64_t i = 0; i < batch; ++i)
+      for (std::int64_t j = 0; j < classes_; ++j)
+        pl[static_cast<std::size_t>(i * classes_ + j)] += pb[static_cast<std::size_t>(j)];
+  }
+
+  tensor::Tensor delta = softmax_rows(logits);
+  double loss_sum = 0.0;
+  auto pd = delta.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= classes_)
+      throw std::invalid_argument("ConvNet::compute_gradients: label out of range");
+    loss_sum += -std::log(std::max(delta.at(i, y), 1e-12F));
+    pd[static_cast<std::size_t>(i * classes_ + y)] -= 1.0F;
+  }
+  delta.scale(1.0F / static_cast<float>(batch));
+
+  // FC layer gradients.
+  fc_.grad_w = tensor::matmul(delta, acts.pooled, tensor::Transpose::kYes);
+  fc_.grad_b.fill(0.0F);
+  auto gb = fc_.grad_b.data();
+  for (std::int64_t i = 0; i < batch; ++i)
+    for (std::int64_t j = 0; j < classes_; ++j)
+      gb[static_cast<std::size_t>(j)] += pd[static_cast<std::size_t>(i * classes_ + j)];
+
+  // Back through pooling: each spatial position gets dpooled / (H*W), gated
+  // by conv2's ReLU mask.
+  const tensor::Tensor dpooled = tensor::matmul(delta, fc_.w);  // {B, hidden}
+  const std::int64_t hidden = dpooled.dim(1);
+  const std::int64_t hw = acts.a2.dim(2) * acts.a2.dim(3);
+  tensor::Tensor d_a2(acts.a2.shape());
+  {
+    auto dp = dpooled.data();
+    auto da = d_a2.data();
+    auto a2 = acts.a2.data();
+    const float inv_hw = 1.0F / static_cast<float>(hw);
+    for (std::int64_t bi = 0; bi < batch; ++bi)
+      for (std::int64_t ci = 0; ci < hidden; ++ci) {
+        const float g = dp[static_cast<std::size_t>(bi * hidden + ci)] * inv_hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const auto idx = static_cast<std::size_t>((bi * hidden + ci) * hw + i);
+          da[idx] = a2[idx] > 0.0F ? g : 0.0F;
+        }
+      }
+  }
+
+  // Back through conv2 (gating by conv1's ReLU) and conv1.
+  tensor::Tensor d_a1 = conv2_.backward(d_a2);
+  {
+    auto da = d_a1.data();
+    auto a1 = acts.a1.data();
+    for (std::size_t i = 0; i < da.size(); ++i)
+      if (a1[i] <= 0.0F) da[i] = 0.0F;
+  }
+  (void)conv1_.backward(d_a1);
+
+  return loss_sum / static_cast<double>(batch);
+}
+
+double ConvNet::loss(const tensor::Tensor& images, const std::vector<int>& labels) const {
+  const tensor::Tensor probs = softmax_rows(forward(images));
+  double loss_sum = 0.0;
+  for (std::int64_t i = 0; i < probs.dim(0); ++i)
+    loss_sum += -std::log(std::max(probs.at(i, labels[static_cast<std::size_t>(i)]), 1e-12F));
+  return loss_sum / static_cast<double>(probs.dim(0));
+}
+
+double ConvNet::accuracy(const tensor::Tensor& images, const std::vector<int>& labels) const {
+  const tensor::Tensor logits = forward(images);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < logits.dim(0); ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < classes_; ++j)
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return logits.dim(0) > 0 ? static_cast<double>(correct) / static_cast<double>(logits.dim(0))
+                           : 0.0;
+}
+
+std::vector<tensor::Tensor*> ConvNet::parameters() {
+  return {&conv1_.weight(), &conv1_.bias(), &conv2_.weight(), &conv2_.bias(), &fc_.w, &fc_.b};
+}
+
+std::vector<tensor::Tensor*> ConvNet::gradients() {
+  return {&conv1_.grad_weight(), &conv1_.grad_bias(), &conv2_.grad_weight(),
+          &conv2_.grad_bias(), &fc_.grad_w, &fc_.grad_b};
+}
+
+void ConvNet::apply_sgd(float lr) {
+  auto params = parameters();
+  auto grads = gradients();
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->axpy(-lr, *grads[i]);
+}
+
+}  // namespace gradcomp::train

@@ -1,0 +1,54 @@
+// Small CNN classifier: conv -> ReLU -> conv -> ReLU -> global average
+// pooling -> linear. Its 4-D convolution weight gradients are exactly what
+// PowerSGD/ATOMO matricize, so data-parallel training of this network
+// exercises the compression stack on realistic CNN gradients end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/conv.hpp"
+#include "train/nn.hpp"
+
+namespace gradcomp::train {
+
+class ConvNet {
+ public:
+  // Input images are {B, in_channels, image_size, image_size}.
+  ConvNet(std::int64_t in_channels, std::int64_t image_size, std::int64_t classes,
+          std::uint64_t seed, std::int64_t hidden_channels = 8);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& images) const;
+  // Forward + backward; fills all parameter gradients; returns mean CE loss.
+  double compute_gradients(const tensor::Tensor& images, const std::vector<int>& labels);
+
+  [[nodiscard]] double loss(const tensor::Tensor& images, const std::vector<int>& labels) const;
+  [[nodiscard]] double accuracy(const tensor::Tensor& images,
+                                const std::vector<int>& labels) const;
+
+  // Parameter/gradient tensors in a stable order (conv1.w, conv1.b,
+  // conv2.w, conv2.b, fc.w, fc.b) for the compression loop.
+  [[nodiscard]] std::vector<tensor::Tensor*> parameters();
+  [[nodiscard]] std::vector<tensor::Tensor*> gradients();
+
+  // w -= lr * grad over all parameters.
+  void apply_sgd(float lr);
+
+  [[nodiscard]] std::int64_t num_classes() const noexcept { return classes_; }
+
+ private:
+  struct Activations {
+    tensor::Tensor a1;      // post-ReLU conv1 output
+    tensor::Tensor a2;      // post-ReLU conv2 output
+    tensor::Tensor pooled;  // {B, hidden}
+  };
+  [[nodiscard]] Activations run_forward(const tensor::Tensor& images) const;
+
+  std::int64_t classes_;
+  std::int64_t image_size_;
+  mutable Conv2d conv1_;  // forward caches im2col state
+  mutable Conv2d conv2_;
+  LinearLayer fc_;
+};
+
+}  // namespace gradcomp::train

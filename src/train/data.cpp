@@ -1,0 +1,75 @@
+#include "train/data.hpp"
+
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+
+Dataset make_blobs(std::int64_t classes, std::int64_t dim, std::int64_t per_class, float spread,
+                   std::uint64_t seed) {
+  if (classes < 2 || dim < 1 || per_class < 1)
+    throw std::invalid_argument("make_blobs: need classes >= 2, dim >= 1, per_class >= 1");
+  tensor::Rng rng(seed);
+
+  // Well-separated random centers.
+  std::vector<std::vector<float>> centers(static_cast<std::size_t>(classes),
+                                          std::vector<float>(static_cast<std::size_t>(dim)));
+  for (auto& center : centers)
+    for (auto& coord : center) coord = rng.uniform(-4.0F, 4.0F);
+
+  const std::int64_t n = classes * per_class;
+  Dataset data;
+  data.classes = classes;
+  data.x = tensor::Tensor({n, dim});
+  data.y.resize(static_cast<std::size_t>(n));
+  auto px = data.x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::size_t>(i % classes);
+    data.y[static_cast<std::size_t>(i)] = static_cast<int>(cls);
+    for (std::int64_t d = 0; d < dim; ++d)
+      px[static_cast<std::size_t>(i * dim + d)] =
+          centers[cls][static_cast<std::size_t>(d)] + spread * rng.gaussian();
+  }
+  return data;
+}
+
+Dataset shard(const Dataset& full, int rank, int world_size) {
+  if (world_size < 1 || rank < 0 || rank >= world_size)
+    throw std::invalid_argument("shard: invalid rank/world_size");
+  const std::int64_t n = full.size();
+  const std::int64_t dim = full.dim();
+  std::vector<float> xs;
+  std::vector<int> ys;
+  auto px = full.x.data();
+  for (std::int64_t i = rank; i < n; i += world_size) {
+    xs.insert(xs.end(), px.begin() + i * dim, px.begin() + (i + 1) * dim);
+    ys.push_back(full.y[static_cast<std::size_t>(i)]);
+  }
+  Dataset out;
+  out.classes = full.classes;
+  out.y = std::move(ys);
+  out.x = tensor::Tensor({static_cast<std::int64_t>(out.y.size()), dim}, std::move(xs));
+  return out;
+}
+
+Dataset batch(const Dataset& data, std::int64_t index, std::int64_t batch_size) {
+  if (batch_size < 1) throw std::invalid_argument("batch: batch_size must be >= 1");
+  const std::int64_t n = data.size();
+  if (n == 0) throw std::invalid_argument("batch: empty dataset");
+  const std::int64_t dim = data.dim();
+  Dataset out;
+  out.classes = data.classes;
+  out.x = tensor::Tensor({batch_size, dim});
+  out.y.resize(static_cast<std::size_t>(batch_size));
+  auto src = data.x.data();
+  auto dst = out.x.data();
+  for (std::int64_t j = 0; j < batch_size; ++j) {
+    const std::int64_t i = (index * batch_size + j) % n;
+    std::copy(src.begin() + i * dim, src.begin() + (i + 1) * dim, dst.begin() + j * dim);
+    out.y[static_cast<std::size_t>(j)] = data.y[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace gradcomp::train

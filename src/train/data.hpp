@@ -1,0 +1,35 @@
+// Synthetic classification datasets (the ImageNet/Sogou substitution for
+// the end-to-end trainer: the timing study needs only gradient shapes, and
+// the convergence study needs a learnable task, which gaussian class blobs
+// provide deterministically).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::train {
+
+struct Dataset {
+  tensor::Tensor x;        // {n, dim}
+  std::vector<int> y;      // n labels in [0, classes)
+  std::int64_t classes = 0;
+
+  [[nodiscard]] std::int64_t size() const { return x.ndim() == 2 ? x.dim(0) : 0; }
+  [[nodiscard]] std::int64_t dim() const { return x.ndim() == 2 ? x.dim(1) : 0; }
+};
+
+// Gaussian blobs: `per_class` points around each of `classes` random
+// centers in `dim` dimensions, noise stddev `spread`. Linearly separable
+// for small spread; harder as spread grows.
+[[nodiscard]] Dataset make_blobs(std::int64_t classes, std::int64_t dim, std::int64_t per_class,
+                                 float spread, std::uint64_t seed);
+
+// Round-robin shard for one worker: samples rank, rank+p, rank+2p, ...
+[[nodiscard]] Dataset shard(const Dataset& full, int rank, int world_size);
+
+// The `index`-th batch of `batch_size` consecutive samples (wraps around).
+[[nodiscard]] Dataset batch(const Dataset& data, std::int64_t index, std::int64_t batch_size);
+
+}  // namespace gradcomp::train

@@ -1,0 +1,156 @@
+#include "train/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+
+namespace gradcomp::train {
+
+Mlp::Mlp(std::vector<std::int64_t> dims, std::uint64_t seed) : dims_(std::move(dims)) {
+  if (dims_.size() < 2) throw std::invalid_argument("Mlp: need at least input and output dims");
+  tensor::Rng rng(seed);
+  layers_.reserve(dims_.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+    const std::int64_t in = dims_[i];
+    const std::int64_t out = dims_[i + 1];
+    if (in < 1 || out < 1) throw std::invalid_argument("Mlp: dims must be >= 1");
+    LinearLayer layer{tensor::Tensor::randn({out, in}, rng), tensor::Tensor({out}),
+                      tensor::Tensor({out, in}), tensor::Tensor({out})};
+    // Kaiming-style scaling keeps activations bounded through ReLU stacks.
+    layer.w.scale(static_cast<float>(std::sqrt(2.0 / static_cast<double>(in))));
+    layers_.push_back(std::move(layer));
+  }
+}
+
+namespace {
+
+tensor::Tensor linear_forward(const LinearLayer& layer, const tensor::Tensor& x) {
+  tensor::Tensor y = tensor::matmul(x, layer.w, tensor::Transpose::kNo, tensor::Transpose::kYes);
+  const std::int64_t batch = y.dim(0);
+  const std::int64_t out = y.dim(1);
+  auto py = y.data();
+  auto pb = layer.b.data();
+  for (std::int64_t i = 0; i < batch; ++i)
+    for (std::int64_t j = 0; j < out; ++j)
+      py[static_cast<std::size_t>(i * out + j)] += pb[static_cast<std::size_t>(j)];
+  return y;
+}
+
+void relu_inplace(tensor::Tensor& t) {
+  for (auto& v : t.data()) v = std::max(v, 0.0F);
+}
+
+}  // namespace
+
+tensor::Tensor softmax_rows(const tensor::Tensor& logits) {
+  if (logits.ndim() != 2) throw std::invalid_argument("softmax_rows: logits must be 2-D");
+  tensor::Tensor probs = logits;
+  const std::int64_t rows = probs.dim(0);
+  const std::int64_t cols = probs.dim(1);
+  auto p = probs.data();
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* row = p.data() + i * cols;
+    const float row_max = *std::max_element(row, row + cols);
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - row_max);
+      sum += row[j];
+    }
+    const auto inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+  }
+  return probs;
+}
+
+tensor::Tensor Mlp::forward(const tensor::Tensor& x) const {
+  if (x.ndim() != 2 || x.dim(1) != input_dim())
+    throw std::invalid_argument("Mlp::forward: bad input shape");
+  tensor::Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = linear_forward(layers_[i], h);
+    if (i + 1 < layers_.size()) relu_inplace(h);
+  }
+  return h;
+}
+
+double Mlp::compute_gradients(const tensor::Tensor& x, const std::vector<int>& labels) {
+  const std::int64_t batch = x.dim(0);
+  if (static_cast<std::int64_t>(labels.size()) != batch)
+    throw std::invalid_argument("Mlp::compute_gradients: label count mismatch");
+
+  // Forward, caching post-activation inputs of every layer.
+  std::vector<tensor::Tensor> inputs;  // inputs[i] feeds layers_[i]
+  inputs.reserve(layers_.size());
+  tensor::Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    inputs.push_back(h);
+    h = linear_forward(layers_[i], h);
+    if (i + 1 < layers_.size()) relu_inplace(h);
+  }
+
+  // Softmax cross-entropy loss and dL/dlogits = (probs - onehot) / batch.
+  tensor::Tensor probs = softmax_rows(h);
+  const std::int64_t classes = probs.dim(1);
+  double loss_sum = 0.0;
+  tensor::Tensor delta = probs;
+  auto pd = delta.data();
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    if (y < 0 || y >= classes)
+      throw std::invalid_argument("Mlp::compute_gradients: label out of range");
+    const float p = probs.at(i, y);
+    loss_sum += -std::log(std::max(p, 1e-12F));
+    pd[static_cast<std::size_t>(i * classes + y)] -= 1.0F;
+  }
+  delta.scale(1.0F / static_cast<float>(batch));
+
+  // Backward through the stack.
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    LinearLayer& layer = layers_[i];
+    // dW = delta^T * input, db = column sums of delta.
+    layer.grad_w = tensor::matmul(delta, inputs[i], tensor::Transpose::kYes);
+    layer.grad_b.fill(0.0F);
+    const std::int64_t out = delta.dim(1);
+    auto gb = layer.grad_b.data();
+    auto dp = delta.data();
+    for (std::int64_t r = 0; r < delta.dim(0); ++r)
+      for (std::int64_t c = 0; c < out; ++c)
+        gb[static_cast<std::size_t>(c)] += dp[static_cast<std::size_t>(r * out + c)];
+    if (i == 0) break;
+    // dInput = delta * W, gated by the previous ReLU.
+    tensor::Tensor dinput = tensor::matmul(delta, layer.w);
+    auto di = dinput.data();
+    auto act = inputs[i].data();  // post-ReLU activations feeding this layer
+    for (std::size_t j = 0; j < di.size(); ++j)
+      if (act[j] <= 0.0F) di[j] = 0.0F;
+    delta = std::move(dinput);
+  }
+  return loss_sum / static_cast<double>(batch);
+}
+
+double Mlp::loss(const tensor::Tensor& x, const std::vector<int>& labels) const {
+  const tensor::Tensor probs = softmax_rows(forward(x));
+  const std::int64_t batch = probs.dim(0);
+  double loss_sum = 0.0;
+  for (std::int64_t i = 0; i < batch; ++i)
+    loss_sum += -std::log(std::max(probs.at(i, labels[static_cast<std::size_t>(i)]), 1e-12F));
+  return loss_sum / static_cast<double>(batch);
+}
+
+double Mlp::accuracy(const tensor::Tensor& x, const std::vector<int>& labels) const {
+  const tensor::Tensor logits = forward(x);
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < classes; ++j)
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return batch > 0 ? static_cast<double>(correct) / static_cast<double>(batch) : 0.0;
+}
+
+}  // namespace gradcomp::train

@@ -1,0 +1,42 @@
+#include "train/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace gradcomp::train {
+
+SgdOptimizer::SgdOptimizer(SgdOptions options) : options_(options), current_lr_(options.lr) {
+  if (options.lr <= 0) throw std::invalid_argument("SgdOptimizer: lr must be > 0");
+  if (options.momentum < 0 || options.momentum >= 1)
+    throw std::invalid_argument("SgdOptimizer: momentum must be in [0, 1)");
+  if (options.lr_decay <= 0 || options.lr_decay > 1)
+    throw std::invalid_argument("SgdOptimizer: lr_decay must be in (0, 1]");
+}
+
+void SgdOptimizer::step(Mlp& model) {
+  auto& layers = model.layers();
+  if (velocity_.empty() && options_.momentum > 0) {
+    velocity_.reserve(layers.size());
+    for (const auto& layer : layers)
+      velocity_.emplace_back(tensor::Tensor(layer.w.shape()), tensor::Tensor(layer.b.shape()));
+  }
+  const auto lr = static_cast<float>(current_lr_);
+  const auto mu = static_cast<float>(options_.momentum);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    auto& layer = layers[i];
+    if (options_.momentum > 0) {
+      auto& [vw, vb] = velocity_[i];
+      vw.scale(mu);
+      vw.add_(layer.grad_w);
+      vb.scale(mu);
+      vb.add_(layer.grad_b);
+      layer.w.axpy(-lr, vw);
+      layer.b.axpy(-lr, vb);
+    } else {
+      layer.w.axpy(-lr, layer.grad_w);
+      layer.b.axpy(-lr, layer.grad_b);
+    }
+  }
+  current_lr_ *= options_.lr_decay;
+}
+
+}  // namespace gradcomp::train

@@ -1,0 +1,35 @@
+// SGD with optional momentum, operating on an Mlp's parameter tensors.
+#pragma once
+
+#include <vector>
+
+#include "train/nn.hpp"
+
+namespace gradcomp::train {
+
+struct SgdOptions {
+  double lr = 0.05;
+  double momentum = 0.0;   // 0 disables the velocity buffers
+  double lr_decay = 1.0;   // per-step multiplicative decay, in (0, 1]
+};
+
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(SgdOptions options = {});
+
+  // w -= lr * (grad + momentum * velocity); velocity buffers are created
+  // lazily to match the model's layer shapes. The learning rate decays by
+  // lr_decay after every step.
+  void step(Mlp& model);
+
+  [[nodiscard]] const SgdOptions& options() const noexcept { return options_; }
+  [[nodiscard]] double current_lr() const noexcept { return current_lr_; }
+
+ private:
+  SgdOptions options_;
+  double current_lr_;
+  // velocity[i] = {v_w, v_b} for layer i.
+  std::vector<std::pair<tensor::Tensor, tensor::Tensor>> velocity_;
+};
+
+}  // namespace gradcomp::train

@@ -1,0 +1,107 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gradcomp::train {
+
+DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
+    : config_(std::move(config)), dataset_(std::move(dataset)), comm_(config_.world_size) {
+  if (config_.world_size < 1)
+    throw std::invalid_argument("DataParallelTrainer: world_size must be >= 1");
+  if (dataset_.size() < config_.world_size)
+    throw std::invalid_argument("DataParallelTrainer: dataset smaller than world size");
+  if (config_.layer_dims.front() != dataset_.dim() ||
+      config_.layer_dims.back() != dataset_.classes)
+    throw std::invalid_argument(
+        "DataParallelTrainer: layer_dims must start at data dim and end at class count");
+
+  shards_.reserve(static_cast<std::size_t>(config_.world_size));
+  models_.reserve(static_cast<std::size_t>(config_.world_size));
+  compressors_.reserve(static_cast<std::size_t>(config_.world_size));
+  optimizers_.reserve(static_cast<std::size_t>(config_.world_size));
+  for (int r = 0; r < config_.world_size; ++r) {
+    shards_.push_back(shard(dataset_, r, config_.world_size));
+    // Same seed everywhere: replicas start identical.
+    models_.emplace_back(config_.layer_dims, config_.seed);
+    compressors_.push_back(compress::make_compressor(config_.compression));
+    optimizers_.emplace_back(config_.optimizer);
+  }
+}
+
+StepStats DataParallelTrainer::step() {
+  const auto p = static_cast<std::size_t>(config_.world_size);
+  std::vector<double> losses(p, 0.0);
+  std::vector<compress::AggregateStats> agg(p);
+
+  comm::run_ranks(config_.world_size, [&](int rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    const Dataset local = batch(shards_[r], step_count_, config_.batch_per_worker);
+    losses[r] = models_[r].compute_gradients(local.x, local.y);
+
+    auto& layers = models_[r].layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i), rank, comm_,
+                                           layers[i].grad_w);
+      agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i + 1), rank,
+                                           comm_, layers[i].grad_b);
+    }
+    optimizers_[r].step(models_[r]);
+  });
+  ++step_count_;
+
+  StepStats stats;
+  for (double l : losses) stats.mean_local_loss += l;
+  stats.mean_local_loss /= static_cast<double>(p);
+  stats.bytes_per_worker = agg[0].bytes_sent;
+  for (const auto& a : agg) {
+    stats.encode_seconds += a.encode_seconds;
+    stats.decode_seconds += a.decode_seconds;
+  }
+  stats.encode_seconds /= static_cast<double>(p);
+  stats.decode_seconds /= static_cast<double>(p);
+  history_.push_back(stats);
+  return stats;
+}
+
+std::vector<double> DataParallelTrainer::train(int steps) {
+  std::vector<double> losses;
+  losses.reserve(static_cast<std::size_t>(std::max(steps, 0)));
+  for (int i = 0; i < steps; ++i) losses.push_back(step().mean_local_loss);
+  return losses;
+}
+
+double DataParallelTrainer::loss() const { return models_.front().loss(dataset_.x, dataset_.y); }
+
+double DataParallelTrainer::accuracy() const {
+  return models_.front().accuracy(dataset_.x, dataset_.y);
+}
+
+double DataParallelTrainer::evaluate_loss(const Dataset& data) const {
+  return models_.front().loss(data.x, data.y);
+}
+
+double DataParallelTrainer::evaluate_accuracy(const Dataset& data) const {
+  return models_.front().accuracy(data.x, data.y);
+}
+
+std::size_t DataParallelTrainer::total_bytes_per_worker() const {
+  std::size_t total = 0;
+  for (const auto& s : history_) total += s.bytes_per_worker;
+  return total;
+}
+
+double DataParallelTrainer::replica_divergence() const {
+  double divergence = 0.0;
+  const auto& reference = models_.front().layers();
+  for (std::size_t r = 1; r < models_.size(); ++r) {
+    const auto& layers = models_[r].layers();
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      divergence = std::max(divergence, tensor::max_abs_diff(reference[i].w, layers[i].w));
+      divergence = std::max(divergence, tensor::max_abs_diff(reference[i].b, layers[i].b));
+    }
+  }
+  return divergence;
+}
+
+}  // namespace gradcomp::train

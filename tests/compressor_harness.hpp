@@ -1,0 +1,59 @@
+// Shared test harness: runs a compressor's distributed aggregation across p
+// in-process ranks with persistent per-rank compressor state (needed for
+// warm-start / error-feedback tests spanning multiple rounds).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/thread_comm.hpp"
+#include "compress/compressor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::testing {
+
+class MultiRankHarness {
+ public:
+  MultiRankHarness(const compress::CompressorConfig& config, int world_size)
+      : comm_(world_size) {
+    compressors_.reserve(static_cast<std::size_t>(world_size));
+    for (int r = 0; r < world_size; ++r)
+      compressors_.push_back(compress::make_compressor(config));
+  }
+
+  [[nodiscard]] int world_size() const { return comm_.world_size(); }
+  [[nodiscard]] compress::Compressor& compressor(int rank) {
+    return *compressors_.at(static_cast<std::size_t>(rank));
+  }
+
+  // Runs one collective aggregation round; returns the per-rank results and
+  // the per-rank stats.
+  std::vector<tensor::Tensor> aggregate(compress::LayerId layer,
+                                        std::vector<tensor::Tensor> grads,
+                                        std::vector<compress::AggregateStats>* stats = nullptr) {
+    const int p = comm_.world_size();
+    if (static_cast<int>(grads.size()) != p)
+      throw std::invalid_argument("MultiRankHarness: need one gradient per rank");
+    std::vector<compress::AggregateStats> local(static_cast<std::size_t>(p));
+    comm::run_ranks(p, [&](int rank) {
+      const auto r = static_cast<std::size_t>(rank);
+      local[r] = compressors_[r]->aggregate(layer, rank, comm_, grads[r]);
+    });
+    if (stats != nullptr) *stats = std::move(local);
+    return grads;
+  }
+
+ private:
+  comm::ThreadComm comm_;
+  std::vector<std::unique_ptr<compress::Compressor>> compressors_;
+};
+
+// The exact mean of per-rank gradients (the lossless reference).
+inline tensor::Tensor exact_mean(const std::vector<tensor::Tensor>& grads) {
+  tensor::Tensor mean(grads.front().shape());
+  for (const auto& g : grads) mean.add_(g);
+  mean.scale(1.0F / static_cast<float>(grads.size()));
+  return mean;
+}
+
+}  // namespace gradcomp::testing

@@ -1,0 +1,100 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gradcomp::core {
+namespace {
+
+Cluster cluster_at(int p, double gbps = 10.0) {
+  Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(gbps);
+  return c;
+}
+
+Workload workload_of(const models::ModelProfile& m, int batch) {
+  Workload w;
+  w.model = m;
+  w.batch_size = batch;
+  return w;
+}
+
+TEST(Advisor, DefaultPanelCoversPaperMethods) {
+  const auto panel = default_candidates();
+  EXPECT_GE(panel.size(), 6U);
+  bool has_powersgd = false;
+  bool has_signsgd = false;
+  bool has_topk = false;
+  for (const auto& c : panel) {
+    if (c.config.method == compress::Method::kPowerSgd) has_powersgd = true;
+    if (c.config.method == compress::Method::kSignSgd) has_signsgd = true;
+    if (c.config.method == compress::Method::kTopK) has_topk = true;
+  }
+  EXPECT_TRUE(has_powersgd);
+  EXPECT_TRUE(has_signsgd);
+  EXPECT_TRUE(has_topk);
+}
+
+TEST(Advisor, RankedFastestFirst) {
+  const auto rec = advise(workload_of(models::bert_base(), 10), cluster_at(96));
+  ASSERT_FALSE(rec.ranked.empty());
+  for (std::size_t i = 1; i < rec.ranked.size(); ++i)
+    EXPECT_LE(rec.ranked[i - 1].breakdown.total_s, rec.ranked[i].breakdown.total_s);
+}
+
+TEST(Advisor, RecommendsPowerSgdForBertAtScale) {
+  // Figure 4's BERT result through the advisor API: an all-reduce-compatible
+  // low-overhead method (PowerSGD rank-4) wins.
+  const auto rec = advise(workload_of(models::bert_base(), 10), cluster_at(96));
+  const auto winner = rec.best();
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->candidate.config.method, compress::Method::kPowerSgd);
+  EXPECT_EQ(winner->candidate.config.rank, 4);
+  EXPECT_GT(winner->speedup, 1.1);
+  EXPECT_GT(rec.winner_crossover_gbps, 10.0);
+}
+
+TEST(Advisor, StickWithSyncSgdOnFastNetworks) {
+  // At 50 Gbps on ResNet-50 nothing should beat the optimized baseline —
+  // the paper's central data-center verdict.
+  const auto rec = advise(workload_of(models::resnet50(), 64), cluster_at(64, 50.0));
+  EXPECT_FALSE(rec.best().has_value());
+  EXPECT_NE(rec.summary().find("syncSGD"), std::string::npos);
+}
+
+TEST(Advisor, SummaryMentionsWinner) {
+  const auto rec = advise(workload_of(models::bert_base(), 10), cluster_at(96));
+  ASSERT_TRUE(rec.best().has_value());
+  EXPECT_NE(rec.summary().find(rec.best()->candidate.label), std::string::npos);
+}
+
+TEST(Advisor, CustomPanelRespected) {
+  std::vector<Candidate> panel(1);
+  panel[0].label = "only-signsgd";
+  panel[0].config.method = compress::Method::kSignSgd;
+  const auto rec = advise(workload_of(models::resnet101(), 64), cluster_at(96), panel);
+  ASSERT_EQ(rec.ranked.size(), 1U);
+  EXPECT_EQ(rec.ranked[0].candidate.label, "only-signsgd");
+  EXPECT_FALSE(rec.best().has_value());  // SignSGD loses badly at 96 GPUs
+}
+
+TEST(Advisor, RequiredCompressionPopulated) {
+  const auto rec = advise(workload_of(models::resnet50(), 16), cluster_at(64));
+  EXPECT_GT(rec.required_compression, 1.0);
+  EXPECT_LT(rec.required_compression, 20.0);
+  EXPECT_GT(rec.ideal_s, 0.0);
+  EXPECT_GT(rec.sync.total_s, rec.ideal_s);
+}
+
+TEST(Advisor, VggFavoursCompressionMost) {
+  // VGG-16 (parameter-heavy, compute-light) is the most compression-friendly
+  // profile: the winner's speedup exceeds ResNet-50's best.
+  const auto vgg = advise(workload_of(models::vgg16(), 64), cluster_at(64));
+  const auto r50 = advise(workload_of(models::resnet50(), 64), cluster_at(64));
+  ASSERT_FALSE(vgg.ranked.empty());
+  EXPECT_GT(vgg.ranked.front().speedup, r50.ranked.front().speedup);
+  EXPECT_TRUE(vgg.best().has_value());
+}
+
+}  // namespace
+}  // namespace gradcomp::core

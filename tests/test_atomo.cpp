@@ -1,0 +1,116 @@
+#include "compress/atomo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "compressor_harness.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using tensor::Rng;
+using tensor::Tensor;
+
+CompressorConfig atomo_config(int rank) {
+  CompressorConfig c;
+  c.method = Method::kAtomo;
+  c.rank = rank;
+  return c;
+}
+
+TEST(Atomo, RejectsBadParameters) {
+  EXPECT_THROW(AtomoCompressor(0), std::invalid_argument);
+  EXPECT_THROW(AtomoCompressor(4, 0), std::invalid_argument);
+}
+
+TEST(Atomo, TraitsMatchTable1) {
+  const auto c = make_compressor(atomo_config(4));
+  EXPECT_EQ(c->name(), "atomo-r4");
+  // Table 1: ATOMO is NOT all-reduce compatible (unlike PowerSGD).
+  EXPECT_FALSE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+  EXPECT_EQ(c->traits().family, "low-rank");
+}
+
+TEST(Atomo, CompressedBytesMatchesFactors) {
+  const auto c = make_compressor(atomo_config(4));
+  EXPECT_EQ(c->compressed_bytes({64, 32}), (64U + 32U) * 4U * 4U);
+  EXPECT_EQ(c->compressed_bytes({100}), 400U);  // 1-D passthrough
+}
+
+TEST(Atomo, ExactOnLowRankMatrix) {
+  // A rank-2 matrix is recovered exactly by rank-2 ATOMO (truncated SVD).
+  Rng rng(1);
+  const Tensor u = Tensor::randn({14, 2}, rng);
+  const Tensor v = Tensor::randn({10, 2}, rng);
+  const Tensor g = tensor::matmul(u, v, tensor::Transpose::kNo, tensor::Transpose::kYes);
+  auto c = make_compressor(atomo_config(2));
+  EXPECT_LT(tensor::relative_l2_error(c->roundtrip(0, g), g), 1e-3);
+}
+
+TEST(Atomo, MatchesTruncatedSvdError) {
+  // ATOMO's rank-r reconstruction error must be close to the optimal
+  // (Eckart-Young) truncation error from a full SVD.
+  Rng rng(2);
+  const Tensor g = Tensor::randn({16, 12}, rng);
+  auto c = make_compressor(atomo_config(4));
+  const double atomo_err = tensor::relative_l2_error(c->roundtrip(0, g), g);
+
+  const tensor::SvdResult svd = tensor::svd(g);
+  double tail = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+    total += svd.sigma[i] * svd.sigma[i];
+    if (i >= 4) tail += svd.sigma[i] * svd.sigma[i];
+  }
+  const double optimal_err = std::sqrt(tail / total);
+  EXPECT_NEAR(atomo_err, optimal_err, 0.05);
+  EXPECT_GE(atomo_err, optimal_err - 1e-6);  // cannot beat Eckart-Young
+}
+
+TEST(Atomo, OneDimensionalLayerPassesThrough) {
+  Rng rng(3);
+  const Tensor g = Tensor::randn({30}, rng);
+  auto c = make_compressor(atomo_config(4));
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(c->roundtrip(0, g), g), 0.0);
+}
+
+TEST(Atomo, AggregateAveragesPerRankReconstructions) {
+  Rng rng(4);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 3; ++r) grads.push_back(Tensor::randn({10, 8}, rng));
+  const Tensor expect = gradcomp::testing::exact_mean(grads);
+  // Full rank: each rank's reconstruction is (near) exact, so the average
+  // of reconstructions equals the exact mean.
+  MultiRankHarness harness(atomo_config(8), 3);
+  const auto results = harness.aggregate(0, grads);
+  for (const auto& r : results) EXPECT_LT(tensor::relative_l2_error(r, expect), 1e-3);
+}
+
+TEST(Atomo, AggregateAllRanksAgree) {
+  Rng rng(5);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({12, 6}, rng));
+  MultiRankHarness harness(atomo_config(2), 4);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_LT(tensor::max_abs_diff(results[0], results[r]), 1e-5);
+}
+
+TEST(Atomo, StatsReportFactorBytes) {
+  Rng rng(6);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 2; ++r) grads.push_back(Tensor::randn({20, 10}, rng));
+  MultiRankHarness harness(atomo_config(3), 2);
+  std::vector<AggregateStats> stats;
+  harness.aggregate(0, grads, &stats);
+  EXPECT_EQ(stats[0].bytes_sent, (20U + 10U) * 3U * 4U);
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

@@ -1,0 +1,128 @@
+#include "models/bucketing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace gradcomp::models {
+namespace {
+
+ModelProfile tiny_model() {
+  ModelProfile m;
+  m.name = "tiny";
+  m.layers = {
+      {"l0", {100}},   // 400 B
+      {"l1", {200}},   // 800 B
+      {"l2", {50}},    // 200 B
+      {"l3", {300}},   // 1200 B
+  };
+  return m;
+}
+
+TEST(Bucketing, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(make_buckets(tiny_model(), 0), std::invalid_argument);
+  EXPECT_THROW(make_buckets(tiny_model(), -5), std::invalid_argument);
+}
+
+TEST(Bucketing, CoversAllLayersExactlyOnce) {
+  const auto buckets = make_buckets(tiny_model(), 1000);
+  std::vector<int> seen(4, 0);
+  for (const auto& b : buckets)
+    for (auto i : b.layer_indices) ++seen[i];
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Bucketing, TotalBytesPreserved) {
+  const ModelProfile m = tiny_model();
+  const auto buckets = make_buckets(m, 1000);
+  std::int64_t total = 0;
+  for (const auto& b : buckets) total += b.bytes;
+  EXPECT_EQ(total, m.total_bytes());
+}
+
+TEST(Bucketing, FillsInReverseLayerOrder) {
+  // First bucket (launched first) must hold the LAST layers.
+  const auto buckets = make_buckets(tiny_model(), 1400);
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_EQ(buckets.front().layer_indices.front(), 3U);
+}
+
+TEST(Bucketing, RespectsCapacity) {
+  const auto buckets = make_buckets(tiny_model(), 1000);
+  for (const auto& b : buckets) {
+    // A bucket may exceed capacity only if it holds a single oversized layer.
+    if (b.bytes > 1000) EXPECT_EQ(b.layer_indices.size(), 1U);
+  }
+}
+
+TEST(Bucketing, OversizedLayerGetsOwnBucket) {
+  ModelProfile m;
+  m.layers = {{"small", {10}}, {"huge", {10000}}, {"small2", {10}}};
+  const auto buckets = make_buckets(m, 100);
+  // huge (40000 B) must sit alone.
+  bool found_alone = false;
+  for (const auto& b : buckets)
+    if (b.layer_indices.size() == 1 && b.layer_indices[0] == 1) found_alone = true;
+  EXPECT_TRUE(found_alone);
+}
+
+TEST(Bucketing, SingleBucketWhenCapacityHuge) {
+  const auto buckets = make_buckets(tiny_model(), 1 << 30);
+  EXPECT_EQ(buckets.size(), 1U);
+}
+
+TEST(Bucketing, OneLayerPerBucketWhenCapacityTiny) {
+  const auto buckets = make_buckets(tiny_model(), 1);
+  EXPECT_EQ(buckets.size(), 4U);
+}
+
+TEST(Bucketing, SizesMatchBuckets) {
+  const ModelProfile m = tiny_model();
+  const auto buckets = make_buckets(m, 1000);
+  const auto sizes = bucket_sizes(m, 1000);
+  ASSERT_EQ(sizes.size(), buckets.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) EXPECT_EQ(sizes[i], buckets[i].bytes);
+}
+
+TEST(Bucketing, ResNet50DefaultBucketsAreReasonable) {
+  // 97 MB at 25 MB per bucket -> 4-6 buckets.
+  const auto sizes = bucket_sizes(resnet50());
+  EXPECT_GE(sizes.size(), 4U);
+  EXPECT_LE(sizes.size(), 6U);
+  for (auto s : sizes) EXPECT_LE(s, kDefaultBucketBytes);
+}
+
+TEST(Bucketing, BertBaseHasMoreBucketsThanResNet50) {
+  EXPECT_GT(bucket_sizes(bert_base()).size(), bucket_sizes(resnet50()).size());
+}
+
+// Property: for any capacity, coverage and order invariants hold on real
+// models.
+class BucketSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BucketSweep, InvariantsOnResNet50) {
+  const std::int64_t capacity = GetParam();
+  const ModelProfile m = resnet50();
+  const auto buckets = make_buckets(m, capacity);
+  std::vector<int> seen(m.layers.size(), 0);
+  std::int64_t total = 0;
+  for (const auto& b : buckets) {
+    EXPECT_FALSE(b.layer_indices.empty());
+    std::int64_t bucket_bytes = 0;
+    for (auto i : b.layer_indices) {
+      ++seen[i];
+      bucket_bytes += m.layers[i].bytes();
+    }
+    EXPECT_EQ(bucket_bytes, b.bytes);
+    total += b.bytes;
+  }
+  EXPECT_EQ(total, m.total_bytes());
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BucketSweep,
+                         ::testing::Values(1, 4096, 1 << 20, 25 * (1 << 20), 1 << 28));
+
+}  // namespace
+}  // namespace gradcomp::models

@@ -1,0 +1,134 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::core {
+namespace {
+
+compress::CompressorConfig config_of(compress::Method m, double fraction = 0.01, int rank = 4) {
+  compress::CompressorConfig c;
+  c.method = m;
+  c.fraction = fraction;
+  c.rank = rank;
+  return c;
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  EncodeCostModel model_;
+  models::ModelProfile r50_ = models::resnet50();
+  models::Device v100_ = models::Device::v100();
+};
+
+TEST_F(CalibrationTest, CoefficientsArePositive) {
+  EXPECT_GT(model_.powersgd_fixed_per_layer_s(), 0.0);
+  EXPECT_GT(model_.powersgd_gemm_s_per_flop(), 0.0);
+  EXPECT_GT(model_.powersgd_orth_s_per_flop(), 0.0);
+}
+
+TEST_F(CalibrationTest, PowerSgdReproducesTable2AnchorsExactly) {
+  // The calibration solves an exact 3x3 system: the three published points
+  // must be reproduced to numerical precision.
+  for (const auto& [rank, expect_ms] :
+       {std::pair<int, double>{4, 45.0}, {8, 64.0}, {16, 130.0}}) {
+    const auto est = model_.estimate(config_of(compress::Method::kPowerSgd, 0.01, rank), r50_,
+                                     v100_, 4);
+    EXPECT_NEAR(est.total() * 1e3, expect_ms, 0.5) << "rank " << rank;
+  }
+}
+
+TEST_F(CalibrationTest, TopKReproducesTable2Anchors) {
+  for (const auto& [fraction, expect_ms] :
+       {std::pair<double, double>{0.01, 240.0}, {0.10, 289.0}, {0.20, 295.0}}) {
+    const auto est =
+        model_.estimate(config_of(compress::Method::kTopK, fraction), r50_, v100_, 4);
+    // Encode matches the anchor; decode adds a small scatter term at p=4.
+    EXPECT_NEAR(est.encode_s * 1e3, expect_ms, 1.0) << fraction;
+  }
+}
+
+TEST_F(CalibrationTest, SignSgdReproducesTable2Anchor) {
+  const auto est = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
+  EXPECT_NEAR(est.total() * 1e3, 16.34, 0.1);
+}
+
+TEST_F(CalibrationTest, SyncSgdHasZeroEncodeCost) {
+  const auto est = model_.estimate(config_of(compress::Method::kSyncSgd), r50_, v100_, 4);
+  EXPECT_DOUBLE_EQ(est.total(), 0.0);
+}
+
+TEST_F(CalibrationTest, SignSgdDecodeScalesWithWorldSize) {
+  const auto at4 = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
+  const auto at96 = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 96);
+  EXPECT_NEAR(at96.decode_s / at4.decode_s, 24.0, 1e-6);
+  EXPECT_DOUBLE_EQ(at96.encode_s, at4.encode_s);  // encode independent of p
+}
+
+TEST_F(CalibrationTest, PowerSgdDecodeIndependentOfWorldSize) {
+  const auto at4 = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
+  const auto at96 = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 96);
+  EXPECT_DOUBLE_EQ(at96.decode_s, at4.decode_s);  // all-reduce method
+}
+
+TEST_F(CalibrationTest, CostsScaleWithModelSize) {
+  const models::ModelProfile bert = models::bert_base();
+  for (auto m : {compress::Method::kSignSgd, compress::Method::kTopK,
+                 compress::Method::kPowerSgd, compress::Method::kFp16}) {
+    const auto small = model_.estimate(config_of(m), r50_, v100_, 4);
+    const auto large = model_.estimate(config_of(m), bert, v100_, 4);
+    EXPECT_GT(large.total(), small.total()) << method_name(m);
+  }
+}
+
+TEST_F(CalibrationTest, FasterDeviceReducesCosts) {
+  const models::Device fast = models::Device::v100_times(2.0);
+  const auto slow = model_.estimate(config_of(compress::Method::kTopK), r50_, v100_, 4);
+  const auto quick = model_.estimate(config_of(compress::Method::kTopK), r50_, fast, 4);
+  EXPECT_NEAR(quick.total() * 2.0, slow.total(), 1e-9);
+}
+
+TEST_F(CalibrationTest, AtomoCostsMoreThanPowerSgd) {
+  // The paper singles out ATOMO's SVD as compute-intensive vs PowerSGD's
+  // power iteration (Section 2.1).
+  const auto ps = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
+  const auto atomo = model_.estimate(config_of(compress::Method::kAtomo), r50_, v100_, 4);
+  EXPECT_GT(atomo.encode_s, 2.0 * ps.encode_s);
+}
+
+TEST_F(CalibrationTest, TopKEncodeNearlyFlatInFraction) {
+  // Table 2's striking fact: 1% is barely cheaper than 20%.
+  const auto low = model_.estimate(config_of(compress::Method::kTopK, 0.01), r50_, v100_, 4);
+  const auto high = model_.estimate(config_of(compress::Method::kTopK, 0.20), r50_, v100_, 4);
+  EXPECT_LT(high.encode_s / low.encode_s, 1.3);
+}
+
+TEST_F(CalibrationTest, RejectsInvalidWorldSize) {
+  EXPECT_THROW(model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 0),
+               std::invalid_argument);
+}
+
+TEST_F(CalibrationTest, SignSgdFastestEncodeAmongTable2Methods) {
+  const auto sign = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
+  const auto topk = model_.estimate(config_of(compress::Method::kTopK), r50_, v100_, 4);
+  const auto ps = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
+  EXPECT_LT(sign.total(), topk.total());
+  EXPECT_LT(sign.total(), ps.total());
+}
+
+TEST(Table2Anchors, SevenPublishedRows) {
+  const auto anchors = table2_anchors();
+  ASSERT_EQ(anchors.size(), 7U);
+  EXPECT_NEAR(anchors.back().encode_decode_ms, 16.34, 1e-9);
+}
+
+TEST(EncodeCostModelStatics, FlopCountsGrowWithRank) {
+  const models::ModelProfile m = models::resnet50();
+  EXPECT_LT(EncodeCostModel::powersgd_gemm_flops(m, 4), EncodeCostModel::powersgd_gemm_flops(m, 8));
+  EXPECT_LT(EncodeCostModel::powersgd_orth_flops(m, 4), EncodeCostModel::powersgd_orth_flops(m, 16));
+  EXPECT_GT(EncodeCostModel::matrix_layer_count(m), 40);
+}
+
+}  // namespace
+}  // namespace gradcomp::core

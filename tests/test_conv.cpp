@@ -1,0 +1,183 @@
+#include "train/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "compress/compressor.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(ConvSpec, OutputSizeFormula) {
+  ConvSpec s{3, 8, 3, 1, 0};
+  EXPECT_EQ(s.out_size(5), 3);
+  s.padding = 1;
+  EXPECT_EQ(s.out_size(5), 5);  // "same" conv
+  s.stride = 2;
+  EXPECT_EQ(s.out_size(5), 3);
+}
+
+TEST(Im2col, IdentityKernelCopiesInput) {
+  // 1x1 kernel, stride 1: columns are just the flattened channels.
+  const ConvSpec spec{2, 1, 1, 1, 0};
+  Tensor input({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor cols = im2col(input, spec);
+  ASSERT_EQ(cols.dim(0), 2);
+  ASSERT_EQ(cols.dim(1), 4);
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 4.0F);
+  EXPECT_FLOAT_EQ(cols.at(1, 0), 5.0F);
+  EXPECT_FLOAT_EQ(cols.at(1, 3), 8.0F);
+}
+
+TEST(Im2col, PaddingFillsZeros) {
+  const ConvSpec spec{1, 1, 3, 1, 1};
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor cols = im2col(input, spec);
+  ASSERT_EQ(cols.dim(0), 9);
+  ASSERT_EQ(cols.dim(1), 4);  // 2x2 output
+  // Top-left output position: kernel centered at (0,0) — the top-left patch
+  // entry (kh=0,kw=0 -> row 0) reads padded zero.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.0F);
+  // Center entry (kh=1,kw=1 -> row 4) reads input(0,0)=1.
+  EXPECT_FLOAT_EQ(cols.at(4, 0), 1.0F);
+}
+
+TEST(Im2col, RejectsBadInput) {
+  const ConvSpec spec{3, 4, 3, 1, 0};
+  EXPECT_THROW(im2col(Tensor({1, 2, 5, 5}), spec), std::invalid_argument);  // channels
+  EXPECT_THROW(im2col(Tensor({4, 5, 5}), spec), std::invalid_argument);     // not 4-D
+  EXPECT_THROW(im2col(Tensor({1, 3, 2, 2}), spec), std::invalid_argument);  // too small
+}
+
+TEST(Col2im, InverseOfIm2colForDisjointPatches) {
+  // Stride == kernel: patches are disjoint, so col2im(im2col(x)) == x.
+  const ConvSpec spec{1, 1, 2, 2, 0};
+  Rng rng(1);
+  const Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+  const Tensor cols = im2col(x, spec);
+  const Tensor back = col2im(cols, spec, x.shape());
+  EXPECT_LT(tensor::max_abs_diff(back, x), 1e-6);
+}
+
+TEST(Col2im, OverlappingPatchesAccumulate) {
+  // 2x2 kernel stride 1 on 3x3: the center pixel appears in all 4 patches.
+  const ConvSpec spec{1, 1, 2, 1, 0};
+  Tensor ones_input({1, 1, 3, 3});
+  ones_input.fill(1.0F);
+  const Tensor cols = im2col(ones_input, spec);
+  const Tensor back = col2im(cols, spec, ones_input.shape());
+  auto data = back.data();
+  EXPECT_FLOAT_EQ(data[0], 1.0F);  // corner covered by 1 patch
+  EXPECT_FLOAT_EQ(data[4], 4.0F);  // center (1,1) covered by 4 patches
+}
+
+TEST(Conv2d, RejectsInvalidSpec) {
+  EXPECT_THROW(Conv2d(ConvSpec{0, 1, 3, 1, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(ConvSpec{1, 1, 0, 1, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(ConvSpec{1, 1, 3, 0, 0}, 1), std::invalid_argument);
+}
+
+TEST(Conv2d, ForwardShape) {
+  Conv2d conv(ConvSpec{3, 8, 3, 1, 1}, 2);
+  Rng rng(3);
+  const Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 8, 6, 6}));
+}
+
+TEST(Conv2d, KnownOutputForUnitKernel) {
+  // 1x1 conv with weight 2 and bias 1 doubles and shifts every pixel.
+  Conv2d conv(ConvSpec{1, 1, 1, 1, 0}, 4);
+  conv.weight().fill(2.0F);
+  conv.bias().fill(1.0F);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = conv.forward(x);
+  EXPECT_FLOAT_EQ(y.data()[0], 3.0F);
+  EXPECT_FLOAT_EQ(y.data()[3], 9.0F);
+}
+
+TEST(Conv2d, BackwardRequiresForward) {
+  Conv2d conv(ConvSpec{1, 1, 3, 1, 1}, 5);
+  EXPECT_THROW((void)conv.backward(Tensor({1, 1, 4, 4})), std::logic_error);
+}
+
+TEST(Conv2d, WeightGradientMatchesFiniteDifferences) {
+  const ConvSpec spec{2, 3, 3, 1, 1};
+  Conv2d conv(spec, 6);
+  Rng rng(7);
+  const Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+
+  // Scalar loss: sum of outputs. dL/dy = ones.
+  const auto loss = [&](Conv2d& c) { return c.forward(x).sum(); };
+  (void)conv.forward(x);
+  Tensor ones({2, 3, 4, 4});
+  ones.fill(1.0F);
+  (void)conv.backward(ones);
+
+  const float eps = 1e-2F;
+  for (std::int64_t idx : {std::int64_t{0}, conv.weight().numel() / 2,
+                           conv.weight().numel() - 1}) {
+    Conv2d probe = conv;
+    probe.weight().at(idx) += eps;
+    const double up = loss(probe);
+    probe.weight().at(idx) -= 2 * eps;
+    const double down = loss(probe);
+    EXPECT_NEAR(conv.grad_weight().at(idx), (up - down) / (2.0 * eps), 0.05) << idx;
+  }
+  // Bias gradient = number of output positions per channel x batch.
+  EXPECT_NEAR(conv.grad_bias().at(0), 2.0 * 4.0 * 4.0, 1e-3);
+}
+
+TEST(Conv2d, InputGradientMatchesFiniteDifferences) {
+  const ConvSpec spec{1, 2, 3, 1, 0};
+  Conv2d conv(spec, 8);
+  Rng rng(9);
+  Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+  (void)conv.forward(x);
+  Tensor ones({1, 2, 3, 3});
+  ones.fill(1.0F);
+  const Tensor dx = conv.backward(ones);
+
+  const float eps = 1e-2F;
+  for (std::int64_t idx : {std::int64_t{0}, std::int64_t{12}, std::int64_t{24}}) {
+    Tensor xp = x;
+    xp.at(idx) += eps;
+    const double up = conv.forward(xp).sum();
+    xp.at(idx) -= 2 * eps;
+    const double down = conv.forward(xp).sum();
+    EXPECT_NEAR(dx.at(idx), (up - down) / (2.0 * eps), 0.05) << idx;
+  }
+}
+
+TEST(Conv2d, GradientFlowsThroughPowerSgd) {
+  // The integration the substrate exists for: a REAL 4-D conv weight
+  // gradient matricizes to {out, in*k*k} and compresses through PowerSGD.
+  const ConvSpec spec{4, 8, 3, 1, 1};
+  Conv2d conv(spec, 10);
+  Rng rng(11);
+  const Tensor x = Tensor::randn({2, 4, 6, 6}, rng);
+  (void)conv.forward(x);
+  Tensor ones({2, 8, 6, 6});
+  ones.fill(1.0F);
+  (void)conv.backward(ones);
+
+  compress::CompressorConfig config;
+  config.method = compress::Method::kPowerSgd;
+  config.rank = 4;
+  auto compressor = compress::make_compressor(config);
+  const Tensor approx = compressor->roundtrip(0, conv.grad_weight());
+  EXPECT_TRUE(approx.same_shape(conv.grad_weight()));
+  EXPECT_LT(tensor::relative_l2_error(approx, conv.grad_weight()), 1.0);
+  EXPECT_EQ(compressor->compressed_bytes(conv.grad_weight().shape()),
+            (8U + 4U * 9U) * 4U * 4U);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

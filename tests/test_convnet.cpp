@@ -1,0 +1,151 @@
+#include "train/convnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "comm/thread_comm.hpp"
+#include "compress/compressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+// Synthetic image task: class c lights up quadrant c of the image.
+struct ImageSet {
+  Tensor x;
+  std::vector<int> y;
+};
+
+ImageSet make_images(std::int64_t per_class, std::int64_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::int64_t classes = 4;
+  const std::int64_t n = classes * per_class;
+  ImageSet data{Tensor({n, 1, size, size}), {}};
+  data.y.resize(static_cast<std::size_t>(n));
+  auto px = data.x.data();
+  const std::int64_t half = size / 2;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % classes);
+    data.y[static_cast<std::size_t>(i)] = cls;
+    const std::int64_t row0 = (cls / 2) * half;
+    const std::int64_t col0 = (cls % 2) * half;
+    for (std::int64_t r = 0; r < size; ++r)
+      for (std::int64_t c = 0; c < size; ++c) {
+        const bool bright = r >= row0 && r < row0 + half && c >= col0 && c < col0 + half;
+        px[static_cast<std::size_t>((i * size + r) * size + c)] =
+            (bright ? 1.0F : 0.0F) + 0.1F * rng.gaussian();
+      }
+  }
+  return data;
+}
+
+TEST(ConvNet, RejectsDegenerateConfig) {
+  EXPECT_THROW(ConvNet(1, 8, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ConvNet(1, 2, 4, 1), std::invalid_argument);
+}
+
+TEST(ConvNet, ForwardShapeAndDeterminism) {
+  ConvNet a(1, 8, 4, 42);
+  ConvNet b(1, 8, 4, 42);
+  Rng rng(1);
+  const Tensor x = Tensor::randn({3, 1, 8, 8}, rng);
+  const Tensor ya = a.forward(x);
+  EXPECT_EQ(ya.shape(), (tensor::Shape{3, 4}));
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(ya, b.forward(x)), 0.0);
+}
+
+TEST(ConvNet, SixParameterTensors) {
+  ConvNet net(1, 8, 4, 1);
+  EXPECT_EQ(net.parameters().size(), 6U);
+  EXPECT_EQ(net.gradients().size(), 6U);
+  // conv weights are 4-D (the matricizable case).
+  EXPECT_EQ(net.parameters()[0]->ndim(), 4U);
+}
+
+TEST(ConvNet, GradientsMatchFiniteDifferences) {
+  ConvNet net(1, 6, 4, 3);
+  const ImageSet data = make_images(2, 6, 4);
+  net.compute_gradients(data.x, data.y);
+
+  const float eps = 1e-2F;
+  auto params = net.parameters();
+  auto grads = net.gradients();
+  for (std::size_t layer : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    const std::int64_t idx = params[layer]->numel() / 2;
+    ConvNet probe = net;
+    probe.parameters()[layer]->at(idx) += eps;
+    const double up = probe.loss(data.x, data.y);
+    probe.parameters()[layer]->at(idx) -= 2 * eps;
+    const double down = probe.loss(data.x, data.y);
+    EXPECT_NEAR(grads[layer]->at(idx), (up - down) / (2.0 * eps), 0.02) << layer;
+  }
+}
+
+TEST(ConvNet, LearnsQuadrantTask) {
+  ConvNet net(1, 8, 4, 5);
+  const ImageSet data = make_images(8, 8, 6);
+  const double initial = net.loss(data.x, data.y);
+  for (int step = 0; step < 150; ++step) {
+    net.compute_gradients(data.x, data.y);
+    net.apply_sgd(0.5F);
+  }
+  EXPECT_LT(net.loss(data.x, data.y), initial * 0.5);
+  EXPECT_GT(net.accuracy(data.x, data.y), 0.9);
+}
+
+TEST(ConvNet, DataParallelTrainingWithPowerSgd) {
+  // End-to-end: 2 workers, real ring all-reduces inside PowerSGD, conv
+  // gradients matricized and compressed every step, replicas in lockstep.
+  const int p = 2;
+  const ImageSet data = make_images(16, 8, 7);
+  comm::ThreadComm comm(p);
+
+  std::vector<ConvNet> replicas;
+  std::vector<std::unique_ptr<compress::Compressor>> compressors;
+  for (int r = 0; r < p; ++r) {
+    replicas.emplace_back(1, 8, 4, 99);
+    compress::CompressorConfig config;
+    config.method = compress::Method::kPowerSgd;
+    config.rank = 2;
+    compressors.push_back(compress::make_compressor(config));
+  }
+
+  const double initial = replicas[0].loss(data.x, data.y);
+  for (int step = 0; step < 60; ++step) {
+    comm::run_ranks(p, [&](int rank) {
+      // Round-robin shard by sample index.
+      std::vector<float> xs;
+      std::vector<int> ys;
+      const std::int64_t n = data.x.dim(0);
+      auto src = data.x.data();
+      const std::int64_t sample = 64;
+      for (std::int64_t i = rank; i < n; i += p) {
+        xs.insert(xs.end(), src.begin() + i * sample, src.begin() + (i + 1) * sample);
+        ys.push_back(data.y[static_cast<std::size_t>(i)]);
+      }
+      Tensor shard_x({static_cast<std::int64_t>(ys.size()), 1, 8, 8}, std::move(xs));
+      replicas[static_cast<std::size_t>(rank)].compute_gradients(shard_x, ys);
+
+      auto grads = replicas[static_cast<std::size_t>(rank)].gradients();
+      for (std::size_t g = 0; g < grads.size(); ++g)
+        compressors[static_cast<std::size_t>(rank)]->aggregate(
+            static_cast<compress::LayerId>(g), rank, comm, *grads[g]);
+      replicas[static_cast<std::size_t>(rank)].apply_sgd(0.5F);
+    });
+  }
+
+  // Replicas identical and learning happened.
+  auto params0 = replicas[0].parameters();
+  auto params1 = replicas[1].parameters();
+  for (std::size_t i = 0; i < params0.size(); ++i)
+    EXPECT_LT(tensor::max_abs_diff(*params0[i], *params1[i]), 1e-5) << i;
+  EXPECT_LT(replicas[0].loss(data.x, data.y), initial * 0.7);
+  EXPECT_GT(replicas[0].accuracy(data.x, data.y), 0.8);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

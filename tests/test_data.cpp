@@ -1,0 +1,136 @@
+#include "train/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace gradcomp::train {
+namespace {
+
+TEST(MakeBlobs, RejectsDegenerateArguments) {
+  EXPECT_THROW(make_blobs(1, 4, 10, 0.1F, 1), std::invalid_argument);
+  EXPECT_THROW(make_blobs(3, 0, 10, 0.1F, 1), std::invalid_argument);
+  EXPECT_THROW(make_blobs(3, 4, 0, 0.1F, 1), std::invalid_argument);
+}
+
+TEST(MakeBlobs, ShapeAndLabels) {
+  const Dataset d = make_blobs(3, 5, 10, 0.2F, 1);
+  EXPECT_EQ(d.size(), 30);
+  EXPECT_EQ(d.dim(), 5);
+  EXPECT_EQ(d.classes, 3);
+  std::set<int> labels(d.y.begin(), d.y.end());
+  EXPECT_EQ(labels, (std::set<int>{0, 1, 2}));
+}
+
+TEST(MakeBlobs, DeterministicForSeed) {
+  const Dataset a = make_blobs(2, 3, 5, 0.1F, 42);
+  const Dataset b = make_blobs(2, 3, 5, 0.1F, 42);
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(a.x, b.x), 0.0);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(MakeBlobs, DifferentSeedsDiffer) {
+  const Dataset a = make_blobs(2, 3, 5, 0.1F, 1);
+  const Dataset b = make_blobs(2, 3, 5, 0.1F, 2);
+  EXPECT_GT(tensor::max_abs_diff(a.x, b.x), 0.0);
+}
+
+TEST(MakeBlobs, ClassesBalanced) {
+  const Dataset d = make_blobs(4, 2, 25, 0.1F, 3);
+  std::vector<int> counts(4, 0);
+  for (int y : d.y) ++counts[static_cast<std::size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(MakeBlobs, SmallSpreadClustersTightly) {
+  // Points of the same class stay near their center relative to inter-class
+  // distances when spread is tiny.
+  const Dataset d = make_blobs(2, 4, 20, 0.01F, 5);
+  // Compute per-class means and max intra-class distance.
+  for (int cls = 0; cls < 2; ++cls) {
+    std::vector<double> mean(4, 0.0);
+    int count = 0;
+    for (std::int64_t i = 0; i < d.size(); ++i) {
+      if (d.y[static_cast<std::size_t>(i)] != cls) continue;
+      ++count;
+      for (std::int64_t j = 0; j < 4; ++j) mean[static_cast<std::size_t>(j)] += d.x.at(i, j);
+    }
+    for (auto& m : mean) m /= count;
+    for (std::int64_t i = 0; i < d.size(); ++i) {
+      if (d.y[static_cast<std::size_t>(i)] != cls) continue;
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < 4; ++j) {
+        const double diff = d.x.at(i, j) - mean[static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      EXPECT_LT(std::sqrt(dist), 0.1);
+    }
+  }
+}
+
+TEST(Shard, ValidatesArguments) {
+  const Dataset d = make_blobs(2, 2, 5, 0.1F, 1);
+  EXPECT_THROW(shard(d, -1, 2), std::invalid_argument);
+  EXPECT_THROW(shard(d, 2, 2), std::invalid_argument);
+  EXPECT_THROW(shard(d, 0, 0), std::invalid_argument);
+}
+
+TEST(Shard, PartitionsWithoutOverlapOrLoss) {
+  const Dataset d = make_blobs(3, 2, 10, 0.1F, 2);
+  std::int64_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    const Dataset s = shard(d, r, 4);
+    total += s.size();
+    EXPECT_EQ(s.dim(), d.dim());
+    EXPECT_EQ(s.classes, d.classes);
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(Shard, RoundRobinAssignment) {
+  const Dataset d = make_blobs(2, 1, 4, 0.0F, 3);  // 8 samples
+  const Dataset s1 = shard(d, 1, 2);
+  ASSERT_EQ(s1.size(), 4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s1.y[static_cast<std::size_t>(i)], d.y[static_cast<std::size_t>(2 * i + 1)]);
+    EXPECT_EQ(s1.x.at(i, 0), d.x.at(2 * i + 1, 0));
+  }
+}
+
+TEST(Shard, SingleWorkerGetsEverything) {
+  const Dataset d = make_blobs(2, 3, 7, 0.1F, 4);
+  const Dataset s = shard(d, 0, 1);
+  EXPECT_EQ(s.size(), d.size());
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(s.x, d.x), 0.0);
+}
+
+TEST(Batch, ValidatesArguments) {
+  const Dataset d = make_blobs(2, 2, 5, 0.1F, 1);
+  EXPECT_THROW(batch(d, 0, 0), std::invalid_argument);
+  Dataset empty;
+  empty.x = tensor::Tensor({0, 2});
+  EXPECT_THROW(batch(empty, 0, 4), std::invalid_argument);
+}
+
+TEST(Batch, TakesConsecutiveSamples) {
+  const Dataset d = make_blobs(2, 2, 8, 0.1F, 5);  // 16 samples
+  const Dataset b0 = batch(d, 0, 4);
+  ASSERT_EQ(b0.size(), 4);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(b0.y[static_cast<std::size_t>(i)],
+                                                 d.y[static_cast<std::size_t>(i)]);
+  const Dataset b1 = batch(d, 1, 4);
+  EXPECT_EQ(b1.y[0], d.y[4]);
+}
+
+TEST(Batch, WrapsAround) {
+  const Dataset d = make_blobs(2, 1, 3, 0.1F, 6);  // 6 samples
+  const Dataset b = batch(d, 1, 4);                // samples 4,5,0,1
+  ASSERT_EQ(b.size(), 4);
+  EXPECT_EQ(b.y[2], d.y[0]);
+  EXPECT_EQ(b.y[3], d.y[1]);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

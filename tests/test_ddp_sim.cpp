@@ -1,0 +1,230 @@
+#include "sim/ddp_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::sim {
+namespace {
+
+core::Cluster cluster_at(int p, double gbps = 10.0) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(gbps);
+  return c;
+}
+
+core::Workload workload_of(const models::ModelProfile& m, int batch) {
+  core::Workload w;
+  w.model = m;
+  w.batch_size = batch;
+  return w;
+}
+
+compress::CompressorConfig method_config(compress::Method m, int rank = 4,
+                                         double fraction = 0.01) {
+  compress::CompressorConfig c;
+  c.method = m;
+  c.rank = rank;
+  c.fraction = fraction;
+  return c;
+}
+
+SimOptions exact_options() {
+  SimOptions o;
+  o.jitter_frac = 0.0;
+  return o;
+}
+
+TEST(ClusterSim, RejectsInvalidConfig) {
+  EXPECT_THROW(ClusterSim(cluster_at(0), exact_options()), std::invalid_argument);
+  SimOptions bad = exact_options();
+  bad.contention_factor = 0.5;
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+}
+
+TEST(ClusterSim, SingleWorkerIsBackwardOnly) {
+  ClusterSim sim(cluster_at(1), exact_options());
+  const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
+  EXPECT_NEAR(r.iteration_s * 1e3, 122.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.comm_s, 0.0);
+}
+
+TEST(ClusterSim, SyncSgdOverlapsCommWithCompute) {
+  ClusterSim sim(cluster_at(16), exact_options());
+  const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
+  // Total is far less than compute + comm (overlap happened)...
+  EXPECT_LT(r.iteration_s, r.compute_s + r.comm_s - 0.01);
+  // ...but at least as long as each stream alone.
+  EXPECT_GE(r.iteration_s, r.compute_s - 1e-9);
+  EXPECT_GE(r.iteration_s + 1e-9, r.comm_s);
+}
+
+TEST(ClusterSim, TimelineHasComputeAndCommStreams) {
+  ClusterSim sim(cluster_at(8), exact_options());
+  const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
+  const auto streams = r.timeline.streams();
+  EXPECT_NE(std::find(streams.begin(), streams.end(), "compute"), streams.end());
+  EXPECT_NE(std::find(streams.begin(), streams.end(), "comm"), streams.end());
+  // One comm span per bucket.
+  const auto buckets = models::bucket_sizes(models::resnet50());
+  std::size_t comm_spans = 0;
+  for (const auto& s : r.timeline.spans())
+    if (s.stream == "comm") ++comm_spans;
+  EXPECT_EQ(comm_spans, buckets.size());
+}
+
+TEST(ClusterSim, CommStreamSerializesBuckets) {
+  ClusterSim sim(cluster_at(8), exact_options());
+  const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
+  double prev_end = -1.0;
+  for (const auto& s : r.timeline.spans()) {
+    if (s.stream != "comm") continue;
+    EXPECT_GE(s.start_s, prev_end - 1e-12);  // no overlap on one stream
+    prev_end = s.end_s;
+  }
+}
+
+TEST(ClusterSim, DeterministicWithoutJitter) {
+  ClusterSim a(cluster_at(8), exact_options());
+  ClusterSim b(cluster_at(8), exact_options());
+  EXPECT_DOUBLE_EQ(a.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s,
+                   b.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s);
+}
+
+TEST(ClusterSim, JitterProducesVariance) {
+  SimOptions noisy = exact_options();
+  noisy.jitter_frac = 0.05;
+  ClusterSim sim(cluster_at(8), noisy);
+  const double t1 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s;
+  const double t2 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s;
+  EXPECT_NE(t1, t2);
+}
+
+TEST(ClusterSim, TreeAllreduceFasterAtScale) {
+  SimOptions ring = exact_options();
+  SimOptions tree = exact_options();
+  tree.use_tree_allreduce = true;
+  const auto w = workload_of(models::bert_base(), 10);
+  const double t_ring = ClusterSim(cluster_at(96), ring).run_syncsgd(w).iteration_s;
+  const double t_tree = ClusterSim(cluster_at(96), tree).run_syncsgd(w).iteration_s;
+  EXPECT_LE(t_tree, t_ring + 1e-12);
+}
+
+TEST(ClusterSim, CompressedRunsSequentialPipeline) {
+  ClusterSim sim(cluster_at(16), exact_options());
+  const auto r = sim.run_compressed(method_config(compress::Method::kPowerSgd),
+                                    workload_of(models::resnet50(), 64));
+  // Sequential: total = compute + encode + comm + decode.
+  EXPECT_NEAR(r.iteration_s, r.compute_s + r.encode_s + r.comm_s + r.decode_s, 1e-9);
+  EXPECT_GT(r.encode_s, 0.0);
+}
+
+TEST(ClusterSim, PowerSgdTimelineHasThreeCollectives) {
+  ClusterSim sim(cluster_at(8), exact_options());
+  const auto r = sim.run_compressed(method_config(compress::Method::kPowerSgd),
+                                    workload_of(models::resnet50(), 64));
+  std::size_t comm_spans = 0;
+  for (const auto& s : r.timeline.spans())
+    if (s.stream == "comm") ++comm_spans;
+  EXPECT_EQ(comm_spans, 3U);  // P, Q, 1-D layers
+}
+
+TEST(ClusterSim, OverlappedCompressionSlower) {
+  // The Figure 3 phenomenon: overlapping compression with backward is WORSE
+  // than running it sequentially, because of GPU contention.
+  SimOptions sequential = exact_options();
+  SimOptions overlapped = exact_options();
+  overlapped.overlap_compression = true;
+  const auto w = workload_of(models::resnet50(), 64);
+  for (auto m : {compress::Method::kPowerSgd, compress::Method::kTopK,
+                 compress::Method::kSignSgd}) {
+    const double t_seq =
+        ClusterSim(cluster_at(16), sequential).run_compressed(method_config(m), w).iteration_s;
+    const double t_ovl =
+        ClusterSim(cluster_at(16), overlapped).run_compressed(method_config(m), w).iteration_s;
+    EXPECT_GT(t_ovl, t_seq) << compress::method_name(m);
+  }
+}
+
+TEST(ClusterSim, SignSgdCommExplodesWithWorkers) {
+  const auto w = workload_of(models::resnet101(), 64);
+  const auto cfg = method_config(compress::Method::kSignSgd);
+  const double t8 =
+      ClusterSim(cluster_at(8), exact_options()).run_compressed(cfg, w).comm_s;
+  const double t96 =
+      ClusterSim(cluster_at(96), exact_options()).run_compressed(cfg, w).comm_s;
+  EXPECT_GT(t96 / t8, 8.0);
+}
+
+TEST(ClusterSim, SyncSgdDispatchThroughCompressed) {
+  ClusterSim sim(cluster_at(8), exact_options());
+  const auto w = workload_of(models::resnet50(), 64);
+  EXPECT_DOUBLE_EQ(sim.run_compressed(method_config(compress::Method::kSyncSgd), w).iteration_s,
+                   sim.run_syncsgd(w).iteration_s);
+}
+
+TEST(ClusterSim, Fp16FasterThanSyncWhenCommBound) {
+  // Small batch + big model => comm bound => halved bytes help.
+  const auto w = workload_of(models::bert_base(), 4);
+  ClusterSim sim(cluster_at(64), exact_options());
+  const double sync = sim.run_syncsgd(w).iteration_s;
+  const double fp16 =
+      sim.run_compressed(method_config(compress::Method::kFp16), w).iteration_s;
+  EXPECT_LT(fp16, sync);
+}
+
+TEST(ClusterSim, StragglersStretchIterations) {
+  SimOptions certain = exact_options();
+  certain.straggler_prob = 1.0;  // every worker straggles -> every iteration
+  certain.straggler_factor = 2.0;
+  const auto w = workload_of(models::resnet50(), 64);
+  const double base =
+      ClusterSim(cluster_at(1), exact_options()).run_syncsgd(w).iteration_s;
+  const double stretched = ClusterSim(cluster_at(1), certain).run_syncsgd(w).iteration_s;
+  EXPECT_NEAR(stretched, base * 2.0, 1e-9);
+}
+
+TEST(ClusterSim, StragglerImpactGrowsWithScale) {
+  // With per-worker probability q, P(iteration stalls) = 1-(1-q)^p: the mean
+  // iteration time rises with worker count even though each worker is
+  // unchanged — compression cannot fix this.
+  SimOptions rare = exact_options();
+  rare.straggler_prob = 0.02;
+  rare.straggler_factor = 3.0;
+  const auto w = workload_of(models::resnet50(), 64);
+  const auto protocol_runs = [&](int p) {
+    ClusterSim sim(cluster_at(p), rare);
+    double total = 0.0;
+    for (int i = 0; i < 200; ++i) total += sim.run_syncsgd(w).iteration_s;
+    return total / 200.0;
+  };
+  EXPECT_GT(protocol_runs(96), protocol_runs(2) * 1.2);
+}
+
+TEST(ClusterSim, StragglersAffectCompressedRunsToo) {
+  SimOptions certain = exact_options();
+  certain.straggler_prob = 1.0;
+  certain.straggler_factor = 2.0;
+  const auto w = workload_of(models::resnet50(), 64);
+  const auto cfg = method_config(compress::Method::kPowerSgd);
+  const auto base = ClusterSim(cluster_at(8), exact_options()).run_compressed(cfg, w);
+  const auto slow = ClusterSim(cluster_at(8), certain).run_compressed(cfg, w);
+  EXPECT_NEAR(slow.compute_s, base.compute_s * 2.0, 1e-9);
+  EXPECT_NEAR(slow.encode_s, base.encode_s * 2.0, 1e-9);
+  EXPECT_NEAR(slow.comm_s, base.comm_s, 1e-9);  // network unaffected
+}
+
+TEST(ClusterSim, IncastPenaltySlowsAllgatherMethods) {
+  SimOptions clean = exact_options();
+  clean.incast_penalty = 0.0;
+  SimOptions congested = exact_options();
+  congested.incast_penalty = 0.15;
+  const auto w = workload_of(models::resnet50(), 64);
+  const auto cfg = method_config(compress::Method::kSignSgd);
+  EXPECT_GT(ClusterSim(cluster_at(32), congested).run_compressed(cfg, w).comm_s,
+            ClusterSim(cluster_at(32), clean).run_compressed(cfg, w).comm_s);
+}
+
+}  // namespace
+}  // namespace gradcomp::sim

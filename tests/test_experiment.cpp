@@ -1,0 +1,99 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::sim {
+namespace {
+
+core::Cluster cluster_at(int p) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(10.0);
+  return c;
+}
+
+core::Workload resnet50_w64() {
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  return w;
+}
+
+TEST(Measure, RejectsDegenerateProtocol) {
+  MeasurementProtocol bad;
+  bad.iterations = 10;
+  bad.warmup = 10;
+  EXPECT_THROW(measure(cluster_at(4), SimOptions{}, {}, resnet50_w64(), bad),
+               std::invalid_argument);
+}
+
+TEST(Measure, ZeroJitterZeroStddev) {
+  SimOptions o;
+  o.jitter_frac = 0.0;
+  MeasurementProtocol protocol;
+  protocol.iterations = 20;
+  protocol.warmup = 5;
+  const auto m = measure(cluster_at(8), o, {}, resnet50_w64(), protocol);
+  EXPECT_GT(m.mean_s, 0.0);
+  EXPECT_NEAR(m.stddev_s, 0.0, 1e-12);
+}
+
+TEST(Measure, JitterYieldsPositiveStddev) {
+  SimOptions o;
+  o.jitter_frac = 0.05;
+  MeasurementProtocol protocol;
+  protocol.iterations = 40;
+  protocol.warmup = 5;
+  const auto m = measure(cluster_at(8), o, {}, resnet50_w64(), protocol);
+  EXPECT_GT(m.stddev_s, 0.0);
+  EXPECT_LT(m.stddev_s / m.mean_s, 0.2);  // bounded variance
+}
+
+TEST(Measure, ReportsComponentMeans) {
+  compress::CompressorConfig ps;
+  ps.method = compress::Method::kPowerSgd;
+  ps.rank = 4;
+  MeasurementProtocol protocol;
+  protocol.iterations = 15;
+  protocol.warmup = 5;
+  const auto m = measure(cluster_at(8), SimOptions{}, ps, resnet50_w64(), protocol);
+  EXPECT_GT(m.mean_encode_s, 0.0);
+  EXPECT_GT(m.mean_decode_s, 0.0);
+  EXPECT_GT(m.mean_comm_s, 0.0);
+}
+
+TEST(WeakScaling, ReturnsOnePointPerWorkerCount) {
+  compress::CompressorConfig ps;
+  ps.method = compress::Method::kPowerSgd;
+  MeasurementProtocol protocol;
+  protocol.iterations = 12;
+  protocol.warmup = 2;
+  const auto pts = weak_scaling(cluster_at(4), SimOptions{}, ps, resnet50_w64(), {8, 16, 32},
+                                protocol);
+  ASSERT_EQ(pts.size(), 3U);
+  EXPECT_EQ(pts[0].workers, 8);
+  EXPECT_EQ(pts[2].workers, 32);
+  for (const auto& pt : pts) {
+    EXPECT_GT(pt.sync.mean_s, 0.0);
+    EXPECT_GT(pt.compressed.mean_s, 0.0);
+    EXPECT_GT(pt.speedup(), 0.0);
+  }
+}
+
+TEST(WeakScaling, SignSgdSpeedupDegradesWithScale) {
+  compress::CompressorConfig sign;
+  sign.method = compress::Method::kSignSgd;
+  MeasurementProtocol protocol;
+  protocol.iterations = 12;
+  protocol.warmup = 2;
+  core::Workload w;
+  w.model = models::resnet101();
+  w.batch_size = 64;
+  const auto pts = weak_scaling(cluster_at(4), SimOptions{}, sign, w, {8, 96}, protocol);
+  EXPECT_GT(pts[0].speedup(), pts[1].speedup());
+}
+
+}  // namespace
+}  // namespace gradcomp::sim

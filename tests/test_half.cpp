@@ -1,0 +1,104 @@
+#include "tensor/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace gradcomp::tensor {
+namespace {
+
+TEST(Half, ExactSmallIntegers) {
+  for (float v : {0.0F, 1.0F, -1.0F, 2.0F, 100.0F, -512.0F, 2048.0F}) {
+    EXPECT_EQ(half_to_float(float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half(0.0F), 0x0000);
+  EXPECT_EQ(float_to_half(-0.0F), 0x8000);
+  EXPECT_EQ(float_to_half(1.0F), 0x3C00);
+  EXPECT_EQ(float_to_half(-2.0F), 0xC000);
+  EXPECT_EQ(float_to_half(65504.0F), 0x7BFF);  // max finite half
+}
+
+TEST(Half, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(float_to_half(70000.0F), 0x7C00);
+  EXPECT_EQ(float_to_half(-70000.0F), 0xFC00);
+  EXPECT_TRUE(std::isinf(half_to_float(0x7C00)));
+  EXPECT_TRUE(std::isinf(half_to_float(0xFC00)));
+  EXPECT_LT(half_to_float(0xFC00), 0.0F);
+}
+
+TEST(Half, InfinityRoundTrips) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+}
+
+TEST(Half, NanStaysNan) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(nan))));
+}
+
+TEST(Half, SubnormalsRepresented) {
+  // Smallest positive half subnormal is 2^-24.
+  const float tiny = std::ldexp(1.0F, -24);
+  EXPECT_EQ(half_to_float(float_to_half(tiny)), tiny);
+  // Below half subnormal range underflows to zero.
+  EXPECT_EQ(half_to_float(float_to_half(std::ldexp(1.0F, -26))), 0.0F);
+}
+
+TEST(Half, SubnormalRoundTripExhaustive) {
+  // Every half bit pattern with exponent 0 must survive a widen-narrow trip.
+  for (std::uint16_t mantissa = 0; mantissa < 0x400; ++mantissa) {
+    const auto bits = static_cast<std::uint16_t>(mantissa);
+    EXPECT_EQ(float_to_half(half_to_float(bits)), bits) << mantissa;
+  }
+}
+
+TEST(Half, AllFiniteHalvesRoundTripExactly) {
+  // fp16 -> fp32 is exact and fp32 -> fp16 of an exact half is identity, so
+  // the full finite range must round-trip bit-for-bit.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if (((h >> 10) & 0x1F) == 0x1F) continue;  // skip inf/NaN payload cases
+    EXPECT_EQ(float_to_half(half_to_float(h)), h) << bits;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1+2^-10):
+  // round-to-even picks the even mantissa (1.0).
+  EXPECT_EQ(float_to_half(1.0F + std::ldexp(1.0F, -11)), 0x3C00);
+  // Just above halfway rounds up.
+  EXPECT_EQ(float_to_half(1.0F + std::ldexp(1.0F, -11) + std::ldexp(1.0F, -20)), 0x3C01);
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // Round-to-nearest guarantees relative error <= 2^-11 for normal halves.
+  for (float v : {0.1F, 0.3F, 0.7F, 3.14159F, 123.456F, 0.001F}) {
+    const float back = half_to_float(float_to_half(v));
+    EXPECT_LE(std::abs(back - v) / std::abs(v), std::ldexp(1.0F, -11)) << v;
+  }
+}
+
+TEST(Half, BulkConversionMatchesScalar) {
+  std::vector<float> src = {0.5F, -1.25F, 3.0F, 1e-5F};
+  const auto halves = to_half(src);
+  ASSERT_EQ(halves.size(), src.size());
+  std::vector<float> dst(src.size());
+  from_half(halves, dst);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    EXPECT_EQ(dst[i], half_to_float(float_to_half(src[i])));
+}
+
+TEST(Half, FromHalfSizeMismatchThrows) {
+  std::vector<std::uint16_t> halves(3);
+  std::vector<float> dst(2);
+  EXPECT_THROW(from_half(halves, dst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gradcomp::tensor

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressor_harness.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using gradcomp::testing::exact_mean;
+using tensor::Rng;
+using tensor::Tensor;
+
+// --- syncSGD baseline (IdentityCompressor) ---------------------------------
+
+TEST(Identity, Traits) {
+  const auto c = make_compressor({});
+  EXPECT_EQ(c->name(), "syncsgd");
+  EXPECT_TRUE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+}
+
+TEST(Identity, CompressedBytesEqualsRawBytes) {
+  const auto c = make_compressor({});
+  EXPECT_EQ(c->compressed_bytes({100}), 400U);
+  EXPECT_EQ(c->compressed_bytes({10, 10}), 400U);
+}
+
+TEST(Identity, RoundtripIsLossless) {
+  Rng rng(1);
+  const Tensor g = Tensor::randn({64}, rng);
+  auto c = make_compressor({});
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(c->roundtrip(0, g), g), 0.0);
+}
+
+TEST(Identity, AggregateComputesExactMean) {
+  Rng rng(2);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({97}, rng));
+  const Tensor expect = exact_mean(grads);
+  MultiRankHarness harness({}, 4);
+  const auto results = harness.aggregate(0, grads);
+  for (const auto& result : results)
+    EXPECT_LT(tensor::max_abs_diff(result, expect), 1e-5);
+}
+
+TEST(Identity, AllRanksAgreeExactly) {
+  Rng rng(3);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 3; ++r) grads.push_back(Tensor::randn({50}, rng));
+  MultiRankHarness harness({}, 3);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0);
+}
+
+// --- FP16 -------------------------------------------------------------------
+
+CompressorConfig fp16_config() {
+  CompressorConfig c;
+  c.method = Method::kFp16;
+  return c;
+}
+
+TEST(Fp16, TraitsAndName) {
+  const auto c = make_compressor(fp16_config());
+  EXPECT_EQ(c->name(), "fp16");
+  EXPECT_TRUE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+  EXPECT_EQ(c->traits().family, "quantization");
+}
+
+TEST(Fp16, HalvesWireBytes) {
+  const auto c = make_compressor(fp16_config());
+  EXPECT_EQ(c->compressed_bytes({100}), 200U);
+}
+
+TEST(Fp16, RoundtripErrorWithinHalfPrecision) {
+  Rng rng(4);
+  const Tensor g = Tensor::randn({256}, rng);
+  auto c = make_compressor(fp16_config());
+  const Tensor back = c->roundtrip(0, g);
+  EXPECT_LT(tensor::relative_l2_error(back, g), std::ldexp(1.0, -10));
+  EXPECT_GT(tensor::max_abs_diff(back, g), 0.0);  // genuinely lossy
+}
+
+TEST(Fp16, AggregateCloseToExactMean) {
+  Rng rng(5);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({128}, rng));
+  const Tensor expect = exact_mean(grads);
+  MultiRankHarness harness(fp16_config(), 4);
+  const auto results = harness.aggregate(0, grads);
+  for (const auto& result : results)
+    EXPECT_LT(tensor::relative_l2_error(result, expect), 2e-3);
+}
+
+TEST(Fp16, AggregateReportsHalvedBytes) {
+  Rng rng(6);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 2; ++r) grads.push_back(Tensor::randn({100}, rng));
+  MultiRankHarness harness(fp16_config(), 2);
+  std::vector<AggregateStats> stats;
+  harness.aggregate(0, grads, &stats);
+  EXPECT_EQ(stats[0].bytes_sent, 200U);
+}
+
+TEST(Fp16, LargeMagnitudesSaturateGracefully) {
+  Tensor g({2}, {1e30F, -1e30F});
+  auto c = make_compressor(fp16_config());
+  const Tensor back = c->roundtrip(0, g);
+  EXPECT_TRUE(std::isinf(back.at(0)));
+  EXPECT_TRUE(std::isinf(back.at(1)));
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

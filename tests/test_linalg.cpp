@@ -1,0 +1,227 @@
+#include "tensor/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+
+namespace gradcomp::tensor {
+namespace {
+
+TEST(Matmul, KnownProduct2x2) {
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(Matmul, RectangularShapes) {
+  const Tensor a({2, 3}, {1, 0, 2, 0, 1, 1});
+  const Tensor b({3, 1}, {1, 2, 3});
+  const Tensor c = matmul(a, b);
+  ASSERT_EQ(c.dim(0), 2);
+  ASSERT_EQ(c.dim(1), 1);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 7.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 5.0F);
+}
+
+TEST(Matmul, TransposeA) {
+  const Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});  // a^T is 2x3
+  const Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+  const Tensor c = matmul(a, b, Transpose::kYes);
+  ASSERT_EQ(c.dim(0), 2);
+  ASSERT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1 * 1 + 3 * 0 + 5 * 1);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 2 * 0 + 4 * 1 + 6 * 1);
+}
+
+TEST(Matmul, TransposeB) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({2, 3}, {1, 1, 1, 2, 2, 2});
+  const Tensor c = matmul(a, b, Transpose::kNo, Transpose::kYes);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 6.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 12.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 15.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 30.0F);
+}
+
+TEST(Matmul, BothTransposed) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({5, 4}, rng);
+  const Tensor b = Tensor::randn({6, 5}, rng);
+  const Tensor direct = matmul(a, b, Transpose::kYes, Transpose::kYes);
+  // Compare against (B A)^T computed elementwise.
+  const Tensor ba = matmul(b, a);
+  for (std::int64_t i = 0; i < 4; ++i)
+    for (std::int64_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(direct.at(i, j), ba.at(j, i), 1e-4);
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a, Tensor({6})), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Rng rng(4);
+  const Tensor a = Tensor::randn({7, 7}, rng);
+  Tensor eye({7, 7});
+  for (std::int64_t i = 0; i < 7; ++i) eye.at(i, i) = 1.0F;
+  EXPECT_LT(max_abs_diff(matmul(a, eye), a), 1e-6);
+  EXPECT_LT(max_abs_diff(matmul(eye, a), a), 1e-6);
+}
+
+TEST(Matmul, LargeBlockedMatchesNaive) {
+  // Exercise the cache-blocked path (dims > block size 64).
+  Rng rng(5);
+  const Tensor a = Tensor::randn({70, 65}, rng);
+  const Tensor b = Tensor::randn({65, 72}, rng);
+  const Tensor c = matmul(a, b);
+  // Naive spot checks.
+  for (auto [i, j] : {std::pair<int, int>{0, 0}, {69, 71}, {35, 40}}) {
+    double expect = 0.0;
+    for (std::int64_t k = 0; k < 65; ++k)
+      expect += static_cast<double>(a.at(i, k)) * static_cast<double>(b.at(k, j));
+    EXPECT_NEAR(c.at(i, j), expect, 1e-3);
+  }
+}
+
+TEST(Matvec, MatchesMatmul) {
+  Rng rng(6);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor x = Tensor::randn({5}, rng);
+  const Tensor y = matvec(a, x);
+  const Tensor y2 = matmul(a, x.reshape({5, 1}));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(y.at(i), y2.at(i, 0), 1e-5);
+}
+
+TEST(Matvec, SizeMismatchThrows) {
+  EXPECT_THROW(matvec(Tensor({3, 4}), Tensor({3})), std::invalid_argument);
+}
+
+TEST(Dot, KnownValue) {
+  const Tensor a({3}, {1, 2, 3});
+  const Tensor b({3}, {4, -5, 6});
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_THROW(dot(a, Tensor({2})), std::invalid_argument);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalColumns) {
+  Rng rng(7);
+  Tensor m = Tensor::randn({20, 5}, rng);
+  orthonormalize_columns(m);
+  EXPECT_TRUE(has_orthonormal_columns(m));
+}
+
+TEST(Orthonormalize, PreservesColumnSpan) {
+  // Span check: the projection of the original columns onto the result
+  // reconstructs them.
+  Rng rng(8);
+  const Tensor original = Tensor::randn({10, 3}, rng);
+  Tensor q = original;
+  orthonormalize_columns(q);
+  // original = q * (q^T original) if span is preserved.
+  const Tensor coeffs = matmul(q, original, Transpose::kYes);
+  const Tensor reconstructed = matmul(q, coeffs);
+  EXPECT_LT(relative_l2_error(reconstructed, original), 1e-4);
+}
+
+TEST(Orthonormalize, HandlesDuplicateColumns) {
+  // Two identical columns: the second is degenerate after projection and
+  // must be replaced by something orthogonal, keeping full column rank.
+  Tensor m({4, 2}, {1, 1, 2, 2, 3, 3, 4, 4});
+  orthonormalize_columns(m);
+  EXPECT_TRUE(has_orthonormal_columns(m));
+}
+
+TEST(Orthonormalize, HandlesZeroMatrix) {
+  Tensor m({5, 3});
+  orthonormalize_columns(m);
+  EXPECT_TRUE(has_orthonormal_columns(m));
+}
+
+TEST(Orthonormalize, SingleColumnNormalizes) {
+  Tensor m({3, 1}, {3, 0, 4});
+  orthonormalize_columns(m);
+  EXPECT_NEAR(m.l2_norm(), 1.0, 1e-6);
+  EXPECT_NEAR(m.at(0, 0), 0.6F, 1e-6);
+}
+
+TEST(HasOrthonormalColumns, DetectsNonOrthonormal) {
+  Tensor m({2, 2}, {1, 1, 0, 1});
+  EXPECT_FALSE(has_orthonormal_columns(m));
+}
+
+TEST(Svd, DiagonalMatrixExact) {
+  Tensor a({3, 3});
+  a.at(0, 0) = 3.0F;
+  a.at(1, 1) = 2.0F;
+  a.at(2, 2) = 1.0F;
+  const SvdResult result = svd(a);
+  ASSERT_EQ(result.sigma.size(), 3U);
+  EXPECT_NEAR(result.sigma[0], 3.0, 1e-6);
+  EXPECT_NEAR(result.sigma[1], 2.0, 1e-6);
+  EXPECT_NEAR(result.sigma[2], 1.0, 1e-6);
+}
+
+TEST(Svd, ReconstructsMatrix) {
+  Rng rng(9);
+  const Tensor a = Tensor::randn({8, 5}, rng);
+  const SvdResult result = svd(a);
+  // A = U diag(sigma) V^T.
+  Tensor us = result.u;
+  for (std::int64_t i = 0; i < us.dim(0); ++i)
+    for (std::int64_t j = 0; j < us.dim(1); ++j)
+      us.at(i, j) *= static_cast<float>(result.sigma[static_cast<std::size_t>(j)]);
+  const Tensor back = matmul(us, result.v, Transpose::kNo, Transpose::kYes);
+  EXPECT_LT(relative_l2_error(back, a), 1e-4);
+}
+
+TEST(Svd, SingularValuesSortedDescending) {
+  Rng rng(10);
+  const Tensor a = Tensor::randn({10, 6}, rng);
+  const SvdResult result = svd(a);
+  for (std::size_t i = 0; i + 1 < result.sigma.size(); ++i)
+    EXPECT_GE(result.sigma[i], result.sigma[i + 1]);
+}
+
+TEST(Svd, WideMatrixViaTranspose) {
+  Rng rng(11);
+  const Tensor a = Tensor::randn({4, 9}, rng);
+  const SvdResult result = svd(a);
+  ASSERT_EQ(result.u.dim(0), 4);
+  ASSERT_EQ(result.v.dim(0), 9);
+  Tensor us = result.u;
+  for (std::int64_t i = 0; i < us.dim(0); ++i)
+    for (std::int64_t j = 0; j < us.dim(1); ++j)
+      us.at(i, j) *= static_cast<float>(result.sigma[static_cast<std::size_t>(j)]);
+  EXPECT_LT(relative_l2_error(matmul(us, result.v, Transpose::kNo, Transpose::kYes), a), 1e-4);
+}
+
+TEST(Svd, SingularValuesMatchFrobenius) {
+  Rng rng(12);
+  const Tensor a = Tensor::randn({7, 7}, rng);
+  const SvdResult result = svd(a);
+  double sq = 0.0;
+  for (double s : result.sigma) sq += s * s;
+  EXPECT_NEAR(std::sqrt(sq), frobenius_norm(a), 1e-3);
+}
+
+TEST(Svd, RankOneMatrix) {
+  // a = u v^T has exactly one nonzero singular value = |u||v|.
+  const Tensor u({4, 1}, {1, 2, 3, 4});
+  const Tensor v({3, 1}, {1, 0, -1});
+  const Tensor a = matmul(u, v, Transpose::kNo, Transpose::kYes);
+  const SvdResult result = svd(a);
+  EXPECT_NEAR(result.sigma[0], u.l2_norm() * v.l2_norm(), 1e-4);
+  EXPECT_NEAR(result.sigma[1], 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace gradcomp::tensor

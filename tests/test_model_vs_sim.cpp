@@ -1,0 +1,129 @@
+// Integration: the analytical performance model (core/) must track the
+// discrete-event simulator (sim/) the way the paper's model tracks its real
+// cluster — median error ~1.8% for syncSGD, ~1.4% for PowerSGD, larger
+// (~14%) for SignSGD because the model omits the incast degradation the
+// testbed (here: the simulator) exhibits (Section 4.3 / Figure 8).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/perf_model.hpp"
+#include "sim/ddp_sim.hpp"
+#include "stats/summary.hpp"
+
+namespace gradcomp {
+namespace {
+
+core::Cluster cluster_at(int p) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(10.0);
+  return c;
+}
+
+core::Workload workload_of(const models::ModelProfile& m, int batch) {
+  core::Workload w;
+  w.model = m;
+  w.batch_size = batch;
+  return w;
+}
+
+sim::SimOptions testbed_options() {
+  sim::SimOptions o;
+  o.jitter_frac = 0.0;
+  o.incast_penalty = 0.08;  // the real-cluster effect the model omits
+  return o;
+}
+
+std::pair<std::vector<double>, std::vector<double>> predicted_and_simulated(
+    const compress::CompressorConfig& config, const core::Workload& w) {
+  core::PerfModel model;
+  std::vector<double> predicted;
+  std::vector<double> simulated;
+  for (int p : {8, 16, 32, 64, 96}) {
+    const core::Cluster c = cluster_at(p);
+    predicted.push_back(model.compressed(config, w, c).total_s);
+    sim::ClusterSim sim(c, testbed_options());
+    simulated.push_back(sim.run_compressed(config, w).iteration_s);
+  }
+  return {predicted, simulated};
+}
+
+TEST(ModelVsSim, SyncSgdMedianErrorSmall) {
+  // The analytical model assumes perfect comm/compute packing; the simulator
+  // (like a real cluster) serializes bucket all-reduces behind the first
+  // bucket's readiness, so a mid-single-digit-percent gap remains.
+  const auto [pred, meas] =
+      predicted_and_simulated({}, workload_of(models::resnet50(), 64));
+  EXPECT_LT(stats::median_relative_error(pred, meas), 0.08);
+}
+
+TEST(ModelVsSim, SyncSgdTracksAcrossModels) {
+  for (const auto& m : {models::resnet50(), models::resnet101()}) {
+    const auto [pred, meas] = predicted_and_simulated({}, workload_of(m, 64));
+    EXPECT_LT(stats::median_relative_error(pred, meas), 0.08) << m.name;
+  }
+}
+
+TEST(ModelVsSim, PowerSgdMedianErrorSmall) {
+  compress::CompressorConfig ps;
+  ps.method = compress::Method::kPowerSgd;
+  ps.rank = 4;
+  const auto [pred, meas] =
+      predicted_and_simulated(ps, workload_of(models::resnet50(), 64));
+  EXPECT_LT(stats::median_relative_error(pred, meas), 0.05);
+}
+
+TEST(ModelVsSim, SignSgdErrorLargerDueToIncast) {
+  // The asymmetry the paper reports: the analytical model is good for
+  // all-reduce methods but off for all-gather methods because of incast.
+  compress::CompressorConfig sign;
+  sign.method = compress::Method::kSignSgd;
+  const auto [pred_sign, meas_sign] =
+      predicted_and_simulated(sign, workload_of(models::resnet101(), 64));
+  const double sign_err = stats::median_relative_error(pred_sign, meas_sign);
+
+  compress::CompressorConfig ps;
+  ps.method = compress::Method::kPowerSgd;
+  const auto [pred_ps, meas_ps] =
+      predicted_and_simulated(ps, workload_of(models::resnet101(), 64));
+  const double ps_err = stats::median_relative_error(pred_ps, meas_ps);
+
+  EXPECT_GT(sign_err, ps_err);
+  EXPECT_LT(sign_err, 0.30);  // still in a usable range
+  // Model UNDER-predicts SignSGD (simulator includes incast).
+  for (std::size_t i = 0; i < pred_sign.size(); ++i)
+    EXPECT_LE(pred_sign[i], meas_sign[i] * 1.02);
+}
+
+TEST(ModelVsSim, BothAgreeOnWinners) {
+  // Whatever the absolute errors, model and simulator must agree on WHO
+  // wins — the decision the what-if tool exists to make.
+  compress::CompressorConfig ps;
+  ps.method = compress::Method::kPowerSgd;
+  ps.rank = 4;
+  core::PerfModel model;
+  struct Case {
+    models::ModelProfile m;
+    int batch;
+    int workers;
+  };
+  // Decisive configurations from the paper's Figure 4: syncSGD clearly wins
+  // ResNet-50 at 16 GPUs; PowerSGD clearly wins BERT at 96 (at the exact
+  // ResNet-50/96 crossover the two are within ~2% and either call is
+  // defensible).
+  for (const auto& [m, batch, workers] :
+       {Case{models::resnet50(), 64, 16}, Case{models::bert_base(), 10, 96}}) {
+    const core::Workload w = workload_of(m, batch);
+    const core::Cluster c = cluster_at(workers);
+    const bool model_says_ps_wins =
+        model.compressed(ps, w, c).total_s < model.syncsgd(w, c).total_s;
+    sim::ClusterSim sim(c, testbed_options());
+    const bool sim_says_ps_wins =
+        sim.run_compressed(ps, w).iteration_s < sim.run_syncsgd(w).iteration_s;
+    EXPECT_EQ(model_says_ps_wins, sim_says_ps_wins) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace gradcomp

@@ -1,0 +1,151 @@
+#include "models/model_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::models {
+namespace {
+
+TEST(LayerSpec, MatrixDimsAndBytes) {
+  const LayerSpec conv{"conv", {64, 3, 7, 7}};
+  EXPECT_EQ(conv.numel(), 64 * 3 * 7 * 7);
+  EXPECT_EQ(conv.bytes(), conv.numel() * 4);
+  EXPECT_EQ(conv.matrix_rows(), 64);
+  EXPECT_EQ(conv.matrix_cols(), 3 * 7 * 7);
+  EXPECT_TRUE(conv.is_matrix());
+}
+
+TEST(LayerSpec, BiasIsNotMatrix) {
+  const LayerSpec bias{"bias", {128}};
+  EXPECT_EQ(bias.matrix_rows(), 128);
+  EXPECT_EQ(bias.matrix_cols(), 1);
+  EXPECT_FALSE(bias.is_matrix());
+}
+
+TEST(ResNet50, ParameterCountMatchesPublishedArchitecture) {
+  const ModelProfile m = resnet50();
+  // Torchvision's ResNet-50 has 25.56M parameters.
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 25.56e6, 0.15e6);
+}
+
+TEST(ResNet50, SizeMatchesPaperQuote) {
+  // The paper calls ResNet-50 a ~97 MB model.
+  EXPECT_NEAR(resnet50().total_mb(), 97.0, 5.0);
+}
+
+TEST(ResNet101, ParameterCountMatchesPublishedArchitecture) {
+  EXPECT_NEAR(static_cast<double>(resnet101().total_params()), 44.55e6, 0.2e6);
+}
+
+TEST(ResNet101, SizeMatchesPaperQuote) {
+  // Paper: ~170 MB.
+  EXPECT_NEAR(resnet101().total_mb(), 170.0, 6.0);
+}
+
+TEST(BertBase, ParameterCountMatchesPublishedArchitecture) {
+  // BERT_BASE is ~110M parameters.
+  EXPECT_NEAR(static_cast<double>(bert_base().total_params()), 110.0e6, 3.0e6);
+}
+
+TEST(BertBase, SizeMatchesPaperQuote) {
+  // Paper: ~418 MB.
+  EXPECT_NEAR(bert_base().total_mb(), 418.0, 12.0);
+}
+
+TEST(BertLarge, ParameterCountMatchesPublishedArchitecture) {
+  // BERT_LARGE is ~335M parameters.
+  EXPECT_NEAR(static_cast<double>(bert_large().total_params()), 335.0e6, 10.0e6);
+}
+
+TEST(Models, ResNet101DeeperThan50) {
+  EXPECT_GT(resnet101().layers.size(), resnet50().layers.size());
+  EXPECT_GT(resnet101().total_params(), resnet50().total_params());
+}
+
+TEST(Models, BackwardTimeScalesLinearlyWithBatch) {
+  const ModelProfile m = resnet50();
+  EXPECT_NEAR(m.backward_seconds(64), 2.0 * m.backward_seconds(32), 1e-12);
+}
+
+TEST(Models, ResNet50BackwardMatchesTable2Context) {
+  // Table 2 discussion: T_comp ~= 122 ms for ResNet-50 (batch 64, V100).
+  EXPECT_NEAR(resnet50().backward_seconds(64) * 1e3, 122.0, 1.0);
+}
+
+TEST(Models, LookupByNameNormalizes) {
+  EXPECT_EQ(model_by_name("ResNet-50").name, "resnet50");
+  EXPECT_EQ(model_by_name("resnet101").name, "resnet101");
+  EXPECT_EQ(model_by_name("BERT_base").name, "bert_base");
+  EXPECT_EQ(model_by_name("bert").name, "bert_base");
+  EXPECT_EQ(model_by_name("BERT-LARGE").name, "bert_large");
+  EXPECT_THROW(model_by_name("alexnet"), std::invalid_argument);
+}
+
+TEST(Models, AllModelsReturnsFive) {
+  const auto models = all_models();
+  ASSERT_EQ(models.size(), 5U);
+  for (const auto& m : models) {
+    EXPECT_FALSE(m.layers.empty());
+    EXPECT_GT(m.backward_ms_per_sample, 0.0);
+  }
+}
+
+TEST(Vgg16, ParameterCountMatchesPublishedArchitecture) {
+  // VGG-16 has ~138.4M parameters.
+  EXPECT_NEAR(static_cast<double>(vgg16().total_params()), 138.4e6, 1.0e6);
+}
+
+TEST(Vgg16, FullyConnectedLayersDominate) {
+  const ModelProfile m = vgg16();
+  std::int64_t fc_params = 0;
+  for (const auto& l : m.layers)
+    if (l.name.rfind("fc", 0) == 0) fc_params += l.numel();
+  EXPECT_GT(static_cast<double>(fc_params) / static_cast<double>(m.total_params()), 0.85);
+}
+
+TEST(Vgg16, MostCommunicationHeavyPerCompute) {
+  // VGG-16's bytes-per-backward-second exceeds every paper model at batch 64
+  // — the most favourable realistic case for compression.
+  const auto ratio = [](const ModelProfile& m, int batch) {
+    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch);
+  };
+  EXPECT_GT(ratio(vgg16(), 64), ratio(resnet50(), 64));
+  EXPECT_GT(ratio(vgg16(), 64), ratio(bert_base(), 10));
+}
+
+TEST(Vgg16, LookupByName) {
+  EXPECT_EQ(model_by_name("VGG-16").name, "vgg16");
+  EXPECT_EQ(model_by_name("vgg").name, "vgg16");
+}
+
+TEST(Models, EveryLayerHasPositiveSize) {
+  for (const auto& m : all_models())
+    for (const auto& layer : m.layers) EXPECT_GT(layer.numel(), 0) << m.name << " " << layer.name;
+}
+
+TEST(Models, BertIsCommunicationHeavyRelativeToCompute) {
+  // The paper's premise: at the batch sizes each model trains with (BERT
+  // ~10, ResNets 64), BERT moves more gradient bytes per second of backward
+  // compute — it is the communication-heavy workload.
+  const auto ratio = [](const ModelProfile& m, int batch) {
+    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch);
+  };
+  EXPECT_GT(ratio(bert_base(), 10), ratio(resnet50(), 64));
+  EXPECT_GT(ratio(bert_base(), 10), ratio(resnet101(), 64));
+}
+
+TEST(Models, MatrixLayersDominateParameters) {
+  // Low-rank methods compress the matrix layers; they must hold nearly all
+  // parameters for the compression ratio claims to make sense.
+  for (const auto& m : all_models()) {
+    std::int64_t matrix_params = 0;
+    for (const auto& l : m.layers)
+      if (l.is_matrix()) matrix_params += l.numel();
+    EXPECT_GT(static_cast<double>(matrix_params) / static_cast<double>(m.total_params()), 0.98)
+        << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace gradcomp::models

@@ -1,0 +1,156 @@
+#include "train/nn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace gradcomp::train {
+namespace {
+
+using tensor::Rng;
+using tensor::Tensor;
+
+TEST(Mlp, RejectsDegenerateDims) {
+  EXPECT_THROW(Mlp({4}, 1), std::invalid_argument);
+  EXPECT_THROW(Mlp({4, 0}, 1), std::invalid_argument);
+}
+
+TEST(Mlp, LayerShapes) {
+  const Mlp net({8, 16, 3}, 1);
+  ASSERT_EQ(net.num_layers(), 2U);
+  EXPECT_EQ(net.layers()[0].w.shape(), (tensor::Shape{16, 8}));
+  EXPECT_EQ(net.layers()[0].b.shape(), (tensor::Shape{16}));
+  EXPECT_EQ(net.layers()[1].w.shape(), (tensor::Shape{3, 16}));
+  EXPECT_EQ(net.input_dim(), 8);
+  EXPECT_EQ(net.num_classes(), 3);
+}
+
+TEST(Mlp, SameSeedSameWeights) {
+  const Mlp a({4, 8, 2}, 7);
+  const Mlp b({4, 8, 2}, 7);
+  for (std::size_t i = 0; i < a.num_layers(); ++i)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(a.layers()[i].w, b.layers()[i].w), 0.0);
+}
+
+TEST(Mlp, ForwardShape) {
+  const Mlp net({4, 8, 3}, 1);
+  Rng rng(2);
+  const Tensor x = Tensor::randn({5, 4}, rng);
+  const Tensor logits = net.forward(x);
+  EXPECT_EQ(logits.shape(), (tensor::Shape{5, 3}));
+}
+
+TEST(Mlp, ForwardRejectsBadInput) {
+  const Mlp net({4, 8, 3}, 1);
+  EXPECT_THROW(net.forward(Tensor({5, 3})), std::invalid_argument);
+  EXPECT_THROW(net.forward(Tensor({20})), std::invalid_argument);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(3);
+  const Tensor probs = softmax_rows(Tensor::randn({6, 4}, rng));
+  for (std::int64_t i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (std::int64_t j = 0; j < 4; ++j) {
+      EXPECT_GT(probs.at(i, j), 0.0F);
+      sum += probs.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Tensor logits({1, 2}, {1000.0F, 999.0F});
+  const Tensor probs = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(probs.at(0, 0)));
+  EXPECT_GT(probs.at(0, 0), probs.at(0, 1));
+}
+
+TEST(Mlp, ComputeGradientsValidatesLabels) {
+  Mlp net({4, 3}, 1);
+  Rng rng(4);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  EXPECT_THROW(net.compute_gradients(x, {0}), std::invalid_argument);       // count
+  EXPECT_THROW(net.compute_gradients(x, {0, 5}), std::invalid_argument);    // range
+  EXPECT_THROW(net.compute_gradients(x, {0, -1}), std::invalid_argument);   // range
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  // The gold-standard autograd check.
+  Mlp net({3, 5, 2}, 9);
+  Rng rng(5);
+  const Tensor x = Tensor::randn({4, 3}, rng);
+  const std::vector<int> y = {0, 1, 1, 0};
+  net.compute_gradients(x, y);
+
+  const float eps = 1e-3F;
+  // Spot-check several coordinates in every layer's weight and bias.
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    for (std::int64_t idx : {std::int64_t{0}, net.layers()[layer].w.numel() / 2,
+                             net.layers()[layer].w.numel() - 1}) {
+      Mlp probe = net;
+      probe.layers()[layer].w.at(idx) += eps;
+      const double up = probe.loss(x, y);
+      probe.layers()[layer].w.at(idx) -= 2 * eps;
+      const double down = probe.loss(x, y);
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(net.layers()[layer].grad_w.at(idx), numeric, 5e-3)
+          << "layer " << layer << " idx " << idx;
+    }
+    Mlp probe = net;
+    probe.layers()[layer].b.at(0) += eps;
+    const double up = probe.loss(x, y);
+    probe.layers()[layer].b.at(0) -= 2 * eps;
+    const double down = probe.loss(x, y);
+    EXPECT_NEAR(net.layers()[layer].grad_b.at(0), (up - down) / (2.0 * eps), 5e-3);
+  }
+}
+
+TEST(Mlp, LossDecreasesUnderGradientDescent) {
+  Mlp net({2, 8, 2}, 11);
+  Rng rng(6);
+  const Tensor x = Tensor::randn({16, 2}, rng);
+  std::vector<int> y;
+  for (int i = 0; i < 16; ++i) y.push_back(x.at(i, 0) > 0 ? 1 : 0);
+
+  const double initial = net.loss(x, y);
+  for (int step = 0; step < 100; ++step) {
+    net.compute_gradients(x, y);
+    for (auto& layer : net.layers()) {
+      layer.w.axpy(-0.5F, layer.grad_w);
+      layer.b.axpy(-0.5F, layer.grad_b);
+    }
+  }
+  EXPECT_LT(net.loss(x, y), initial * 0.5);
+}
+
+TEST(Mlp, AccuracyOnTriviallySeparableData) {
+  Mlp net({1, 4, 2}, 13);
+  const Tensor x({8, 1}, {-3, -2, -1, -0.5F, 0.5F, 1, 2, 3});
+  const std::vector<int> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  for (int step = 0; step < 300; ++step) {
+    net.compute_gradients(x, y);
+    for (auto& layer : net.layers()) {
+      layer.w.axpy(-0.3F, layer.grad_w);
+      layer.b.axpy(-0.3F, layer.grad_b);
+    }
+  }
+  EXPECT_EQ(net.accuracy(x, y), 1.0);
+}
+
+TEST(Mlp, CrossEntropyOfUniformIsLogClasses) {
+  // Zero weights -> uniform softmax -> loss = ln(C).
+  Mlp net({3, 4}, 1);
+  net.layers()[0].w.fill(0.0F);
+  net.layers()[0].b.fill(0.0F);
+  Rng rng(7);
+  const Tensor x = Tensor::randn({10, 3}, rng);
+  const std::vector<int> y(10, 2);
+  EXPECT_NEAR(net.loss(x, y), std::log(4.0), 1e-5);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

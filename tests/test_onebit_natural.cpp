@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "compress/natural.hpp"
+#include "compress/onebit.hpp"
+#include "compressor_harness.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using tensor::Rng;
+using tensor::Tensor;
+
+CompressorConfig onebit_config() {
+  CompressorConfig c;
+  c.method = Method::kOneBit;
+  return c;
+}
+
+CompressorConfig natural_config() {
+  CompressorConfig c;
+  c.method = Method::kNatural;
+  return c;
+}
+
+// --- 1-bit SGD ---------------------------------------------------------------
+
+TEST(OneBit, TraitsAndBytes) {
+  const auto c = make_compressor(onebit_config());
+  EXPECT_EQ(c->name(), "onebit");
+  EXPECT_FALSE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+  EXPECT_EQ(c->compressed_bytes({32}), 2 * sizeof(float) + 4U);
+}
+
+TEST(OneBit, DecodeUsesPartitionMeans) {
+  const std::vector<float> values = {1.0F, 3.0F, -2.0F, -4.0F};
+  const auto payload = OneBitCompressor::encode(values);
+  const auto back = OneBitCompressor::decode(payload, 4);
+  EXPECT_FLOAT_EQ(back[0], 2.0F);   // mean of positives
+  EXPECT_FLOAT_EQ(back[1], 2.0F);
+  EXPECT_FLOAT_EQ(back[2], -3.0F);  // mean of negatives
+  EXPECT_FLOAT_EQ(back[3], -3.0F);
+}
+
+TEST(OneBit, QuantizerPreservesPartitionSums) {
+  // Within each sign partition the reconstruction has the same sum as the
+  // input — the property that makes the levels "exact on average".
+  Rng rng(1);
+  const Tensor g = Tensor::randn({200}, rng);
+  const auto back = OneBitCompressor::decode(OneBitCompressor::encode(g.data()), 200);
+  double in_pos = 0.0;
+  double out_pos = 0.0;
+  for (std::int64_t i = 0; i < 200; ++i) {
+    if (g.at(i) >= 0) {
+      in_pos += g.at(i);
+      out_pos += back[static_cast<std::size_t>(i)];
+    }
+  }
+  EXPECT_NEAR(in_pos, out_pos, 1e-2);
+}
+
+TEST(OneBit, AllPositiveInput) {
+  const std::vector<float> values = {1.0F, 2.0F, 3.0F};
+  const auto back = OneBitCompressor::decode(OneBitCompressor::encode(values), 3);
+  for (float v : back) EXPECT_FLOAT_EQ(v, 2.0F);
+}
+
+TEST(OneBit, ZeroVector) {
+  const std::vector<float> values(8, 0.0F);
+  const auto back = OneBitCompressor::decode(OneBitCompressor::encode(values), 8);
+  for (float v : back) EXPECT_FLOAT_EQ(v, 0.0F);
+}
+
+TEST(OneBit, DecodeValidatesSize) {
+  EXPECT_THROW(OneBitCompressor::decode(std::vector<std::byte>(3), 16), std::invalid_argument);
+}
+
+TEST(OneBit, ErrorFeedbackMeanConverges) {
+  auto c = make_compressor(onebit_config());
+  const Tensor g({3}, {1.0F, 0.2F, -0.6F});
+  Tensor sum({3});
+  const int steps = 200;
+  for (int s = 0; s < steps; ++s) sum.add_(c->roundtrip(0, g));
+  sum.scale(1.0F / static_cast<float>(steps));
+  EXPECT_NEAR(sum.at(0), 1.0F, 0.1F);
+  EXPECT_NEAR(sum.at(1), 0.2F, 0.1F);
+  EXPECT_NEAR(sum.at(2), -0.6F, 0.1F);
+}
+
+TEST(OneBit, AggregateAveragesPerRankLevels) {
+  std::vector<Tensor> grads = {Tensor({2}, {2.0F, 2.0F}), Tensor({2}, {-4.0F, -4.0F})};
+  MultiRankHarness harness(onebit_config(), 2);
+  const auto results = harness.aggregate(0, grads);
+  // Rank 0 decodes to +2 everywhere, rank 1 to -4: mean = -1.
+  EXPECT_FLOAT_EQ(results[0].at(0), -1.0F);
+  EXPECT_FLOAT_EQ(results[1].at(1), -1.0F);
+}
+
+// --- Natural compression -------------------------------------------------------
+
+TEST(Natural, TraitsAndBytes) {
+  const auto c = make_compressor(natural_config());
+  EXPECT_EQ(c->name(), "natural");
+  EXPECT_FALSE(c->traits().allreduce_compatible);
+  EXPECT_EQ(c->compressed_bytes({100}), 100U);  // 4x vs fp32
+}
+
+TEST(Natural, ExactOnPowersOfTwo) {
+  const Tensor g({6}, {1.0F, 2.0F, 0.5F, -4.0F, -0.25F, 1024.0F});
+  auto c = make_compressor(natural_config());
+  const Tensor back = c->roundtrip(0, g);
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(back, g), 0.0);
+}
+
+TEST(Natural, ZeroSurvives) {
+  const Tensor g({4});
+  auto c = make_compressor(natural_config());
+  EXPECT_DOUBLE_EQ(c->roundtrip(0, g).l2_norm(), 0.0);
+}
+
+TEST(Natural, OutputsAreSignedPowersOfTwo) {
+  Rng rng(2);
+  const Tensor g = Tensor::randn({256}, rng);
+  auto c = make_compressor(natural_config());
+  const Tensor back = c->roundtrip(0, g);
+  for (std::int64_t i = 0; i < 256; ++i) {
+    const double v = std::abs(back.at(i));
+    if (v == 0.0) continue;
+    const double e = std::log2(v);
+    EXPECT_NEAR(e, std::round(e), 1e-6) << back.at(i);
+    // Same sign, and within a factor of two of the input.
+    EXPECT_GE(back.at(i) * g.at(i), 0.0F);
+    const double ratio = v / std::abs(g.at(i));
+    EXPECT_GE(ratio, 0.5 - 1e-6);
+    EXPECT_LE(ratio, 2.0 + 1e-6);
+  }
+}
+
+TEST(Natural, UnbiasedOverManyTrials) {
+  const Tensor g({2}, {0.75F, -1.5F});
+  auto c = make_compressor(natural_config());
+  Tensor sum({2});
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) sum.add_(c->roundtrip(0, g));
+  sum.scale(1.0F / static_cast<float>(trials));
+  EXPECT_NEAR(sum.at(0), 0.75F, 0.02F);
+  EXPECT_NEAR(sum.at(1), -1.5F, 0.04F);
+}
+
+TEST(Natural, RelativeErrorBoundedByFactorTwo) {
+  Rng rng(3);
+  const Tensor g = Tensor::randn({512}, rng);
+  auto c = make_compressor(natural_config());
+  const Tensor back = c->roundtrip(0, g);
+  // Worst-case per-coordinate relative error of power-of-two rounding is 1x
+  // (value doubles or halves), so the L2 error is bounded accordingly.
+  EXPECT_LT(tensor::relative_l2_error(back, g), 1.0);
+}
+
+TEST(Natural, DecodeValidatesSize) {
+  EXPECT_THROW(NaturalCompressor::decode(std::vector<std::byte>(3), 16), std::invalid_argument);
+}
+
+TEST(Natural, AggregateAllRanksAgree) {
+  Rng rng(4);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 3; ++r) grads.push_back(Tensor::randn({64}, rng));
+  MultiRankHarness harness(natural_config(), 3);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0);
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

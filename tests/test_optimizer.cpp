@@ -1,0 +1,107 @@
+#include "train/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::train {
+namespace {
+
+TEST(SgdOptimizer, ValidatesOptions) {
+  EXPECT_THROW(SgdOptimizer(SgdOptions{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(SgdOptions{-0.1, 0.0}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(SgdOptions{0.1, -0.1}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(SgdOptions{0.1, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(SgdOptimizer(SgdOptions{0.1, 0.9}));
+}
+
+TEST(SgdOptimizer, PlainStepSubtractsScaledGradient) {
+  Mlp net({2, 2}, 1);
+  net.layers()[0].w.fill(1.0F);
+  net.layers()[0].b.fill(1.0F);
+  net.layers()[0].grad_w.fill(2.0F);
+  net.layers()[0].grad_b.fill(4.0F);
+  SgdOptimizer opt(SgdOptions{0.5, 0.0});
+  opt.step(net);
+  for (float v : net.layers()[0].w.data()) EXPECT_FLOAT_EQ(v, 0.0F);
+  for (float v : net.layers()[0].b.data()) EXPECT_FLOAT_EQ(v, -1.0F);
+}
+
+TEST(SgdOptimizer, MomentumAccumulatesVelocity) {
+  Mlp net({1, 1}, 1);
+  net.layers()[0].w.fill(0.0F);
+  net.layers()[0].b.fill(0.0F);
+  SgdOptimizer opt(SgdOptions{1.0, 0.5});
+  // Constant gradient 1: velocity = 1, 1.5, 1.75 ... ; w = -1, -2.5, -4.25.
+  net.layers()[0].grad_w.fill(1.0F);
+  net.layers()[0].grad_b.fill(0.0F);
+  opt.step(net);
+  EXPECT_FLOAT_EQ(net.layers()[0].w.at(0), -1.0F);
+  net.layers()[0].grad_w.fill(1.0F);
+  opt.step(net);
+  EXPECT_FLOAT_EQ(net.layers()[0].w.at(0), -2.5F);
+  net.layers()[0].grad_w.fill(1.0F);
+  opt.step(net);
+  EXPECT_FLOAT_EQ(net.layers()[0].w.at(0), -4.25F);
+}
+
+TEST(SgdOptimizer, MomentumStrictlyFasterOnConstantGradient) {
+  Mlp plain_net({1, 1}, 1);
+  Mlp momentum_net({1, 1}, 1);
+  SgdOptimizer plain(SgdOptions{0.1, 0.0});
+  SgdOptimizer momentum(SgdOptions{0.1, 0.9});
+  for (int s = 0; s < 10; ++s) {
+    plain_net.layers()[0].grad_w.fill(1.0F);
+    momentum_net.layers()[0].grad_w.fill(1.0F);
+    plain_net.layers()[0].grad_b.fill(0.0F);
+    momentum_net.layers()[0].grad_b.fill(0.0F);
+    plain.step(plain_net);
+    momentum.step(momentum_net);
+  }
+  EXPECT_LT(momentum_net.layers()[0].w.at(0), plain_net.layers()[0].w.at(0));
+}
+
+TEST(SgdOptimizer, ValidatesLrDecay) {
+  EXPECT_THROW(SgdOptimizer(SgdOptions{0.1, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(SgdOptimizer(SgdOptions{0.1, 0.0, 1.5}), std::invalid_argument);
+  EXPECT_NO_THROW(SgdOptimizer(SgdOptions{0.1, 0.0, 0.99}));
+}
+
+TEST(SgdOptimizer, LrDecaysMultiplicatively) {
+  Mlp net({1, 1}, 1);
+  net.layers()[0].w.fill(0.0F);
+  SgdOptimizer opt(SgdOptions{1.0, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(opt.current_lr(), 1.0);
+  // Step 1 at lr 1.0, step 2 at lr 0.5, step 3 at lr 0.25: w = -(1+.5+.25).
+  for (int s = 0; s < 3; ++s) {
+    net.layers()[0].grad_w.fill(1.0F);
+    net.layers()[0].grad_b.fill(0.0F);
+    opt.step(net);
+  }
+  EXPECT_FLOAT_EQ(net.layers()[0].w.at(0), -1.75F);
+  EXPECT_DOUBLE_EQ(opt.current_lr(), 0.125);
+}
+
+TEST(SgdOptimizer, NoDecayKeepsLrConstant) {
+  Mlp net({1, 1}, 1);
+  SgdOptimizer opt(SgdOptions{0.2, 0.0, 1.0});
+  for (int s = 0; s < 5; ++s) {
+    net.layers()[0].grad_w.fill(0.0F);
+    net.layers()[0].grad_b.fill(0.0F);
+    opt.step(net);
+  }
+  EXPECT_DOUBLE_EQ(opt.current_lr(), 0.2);
+}
+
+TEST(SgdOptimizer, ZeroGradientIsNoOp) {
+  Mlp net({3, 2}, 5);
+  const Mlp before = net;
+  net.layers()[0].grad_w.fill(0.0F);
+  net.layers()[0].grad_b.fill(0.0F);
+  SgdOptimizer opt(SgdOptions{0.1, 0.0});
+  opt.step(net);
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(net.layers()[0].w, before.layers()[0].w), 0.0);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

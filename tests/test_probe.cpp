@@ -1,0 +1,77 @@
+#include "sim/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::sim {
+namespace {
+
+core::Cluster cluster_at(int p, double gbps = 10.0, double alpha = 15e-6) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(gbps, alpha);
+  return c;
+}
+
+ProbeOptions exact_probe() {
+  ProbeOptions o;
+  o.jitter_frac = 0.0;
+  return o;
+}
+
+TEST(Probe, RequiresTwoWorkers) {
+  EXPECT_THROW(probe_network(cluster_at(1)), std::invalid_argument);
+}
+
+TEST(Probe, RecoversAlphaExactly) {
+  // Tiny-tensor ring-reduce / (p-1) — the paper's alpha procedure — is exact
+  // when the bandwidth term is negligible and jitter is off.
+  const auto est = probe_network(cluster_at(16), exact_probe());
+  EXPECT_NEAR(est.alpha_s, 15e-6, 0.1e-6);
+}
+
+TEST(Probe, RecoversBandwidthExactly) {
+  const auto est = probe_network(cluster_at(8, 10.0), exact_probe());
+  EXPECT_NEAR(est.bandwidth_bps * 8.0 / 1e9, 10.0, 0.05);
+  EXPECT_NEAR(est.min_pair_gbps, 10.0, 0.05);
+  EXPECT_NEAR(est.max_pair_gbps, 10.0, 0.05);
+}
+
+TEST(Probe, TracksConfiguredBandwidth) {
+  for (double gbps : {1.0, 25.0, 100.0}) {
+    const auto est = probe_network(cluster_at(4, gbps), exact_probe());
+    EXPECT_NEAR(est.bandwidth_bps * 8.0 / 1e9, gbps, gbps * 0.02) << gbps;
+  }
+}
+
+TEST(Probe, JitterSpreadsPairMeasurements) {
+  ProbeOptions noisy;
+  noisy.jitter_frac = 0.05;
+  const auto est = probe_network(cluster_at(8), noisy);
+  EXPECT_LT(est.min_pair_gbps, est.max_pair_gbps);
+  // Paper takes the MIN pairwise bandwidth: the reported BW is the min.
+  EXPECT_DOUBLE_EQ(est.bandwidth_bps * 8.0 / 1e9, est.min_pair_gbps);
+  // Still in the right ballpark.
+  EXPECT_NEAR(est.min_pair_gbps, 10.0, 2.5);
+}
+
+TEST(Probe, EstimateFeedsPerfModelConsistently) {
+  // Closing the loop: a perf model run with the probed network matches one
+  // run with the true network.
+  const core::Cluster truth = cluster_at(32);
+  const auto est = probe_network(truth, exact_probe());
+  core::Cluster probed = truth;
+  probed.network.bandwidth_bps = est.bandwidth_bps;
+  probed.network.alpha_s = est.alpha_s;
+
+  core::PerfModel model;
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  EXPECT_NEAR(model.syncsgd(w, probed).total_s, model.syncsgd(w, truth).total_s,
+              model.syncsgd(w, truth).total_s * 0.02);
+}
+
+}  // namespace
+}  // namespace gradcomp::sim

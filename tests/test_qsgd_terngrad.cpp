@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "compress/qsgd.hpp"
+#include "compress/terngrad.hpp"
+#include "compressor_harness.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using tensor::Rng;
+using tensor::Tensor;
+
+CompressorConfig qsgd_config(int levels = 127) {
+  CompressorConfig c;
+  c.method = Method::kQsgd;
+  c.levels = levels;
+  return c;
+}
+
+CompressorConfig tern_config() {
+  CompressorConfig c;
+  c.method = Method::kTernGrad;
+  return c;
+}
+
+// --- QSGD --------------------------------------------------------------------
+
+TEST(Qsgd, RejectsBadLevels) {
+  EXPECT_THROW(QsgdCompressor(0), std::invalid_argument);
+  EXPECT_THROW(QsgdCompressor(128), std::invalid_argument);
+  EXPECT_NO_THROW(QsgdCompressor(1));
+  EXPECT_NO_THROW(QsgdCompressor(127));
+}
+
+TEST(Qsgd, TraitsMatchTable1) {
+  const auto c = make_compressor(qsgd_config());
+  EXPECT_FALSE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+}
+
+TEST(Qsgd, OneBytePerCoordinatePlusNorm) {
+  const auto c = make_compressor(qsgd_config());
+  EXPECT_EQ(c->compressed_bytes({100}), 104U);
+}
+
+TEST(Qsgd, DecodePreservesNormBound) {
+  Rng rng(1);
+  const Tensor g = Tensor::randn({128}, rng);
+  auto c = make_compressor(qsgd_config());
+  const Tensor back = c->roundtrip(0, g);
+  // Every decoded magnitude is <= the gradient norm (level <= s).
+  EXPECT_LE(back.linf_norm(), g.l2_norm() + 1e-4);
+}
+
+TEST(Qsgd, SignsPreserved) {
+  const Tensor g({4}, {1.0F, -2.0F, 3.0F, -4.0F});
+  auto c = make_compressor(qsgd_config());
+  const Tensor back = c->roundtrip(0, g);
+  for (std::int64_t i = 0; i < 4; ++i)
+    EXPECT_GE(back.at(i) * g.at(i), 0.0F) << i;  // same sign or zero
+}
+
+TEST(Qsgd, UnbiasedOverManyTrials) {
+  // Stochastic rounding: the expectation of the quantized coordinate equals
+  // the input.
+  const Tensor g({2}, {0.3F, -0.7F});
+  auto c = make_compressor(qsgd_config(4));  // coarse levels -> visible noise
+  Tensor sum({2});
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) sum.add_(c->roundtrip(0, g));
+  sum.scale(1.0F / static_cast<float>(trials));
+  EXPECT_NEAR(sum.at(0), 0.3F, 0.02F);
+  EXPECT_NEAR(sum.at(1), -0.7F, 0.02F);
+}
+
+TEST(Qsgd, HighLevelsLowError) {
+  Rng rng(2);
+  const Tensor g = Tensor::randn({256}, rng);
+  auto fine = make_compressor(qsgd_config(127));
+  auto coarse = make_compressor(qsgd_config(2));
+  EXPECT_LT(tensor::relative_l2_error(fine->roundtrip(0, g), g),
+            tensor::relative_l2_error(coarse->roundtrip(0, g), g));
+}
+
+TEST(Qsgd, ZeroVectorSurvives) {
+  const Tensor g({8});
+  auto c = make_compressor(qsgd_config());
+  const Tensor back = c->roundtrip(0, g);
+  EXPECT_DOUBLE_EQ(back.l2_norm(), 0.0);
+}
+
+TEST(Qsgd, DecodeValidatesPayloadSize) {
+  EXPECT_THROW(QsgdCompressor::decode(std::vector<std::byte>(5), 100, 127),
+               std::invalid_argument);
+}
+
+TEST(Qsgd, AggregateAllRanksAgree) {
+  Rng rng(3);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 3; ++r) grads.push_back(Tensor::randn({64}, rng));
+  MultiRankHarness harness(qsgd_config(), 3);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0);
+}
+
+TEST(Qsgd, AggregateNearMeanAtHighLevels) {
+  Rng rng(4);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({128}, rng));
+  const Tensor expect = gradcomp::testing::exact_mean(grads);
+  MultiRankHarness harness(qsgd_config(127), 4);
+  const auto results = harness.aggregate(0, grads);
+  EXPECT_LT(tensor::relative_l2_error(results[0], expect), 0.12);
+}
+
+// --- TernGrad ------------------------------------------------------------------
+
+TEST(TernGrad, TraitsMatchTable1) {
+  const auto c = make_compressor(tern_config());
+  EXPECT_EQ(c->name(), "terngrad");
+  EXPECT_FALSE(c->traits().allreduce_compatible);
+  EXPECT_TRUE(c->traits().layerwise);
+}
+
+TEST(TernGrad, TwoBitsPerCoordinate) {
+  const auto c = make_compressor(tern_config());
+  EXPECT_EQ(c->compressed_bytes({4}), 5U);    // scale + 1 byte
+  EXPECT_EQ(c->compressed_bytes({16}), 8U);   // scale + 4 bytes
+  EXPECT_EQ(c->compressed_bytes({17}), 9U);   // rounds up
+}
+
+TEST(TernGrad, OutputsAreTernary) {
+  Rng rng(5);
+  const Tensor g = Tensor::randn({100}, rng);
+  auto c = make_compressor(tern_config());
+  const Tensor back = c->roundtrip(0, g);
+  const double scale = g.linf_norm();
+  for (std::int64_t i = 0; i < 100; ++i) {
+    const double v = std::abs(back.at(i));
+    EXPECT_TRUE(v == 0.0 || std::abs(v - scale) < 1e-5) << back.at(i);
+  }
+}
+
+TEST(TernGrad, MaxMagnitudeAlwaysKept) {
+  // P(keep) = |v|/max = 1 for the max coordinate.
+  const Tensor g({3}, {0.1F, -5.0F, 0.2F});
+  auto c = make_compressor(tern_config());
+  const Tensor back = c->roundtrip(0, g);
+  EXPECT_FLOAT_EQ(back.at(1), -5.0F);
+}
+
+TEST(TernGrad, UnbiasedOverManyTrials) {
+  const Tensor g({2}, {2.0F, -0.5F});
+  auto c = make_compressor(tern_config());
+  Tensor sum({2});
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) sum.add_(c->roundtrip(0, g));
+  sum.scale(1.0F / static_cast<float>(trials));
+  EXPECT_NEAR(sum.at(0), 2.0F, 0.05F);
+  EXPECT_NEAR(sum.at(1), -0.5F, 0.1F);
+}
+
+TEST(TernGrad, ZeroVectorSurvives) {
+  const Tensor g({8});
+  auto c = make_compressor(tern_config());
+  EXPECT_DOUBLE_EQ(c->roundtrip(0, g).l2_norm(), 0.0);
+}
+
+TEST(TernGrad, DecodeValidatesPayloadSize) {
+  EXPECT_THROW(TernGradCompressor::decode(std::vector<std::byte>(4), 16),
+               std::invalid_argument);
+}
+
+TEST(TernGrad, AggregateAllRanksAgree) {
+  Rng rng(6);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({50}, rng));
+  MultiRankHarness harness(tern_config(), 4);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0);
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

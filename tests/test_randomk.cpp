@@ -1,0 +1,136 @@
+#include "compress/randomk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compressor_harness.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using tensor::Rng;
+using tensor::Tensor;
+
+CompressorConfig rk_config(double fraction, std::uint64_t seed = 42) {
+  CompressorConfig c;
+  c.method = Method::kRandomK;
+  c.fraction = fraction;
+  c.seed = seed;
+  return c;
+}
+
+TEST(RandomK, RejectsBadFraction) {
+  EXPECT_THROW(RandomKCompressor(0.0), std::invalid_argument);
+  EXPECT_THROW(RandomKCompressor(1.0001), std::invalid_argument);
+}
+
+TEST(RandomK, TraitsMatchTable1) {
+  const auto c = make_compressor(rk_config(0.1));
+  // Table 1: Random-k IS all-reduce compatible but NOT layer-wise.
+  EXPECT_TRUE(c->traits().allreduce_compatible);
+  EXPECT_FALSE(c->traits().layerwise);
+}
+
+TEST(RandomK, OnlyValuesOnTheWire) {
+  const auto c = make_compressor(rk_config(0.1));
+  EXPECT_EQ(c->compressed_bytes({1000}), 100U * 4U);  // no index bytes
+}
+
+TEST(RandomK, IndicesDeterministicAcrossInstances) {
+  const RandomKCompressor a(0.1, 7);
+  const RandomKCompressor b(0.1, 7);
+  EXPECT_EQ(a.indices_for(3, 5, 1000), b.indices_for(3, 5, 1000));
+}
+
+TEST(RandomK, IndicesDifferAcrossRounds) {
+  const RandomKCompressor c(0.1, 7);
+  EXPECT_NE(c.indices_for(0, 0, 1000), c.indices_for(0, 1, 1000));
+}
+
+TEST(RandomK, IndicesDifferAcrossLayers) {
+  const RandomKCompressor c(0.1, 7);
+  EXPECT_NE(c.indices_for(0, 0, 1000), c.indices_for(1, 0, 1000));
+}
+
+TEST(RandomK, IndicesAreUniqueSortedInRange) {
+  const RandomKCompressor c(0.25, 9);
+  const auto idx = c.indices_for(2, 3, 200);
+  EXPECT_EQ(idx.size(), 50U);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  EXPECT_TRUE(std::adjacent_find(idx.begin(), idx.end()) == idx.end());
+  for (auto i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 200);
+  }
+}
+
+TEST(RandomK, RoundtripKeepsExactlySharedIndices) {
+  Rng rng(1);
+  const Tensor g = Tensor::randn({100}, rng);
+  RandomKCompressor c(0.2, 11);
+  const auto expected_idx = c.indices_for(0, 0, 100);
+  const Tensor back = c.roundtrip(0, g);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    const bool kept =
+        std::binary_search(expected_idx.begin(), expected_idx.end(), i);
+    EXPECT_EQ(back.at(i), kept ? g.at(i) : 0.0F) << i;
+  }
+}
+
+TEST(RandomK, FullFractionIsLossless) {
+  Rng rng(2);
+  const Tensor g = Tensor::randn({64}, rng);
+  auto c = make_compressor(rk_config(1.0));
+  EXPECT_DOUBLE_EQ(tensor::max_abs_diff(c->roundtrip(0, g), g), 0.0);
+}
+
+TEST(RandomK, AggregateViaAllreduceMatchesMeanOnSharedSupport) {
+  Rng rng(3);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 4; ++r) grads.push_back(Tensor::randn({60}, rng));
+  const Tensor expect = gradcomp::testing::exact_mean(grads);
+  MultiRankHarness harness(rk_config(0.5, 13), 4);
+  const auto results = harness.aggregate(0, grads);
+  const RandomKCompressor probe(0.5, 13);
+  const auto idx = probe.indices_for(0, 0, 60);
+  for (std::int64_t i = 0; i < 60; ++i) {
+    const bool kept = std::binary_search(idx.begin(), idx.end(), i);
+    if (kept)
+      EXPECT_NEAR(results[0].at(i), expect.at(i), 1e-5);
+    else
+      EXPECT_EQ(results[0].at(i), 0.0F);
+  }
+}
+
+TEST(RandomK, RoundCountersAdvanceInLockstep) {
+  // After n aggregate rounds every rank picks the SAME next index set; if
+  // counters desynchronized the all-reduce would mix mismatched coordinates
+  // and ranks would diverge.
+  Rng rng(4);
+  MultiRankHarness harness(rk_config(0.3, 17), 3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Tensor> grads;
+    for (int r = 0; r < 3; ++r) grads.push_back(Tensor::randn({40}, rng));
+    const auto results = harness.aggregate(0, grads);
+    for (std::size_t r = 1; r < results.size(); ++r)
+      EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0) << round;
+  }
+}
+
+TEST(RandomK, ExpectationCoversAllCoordinates) {
+  // Over many rounds each coordinate is kept fraction of the time.
+  RandomKCompressor c(0.25, 19);
+  std::vector<int> kept(80, 0);
+  const int rounds = 400;
+  for (int round = 0; round < rounds; ++round)
+    for (auto i : c.indices_for(0, static_cast<std::uint64_t>(round), 80))
+      ++kept[static_cast<std::size_t>(i)];
+  for (int count : kept) EXPECT_NEAR(static_cast<double>(count) / rounds, 0.25, 0.1);
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

@@ -1,0 +1,110 @@
+#include "compress/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gradcomp::compress {
+namespace {
+
+TEST(Table1Registry, HasNineRowsInPaperOrder) {
+  const auto rows = table1_registry();
+  ASSERT_EQ(rows.size(), 9U);
+  EXPECT_EQ(rows[0].name, "syncSGD");
+  EXPECT_EQ(rows[2].name, "PowerSGD");
+  EXPECT_EQ(rows[8].name, "DGC");
+}
+
+TEST(Table1Registry, AllreduceColumnMatchesPaper) {
+  for (const auto& row : table1_registry()) {
+    const bool expect_allreduce = row.name == "syncSGD" || row.name == "GradiVeq" ||
+                                  row.name == "PowerSGD" || row.name == "Random-k";
+    EXPECT_EQ(row.allreduce, expect_allreduce) << row.name;
+  }
+}
+
+TEST(Table1Registry, LayerwiseColumnMatchesPaper) {
+  for (const auto& row : table1_registry()) {
+    // Only Random-k is not layer-wise in Table 1.
+    EXPECT_EQ(row.layerwise, row.name != "Random-k") << row.name;
+  }
+}
+
+TEST(Table1Registry, EightOfNineImplemented) {
+  // Everything except GradiVeq (whose codebook construction is out of scope)
+  // has a working Compressor in this library.
+  int implemented = 0;
+  for (const auto& row : table1_registry()) {
+    if (row.implemented) ++implemented;
+    if (row.name == "GradiVeq") EXPECT_FALSE(row.implemented);
+  }
+  EXPECT_EQ(implemented, 8);
+}
+
+TEST(Factory, MethodNamesStable) {
+  EXPECT_EQ(method_name(Method::kSyncSgd), "syncsgd");
+  EXPECT_EQ(method_name(Method::kPowerSgd), "powersgd");
+  EXPECT_EQ(method_name(Method::kTopK), "topk");
+  EXPECT_EQ(method_name(Method::kSignSgd), "signsgd");
+  EXPECT_EQ(method_name(Method::kFp16), "fp16");
+  EXPECT_EQ(method_name(Method::kQsgd), "qsgd");
+  EXPECT_EQ(method_name(Method::kTernGrad), "terngrad");
+  EXPECT_EQ(method_name(Method::kRandomK), "randomk");
+  EXPECT_EQ(method_name(Method::kAtomo), "atomo");
+}
+
+TEST(Factory, BuildsEveryMethod) {
+  for (Method m : {Method::kSyncSgd, Method::kFp16, Method::kSignSgd, Method::kTopK,
+                   Method::kRandomK, Method::kPowerSgd, Method::kQsgd, Method::kTernGrad,
+                   Method::kAtomo}) {
+    CompressorConfig config;
+    config.method = m;
+    const auto c = make_compressor(config);
+    ASSERT_NE(c, nullptr);
+    EXPECT_FALSE(c->name().empty());
+  }
+}
+
+TEST(Factory, PropagatesParameterValidation) {
+  CompressorConfig bad_topk;
+  bad_topk.method = Method::kTopK;
+  bad_topk.fraction = 0.0;
+  EXPECT_THROW(make_compressor(bad_topk), std::invalid_argument);
+
+  CompressorConfig bad_rank;
+  bad_rank.method = Method::kPowerSgd;
+  bad_rank.rank = 0;
+  EXPECT_THROW(make_compressor(bad_rank), std::invalid_argument);
+
+  CompressorConfig bad_levels;
+  bad_levels.method = Method::kQsgd;
+  bad_levels.levels = 0;
+  EXPECT_THROW(make_compressor(bad_levels), std::invalid_argument);
+}
+
+TEST(Factory, TraitsConsistentWithRegistry) {
+  // For the methods present in both the factory and Table 1, the trait bits
+  // must agree.
+  struct Pair {
+    Method method;
+    const char* table_name;
+  };
+  for (const auto& [method, table_name] :
+       {Pair{Method::kSyncSgd, "syncSGD"}, Pair{Method::kPowerSgd, "PowerSGD"},
+        Pair{Method::kRandomK, "Random-k"}, Pair{Method::kAtomo, "ATOMO"},
+        Pair{Method::kSignSgd, "SignSGD"}, Pair{Method::kTernGrad, "TernGrad"},
+        Pair{Method::kQsgd, "QSGD"}}) {
+    CompressorConfig config;
+    config.method = method;
+    const auto c = make_compressor(config);
+    for (const auto& row : table1_registry()) {
+      if (row.name == table_name) {
+        EXPECT_EQ(c->traits().allreduce_compatible, row.allreduce) << table_name;
+        EXPECT_EQ(c->traits().layerwise, row.layerwise) << table_name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

@@ -1,0 +1,78 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "stats/summary.hpp"
+
+namespace gradcomp::tensor {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = rng.uniform(-2.0F, 5.0F);
+    EXPECT_GE(x, -2.0F);
+    EXPECT_LT(x, 5.0F);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  stats::OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform(0.0F, 1.0F));
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  stats::OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(7), 7U);
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.next_below(0), 0U);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(23);
+  std::array<int, 5> histogram{};
+  for (int i = 0; i < 5000; ++i) ++histogram[rng.next_below(5)];
+  for (int count : histogram) EXPECT_GT(count, 800);  // ~1000 each
+}
+
+}  // namespace
+}  // namespace gradcomp::tensor

@@ -1,0 +1,167 @@
+#include "compress/signsgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compressor_harness.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::compress {
+namespace {
+
+using gradcomp::testing::MultiRankHarness;
+using tensor::Rng;
+using tensor::Tensor;
+
+CompressorConfig sign_config(bool ef = false) {
+  CompressorConfig c;
+  c.method = Method::kSignSgd;
+  c.error_feedback = ef;
+  return c;
+}
+
+TEST(SignSgd, TraitsMatchTable1) {
+  const auto c = make_compressor(sign_config());
+  EXPECT_EQ(c->name(), "signsgd");
+  EXPECT_FALSE(c->traits().allreduce_compatible);  // Table 1: X
+  EXPECT_TRUE(c->traits().layerwise);              // Table 1: check
+}
+
+TEST(SignSgd, CompressedBytesIsOneBitPerCoordinate) {
+  const auto c = make_compressor(sign_config());
+  EXPECT_EQ(c->compressed_bytes({32}), 4U);
+  EXPECT_EQ(c->compressed_bytes({33}), 5U);  // rounds up
+  EXPECT_EQ(c->compressed_bytes({8}), 1U);
+  // ~32x compression of fp32.
+  EXPECT_EQ(c->compressed_bytes({320}) * 32, 320U * 4U);
+}
+
+TEST(SignSgd, PackUnpackRoundTrip) {
+  const std::vector<float> values = {0.5F, -0.25F, 0.0F, -3.0F, 7.0F, -1.0F, 2.0F, -2.0F, 0.1F};
+  const auto bits = SignSgdCompressor::pack_signs(values);
+  EXPECT_EQ(bits.size(), 2U);
+  const auto signs = SignSgdCompressor::unpack_signs(bits, values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(signs[i], values[i] >= 0.0F ? 1.0F : -1.0F) << i;
+}
+
+TEST(SignSgd, ZeroMapsToPositive) {
+  const std::vector<float> values = {0.0F};
+  const auto signs =
+      SignSgdCompressor::unpack_signs(SignSgdCompressor::pack_signs(values), 1);
+  EXPECT_EQ(signs[0], 1.0F);
+}
+
+TEST(SignSgd, RoundtripProducesUnitMagnitudes) {
+  Rng rng(1);
+  const Tensor g = Tensor::randn({100}, rng);
+  auto c = make_compressor(sign_config());
+  const Tensor back = c->roundtrip(0, g);
+  for (std::int64_t i = 0; i < back.numel(); ++i) {
+    EXPECT_EQ(std::abs(back.at(i)), 1.0F);
+    // Sign preserved.
+    EXPECT_GE(back.at(i) * (g.at(i) >= 0 ? 1.0F : -1.0F), 0.0F);
+  }
+}
+
+TEST(SignSgd, MajorityVoteExactOnConstructedCase) {
+  // 3 ranks; coordinate 0: signs (+,+,-) -> +1; coordinate 1: (-,-,+) -> -1;
+  // coordinate 2: (-,+,-) -> -1.
+  std::vector<Tensor> grads = {
+      Tensor({3}, {1.0F, -1.0F, -5.0F}),
+      Tensor({3}, {2.0F, -0.1F, 0.3F}),
+      Tensor({3}, {-9.0F, 4.0F, -0.2F}),
+  };
+  MultiRankHarness harness(sign_config(), 3);
+  const auto results = harness.aggregate(0, grads);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.at(0), 1.0F);
+    EXPECT_EQ(r.at(1), -1.0F);
+    EXPECT_EQ(r.at(2), -1.0F);
+  }
+}
+
+TEST(SignSgd, PaperFormulaSignOfSumOfSigns) {
+  // The paper's example: values -0.5, -0.1, -1.7, 2 -> aggregate -1.
+  std::vector<Tensor> grads = {
+      Tensor({1}, {-0.5F}),
+      Tensor({1}, {-0.1F}),
+      Tensor({1}, {-1.7F}),
+      Tensor({1}, {2.0F}),
+  };
+  MultiRankHarness harness(sign_config(), 4);
+  const auto results = harness.aggregate(0, grads);
+  EXPECT_EQ(results[0].at(0), -1.0F);
+}
+
+TEST(SignSgd, TieResolvesToPositive) {
+  std::vector<Tensor> grads = {Tensor({1}, {1.0F}), Tensor({1}, {-1.0F})};
+  MultiRankHarness harness(sign_config(), 2);
+  const auto results = harness.aggregate(0, grads);
+  EXPECT_EQ(results[0].at(0), 1.0F);
+}
+
+TEST(SignSgd, AllRanksAgree) {
+  Rng rng(2);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 5; ++r) grads.push_back(Tensor::randn({77}, rng));
+  MultiRankHarness harness(sign_config(), 5);
+  const auto results = harness.aggregate(0, grads);
+  for (std::size_t r = 1; r < results.size(); ++r)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(results[0], results[r]), 0.0);
+}
+
+TEST(SignSgd, StatsReportBitPackedBytes) {
+  Rng rng(3);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < 2; ++r) grads.push_back(Tensor::randn({64}, rng));
+  MultiRankHarness harness(sign_config(), 2);
+  std::vector<AggregateStats> stats;
+  harness.aggregate(0, grads, &stats);
+  EXPECT_EQ(stats[0].bytes_sent, 8U);  // 64 bits
+}
+
+// --- Error-feedback variant -------------------------------------------------
+
+TEST(EfSignSgd, NameAndResidualAccumulation) {
+  auto c = make_compressor(sign_config(true));
+  EXPECT_EQ(c->name(), "ef-signsgd");
+  // Constant gradient: first roundtrip returns scale*sign; the residual
+  // makes the second roundtrip differ.
+  const Tensor g({4}, {0.5F, 0.5F, 0.5F, 0.5F});
+  const Tensor first = c->roundtrip(0, g);
+  // EF estimate is (l1/n)*sign = 0.5 everywhere -> residual 0 -> identical.
+  EXPECT_NEAR(first.at(0), 0.5F, 1e-6);
+}
+
+TEST(EfSignSgd, ResidualCorrectsBiasOverTime) {
+  // Gradient with one large and many small coordinates: plain sign loses the
+  // magnitude; EF's cumulative transmitted estimate approaches the truth.
+  auto ef = make_compressor(sign_config(true));
+  const Tensor g({2}, {1.0F, 0.1F});
+  Tensor ef_sum({2});
+  const int steps = 200;
+  for (int s = 0; s < steps; ++s) ef_sum.add_(ef->roundtrip(7, g));
+  ef_sum.scale(1.0F / static_cast<float>(steps));
+  // Time-averaged EF estimate converges near the true gradient.
+  EXPECT_NEAR(ef_sum.at(0), 1.0F, 0.08F);
+  EXPECT_NEAR(ef_sum.at(1), 0.1F, 0.08F);
+}
+
+TEST(EfSignSgd, AggregateAveragesScaledSigns) {
+  std::vector<Tensor> grads = {Tensor({2}, {1.0F, 1.0F}), Tensor({2}, {-2.0F, -2.0F})};
+  MultiRankHarness harness(sign_config(true), 2);
+  const auto results = harness.aggregate(0, grads);
+  // Rank 0 sends +1*1.0 (l1/n=1), rank 1 sends -1*2.0: mean = -0.5.
+  EXPECT_NEAR(results[0].at(0), -0.5F, 1e-5);
+  EXPECT_NEAR(results[0].at(1), -0.5F, 1e-5);
+}
+
+TEST(EfSignSgd, WireBytesIncludeScale) {
+  const auto c = make_compressor(sign_config(true));
+  EXPECT_EQ(c->compressed_bytes({32}), 8U);  // 4 bit-bytes + 4 scale bytes
+}
+
+}  // namespace
+}  // namespace gradcomp::compress

@@ -1,0 +1,159 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/table.hpp"
+
+#include <sstream>
+
+namespace gradcomp::stats {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum((x-5)^2)=32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, LargeCountStable) {
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-4);
+}
+
+TEST(Summary, WarmupDiscardsLeadingSamples) {
+  Summary s(2);
+  s.add(1000.0);  // discarded
+  s.add(1000.0);  // discarded
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3U);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Summary, PaperProtocol110Iterations) {
+  // The paper's measurement: 110 iterations, discard 10, average 100.
+  Summary s(10);
+  for (int i = 0; i < 10; ++i) s.add(999.0);
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100U);
+  EXPECT_DOUBLE_EQ(s.mean(), 49.5);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  Summary odd;
+  for (double x : {5.0, 1.0, 3.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+  Summary even;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, PercentileBoundsAndInterpolation) {
+  Summary s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 30.0);
+}
+
+TEST(Summary, PercentileRejectsOutOfRange) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(1.1), std::invalid_argument);
+}
+
+TEST(Summary, EmptyAfterWarmupIsZero) {
+  Summary s(5);
+  s.add(1.0);
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(MedianRelativeError, ExactMatchIsZero) {
+  EXPECT_DOUBLE_EQ(median_relative_error({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(MedianRelativeError, KnownValues) {
+  // errors: 0.1, 0.2, 0.3 -> median 0.2
+  EXPECT_NEAR(median_relative_error({1.1, 1.2, 1.3}, {1.0, 1.0, 1.0}), 0.2, 1e-12);
+}
+
+TEST(MedianRelativeError, SizeMismatchThrows) {
+  EXPECT_THROW(median_relative_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(MedianRelativeError, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(median_relative_error({}, {}), 0.0);
+}
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) { EXPECT_THROW(Table({}), std::invalid_argument); }
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"model", "ms"});
+  t.add_row({"resnet50", "122.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("resnet50"), std::string::npos);
+  EXPECT_NE(out.find("122.0"), std::string::npos);
+  EXPECT_NE(out.find("model"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "csv,x,y\ncsv,1,2\n");
+}
+
+TEST(Table, FmtFormatsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_ms(0.1234, 1), "123.4");
+}
+
+}  // namespace
+}  // namespace gradcomp::stats

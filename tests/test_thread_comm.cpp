@@ -1,0 +1,291 @@
+#include "comm/thread_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace gradcomp::comm {
+namespace {
+
+TEST(ThreadComm, RejectsInvalidWorldSize) {
+  EXPECT_THROW(ThreadComm(0), std::invalid_argument);
+  EXPECT_THROW(ThreadComm(-3), std::invalid_argument);
+}
+
+TEST(RunRanks, RunsEveryRankOnce) {
+  std::vector<std::atomic<int>> hits(4);
+  run_ranks(4, [&](int r) { hits[static_cast<std::size_t>(r)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunRanks, PropagatesException) {
+  EXPECT_THROW(run_ranks(3,
+                         [](int r) {
+                           if (r == 1) throw std::runtime_error("boom");
+                         }),
+               std::runtime_error);
+}
+
+TEST(ThreadComm, AllreduceSumsAcrossRanks) {
+  const int p = 4;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(10));
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < 10; ++i)
+      data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          static_cast<float>(r + i);
+
+  run_ranks(p, [&](int rank) { comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]); });
+
+  // Expected per element: sum_r (r + i) = 6 + 4*i.
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < 10; ++i)
+      EXPECT_FLOAT_EQ(data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                      static_cast<float>(6 + 4 * i));
+}
+
+TEST(ThreadComm, AllreduceSingleRankIsIdentity) {
+  ThreadComm comm(1);
+  std::vector<float> data = {1.0F, 2.0F};
+  comm.allreduce_sum(0, data);
+  EXPECT_FLOAT_EQ(data[0], 1.0F);
+  EXPECT_FLOAT_EQ(data[1], 2.0F);
+}
+
+TEST(ThreadComm, AllreduceVectorShorterThanWorld) {
+  // n < p exercises empty chunks in the ring.
+  const int p = 8;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(3, 1.0F));
+  run_ranks(p, [&](int rank) { comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]); });
+  for (const auto& v : data)
+    for (float x : v) EXPECT_FLOAT_EQ(x, 8.0F);
+}
+
+TEST(ThreadComm, AllreduceUnevenChunks) {
+  // n not divisible by p.
+  const int p = 3;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(7));
+  for (int r = 0; r < p; ++r)
+    std::iota(data[static_cast<std::size_t>(r)].begin(), data[static_cast<std::size_t>(r)].end(),
+              static_cast<float>(r));
+  run_ranks(p, [&](int rank) { comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]); });
+  for (int i = 0; i < 7; ++i)
+    EXPECT_FLOAT_EQ(data[0][static_cast<std::size_t>(i)], static_cast<float>(3 * i + 3));
+}
+
+TEST(ThreadComm, AllreduceCountsOperations) {
+  const int p = 2;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(4, 1.0F));
+  EXPECT_EQ(comm.allreduce_count(), 0U);
+  run_ranks(p, [&](int rank) {
+    comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+    comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+  });
+  EXPECT_EQ(comm.allreduce_count(), 2U);
+}
+
+TEST(ThreadComm, AllreduceRankValidation) {
+  ThreadComm comm(2);
+  std::vector<float> data(4);
+  EXPECT_THROW(comm.allreduce_sum(2, data), std::invalid_argument);
+  EXPECT_THROW(comm.allreduce_sum(-1, data), std::invalid_argument);
+}
+
+TEST(ThreadComm, AllgatherVariableSizes) {
+  const int p = 3;
+  ThreadComm comm(p);
+  std::vector<std::vector<std::vector<std::byte>>> results(p);
+  run_ranks(p, [&](int rank) {
+    // Rank r sends r+1 bytes of value r.
+    std::vector<std::byte> payload(static_cast<std::size_t>(rank + 1),
+                                   static_cast<std::byte>(rank));
+    results[static_cast<std::size_t>(rank)] = comm.allgather(rank, payload);
+  });
+  for (int r = 0; r < p; ++r) {
+    const auto& gathered = results[static_cast<std::size_t>(r)];
+    ASSERT_EQ(gathered.size(), 3U);
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(gathered[static_cast<std::size_t>(s)].size(), static_cast<std::size_t>(s + 1));
+      for (auto b : gathered[static_cast<std::size_t>(s)])
+        EXPECT_EQ(b, static_cast<std::byte>(s));
+    }
+  }
+}
+
+TEST(ThreadComm, AllgatherFloats) {
+  const int p = 2;
+  ThreadComm comm(p);
+  std::vector<std::vector<std::vector<float>>> results(p);
+  run_ranks(p, [&](int rank) {
+    std::vector<float> mine = {static_cast<float>(rank), 7.0F};
+    results[static_cast<std::size_t>(rank)] = comm.allgather_floats(rank, mine);
+  });
+  for (int r = 0; r < p; ++r) {
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), 2U);
+    EXPECT_FLOAT_EQ(results[static_cast<std::size_t>(r)][0][0], 0.0F);
+    EXPECT_FLOAT_EQ(results[static_cast<std::size_t>(r)][1][0], 1.0F);
+    EXPECT_FLOAT_EQ(results[static_cast<std::size_t>(r)][1][1], 7.0F);
+  }
+}
+
+TEST(ThreadComm, AllgatherEmptyPayload) {
+  const int p = 2;
+  ThreadComm comm(p);
+  run_ranks(p, [&](int rank) {
+    const auto gathered = comm.allgather(rank, {});
+    ASSERT_EQ(gathered.size(), 2U);
+    EXPECT_TRUE(gathered[0].empty());
+    EXPECT_TRUE(gathered[1].empty());
+  });
+}
+
+TEST(ThreadComm, RingAllgatherCollectsBlocksInRankOrder) {
+  const int p = 4;
+  const std::size_t block = 3;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> results(p, std::vector<float>(block * p));
+  run_ranks(p, [&](int rank) {
+    std::vector<float> mine(block);
+    for (std::size_t i = 0; i < block; ++i)
+      mine[i] = static_cast<float>(rank * 10 + static_cast<int>(i));
+    comm.allgather_ring(rank, mine, results[static_cast<std::size_t>(rank)]);
+  });
+  for (int r = 0; r < p; ++r)
+    for (int owner = 0; owner < p; ++owner)
+      for (std::size_t i = 0; i < block; ++i)
+        EXPECT_FLOAT_EQ(
+            results[static_cast<std::size_t>(r)][static_cast<std::size_t>(owner) * block + i],
+            static_cast<float>(owner * 10 + static_cast<int>(i)));
+}
+
+TEST(ThreadComm, RingAllgatherSingleRank) {
+  ThreadComm comm(1);
+  std::vector<float> mine = {1.0F, 2.0F};
+  std::vector<float> out(2);
+  comm.allgather_ring(0, mine, out);
+  EXPECT_EQ(out, mine);
+}
+
+TEST(ThreadComm, RingAllgatherValidatesOutputSize) {
+  ThreadComm comm(2);
+  std::vector<float> mine(3);
+  std::vector<float> wrong(5);
+  EXPECT_THROW(comm.allgather_ring(0, mine, wrong), std::invalid_argument);
+}
+
+TEST(ThreadComm, RingAllgatherMatchesSlotAllgather) {
+  const int p = 5;  // odd, exercises wrap-around
+  const std::size_t block = 7;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> ring_out(p, std::vector<float>(block * p));
+  std::vector<std::vector<std::vector<float>>> slot_out(p);
+  run_ranks(p, [&](int rank) {
+    std::vector<float> mine(block);
+    for (std::size_t i = 0; i < block; ++i)
+      mine[i] = static_cast<float>((rank * 31 + static_cast<int>(i) * 7) % 13);
+    comm.allgather_ring(rank, mine, ring_out[static_cast<std::size_t>(rank)]);
+    slot_out[static_cast<std::size_t>(rank)] = comm.allgather_floats(rank, mine);
+  });
+  for (int r = 0; r < p; ++r)
+    for (int owner = 0; owner < p; ++owner)
+      for (std::size_t i = 0; i < block; ++i)
+        EXPECT_EQ(ring_out[static_cast<std::size_t>(r)][static_cast<std::size_t>(owner) * block + i],
+                  slot_out[static_cast<std::size_t>(r)][static_cast<std::size_t>(owner)][i]);
+}
+
+TEST(ThreadComm, BroadcastCopiesRootData) {
+  const int p = 4;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(5, 0.0F));
+  data[2] = {1, 2, 3, 4, 5};
+  run_ranks(p, [&](int rank) { comm.broadcast(rank, 2, data[static_cast<std::size_t>(rank)]); });
+  for (const auto& v : data) EXPECT_EQ(v, (std::vector<float>{1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadComm, RepeatedCollectivesStayConsistent) {
+  // Many back-to-back collectives must not deadlock or corrupt slots.
+  const int p = 4;
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(p, std::vector<float>(33, 1.0F));
+  run_ranks(p, [&](int rank) {
+    for (int iter = 0; iter < 50; ++iter)
+      comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)]);
+  });
+  // Each all-reduce multiplies every entry by p: expect p^50.
+  const double expect = std::pow(4.0, 50.0);
+  for (const auto& v : data)
+    for (float x : v) EXPECT_NEAR(static_cast<double>(x) / expect, 1.0, 1e-3);
+}
+
+TEST(ThreadComm, TreeAllreduceMatchesRing) {
+  const int p = 5;  // non-power-of-two exercises the straggler branch
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> ring_data(p, std::vector<float>(13));
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < 13; ++i)
+      ring_data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          static_cast<float>(r * 13 + i);
+  auto tree_data = ring_data;
+  run_ranks(p, [&](int rank) {
+    comm.allreduce_sum(rank, ring_data[static_cast<std::size_t>(rank)],
+                       ThreadComm::Algorithm::kRing);
+    comm.allreduce_sum(rank, tree_data[static_cast<std::size_t>(rank)],
+                       ThreadComm::Algorithm::kTree);
+  });
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < 13; ++i)
+      EXPECT_NEAR(tree_data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                  ring_data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)], 1e-4);
+}
+
+TEST(ThreadComm, TreeAllreduceSingleRank) {
+  ThreadComm comm(1);
+  std::vector<float> data = {3.0F};
+  comm.allreduce_sum(0, data, ThreadComm::Algorithm::kTree);
+  EXPECT_FLOAT_EQ(data[0], 3.0F);
+}
+
+// Property sweep: BOTH all-reduce algorithms equal the arithmetic sum for
+// many world sizes and vector lengths.
+class RingSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RingSweep, MatchesDirectSum) {
+  const auto [p, n] = GetParam();
+  ThreadComm comm(p);
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p),
+                                       std::vector<float>(static_cast<std::size_t>(n)));
+  std::vector<float> expect(static_cast<std::size_t>(n), 0.0F);
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < n; ++i) {
+      const float v = static_cast<float>((r * 31 + i * 7) % 13) - 6.0F;
+      data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] = v;
+      expect[static_cast<std::size_t>(i)] += v;
+    }
+  auto tree_data = data;
+  run_ranks(p, [&](int rank) {
+    comm.allreduce_sum(rank, data[static_cast<std::size_t>(rank)],
+                       ThreadComm::Algorithm::kRing);
+    comm.allreduce_sum(rank, tree_data[static_cast<std::size_t>(rank)],
+                       ThreadComm::Algorithm::kTree);
+  });
+  for (int r = 0; r < p; ++r)
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-4);
+      EXPECT_NEAR(tree_data[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)], 1e-4);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldAndLength, RingSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                                            ::testing::Values(1, 4, 17, 64, 1000)));
+
+}  // namespace
+}  // namespace gradcomp::comm

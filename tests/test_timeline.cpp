@@ -1,0 +1,110 @@
+#include "trace/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gradcomp::trace {
+namespace {
+
+TEST(Timeline, EmptyTimeline) {
+  Timeline t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_TRUE(t.streams().empty());
+}
+
+TEST(Timeline, RejectsNegativeDuration) {
+  Timeline t;
+  EXPECT_THROW(t.add("s", "bad", 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Timeline, MakespanIsLatestEnd) {
+  Timeline t;
+  t.add("compute", "a", 0.0, 1.0);
+  t.add("comm", "b", 0.5, 3.0);
+  t.add("compute", "c", 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.makespan(), 3.0);
+}
+
+TEST(Timeline, StreamBusyMergesOverlaps) {
+  Timeline t;
+  t.add("comm", "a", 0.0, 2.0);
+  t.add("comm", "b", 1.0, 3.0);  // overlaps a
+  t.add("comm", "c", 5.0, 6.0);
+  EXPECT_DOUBLE_EQ(t.stream_busy("comm"), 4.0);  // [0,3] + [5,6]
+}
+
+TEST(Timeline, StreamBusyIgnoresOtherStreams) {
+  Timeline t;
+  t.add("compute", "a", 0.0, 10.0);
+  t.add("comm", "b", 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.stream_busy("comm"), 1.0);
+  EXPECT_DOUBLE_EQ(t.stream_busy("missing"), 0.0);
+}
+
+TEST(Timeline, StreamsInFirstAppearanceOrder) {
+  Timeline t;
+  t.add("compute", "a", 0, 1);
+  t.add("comm", "b", 0, 1);
+  t.add("compute", "c", 1, 2);
+  const auto streams = t.streams();
+  ASSERT_EQ(streams.size(), 2U);
+  EXPECT_EQ(streams[0], "compute");
+  EXPECT_EQ(streams[1], "comm");
+}
+
+TEST(Timeline, SpanDuration) {
+  const Span s{"x", "y", 1.5, 4.0};
+  EXPECT_DOUBLE_EQ(s.duration(), 2.5);
+}
+
+TEST(Timeline, AsciiRenderContainsStreams) {
+  Timeline t;
+  t.add("compute", "bw", 0.0, 0.5);
+  t.add("comm", "ar", 0.25, 1.0);
+  std::ostringstream os;
+  t.render_ascii(os, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("compute"), std::string::npos);
+  EXPECT_NE(out.find("comm"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Timeline, AsciiRenderEmptyIsGraceful) {
+  Timeline t;
+  std::ostringstream os;
+  t.render_ascii(os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Timeline, CsvRenderRows) {
+  Timeline t;
+  t.add("comm", "allreduce", 0.001, 0.002);
+  std::ostringstream os;
+  t.render_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("csv,stream,label,start_ms,end_ms"), std::string::npos);
+  EXPECT_NE(out.find("csv,comm,allreduce,1,2"), std::string::npos);
+}
+
+TEST(Timeline, OverlapVisibleInGantt) {
+  // Overlapping compute/comm spans must both mark the same columns.
+  Timeline t;
+  t.add("compute", "bw", 0.0, 1.0);
+  t.add("comm", "ar", 0.0, 1.0);
+  std::ostringstream os;
+  t.render_ascii(os, 10);
+  std::istringstream is(os.str());
+  std::string line1;
+  std::string line2;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  EXPECT_EQ(std::count(line1.begin(), line1.end(), '#'), 10);
+  EXPECT_EQ(std::count(line2.begin(), line2.end(), '#'), 10);
+}
+
+}  // namespace
+}  // namespace gradcomp::trace

@@ -1,0 +1,128 @@
+#include "tensor/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::tensor {
+namespace {
+
+TEST(TopK, SelectsLargestMagnitudes) {
+  const std::vector<float> data = {0.1F, -5.0F, 3.0F, -0.2F, 4.0F};
+  const TopKResult r = top_k_abs(data, 2);
+  ASSERT_EQ(r.indices.size(), 2U);
+  EXPECT_EQ(r.indices[0], 1);  // -5.0
+  EXPECT_EQ(r.indices[1], 4);  // 4.0
+  EXPECT_FLOAT_EQ(r.values[0], -5.0F);  // signed value preserved
+  EXPECT_FLOAT_EQ(r.values[1], 4.0F);
+}
+
+TEST(TopK, IndicesAscending) {
+  Rng rng(1);
+  const Tensor t = Tensor::randn({1000}, rng);
+  const TopKResult r = top_k_abs(t.data(), 100);
+  EXPECT_TRUE(std::is_sorted(r.indices.begin(), r.indices.end()));
+}
+
+TEST(TopK, KClampedToSize) {
+  const std::vector<float> data = {1.0F, 2.0F};
+  const TopKResult r = top_k_abs(data, 10);
+  EXPECT_EQ(r.indices.size(), 2U);
+}
+
+TEST(TopK, KZeroEmpty) {
+  const std::vector<float> data = {1.0F};
+  const TopKResult r = top_k_abs(data, 0);
+  EXPECT_TRUE(r.indices.empty());
+  EXPECT_TRUE(r.values.empty());
+}
+
+TEST(TopK, NegativeKThrows) {
+  const std::vector<float> data = {1.0F};
+  EXPECT_THROW(top_k_abs(data, -1), std::invalid_argument);
+}
+
+TEST(TopK, EmptyInput) {
+  const TopKResult r = top_k_abs(std::span<const float>{}, 5);
+  EXPECT_TRUE(r.indices.empty());
+}
+
+TEST(TopK, TiesBrokenByLowerIndex) {
+  const std::vector<float> data = {2.0F, -2.0F, 2.0F, 1.0F};
+  const TopKResult r = top_k_abs(data, 2);
+  EXPECT_EQ(r.indices[0], 0);
+  EXPECT_EQ(r.indices[1], 1);
+}
+
+TEST(TopK, ThresholdProperty) {
+  // Every selected magnitude >= every non-selected magnitude.
+  Rng rng(2);
+  const Tensor t = Tensor::randn({500}, rng);
+  const TopKResult r = top_k_abs(t.data(), 50);
+  float min_selected = 1e30F;
+  for (float v : r.values) min_selected = std::min(min_selected, std::abs(v));
+  std::vector<bool> selected(500, false);
+  for (auto i : r.indices) selected[static_cast<std::size_t>(i)] = true;
+  for (std::size_t i = 0; i < 500; ++i)
+    if (!selected[i]) EXPECT_LE(std::abs(t.data()[i]), min_selected);
+}
+
+TEST(TopK, FullSelectionIsIdentityUnderScatter) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn({64}, rng);
+  const TopKResult r = top_k_abs(t.data(), 64);
+  const auto dense = scatter(r, 64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(dense[i], t.data()[i]);
+}
+
+TEST(Scatter, PlacesValuesAtIndices) {
+  TopKResult sparse;
+  sparse.indices = {1, 3};
+  sparse.values = {5.0F, -2.0F};
+  const auto dense = scatter(sparse, 5);
+  EXPECT_EQ(dense, (std::vector<float>{0, 5.0F, 0, -2.0F, 0}));
+}
+
+TEST(Scatter, OutOfRangeIndexThrows) {
+  TopKResult sparse;
+  sparse.indices = {7};
+  sparse.values = {1.0F};
+  EXPECT_THROW(scatter(sparse, 5), std::out_of_range);
+}
+
+TEST(Scatter, MismatchedSizesThrow) {
+  TopKResult sparse;
+  sparse.indices = {1, 2};
+  sparse.values = {1.0F};
+  EXPECT_THROW(scatter(sparse, 5), std::invalid_argument);
+}
+
+// Property sweep: selection preserves exactly the top-k energy.
+class TopKSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TopKSweep, CapturesMaximalEnergy) {
+  const std::int64_t k = GetParam();
+  Rng rng(4);
+  const Tensor t = Tensor::randn({256}, rng);
+  const TopKResult r = top_k_abs(t.data(), k);
+  // Energy of selection must be >= energy of any other k-subset; compare
+  // against the k largest magnitudes computed by full sort.
+  std::vector<float> mags(t.data().begin(), t.data().end());
+  for (auto& v : mags) v = std::abs(v);
+  std::sort(mags.rbegin(), mags.rend());
+  double best = 0.0;
+  for (std::int64_t i = 0; i < k; ++i) best += mags[static_cast<std::size_t>(i)] *
+                                               mags[static_cast<std::size_t>(i)];
+  double got = 0.0;
+  for (float v : r.values) got += static_cast<double>(v) * v;
+  EXPECT_NEAR(got, best, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKSweep, ::testing::Values(1, 2, 8, 32, 128, 255, 256));
+
+}  // namespace
+}  // namespace gradcomp::tensor
