@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accumulation.dir/ablation_accumulation.cpp.o"
+  "CMakeFiles/ablation_accumulation.dir/ablation_accumulation.cpp.o.d"
+  "ablation_accumulation"
+  "ablation_accumulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

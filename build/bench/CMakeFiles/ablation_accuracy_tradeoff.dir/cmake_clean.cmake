@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accuracy_tradeoff.dir/ablation_accuracy_tradeoff.cpp.o"
+  "CMakeFiles/ablation_accuracy_tradeoff.dir/ablation_accuracy_tradeoff.cpp.o.d"
+  "ablation_accuracy_tradeoff"
+  "ablation_accuracy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accuracy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_epoch_time.dir/ablation_epoch_time.cpp.o"
+  "CMakeFiles/ablation_epoch_time.dir/ablation_epoch_time.cpp.o.d"
+  "ablation_epoch_time"
+  "ablation_epoch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_epoch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vgg_best_case.dir/ablation_vgg_best_case.cpp.o"
+  "CMakeFiles/ablation_vgg_best_case.dir/ablation_vgg_best_case.cpp.o.d"
+  "ablation_vgg_best_case"
+  "ablation_vgg_best_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vgg_best_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ideal_gap.dir/fig10_ideal_gap.cpp.o"
+  "CMakeFiles/fig10_ideal_gap.dir/fig10_ideal_gap.cpp.o.d"
+  "fig10_ideal_gap"
+  "fig10_ideal_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ideal_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bandwidth_whatif.dir/fig11_bandwidth_whatif.cpp.o"
+  "CMakeFiles/fig11_bandwidth_whatif.dir/fig11_bandwidth_whatif.cpp.o.d"
+  "fig11_bandwidth_whatif"
+  "fig11_bandwidth_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bandwidth_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

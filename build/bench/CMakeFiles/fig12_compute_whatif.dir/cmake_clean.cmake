@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_compute_whatif.dir/fig12_compute_whatif.cpp.o"
+  "CMakeFiles/fig12_compute_whatif.dir/fig12_compute_whatif.cpp.o.d"
+  "fig12_compute_whatif"
+  "fig12_compute_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_compute_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tradeoff.dir/fig13_tradeoff.cpp.o"
+  "CMakeFiles/fig13_tradeoff.dir/fig13_tradeoff.cpp.o.d"
+  "fig13_tradeoff"
+  "fig13_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

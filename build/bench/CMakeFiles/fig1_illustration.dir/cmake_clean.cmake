@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_illustration.dir/fig1_illustration.cpp.o"
+  "CMakeFiles/fig1_illustration.dir/fig1_illustration.cpp.o.d"
+  "fig1_illustration"
+  "fig1_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_topk_scalability.dir/fig5_topk_scalability.cpp.o"
+  "CMakeFiles/fig5_topk_scalability.dir/fig5_topk_scalability.cpp.o.d"
+  "fig5_topk_scalability"
+  "fig5_topk_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_topk_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_required_compression.dir/fig9_required_compression.cpp.o"
+  "CMakeFiles/fig9_required_compression.dir/fig9_required_compression.cpp.o.d"
+  "fig9_required_compression"
+  "fig9_required_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_required_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_encode_decode.dir/table2_encode_decode.cpp.o"
+  "CMakeFiles/table2_encode_decode.dir/table2_encode_decode.cpp.o.d"
+  "table2_encode_decode"
+  "table2_encode_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_encode_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_training.dir/cnn_training.cpp.o"
+  "CMakeFiles/cnn_training.dir/cnn_training.cpp.o.d"
+  "cnn_training"
+  "cnn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

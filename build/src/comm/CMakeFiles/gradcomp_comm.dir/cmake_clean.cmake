@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_comm.dir/cost_model.cpp.o"
+  "CMakeFiles/gradcomp_comm.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gradcomp_comm.dir/thread_comm.cpp.o"
+  "CMakeFiles/gradcomp_comm.dir/thread_comm.cpp.o.d"
+  "libgradcomp_comm.a"
+  "libgradcomp_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

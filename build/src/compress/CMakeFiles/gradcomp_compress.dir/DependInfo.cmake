@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/atomo.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/atomo.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/atomo.cpp.o.d"
+  "/root/repo/src/compress/dgc.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/dgc.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/dgc.cpp.o.d"
+  "/root/repo/src/compress/fp16.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/fp16.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/fp16.cpp.o.d"
+  "/root/repo/src/compress/identity.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/identity.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/identity.cpp.o.d"
+  "/root/repo/src/compress/natural.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/natural.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/natural.cpp.o.d"
+  "/root/repo/src/compress/onebit.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/onebit.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/onebit.cpp.o.d"
+  "/root/repo/src/compress/powersgd.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/powersgd.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/powersgd.cpp.o.d"
+  "/root/repo/src/compress/qsgd.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/qsgd.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/qsgd.cpp.o.d"
+  "/root/repo/src/compress/randomk.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/randomk.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/randomk.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/registry.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/registry.cpp.o.d"
+  "/root/repo/src/compress/signsgd.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/signsgd.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/signsgd.cpp.o.d"
+  "/root/repo/src/compress/terngrad.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/terngrad.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/terngrad.cpp.o.d"
+  "/root/repo/src/compress/topk_compressor.cpp" "src/compress/CMakeFiles/gradcomp_compress.dir/topk_compressor.cpp.o" "gcc" "src/compress/CMakeFiles/gradcomp_compress.dir/topk_compressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gradcomp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gradcomp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gradcomp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

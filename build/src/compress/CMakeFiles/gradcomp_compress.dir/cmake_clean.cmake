@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_compress.dir/atomo.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/atomo.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/dgc.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/dgc.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/fp16.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/fp16.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/identity.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/identity.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/natural.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/natural.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/onebit.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/onebit.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/powersgd.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/powersgd.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/qsgd.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/qsgd.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/randomk.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/randomk.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/registry.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/registry.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/signsgd.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/signsgd.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/terngrad.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/terngrad.cpp.o.d"
+  "CMakeFiles/gradcomp_compress.dir/topk_compressor.cpp.o"
+  "CMakeFiles/gradcomp_compress.dir/topk_compressor.cpp.o.d"
+  "libgradcomp_compress.a"
+  "libgradcomp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

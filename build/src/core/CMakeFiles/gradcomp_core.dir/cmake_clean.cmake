@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_core.dir/advisor.cpp.o"
+  "CMakeFiles/gradcomp_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/gradcomp_core.dir/calibration.cpp.o"
+  "CMakeFiles/gradcomp_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/gradcomp_core.dir/perf_model.cpp.o"
+  "CMakeFiles/gradcomp_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/gradcomp_core.dir/whatif.cpp.o"
+  "CMakeFiles/gradcomp_core.dir/whatif.cpp.o.d"
+  "libgradcomp_core.a"
+  "libgradcomp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

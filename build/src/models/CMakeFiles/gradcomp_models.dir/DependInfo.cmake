@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/bucketing.cpp" "src/models/CMakeFiles/gradcomp_models.dir/bucketing.cpp.o" "gcc" "src/models/CMakeFiles/gradcomp_models.dir/bucketing.cpp.o.d"
+  "/root/repo/src/models/model_profile.cpp" "src/models/CMakeFiles/gradcomp_models.dir/model_profile.cpp.o" "gcc" "src/models/CMakeFiles/gradcomp_models.dir/model_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gradcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_models.dir/bucketing.cpp.o"
+  "CMakeFiles/gradcomp_models.dir/bucketing.cpp.o.d"
+  "CMakeFiles/gradcomp_models.dir/model_profile.cpp.o"
+  "CMakeFiles/gradcomp_models.dir/model_profile.cpp.o.d"
+  "libgradcomp_models.a"
+  "libgradcomp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_sim.dir/ddp_sim.cpp.o"
+  "CMakeFiles/gradcomp_sim.dir/ddp_sim.cpp.o.d"
+  "CMakeFiles/gradcomp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/gradcomp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gradcomp_sim.dir/experiment.cpp.o"
+  "CMakeFiles/gradcomp_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/gradcomp_sim.dir/probe.cpp.o"
+  "CMakeFiles/gradcomp_sim.dir/probe.cpp.o.d"
+  "libgradcomp_sim.a"
+  "libgradcomp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

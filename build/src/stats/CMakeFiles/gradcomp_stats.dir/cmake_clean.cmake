@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_stats.dir/summary.cpp.o"
+  "CMakeFiles/gradcomp_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/gradcomp_stats.dir/table.cpp.o"
+  "CMakeFiles/gradcomp_stats.dir/table.cpp.o.d"
+  "libgradcomp_stats.a"
+  "libgradcomp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

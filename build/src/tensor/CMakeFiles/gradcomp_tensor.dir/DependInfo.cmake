@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/half.cpp" "src/tensor/CMakeFiles/gradcomp_tensor.dir/half.cpp.o" "gcc" "src/tensor/CMakeFiles/gradcomp_tensor.dir/half.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/tensor/CMakeFiles/gradcomp_tensor.dir/linalg.cpp.o" "gcc" "src/tensor/CMakeFiles/gradcomp_tensor.dir/linalg.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/tensor/CMakeFiles/gradcomp_tensor.dir/rng.cpp.o" "gcc" "src/tensor/CMakeFiles/gradcomp_tensor.dir/rng.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/gradcomp_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/gradcomp_tensor.dir/tensor.cpp.o.d"
+  "/root/repo/src/tensor/topk.cpp" "src/tensor/CMakeFiles/gradcomp_tensor.dir/topk.cpp.o" "gcc" "src/tensor/CMakeFiles/gradcomp_tensor.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

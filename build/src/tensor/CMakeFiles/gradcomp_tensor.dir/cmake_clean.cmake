@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_tensor.dir/half.cpp.o"
+  "CMakeFiles/gradcomp_tensor.dir/half.cpp.o.d"
+  "CMakeFiles/gradcomp_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/gradcomp_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/gradcomp_tensor.dir/rng.cpp.o"
+  "CMakeFiles/gradcomp_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/gradcomp_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/gradcomp_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/gradcomp_tensor.dir/topk.cpp.o"
+  "CMakeFiles/gradcomp_tensor.dir/topk.cpp.o.d"
+  "libgradcomp_tensor.a"
+  "libgradcomp_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

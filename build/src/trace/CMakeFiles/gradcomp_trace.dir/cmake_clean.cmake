@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_trace.dir/timeline.cpp.o"
+  "CMakeFiles/gradcomp_trace.dir/timeline.cpp.o.d"
+  "libgradcomp_trace.a"
+  "libgradcomp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/conv.cpp" "src/train/CMakeFiles/gradcomp_train.dir/conv.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/conv.cpp.o.d"
+  "/root/repo/src/train/convnet.cpp" "src/train/CMakeFiles/gradcomp_train.dir/convnet.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/convnet.cpp.o.d"
+  "/root/repo/src/train/data.cpp" "src/train/CMakeFiles/gradcomp_train.dir/data.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/data.cpp.o.d"
+  "/root/repo/src/train/nn.cpp" "src/train/CMakeFiles/gradcomp_train.dir/nn.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/nn.cpp.o.d"
+  "/root/repo/src/train/optimizer.cpp" "src/train/CMakeFiles/gradcomp_train.dir/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/optimizer.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/gradcomp_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/gradcomp_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gradcomp_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gradcomp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gradcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gradcomp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcomp_train.dir/conv.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/conv.cpp.o.d"
+  "CMakeFiles/gradcomp_train.dir/convnet.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/convnet.cpp.o.d"
+  "CMakeFiles/gradcomp_train.dir/data.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/data.cpp.o.d"
+  "CMakeFiles/gradcomp_train.dir/nn.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/nn.cpp.o.d"
+  "CMakeFiles/gradcomp_train.dir/optimizer.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/optimizer.cpp.o.d"
+  "CMakeFiles/gradcomp_train.dir/trainer.cpp.o"
+  "CMakeFiles/gradcomp_train.dir/trainer.cpp.o.d"
+  "libgradcomp_train.a"
+  "libgradcomp_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcomp_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

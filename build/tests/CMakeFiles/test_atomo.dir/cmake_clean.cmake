@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomo.dir/test_atomo.cpp.o"
+  "CMakeFiles/test_atomo.dir/test_atomo.cpp.o.d"
+  "test_atomo"
+  "test_atomo.pdb"
+  "test_atomo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bucketing.dir/test_bucketing.cpp.o"
+  "CMakeFiles/test_bucketing.dir/test_bucketing.cpp.o.d"
+  "test_bucketing"
+  "test_bucketing.pdb"
+  "test_bucketing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bucketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gradcomp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gradcomp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/gradcomp_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gradcomp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gradcomp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gradcomp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gradcomp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gradcomp_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gradcomp_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compressor_properties.dir/test_compressor_properties.cpp.o"
+  "CMakeFiles/test_compressor_properties.dir/test_compressor_properties.cpp.o.d"
+  "test_compressor_properties"
+  "test_compressor_properties.pdb"
+  "test_compressor_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compressor_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convnet.dir/test_convnet.cpp.o"
+  "CMakeFiles/test_convnet.dir/test_convnet.cpp.o.d"
+  "test_convnet"
+  "test_convnet.pdb"
+  "test_convnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

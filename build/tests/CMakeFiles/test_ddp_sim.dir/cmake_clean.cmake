@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddp_sim.dir/test_ddp_sim.cpp.o"
+  "CMakeFiles/test_ddp_sim.dir/test_ddp_sim.cpp.o.d"
+  "test_ddp_sim"
+  "test_ddp_sim.pdb"
+  "test_ddp_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onebit_natural.dir/test_onebit_natural.cpp.o"
+  "CMakeFiles/test_onebit_natural.dir/test_onebit_natural.cpp.o.d"
+  "test_onebit_natural"
+  "test_onebit_natural.pdb"
+  "test_onebit_natural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onebit_natural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_onebit_natural.
+# This may be replaced when dependencies are built.

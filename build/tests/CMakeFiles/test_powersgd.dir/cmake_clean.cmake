@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powersgd.dir/test_powersgd.cpp.o"
+  "CMakeFiles/test_powersgd.dir/test_powersgd.cpp.o.d"
+  "test_powersgd"
+  "test_powersgd.pdb"
+  "test_powersgd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powersgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qsgd_terngrad.dir/test_qsgd_terngrad.cpp.o"
+  "CMakeFiles/test_qsgd_terngrad.dir/test_qsgd_terngrad.cpp.o.d"
+  "test_qsgd_terngrad"
+  "test_qsgd_terngrad.pdb"
+  "test_qsgd_terngrad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qsgd_terngrad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

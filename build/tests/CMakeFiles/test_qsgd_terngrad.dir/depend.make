@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qsgd_terngrad.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomk.dir/test_randomk.cpp.o"
+  "CMakeFiles/test_randomk.dir/test_randomk.cpp.o.d"
+  "test_randomk"
+  "test_randomk.pdb"
+  "test_randomk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signsgd.dir/test_signsgd.cpp.o"
+  "CMakeFiles/test_signsgd.dir/test_signsgd.cpp.o.d"
+  "test_signsgd"
+  "test_signsgd.pdb"
+  "test_signsgd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signsgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

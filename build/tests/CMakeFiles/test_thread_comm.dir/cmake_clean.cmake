@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_comm.dir/test_thread_comm.cpp.o"
+  "CMakeFiles/test_thread_comm.dir/test_thread_comm.cpp.o.d"
+  "test_thread_comm"
+  "test_thread_comm.pdb"
+  "test_thread_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk_compressor.dir/test_topk_compressor.cpp.o"
+  "CMakeFiles/test_topk_compressor.dir/test_topk_compressor.cpp.o.d"
+  "test_topk_compressor"
+  "test_topk_compressor.pdb"
+  "test_topk_compressor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk_compressor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_formats.dir/test_wire_formats.cpp.o"
+  "CMakeFiles/test_wire_formats.dir/test_wire_formats.cpp.o.d"
+  "test_wire_formats"
+  "test_wire_formats.pdb"
+  "test_wire_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
