@@ -6,7 +6,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Ablation — gradient accumulation (BERT_BASE, batch 10/GPU, 64 GPUs, 10 Gbps)",

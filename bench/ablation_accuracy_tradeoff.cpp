@@ -10,7 +10,8 @@
 #include "bench_util.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Extension — joint accuracy & per-iteration time (paper Section 7 future work)",

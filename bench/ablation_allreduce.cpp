@@ -5,7 +5,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header("Ablation — aggregation topology (100 MB gradient, 10 Gbps)",
                       "ring/tree all-reduce stay ~flat in worker count; parameter servers "

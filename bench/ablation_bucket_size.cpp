@@ -5,7 +5,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header("Ablation — gradient bucket size (syncSGD, ResNet-50, 64 GPUs, 10 Gbps)",
                       "both extremes lose; the 25 MB default is near-optimal");

@@ -7,7 +7,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Ablation — epoch time vs batch size (ResNet-101, 64 GPUs, 10 Gbps, ImageNet-sized "

@@ -7,7 +7,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Ablation — straggler sensitivity (ResNet-50, batch 64/GPU, 10 Gbps, q=2%/worker, 3x slow)",

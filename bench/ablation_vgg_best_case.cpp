@@ -7,7 +7,8 @@
 #include "bench_util.hpp"
 #include "core/advisor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Ablation — parameter-heavy workloads (VGG-16 vs ResNet-50, 64 GPUs, 10 Gbps)",

@@ -6,14 +6,33 @@
 // qualitative shape so EXPERIMENTS.md checks are reproducible.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 
+#include "core/parallel.hpp"
 #include "core/perf_model.hpp"
 #include "sim/experiment.hpp"
 #include "stats/table.hpp"
 
 namespace gradcomp::bench {
+
+// Parses `--jobs N` / `--jobs=N` (default: hardware_concurrency) and sizes
+// the shared pool every harness dispatches its sweeps and kernels onto.
+// Sweep outputs are bit-exact at any N (fixed chunking + ordered reduces),
+// so --jobs only changes wall-clock time, never a published number.
+inline void init_jobs(int argc, char** argv) {
+  int jobs = 0;  // 0 = hardware default
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
+    else if (arg.rfind("--jobs=", 0) == 0)
+      jobs = std::atoi(arg.substr(7).data());
+  }
+  core::set_global_pool_threads(jobs);
+}
 
 inline void print_header(const std::string& artifact, const std::string& claim) {
   std::cout << "\n================================================================\n"
@@ -93,25 +112,47 @@ inline void run_scalability(const std::vector<models::ModelProfile>& model_list,
     for (const auto& v : variants) headers.push_back(v.label + " (ms)");
     stats::Table table(std::move(headers));
 
-    for (int p : worker_counts) {
-      const core::Cluster cluster = default_cluster(p);
-      const auto protocol = sim::MeasurementProtocol{};
-      const auto sync = sim::measure(cluster, testbed_options(), {}, workload, protocol);
-      std::vector<std::string> row = {std::to_string(p),
-                                      stats::Table::fmt(sync.mean_s * 1e3, 1) + " +/- " +
-                                          stats::Table::fmt(sync.stddev_s * 1e3, 1)};
-      for (const auto& v : variants) {
+    // Every (worker count, column) cell is an independent freshly seeded
+    // simulation: dispatch the grid onto the pool, then emit rows in order.
+    // Cell values are bit-exact at any --jobs value.
+    const auto np = static_cast<std::int64_t>(worker_counts.size());
+    const auto ncols = static_cast<std::int64_t>(variants.size()) + 1;  // col 0 = syncSGD
+    std::vector<sim::Measurement> cells(static_cast<std::size_t>(np * ncols));
+    std::vector<char> oom_cells(static_cast<std::size_t>(np * ncols), 0);
+    core::global_pool().parallel_for(0, np * ncols, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const auto pi = static_cast<std::size_t>(t / ncols);
+        const auto ci = t % ncols;
+        const int p = worker_counts[pi];
+        const core::Cluster cluster = default_cluster(p);
+        const auto protocol = sim::MeasurementProtocol{};
+        if (ci == 0) {
+          cells[static_cast<std::size_t>(t)] =
+              sim::measure(cluster, testbed_options(), {}, workload, protocol);
+          continue;
+        }
+        const Variant& v = variants[static_cast<std::size_t>(ci - 1)];
         const bool gather_method =
             !compress::make_compressor(v.config)->traits().allreduce_compatible;
-        const bool oom = gather_method && model.name.rfind("bert", 0) == 0 &&
-                         p > max_gather_workers_bert;
-        if (oom) {
+        if (gather_method && model.name.rfind("bert", 0) == 0 && p > max_gather_workers_bert) {
+          oom_cells[static_cast<std::size_t>(t)] = 1;
+          continue;
+        }
+        cells[static_cast<std::size_t>(t)] =
+            sim::measure(cluster, testbed_options(), v.config, workload, protocol);
+      }
+    });
+
+    for (std::int64_t pi = 0; pi < np; ++pi) {
+      std::vector<std::string> row = {std::to_string(worker_counts[static_cast<std::size_t>(pi)])};
+      for (std::int64_t ci = 0; ci < ncols; ++ci) {
+        const auto t = static_cast<std::size_t>(pi * ncols + ci);
+        if (oom_cells[t]) {
           row.push_back("OOM");
           continue;
         }
-        const auto m = sim::measure(cluster, testbed_options(), v.config, workload, protocol);
-        row.push_back(stats::Table::fmt(m.mean_s * 1e3, 1) + " +/- " +
-                      stats::Table::fmt(m.stddev_s * 1e3, 1));
+        row.push_back(stats::Table::fmt(cells[t].mean_s * 1e3, 1) + " +/- " +
+                      stats::Table::fmt(cells[t].stddev_s * 1e3, 1));
       }
       table.add_row(std::move(row));
     }

@@ -7,7 +7,8 @@
 #include "bench_util.hpp"
 #include "core/whatif.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Figure 12 — effect of compute speedup (PowerSGD rank-4, 64 GPUs, 10 Gbps fixed)",

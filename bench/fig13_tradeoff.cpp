@@ -6,7 +6,8 @@
 #include "bench_util.hpp"
 #include "core/whatif.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Figure 13 — encode-time vs compression-ratio trade-off (PowerSGD rank-4 baseline, "

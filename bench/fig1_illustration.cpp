@@ -23,7 +23,8 @@ void print_vector(const char* label, const tensor::Tensor& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   bench::print_header("Figure 1 — compression family illustration",
                       "Top-K keeps the largest entries; SignSGD keeps one bit each; "
                       "low-rank methods factor the matricized gradient");

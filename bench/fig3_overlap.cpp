@@ -5,7 +5,8 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header("Figure 3 — overlapping compression with computation",
                       "overlapped compression takes longer per iteration than sequential "

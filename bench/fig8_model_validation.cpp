@@ -57,7 +57,8 @@ void report(const char* title, const compress::CompressorConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   bench::print_header(
       "Figure 8 — performance model validation",
       "the model closely tracks measurements for syncSGD and PowerSGD; SignSGD is "

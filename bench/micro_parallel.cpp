@@ -1,0 +1,211 @@
+// Serial-vs-pool micro benchmark for the parallel execution layer.
+//
+// Times the three rewritten kernels (sampled-threshold top-k, row-blocked
+// matmul, word-at-a-time sign packing) and a 4-point weak-scaling sweep at
+// --jobs 1 versus the requested job count, verifying along the way that the
+// sweep's Measurement values are bit-exact at both settings. Emits a
+// google-benchmark-style JSON document to stdout and to BENCH_parallel.json
+// so CI can archive and diff the numbers.
+//
+// Usage: micro_parallel [--jobs N]   (default: hardware concurrency)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "compress/signsgd.hpp"
+#include "core/parallel.hpp"
+#include "sim/experiment.hpp"
+#include "stats/timer.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/topk.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+struct Result {
+  std::string name;
+  double real_ms = 0.0;
+  int iterations = 0;
+};
+
+// Times `fn` enough times to get a stable mean; returns milliseconds/call.
+template <typename Fn>
+Result timed(const std::string& name, int iters, Fn&& fn) {
+  fn();  // warm-up (first-touch, pool spin-up)
+  stats::WallTimer t;
+  for (int i = 0; i < iters; ++i) fn();
+  return {name, t.millis() / iters, iters};
+}
+
+sim::Measurement run_sweep_point(int workers) {
+  core::Cluster cluster;
+  cluster.world_size = workers;
+  cluster.network = comm::Network::from_gbps(10.0);
+  cluster.device = models::Device::v100();
+  sim::SimOptions options;
+  options.jitter_frac = 0.03;
+  options.seed = 1;
+  compress::CompressorConfig config;
+  config.method = compress::Method::kPowerSgd;
+  config.rank = 4;
+  core::Workload workload{models::resnet50(), 64};
+  return sim::measure(cluster, options, config, workload, sim::MeasurementProtocol{});
+}
+
+std::vector<sim::ScalingPoint> run_sweep() {
+  core::Cluster cluster;
+  cluster.network = comm::Network::from_gbps(10.0);
+  cluster.device = models::Device::v100();
+  sim::SimOptions options;
+  options.jitter_frac = 0.03;
+  options.seed = 1;
+  compress::CompressorConfig config;
+  config.method = compress::Method::kPowerSgd;
+  config.rank = 4;
+  core::Workload workload{models::resnet50(), 64};
+  return sim::weak_scaling(cluster, options, config, workload, {8, 16, 32, 64},
+                           sim::MeasurementProtocol{});
+}
+
+bool measurements_equal(const std::vector<sim::ScalingPoint>& a,
+                        const std::vector<sim::ScalingPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto eq = [](const sim::Measurement& x, const sim::Measurement& y) {
+      return x.mean_s == y.mean_s && x.stddev_s == y.stddev_s &&
+             x.mean_encode_s == y.mean_encode_s && x.mean_decode_s == y.mean_decode_s &&
+             x.mean_comm_s == y.mean_comm_s;
+    };
+    if (a[i].workers != b[i].workers || !eq(a[i].sync, b[i].sync) ||
+        !eq(a[i].compressed, b[i].compressed))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0 = hardware default
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
+    else if (arg.rfind("--jobs=", 0) == 0)
+      jobs = std::atoi(arg.substr(7).data());
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int effective_jobs = jobs > 0 ? jobs : static_cast<int>(hw > 0 ? hw : 1);
+
+  std::vector<Result> results;
+  tensor::Rng rng(42);
+
+  // --- top-k: exact (serial nth_element) vs fast (sampled threshold + pool)
+  {
+    const std::int64_t n = 1 << 22;  // 4M elements, ~a ResNet-50 gradient
+    const std::int64_t k = n / 100;  // TopK-1%
+    const tensor::Tensor grad = tensor::Tensor::randn({n}, rng);
+    tensor::Workspace ws;
+    tensor::TopKResult out;
+    core::set_global_pool_threads(1);
+    results.push_back(timed("topk/exact_serial", 5, [&] {
+      tensor::top_k_abs_exact_into(grad.data(), k, out, &ws);
+    }));
+    core::set_global_pool_threads(effective_jobs);
+    results.push_back(timed("topk/fast_pool", 5, [&] {
+      tensor::top_k_abs_into(grad.data(), k, out, &ws);
+    }));
+  }
+
+  // --- matmul: row-blocked GEMM at jobs=1 vs jobs=N (PowerSGD M^T * M shape)
+  {
+    const tensor::Tensor a = tensor::Tensor::randn({1024, 512}, rng);
+    const tensor::Tensor b = tensor::Tensor::randn({512, 256}, rng);
+    tensor::Tensor c;
+    core::set_global_pool_threads(1);
+    results.push_back(timed("matmul/serial", 5, [&] {
+      tensor::matmul_into(a, b, tensor::Transpose::kNo, tensor::Transpose::kNo, c);
+    }));
+    core::set_global_pool_threads(effective_jobs);
+    results.push_back(timed("matmul/pool", 5, [&] {
+      tensor::matmul_into(a, b, tensor::Transpose::kNo, tensor::Transpose::kNo, c);
+    }));
+  }
+
+  // --- signsgd pack: word-at-a-time packing at jobs=1 vs jobs=N
+  {
+    const std::int64_t n = 1 << 24;  // 16M signs
+    const tensor::Tensor grad = tensor::Tensor::randn({n}, rng);
+    std::vector<std::byte> bits(static_cast<std::size_t>((n + 7) / 8));
+    core::set_global_pool_threads(1);
+    results.push_back(timed("signsgd_pack/serial", 10, [&] {
+      compress::SignSgdCompressor::pack_signs_into(grad.data(), bits);
+    }));
+    core::set_global_pool_threads(effective_jobs);
+    results.push_back(timed("signsgd_pack/pool", 10, [&] {
+      compress::SignSgdCompressor::pack_signs_into(grad.data(), bits);
+    }));
+  }
+
+  // --- weak-scaling sweep: 4 points dispatched serially vs onto the pool.
+  // The acceptance bar: bit-exact Measurement values at any job count.
+  std::vector<sim::ScalingPoint> serial_sweep;
+  std::vector<sim::ScalingPoint> pooled_sweep;
+  double sweep_serial = 0.0;
+  double sweep_pool = 0.0;
+  {
+    core::set_global_pool_threads(1);
+    results.push_back(timed("weak_scaling_4pt/serial", 3, [&] { serial_sweep = run_sweep(); }));
+    sweep_serial = results.back().real_ms;
+    core::set_global_pool_threads(effective_jobs);
+    results.push_back(
+        timed("weak_scaling_4pt/jobs" + std::to_string(effective_jobs), 3,
+              [&] { pooled_sweep = run_sweep(); }));
+    sweep_pool = results.back().real_ms;
+  }
+  const bool bit_exact = measurements_equal(serial_sweep, pooled_sweep);
+
+  // Single-point measure cost, for context in the JSON.
+  {
+    core::set_global_pool_threads(effective_jobs);
+    results.push_back(timed("measure_1pt/resnet50_p16", 3, [] { (void)run_sweep_point(16); }));
+  }
+
+  // --- emit google-benchmark-style JSON --------------------------------------
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"context\": {\n"
+       << "    \"executable\": \"micro_parallel\",\n"
+       << "    \"num_cpus\": " << (hw > 0 ? hw : 1) << ",\n"
+       << "    \"jobs\": " << effective_jobs << ",\n"
+       << "    \"sweep_bit_exact\": " << (bit_exact ? "true" : "false") << "\n"
+       << "  },\n"
+       << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\", \"iterations\": " << r.iterations
+         << ", \"real_time\": " << r.real_ms << ", \"cpu_time\": " << r.real_ms
+         << ", \"time_unit\": \"ms\"}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::cout << json.str();
+  std::ofstream("BENCH_parallel.json") << json.str();
+
+  std::cerr << "sweep speedup (--jobs " << effective_jobs << " vs --jobs 1): "
+            << (sweep_pool > 0 ? sweep_serial / sweep_pool : 0.0) << "x; bit-exact: "
+            << (bit_exact ? "yes" : "NO") << "\n";
+  if (!bit_exact) {
+    std::cerr << "ERROR: pooled sweep diverged from serial sweep\n";
+    return 1;
+  }
+  return 0;
+}

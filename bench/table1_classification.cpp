@@ -5,7 +5,8 @@
 #include "bench_util.hpp"
 #include "compress/registry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   using namespace gradcomp;
   bench::print_header(
       "Table 1 — method classification",

@@ -46,7 +46,8 @@ double measure_roundtrip_ms(const compress::CompressorConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
   bench::print_header("Table 2 — encode & decode times, ResNet-50, 4 workers",
                       "PowerSGD r4/8/16: 45/64/130 ms; TopK 20/10/1%: 295/289/240 ms; "
                       "SignSGD: 16.34 ms (V100)");

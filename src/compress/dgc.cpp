@@ -50,7 +50,8 @@ tensor::TopKResult DgcCompressor::select_and_clear(LayerId layer, const tensor::
   state.velocity.add_(grad);
   state.accumulation.add_(state.velocity);
 
-  const auto sparse = tensor::top_k_abs(state.accumulation.data(), k_for(grad.numel()));
+  const auto sparse =
+      tensor::top_k_abs(state.accumulation.data(), k_for(grad.numel()), &workspace_);
 
   // Transmitted coordinates stop accumulating (both u and v are cleared
   // there, per the reference implementation's masking).
@@ -90,7 +91,9 @@ AggregateStats DgcCompressor::aggregate(LayerId layer, int rank, comm::ThreadCom
 
 tensor::Tensor DgcCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
   const auto sparse = select_and_clear(layer, grad);
-  return tensor::Tensor(grad.shape(), tensor::scatter(sparse, grad.numel()));
+  tensor::Tensor out(grad.shape());
+  tensor::scatter(sparse, out.data());
+  return out;
 }
 
 }  // namespace gradcomp::compress

@@ -48,6 +48,7 @@ class DgcCompressor final : public Compressor {
   double fraction_;
   double momentum_;
   std::unordered_map<LayerId, LayerState> states_;
+  tensor::Workspace workspace_;  // selection scratch reused across steps
 };
 
 }  // namespace gradcomp::compress

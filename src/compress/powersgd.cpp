@@ -49,14 +49,21 @@ PowerSgdCompressor::LayerState& PowerSgdCompressor::state_for(LayerId layer, std
   return state;
 }
 
+void PowerSgdCompressor::matricize_into(const tensor::Tensor& grad, std::int64_t m,
+                                        std::int64_t n, tensor::Tensor& out) {
+  // Row-major flattening: the matricized view has identical flat data, so
+  // this is a copy into reused storage (no per-step allocation once shaped).
+  if (out.ndim() != 2 || out.dim(0) != m || out.dim(1) != n) out = tensor::Tensor({m, n});
+  std::copy(grad.data().begin(), grad.data().end(), out.data().begin());
+}
+
 AggregateStats PowerSgdCompressor::aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                                              tensor::Tensor& grad) {
   AggregateStats stats;
   const float inv_p = 1.0F / static_cast<float>(comm.world_size());
 
-  tensor::Tensor mat = grad.matricize();
-  const std::int64_t m = mat.dim(0);
-  const std::int64_t n = mat.dim(1);
+  const std::int64_t m = grad.ndim() == 0 ? grad.numel() : grad.shape().front();
+  const std::int64_t n = m > 0 ? grad.numel() / m : 1;
   if (m <= 1 || n <= 1) {
     // 1-D parameter: not worth factoring; plain averaged all-reduce.
     comm.allreduce_sum(rank, grad.data());
@@ -70,50 +77,57 @@ AggregateStats PowerSgdCompressor::aggregate(LayerId layer, int rank, comm::Thre
 
   // --- Encode (left factor): M = grad + residual, P = M Q.
   stats::WallTimer encode_timer;
-  mat.add_(state.residual);
-  tensor::Tensor p_mat = tensor::matmul(mat, state.q);
+  matricize_into(grad, m, n, state.mat);
+  state.mat.add_(state.residual);
+  tensor::matmul_into(state.mat, state.q, tensor::Transpose::kNo, tensor::Transpose::kNo,
+                      state.p);
   stats.encode_seconds = encode_timer.seconds();
 
-  comm.allreduce_sum(rank, p_mat.data());
-  p_mat.scale(inv_p);
+  comm.allreduce_sum(rank, state.p.data());
+  state.p.scale(inv_p);
 
   // --- Encode (right factor): orthonormalize P, Q = M^T P.
   encode_timer.reset();
-  tensor::orthonormalize_columns(p_mat);
-  tensor::Tensor q_new = tensor::matmul(mat, p_mat, tensor::Transpose::kYes);
+  tensor::orthonormalize_columns(state.p);
+  tensor::matmul_into(state.mat, state.p, tensor::Transpose::kYes, tensor::Transpose::kNo,
+                      state.q_new);
   stats.encode_seconds += encode_timer.seconds();
 
-  comm.allreduce_sum(rank, q_new.data());
-  q_new.scale(inv_p);
+  comm.allreduce_sum(rank, state.q_new.data());
+  state.q_new.scale(inv_p);
 
   // --- Decode: low-rank reconstruction + error-feedback update.
   stats::WallTimer decode_timer;
-  tensor::Tensor decoded = tensor::matmul(p_mat, q_new, tensor::Transpose::kNo,
-                                          tensor::Transpose::kYes);
-  // residual = (grad + old residual) - decoded.
-  state.residual = tensor::sub(mat, decoded);
-  if (warm_start_) state.q = q_new;
-  grad = decoded.reshape(grad.shape());
+  tensor::matmul_into(state.p, state.q_new, tensor::Transpose::kNo, tensor::Transpose::kYes,
+                      state.decoded);
+  // residual = (grad + old residual) - decoded, written in place.
+  state.residual = state.mat;
+  state.residual.sub_(state.decoded);
+  if (warm_start_) state.q = state.q_new;
+  std::copy(state.decoded.data().begin(), state.decoded.data().end(), grad.data().begin());
   stats.decode_seconds = decode_timer.seconds();
   return stats;
 }
 
 tensor::Tensor PowerSgdCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
-  tensor::Tensor mat = grad.matricize();
-  const std::int64_t m = mat.dim(0);
-  const std::int64_t n = mat.dim(1);
+  const std::int64_t m = grad.ndim() == 0 ? grad.numel() : grad.shape().front();
+  const std::int64_t n = m > 0 ? grad.numel() / m : 1;
   if (m <= 1 || n <= 1) return grad;  // transmitted uncompressed
 
   auto& state = state_for(layer, m, n);
-  mat.add_(state.residual);
-  tensor::Tensor p_mat = tensor::matmul(mat, state.q);
-  tensor::orthonormalize_columns(p_mat);
-  tensor::Tensor q_new = tensor::matmul(mat, p_mat, tensor::Transpose::kYes);
-  tensor::Tensor decoded = tensor::matmul(p_mat, q_new, tensor::Transpose::kNo,
-                                          tensor::Transpose::kYes);
-  state.residual = tensor::sub(mat, decoded);
-  if (warm_start_) state.q = q_new;
-  return decoded.reshape(grad.shape());
+  matricize_into(grad, m, n, state.mat);
+  state.mat.add_(state.residual);
+  tensor::matmul_into(state.mat, state.q, tensor::Transpose::kNo, tensor::Transpose::kNo,
+                      state.p);
+  tensor::orthonormalize_columns(state.p);
+  tensor::matmul_into(state.mat, state.p, tensor::Transpose::kYes, tensor::Transpose::kNo,
+                      state.q_new);
+  tensor::matmul_into(state.p, state.q_new, tensor::Transpose::kNo, tensor::Transpose::kYes,
+                      state.decoded);
+  state.residual = state.mat;
+  state.residual.sub_(state.decoded);
+  if (warm_start_) state.q = state.q_new;
+  return state.decoded.reshape(grad.shape());
 }
 
 }  // namespace gradcomp::compress

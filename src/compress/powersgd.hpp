@@ -41,12 +41,22 @@ class PowerSgdCompressor final : public Compressor {
   struct LayerState {
     tensor::Tensor q;         // n x r warm start
     tensor::Tensor residual;  // m x n error-feedback memory
+    // Encode/decode scratch reused across iterations so the steady state
+    // performs no per-step allocation: the matricized working copy M, the
+    // two factors, and the reconstruction.
+    tensor::Tensor mat;      // m x n
+    tensor::Tensor p;        // m x r
+    tensor::Tensor q_new;    // n x r
+    tensor::Tensor decoded;  // m x n
     bool initialized = false;
   };
 
   // Effective rank for an m x n matrix: min(r, m, n).
   [[nodiscard]] int effective_rank(std::int64_t m, std::int64_t n) const;
   LayerState& state_for(LayerId layer, std::int64_t m, std::int64_t n);
+  // Copies grad's flat data into `out` shaped (m, n), reusing out's storage.
+  static void matricize_into(const tensor::Tensor& grad, std::int64_t m, std::int64_t n,
+                             tensor::Tensor& out);
 
   int rank_;
   bool warm_start_;

@@ -7,6 +7,7 @@
 
 #include "stats/timer.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/topk.hpp"
 
 namespace gradcomp::compress {
 
@@ -69,9 +70,8 @@ AggregateStats RandomKCompressor::aggregate(LayerId layer, int rank, comm::Threa
 
   stats::WallTimer decode_timer;
   const float inv_p = 1.0F / static_cast<float>(comm.world_size());
-  grad.fill(0.0F);
-  for (std::size_t j = 0; j < indices.size(); ++j)
-    data[static_cast<std::size_t>(indices[j])] = values[j] * inv_p;
+  for (auto& v : values) v *= inv_p;
+  tensor::scatter(indices, values, grad.data());
   stats.decode_seconds = decode_timer.seconds();
   return stats;
 }
@@ -79,10 +79,12 @@ AggregateStats RandomKCompressor::aggregate(LayerId layer, int rank, comm::Threa
 tensor::Tensor RandomKCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
   const std::uint64_t round = rounds_[layer]++;
   const auto indices = indices_for(layer, round, grad.numel());
-  tensor::Tensor out(grad.shape());
   auto src = grad.data();
-  auto dst = out.data();
-  for (auto i : indices) dst[static_cast<std::size_t>(i)] = src[static_cast<std::size_t>(i)];
+  std::vector<float> values(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j)
+    values[j] = src[static_cast<std::size_t>(indices[j])];
+  tensor::Tensor out(grad.shape());
+  tensor::scatter(indices, values, out.data());
   return out;
 }
 

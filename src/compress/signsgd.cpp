@@ -1,7 +1,10 @@
 #include "compress/signsgd.hpp"
 
+#include <cstdint>
 #include <cstring>
+#include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "stats/timer.hpp"
 
 namespace gradcomp::compress {
@@ -24,21 +27,74 @@ std::size_t SignSgdCompressor::compressed_bytes(const tensor::Shape& shape) cons
   return (n + 7) / 8 + (error_feedback_ ? sizeof(float) : 0);
 }
 
-std::vector<std::byte> SignSgdCompressor::pack_signs(std::span<const float> values) {
-  std::vector<std::byte> bits((values.size() + 7) / 8, std::byte{0});
-  for (std::size_t i = 0; i < values.size(); ++i)
+void SignSgdCompressor::pack_signs_into(std::span<const float> values,
+                                        std::span<std::byte> bits) {
+  const std::size_t n = values.size();
+  if (bits.size() != (n + 7) / 8)
+    throw std::invalid_argument("pack_signs_into: bits span has wrong size");
+  // Word-at-a-time: 32 signs per uint32_t with no per-bit branches, written
+  // out byte-by-byte so the LSB-first wire layout (bit i%8 of byte i/8) is
+  // endianness-independent. Chunks are whole words, so parallel workers
+  // touch disjoint bytes.
+  const std::size_t nwords = n / 32;
+  constexpr std::int64_t kWordGrain = 1 << 12;  // 128 KiB of floats per chunk
+  core::global_pool().parallel_for(
+      0, static_cast<std::int64_t>(nwords), kWordGrain,
+      [&](std::int64_t w0, std::int64_t w1) {
+        for (std::int64_t w = w0; w < w1; ++w) {
+          const float* v = values.data() + w * 32;
+          std::uint32_t word = 0;
+          for (unsigned b = 0; b < 32; ++b)
+            word |= static_cast<std::uint32_t>(v[b] >= 0.0F) << b;
+          std::byte* out = bits.data() + w * 4;
+          out[0] = static_cast<std::byte>(word & 0xFFU);
+          out[1] = static_cast<std::byte>((word >> 8) & 0xFFU);
+          out[2] = static_cast<std::byte>((word >> 16) & 0xFFU);
+          out[3] = static_cast<std::byte>((word >> 24) & 0xFFU);
+        }
+      });
+  // Tail (< 32 elements): per-bit, starting from zeroed bytes.
+  for (std::size_t i = nwords * 4; i < bits.size(); ++i) bits[i] = std::byte{0};
+  for (std::size_t i = nwords * 32; i < n; ++i)
     if (values[i] >= 0.0F) bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+}
+
+std::vector<std::byte> SignSgdCompressor::pack_signs(std::span<const float> values) {
+  std::vector<std::byte> bits((values.size() + 7) / 8);
+  pack_signs_into(values, bits);
   return bits;
+}
+
+void SignSgdCompressor::unpack_signs_into(std::span<const std::byte> bits, std::size_t n,
+                                          std::span<float> out) {
+  if (out.size() != n) throw std::invalid_argument("unpack_signs_into: out span has wrong size");
+  const std::size_t nwords = n / 32;
+  constexpr std::int64_t kWordGrain = 1 << 12;
+  core::global_pool().parallel_for(
+      0, static_cast<std::int64_t>(nwords), kWordGrain,
+      [&](std::int64_t w0, std::int64_t w1) {
+        for (std::int64_t w = w0; w < w1; ++w) {
+          const std::byte* in = bits.data() + w * 4;
+          const std::uint32_t word = static_cast<std::uint32_t>(in[0]) |
+                                     (static_cast<std::uint32_t>(in[1]) << 8) |
+                                     (static_cast<std::uint32_t>(in[2]) << 16) |
+                                     (static_cast<std::uint32_t>(in[3]) << 24);
+          float* v = out.data() + w * 32;
+          for (unsigned b = 0; b < 32; ++b)
+            v[b] = static_cast<float>(((word >> b) & 1U) * 2U) - 1.0F;
+        }
+      });
+  for (std::size_t i = nwords * 32; i < n; ++i) {
+    const bool positive =
+        (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
+    out[i] = positive ? 1.0F : -1.0F;
+  }
 }
 
 std::vector<float> SignSgdCompressor::unpack_signs(std::span<const std::byte> bits,
                                                    std::size_t n) {
   std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool positive =
-        (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
-    out[i] = positive ? 1.0F : -1.0F;
-  }
+  unpack_signs_into(bits, n, out);
   return out;
 }
 
@@ -81,14 +137,16 @@ AggregateStats SignSgdCompressor::aggregate(LayerId layer, int rank, comm::Threa
   // bit vectors (part of the paper's SignSGD slowdown at scale).
   stats::WallTimer decode_timer;
   std::vector<double> vote(n, 0.0);
+  unpack_scratch_.resize(n);
   if (error_feedback_) {
     // Average of scaled signs.
     for (const auto& msg : gathered) {
       const std::size_t bits_len = (n + 7) / 8;
       float scale = 0.0F;
       std::memcpy(&scale, msg.data() + bits_len, sizeof(float));
-      const auto signs = unpack_signs({msg.data(), bits_len}, n);
-      for (std::size_t i = 0; i < n; ++i) vote[i] += static_cast<double>(scale) * signs[i];
+      unpack_signs_into({msg.data(), bits_len}, n, unpack_scratch_);
+      for (std::size_t i = 0; i < n; ++i)
+        vote[i] += static_cast<double>(scale) * unpack_scratch_[i];
     }
     const auto p = static_cast<double>(comm.world_size());
     for (std::size_t i = 0; i < n; ++i)
@@ -96,8 +154,8 @@ AggregateStats SignSgdCompressor::aggregate(LayerId layer, int rank, comm::Threa
   } else {
     // Majority vote: sign of the sum of signs; ties resolve to +1 (>= 0).
     for (const auto& msg : gathered) {
-      const auto signs = unpack_signs(msg, n);
-      for (std::size_t i = 0; i < n; ++i) vote[i] += signs[i];
+      unpack_signs_into(msg, n, unpack_scratch_);
+      for (std::size_t i = 0; i < n; ++i) vote[i] += unpack_scratch_[i];
     }
     for (std::size_t i = 0; i < n; ++i) grad.data()[i] = vote[i] >= 0.0 ? 1.0F : -1.0F;
   }

@@ -36,11 +36,18 @@ class SignSgdCompressor final : public Compressor {
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
 
-  // Bit packing used on the wire (exposed for tests).
+  // Bit packing used on the wire (exposed for tests). Word-at-a-time: 32
+  // signs per uint32_t inner loop, branch-free, parallel over word chunks;
+  // the LSB-first byte layout is unchanged.
   [[nodiscard]] static std::vector<std::byte> pack_signs(std::span<const float> values);
   // Unpacks `n` signs into +1/-1 floats.
   [[nodiscard]] static std::vector<float> unpack_signs(std::span<const std::byte> bits,
                                                        std::size_t n);
+  // Allocation-free variants writing into caller memory (`bits` must hold
+  // (n+7)/8 bytes, `out` exactly n floats).
+  static void pack_signs_into(std::span<const float> values, std::span<std::byte> bits);
+  static void unpack_signs_into(std::span<const std::byte> bits, std::size_t n,
+                                std::span<float> out);
 
  private:
   // Adds the residual into a working copy and returns it (EF mode), or
@@ -51,6 +58,7 @@ class SignSgdCompressor final : public Compressor {
 
   bool error_feedback_;
   std::unordered_map<LayerId, tensor::Tensor> residuals_;
+  std::vector<float> unpack_scratch_;  // decode-side reuse (one rank's signs)
 };
 
 }  // namespace gradcomp::compress

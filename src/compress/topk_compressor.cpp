@@ -142,12 +142,13 @@ AggregateStats TopKCompressor::aggregate(LayerId layer, int rank, comm::ThreadCo
 
   stats::WallTimer encode_timer;
   tensor::Tensor work = with_residual(layer, grad);
-  const auto sparse = tensor::top_k_abs(work.data(), k_for(n));
-  const auto payload = encode(sparse);
+  tensor::top_k_abs_into(work.data(), k_for(n), sparse_scratch_, &workspace_);
+  const auto payload = encode(sparse_scratch_);
   if (error_feedback_) {
     // Residual = what the selection (and, in fp16 mode, the value
     // quantization) dropped: measured against the decoded estimate.
-    tensor::Tensor kept(grad.shape(), tensor::scatter(decode(payload), n));
+    tensor::Tensor kept(grad.shape());
+    tensor::scatter(decode(payload), kept.data());
     residuals_[layer] = tensor::sub(work, kept);
   }
   stats.encode_seconds = encode_timer.seconds();
@@ -172,9 +173,9 @@ AggregateStats TopKCompressor::aggregate(LayerId layer, int rank, comm::ThreadCo
 
 tensor::Tensor TopKCompressor::roundtrip(LayerId layer, const tensor::Tensor& grad) {
   tensor::Tensor work = with_residual(layer, grad);
-  const auto sparse = tensor::top_k_abs(work.data(), k_for(grad.numel()));
-  tensor::Tensor kept(grad.shape(),
-                      tensor::scatter(decode(encode(sparse)), grad.numel()));
+  tensor::top_k_abs_into(work.data(), k_for(grad.numel()), sparse_scratch_, &workspace_);
+  tensor::Tensor kept(grad.shape());
+  tensor::scatter(decode(encode(sparse_scratch_)), kept.data());
   if (error_feedback_) residuals_[layer] = tensor::sub(work, kept);
   return kept;
 }

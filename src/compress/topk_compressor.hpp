@@ -52,6 +52,10 @@ class TopKCompressor final : public Compressor {
   bool error_feedback_;
   bool fp16_values_;
   std::unordered_map<LayerId, tensor::Tensor> residuals_;
+  // Selection scratch + reused result storage: the encode hot path does no
+  // per-step allocation in steady state.
+  tensor::Workspace workspace_;
+  tensor::TopKResult sparse_scratch_;
 };
 
 }  // namespace gradcomp::compress

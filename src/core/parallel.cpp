@@ -1,0 +1,143 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace gradcomp::core {
+
+// Shared state of one parallel_for: helpers and the caller claim chunks
+// from `next` until exhausted; the last finisher signals `done_cv`. Held by
+// shared_ptr so a helper dequeued after the call returned (all chunks
+// already claimed) still finds valid state.
+struct ThreadPool::ForTask {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t nchunks = 0;
+  std::function<void(std::int64_t, std::int64_t)> body;
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> finished{0};
+  std::atomic<bool> failed{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception wins, guarded by done_mutex
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+  size_ = std::max(threads, 1);
+  // size_ - 1 helpers: the calling thread is the remaining worker.
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::run_chunks(ForTask& task) {
+  for (;;) {
+    const std::int64_t c = task.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= task.nchunks) return;
+    // After a failure remaining chunks are claimed but skipped, so
+    // `finished` still reaches nchunks and the waiter wakes exactly once
+    // per chunk.
+    if (!task.failed.load(std::memory_order_acquire)) {
+      const std::int64_t lo = task.begin + c * task.grain;
+      const std::int64_t hi = std::min(lo + task.grain, task.end);
+      try {
+        task.body(lo, hi);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(task.done_mutex);
+          if (!task.error) task.error = std::current_exception();
+        }
+        task.failed.store(true, std::memory_order_release);
+      }
+    }
+    if (task.finished.fetch_add(1, std::memory_order_acq_rel) + 1 == task.nchunks) {
+      const std::lock_guard<std::mutex> lock(task.done_mutex);
+      task.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                              const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+
+  if (nchunks == 1 || size_ == 1) {
+    // Inline, chunk boundaries identical to the pooled path.
+    for (std::int64_t lo = begin; lo < end; lo += grain) body(lo, std::min(lo + grain, end));
+    return;
+  }
+
+  auto task = std::make_shared<ForTask>();
+  task->begin = begin;
+  task->end = end;
+  task->grain = grain;
+  task->nchunks = nchunks;
+  task->body = body;
+
+  // One helper job per chunk beyond the caller's first, capped at the
+  // helper count; late-dequeued jobs find no chunks left and return.
+  const auto helpers = static_cast<int>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(size_) - 1, nchunks - 1));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (int i = 0; i < helpers; ++i) queue_.emplace_back([task] { run_chunks(*task); });
+  }
+  if (helpers == 1)
+    cv_.notify_one();
+  else
+    cv_.notify_all();
+
+  run_chunks(*task);  // caller participates (keeps nesting deadlock-free)
+
+  std::unique_lock<std::mutex> lock(task->done_mutex);
+  task->done_cv.wait(lock, [&] {
+    return task->finished.load(std::memory_order_acquire) >= task->nchunks;
+  });
+  if (task->error) std::rethrow_exception(task->error);
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp)
+}  // namespace
+
+ThreadPool& global_pool() {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_pool_threads(int threads) {
+  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace gradcomp::core

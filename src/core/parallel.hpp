@@ -1,0 +1,102 @@
+// Shared parallel-execution layer: a fixed-size thread pool with a
+// deterministic `parallel_for` and an ordered reduce.
+//
+// Determinism contract (what the golden/equivalence tests rely on):
+//   * chunk boundaries depend only on (begin, end, grain) — never on the
+//     thread count — so a kernel that writes disjoint chunks produces the
+//     same bytes at any `--jobs` value;
+//   * `reduce_ordered` computes one partial per fixed chunk and combines
+//     the partials sequentially in ascending chunk order, so floating-point
+//     reductions are bit-exact across thread counts (they may differ from a
+//     strictly element-at-a-time serial sum, but a 1-thread pool and a
+//     64-thread pool agree bit-for-bit).
+//
+// The calling thread always participates in the work, which makes nested
+// parallel_for calls deadlock-free: if every worker is busy, the caller
+// simply executes all of its own chunks inline.
+//
+// This header sits below `tensor/` in the dependency order (it is its own
+// CMake target, `gradcomp_parallel`, with no dependencies beyond threads)
+// so the compressor kernels and the sweep drivers share one pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gradcomp::core {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency(); the pool
+  // always has at least one worker slot (the caller itself counts, so a
+  // 1-thread pool runs everything inline on the calling thread).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Degree of parallelism (caller + helper workers).
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  // Runs body(chunk_begin, chunk_end) over [begin, end) split into fixed
+  // chunks of `grain` (the final chunk may be short). Chunks may execute
+  // concurrently and in any order; boundaries are deterministic. The first
+  // exception thrown by any chunk is rethrown here after all in-flight
+  // chunks finish; remaining unclaimed chunks are abandoned.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  // Deterministic ordered reduction: partial = map(chunk_begin, chunk_end)
+  // per fixed chunk, then acc = combine(acc, partial) sequentially in
+  // ascending chunk order starting from `init`. Bit-exact at any thread
+  // count for a fixed grain.
+  template <typename T, typename MapFn, typename CombineFn>
+  [[nodiscard]] T reduce_ordered(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                                 T init, const MapFn& map, const CombineFn& combine) {
+    if (end <= begin) return init;
+    if (grain < 1) grain = 1;
+    const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(static_cast<std::size_t>(nchunks));
+    parallel_for(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+      for (std::int64_t c = c0; c < c1; ++c) {
+        const std::int64_t lo = begin + c * grain;
+        const std::int64_t hi = std::min(lo + grain, end);
+        partials[static_cast<std::size_t>(c)] = map(lo, hi);
+      }
+    });
+    T acc = std::move(init);
+    for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+    return acc;
+  }
+
+ private:
+  struct ForTask;  // shared state of one parallel_for invocation
+
+  void worker_loop();
+  static void run_chunks(ForTask& task);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+// Process-wide pool shared by the compressor kernels and the sweep drivers.
+// Created lazily with hardware_concurrency workers on first use.
+[[nodiscard]] ThreadPool& global_pool();
+
+// Replaces the global pool with one of `threads` workers (0 = hardware
+// default). Intended for startup configuration (the benches' `--jobs` flag
+// and tests); must not race with concurrent global_pool() users.
+void set_global_pool_threads(int threads);
+
+}  // namespace gradcomp::core

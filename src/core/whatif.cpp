@@ -4,88 +4,114 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gradcomp::core {
+
+// The sweeps evaluate a pure analytical model at independent points, so
+// every sweep dispatches its points onto the shared pool: each task writes
+// only its own pre-sized slot and derives its configuration from the swept
+// value, giving bit-exact agreement with the serial order at any --jobs.
 
 std::vector<ComparisonPoint> WhatIf::sweep_bandwidth(const compress::CompressorConfig& config,
                                                      const Workload& workload, Cluster cluster,
                                                      const std::vector<double>& gbps_values) const {
-  std::vector<ComparisonPoint> points;
-  points.reserve(gbps_values.size());
-  for (double gbps : gbps_values) {
-    cluster.network = comm::Network::from_gbps(gbps, cluster.network.alpha_s,
+  std::vector<ComparisonPoint> points(gbps_values.size());
+  global_pool().parallel_for(
+      0, static_cast<std::int64_t>(gbps_values.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+          const auto i = static_cast<std::size_t>(t);
+          Cluster c = cluster;
+          c.network = comm::Network::from_gbps(gbps_values[i], cluster.network.alpha_s,
                                                cluster.network.incast_penalty);
-    ComparisonPoint pt;
-    pt.x = gbps;
-    pt.sync = model_.syncsgd(workload, cluster);
-    pt.compressed = model_.compressed(config, workload, cluster);
-    points.push_back(pt);
-  }
+          points[i].x = gbps_values[i];
+          points[i].sync = model_.syncsgd(workload, c);
+          points[i].compressed = model_.compressed(config, workload, c);
+        }
+      });
   return points;
 }
 
 std::vector<ComparisonPoint> WhatIf::sweep_compute(const compress::CompressorConfig& config,
                                                    const Workload& workload, Cluster cluster,
                                                    const std::vector<double>& compute_factors) const {
-  std::vector<ComparisonPoint> points;
-  points.reserve(compute_factors.size());
-  const models::Device base = cluster.device;
-  for (double factor : compute_factors) {
+  for (double factor : compute_factors)
     if (factor <= 0) throw std::invalid_argument("sweep_compute: factor must be > 0");
-    cluster.device = base;
-    cluster.device.compute_scale = base.compute_scale * factor;
-    ComparisonPoint pt;
-    pt.x = factor;
-    pt.sync = model_.syncsgd(workload, cluster);
-    pt.compressed = model_.compressed(config, workload, cluster);
-    points.push_back(pt);
-  }
+  std::vector<ComparisonPoint> points(compute_factors.size());
+  global_pool().parallel_for(
+      0, static_cast<std::int64_t>(compute_factors.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+          const auto i = static_cast<std::size_t>(t);
+          Cluster c = cluster;
+          c.device.compute_scale = cluster.device.compute_scale * compute_factors[i];
+          points[i].x = compute_factors[i];
+          points[i].sync = model_.syncsgd(workload, c);
+          points[i].compressed = model_.compressed(config, workload, c);
+        }
+      });
   return points;
 }
 
 std::vector<ComparisonPoint> WhatIf::sweep_workers(const compress::CompressorConfig& config,
                                                    const Workload& workload, Cluster cluster,
                                                    const std::vector<int>& worker_counts) const {
-  std::vector<ComparisonPoint> points;
-  points.reserve(worker_counts.size());
-  for (int p : worker_counts) {
-    cluster.world_size = p;
-    ComparisonPoint pt;
-    pt.x = static_cast<double>(p);
-    pt.sync = model_.syncsgd(workload, cluster);
-    pt.compressed = model_.compressed(config, workload, cluster);
-    points.push_back(pt);
-  }
+  std::vector<ComparisonPoint> points(worker_counts.size());
+  global_pool().parallel_for(
+      0, static_cast<std::int64_t>(worker_counts.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+          const auto i = static_cast<std::size_t>(t);
+          Cluster c = cluster;
+          c.world_size = worker_counts[i];
+          points[i].x = static_cast<double>(worker_counts[i]);
+          points[i].sync = model_.syncsgd(workload, c);
+          points[i].compressed = model_.compressed(config, workload, c);
+        }
+      });
   return points;
 }
 
 std::vector<ComparisonPoint> WhatIf::sweep_batch_size(const compress::CompressorConfig& config,
                                                       Workload workload, const Cluster& cluster,
                                                       const std::vector<int>& batch_sizes) const {
-  std::vector<ComparisonPoint> points;
-  points.reserve(batch_sizes.size());
-  for (int bs : batch_sizes) {
+  for (int bs : batch_sizes)
     if (bs < 1) throw std::invalid_argument("sweep_batch_size: batch size must be >= 1");
-    workload.batch_size = bs;
-    ComparisonPoint pt;
-    pt.x = static_cast<double>(bs);
-    pt.sync = model_.syncsgd(workload, cluster);
-    pt.compressed = model_.compressed(config, workload, cluster);
-    points.push_back(pt);
-  }
+  std::vector<ComparisonPoint> points(batch_sizes.size());
+  global_pool().parallel_for(
+      0, static_cast<std::int64_t>(batch_sizes.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+          const auto i = static_cast<std::size_t>(t);
+          Workload w = workload;
+          w.batch_size = batch_sizes[i];
+          points[i].x = static_cast<double>(batch_sizes[i]);
+          points[i].sync = model_.syncsgd(w, cluster);
+          points[i].compressed = model_.compressed(config, w, cluster);
+        }
+      });
   return points;
 }
 
 std::vector<WhatIf::TradeoffPoint> WhatIf::sweep_tradeoff(
     const compress::CompressorConfig& config, const Workload& workload, const Cluster& cluster,
     const std::vector<double>& k_values, const std::vector<double>& l_values) const {
-  std::vector<TradeoffPoint> points;
-  points.reserve(k_values.size() * l_values.size());
+  for (double k : k_values)
+    if (k <= 0) throw std::invalid_argument("sweep_tradeoff: k and l must be > 0");
+  for (double l : l_values)
+    if (l <= 0) throw std::invalid_argument("sweep_tradeoff: k and l must be > 0");
+
+  const auto nk = static_cast<std::int64_t>(k_values.size());
+  const auto nl = static_cast<std::int64_t>(l_values.size());
+  std::vector<TradeoffPoint> points(static_cast<std::size_t>(nk * nl));
   const IterationBreakdown sync = model_.syncsgd(workload, cluster);
-  for (double l : l_values) {
-    for (double k : k_values) {
-      if (k <= 0 || l <= 0)
-        throw std::invalid_argument("sweep_tradeoff: k and l must be > 0");
-      TradeoffPoint pt;
+  // Flattened (l, k) grid, same row-major order as the serial nested loops.
+  global_pool().parallel_for(0, nk * nl, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const double l = l_values[static_cast<std::size_t>(t / nk)];
+      const double k = k_values[static_cast<std::size_t>(t % nk)];
+      TradeoffPoint& pt = points[static_cast<std::size_t>(t)];
       pt.k = k;
       pt.l = l;
       pt.sync = sync;
@@ -93,9 +119,8 @@ std::vector<WhatIf::TradeoffPoint> WhatIf::sweep_tradeoff(
       // encode time shrinks by k and the payload grows by l*k (Section 6).
       const Adjust adjust{1.0 / k, k > 1.0 ? l * k : 1.0};
       pt.compressed = model_.compressed(config, workload, cluster, adjust);
-      points.push_back(pt);
     }
-  }
+  });
   return points;
 }
 
@@ -110,7 +135,8 @@ double WhatIf::crossover_bandwidth_gbps(const compress::CompressorConfig& config
   };
   if (!faster_at(lo_gbps)) return lo_gbps;  // never faster
   if (faster_at(hi_gbps)) return std::numeric_limits<double>::infinity();
-  // Bisection: compression wins below the crossover, loses above.
+  // Bisection: compression wins below the crossover, loses above. Inherently
+  // sequential (each probe depends on the last), so it stays serial.
   double lo = lo_gbps;
   double hi = hi_gbps;
   for (int iter = 0; iter < 60 && (hi - lo) > 1e-3; ++iter) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gradcomp::sim {
 
 Measurement measure(const core::Cluster& cluster, const SimOptions& options,
@@ -30,17 +32,26 @@ std::vector<ScalingPoint> weak_scaling(core::Cluster cluster, const SimOptions& 
                                        const core::Workload& workload,
                                        const std::vector<int>& worker_counts,
                                        const MeasurementProtocol& protocol) {
-  std::vector<ScalingPoint> points;
-  points.reserve(worker_counts.size());
+  const auto npoints = static_cast<std::int64_t>(worker_counts.size());
+  std::vector<ScalingPoint> points(worker_counts.size());
   const compress::CompressorConfig baseline{};  // syncSGD
-  for (int p : worker_counts) {
-    cluster.world_size = p;
-    ScalingPoint pt;
-    pt.workers = p;
-    pt.sync = measure(cluster, options, baseline, workload, protocol);
-    pt.compressed = measure(cluster, options, config, workload, protocol);
-    points.push_back(pt);
-  }
+
+  // Each (worker count, config) measurement owns a freshly seeded ClusterSim,
+  // so the points are independent: dispatching them onto the pool yields
+  // bit-exact agreement with the serial order at any --jobs value. The task
+  // space is 2 tasks per point (sync / compressed) for load balance.
+  core::global_pool().parallel_for(0, 2 * npoints, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const auto i = static_cast<std::size_t>(t / 2);
+      core::Cluster c = cluster;
+      c.world_size = worker_counts[i];
+      points[i].workers = worker_counts[i];
+      if (t % 2 == 0)
+        points[i].sync = measure(c, options, baseline, workload, protocol);
+      else
+        points[i].compressed = measure(c, options, config, workload, protocol);
+    }
+  });
   return points;
 }
 

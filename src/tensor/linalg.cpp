@@ -5,9 +5,22 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gradcomp::tensor {
 
 namespace {
+
+// Row-block grain for the pool-parallel GEMM paths. Each C row is computed
+// independently with a fixed accumulation order, so any grain/thread count
+// yields identical bits; 64 matches the cache block.
+constexpr std::int64_t kRowGrain = 64;
+
+// Reduction grain for orthonormalization dot products: one chunk per
+// 32k rows keeps every matrix in the test suite single-chunk (bit-identical
+// to the historical serial sum) while still splitting the huge matricized
+// conv layers.
+constexpr std::int64_t kReduceGrain = 1 << 15;
 
 void require_2d(const Tensor& t, const char* who) {
   if (t.ndim() != 2) throw std::invalid_argument(std::string(who) + ": tensor must be 2-D");
@@ -36,39 +49,96 @@ Tensor materialize(const Tensor& a, Transpose op) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb) {
+namespace {
+
+// C[i0:i1] += A B for row-major A (m x k), B (k x n): cache-blocked i-k-j;
+// the inner j loop is a contiguous AXPY, which auto-vectorizes well.
+void gemm_nn_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
+                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::int64_t k1 = std::min(k0 + kBlock, k);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = pa[i * k + kk];
+        const float* __restrict brow = pb + kk * n;
+        float* __restrict crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+// C[i0:i1] += A^T B for A stored (k x m): same ascending-kk accumulation
+// order as the materialized path, so results are bit-identical to it.
+void gemm_tn_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
+                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t m,
+                  std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* __restrict crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[kk * m + i];
+      const float* __restrict brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+// C[i0:i1] += A B^T for B stored (n x k): row-dot-row, kk ascending.
+void gemm_nt_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
+                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* __restrict arow = pa + i * k;
+    float* __restrict crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* __restrict brow = pb + j * k;
+      float acc = crow[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void matmul_into(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb, Tensor& out) {
   require_2d(a, "matmul(a)");
   require_2d(b, "matmul(b)");
   const auto [m, ka] = op_dims(a, ta);
   const auto [kb, n] = op_dims(b, tb);
   if (ka != kb) throw std::invalid_argument("matmul: inner dimensions mismatch");
-
-  const Tensor am = materialize(a, ta);
-  const Tensor bm = materialize(b, tb);
-  Tensor c({m, n});
-
-  const float* __restrict pa = am.data().data();
-  const float* __restrict pb = bm.data().data();
-  float* __restrict pc = c.data().data();
   const std::int64_t k = ka;
 
-  // Cache-blocked i-k-j loop: the inner j loop is a contiguous AXPY, which
-  // auto-vectorizes well.
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::int64_t i1 = std::min(i0 + kBlock, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-      const std::int64_t k1 = std::min(k0 + kBlock, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = pa[i * k + kk];
-          const float* __restrict brow = pb + kk * n;
-          float* __restrict crow = pc + i * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      }
-    }
+  if (out.ndim() != 2 || out.dim(0) != m || out.dim(1) != n)
+    out = Tensor({m, n});
+  else
+    out.fill(0.0F);
+
+  // The double-transpose case is rare (no kernel uses it); fall back to
+  // materializing A^T and reusing the T/N-free path.
+  if (ta == Transpose::kYes && tb == Transpose::kYes) {
+    const Tensor am = materialize(a, ta);
+    matmul_into(am, b, Transpose::kNo, tb, out);
+    return;
   }
+
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = out.data().data();
+
+  core::global_pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    if (ta == Transpose::kYes)
+      gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
+    else if (tb == Transpose::kYes)
+      gemm_nt_rows(pa, pb, pc, i0, i1, k, n);
+    else
+      gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb) {
+  Tensor c;
+  matmul_into(a, b, ta, tb, c);
   return c;
 }
 
@@ -106,24 +176,34 @@ void orthonormalize_columns(Tensor& m) {
   const std::int64_t rows = m.dim(0);
   const std::int64_t cols = m.dim(1);
   auto p = m.data();
+  auto& pool = core::global_pool();
   const auto col = [&](std::int64_t j, std::int64_t i) -> float& {
     return p[static_cast<std::size_t>(i * cols + j)];
   };
+  // Column dot products run as ordered chunked reductions (fixed kReduceGrain
+  // boundaries, sequential combine): bit-exact at any thread count, and
+  // identical to the plain serial sum whenever rows <= the grain.
+  const auto col_dot = [&](std::int64_t j, std::int64_t k) {
+    return pool.reduce_ordered(
+        std::int64_t{0}, rows, kReduceGrain, 0.0,
+        [&](std::int64_t lo, std::int64_t hi) {
+          double s = 0.0;
+          for (std::int64_t i = lo; i < hi; ++i)
+            s += static_cast<double>(col(j, i)) * static_cast<double>(col(k, i));
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
   const auto project_out_previous = [&](std::int64_t j) {
     for (std::int64_t k = 0; k < j; ++k) {
-      double proj = 0.0;
-      for (std::int64_t i = 0; i < rows; ++i)
-        proj += static_cast<double>(col(j, i)) * static_cast<double>(col(k, i));
-      for (std::int64_t i = 0; i < rows; ++i)
-        col(j, i) -= static_cast<float>(proj) * col(k, i);
+      const double proj = col_dot(j, k);
+      pool.parallel_for(0, rows, kReduceGrain, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          col(j, i) -= static_cast<float>(proj) * col(k, i);
+      });
     }
   };
-  const auto column_norm = [&](std::int64_t j) {
-    double norm = 0.0;
-    for (std::int64_t i = 0; i < rows; ++i)
-      norm += static_cast<double>(col(j, i)) * static_cast<double>(col(j, i));
-    return std::sqrt(norm);
-  };
+  const auto column_norm = [&](std::int64_t j) { return std::sqrt(col_dot(j, j)); };
 
   for (std::int64_t j = 0; j < cols; ++j) {
     const double pre_norm = column_norm(j);

@@ -14,8 +14,17 @@ namespace gradcomp::tensor {
 enum class Transpose : std::uint8_t { kNo, kYes };
 
 // C = A(op) * B(op). Shapes validated; result allocated fresh.
+// Row blocks of C are computed in parallel on the shared pool; each output
+// element is accumulated in a fixed order, so results are bit-identical at
+// any thread count.
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
                             Transpose ta = Transpose::kNo, Transpose tb = Transpose::kNo);
+
+// Allocation-free variant: writes into `out`, reshaping it only when its
+// element count differs (so a caller-held scratch tensor is reused across
+// iterations). The N/T and T/N cases run natively without materializing
+// the transpose.
+void matmul_into(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb, Tensor& out);
 
 // y = A * x for 2-D A and 1-D x.
 [[nodiscard]] Tensor matvec(const Tensor& a, const Tensor& x);

@@ -5,43 +5,168 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace gradcomp::tensor {
 
-TopKResult top_k_abs(std::span<const float> data, std::int64_t k) {
-  if (k < 0) throw std::invalid_argument("top_k_abs: k must be non-negative");
-  const auto n = static_cast<std::int64_t>(data.size());
-  k = std::min(k, n);
+namespace {
 
-  TopKResult result;
-  if (k == 0) return result;
+// Below this size the sampled-threshold machinery costs more than the scan
+// it saves.
+constexpr std::int64_t kFastPathMinN = 1 << 13;
+// Fixed filter chunk: boundaries independent of thread count, so the
+// candidate order (ascending index) is deterministic at any --jobs value.
+constexpr std::int64_t kFilterGrain = 1 << 15;
+// Strided-sample size used to estimate the selection threshold.
+constexpr std::int64_t kSampleSize = 2048;
 
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
-  std::iota(idx.begin(), idx.end(), 0);
-  const auto greater_abs = [&](std::int64_t a, std::int64_t b) {
+struct AbsGreater {
+  std::span<const float> data;
+  bool operator()(std::int64_t a, std::int64_t b) const {
     const float fa = std::abs(data[static_cast<std::size_t>(a)]);
     const float fb = std::abs(data[static_cast<std::size_t>(b)]);
     if (fa != fb) return fa > fb;
     return a < b;  // deterministic tie-break
-  };
-  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(), greater_abs);
-  idx.resize(static_cast<std::size_t>(k));
-  std::sort(idx.begin(), idx.end());
+  }
+};
 
-  result.indices = std::move(idx);
-  result.values.reserve(static_cast<std::size_t>(k));
-  for (auto i : result.indices) result.values.push_back(data[static_cast<std::size_t>(i)]);
-  return result;
+// Final step shared by both paths: `selected` holds >= k candidate indices
+// that are a superset of the true top-k; pick exactly k, sort ascending,
+// gather values.
+void finish_selection(std::span<const float> data, std::int64_t k,
+                      std::vector<std::int64_t>& selected, TopKResult& out) {
+  std::nth_element(selected.begin(), selected.begin() + (k - 1), selected.end(),
+                   AbsGreater{data});
+  selected.resize(static_cast<std::size_t>(k));
+  std::sort(selected.begin(), selected.end());
+
+  out.indices.assign(selected.begin(), selected.end());
+  out.values.clear();
+  out.values.reserve(static_cast<std::size_t>(k));
+  for (auto i : selected) out.values.push_back(data[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace
+
+void top_k_abs_exact_into(std::span<const float> data, std::int64_t k, TopKResult& out,
+                          Workspace* ws) {
+  if (k < 0) throw std::invalid_argument("top_k_abs: k must be non-negative");
+  const auto n = static_cast<std::int64_t>(data.size());
+  k = std::min(k, n);
+
+  out.indices.clear();
+  out.values.clear();
+  if (k == 0) return;
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  w.idx.resize(static_cast<std::size_t>(n));
+  std::iota(w.idx.begin(), w.idx.end(), 0);
+  finish_selection(data, k, w.idx, out);
+}
+
+void top_k_abs_into(std::span<const float> data, std::int64_t k, TopKResult& out,
+                    Workspace* ws) {
+  if (k < 0) throw std::invalid_argument("top_k_abs: k must be non-negative");
+  const auto n = static_cast<std::int64_t>(data.size());
+  k = std::min(k, n);
+
+  // Small input, or k so large the filter cannot prune much: exact path.
+  if (n < kFastPathMinN || k * 4 >= n) {
+    top_k_abs_exact_into(data, k, out, ws);
+    return;
+  }
+
+  Workspace local;
+  Workspace& w = ws ? *ws : local;
+  auto& pool = core::global_pool();
+
+  // Pass 1: estimate a conservative threshold t from a strided sample.
+  // Picking the sample order statistic at ~3x the selection fraction (plus
+  // slack) makes t a lower bound of the true k-th magnitude with high
+  // probability; correctness never depends on it (see count check below).
+  const std::int64_t s = std::min<std::int64_t>(kSampleSize, n);
+  const std::int64_t stride = n / s;
+  w.sample.resize(static_cast<std::size_t>(s));
+  for (std::int64_t i = 0; i < s; ++i)
+    w.sample[static_cast<std::size_t>(i)] = std::abs(data[static_cast<std::size_t>(i * stride)]);
+  const double frac = static_cast<double>(k) / static_cast<double>(n);
+  const std::int64_t pos = std::min<std::int64_t>(
+      s - 1, static_cast<std::int64_t>(3.0 * frac * static_cast<double>(s)) + 16);
+  std::nth_element(w.sample.begin(), w.sample.begin() + pos, w.sample.end(),
+                   std::greater<float>());
+  const float t = w.sample[static_cast<std::size_t>(pos)];
+
+  // Pass 2a: per-chunk survivor counts (fixed chunk boundaries).
+  const std::int64_t nchunks = (n + kFilterGrain - 1) / kFilterGrain;
+  w.chunk_off.resize(static_cast<std::size_t>(nchunks) + 1);
+  pool.parallel_for(0, n, kFilterGrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::int64_t count = 0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      count += std::abs(data[static_cast<std::size_t>(i)]) >= t ? 1 : 0;
+    w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain) + 1] = count;
+  });
+  w.chunk_off[0] = 0;
+  for (std::int64_t c = 0; c < nchunks; ++c)
+    w.chunk_off[static_cast<std::size_t>(c) + 1] += w.chunk_off[static_cast<std::size_t>(c)];
+  const std::int64_t m = w.chunk_off[static_cast<std::size_t>(nchunks)];
+
+  // Candidates cover the top-k iff m >= k: every element with |x| >= the
+  // true k-th magnitude then satisfies |x| >= t, so the exact selection
+  // over the candidates equals the exact selection over the full vector.
+  // m < k means the sampled threshold was too aggressive: fall back.
+  // A huge m (heavy ties / flat distributions) is still correct but would
+  // filter nothing, so the exact path is the better choice there too.
+  if (m < k || m > std::max<std::int64_t>(8 * k, 4096)) {
+    top_k_abs_exact_into(data, k, out, ws);
+    return;
+  }
+
+  // Pass 2b: write survivors at their chunk's offset — ascending index
+  // order overall, independent of thread count.
+  w.candidates.resize(static_cast<std::size_t>(m));
+  pool.parallel_for(0, n, kFilterGrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::int64_t at = w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain)];
+    for (std::int64_t i = lo; i < hi; ++i)
+      if (std::abs(data[static_cast<std::size_t>(i)]) >= t)
+        w.candidates[static_cast<std::size_t>(at++)] = i;
+  });
+
+  finish_selection(data, k, w.candidates, out);
+}
+
+TopKResult top_k_abs(std::span<const float> data, std::int64_t k, Workspace* ws) {
+  TopKResult out;
+  top_k_abs_into(data, k, out, ws);
+  return out;
+}
+
+TopKResult top_k_abs_exact(std::span<const float> data, std::int64_t k, Workspace* ws) {
+  TopKResult out;
+  top_k_abs_exact_into(data, k, out, ws);
+  return out;
+}
+
+void scatter(std::span<const std::int64_t> indices, std::span<const float> values,
+             std::span<float> dense) {
+  if (indices.size() != values.size())
+    throw std::invalid_argument("scatter: indices/values size mismatch");
+  const auto n = static_cast<std::int64_t>(dense.size());
+  std::fill(dense.begin(), dense.end(), 0.0F);
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const std::int64_t i = indices[j];
+    if (i < 0 || i >= n) throw std::out_of_range("scatter: index out of range");
+    dense[static_cast<std::size_t>(i)] = values[j];
+  }
+}
+
+void scatter(const TopKResult& sparse, std::span<float> dense) {
+  scatter(sparse.indices, sparse.values, dense);
 }
 
 std::vector<float> scatter(const TopKResult& sparse, std::int64_t n) {
-  if (sparse.indices.size() != sparse.values.size())
-    throw std::invalid_argument("scatter: indices/values size mismatch");
   std::vector<float> dense(static_cast<std::size_t>(n), 0.0F);
-  for (std::size_t j = 0; j < sparse.indices.size(); ++j) {
-    const std::int64_t i = sparse.indices[j];
-    if (i < 0 || i >= n) throw std::out_of_range("scatter: index out of range");
-    dense[static_cast<std::size_t>(i)] = sparse.values[j];
-  }
+  scatter(sparse, std::span<float>(dense));
   return dense;
 }
 

@@ -4,6 +4,22 @@
 // (Table 2: 240-295 ms on ResNet-50) — it requires a pass over the full
 // gradient regardless of how small k is, which is why TopK-1% is barely
 // cheaper than TopK-20%.
+//
+// Two implementations share one result contract:
+//   * `top_k_abs_exact` — iota + nth_element over an index vector, the
+//     reference semantics (ties broken by lower index, ascending indices);
+//   * `top_k_abs` — a two-pass sampled-threshold fast path: estimate a
+//     conservative magnitude threshold from a strided sample, then filter
+//     the full vector in parallel and run the exact selection on the small
+//     candidate set. Whenever the candidate set covers k elements the
+//     result is IDENTICAL to the exact path (the candidates are a superset
+//     of the true top-k and the comparator is unchanged); otherwise it
+//     falls back to the exact path. Small inputs go straight to the exact
+//     path.
+//
+// Passing a `Workspace` keeps the scratch vectors (and the result's own
+// index/value storage via the *_into overloads) alive across calls, so the
+// steady state of a training loop performs no per-call allocation.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +33,40 @@ struct TopKResult {
   std::vector<float> values;          // original (signed) values at those positions
 };
 
+// Reusable scratch for top_k_abs / top_k_abs_exact. Plain buffers; safe to
+// share across layers of one (single-threaded) compressor, not across
+// threads.
+struct Workspace {
+  std::vector<std::int64_t> idx;         // exact path: full index vector
+  std::vector<float> sample;             // fast path: sampled magnitudes
+  std::vector<std::int64_t> candidates;  // fast path: threshold survivors
+  std::vector<std::int64_t> chunk_off;   // fast path: per-chunk write offsets
+};
+
 // Returns the k elements of `data` largest in absolute value. k is clamped
 // to data.size(). Indices are returned in ascending order (deterministic,
 // and friendlier to the decoder's scatter). Ties broken by lower index.
-[[nodiscard]] TopKResult top_k_abs(std::span<const float> data, std::int64_t k);
+[[nodiscard]] TopKResult top_k_abs(std::span<const float> data, std::int64_t k,
+                                   Workspace* ws = nullptr);
+
+// Reference implementation (full nth_element); bit-identical contract.
+[[nodiscard]] TopKResult top_k_abs_exact(std::span<const float> data, std::int64_t k,
+                                         Workspace* ws = nullptr);
+
+// Allocation-free variants: reuse `out`'s storage across calls.
+void top_k_abs_into(std::span<const float> data, std::int64_t k, TopKResult& out,
+                    Workspace* ws = nullptr);
+void top_k_abs_exact_into(std::span<const float> data, std::int64_t k, TopKResult& out,
+                          Workspace* ws = nullptr);
 
 // Scatters values back into a zeroed dense vector of length n.
 [[nodiscard]] std::vector<float> scatter(const TopKResult& sparse, std::int64_t n);
+
+// In-place scatter into caller memory: zero-fills `dense`, then writes
+// values at their indices. The decode-side primitive of the sparse
+// compressors (TopK/RandomK/DGC) — no per-call allocation.
+void scatter(const TopKResult& sparse, std::span<float> dense);
+void scatter(std::span<const std::int64_t> indices, std::span<const float> values,
+             std::span<float> dense);
 
 }  // namespace gradcomp::tensor

@@ -1,0 +1,156 @@
+// The parallel execution layer's contract: fixed chunk boundaries and the
+// ordered reduce make every pooled computation bit-exact at any thread
+// count — the property the --jobs flag, the sweep drivers and the fast
+// kernels all rely on.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gradcomp {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  core::ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+  core::ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  for (int threads = 1; threads <= 8; ++threads) {
+    core::ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunkBoundariesAreFixed) {
+  // Chunk boundaries must depend only on (begin, end, grain): record them at
+  // several thread counts and compare.
+  const auto boundaries_at = [](int threads) {
+    core::ThreadPool pool(threads);
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks(100);
+    std::atomic<std::size_t> at{0};
+    pool.parallel_for(3, 1000, 13, [&](std::int64_t lo, std::int64_t hi) {
+      chunks[at.fetch_add(1)] = {lo, hi};
+    });
+    chunks.resize(at.load());
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto expected = boundaries_at(1);
+  for (int threads : {2, 4, 8}) EXPECT_EQ(boundaries_at(threads), expected);
+}
+
+TEST(ThreadPool, OrderedReduceIsBitExactAcrossThreadCounts) {
+  // A float-hostile sequence: alternating magnitudes, so any change of
+  // summation order changes the bits.
+  tensor::Rng rng(11);
+  const tensor::Tensor t = tensor::Tensor::randn({100000}, rng);
+  const auto data = t.data();
+  const auto sum_with = [&](int threads) {
+    core::ThreadPool pool(threads);
+    return pool.reduce_ordered(
+        std::int64_t{0}, static_cast<std::int64_t>(data.size()), 1024, 0.0,
+        [&](std::int64_t lo, std::int64_t hi) {
+          double s = 0.0;
+          for (std::int64_t i = lo; i < hi; ++i)
+            s += static_cast<double>(data[static_cast<std::size_t>(i)]) * 1.000000119;
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  const double expected = sum_with(1);
+  for (int threads : {2, 3, 4, 8}) {
+    const double got = sum_with(threads);
+    EXPECT_EQ(got, expected) << "threads=" << threads;  // bit-exact, not NEAR
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  core::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [&](std::int64_t lo, std::int64_t) {
+                                   if (lo == 42) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after a failed parallel_for.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, 4, [&](std::int64_t lo, std::int64_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  core::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      pool.parallel_for(0, 16, 2, [&](std::int64_t l2, std::int64_t h2) {
+        total += static_cast<int>(h2 - l2);
+      });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, EmptyAndDegenerateRanges) {
+  core::ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(5, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(pool.reduce_ordered(std::int64_t{0}, std::int64_t{0}, 8, 7.0,
+                                [](std::int64_t, std::int64_t) { return 1.0; },
+                                [](double a, double b) { return a + b; }),
+            7.0);
+}
+
+// The sweep-driver guarantee behind bench --jobs: weak_scaling emits
+// bit-identical Measurement values at any pool size.
+TEST(SweepDeterminism, WeakScalingBitExactAcrossJobCounts) {
+  const core::Cluster cluster{8, comm::Network::from_gbps(10.0), models::Device::v100()};
+  sim::SimOptions options;
+  options.jitter_frac = 0.03;
+  options.seed = 7;
+  compress::CompressorConfig config;
+  config.method = compress::Method::kPowerSgd;
+  config.rank = 4;
+  core::Workload workload{models::resnet50(), 64};
+  const sim::MeasurementProtocol protocol{30, 5};
+  const std::vector<int> counts = {4, 8, 16, 32};
+
+  core::set_global_pool_threads(1);
+  const auto serial = sim::weak_scaling(cluster, options, config, workload, counts, protocol);
+  for (int jobs : {2, 4}) {
+    core::set_global_pool_threads(jobs);
+    const auto pooled = sim::weak_scaling(cluster, options, config, workload, counts, protocol);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(pooled[i].workers, serial[i].workers);
+      EXPECT_EQ(pooled[i].sync.mean_s, serial[i].sync.mean_s);
+      EXPECT_EQ(pooled[i].sync.stddev_s, serial[i].sync.stddev_s);
+      EXPECT_EQ(pooled[i].compressed.mean_s, serial[i].compressed.mean_s);
+      EXPECT_EQ(pooled[i].compressed.stddev_s, serial[i].compressed.stddev_s);
+      EXPECT_EQ(pooled[i].compressed.mean_encode_s, serial[i].compressed.mean_encode_s);
+      EXPECT_EQ(pooled[i].compressed.mean_comm_s, serial[i].compressed.mean_comm_s);
+    }
+  }
+  core::set_global_pool_threads(0);  // restore the default for other tests
+}
+
+}  // namespace
+}  // namespace gradcomp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "tensor/rng.hpp"
@@ -123,6 +124,97 @@ TEST_P(TopKSweep, CapturesMaximalEnergy) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ks, TopKSweep, ::testing::Values(1, 2, 8, 32, 128, 255, 256));
+
+// --- Fast path vs exact fallback -------------------------------------------
+
+// The fast sampled-threshold path promises bit-identical output to the
+// exact path. Randomized sweep over sizes straddling the fast-path cutoff,
+// with both smooth and heavily tied distributions.
+TEST(TopKFastPath, MatchesExactOnRandomInputs) {
+  Rng rng(17);
+  Workspace ws;
+  for (std::int64_t n : {100, 8191, 8192, 16384, 100000, 262144}) {
+    const Tensor t = Tensor::randn({n}, rng);
+    for (std::int64_t k : {1L, 7L, n / 100 + 1, n / 10, n / 2, n}) {
+      const TopKResult fast = top_k_abs(t.data(), k, &ws);
+      const TopKResult exact = top_k_abs_exact(t.data(), k);
+      ASSERT_EQ(fast.indices, exact.indices) << "n=" << n << " k=" << k;
+      ASSERT_EQ(fast.values, exact.values) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKFastPath, MatchesExactWithMassiveTies) {
+  // Quantize to a handful of magnitudes so the sampled threshold lands on a
+  // value shared by thousands of elements — the worst case for threshold
+  // selection, where tie-breaking by lower index must still hold exactly.
+  Rng rng(18);
+  const std::int64_t n = 65536;
+  Tensor t = Tensor::randn({n}, rng);
+  for (auto& v : t.data()) v = std::round(v * 2.0F) / 2.0F;  // ~7 distinct magnitudes
+  for (std::int64_t k : {1L, 100L, 1000L, 10000L, n / 2}) {
+    const TopKResult fast = top_k_abs(t.data(), k);
+    const TopKResult exact = top_k_abs_exact(t.data(), k);
+    ASSERT_EQ(fast.indices, exact.indices) << "k=" << k;
+    ASSERT_EQ(fast.values, exact.values) << "k=" << k;
+  }
+}
+
+TEST(TopKFastPath, MatchesExactOnConstantInput) {
+  // All elements tie: survivors == n, forcing the oversize fallback.
+  const std::vector<float> data(20000, 1.0F);
+  const TopKResult fast = top_k_abs(data, 50);
+  const TopKResult exact = top_k_abs_exact(data, 50);
+  EXPECT_EQ(fast.indices, exact.indices);
+  EXPECT_EQ(fast.values, exact.values);
+}
+
+TEST(TopKWorkspace, SteadyStateReusesCapacity) {
+  Rng rng(19);
+  const Tensor t = Tensor::randn({100000}, rng);
+  Workspace ws;
+  TopKResult out;
+  top_k_abs_into(t.data(), 1000, out, &ws);  // warm-up sizes everything
+  const auto cap_idx = ws.idx.capacity();
+  const auto cap_sample = ws.sample.capacity();
+  const auto cap_cand = ws.candidates.capacity();
+  const auto cap_off = ws.chunk_off.capacity();
+  const auto cap_indices = out.indices.capacity();
+  const auto cap_values = out.values.capacity();
+  const TopKResult expected = top_k_abs_exact(t.data(), 1000);
+  for (int iter = 0; iter < 5; ++iter) {
+    top_k_abs_into(t.data(), 1000, out, &ws);
+    EXPECT_EQ(out.indices, expected.indices);
+    EXPECT_EQ(out.values, expected.values);
+  }
+  // Steady state must not have grown any buffer (i.e. no reallocation).
+  EXPECT_EQ(ws.idx.capacity(), cap_idx);
+  EXPECT_EQ(ws.sample.capacity(), cap_sample);
+  EXPECT_EQ(ws.candidates.capacity(), cap_cand);
+  EXPECT_EQ(ws.chunk_off.capacity(), cap_off);
+  EXPECT_EQ(out.indices.capacity(), cap_indices);
+  EXPECT_EQ(out.values.capacity(), cap_values);
+}
+
+// --- In-place scatter overloads --------------------------------------------
+
+TEST(ScatterInPlace, MatchesAllocatingOverload) {
+  TopKResult sparse;
+  sparse.indices = {0, 2, 4};
+  sparse.values = {1.0F, -2.0F, 3.0F};
+  std::vector<float> dense(6, 9.0F);  // pre-existing garbage must be cleared
+  scatter(sparse, dense);
+  EXPECT_EQ(dense, scatter(sparse, 6));
+}
+
+TEST(ScatterInPlace, SpanOverloadValidates) {
+  std::vector<float> dense(4);
+  const std::vector<std::int64_t> indices = {1, 9};
+  const std::vector<float> values = {1.0F, 2.0F};
+  EXPECT_THROW(scatter(indices, values, dense), std::out_of_range);
+  const std::vector<std::int64_t> short_idx = {1};
+  EXPECT_THROW(scatter(short_idx, values, dense), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace gradcomp::tensor
