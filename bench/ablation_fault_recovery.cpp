@@ -1,0 +1,194 @@
+// Ablation: fault injection and recovery.
+//
+// Part 1 (simulator): iteration-time cost of each fault class — degraded
+// links, heavy-tailed stragglers, a permanent rank failure — for syncSGD
+// and PowerSGD across scales. Compression helps against degraded LINKS
+// (it shrinks the bytes crossing the slow path) but not against compute
+// stretch or the detection/shrink stall of a failure, sharpening the
+// paper's "compression only buys back communication" message.
+//
+// Part 2 (real execution): a p=4 in-process ThreadComm training run loses
+// rank 2 mid-run and finishes anyway, once via shrink-and-continue and once
+// via checkpoint-restore, with final loss compared against the fault-free
+// run.
+//
+// Emits BENCH_fault.json (google-benchmark-style) for plotting.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/fault_plan.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+struct JsonRow {
+  std::string name;
+  double value = 0.0;
+  std::string unit = "ms";
+};
+
+using gradcomp::core::FaultPlan;
+using gradcomp::core::FaultPlanOptions;
+using gradcomp::core::StragglerDist;
+
+enum class Scenario { kClean, kDegradedLink, kLognormal, kRankFailure };
+
+gradcomp::sim::SimOptions scenario_options(Scenario s, int workers, int iterations) {
+  using namespace gradcomp;
+  sim::SimOptions o = bench::testbed_options(0.0);
+  FaultPlanOptions fp;
+  fp.world_size = workers;
+  fp.iterations = iterations;
+  fp.seed = 23;
+  switch (s) {
+    case Scenario::kClean:
+      return o;
+    case Scenario::kDegradedLink:
+      fp.link_degrade_prob = 0.05;
+      fp.link_factor = 0.25;  // 10 Gbps -> 2.5 Gbps while a window is open
+      fp.link_duration = 10;
+      break;
+    case Scenario::kLognormal:
+      fp.straggler_dist = StragglerDist::kLognormal;
+      fp.lognormal_sigma = 0.5;
+      break;
+    case Scenario::kRankFailure:
+      fp.fail_rank = workers / 2;
+      fp.fail_at_iteration = iterations / 2;
+      break;
+  }
+  o.fault_plan = FaultPlan::generate(fp);
+  return o;
+}
+
+std::string scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kClean: return "clean";
+    case Scenario::kDegradedLink: return "degraded_link";
+    case Scenario::kLognormal: return "lognormal";
+    case Scenario::kRankFailure: return "rank_failure";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gradcomp::bench::init_jobs(argc, argv);
+  using namespace gradcomp;
+  bench::print_header(
+      "Ablation — fault injection & recovery (ResNet-50, batch 64/GPU, 10 Gbps)",
+      "compression mitigates degraded links but not compute stretch or failure stalls; "
+      "a real p=4 run survives a mid-run rank death under both recovery policies");
+
+  const auto workload = bench::make_workload(models::resnet50(), 64);
+  const auto ps = bench::make_config(compress::Method::kPowerSgd, 4);
+  sim::MeasurementProtocol protocol;
+  protocol.iterations = 110;
+  protocol.warmup = 10;
+
+  std::vector<JsonRow> json_rows;
+
+  const std::vector<Scenario> scenarios = {Scenario::kClean, Scenario::kDegradedLink,
+                                           Scenario::kLognormal, Scenario::kRankFailure};
+  stats::Table table({"GPUs", "scenario", "syncSGD (ms)", "PowerSGD (ms)", "speedup"});
+  for (int p : {8, 32, 96}) {
+    const auto cluster = bench::default_cluster(p);
+    for (const Scenario s : scenarios) {
+      const auto opts = scenario_options(s, p, protocol.iterations);
+      const auto sync = sim::measure(cluster, opts, {}, workload, protocol);
+      const auto comp = sim::measure(cluster, opts, ps, workload, protocol);
+      table.add_row({std::to_string(p), scenario_name(s), stats::Table::fmt_ms(sync.mean_s),
+                     stats::Table::fmt_ms(comp.mean_s),
+                     stats::Table::fmt(sync.mean_s / comp.mean_s, 2) + "x"});
+      json_rows.push_back(
+          {"sim/" + scenario_name(s) + "/syncSGD/p" + std::to_string(p), sync.mean_s * 1e3});
+      json_rows.push_back(
+          {"sim/" + scenario_name(s) + "/powerSGD/p" + std::to_string(p), comp.mean_s * 1e3});
+    }
+  }
+  bench::emit(table);
+
+  std::cout << "\nShape check: the PowerSGD speedup is LARGEST under degraded_link (its\n"
+               "bytes shrink the slow path) and smallest under lognormal/rank_failure\n"
+               "(compute stretch and detection stalls hit both columns equally).\n";
+
+  // --- Part 2: real recovery on the in-process trainer -----------------------
+  bench::print_header(
+      "Real recovery — p=4 ThreadComm run, rank 2 dies at step 10 of 30",
+      "survivors shrink to p=3 and finish; final loss within tolerance of fault-free");
+
+  struct RunResult {
+    double loss = 0.0;
+    double accuracy = 0.0;
+    int survivors = 0;
+    std::size_t failures = 0;
+  };
+  const auto dataset = train::make_blobs(4, 16, 50, 0.6F, 21);
+  const auto run = [&](bool faulted, train::RecoveryPolicy policy) {
+    train::TrainerConfig cfg;
+    cfg.world_size = 4;
+    cfg.layer_dims = {16, 32, 4};
+    cfg.optimizer.lr = 0.1;
+    cfg.seed = 7;
+    cfg.recovery = policy;
+    cfg.checkpoint_every = 5;
+    if (faulted) {
+      FaultPlanOptions fp;
+      fp.world_size = 4;
+      fp.iterations = 30;
+      fp.fail_rank = 2;
+      fp.fail_at_iteration = 10;
+      cfg.fault_plan = FaultPlan::generate(fp);
+    }
+    train::DataParallelTrainer trainer(cfg, dataset);
+    trainer.train(30);
+    return RunResult{trainer.loss(), trainer.accuracy(), trainer.active_workers(),
+                     trainer.failures().size()};
+  };
+
+  const RunResult clean = run(false, train::RecoveryPolicy::kShrinkContinue);
+  const RunResult shrunk = run(true, train::RecoveryPolicy::kShrinkContinue);
+  const RunResult restored = run(true, train::RecoveryPolicy::kRestoreCheckpoint);
+
+  stats::Table recovery({"run", "final loss", "accuracy", "survivors", "failures"});
+  const auto row = [&](const std::string& name, const RunResult& t) {
+    recovery.add_row({name, stats::Table::fmt(t.loss, 4), stats::Table::fmt(t.accuracy, 3),
+                      std::to_string(t.survivors), std::to_string(t.failures)});
+  };
+  row("fault-free", clean);
+  row("shrink-and-continue", shrunk);
+  row("checkpoint-restore", restored);
+  bench::emit(recovery);
+
+  json_rows.push_back({"train/fault_free/final_loss", clean.loss, "loss"});
+  json_rows.push_back({"train/shrink_continue/final_loss", shrunk.loss, "loss"});
+  json_rows.push_back({"train/checkpoint_restore/final_loss", restored.loss, "loss"});
+
+  std::cout << "\nShape check: both recovered runs report 3 survivors, exactly one\n"
+               "failure, and a final loss close to the fault-free run.\n";
+
+  // --- BENCH_fault.json ------------------------------------------------------
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"context\": {\n"
+       << "    \"executable\": \"ablation_fault_recovery\",\n"
+       << "    \"model\": \"resnet50\",\n"
+       << "    \"iterations\": " << protocol.iterations - protocol.warmup << "\n"
+       << "  },\n"
+       << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < json_rows.size(); ++i) {
+    const auto& r = json_rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"real_time\": " << r.value
+         << ", \"cpu_time\": " << r.value << ", \"time_unit\": \"" << r.unit << "\"}"
+         << (i + 1 < json_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << '\n' << json.str();
+  std::ofstream("BENCH_fault.json") << json.str();
+  return 0;
+}

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
-#include <stdexcept>
 #include <thread>
 
 namespace gradcomp::comm {
@@ -24,12 +23,12 @@ std::vector<std::size_t> chunk_offsets(std::size_t n, int p) {
 
 int mod(int a, int p) { return ((a % p) + p) % p; }
 
-}  // namespace
+std::string failure_message(const std::vector<int>& failed) {
+  std::string msg = "RankFailure: dead rank(s)";
+  for (const int r : failed) msg += ' ' + std::to_string(r);
+  return msg;
+}
 
-namespace {
-
-// Validated before std::barrier construction, whose behaviour is undefined
-// for negative counts.
 int checked_world_size(int world_size) {
   if (world_size < 1) throw std::invalid_argument("ThreadComm: world size must be >= 1");
   return world_size;
@@ -37,23 +36,203 @@ int checked_world_size(int world_size) {
 
 }  // namespace
 
-ThreadComm::ThreadComm(int world_size)
-    : world_size_(checked_world_size(world_size)),
-      barrier_(world_size_),
-      mail_(static_cast<std::size_t>(world_size_)),
-      byte_slots_(static_cast<std::size_t>(world_size_)) {}
+RankFailure::RankFailure(std::vector<int> failed)
+    : std::runtime_error(failure_message(failed)), failed_(std::move(failed)) {}
 
-void ThreadComm::validate_rank(int rank) const {
-  if (rank < 0 || rank >= world_size_)
-    throw std::invalid_argument("ThreadComm: rank out of range");
+ThreadComm::ThreadComm(int world_size, std::chrono::milliseconds timeout)
+    : initial_world_size_(checked_world_size(world_size)),
+      timeout_(timeout),
+      arrived_flag_(static_cast<std::size_t>(world_size), 0),
+      active_(static_cast<std::size_t>(world_size), 1),
+      failed_(static_cast<std::size_t>(world_size), 0),
+      active_count_(world_size),
+      shrink_flag_(static_cast<std::size_t>(world_size), 0),
+      dense_(static_cast<std::size_t>(world_size)),
+      ranks_(static_cast<std::size_t>(world_size)),
+      mail_(static_cast<std::size_t>(world_size)),
+      byte_slots_(static_cast<std::size_t>(world_size)) {
+  if (timeout_.count() <= 0)
+    throw std::invalid_argument("ThreadComm: timeout must be positive");
+  for (int r = 0; r < world_size; ++r) {
+    dense_[static_cast<std::size_t>(r)] = r;
+    ranks_[static_cast<std::size_t>(r)] = r;
+  }
 }
 
-void ThreadComm::barrier() { barrier_.arrive_and_wait(); }
+void ThreadComm::set_timeout(std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0)
+    throw std::invalid_argument("ThreadComm: timeout must be positive");
+  const std::lock_guard<std::mutex> lock(mu_);
+  timeout_ = timeout;
+}
+
+void ThreadComm::validate_rank(int rank) const {
+  if (rank < 0 || rank >= initial_world_size_)
+    throw std::invalid_argument("ThreadComm: rank out of range");
+  // active_ only mutates while every rank thread is parked inside shrink(),
+  // so this unlocked read is race-free for participating threads.
+  if (!active_[static_cast<std::size_t>(rank)])
+    throw std::logic_error("ThreadComm: removed rank used the group");
+}
+
+bool ThreadComm::is_active(int rank) const {
+  if (rank < 0 || rank >= initial_world_size_) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
+  return active_[static_cast<std::size_t>(rank)] != 0 &&
+         failed_[static_cast<std::size_t>(rank)] == 0;
+}
+
+std::vector<int> ThreadComm::active_ranks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)])
+      out.push_back(r);
+  return out;
+}
+
+std::vector<int> ThreadComm::failed_ranks() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
+  return out;
+}
+
+void ThreadComm::throw_failure_locked() const {
+  std::vector<int> failed;
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) failed.push_back(r);
+  if (failed.empty()) failed.push_back(-1);  // abort without blame — should not happen
+  throw RankFailure(std::move(failed));
+}
+
+void ThreadComm::sync(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) throw_failure_locked();
+  const std::uint64_t my_epoch = epoch_;
+  arrived_flag_[static_cast<std::size_t>(rank)] = 1;
+  ++arrived_;
+  if (arrived_ == active_count_.load(std::memory_order_relaxed)) {
+    arrived_ = 0;
+    for (const int r : ranks_) arrived_flag_[static_cast<std::size_t>(r)] = 0;
+    ++epoch_;
+    cv_.notify_all();
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (epoch_ == my_epoch) {
+    if (aborted_) throw_failure_locked();
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && epoch_ == my_epoch &&
+        !aborted_) {
+      // Deadline passed with the barrier incomplete: blame every active rank
+      // that has not arrived — it is hung or dead — and abort the collective
+      // so the survivors get an error instead of waiting forever.
+      for (int r = 0; r < initial_world_size_; ++r) {
+        const auto u = static_cast<std::size_t>(r);
+        if (active_[u] && !failed_[u] && !arrived_flag_[u]) failed_[u] = 1;
+      }
+      aborted_ = true;
+      cv_.notify_all();
+    }
+  }
+  // The barrier generation completed before any abort: success.
+}
+
+void ThreadComm::fail(int rank) {
+  if (rank < 0 || rank >= initial_world_size_)
+    throw std::invalid_argument("ThreadComm::fail: rank out of range");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto u = static_cast<std::size_t>(rank);
+  if (!active_[u] || failed_[u]) return;  // already dead
+  failed_[u] = 1;
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+void ThreadComm::rebuild_dense_locked() {
+  int d = 0;
+  for (int r = 0; r < initial_world_size_; ++r) {
+    const auto u = static_cast<std::size_t>(r);
+    if (active_[u]) {
+      dense_[u] = d;
+      ranks_[static_cast<std::size_t>(d)] = r;
+      ++d;
+    } else {
+      dense_[u] = -1;
+    }
+  }
+  ranks_.resize(static_cast<std::size_t>(d));
+  active_count_.store(d, std::memory_order_relaxed);
+}
+
+std::vector<int> ThreadComm::shrink(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
+      failed_[static_cast<std::size_t>(rank)])
+    throw std::logic_error("ThreadComm::shrink: caller is not a live group member");
+
+  const std::uint64_t my_epoch = shrink_epoch_;
+  shrink_flag_[static_cast<std::size_t>(rank)] = 1;
+  ++shrink_arrived_;
+
+  const auto survivors = [&] {
+    int c = 0;
+    for (int r = 0; r < initial_world_size_; ++r)
+      if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)]) ++c;
+    return c;
+  };
+  const auto complete = [&] {
+    shrink_removed_.clear();
+    for (int r = 0; r < initial_world_size_; ++r) {
+      const auto u = static_cast<std::size_t>(r);
+      if (failed_[u]) {
+        shrink_removed_.push_back(r);
+        active_[u] = 0;
+        failed_[u] = 0;
+      }
+    }
+    rebuild_dense_locked();
+    arrived_ = 0;
+    std::fill(arrived_flag_.begin(), arrived_flag_.end(), 0);
+    std::fill(shrink_flag_.begin(), shrink_flag_.end(), 0);
+    aborted_ = false;
+    shrink_arrived_ = 0;
+    ++shrink_epoch_;
+    cv_.notify_all();
+  };
+
+  if (shrink_arrived_ == survivors()) {
+    complete();
+    return shrink_removed_;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (shrink_epoch_ == my_epoch) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        shrink_epoch_ == my_epoch) {
+      // A survivor died during recovery without declaring: blame the
+      // missing ones and try to complete with whoever showed up.
+      for (int r = 0; r < initial_world_size_; ++r) {
+        const auto u = static_cast<std::size_t>(r);
+        if (active_[u] && !failed_[u] && !shrink_flag_[u]) failed_[u] = 1;
+      }
+      if (shrink_arrived_ == survivors()) complete();
+    }
+  }
+  return shrink_removed_;
+}
+
+void ThreadComm::barrier(int rank) {
+  validate_rank(rank);
+  sync(rank);
+}
 
 void ThreadComm::allreduce_sum(int rank, std::span<float> data, Algorithm algorithm) {
   validate_rank(rank);
-  if (world_size_ == 1) {
-    if (rank == 0) ++allreduce_ops_;
+  const int p = active_count_.load(std::memory_order_relaxed);
+  const int me = dense_[static_cast<std::size_t>(rank)];
+  if (p == 1) {
+    ++allreduce_ops_;
     return;
   }
   if (algorithm == Algorithm::kTree) {
@@ -61,127 +240,140 @@ void ThreadComm::allreduce_sum(int rank, std::span<float> data, Algorithm algori
   } else {
     allreduce_ring(rank, data);
   }
-  if (rank == 0) ++allreduce_ops_;
-  barrier();
+  if (me == 0) ++allreduce_ops_;
+  sync(rank);
 }
 
 void ThreadComm::allreduce_ring(int rank, std::span<float> data) {
-  const int p = world_size_;
+  const int p = active_count_.load(std::memory_order_relaxed);
+  const int me = dense_[static_cast<std::size_t>(rank)];
   const auto offsets = chunk_offsets(data.size(), p);
   const auto chunk = [&](int c) {
     const std::size_t lo = offsets[static_cast<std::size_t>(c)];
     const std::size_t hi = offsets[static_cast<std::size_t>(c) + 1];
     return data.subspan(lo, hi - lo);
   };
-  const int next = mod(rank + 1, p);
+  const int next = ranks_[static_cast<std::size_t>(mod(me + 1, p))];
 
-  // Phase 1: ring reduce-scatter. After p-1 steps rank r owns the fully
-  // reduced chunk (r+1) mod p.
+  // Phase 1: ring reduce-scatter. After p-1 steps dense rank r owns the
+  // fully reduced chunk (r+1) mod p.
   for (int s = 0; s < p - 1; ++s) {
-    const int send_c = mod(rank - s, p);
-    const int recv_c = mod(rank - s - 1, p);
+    const int send_c = mod(me - s, p);
+    const int recv_c = mod(me - s - 1, p);
     auto out = chunk(send_c);
     mail_[static_cast<std::size_t>(next)].assign(out.begin(), out.end());
-    barrier();
+    sync(rank);
     const auto& in = mail_[static_cast<std::size_t>(rank)];
     auto acc = chunk(recv_c);
     if (in.size() != acc.size()) throw std::logic_error("allreduce_sum: chunk size mismatch");
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
-    barrier();
+    sync(rank);
   }
 
   // Phase 2: ring all-gather of the reduced chunks.
   for (int s = 0; s < p - 1; ++s) {
-    const int send_c = mod(rank + 1 - s, p);
-    const int recv_c = mod(rank - s, p);
+    const int send_c = mod(me + 1 - s, p);
+    const int recv_c = mod(me - s, p);
     auto out = chunk(send_c);
     mail_[static_cast<std::size_t>(next)].assign(out.begin(), out.end());
-    barrier();
+    sync(rank);
     const auto& in = mail_[static_cast<std::size_t>(rank)];
     auto dst = chunk(recv_c);
     if (in.size() != dst.size()) throw std::logic_error("allreduce_sum: chunk size mismatch");
     std::copy(in.begin(), in.end(), dst.begin());
-    barrier();
+    sync(rank);
   }
 }
 
 void ThreadComm::allreduce_tree(int rank, std::span<float> data) {
-  const int p = world_size_;
+  const int p = active_count_.load(std::memory_order_relaxed);
+  const int me = dense_[static_cast<std::size_t>(rank)];
   int rounds = 0;
   while ((1 << rounds) < p) ++rounds;
 
-  // Binomial reduce toward rank 0: in round k, rank r with bit k set (and
-  // lower bits clear) sends its partial sum to r - 2^k.
+  // Binomial reduce toward dense rank 0: in round k, dense rank r with bit k
+  // set (and lower bits clear) sends its partial sum to r - 2^k.
   for (int k = 0; k < rounds; ++k) {
     const int stride = 1 << k;
     const int group = stride << 1;
-    const bool sender = rank % group == stride;
-    const bool receiver = rank % group == 0 && rank + stride < p;
-    if (sender) mail_[static_cast<std::size_t>(rank - stride)].assign(data.begin(), data.end());
-    barrier();
+    const bool sender = me % group == stride;
+    const bool receiver = me % group == 0 && me + stride < p;
+    if (sender) {
+      const int peer = ranks_[static_cast<std::size_t>(me - stride)];
+      mail_[static_cast<std::size_t>(peer)].assign(data.begin(), data.end());
+    }
+    sync(rank);
     if (receiver) {
       const auto& in = mail_[static_cast<std::size_t>(rank)];
       if (in.size() != data.size())
         throw std::logic_error("allreduce_tree: message size mismatch");
       for (std::size_t i = 0; i < data.size(); ++i) data[i] += in[i];
     }
-    barrier();
+    sync(rank);
   }
 
-  // Binomial broadcast from rank 0, mirroring the reduce.
+  // Binomial broadcast from dense rank 0, mirroring the reduce.
   for (int k = rounds - 1; k >= 0; --k) {
     const int stride = 1 << k;
     const int group = stride << 1;
-    const bool sender = rank % group == 0 && rank + stride < p;
-    const bool receiver = rank % group == stride;
-    if (sender) mail_[static_cast<std::size_t>(rank + stride)].assign(data.begin(), data.end());
-    barrier();
+    const bool sender = me % group == 0 && me + stride < p;
+    const bool receiver = me % group == stride;
+    if (sender) {
+      const int peer = ranks_[static_cast<std::size_t>(me + stride)];
+      mail_[static_cast<std::size_t>(peer)].assign(data.begin(), data.end());
+    }
+    sync(rank);
     if (receiver) {
       const auto& in = mail_[static_cast<std::size_t>(rank)];
       if (in.size() != data.size())
         throw std::logic_error("allreduce_tree: message size mismatch");
       std::copy(in.begin(), in.end(), data.begin());
     }
-    barrier();
+    sync(rank);
   }
 }
 
 std::vector<std::vector<std::byte>> ThreadComm::allgather(int rank,
                                                           std::span<const std::byte> bytes) {
   validate_rank(rank);
+  const int p = active_count_.load(std::memory_order_relaxed);
   byte_slots_[static_cast<std::size_t>(rank)].assign(bytes.begin(), bytes.end());
-  barrier();
-  std::vector<std::vector<std::byte>> result = byte_slots_;
-  barrier();
+  if (p > 1) sync(rank);
+  std::vector<std::vector<std::byte>> result;
+  result.reserve(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d)
+    result.push_back(byte_slots_[static_cast<std::size_t>(ranks_[static_cast<std::size_t>(d)])]);
+  if (p > 1) sync(rank);
   return result;
 }
 
 void ThreadComm::allgather_ring(int rank, std::span<const float> mine, std::span<float> out) {
   validate_rank(rank);
-  const int p = world_size_;
+  const int p = active_count_.load(std::memory_order_relaxed);
+  const int me = dense_[static_cast<std::size_t>(rank)];
   const std::size_t block = mine.size();
   if (out.size() != block * static_cast<std::size_t>(p))
     throw std::invalid_argument("allgather_ring: output must hold world_size blocks");
 
   // Place own block, then forward the block received last step for p-1 steps.
-  std::copy(mine.begin(), mine.end(), out.begin() + static_cast<std::ptrdiff_t>(
-                                                        static_cast<std::size_t>(rank) * block));
+  std::copy(mine.begin(), mine.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(me) * block));
   if (p == 1) return;
-  const int next = mod(rank + 1, p);
+  const int next = ranks_[static_cast<std::size_t>(mod(me + 1, p))];
   for (int s = 0; s < p - 1; ++s) {
-    // In step s, rank r sends the block of rank (r - s) mod p and receives
-    // the block of rank (r - s - 1) mod p from its predecessor.
-    const int send_owner = mod(rank - s, p);
-    const int recv_owner = mod(rank - s - 1, p);
+    // In step s, dense rank r sends the block of dense rank (r - s) mod p and
+    // receives the block of (r - s - 1) mod p from its predecessor.
+    const int send_owner = mod(me - s, p);
+    const int recv_owner = mod(me - s - 1, p);
     const auto send_at = out.subspan(static_cast<std::size_t>(send_owner) * block, block);
     mail_[static_cast<std::size_t>(next)].assign(send_at.begin(), send_at.end());
-    barrier();
+    sync(rank);
     const auto& in = mail_[static_cast<std::size_t>(rank)];
     if (in.size() != block) throw std::logic_error("allgather_ring: block size mismatch");
     std::copy(in.begin(), in.end(),
               out.begin() + static_cast<std::ptrdiff_t>(
                                 static_cast<std::size_t>(recv_owner) * block));
-    barrier();
+    sync(rank);
   }
 }
 
@@ -201,29 +393,38 @@ std::vector<std::vector<float>> ThreadComm::allgather_floats(int rank,
 void ThreadComm::broadcast(int rank, int root, std::span<float> data) {
   validate_rank(rank);
   validate_rank(root);
+  if (active_count_.load(std::memory_order_relaxed) == 1) return;
   if (rank == root) {
     broadcast_src_ = data.data();
     broadcast_len_ = data.size();
   }
-  barrier();
+  sync(rank);
   if (rank != root) {
     if (broadcast_len_ != data.size()) throw std::invalid_argument("broadcast: size mismatch");
     std::copy(broadcast_src_, broadcast_src_ + broadcast_len_, data.begin());
   }
-  barrier();
+  sync(rank);
 }
 
 void run_ranks(int world_size, const std::function<void(int)>& body) {
   if (world_size < 1) throw std::invalid_argument("run_ranks: world size must be >= 1");
+  std::vector<int> ranks(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) ranks[static_cast<std::size_t>(r)] = r;
+  run_ranks(ranks, body);
+}
+
+void run_ranks(std::span<const int> ranks, const std::function<void(int)>& body) {
+  if (ranks.empty()) throw std::invalid_argument("run_ranks: no ranks to run");
   std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_size));
-  threads.reserve(static_cast<std::size_t>(world_size));
-  for (int r = 0; r < world_size; ++r) {
-    threads.emplace_back([&, r] {
+  std::vector<std::exception_ptr> errors(ranks.size());
+  threads.reserve(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const int r = ranks[i];
+    threads.emplace_back([&, r, i] {
       try {
         body(r);
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[i] = std::current_exception();
       }
     });
   }

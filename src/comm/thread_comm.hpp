@@ -6,30 +6,87 @@
 // reduce-scatter steps followed by p-1 all-gather steps, chunked), not a
 // shortcut shared-memory sum, so the aggregation path compression methods
 // must be compatible with is exercised for real.
+//
+// Fault tolerance: every blocking wait carries a deadline, so a rank that
+// stops participating surfaces as a RankFailure error on the survivors
+// instead of hanging the group. A rank can also declare its own death
+// (fail()), which aborts in-flight collectives immediately. Survivors then
+// call shrink() collectively: the failed ranks are removed, the ring/tree is
+// rebuilt over a dense re-indexing of the survivors, and the group continues
+// at world size p-1 — world_size() always reports the ACTIVE count, which is
+// what gives compressor mean-reduction its p-1 reweighting for free.
 #pragma once
 
-#include <barrier>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace gradcomp::comm {
 
+// Thrown by collectives when one or more ranks are (or are detected) dead.
+// Survivors are expected to unwind to a recovery point and call shrink().
+class RankFailure : public std::runtime_error {
+ public:
+  explicit RankFailure(std::vector<int> failed);
+
+  // Original rank ids of the ranks considered dead, ascending.
+  [[nodiscard]] const std::vector<int>& failed() const noexcept { return failed_; }
+
+ private:
+  std::vector<int> failed_;
+};
+
 class ThreadComm {
  public:
-  explicit ThreadComm(int world_size);
+  // `timeout` bounds every blocking collective wait; it must exceed the
+  // longest compute gap between two collective calls on any healthy rank.
+  explicit ThreadComm(int world_size,
+                      std::chrono::milliseconds timeout = std::chrono::milliseconds(10000));
 
   ThreadComm(const ThreadComm&) = delete;
   ThreadComm& operator=(const ThreadComm&) = delete;
 
-  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  // ACTIVE rank count (shrinks as ranks fail); the denominator for
+  // mean-semantics aggregation.
+  [[nodiscard]] int world_size() const noexcept {
+    return active_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int initial_world_size() const noexcept { return initial_world_size_; }
+  [[nodiscard]] bool is_active(int rank) const;
+  // Active original rank ids, ascending (the dense ring order).
+  [[nodiscard]] std::vector<int> active_ranks() const;
+  // Ranks that died and have not been reaped by shrink() yet.
+  [[nodiscard]] std::vector<int> failed_ranks() const;
 
-  // All collectives must be entered by every rank (SPMD). Rank is the
-  // caller's identity in [0, world_size).
+  void set_timeout(std::chrono::milliseconds timeout);
+  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept { return timeout_; }
 
-  void barrier();
+  // All collectives must be entered by every ACTIVE rank (SPMD). Rank is the
+  // caller's ORIGINAL identity in [0, initial_world_size); identities are
+  // stable across shrinks.
+
+  // Deadline-bounded barrier across the active ranks. Throws RankFailure if
+  // a peer dies (fail()) or fails to arrive before the timeout; the
+  // non-arrived ranks are marked failed.
+  void barrier(int rank);
+
+  // Declares this rank dead: it must make no further calls on the group.
+  // Peers blocked in (or later entering) a collective observe RankFailure.
+  void fail(int rank);
+
+  // Collective among the survivors after a RankFailure: removes every failed
+  // rank from the group, rebuilds the dense ring order, clears aborted
+  // collective state, and returns the ranks that were removed (identical on
+  // every caller). Throws std::runtime_error if no survivors would remain.
+  std::vector<int> shrink(int rank);
 
   // Which all-reduce algorithm to execute. Ring is bandwidth-optimal with
   // latency ~p; the binomial double-tree-style reduce+broadcast has latency
@@ -40,8 +97,8 @@ class ThreadComm {
   void allreduce_sum(int rank, std::span<float> data,
                      Algorithm algorithm = Algorithm::kRing);
 
-  // Gathers each rank's byte payload; returns all payloads indexed by rank.
-  // Payload sizes may differ across ranks (the TopK case).
+  // Gathers each active rank's byte payload; returns all payloads in dense
+  // (ring) order. Payload sizes may differ across ranks (the TopK case).
   [[nodiscard]] std::vector<std::vector<std::byte>> allgather(int rank,
                                                               std::span<const std::byte> bytes);
 
@@ -53,10 +110,12 @@ class ThreadComm {
   // forwarding the block it received in the previous step to its successor
   // (the message pattern whose wire cost is n*(p-1)/BW — the term that
   // dooms non-all-reducible compressors at scale). `out` must hold
-  // world_size * mine.size() floats and receives the blocks in rank order.
+  // world_size() * mine.size() floats and receives the blocks in dense rank
+  // order.
   void allgather_ring(int rank, std::span<const float> mine, std::span<float> out);
 
-  // Copies root's data into every rank's buffer (sizes must match).
+  // Copies root's data into every rank's buffer (sizes must match). Throws
+  // RankFailure if root is dead.
   void broadcast(int rank, int root, std::span<float> data);
 
   // Counts completed collective operations (for tests asserting the ring
@@ -65,13 +124,39 @@ class ThreadComm {
 
  private:
   void validate_rank(int rank) const;
+  // The deadline-bounded generation barrier under every collective.
+  void sync(int rank);
+  [[noreturn]] void throw_failure_locked() const;
+  void rebuild_dense_locked();
   void allreduce_ring(int rank, std::span<float> data);
-  // Binomial-tree reduce to rank 0 followed by binomial broadcast.
+  // Binomial-tree reduce to the dense root followed by binomial broadcast.
   void allreduce_tree(int rank, std::span<float> data);
 
-  int world_size_;
-  std::barrier<> barrier_;
-  // mail_[r] is the message most recently addressed to rank r.
+  int initial_world_size_;
+  std::chrono::milliseconds timeout_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;  // completed barrier generations
+  int arrived_ = 0;
+  bool aborted_ = false;  // a failure interrupted in-flight collectives
+  std::vector<char> arrived_flag_;  // by original rank, for timeout blame
+  std::vector<char> active_;        // by original rank
+  std::vector<char> failed_;        // dead but not yet reaped by shrink()
+  std::atomic<int> active_count_;
+  std::vector<char> shrink_flag_;  // by original rank, survivors inside shrink()
+  int shrink_arrived_ = 0;         // recovery barrier (survivors entering shrink)
+  std::uint64_t shrink_epoch_ = 0;
+  std::vector<int> shrink_removed_;  // result of the in-progress shrink
+
+  // Dense re-indexing of the active ranks: dense_[orig] in [0, active) or
+  // -1; ranks_[dense] = orig. Rebuilt by shrink(); read by collectives
+  // without the lock (mutations only happen while every survivor is parked
+  // inside shrink(), and the barrier's mutex orders the publication).
+  std::vector<int> dense_;
+  std::vector<int> ranks_;
+
+  // mail_[r] is the message most recently addressed to original rank r.
   std::vector<std::vector<float>> mail_;
   std::vector<std::vector<std::byte>> byte_slots_;
   const float* broadcast_src_ = nullptr;
@@ -82,5 +167,9 @@ class ThreadComm {
 // Runs `body(rank)` on world_size threads and joins them. Exceptions thrown
 // by any rank are rethrown (first one wins) after all threads join.
 void run_ranks(int world_size, const std::function<void(int)>& body);
+
+// Same, but only for the given (original) rank ids — the surviving subset
+// after a shrink.
+void run_ranks(std::span<const int> ranks, const std::function<void(int)>& body);
 
 }  // namespace gradcomp::comm

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "comm/thread_comm.hpp"
 #include "tensor/tensor.hpp"
@@ -65,6 +67,18 @@ class Compressor {
   // would contribute. Used for compression-error properties and Table 2
   // encode/decode timing.
   [[nodiscard]] virtual tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) = 0;
+
+  // Serializes this rank's persistent compression state — error-feedback
+  // residuals, PowerSGD warm-start factors, DGC velocity — for
+  // checkpointing. Stateless compressors return an empty blob.
+  [[nodiscard]] virtual std::vector<std::byte> serialize_state() const { return {}; }
+  // Restores state produced by serialize_state() on an identically configured
+  // instance, replacing current state wholesale. Throws std::runtime_error on
+  // malformed input.
+  virtual void restore_state(std::span<const std::byte> bytes) {
+    if (!bytes.empty())
+      throw std::runtime_error(name() + ": unexpected compressor state blob");
+  }
 };
 
 // ---------------------------------------------------------------------------

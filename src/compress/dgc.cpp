@@ -1,5 +1,7 @@
 #include "compress/dgc.hpp"
 
+#include "compress/state_io.hpp"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -95,5 +97,34 @@ tensor::Tensor DgcCompressor::roundtrip(LayerId layer, const tensor::Tensor& gra
   tensor::scatter(sparse, out.data());
   return out;
 }
+
+std::vector<std::byte> DgcCompressor::serialize_state() const {
+  tensor::ByteWriter writer;
+  writer.u64(states_.size());
+  for (const LayerId key : detail::sorted_keys(states_)) {
+    const LayerState& state = states_.at(key);
+    writer.i64(key);
+    writer.tensor(state.velocity);
+    writer.tensor(state.accumulation);
+  }
+  return writer.take();
+}
+
+void DgcCompressor::restore_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " state");
+  std::unordered_map<LayerId, LayerState> states;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LayerId key = reader.i64();
+    LayerState state;
+    state.velocity = reader.tensor();
+    state.accumulation = reader.tensor();
+    state.initialized = true;
+    states.emplace(key, std::move(state));
+  }
+  reader.expect_done();
+  states_ = std::move(states);
+}
+
 
 }  // namespace gradcomp::compress

@@ -31,6 +31,9 @@ class DgcCompressor final : public Compressor {
   AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+  // Persists the per-layer velocity and accumulation buffers.
+  [[nodiscard]] std::vector<std::byte> serialize_state() const override;
+  void restore_state(std::span<const std::byte> bytes) override;
 
   [[nodiscard]] std::int64_t k_for(std::int64_t numel) const;
 

@@ -1,5 +1,7 @@
 #include "compress/onebit.hpp"
 
+#include "compress/state_io.hpp"
+
 #include <cstring>
 #include <stdexcept>
 
@@ -97,5 +99,18 @@ tensor::Tensor OneBitCompressor::roundtrip(LayerId layer, const tensor::Tensor& 
   return tensor::Tensor(grad.shape(),
                         decode(payload, static_cast<std::size_t>(grad.numel())));
 }
+
+std::vector<std::byte> OneBitCompressor::serialize_state() const {
+  tensor::ByteWriter writer;
+  detail::write_tensor_map(writer, residuals_);
+  return writer.take();
+}
+
+void OneBitCompressor::restore_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " state");
+  residuals_ = detail::read_tensor_map(reader);
+  reader.expect_done();
+}
+
 
 }  // namespace gradcomp::compress

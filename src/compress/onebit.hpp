@@ -27,6 +27,8 @@ class OneBitCompressor final : public Compressor {
   AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+  [[nodiscard]] std::vector<std::byte> serialize_state() const override;
+  void restore_state(std::span<const std::byte> bytes) override;
 
   // Wire helpers: [pos_level:f32][neg_level:f32][sign bits].
   [[nodiscard]] static std::vector<std::byte> encode(std::span<const float> values);

@@ -1,5 +1,7 @@
 #include "compress/powersgd.hpp"
 
+#include "compress/state_io.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -129,5 +131,36 @@ tensor::Tensor PowerSgdCompressor::roundtrip(LayerId layer, const tensor::Tensor
   if (warm_start_) state.q = state.q_new;
   return state.decoded.reshape(grad.shape());
 }
+
+std::vector<std::byte> PowerSgdCompressor::serialize_state() const {
+  tensor::ByteWriter writer;
+  writer.u64(states_.size());
+  for (const LayerId key : detail::sorted_keys(states_)) {
+    const LayerState& state = states_.at(key);
+    writer.i64(key);
+    writer.tensor(state.q);
+    writer.tensor(state.residual);
+  }
+  return writer.take();
+}
+
+void PowerSgdCompressor::restore_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " state");
+  std::unordered_map<LayerId, LayerState> states;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LayerId key = reader.i64();
+    LayerState state;
+    state.q = reader.tensor();
+    state.residual = reader.tensor();
+    // Scratch tensors (mat, p, q_new, decoded) are re-sized on demand by
+    // matricize_into / matmul_into.
+    state.initialized = true;
+    states.emplace(key, std::move(state));
+  }
+  reader.expect_done();
+  states_ = std::move(states);
+}
+
 
 }  // namespace gradcomp::compress

@@ -34,6 +34,10 @@ class PowerSgdCompressor final : public Compressor {
   AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+  // Persists the warm-start Q and error-feedback residual per layer (the
+  // scratch tensors are rebuilt on demand).
+  [[nodiscard]] std::vector<std::byte> serialize_state() const override;
+  void restore_state(std::span<const std::byte> bytes) override;
 
   [[nodiscard]] int target_rank() const noexcept { return rank_; }
 

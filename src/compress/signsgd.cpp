@@ -1,5 +1,7 @@
 #include "compress/signsgd.hpp"
 
+#include "compress/state_io.hpp"
+
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -173,5 +175,18 @@ tensor::Tensor SignSgdCompressor::roundtrip(LayerId layer, const tensor::Tensor&
   }
   return estimate;
 }
+
+std::vector<std::byte> SignSgdCompressor::serialize_state() const {
+  tensor::ByteWriter writer;
+  detail::write_tensor_map(writer, residuals_);
+  return writer.take();
+}
+
+void SignSgdCompressor::restore_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " state");
+  residuals_ = detail::read_tensor_map(reader);
+  reader.expect_done();
+}
+
 
 }  // namespace gradcomp::compress

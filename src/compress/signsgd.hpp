@@ -35,6 +35,8 @@ class SignSgdCompressor final : public Compressor {
   AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+  [[nodiscard]] std::vector<std::byte> serialize_state() const override;
+  void restore_state(std::span<const std::byte> bytes) override;
 
   // Bit packing used on the wire (exposed for tests). Word-at-a-time: 32
   // signs per uint32_t inner loop, branch-free, parallel over word chunks;

@@ -1,0 +1,45 @@
+// Shared (de)serialization helpers for compressor checkpoint state.
+//
+// Compressor state is keyed by LayerId in unordered maps; these helpers fix
+// a canonical on-wire order (ascending LayerId) so serialized blobs are
+// deterministic and the checkpoint round-trip tests can demand bit-equality.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "tensor/serial.hpp"
+
+namespace gradcomp::compress::detail {
+
+template <typename State>
+std::vector<LayerId> sorted_keys(const std::unordered_map<LayerId, State>& map) {
+  std::vector<LayerId> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+inline void write_tensor_map(tensor::ByteWriter& writer,
+                             const std::unordered_map<LayerId, tensor::Tensor>& map) {
+  writer.u64(map.size());
+  for (const LayerId key : sorted_keys(map)) {
+    writer.i64(key);
+    writer.tensor(map.at(key));
+  }
+}
+
+inline std::unordered_map<LayerId, tensor::Tensor> read_tensor_map(tensor::ByteReader& reader) {
+  std::unordered_map<LayerId, tensor::Tensor> map;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LayerId key = reader.i64();
+    map.emplace(key, reader.tensor());
+  }
+  return map;
+}
+
+}  // namespace gradcomp::compress::detail

@@ -1,5 +1,7 @@
 #include "compress/topk_compressor.hpp"
 
+#include "compress/state_io.hpp"
+
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -179,5 +181,18 @@ tensor::Tensor TopKCompressor::roundtrip(LayerId layer, const tensor::Tensor& gr
   if (error_feedback_) residuals_[layer] = tensor::sub(work, kept);
   return kept;
 }
+
+std::vector<std::byte> TopKCompressor::serialize_state() const {
+  tensor::ByteWriter writer;
+  detail::write_tensor_map(writer, residuals_);
+  return writer.take();
+}
+
+void TopKCompressor::restore_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " state");
+  residuals_ = detail::read_tensor_map(reader);
+  reader.expect_done();
+}
+
 
 }  // namespace gradcomp::compress

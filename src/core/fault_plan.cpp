@@ -1,0 +1,181 @@
+#include "core/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+
+namespace gradcomp::core {
+
+namespace {
+
+void validate(const FaultPlanOptions& o) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("FaultPlan: " + what);
+  };
+  if (o.world_size < 1) fail("world_size must be >= 1");
+  if (o.iterations < 0) fail("iterations must be >= 0");
+  if (o.straggler_prob < 0.0 || o.straggler_prob > 1.0)
+    fail("straggler_prob must be in [0, 1]");
+  if (o.straggler_factor < 1.0) fail("straggler_factor must be >= 1 (stretch, not speedup)");
+  if (o.lognormal_sigma <= 0.0 && o.straggler_dist == StragglerDist::kLognormal)
+    fail("lognormal_sigma must be > 0");
+  if (o.pareto_alpha <= 0.0 && o.straggler_dist == StragglerDist::kPareto)
+    fail("pareto_alpha must be > 0");
+  if (o.ranks_per_rack < 0) fail("ranks_per_rack must be >= 0");
+  if (o.rack_prob < 0.0 || o.rack_prob > 1.0) fail("rack_prob must be in [0, 1]");
+  if (o.rack_factor < 1.0) fail("rack_factor must be >= 1");
+  if (o.link_degrade_prob < 0.0 || o.link_degrade_prob > 1.0)
+    fail("link_degrade_prob must be in [0, 1]");
+  if (o.link_factor <= 0.0 || o.link_factor > 1.0) fail("link_factor must be in (0, 1]");
+  if (o.link_duration < 1) fail("link_duration must be >= 1");
+  const bool has_fail_rank = o.fail_rank >= 0;
+  const bool has_fail_iter = o.fail_at_iteration >= 0;
+  if (has_fail_rank != has_fail_iter)
+    fail("fail_rank and fail_at_iteration must be set together");
+  if (has_fail_rank && o.fail_rank >= o.world_size) fail("fail_rank out of range");
+  if (has_fail_iter && o.fail_at_iteration >= o.iterations && o.iterations > 0)
+    fail("fail_at_iteration past the schedule horizon");
+}
+
+}  // namespace
+
+std::string straggler_dist_name(StragglerDist dist) {
+  switch (dist) {
+    case StragglerDist::kNone: return "none";
+    case StragglerDist::kBernoulli: return "bernoulli";
+    case StragglerDist::kLognormal: return "lognormal";
+    case StragglerDist::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+std::string fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kComputeStretch: return "compute-stretch";
+    case FaultKind::kRackStraggler: return "rack-straggler";
+    case FaultKind::kLinkDegradation: return "link-degradation";
+    case FaultKind::kRankFailure: return "rank-failure";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(const FaultPlanOptions& options) {
+  validate(options);
+  FaultPlan plan;
+  plan.options_ = options;
+  const int iters = options.iterations;
+  const int p = options.world_size;
+  plan.stretch_.assign(static_cast<std::size_t>(iters) * static_cast<std::size_t>(p), 1.0);
+  plan.bandwidth_.assign(static_cast<std::size_t>(iters), 1.0);
+
+  tensor::Rng rng(options.seed);
+  // Only stretches above this slowdown become listed events; the dense
+  // tables keep the exact value either way.
+  constexpr double kEventThreshold = 1.01;
+
+  for (int it = 0; it < iters; ++it) {
+    // Per-worker stretch draws. One draw per (iteration, rank) regardless of
+    // outcome keeps the stream aligned across distributions with equal seeds.
+    for (int r = 0; r < p; ++r) {
+      double stretch = 1.0;
+      switch (options.straggler_dist) {
+        case StragglerDist::kNone:
+          break;
+        case StragglerDist::kBernoulli:
+          stretch = rng.next_double() < options.straggler_prob ? options.straggler_factor : 1.0;
+          break;
+        case StragglerDist::kLognormal:
+          stretch = std::max(1.0, std::exp(options.lognormal_sigma *
+                                           static_cast<double>(rng.gaussian())));
+          break;
+        case StragglerDist::kPareto:
+          stretch = std::pow(1.0 - rng.next_double(), -1.0 / options.pareto_alpha);
+          break;
+      }
+      plan.stretch_[static_cast<std::size_t>(it) * static_cast<std::size_t>(p) +
+                    static_cast<std::size_t>(r)] = stretch;
+      if (stretch >= kEventThreshold)
+        plan.events_.push_back(
+            {FaultKind::kComputeStretch, it, 1, r, stretch});
+    }
+
+    // Correlated rack stragglers multiply on top of individual draws.
+    if (options.ranks_per_rack > 0 && options.rack_prob > 0.0) {
+      const int racks = (p + options.ranks_per_rack - 1) / options.ranks_per_rack;
+      for (int k = 0; k < racks; ++k) {
+        if (rng.next_double() >= options.rack_prob) continue;
+        const int lo = k * options.ranks_per_rack;
+        const int hi = std::min(p, lo + options.ranks_per_rack);
+        for (int r = lo; r < hi; ++r)
+          plan.stretch_[static_cast<std::size_t>(it) * static_cast<std::size_t>(p) +
+                        static_cast<std::size_t>(r)] *= options.rack_factor;
+        plan.events_.push_back({FaultKind::kRackStraggler, it, 1, lo, options.rack_factor});
+      }
+    }
+
+    // Transient link degradation windows; overlapping windows compound.
+    if (options.link_degrade_prob > 0.0 && rng.next_double() < options.link_degrade_prob) {
+      const int end = std::min(iters, it + options.link_duration);
+      for (int j = it; j < end; ++j)
+        plan.bandwidth_[static_cast<std::size_t>(j)] *= options.link_factor;
+      plan.events_.push_back(
+          {FaultKind::kLinkDegradation, it, end - it, -1, options.link_factor});
+    }
+  }
+
+  if (options.fail_rank >= 0)
+    plan.events_.push_back({FaultKind::kRankFailure, options.fail_at_iteration,
+                            std::max(1, iters - options.fail_at_iteration), options.fail_rank,
+                            0.0});
+
+  std::stable_sort(plan.events_.begin(), plan.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.iteration < b.iteration;
+                   });
+  return plan;
+}
+
+double FaultPlan::compute_stretch(int iteration, int rank) const {
+  if (iteration < 0 || iteration >= options_.iterations || rank < 0 ||
+      rank >= options_.world_size)
+    return 1.0;
+  return stretch_[static_cast<std::size_t>(iteration) *
+                      static_cast<std::size_t>(options_.world_size) +
+                  static_cast<std::size_t>(rank)];
+}
+
+double FaultPlan::max_stretch(int iteration) const {
+  double m = 1.0;
+  for (int r = 0; r < options_.world_size; ++r)
+    if (!rank_failed_by(r, iteration)) m = std::max(m, compute_stretch(iteration, r));
+  return m;
+}
+
+double FaultPlan::bandwidth_factor(int iteration) const {
+  if (iteration < 0 || iteration >= options_.iterations) return 1.0;
+  return bandwidth_[static_cast<std::size_t>(iteration)];
+}
+
+int FaultPlan::failed_rank_at(int iteration) const {
+  return options_.fail_rank >= 0 && options_.fail_at_iteration == iteration
+             ? options_.fail_rank
+             : -1;
+}
+
+bool FaultPlan::rank_failed_by(int rank, int iteration) const {
+  return options_.fail_rank == rank && options_.fail_at_iteration >= 0 &&
+         options_.fail_at_iteration <= iteration;
+}
+
+std::vector<FaultEvent> FaultPlan::events_at(int iteration) const {
+  std::vector<FaultEvent> active;
+  for (const FaultEvent& e : events_) {
+    if (e.iteration > iteration) break;
+    if (iteration < e.iteration + e.duration) active.push_back(e);
+  }
+  return active;
+}
+
+}  // namespace gradcomp::core

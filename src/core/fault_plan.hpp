@@ -1,0 +1,120 @@
+// Seeded, deterministic schedule of cluster fault events.
+//
+// The paper's central mechanism — synchronous DDP waits for the slowest
+// participant — means any per-worker perturbation compounds with scale.
+// A FaultPlan is the single source of truth for those perturbations: the
+// discrete-event simulator consumes it to shape iteration timelines, and
+// the real in-process trainer consumes its rank-failure events to drive
+// shrink-and-continue / checkpoint-restore recovery. Because the schedule
+// is drawn up-front from a seed, a faulted run replays bit-identically.
+//
+// Event classes:
+//   * per-worker compute stretch — Bernoulli (the legacy straggler knob) or
+//     heavy-tailed lognormal / Pareto draws, fresh every iteration;
+//   * correlated rack-level stragglers — every rank in a rack stretches
+//     together (top-of-rack oversubscription, co-scheduled neighbors);
+//   * transient link degradation — cluster bandwidth multiplied by a factor
+//     < 1 for a window of iterations;
+//   * permanent rank failure at a given iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gradcomp::core {
+
+enum class StragglerDist : std::uint8_t { kNone, kBernoulli, kLognormal, kPareto };
+
+[[nodiscard]] std::string straggler_dist_name(StragglerDist dist);
+
+struct FaultPlanOptions {
+  int world_size = 1;
+  int iterations = 0;  // schedule horizon; queries past it are fault-free
+  std::uint64_t seed = 1;
+
+  // Per-worker compute stretch (multiplier >= 1, drawn per worker per
+  // iteration). Bernoulli reproduces the legacy SimOptions straggler knob;
+  // lognormal/Pareto model the heavy-tailed stalls real clusters show.
+  StragglerDist straggler_dist = StragglerDist::kNone;
+  double straggler_prob = 0.02;   // Bernoulli: P(stretch) per worker-iteration
+  double straggler_factor = 3.0;  // Bernoulli stretch, >= 1
+  double lognormal_sigma = 0.5;   // stretch = max(1, exp(sigma * N(0,1)))
+  double pareto_alpha = 3.0;      // stretch = (1-u)^(-1/alpha), xm = 1
+
+  // Correlated rack stragglers: ranks [k*ranks_per_rack, (k+1)*ranks_per_rack)
+  // stretch together with probability rack_prob per rack-iteration.
+  int ranks_per_rack = 0;  // 0 disables
+  double rack_prob = 0.05;
+  double rack_factor = 2.0;
+
+  // Transient link degradation: with probability link_degrade_prob per
+  // iteration a window of link_duration iterations opens during which the
+  // cluster bandwidth is multiplied by link_factor (overlaps compound).
+  double link_degrade_prob = 0.0;
+  double link_factor = 0.25;  // in (0, 1]
+  int link_duration = 5;      // iterations, >= 1
+
+  // Permanent rank failure: fail_rank dies at the start of iteration
+  // fail_at_iteration (both -1 to disable).
+  int fail_rank = -1;
+  int fail_at_iteration = -1;
+};
+
+enum class FaultKind : std::uint8_t {
+  kComputeStretch,
+  kRackStraggler,
+  kLinkDegradation,
+  kRankFailure,
+};
+
+[[nodiscard]] std::string fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kComputeStretch;
+  int iteration = 0;    // first affected iteration
+  int duration = 1;     // affected iterations
+  int rank = -1;        // affected rank (first rank of the rack for rack events)
+  double factor = 1.0;  // compute stretch (> 1) or bandwidth multiplier (< 1)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;  // empty plan: no faults, world/iterations zero
+
+  // Draws the full schedule from options.seed. Throws std::invalid_argument
+  // on out-of-range options (probabilities outside [0,1], factors < 1, ...).
+  [[nodiscard]] static FaultPlan generate(const FaultPlanOptions& options);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] int world_size() const noexcept { return options_.world_size; }
+  [[nodiscard]] int iterations() const noexcept { return options_.iterations; }
+  [[nodiscard]] const FaultPlanOptions& options() const noexcept { return options_; }
+  // Every scheduled event, iteration-ordered. Sub-threshold heavy-tailed
+  // stretches (< 1% slowdown) are folded into the tables but not listed.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+  // --- per-iteration queries (O(1); out-of-horizon iterations are clean) ---
+
+  // Product of this rank's individual and rack stretches, >= 1.
+  [[nodiscard]] double compute_stretch(int iteration, int rank) const;
+  // Max stretch over ranks still alive at `iteration` — what a synchronous
+  // step waits for.
+  [[nodiscard]] double max_stretch(int iteration) const;
+  // Product of active link-degradation factors, <= 1.
+  [[nodiscard]] double bandwidth_factor(int iteration) const;
+  // Rank failing exactly at `iteration`, or -1.
+  [[nodiscard]] int failed_rank_at(int iteration) const;
+  // True if `rank` failed at or before `iteration`.
+  [[nodiscard]] bool rank_failed_by(int rank, int iteration) const;
+  // Events whose window covers `iteration` (for span recording).
+  [[nodiscard]] std::vector<FaultEvent> events_at(int iteration) const;
+
+ private:
+  FaultPlanOptions options_;
+  std::vector<FaultEvent> events_;
+  std::vector<double> stretch_;  // iterations x world_size, row-major
+  std::vector<double> bandwidth_;  // per iteration
+};
+
+}  // namespace gradcomp::core

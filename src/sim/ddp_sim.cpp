@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 
@@ -21,11 +23,76 @@ const core::EncodeCostModel& encode_cost_model() {
 }  // namespace
 
 ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
-    : cluster_(std::move(cluster)), options_(options), rng_(options.seed) {
+    : cluster_(std::move(cluster)), options_(std::move(options)), rng_(options_.seed) {
   if (cluster_.world_size < 1)
     throw std::invalid_argument("ClusterSim: world size must be >= 1");
   if (options_.contention_factor < 1.0)
     throw std::invalid_argument("ClusterSim: contention_factor must be >= 1");
+  if (options_.jitter_frac < 0.0)
+    throw std::invalid_argument("ClusterSim: jitter_frac must be >= 0, got " +
+                                std::to_string(options_.jitter_frac));
+  if (options_.straggler_prob < 0.0 || options_.straggler_prob > 1.0)
+    throw std::invalid_argument("ClusterSim: straggler_prob must be in [0, 1], got " +
+                                std::to_string(options_.straggler_prob));
+  if (options_.straggler_factor < 1.0)
+    throw std::invalid_argument(
+        "ClusterSim: straggler_factor must be >= 1 (a stretch multiplier), got " +
+        std::to_string(options_.straggler_factor));
+  if (options_.incast_penalty < 0.0)
+    throw std::invalid_argument("ClusterSim: incast_penalty must be >= 0, got " +
+                                std::to_string(options_.incast_penalty));
+  if (options_.recovery_detect_s < 0.0)
+    throw std::invalid_argument("ClusterSim: recovery_detect_s must be >= 0");
+  if (!options_.fault_plan.empty() &&
+      options_.fault_plan.world_size() != cluster_.world_size)
+    throw std::invalid_argument(
+        "ClusterSim: fault_plan world size (" +
+        std::to_string(options_.fault_plan.world_size()) + ") != cluster world size (" +
+        std::to_string(cluster_.world_size) + ")");
+  current_.world = cluster_.world_size;
+}
+
+void ClusterSim::begin_iteration() {
+  const int it = iteration_++;
+  current_ = IterationFaults{};
+  current_.index = it;
+  current_.world = cluster_.world_size;
+  const auto& plan = options_.fault_plan;
+  if (plan.empty()) return;
+  current_.stretch = plan.max_stretch(it);
+  current_.bandwidth_factor = plan.bandwidth_factor(it);
+  int alive = 0;
+  for (int r = 0; r < cluster_.world_size; ++r)
+    if (!plan.rank_failed_by(r, it)) ++alive;
+  current_.world = std::max(1, alive);
+  current_.failed_rank = plan.failed_rank_at(it);
+  if (current_.failed_rank >= 0) current_.recovery_s = options_.recovery_detect_s;
+}
+
+void ClusterSim::record_fault_spans(SimResult& result) const {
+  const auto& plan = options_.fault_plan;
+  if (plan.empty() || current_.index < 0) return;
+  if (current_.recovery_s > 0.0) {
+    // The failure iteration pays detection (survivor timeout) plus the
+    // group-shrink consensus before its result counts.
+    const double start = result.iteration_s;
+    result.iteration_s += current_.recovery_s;
+    result.timeline.add("fault",
+                        "rank " + std::to_string(current_.failed_rank) +
+                            " failure: detect + shrink",
+                        start, result.iteration_s);
+  }
+  for (const auto& ev : plan.events_at(current_.index)) {
+    // A rank failure is permanent; record it once, at detection. Later
+    // iterations already show its effect through the shrunken world size.
+    if (ev.kind == core::FaultKind::kRankFailure && ev.iteration != current_.index) continue;
+    std::string label = core::fault_kind_name(ev.kind);
+    if (ev.rank >= 0) label += " rank " + std::to_string(ev.rank);
+    char factor[32];
+    std::snprintf(factor, sizeof(factor), " x%.2f", ev.factor);
+    label += factor;
+    result.timeline.add("fault", label, 0.0, result.iteration_s);
+  }
 }
 
 double ClusterSim::jittered(double seconds) {
@@ -35,33 +102,40 @@ double ClusterSim::jittered(double seconds) {
 }
 
 double ClusterSim::straggler_stretch() {
-  if (options_.straggler_prob <= 0.0) return 1.0;
-  // P(at least one of p workers straggles) = 1 - (1-q)^p.
-  const double p_any = 1.0 - std::pow(1.0 - options_.straggler_prob,
-                                      static_cast<double>(cluster_.world_size));
-  return rng_.next_double() < p_any ? options_.straggler_factor : 1.0;
+  // Synchronous training waits for the slowest worker, so the legacy
+  // Bernoulli knob and the fault plan's per-worker draws combine via max.
+  double stretch = current_.stretch;
+  if (options_.straggler_prob > 0.0) {
+    // P(at least one of p workers straggles) = 1 - (1-q)^p.
+    const double p_any = 1.0 - std::pow(1.0 - options_.straggler_prob,
+                                        static_cast<double>(current_.world));
+    if (rng_.next_double() < p_any) stretch = std::max(stretch, options_.straggler_factor);
+  }
+  return stretch;
 }
 
 comm::Network ClusterSim::effective_network() const {
   comm::Network net = cluster_.network;
   net.incast_penalty = options_.incast_penalty;
+  net.bandwidth_bps *= current_.bandwidth_factor;
   return net;
 }
 
 double ClusterSim::allreduce_seconds(double bytes) const {
   const comm::Network net = effective_network();
   return options_.use_tree_allreduce
-             ? comm::tree_allreduce_seconds(bytes, cluster_.world_size, net)
-             : comm::ring_allreduce_seconds(bytes, cluster_.world_size, net);
+             ? comm::tree_allreduce_seconds(bytes, current_.world, net)
+             : comm::ring_allreduce_seconds(bytes, current_.world, net);
 }
 
 double ClusterSim::allgather_seconds(double bytes_per_rank) const {
-  return comm::allgather_seconds(bytes_per_rank, cluster_.world_size, effective_network());
+  return comm::allgather_seconds(bytes_per_rank, current_.world, effective_network());
 }
 
 SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
+  begin_iteration();
   SimResult result;
-  const int p = cluster_.world_size;
+  const int p = current_.world;
   const double t_comp =
       cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
 
@@ -70,6 +144,7 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
     result.timeline.add("compute", "backward", 0.0, dur);
     result.compute_s = dur;
     result.iteration_s = dur;
+    record_fault_spans(result);
     return result;
   }
   const double stretch = straggler_stretch();
@@ -121,6 +196,7 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
   result.comm_s = comm_busy;
   result.iteration_s = std::max(compute_t, last_comm_end);
   result.exposed_comm_s = result.iteration_s - result.compute_s;
+  record_fault_spans(result);
   return result;
 }
 
@@ -136,8 +212,11 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     ClusterSim inner(cluster_, options_);
     inner.cluster_.network.bandwidth_bps *= 2.0;  // half the bytes == double BW
     inner.rng_ = rng_;
+    inner.iteration_ = iteration_;  // keep the fault plan position in sync
     SimResult result = inner.run_syncsgd(halved);
     rng_ = inner.rng_;
+    iteration_ = inner.iteration_;
+    current_ = inner.current_;
     const auto encdec =
         encode_cost_model().estimate(config, workload.model, cluster_.device,
                                      cluster_.world_size);
@@ -150,8 +229,9 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     return result;
   }
 
+  begin_iteration();
   SimResult result;
-  const int p = cluster_.world_size;
+  const int p = current_.world;
   const double t_comp =
       cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
   const auto encdec =
@@ -248,6 +328,7 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
 
   result.iteration_s = t;
   result.exposed_comm_s = result.comm_s;
+  record_fault_spans(result);
   return result;
 }
 

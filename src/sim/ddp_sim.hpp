@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "core/fault_plan.hpp"
 #include "core/perf_model.hpp"
 #include "tensor/rng.hpp"
 #include "trace/timeline.hpp"
@@ -47,6 +48,16 @@ struct SimOptions {
   double straggler_prob = 0.0;
   double straggler_factor = 2.0;
   std::uint64_t seed = 1;
+  // Deterministic fault schedule (core/fault_plan.hpp): heavy-tailed and
+  // rack-correlated stragglers, transient link degradation, and permanent
+  // rank failure. The simulator advances one plan iteration per simulated
+  // iteration and records active fault events as spans on the "fault"
+  // stream. An empty plan (the default) injects nothing.
+  core::FaultPlan fault_plan;
+  // Wall-clock cost charged to the iteration in which a rank failure is
+  // detected: the survivors' timeout + group-shrink consensus, our stand-in
+  // for NCCL communicator teardown/re-init.
+  double recovery_detect_s = 0.05;
 };
 
 struct SimResult {
@@ -75,13 +86,32 @@ class ClusterSim {
   [[nodiscard]] const core::Cluster& cluster() const noexcept { return cluster_; }
   [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
 
+  // Simulated iterations consumed so far (advances the fault plan).
+  [[nodiscard]] int iteration() const noexcept { return iteration_; }
+
  private:
+  // Snapshot of the fault plan's effect on the iteration about to run.
+  struct IterationFaults {
+    int index = -1;                 // plan iteration this snapshot describes
+    double stretch = 1.0;           // max compute stretch over surviving ranks
+    double bandwidth_factor = 1.0;  // link degradation multiplier
+    int world = 1;                  // surviving rank count
+    int failed_rank = -1;           // rank failing THIS iteration, or -1
+    double recovery_s = 0.0;        // detect + shrink cost if failed_rank >= 0
+  };
+  // Advances iteration_ and snapshots the plan state into current_.
+  void begin_iteration();
+  // Appends spans for current_'s active fault events and the recovery cost.
+  void record_fault_spans(SimResult& result) const;
+
   // Applies jitter (if configured) to a nominal duration.
   [[nodiscard]] double jittered(double seconds);
-  // Compute stretch for this iteration: straggler_factor if any of the p
-  // workers straggles this iteration, else 1.
+  // Compute stretch for this iteration: the legacy Bernoulli knob combined
+  // with the fault plan's per-worker draws (synchronous training waits for
+  // the slowest surviving worker).
   [[nodiscard]] double straggler_stretch();
-  // Collective time for one all-reduce of `bytes` under the cluster network.
+  // Collective time for one all-reduce of `bytes` under the cluster network
+  // at the current iteration's surviving world size and link state.
   [[nodiscard]] double allreduce_seconds(double bytes) const;
   [[nodiscard]] double allgather_seconds(double bytes_per_rank) const;
   [[nodiscard]] comm::Network effective_network() const;
@@ -89,6 +119,8 @@ class ClusterSim {
   core::Cluster cluster_;
   SimOptions options_;
   tensor::Rng rng_;
+  int iteration_ = 0;
+  IterationFaults current_;
 };
 
 }  // namespace gradcomp::sim

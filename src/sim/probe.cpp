@@ -10,6 +10,12 @@ namespace gradcomp::sim {
 NetworkEstimate probe_network(const core::Cluster& cluster, const ProbeOptions& options) {
   if (cluster.world_size < 2)
     throw std::invalid_argument("probe_network: need at least two workers");
+  if (options.jitter_frac < 0.0)
+    throw std::invalid_argument("probe_network: jitter_frac must be >= 0");
+  if (options.alpha_probe_bytes <= 0.0)
+    throw std::invalid_argument("probe_network: alpha_probe_bytes must be > 0");
+  if (options.bandwidth_probe_bytes <= 0.0)
+    throw std::invalid_argument("probe_network: bandwidth_probe_bytes must be > 0");
   tensor::Rng rng(options.seed);
   const auto jittered = [&](double seconds) {
     if (options.jitter_frac <= 0.0) return seconds;

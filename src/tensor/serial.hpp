@@ -1,0 +1,71 @@
+// Little binary serialization substrate: bounds-checked byte reader/writer,
+// CRC-32, and tensor (de)serialization.
+//
+// This is the wire layer under the fault-tolerance work: compressor
+// error-feedback blobs and the trainer's versioned checkpoint format are
+// both built from these primitives, so a truncated or bit-flipped file
+// surfaces as a clear error instead of garbage state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::tensor {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Matches zlib's crc32 of the
+// same bytes, so checkpoints can be checked with standard tools.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes);
+
+// Append-only byte buffer with fixed-width little-endian encodings.
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void bytes(std::span<const std::byte> data);
+  void floats(std::span<const float> values);  // raw IEEE-754 payload, no length
+  // Length-prefixed (u64) blob.
+  void blob(std::span<const std::byte> data);
+  void tensor(const Tensor& t);  // [ndim:u32][dims:i64...][data:f32...]
+
+  [[nodiscard]] const std::vector<std::byte>& data() const noexcept { return out_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::byte> out_;
+};
+
+// Sequential reader over a byte span. Every accessor throws
+// std::runtime_error("<context>: truncated input") past the end, so a
+// chopped file cannot be silently mis-parsed.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data, std::string context = "serial");
+
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] double f64();
+  void floats(std::span<float> out);
+  [[nodiscard]] std::vector<std::byte> blob();
+  [[nodiscard]] Tensor tensor();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  // Throws unless the input was consumed exactly.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace gradcomp::tensor

@@ -41,6 +41,13 @@ double Timeline::stream_busy(const std::string& stream) const {
   return busy;
 }
 
+std::vector<Span> Timeline::spans_on(const std::string& stream) const {
+  std::vector<Span> out;
+  for (const auto& s : spans_)
+    if (s.stream == stream) out.push_back(s);
+  return out;
+}
+
 std::vector<std::string> Timeline::streams() const {
   std::vector<std::string> names;
   for (const auto& s : spans_)

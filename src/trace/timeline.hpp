@@ -29,6 +29,9 @@ class Timeline {
   [[nodiscard]] double makespan() const noexcept;
   // Total busy time on one stream.
   [[nodiscard]] double stream_busy(const std::string& stream) const;
+  // All spans on one stream, in insertion order (e.g. the "fault" stream the
+  // simulator records injected fault events on).
+  [[nodiscard]] std::vector<Span> spans_on(const std::string& stream) const;
   // Distinct stream names in first-appearance order.
   [[nodiscard]] std::vector<std::string> streams() const;
 

@@ -1,0 +1,106 @@
+#include "train/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serial.hpp"
+
+namespace gradcomp::train {
+
+std::vector<std::byte> Checkpoint::serialize() const {
+  tensor::ByteWriter payload;
+  payload.i64(step);
+  payload.u64(layer_dims.size());
+  for (const auto d : layer_dims) payload.i64(d);
+  payload.u64(params.size());
+  for (const auto& t : params) payload.tensor(t);
+  payload.f64(optimizer_lr);
+  payload.u64(velocity.size());
+  for (const auto& [vw, vb] : velocity) {
+    payload.tensor(vw);
+    payload.tensor(vb);
+  }
+  payload.u64(ranks.size());
+  for (const auto& r : ranks) {
+    payload.i64(r.rank);
+    payload.blob(r.compressor_state);
+  }
+
+  const auto& body = payload.data();
+  tensor::ByteWriter out;
+  out.u32(kCheckpointMagic);
+  out.u32(kCheckpointVersion);
+  out.u64(body.size());
+  out.u32(tensor::crc32(body));
+  out.bytes(body);
+  return out.take();
+}
+
+Checkpoint Checkpoint::deserialize(std::span<const std::byte> bytes) {
+  tensor::ByteReader header(bytes, "checkpoint");
+  if (header.remaining() < 20) throw std::runtime_error("checkpoint: truncated header");
+  if (header.u32() != kCheckpointMagic)
+    throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
+  const std::uint32_t version = header.u32();
+  if (version != kCheckpointVersion)
+    throw std::runtime_error("checkpoint: unsupported version " + std::to_string(version));
+  const std::uint64_t payload_len = header.u64();
+  const std::uint32_t expected_crc = header.u32();
+  if (header.remaining() != payload_len)
+    throw std::runtime_error("checkpoint: truncated payload (header declares " +
+                             std::to_string(payload_len) + " bytes, file has " +
+                             std::to_string(header.remaining()) + ")");
+  const auto payload = bytes.subspan(bytes.size() - payload_len);
+  if (tensor::crc32(payload) != expected_crc)
+    throw std::runtime_error("checkpoint: CRC mismatch (corrupted payload)");
+
+  tensor::ByteReader reader(payload, "checkpoint payload");
+  Checkpoint ck;
+  ck.step = reader.i64();
+  const std::uint64_t n_dims = reader.u64();
+  ck.layer_dims.reserve(n_dims);
+  for (std::uint64_t i = 0; i < n_dims; ++i) ck.layer_dims.push_back(reader.i64());
+  const std::uint64_t n_params = reader.u64();
+  ck.params.reserve(n_params);
+  for (std::uint64_t i = 0; i < n_params; ++i) ck.params.push_back(reader.tensor());
+  ck.optimizer_lr = reader.f64();
+  const std::uint64_t n_velocity = reader.u64();
+  ck.velocity.reserve(n_velocity);
+  for (std::uint64_t i = 0; i < n_velocity; ++i) {
+    auto vw = reader.tensor();
+    auto vb = reader.tensor();
+    ck.velocity.emplace_back(std::move(vw), std::move(vb));
+  }
+  const std::uint64_t n_ranks = reader.u64();
+  ck.ranks.reserve(n_ranks);
+  for (std::uint64_t i = 0; i < n_ranks; ++i) {
+    RankState rs;
+    rs.rank = static_cast<int>(reader.i64());
+    rs.compressor_state = reader.blob();
+    ck.ranks.push_back(std::move(rs));
+  }
+  reader.expect_done();
+  return ck;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
+  return deserialize(bytes);
+}
+
+}  // namespace gradcomp::train

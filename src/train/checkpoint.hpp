@@ -1,0 +1,55 @@
+// Versioned, CRC-guarded training checkpoints.
+//
+// A checkpoint captures everything needed to resume a data-parallel run
+// bit-exactly: model parameters (stored once — replicas are identical by
+// construction), optimizer state (decayed lr + momentum velocity), and each
+// rank's compressor error-feedback blob. Error feedback is genuinely
+// per-rank state — dropping it on restore changes the gradient stream — so
+// it is keyed by ORIGINAL rank id and survives group shrinks.
+//
+// On-disk layout (little-endian):
+//   [magic:u32 = 0x47434B50 "PKCG"][version:u32][payload_len:u64][crc32:u32]
+//   [payload: payload_len bytes]
+// The CRC covers the payload only; truncation, bad magic, an unsupported
+// version, and a CRC mismatch each produce a distinct error message.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gradcomp::train {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x47434B50;  // "PKCG" on disk
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+struct RankState {
+  int rank = 0;  // original rank id (stable across shrinks)
+  std::vector<std::byte> compressor_state;
+};
+
+struct Checkpoint {
+  std::int64_t step = 0;
+  std::vector<std::int64_t> layer_dims;
+  // Interleaved per-layer parameters: w0, b0, w1, b1, ...
+  std::vector<tensor::Tensor> params;
+  double optimizer_lr = 0.0;
+  // Momentum velocity, same interleaving as params (empty without momentum).
+  std::vector<std::pair<tensor::Tensor, tensor::Tensor>> velocity;
+  // One entry per surviving rank, ascending original rank id.
+  std::vector<RankState> ranks;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  // Throws std::runtime_error with a distinct message for truncated input,
+  // bad magic, unsupported version, and CRC mismatch.
+  [[nodiscard]] static Checkpoint deserialize(std::span<const std::byte> bytes);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static Checkpoint load(const std::string& path);
+};
+
+}  // namespace gradcomp::train

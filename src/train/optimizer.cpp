@@ -1,6 +1,7 @@
 #include "train/optimizer.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace gradcomp::train {
 
@@ -10,6 +11,13 @@ SgdOptimizer::SgdOptimizer(SgdOptions options) : options_(options), current_lr_(
     throw std::invalid_argument("SgdOptimizer: momentum must be in [0, 1)");
   if (options.lr_decay <= 0 || options.lr_decay > 1)
     throw std::invalid_argument("SgdOptimizer: lr_decay must be in (0, 1]");
+}
+
+void SgdOptimizer::set_state(double current_lr,
+                             std::vector<std::pair<tensor::Tensor, tensor::Tensor>> velocity) {
+  if (current_lr <= 0) throw std::invalid_argument("SgdOptimizer: restored lr must be > 0");
+  current_lr_ = current_lr;
+  velocity_ = std::move(velocity);
 }
 
 void SgdOptimizer::step(Mlp& model) {

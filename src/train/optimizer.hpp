@@ -25,6 +25,15 @@ class SgdOptimizer {
   [[nodiscard]] const SgdOptions& options() const noexcept { return options_; }
   [[nodiscard]] double current_lr() const noexcept { return current_lr_; }
 
+  // Checkpoint support: the decayed learning rate plus the momentum velocity
+  // buffers (empty when momentum is 0 or before the first step).
+  [[nodiscard]] const std::vector<std::pair<tensor::Tensor, tensor::Tensor>>& velocity()
+      const noexcept {
+    return velocity_;
+  }
+  void set_state(double current_lr,
+                 std::vector<std::pair<tensor::Tensor, tensor::Tensor>> velocity);
+
  private:
   SgdOptions options_;
   double current_lr_;

@@ -1,12 +1,16 @@
 #include "train/trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 namespace gradcomp::train {
 
 DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
-    : config_(std::move(config)), dataset_(std::move(dataset)), comm_(config_.world_size) {
+    : config_(std::move(config)),
+      dataset_(std::move(dataset)),
+      comm_(config_.world_size, config_.comm_timeout) {
   if (config_.world_size < 1)
     throw std::invalid_argument("DataParallelTrainer: world_size must be >= 1");
   if (dataset_.size() < config_.world_size)
@@ -15,6 +19,12 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
       config_.layer_dims.back() != dataset_.classes)
     throw std::invalid_argument(
         "DataParallelTrainer: layer_dims must start at data dim and end at class count");
+  if (config_.checkpoint_every < 0)
+    throw std::invalid_argument("DataParallelTrainer: checkpoint_every must be >= 0");
+  if (!config_.fault_plan.empty() && config_.fault_plan.world_size() != config_.world_size)
+    throw std::invalid_argument("DataParallelTrainer: fault_plan world size (" +
+                                std::to_string(config_.fault_plan.world_size()) +
+                                ") != world_size (" + std::to_string(config_.world_size) + ")");
 
   shards_.reserve(static_cast<std::size_t>(config_.world_size));
   models_.reserve(static_cast<std::size_t>(config_.world_size));
@@ -30,59 +40,118 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
 }
 
 StepStats DataParallelTrainer::step() {
-  const auto p = static_cast<std::size_t>(config_.world_size);
-  std::vector<double> losses(p, 0.0);
-  std::vector<compress::AggregateStats> agg(p);
+  const auto n = static_cast<std::size_t>(config_.world_size);
+  for (;;) {
+    const std::vector<int> active = comm_.active_ranks();
+    std::vector<double> losses(n, 0.0);
+    std::vector<compress::AggregateStats> agg(n);
+    std::atomic<bool> failure_seen{false};
+    // The plan kills at most one rank per iteration; a dead rank is no
+    // longer in `active`, so a retried or rewound step cannot re-kill it.
+    const int doomed = config_.fault_plan.empty()
+                           ? -1
+                           : config_.fault_plan.failed_rank_at(static_cast<int>(step_count_));
 
-  comm::run_ranks(config_.world_size, [&](int rank) {
-    const auto r = static_cast<std::size_t>(rank);
-    const Dataset local = batch(shards_[r], step_count_, config_.batch_per_worker);
-    losses[r] = models_[r].compute_gradients(local.x, local.y);
+    comm::run_ranks(active, [&](int rank) {
+      const auto r = static_cast<std::size_t>(rank);
+      try {
+        if (rank == doomed) {
+          // Scheduled death: declare it and stop participating. Peers see
+          // RankFailure at this step's first collective.
+          comm_.fail(rank);
+          return;
+        }
+        const Dataset local = batch(shards_[r], step_count_, config_.batch_per_worker);
+        losses[r] = models_[r].compute_gradients(local.x, local.y);
 
-    auto& layers = models_[r].layers();
-    for (std::size_t i = 0; i < layers.size(); ++i) {
-      agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i), rank, comm_,
-                                           layers[i].grad_w);
-      agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i + 1), rank,
-                                           comm_, layers[i].grad_b);
+        auto& layers = models_[r].layers();
+        for (std::size_t i = 0; i < layers.size(); ++i) {
+          agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i), rank,
+                                               comm_, layers[i].grad_w);
+          agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i + 1), rank,
+                                               comm_, layers[i].grad_b);
+        }
+        optimizers_[r].step(models_[r]);
+      } catch (const comm::RankFailure&) {
+        // Consistent unwind: every survivor throws at the same collective,
+        // before any optimizer update. Reap the dead and retry the step.
+        comm_.shrink(rank);
+        failure_seen.store(true, std::memory_order_relaxed);
+      }
+    });
+
+    if (failure_seen.load(std::memory_order_relaxed)) {
+      recover(active);
+      continue;  // retry (possibly after a checkpoint rewind)
     }
-    optimizers_[r].step(models_[r]);
-  });
-  ++step_count_;
 
-  StepStats stats;
-  for (double l : losses) stats.mean_local_loss += l;
-  stats.mean_local_loss /= static_cast<double>(p);
-  stats.bytes_per_worker = agg[0].bytes_sent;
-  for (const auto& a : agg) {
-    stats.encode_seconds += a.encode_seconds;
-    stats.decode_seconds += a.decode_seconds;
+    ++step_count_;
+    StepStats stats;
+    stats.active_workers = static_cast<int>(active.size());
+    for (const int rank : active) {
+      const auto r = static_cast<std::size_t>(rank);
+      stats.mean_local_loss += losses[r];
+      stats.encode_seconds += agg[r].encode_seconds;
+      stats.decode_seconds += agg[r].decode_seconds;
+    }
+    const auto p = static_cast<double>(active.size());
+    stats.mean_local_loss /= p;
+    stats.encode_seconds /= p;
+    stats.decode_seconds /= p;
+    stats.bytes_per_worker = agg[static_cast<std::size_t>(active.front())].bytes_sent;
+    history_.push_back(stats);
+
+    if (config_.checkpoint_every > 0 && step_count_ % config_.checkpoint_every == 0) {
+      last_checkpoint_ = make_checkpoint();
+      has_checkpoint_ = true;
+    }
+    return stats;
   }
-  stats.encode_seconds /= static_cast<double>(p);
-  stats.decode_seconds /= static_cast<double>(p);
-  history_.push_back(stats);
-  return stats;
+}
+
+void DataParallelTrainer::recover(const std::vector<int>& before) {
+  const std::vector<int> after = comm_.active_ranks();
+  FailureRecord record;
+  record.step = step_count_;
+  for (const int rank : before)
+    if (std::find(after.begin(), after.end(), rank) == after.end())
+      record.failed_ranks.push_back(rank);
+
+  if (config_.recovery == RecoveryPolicy::kRestoreCheckpoint && has_checkpoint_) {
+    record.action = RecoveryPolicy::kRestoreCheckpoint;
+    restore(last_checkpoint_);
+  } else {
+    record.action = RecoveryPolicy::kShrinkContinue;
+  }
+  record.resumed_at_step = step_count_;
+  failures_.push_back(std::move(record));
 }
 
 std::vector<double> DataParallelTrainer::train(int steps) {
   std::vector<double> losses;
   losses.reserve(static_cast<std::size_t>(std::max(steps, 0)));
-  for (int i = 0; i < steps; ++i) losses.push_back(step().mean_local_loss);
+  const std::int64_t target = step_count_ + steps;
+  while (step_count_ < target) losses.push_back(step().mean_local_loss);
   return losses;
 }
 
-double DataParallelTrainer::loss() const { return models_.front().loss(dataset_.x, dataset_.y); }
+double DataParallelTrainer::loss() const {
+  return models_[static_cast<std::size_t>(comm_.active_ranks().front())].loss(dataset_.x,
+                                                                              dataset_.y);
+}
 
 double DataParallelTrainer::accuracy() const {
-  return models_.front().accuracy(dataset_.x, dataset_.y);
+  return models_[static_cast<std::size_t>(comm_.active_ranks().front())].accuracy(dataset_.x,
+                                                                                  dataset_.y);
 }
 
 double DataParallelTrainer::evaluate_loss(const Dataset& data) const {
-  return models_.front().loss(data.x, data.y);
+  return models_[static_cast<std::size_t>(comm_.active_ranks().front())].loss(data.x, data.y);
 }
 
 double DataParallelTrainer::evaluate_accuracy(const Dataset& data) const {
-  return models_.front().accuracy(data.x, data.y);
+  return models_[static_cast<std::size_t>(comm_.active_ranks().front())].accuracy(data.x,
+                                                                                  data.y);
 }
 
 std::size_t DataParallelTrainer::total_bytes_per_worker() const {
@@ -93,15 +162,72 @@ std::size_t DataParallelTrainer::total_bytes_per_worker() const {
 
 double DataParallelTrainer::replica_divergence() const {
   double divergence = 0.0;
-  const auto& reference = models_.front().layers();
-  for (std::size_t r = 1; r < models_.size(); ++r) {
-    const auto& layers = models_[r].layers();
+  const std::vector<int> active = comm_.active_ranks();
+  const auto& reference = models_[static_cast<std::size_t>(active.front())].layers();
+  for (std::size_t a = 1; a < active.size(); ++a) {
+    const auto& layers = models_[static_cast<std::size_t>(active[a])].layers();
     for (std::size_t i = 0; i < layers.size(); ++i) {
       divergence = std::max(divergence, tensor::max_abs_diff(reference[i].w, layers[i].w));
       divergence = std::max(divergence, tensor::max_abs_diff(reference[i].b, layers[i].b));
     }
   }
   return divergence;
+}
+
+Checkpoint DataParallelTrainer::make_checkpoint() const {
+  Checkpoint ck;
+  ck.step = step_count_;
+  ck.layer_dims = config_.layer_dims;
+  const std::vector<int> active = comm_.active_ranks();
+  const auto first = static_cast<std::size_t>(active.front());
+  for (const auto& layer : models_[first].layers()) {
+    ck.params.push_back(layer.w);
+    ck.params.push_back(layer.b);
+  }
+  ck.optimizer_lr = optimizers_[first].current_lr();
+  ck.velocity = optimizers_[first].velocity();
+  ck.ranks.reserve(active.size());
+  for (const int rank : active) {
+    RankState rs;
+    rs.rank = rank;
+    rs.compressor_state = compressors_[static_cast<std::size_t>(rank)]->serialize_state();
+    ck.ranks.push_back(std::move(rs));
+  }
+  return ck;
+}
+
+void DataParallelTrainer::restore(const Checkpoint& ck) {
+  if (ck.layer_dims != config_.layer_dims)
+    throw std::invalid_argument(
+        "DataParallelTrainer: checkpoint layer_dims do not match this trainer");
+  for (const int rank : comm_.active_ranks()) {
+    const auto r = static_cast<std::size_t>(rank);
+    auto& layers = models_[r].layers();
+    if (ck.params.size() != layers.size() * 2)
+      throw std::invalid_argument("DataParallelTrainer: checkpoint parameter count mismatch");
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      layers[i].w = ck.params[2 * i];
+      layers[i].b = ck.params[2 * i + 1];
+    }
+    optimizers_[r].set_state(ck.optimizer_lr, ck.velocity);
+    // Error feedback drifted past the checkpoint: rebuild the compressor
+    // fresh, then load the blob saved for this original rank (a rank that
+    // joined no checkpoint keeps the fresh, empty state).
+    compressors_[r] = compress::make_compressor(config_.compression);
+    for (const auto& rs : ck.ranks)
+      if (rs.rank == rank) compressors_[r]->restore_state(rs.compressor_state);
+  }
+  step_count_ = ck.step;
+  if (history_.size() > static_cast<std::size_t>(ck.step))
+    history_.resize(static_cast<std::size_t>(ck.step));
+}
+
+void DataParallelTrainer::save_checkpoint(const std::string& path) const {
+  make_checkpoint().save(path);
+}
+
+void DataParallelTrainer::load_checkpoint(const std::string& path) {
+  restore(Checkpoint::load(path));
 }
 
 }  // namespace gradcomp::train

@@ -6,19 +6,37 @@
 // all-reduce or all-gather on the in-process ThreadComm), and each worker
 // applies the identical aggregated update — so replicas stay bit-identical,
 // which the trainer asserts.
+//
+// Fault tolerance: a FaultPlan can schedule a rank to die mid-run. The dying
+// rank declares itself dead, survivors observe comm::RankFailure at the
+// step's first collective, shrink the group, and the step retries at p-1 —
+// either continuing from current state (shrink-and-continue, gradients
+// automatically reweighted because world_size() reports the active count)
+// or rewinding to the last checkpoint first (restore-from-checkpoint).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/thread_comm.hpp"
 #include "compress/compressor.hpp"
+#include "core/fault_plan.hpp"
+#include "train/checkpoint.hpp"
 #include "train/data.hpp"
 #include "train/nn.hpp"
 #include "train/optimizer.hpp"
 
 namespace gradcomp::train {
+
+// What to do after a rank failure has been detected and the group shrunk.
+enum class RecoveryPolicy : std::uint8_t {
+  kShrinkContinue,      // survivors retry the step from current state
+  kRestoreCheckpoint,   // rewind to the last checkpoint first (falls back to
+                        // shrink-and-continue when no checkpoint exists)
+};
 
 struct TrainerConfig {
   int world_size = 4;
@@ -27,6 +45,15 @@ struct TrainerConfig {
   SgdOptions optimizer;
   std::int64_t batch_per_worker = 16;  // weak scaling: per-worker batch
   std::uint64_t seed = 7;
+
+  // Scheduled faults (only rank-failure events apply to the real trainer;
+  // stretch/link events shape the simulator). Empty = fault-free.
+  core::FaultPlan fault_plan;
+  RecoveryPolicy recovery = RecoveryPolicy::kShrinkContinue;
+  // Take an in-memory checkpoint every N successful steps (0 disables).
+  int checkpoint_every = 0;
+  // Deadline for every blocking collective wait in the thread group.
+  std::chrono::milliseconds comm_timeout{10000};
 };
 
 struct StepStats {
@@ -34,45 +61,87 @@ struct StepStats {
   std::size_t bytes_per_worker = 0;   // wire bytes one worker sent this step
   double encode_seconds = 0.0;        // summed over layers, averaged over workers
   double decode_seconds = 0.0;
+  int active_workers = 0;             // group size that executed this step
+};
+
+// One recovered failure: which ranks died before which step, and how the
+// trainer resumed.
+struct FailureRecord {
+  std::int64_t step = 0;           // step being attempted when failure hit
+  std::vector<int> failed_ranks;   // original rank ids removed by shrink()
+  RecoveryPolicy action = RecoveryPolicy::kShrinkContinue;
+  std::int64_t resumed_at_step = 0;  // == step for shrink-continue; checkpoint
+                                     // step after a restore
 };
 
 class DataParallelTrainer {
  public:
   DataParallelTrainer(TrainerConfig config, Dataset dataset);
 
-  // Runs one synchronous data-parallel step; all replicas update in lockstep.
+  // Runs one synchronous data-parallel step; all replicas update in
+  // lockstep. If a scheduled rank failure strikes, recovery runs inside this
+  // call and the method returns once ONE step has completed successfully
+  // (possibly an earlier step after a checkpoint rewind).
   StepStats step();
-  // Convenience: `n` steps, returning per-step mean losses.
+  // Runs until `steps` more successful steps are on the clock (steps_taken()
+  // advances by `steps` net of any checkpoint rewinds). Returns per-step
+  // mean losses, including re-executed steps after a rewind.
   std::vector<double> train(int steps);
 
-  // Evaluated on replica 0 over the full dataset.
+  // Evaluated on the first surviving replica over the full dataset.
   [[nodiscard]] double loss() const;
   [[nodiscard]] double accuracy() const;
-  // Evaluated on replica 0 over an arbitrary (e.g. held-out) dataset.
+  // Evaluated on the first surviving replica over an arbitrary dataset.
   [[nodiscard]] double evaluate_loss(const Dataset& data) const;
   [[nodiscard]] double evaluate_accuracy(const Dataset& data) const;
 
-  // Per-step stats recorded by step()/train(), oldest first.
+  // Per-step stats recorded by step()/train(), oldest first. Truncated on a
+  // checkpoint rewind so it always matches the realized trajectory.
   [[nodiscard]] const std::vector<StepStats>& history() const noexcept { return history_; }
   // Total wire bytes one worker transmitted across all steps so far.
   [[nodiscard]] std::size_t total_bytes_per_worker() const;
+  // Failures survived so far, oldest first.
+  [[nodiscard]] const std::vector<FailureRecord>& failures() const noexcept {
+    return failures_;
+  }
 
-  // Max elementwise parameter divergence across replicas (should be 0).
+  // Max elementwise parameter divergence across SURVIVING replicas (0).
   [[nodiscard]] double replica_divergence() const;
 
   [[nodiscard]] std::int64_t steps_taken() const noexcept { return step_count_; }
-  [[nodiscard]] const Mlp& replica(int rank) const { return models_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] int active_workers() const noexcept { return comm_.world_size(); }
+  [[nodiscard]] std::vector<int> active_ranks() const { return comm_.active_ranks(); }
+  [[nodiscard]] const Mlp& replica(int rank) const {
+    return models_.at(static_cast<std::size_t>(rank));
+  }
+
+  // --- checkpointing -------------------------------------------------------
+  // Snapshot of the current training state (params once, optimizer state,
+  // per-surviving-rank compressor blobs).
+  [[nodiscard]] Checkpoint make_checkpoint() const;
+  // Rewinds to `ck`: parameters, optimizer, compressor error-feedback state,
+  // and the step counter. The group's membership is NOT changed.
+  void restore(const Checkpoint& ck);
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
 
  private:
+  // Recovery after run_ranks observed a failure: record it and apply the
+  // configured policy. `before` is the active set prior to the failure.
+  void recover(const std::vector<int>& before);
+
   TrainerConfig config_;
   Dataset dataset_;
   std::vector<Dataset> shards_;
-  std::vector<Mlp> models_;
+  std::vector<Mlp> models_;                // indexed by ORIGINAL rank
   std::vector<std::unique_ptr<compress::Compressor>> compressors_;
   std::vector<SgdOptimizer> optimizers_;
   comm::ThreadComm comm_;
   std::vector<StepStats> history_;
+  std::vector<FailureRecord> failures_;
   std::int64_t step_count_ = 0;
+  Checkpoint last_checkpoint_;
+  bool has_checkpoint_ = false;
 };
 
 }  // namespace gradcomp::train

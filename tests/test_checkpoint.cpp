@@ -1,0 +1,178 @@
+// Checkpoint format and trainer restore: bit-exact round trips, refusal of
+// corrupted files, and deterministic replay of faulted runs.
+#include "train/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "train/trainer.hpp"
+
+namespace gradcomp::train {
+namespace {
+
+Dataset blobs() { return make_blobs(4, 16, 50, 0.6F, 21); }
+
+TrainerConfig base_config(int world = 4) {
+  TrainerConfig c;
+  c.world_size = world;
+  c.layer_dims = {16, 32, 4};
+  c.batch_per_worker = 16;
+  c.optimizer.lr = 0.1;
+  return c;
+}
+
+// Error-feedback compressor + momentum: exercises every checkpointed field.
+TrainerConfig stateful_config() {
+  TrainerConfig c = base_config();
+  c.compression.method = compress::Method::kTopK;
+  c.compression.fraction = 0.25;
+  c.optimizer.momentum = 0.9;
+  return c;
+}
+
+double replica_delta(const DataParallelTrainer& a, const DataParallelTrainer& b, int rank) {
+  double delta = 0.0;
+  const auto& la = a.replica(rank).layers();
+  const auto& lb = b.replica(rank).layers();
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    delta = std::max(delta, tensor::max_abs_diff(la[i].w, lb[i].w));
+    delta = std::max(delta, tensor::max_abs_diff(la[i].b, lb[i].b));
+  }
+  return delta;
+}
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip) {
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(10);
+  const Checkpoint ck = trainer.make_checkpoint();
+  const auto bytes = ck.serialize();
+  const Checkpoint back = Checkpoint::deserialize(bytes);
+  EXPECT_EQ(back.step, 10);
+  EXPECT_EQ(back.layer_dims, ck.layer_dims);
+  ASSERT_EQ(back.params.size(), ck.params.size());
+  for (std::size_t i = 0; i < ck.params.size(); ++i)
+    EXPECT_DOUBLE_EQ(tensor::max_abs_diff(back.params[i], ck.params[i]), 0.0);
+  EXPECT_DOUBLE_EQ(back.optimizer_lr, ck.optimizer_lr);
+  ASSERT_EQ(back.velocity.size(), ck.velocity.size());
+  ASSERT_EQ(back.ranks.size(), 4U);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(back.ranks[static_cast<std::size_t>(r)].rank, r);
+    EXPECT_EQ(back.ranks[static_cast<std::size_t>(r)].compressor_state,
+              ck.ranks[static_cast<std::size_t>(r)].compressor_state);
+  }
+}
+
+TEST(Checkpoint, RestoredTrainerContinuesBitExactly) {
+  const std::string path = ::testing::TempDir() + "gradcomp_ck_roundtrip.bin";
+  DataParallelTrainer a(stateful_config(), blobs());
+  a.train(10);
+  a.save_checkpoint(path);
+
+  DataParallelTrainer b(stateful_config(), blobs());
+  b.load_checkpoint(path);
+  EXPECT_EQ(b.steps_taken(), 10);
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(replica_delta(a, b, r), 0.0);
+
+  // Error feedback, momentum, and the decayed lr all restored: the two
+  // trainers now produce an identical trajectory.
+  a.train(10);
+  b.train(10);
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(replica_delta(a, b, r), 0.0);
+  EXPECT_DOUBLE_EQ(a.loss(), b.loss());
+}
+
+TEST(Checkpoint, RefusesTruncatedFile) {
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(3);
+  auto bytes = trainer.make_checkpoint().serialize();
+  bytes.resize(bytes.size() - 3);
+  try {
+    (void)Checkpoint::deserialize(bytes);
+    FAIL() << "expected truncation error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, RefusesCorruptedPayload) {
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(3);
+  auto bytes = trainer.make_checkpoint().serialize();
+  bytes[bytes.size() / 2] ^= std::byte{0x40};
+  try {
+    (void)Checkpoint::deserialize(bytes);
+    FAIL() << "expected CRC error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, RefusesBadMagicAndVersion) {
+  DataParallelTrainer trainer(base_config(), blobs());
+  trainer.train(1);
+  auto bytes = trainer.make_checkpoint().serialize();
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= std::byte{0xFF};
+  try {
+    (void)Checkpoint::deserialize(bad_magic);
+    FAIL() << "expected magic error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+
+  auto bad_version = bytes;
+  bad_version[4] ^= std::byte{0x02};  // version field, not covered by the CRC
+  try {
+    (void)Checkpoint::deserialize(bad_version);
+    FAIL() << "expected version error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)Checkpoint::load("/nonexistent/gradcomp.ck"), std::runtime_error);
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedArchitecture) {
+  DataParallelTrainer a(base_config(), blobs());
+  a.train(2);
+  const Checkpoint ck = a.make_checkpoint();
+  TrainerConfig other = base_config();
+  other.layer_dims = {16, 48, 4};
+  DataParallelTrainer b(other, blobs());
+  EXPECT_THROW(b.restore(ck), std::invalid_argument);
+}
+
+TEST(Checkpoint, FaultedRunReplaysBitIdentically) {
+  const auto make_faulted = [] {
+    TrainerConfig c = stateful_config();
+    core::FaultPlanOptions fp;
+    fp.world_size = c.world_size;
+    fp.iterations = 30;
+    fp.fail_rank = 1;
+    fp.fail_at_iteration = 7;
+    c.fault_plan = core::FaultPlan::generate(fp);
+    c.checkpoint_every = 5;
+    c.recovery = RecoveryPolicy::kRestoreCheckpoint;
+    return c;
+  };
+  DataParallelTrainer a(make_faulted(), blobs());
+  DataParallelTrainer b(make_faulted(), blobs());
+  const auto losses_a = a.train(20);
+  const auto losses_b = b.train(20);
+  ASSERT_EQ(losses_a.size(), losses_b.size());
+  for (std::size_t i = 0; i < losses_a.size(); ++i)
+    EXPECT_DOUBLE_EQ(losses_a[i], losses_b[i]);
+  for (const int r : a.active_ranks()) EXPECT_DOUBLE_EQ(replica_delta(a, b, r), 0.0);
+  ASSERT_EQ(a.failures().size(), 1U);
+  ASSERT_EQ(b.failures().size(), 1U);
+  EXPECT_EQ(a.failures()[0].failed_ranks, b.failures()[0].failed_ranks);
+}
+
+}  // namespace
+}  // namespace gradcomp::train

@@ -226,5 +226,124 @@ TEST(ClusterSim, IncastPenaltySlowsAllgatherMethods) {
             ClusterSim(cluster_at(32), clean).run_compressed(cfg, w).comm_s);
 }
 
+TEST(ClusterSim, ValidatesFaultAndNoiseOptions) {
+  SimOptions bad = exact_options();
+  bad.jitter_frac = -0.1;
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+
+  bad = exact_options();
+  bad.straggler_prob = 1.5;
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+  bad.straggler_prob = -0.01;
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+
+  bad = exact_options();
+  bad.straggler_factor = 0.8;  // a speedup, not a stretch
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+
+  bad = exact_options();
+  bad.incast_penalty = -0.05;
+  EXPECT_THROW(ClusterSim(cluster_at(4), bad), std::invalid_argument);
+
+  // Fault plan must match the cluster's world size.
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 10;
+  fp.fail_rank = 1;
+  fp.fail_at_iteration = 2;
+  SimOptions mismatched = exact_options();
+  mismatched.fault_plan = core::FaultPlan::generate(fp);
+  EXPECT_THROW(ClusterSim(cluster_at(4), mismatched), std::invalid_argument);
+}
+
+SimOptions planned_options(const core::FaultPlanOptions& fp) {
+  SimOptions o;
+  o.jitter_frac = 0.0;
+  o.fault_plan = core::FaultPlan::generate(fp);
+  return o;
+}
+
+TEST(ClusterSim, FaultEventsAppearAsTimelineSpans) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 4;
+  fp.fail_rank = 3;
+  fp.fail_at_iteration = 2;
+  ClusterSim sim(cluster_at(8), planned_options(fp));
+  const auto w = workload_of(models::resnet50(), 64);
+
+  EXPECT_TRUE(sim.run_syncsgd(w).timeline.spans_on("fault").empty());   // iter 0
+  EXPECT_TRUE(sim.run_syncsgd(w).timeline.spans_on("fault").empty());   // iter 1
+  const auto failure_iter = sim.run_syncsgd(w);                         // iter 2
+  const auto spans = failure_iter.timeline.spans_on("fault");
+  ASSERT_GE(spans.size(), 2U);  // recovery stall + the rank-failure event
+  bool saw_failure = false;
+  for (const auto& s : spans)
+    if (s.label.find("rank-failure rank 3") != std::string::npos) saw_failure = true;
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(ClusterSim, RankFailureShrinksWorldAndChargesRecovery) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 4;
+  fp.fail_rank = 0;
+  fp.fail_at_iteration = 1;
+  SimOptions faulted = planned_options(fp);
+  faulted.recovery_detect_s = 0.5;
+  ClusterSim sim(cluster_at(8), faulted);
+  ClusterSim clean(cluster_at(8), exact_options());
+  const auto w = workload_of(models::resnet50(), 64);
+
+  const auto before = sim.run_syncsgd(w);
+  const auto ref = clean.run_syncsgd(w);
+  EXPECT_NEAR(before.iteration_s, ref.iteration_s, 1e-9);  // iter 0 is clean
+
+  // The failure iteration pays the detection/shrink stall on top.
+  const auto failure_iter = sim.run_syncsgd(w);
+  EXPECT_GT(failure_iter.iteration_s, ref.iteration_s + 0.49);
+
+  // Subsequent iterations run at p-1: a 7-worker ring moves fewer bytes per
+  // link than an 8-worker one, so comm time drops below the clean baseline.
+  const auto after = sim.run_syncsgd(w);
+  EXPECT_TRUE(after.timeline.spans_on("fault").empty());
+  EXPECT_LT(after.comm_s, ref.comm_s);
+}
+
+TEST(ClusterSim, LinkDegradationSlowsCommDuringWindow) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 6;
+  fp.link_degrade_prob = 1.0;  // a window opens every iteration
+  fp.link_factor = 0.25;
+  fp.link_duration = 1;
+  ClusterSim degraded(cluster_at(8), planned_options(fp));
+  ClusterSim clean(cluster_at(8), exact_options());
+  const auto w = workload_of(models::resnet50(), 64);
+  const auto slow = degraded.run_syncsgd(w);
+  const auto fast = clean.run_syncsgd(w);
+  EXPECT_GT(slow.comm_s, fast.comm_s * 1.5);
+  EXPECT_FALSE(slow.timeline.spans_on("fault").empty());
+}
+
+TEST(ClusterSim, HeavyTailedPlanStretchesCompute) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 32;
+  fp.iterations = 20;
+  fp.straggler_dist = core::StragglerDist::kLognormal;
+  fp.lognormal_sigma = 0.5;
+  ClusterSim stretched(cluster_at(32), planned_options(fp));
+  ClusterSim clean(cluster_at(32), exact_options());
+  const auto w = workload_of(models::resnet50(), 64);
+  double stretched_total = 0.0;
+  double clean_total = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    stretched_total += stretched.run_syncsgd(w).compute_s;
+    clean_total += clean.run_syncsgd(w).compute_s;
+  }
+  // max over 32 lognormal(sigma=0.5) draws is well above 1 every iteration.
+  EXPECT_GT(stretched_total, clean_total * 1.2);
+}
+
 }  // namespace
 }  // namespace gradcomp::sim

@@ -1,0 +1,209 @@
+// FaultPlan: option validation, deterministic generation, distribution
+// shapes, rack correlation, link windows, and failure queries.
+#include "core/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gradcomp::core {
+namespace {
+
+FaultPlanOptions base(int world = 4, int iters = 50) {
+  FaultPlanOptions o;
+  o.world_size = world;
+  o.iterations = iters;
+  o.seed = 99;
+  return o;
+}
+
+TEST(FaultPlan, DefaultConstructedIsEmptyAndClean) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.compute_stretch(3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(plan.max_stretch(3), 1.0);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(3), 1.0);
+  EXPECT_EQ(plan.failed_rank_at(3), -1);
+  EXPECT_FALSE(plan.rank_failed_by(0, 100));
+}
+
+TEST(FaultPlan, ValidatesOptions) {
+  auto bad = base();
+  bad.world_size = 0;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.straggler_prob = 1.5;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+  bad.straggler_prob = -0.1;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.straggler_factor = 0.5;  // a speedup, not a stretch
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.straggler_dist = StragglerDist::kLognormal;
+  bad.lognormal_sigma = 0.0;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.link_factor = 0.0;
+  bad.link_degrade_prob = 0.5;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.fail_rank = 2;  // without fail_at_iteration
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.fail_rank = 7;  // out of range for world 4
+  bad.fail_at_iteration = 5;
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base();
+  bad.fail_rank = 1;
+  bad.fail_at_iteration = 500;  // past the horizon
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+}
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  auto o = base();
+  o.straggler_dist = StragglerDist::kLognormal;
+  o.link_degrade_prob = 0.1;
+  const FaultPlan a = FaultPlan::generate(o);
+  const FaultPlan b = FaultPlan::generate(o);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (int it = 0; it < o.iterations; ++it) {
+    EXPECT_DOUBLE_EQ(a.bandwidth_factor(it), b.bandwidth_factor(it));
+    for (int r = 0; r < o.world_size; ++r)
+      EXPECT_DOUBLE_EQ(a.compute_stretch(it, r), b.compute_stretch(it, r));
+  }
+
+  o.seed = 100;
+  const FaultPlan c = FaultPlan::generate(o);
+  bool any_differs = false;
+  for (int it = 0; it < o.iterations && !any_differs; ++it)
+    for (int r = 0; r < o.world_size; ++r)
+      if (a.compute_stretch(it, r) != c.compute_stretch(it, r)) any_differs = true;
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FaultPlan, BernoulliStretchIsTwoValued) {
+  auto o = base(8, 200);
+  o.straggler_dist = StragglerDist::kBernoulli;
+  o.straggler_prob = 0.1;
+  o.straggler_factor = 3.0;
+  const FaultPlan plan = FaultPlan::generate(o);
+  int stretched = 0;
+  for (int it = 0; it < o.iterations; ++it)
+    for (int r = 0; r < o.world_size; ++r) {
+      const double s = plan.compute_stretch(it, r);
+      EXPECT_TRUE(s == 1.0 || s == 3.0) << "got " << s;
+      if (s == 3.0) ++stretched;
+    }
+  // ~10% of 1600 draws; allow wide slack.
+  EXPECT_GT(stretched, 80);
+  EXPECT_LT(stretched, 320);
+}
+
+TEST(FaultPlan, HeavyTailedStretchesAreAtLeastOne) {
+  for (const auto dist : {StragglerDist::kLognormal, StragglerDist::kPareto}) {
+    auto o = base(8, 100);
+    o.straggler_dist = dist;
+    const FaultPlan plan = FaultPlan::generate(o);
+    double max_seen = 0.0;
+    for (int it = 0; it < o.iterations; ++it)
+      for (int r = 0; r < o.world_size; ++r) {
+        const double s = plan.compute_stretch(it, r);
+        EXPECT_GE(s, 1.0);
+        max_seen = std::max(max_seen, s);
+      }
+    // A heavy tail produces at least one visibly slow draw in 800 samples.
+    EXPECT_GT(max_seen, 1.5) << straggler_dist_name(dist);
+  }
+}
+
+TEST(FaultPlan, RackStragglersAreCorrelated) {
+  auto o = base(8, 200);
+  o.ranks_per_rack = 4;
+  o.rack_prob = 0.2;
+  o.rack_factor = 2.0;
+  const FaultPlan plan = FaultPlan::generate(o);
+  int rack_events = 0;
+  for (const auto& e : plan.events()) {
+    if (e.kind != FaultKind::kRackStraggler) continue;
+    ++rack_events;
+    // Every rank in the rack stretches by the same factor.
+    const int lo = e.rank;
+    for (int r = lo; r < lo + o.ranks_per_rack; ++r)
+      EXPECT_DOUBLE_EQ(plan.compute_stretch(e.iteration, r), o.rack_factor);
+  }
+  EXPECT_GT(rack_events, 0);
+}
+
+TEST(FaultPlan, LinkWindowsDegradeBandwidth) {
+  auto o = base(4, 300);
+  o.link_degrade_prob = 0.05;
+  o.link_factor = 0.25;
+  o.link_duration = 5;
+  const FaultPlan plan = FaultPlan::generate(o);
+  int window_events = 0;
+  for (const auto& e : plan.events()) {
+    if (e.kind != FaultKind::kLinkDegradation) continue;
+    ++window_events;
+    for (int it = e.iteration; it < e.iteration + e.duration; ++it)
+      EXPECT_LE(plan.bandwidth_factor(it), 0.25 + 1e-12);
+  }
+  EXPECT_GT(window_events, 0);
+  // Out-of-horizon queries are clean.
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(o.iterations + 10), 1.0);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(-1), 1.0);
+}
+
+TEST(FaultPlan, FailureQueries) {
+  auto o = base(4, 50);
+  o.fail_rank = 2;
+  o.fail_at_iteration = 20;
+  const FaultPlan plan = FaultPlan::generate(o);
+  EXPECT_EQ(plan.failed_rank_at(19), -1);
+  EXPECT_EQ(plan.failed_rank_at(20), 2);
+  EXPECT_EQ(plan.failed_rank_at(21), -1);
+  EXPECT_FALSE(plan.rank_failed_by(2, 19));
+  EXPECT_TRUE(plan.rank_failed_by(2, 20));
+  EXPECT_TRUE(plan.rank_failed_by(2, 49));
+  EXPECT_FALSE(plan.rank_failed_by(1, 49));
+  const auto events = plan.events_at(30);
+  ASSERT_EQ(events.size(), 1U);
+  EXPECT_EQ(events[0].kind, FaultKind::kRankFailure);
+  EXPECT_EQ(events[0].rank, 2);
+}
+
+TEST(FaultPlan, MaxStretchSkipsDeadRanks) {
+  auto o = base(2, 10);
+  o.straggler_dist = StragglerDist::kBernoulli;
+  o.straggler_prob = 1.0;  // every worker straggles every iteration
+  o.straggler_factor = 4.0;
+  o.fail_rank = 1;
+  o.fail_at_iteration = 5;
+  const FaultPlan plan = FaultPlan::generate(o);
+  EXPECT_DOUBLE_EQ(plan.max_stretch(0), 4.0);
+  // After rank 1 dies only rank 0's draw counts — still 4 here, but the
+  // dead rank's draw must not matter:
+  EXPECT_DOUBLE_EQ(plan.compute_stretch(7, 1), 4.0);  // table still holds it
+  EXPECT_DOUBLE_EQ(plan.max_stretch(7), 4.0);         // rank 0 alone
+}
+
+TEST(FaultPlan, EventsAreIterationOrdered) {
+  auto o = base(8, 100);
+  o.straggler_dist = StragglerDist::kPareto;
+  o.link_degrade_prob = 0.05;
+  const FaultPlan plan = FaultPlan::generate(o);
+  EXPECT_TRUE(std::is_sorted(
+      plan.events().begin(), plan.events().end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.iteration < b.iteration; }));
+}
+
+}  // namespace
+}  // namespace gradcomp::core

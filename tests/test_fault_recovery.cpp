@@ -1,0 +1,248 @@
+// Fault injection and recovery, end to end: dead ranks surface as
+// RankFailure instead of hangs, survivors shrink the group and keep
+// training, and both recovery policies finish with a loss close to the
+// fault-free run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "comm/thread_comm.hpp"
+#include "core/fault_plan.hpp"
+#include "train/trainer.hpp"
+
+namespace gradcomp {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- comm layer -------------------------------------------------------------
+
+TEST(CommFailure, DeclaredDeathSurfacesAsRankFailure) {
+  const int p = 4;
+  comm::ThreadComm comm(p);
+  std::atomic<int> failures{0};
+  std::atomic<int> sums{0};
+  comm::run_ranks(p, [&](int rank) {
+    if (rank == 1) {
+      comm.fail(rank);
+      return;
+    }
+    std::vector<float> data = {1.0F};
+    try {
+      comm.allreduce_sum(rank, data);
+      FAIL() << "rank " << rank << " should have observed the failure";
+    } catch (const comm::RankFailure& e) {
+      EXPECT_EQ(e.failed(), std::vector<int>{1});
+      failures++;
+      comm.shrink(rank);
+    }
+    // The group continues at p-1 with a correct sum.
+    comm.allreduce_sum(rank, data);
+    if (data[0] == 3.0F) sums++;
+  });
+  EXPECT_EQ(failures.load(), 3);
+  EXPECT_EQ(sums.load(), 3);
+  EXPECT_EQ(comm.world_size(), 3);
+  EXPECT_EQ(comm.initial_world_size(), 4);
+  EXPECT_EQ(comm.active_ranks(), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(CommFailure, TimeoutBlamesNonArrivingRank) {
+  const int p = 3;
+  comm::ThreadComm comm(p, 200ms);
+  std::atomic<int> failures{0};
+  comm::run_ranks(p, [&](int rank) {
+    if (rank == 2) return;  // never shows up at the barrier
+    try {
+      comm.barrier(rank);
+      FAIL() << "expected timeout-driven RankFailure";
+    } catch (const comm::RankFailure& e) {
+      EXPECT_EQ(e.failed(), std::vector<int>{2});
+      failures++;
+      const auto removed = comm.shrink(rank);
+      EXPECT_EQ(removed, std::vector<int>{2});
+    }
+    comm.barrier(rank);  // survivors' barrier completes immediately
+  });
+  EXPECT_EQ(failures.load(), 2);
+  EXPECT_EQ(comm.world_size(), 2);
+}
+
+TEST(CommFailure, ShrunkGroupRunsAllCollectives) {
+  const int p = 4;
+  comm::ThreadComm comm(p);
+  comm::run_ranks(p, [&](int rank) {
+    if (rank == 0) {  // kill the ring's old head: dense re-indexing shifts
+      comm.fail(rank);
+      return;
+    }
+    std::vector<float> data = {static_cast<float>(rank)};
+    try {
+      comm.allreduce_sum(rank, data);
+    } catch (const comm::RankFailure&) {
+      comm.shrink(rank);
+    }
+    // Ring all-reduce.
+    data = {static_cast<float>(rank)};
+    comm.allreduce_sum(rank, data);
+    EXPECT_FLOAT_EQ(data[0], 6.0F);  // 1 + 2 + 3
+    // Tree all-reduce.
+    data = {static_cast<float>(rank)};
+    comm.allreduce_sum(rank, data, comm::ThreadComm::Algorithm::kTree);
+    EXPECT_FLOAT_EQ(data[0], 6.0F);
+    // All-gather returns survivors in dense (ascending original) order.
+    const std::vector<float> mine = {static_cast<float>(10 * rank)};
+    const auto gathered = comm.allgather_floats(rank, mine);
+    ASSERT_EQ(gathered.size(), 3U);
+    EXPECT_FLOAT_EQ(gathered[0][0], 10.0F);
+    EXPECT_FLOAT_EQ(gathered[1][0], 20.0F);
+    EXPECT_FLOAT_EQ(gathered[2][0], 30.0F);
+    // Broadcast from a surviving root.
+    std::vector<float> bc = {rank == 2 ? 7.0F : 0.0F};
+    comm.broadcast(rank, 2, bc);
+    EXPECT_FLOAT_EQ(bc[0], 7.0F);
+  });
+}
+
+TEST(CommFailure, WorldSizeReportsActiveCountForReweighting) {
+  // Mean-semantics aggregation divides by world_size(); after a shrink the
+  // denominator must be the survivor count.
+  const int p = 4;
+  comm::ThreadComm comm(p);
+  comm::run_ranks(p, [&](int rank) {
+    if (rank == 3) {
+      comm.fail(rank);
+      return;
+    }
+    std::vector<float> data = {2.0F};
+    try {
+      comm.allreduce_sum(rank, data);
+    } catch (const comm::RankFailure&) {
+      comm.shrink(rank);
+    }
+    data = {2.0F};
+    comm.allreduce_sum(rank, data);
+    const float mean = data[0] / static_cast<float>(comm.world_size());
+    EXPECT_FLOAT_EQ(mean, 2.0F);  // 6 / 3, not 6 / 4
+  });
+}
+
+TEST(CommFailure, DeadRankCannotCallShrink) {
+  comm::ThreadComm comm(1);
+  comm.fail(0);
+  EXPECT_THROW((void)comm.shrink(0), std::logic_error);
+}
+
+// --- trainer layer ----------------------------------------------------------
+
+train::Dataset blobs() { return train::make_blobs(4, 16, 50, 0.6F, 21); }
+
+train::TrainerConfig recovery_config(train::RecoveryPolicy policy, bool faulted) {
+  train::TrainerConfig c;
+  c.world_size = 4;
+  c.layer_dims = {16, 32, 4};
+  c.batch_per_worker = 16;
+  c.optimizer.lr = 0.1;
+  c.recovery = policy;
+  c.checkpoint_every = 5;
+  if (faulted) {
+    core::FaultPlanOptions fp;
+    fp.world_size = 4;
+    fp.iterations = 60;
+    fp.fail_rank = 2;
+    fp.fail_at_iteration = 12;
+    c.fault_plan = core::FaultPlan::generate(fp);
+  }
+  return c;
+}
+
+TEST(FaultRecovery, ShrinkAndContinueCompletesTraining) {
+  train::DataParallelTrainer clean(
+      recovery_config(train::RecoveryPolicy::kShrinkContinue, false), blobs());
+  const double initial = clean.loss();
+  clean.train(40);
+
+  train::DataParallelTrainer faulted(
+      recovery_config(train::RecoveryPolicy::kShrinkContinue, true), blobs());
+  faulted.train(40);
+
+  EXPECT_EQ(faulted.steps_taken(), 40);
+  EXPECT_EQ(faulted.active_workers(), 3);
+  EXPECT_EQ(faulted.active_ranks(), (std::vector<int>{0, 1, 3}));
+  ASSERT_EQ(faulted.failures().size(), 1U);
+  EXPECT_EQ(faulted.failures()[0].failed_ranks, std::vector<int>{2});
+  EXPECT_EQ(faulted.failures()[0].step, 12);
+  EXPECT_EQ(faulted.failures()[0].action, train::RecoveryPolicy::kShrinkContinue);
+  EXPECT_EQ(faulted.failures()[0].resumed_at_step, 12);
+
+  // Survivors stay in lockstep and the run still converges to a final loss
+  // in the fault-free ballpark.
+  EXPECT_LT(faulted.replica_divergence(), 1e-6);
+  EXPECT_LT(faulted.loss(), initial * 0.5);
+  EXPECT_NEAR(faulted.loss(), clean.loss(), 0.1);
+  EXPECT_GT(faulted.accuracy(), 0.85);
+}
+
+TEST(FaultRecovery, CheckpointRestoreCompletesTraining) {
+  train::DataParallelTrainer clean(
+      recovery_config(train::RecoveryPolicy::kRestoreCheckpoint, false), blobs());
+  const double initial = clean.loss();
+  clean.train(40);
+
+  train::DataParallelTrainer faulted(
+      recovery_config(train::RecoveryPolicy::kRestoreCheckpoint, true), blobs());
+  faulted.train(40);
+
+  EXPECT_EQ(faulted.steps_taken(), 40);
+  EXPECT_EQ(faulted.active_workers(), 3);
+  ASSERT_EQ(faulted.failures().size(), 1U);
+  EXPECT_EQ(faulted.failures()[0].failed_ranks, std::vector<int>{2});
+  EXPECT_EQ(faulted.failures()[0].step, 12);
+  EXPECT_EQ(faulted.failures()[0].action, train::RecoveryPolicy::kRestoreCheckpoint);
+  // checkpoint_every = 5 and the failure hit while attempting step 12, so
+  // the run rewound to the step-10 checkpoint.
+  EXPECT_EQ(faulted.failures()[0].resumed_at_step, 10);
+
+  EXPECT_LT(faulted.replica_divergence(), 1e-6);
+  EXPECT_LT(faulted.loss(), initial * 0.5);
+  EXPECT_NEAR(faulted.loss(), clean.loss(), 0.1);
+  EXPECT_GT(faulted.accuracy(), 0.85);
+}
+
+TEST(FaultRecovery, HistoryMatchesRealizedTrajectory) {
+  train::DataParallelTrainer faulted(
+      recovery_config(train::RecoveryPolicy::kRestoreCheckpoint, true), blobs());
+  faulted.train(20);
+  // One stats entry per realized step, regardless of the rewind.
+  EXPECT_EQ(faulted.history().size(), 20U);
+  // Steps before the failure ran at p=4, after at p=3.
+  EXPECT_EQ(faulted.history().front().active_workers, 4);
+  EXPECT_EQ(faulted.history().back().active_workers, 3);
+}
+
+TEST(FaultRecovery, RestorePolicyWithoutCheckpointFallsBackToShrink) {
+  auto cfg = recovery_config(train::RecoveryPolicy::kRestoreCheckpoint, true);
+  cfg.checkpoint_every = 0;  // never checkpoints
+  train::DataParallelTrainer faulted(cfg, blobs());
+  faulted.train(20);
+  ASSERT_EQ(faulted.failures().size(), 1U);
+  EXPECT_EQ(faulted.failures()[0].action, train::RecoveryPolicy::kShrinkContinue);
+  EXPECT_EQ(faulted.steps_taken(), 20);
+}
+
+TEST(FaultRecovery, TrainerRejectsMismatchedPlan) {
+  auto cfg = recovery_config(train::RecoveryPolicy::kShrinkContinue, false);
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;  // != trainer world 4
+  fp.iterations = 10;
+  fp.fail_rank = 5;
+  fp.fail_at_iteration = 2;
+  cfg.fault_plan = core::FaultPlan::generate(fp);
+  EXPECT_THROW(train::DataParallelTrainer(cfg, blobs()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gradcomp

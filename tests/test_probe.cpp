@@ -24,6 +24,18 @@ TEST(Probe, RequiresTwoWorkers) {
   EXPECT_THROW(probe_network(cluster_at(1)), std::invalid_argument);
 }
 
+TEST(Probe, ValidatesOptions) {
+  ProbeOptions bad = exact_probe();
+  bad.jitter_frac = -0.5;
+  EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
+  bad = exact_probe();
+  bad.alpha_probe_bytes = 0.0;
+  EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
+  bad = exact_probe();
+  bad.bandwidth_probe_bytes = -1.0;
+  EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
+}
+
 TEST(Probe, RecoversAlphaExactly) {
   // Tiny-tensor ring-reduce / (p-1) — the paper's alpha procedure — is exact
   // when the bandwidth term is negligible and jitter is off.

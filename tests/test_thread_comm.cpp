@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <vector>
 
 namespace gradcomp::comm {
@@ -249,6 +251,43 @@ TEST(ThreadComm, TreeAllreduceSingleRank) {
   std::vector<float> data = {3.0F};
   comm.allreduce_sum(0, data, ThreadComm::Algorithm::kTree);
   EXPECT_FLOAT_EQ(data[0], 3.0F);
+}
+
+TEST(ThreadComm, ReportsMembershipAndTimeout) {
+  ThreadComm comm(3, std::chrono::milliseconds(1234));
+  EXPECT_EQ(comm.timeout().count(), 1234);
+  comm.set_timeout(std::chrono::milliseconds(500));
+  EXPECT_EQ(comm.timeout().count(), 500);
+  EXPECT_EQ(comm.world_size(), 3);
+  EXPECT_EQ(comm.initial_world_size(), 3);
+  EXPECT_TRUE(comm.is_active(2));
+  EXPECT_EQ(comm.active_ranks(), (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(comm.failed_ranks().empty());
+}
+
+TEST(ThreadComm, BarrierSeparatesPhases) {
+  const int p = 4;
+  ThreadComm comm(p);
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> order_violated{false};
+  run_ranks(p, [&](int rank) {
+    phase_one++;
+    comm.barrier(rank);
+    // After the barrier every rank must observe all p phase-one increments.
+    if (phase_one.load() != p) order_violated.store(true);
+    comm.barrier(rank);
+  });
+  EXPECT_FALSE(order_violated.load());
+}
+
+TEST(RunRanks, SubsetOverloadRunsOnlyGivenRanks) {
+  std::vector<std::atomic<int>> hits(4);
+  const std::vector<int> subset = {0, 2, 3};
+  run_ranks(std::span<const int>(subset), [&](int r) { hits[static_cast<std::size_t>(r)]++; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 0);
+  EXPECT_EQ(hits[2].load(), 1);
+  EXPECT_EQ(hits[3].load(), 1);
 }
 
 // Property sweep: BOTH all-reduce algorithms equal the arithmetic sum for
