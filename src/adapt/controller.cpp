@@ -1,0 +1,139 @@
+#include "adapt/controller.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "compress/registry.hpp"
+
+namespace gradcomp::adapt {
+
+namespace {
+
+std::string fmt_ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  return buf;
+}
+
+std::string fmt_x(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+}  // namespace
+
+Controller::Controller(core::Workload workload, core::Cluster cluster,
+                       ControllerOptions options)
+    : workload_(std::move(workload)),
+      base_cluster_(std::move(cluster)),
+      options_(std::move(options)),
+      link_(base_cluster_.network, options_.estimator_half_life, options_.estimator_window),
+      compute_(base_cluster_.device, options_.estimator_half_life, options_.estimator_window),
+      current_(options_.initial),
+      last_world_(base_cluster_.world_size) {
+  if (options_.decision_interval < 1)
+    throw std::invalid_argument("Controller: decision_interval must be >= 1");
+  if (options_.min_dwell < 0)
+    throw std::invalid_argument("Controller: min_dwell must be >= 0");
+  if (options_.switch_margin < 0.0)
+    throw std::invalid_argument("Controller: switch_margin must be >= 0");
+  if (base_cluster_.world_size < 1)
+    throw std::invalid_argument("Controller: cluster world_size must be >= 1");
+  if (options_.candidates.empty()) options_.candidates = core::default_candidates();
+}
+
+std::optional<Decision> Controller::observe(const Observation& o) {
+  link_.observe(o);
+  compute_.observe(o);
+  if (o.world_size >= 1) last_world_ = o.world_size;
+  ++iteration_;
+  if (iteration_ % options_.decision_interval != 0) return std::nullopt;
+  Decision d = decide();
+  decisions_.push_back(d);
+  return d;
+}
+
+core::Cluster Controller::estimated_cluster() const {
+  core::Cluster c = base_cluster_;
+  c.world_size = last_world_;
+  c.network = link_.network();
+  c.device = compute_.device();
+  return c;
+}
+
+Decision Controller::decide() {
+  const core::Cluster cluster = estimated_cluster();
+  const core::Recommendation rec = core::advise(workload_, cluster, options_.candidates);
+
+  // The decision pool: syncSGD plus the ranked panel. The incumbent's time
+  // comes from the same advisor run when it is in the pool, or from a direct
+  // model evaluation when the controller was started on an off-panel scheme.
+  const bool incumbent_is_sync =
+      current_.config.method == compress::Method::kSyncSgd;
+  double incumbent_s = incumbent_is_sync ? rec.sync.total_s : 0.0;
+  if (!incumbent_is_sync) {
+    for (const auto& r : rec.ranked)
+      if (r.candidate.config == current_.config) {
+        incumbent_s = r.breakdown.total_s;
+        break;
+      }
+    if (incumbent_s == 0.0)
+      incumbent_s =
+          core::PerfModel{}.compressed(current_.config, workload_, cluster).total_s;
+  }
+
+  core::Candidate challenger{"syncSGD", {}};
+  double challenger_s = rec.sync.total_s;
+  if (!rec.ranked.empty() && rec.ranked.front().breakdown.total_s < challenger_s) {
+    challenger = rec.ranked.front().candidate;
+    challenger_s = rec.ranked.front().breakdown.total_s;
+  }
+
+  Decision d;
+  d.iteration = iteration_;
+  d.effective_gbps = link_.gbps();
+  d.compute_stretch = compute_.stretch();
+  d.incumbent_s = incumbent_s;
+
+  char where[96];
+  std::snprintf(where, sizeof(where), " [%.2f Gbps eff, stretch %.2f]", d.effective_gbps,
+                d.compute_stretch);
+
+  if (challenger.config == current_.config) {
+    d.chosen = current_;
+    d.predicted_s = incumbent_s;
+    d.reason = current_.label + " still predicted fastest (" + fmt_ms(incumbent_s) + ")" + where;
+    return d;
+  }
+
+  const double advantage = challenger_s > 0.0 ? incumbent_s / challenger_s : 0.0;
+  if (iteration_ - last_switch_iteration_ < options_.min_dwell) {
+    d.chosen = current_;
+    d.predicted_s = incumbent_s;
+    d.reason = "hold " + current_.label + ": " + challenger.label + " predicted " +
+               fmt_x(advantage) + " but dwell not elapsed" + where;
+    return d;
+  }
+  if (advantage < 1.0 + options_.switch_margin) {
+    d.chosen = current_;
+    d.predicted_s = incumbent_s;
+    d.reason = "hold " + current_.label + ": " + challenger.label + " predicted " +
+               fmt_x(advantage) + ", inside switch margin" + where;
+    return d;
+  }
+
+  d.switched = true;
+  d.chosen = challenger;
+  d.predicted_s = challenger_s;
+  d.reason = "switch " + current_.label + " -> " + challenger.label + " (" +
+             compress::config_to_string(challenger.config) + "): predicted " +
+             fmt_x(advantage) + where;
+  current_ = challenger;
+  last_switch_iteration_ = iteration_;
+  ++switches_;
+  return d;
+}
+
+}  // namespace gradcomp::adapt

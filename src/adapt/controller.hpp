@@ -1,0 +1,100 @@
+// Online adaptive-compression policy engine.
+//
+// Closes the loop the paper leaves open: core::advise() renders the
+// Section 7 verdict for ONE static cluster description, but live clusters
+// move through regimes (link-degradation windows, stragglers — see
+// core::FaultPlan). The Controller re-runs the advisor every
+// `decision_interval` iterations against a cluster REBUILT from measured
+// signals (adapt/estimators.hpp) and switches the active scheme when the
+// predicted win clears a hysteresis band, so training tracks the
+// per-regime winner without thrashing at crossover bandwidths.
+//
+// The controller is a pure function of its observation stream: identical
+// observations produce identical decisions, which is what makes adaptive
+// runs replayable (decisions are logged in the CompressorConfig wire form).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/estimators.hpp"
+#include "core/advisor.hpp"
+
+namespace gradcomp::adapt {
+
+struct ControllerOptions {
+  // Iterations between advisor re-runs (>= 1).
+  int decision_interval = 5;
+  // Minimum iterations between SWITCHES: after changing schemes the
+  // controller holds the new one at least this long (>= 0).
+  int min_dwell = 10;
+  // Required predicted advantage before switching: the challenger must be
+  // predicted at least (1 + switch_margin) times faster than the incumbent.
+  // Together with min_dwell this is the anti-thrash hysteresis.
+  double switch_margin = 0.05;
+  // EWMA half-life (iterations) for both estimators.
+  double estimator_half_life = 4.0;
+  // Sliding-window size for the estimators' percentile queries.
+  int estimator_window = 32;
+  // Candidate panel the advisor evaluates; empty = core::default_candidates().
+  // syncSGD is always in the pool as the implicit baseline.
+  std::vector<core::Candidate> candidates;
+  // Scheme the controller starts on (default: uncompressed syncSGD).
+  core::Candidate initial{"syncSGD", {}};
+};
+
+// One advisor consultation. Every decision point produces a Decision —
+// including "stay" verdicts — so callers can render a gap-free "adapt"
+// stream on their Timeline.
+struct Decision {
+  int iteration = 0;   // observation index that closed the decision window
+  bool switched = false;
+  core::Candidate chosen;       // active scheme AFTER this decision
+  std::string reason;           // human-readable justification
+  double predicted_s = 0.0;     // modeled iteration time of `chosen`
+  double incumbent_s = 0.0;     // modeled iteration time of the previous scheme
+  double effective_gbps = 0.0;  // link estimate the advisor saw
+  double compute_stretch = 1.0; // compute estimate the advisor saw
+};
+
+class Controller {
+ public:
+  // `cluster` is the prior: its network/device seed the estimators and its
+  // world size is used until observations report otherwise.
+  Controller(core::Workload workload, core::Cluster cluster, ControllerOptions options);
+
+  // Feeds one iteration's signals. Returns a Decision when this observation
+  // closes a decision window, nullopt otherwise.
+  std::optional<Decision> observe(const Observation& o);
+
+  // The scheme a caller should run the NEXT iteration with.
+  [[nodiscard]] const core::Candidate& current() const noexcept { return current_; }
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept { return decisions_; }
+  // Iterations observed so far.
+  [[nodiscard]] int iteration() const noexcept { return iteration_; }
+  // Total scheme switches so far.
+  [[nodiscard]] int switches() const noexcept { return switches_; }
+
+  [[nodiscard]] const LinkEstimator& link() const noexcept { return link_; }
+  [[nodiscard]] const ComputeEstimator& compute() const noexcept { return compute_; }
+  // The measurement-rebuilt cluster the next advisor run would see.
+  [[nodiscard]] core::Cluster estimated_cluster() const;
+
+ private:
+  [[nodiscard]] Decision decide();
+
+  core::Workload workload_;
+  core::Cluster base_cluster_;
+  ControllerOptions options_;
+  LinkEstimator link_;
+  ComputeEstimator compute_;
+  core::Candidate current_;
+  std::vector<Decision> decisions_;
+  int iteration_ = 0;
+  int last_switch_iteration_ = 0;
+  int last_world_ = 0;
+  int switches_ = 0;
+};
+
+}  // namespace gradcomp::adapt

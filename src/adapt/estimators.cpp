@@ -1,0 +1,170 @@
+#include "adapt/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/perf_model.hpp"
+#include "models/bucketing.hpp"
+
+namespace gradcomp::adapt {
+
+// ---------------------------------------------------------------------------
+// Ewma
+
+Ewma::Ewma(double half_life) {
+  if (half_life <= 0.0) throw std::invalid_argument("Ewma: half_life must be > 0");
+  decay_ = std::exp(-std::log(2.0) / half_life);
+}
+
+void Ewma::update(double sample) {
+  value_ = count_ == 0 ? sample : decay_ * value_ + (1.0 - decay_) * sample;
+  ++count_;
+}
+
+double Ewma::value() const {
+  if (count_ == 0) throw std::logic_error("Ewma: no samples yet");
+  return value_;
+}
+
+// ---------------------------------------------------------------------------
+// WindowPercentile
+
+WindowPercentile::WindowPercentile(int capacity)
+    : capacity_(static_cast<std::size_t>(capacity)) {
+  if (capacity < 1) throw std::invalid_argument("WindowPercentile: capacity must be >= 1");
+}
+
+void WindowPercentile::update(double sample) {
+  if (window_.size() < capacity_) {
+    window_.push_back(sample);
+  } else {
+    window_[next_] = sample;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+double WindowPercentile::percentile(double q) const {
+  if (window_.empty()) throw std::logic_error("WindowPercentile: no samples yet");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("WindowPercentile: q must be in [0, 1]");
+  std::vector<double> sorted = window_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(std::floor(q * static_cast<double>(sorted.size())),
+                       static_cast<double>(sorted.size() - 1)));
+  return sorted[rank];
+}
+
+// ---------------------------------------------------------------------------
+// CollectiveShape
+
+CollectiveShape collective_shape(const compress::CompressorConfig& config,
+                                 const models::ModelProfile& model,
+                                 std::int64_t bucket_bytes) {
+  using compress::Method;
+  CollectiveShape shape;
+  switch (config.method) {
+    case Method::kSyncSgd:
+    case Method::kFp16:
+      // One ring all-reduce per DDP bucket.
+      shape.count = static_cast<int>(models::bucket_sizes(model, bucket_bytes).size());
+      break;
+    case Method::kPowerSgd: {
+      const auto bytes = core::PerfModel::low_rank_bytes(model, config.rank);
+      shape.count = bytes.dense_bytes > 0 ? 3 : 2;  // P, Q, (+ 1-D layers)
+      break;
+    }
+    case Method::kRandomK:
+      shape.count = 1;  // values-only ring all-reduce
+      break;
+    case Method::kTopK:
+    case Method::kDgc:
+      shape = {2, true};  // values + indices all-gathers
+      break;
+    case Method::kAtomo: {
+      const auto bytes = core::PerfModel::low_rank_bytes(model, config.rank);
+      shape = {bytes.dense_bytes > 0 ? 2 : 1, true};
+      break;
+    }
+    case Method::kSignSgd:
+    case Method::kOneBit:
+    case Method::kQsgd:
+    case Method::kTernGrad:
+    case Method::kNatural:
+      shape = {1, true};
+      break;
+  }
+  return shape;
+}
+
+// ---------------------------------------------------------------------------
+// LinkEstimator
+
+LinkEstimator::LinkEstimator(comm::Network base, double half_life, int window)
+    : base_(base), ewma_(half_life), window_(window) {}
+
+void LinkEstimator::observe(const Observation& o) {
+  const int p = o.world_size;
+  if (p < 2 || o.wire_bytes <= 0.0 || o.collective_s <= 0.0) return;
+  // Ring all-reduce of b bytes:  T = alpha*(p-1) + 2*b*(p-1)/(p*BW)
+  // All-gather of b bytes/rank:  T = alpha*(p-1) + b*(p-1)/BW
+  // With `count` back-to-back collectives moving `wire_bytes` total, the
+  // latency term multiplies by count and the bandwidth term keeps the total
+  // payload, so BW falls straight out of the measured wall time.
+  const double latency =
+      static_cast<double>(o.shape.count) * base_.alpha_s * static_cast<double>(p - 1);
+  const double transfer = o.collective_s - latency;
+  if (transfer <= 0.0) return;  // not explainable at any positive bandwidth
+  const double pd = static_cast<double>(p);
+  const double bw = o.shape.allgather
+                        ? o.wire_bytes * (pd - 1.0) / transfer
+                        : 2.0 * o.wire_bytes * (pd - 1.0) / (pd * transfer);
+  if (!std::isfinite(bw) || bw <= 0.0) return;
+  ewma_.update(bw);
+  window_.update(bw);
+}
+
+double LinkEstimator::bandwidth_bps() const {
+  return ewma_.ready() ? ewma_.value() : base_.bandwidth_bps;
+}
+
+double LinkEstimator::percentile_bps(double q) const {
+  return window_.ready() ? window_.percentile(q) : base_.bandwidth_bps;
+}
+
+comm::Network LinkEstimator::network() const {
+  comm::Network net = base_;
+  net.bandwidth_bps = bandwidth_bps();
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// ComputeEstimator
+
+ComputeEstimator::ComputeEstimator(models::Device base, double half_life, int window)
+    : base_(std::move(base)), ewma_(half_life), window_(window) {}
+
+void ComputeEstimator::observe(const Observation& o) {
+  if (o.backward_s <= 0.0 || o.nominal_backward_s <= 0.0) return;
+  // Floor far below any physical speedup: keeps a degenerate measurement
+  // (e.g. a microsecond-scale in-process backward against a modeled GPU
+  // profile) finite without biasing realistic samples.
+  const double stretch = std::max(o.backward_s / o.nominal_backward_s, 1e-6);
+  ewma_.update(stretch);
+  window_.update(stretch);
+}
+
+double ComputeEstimator::stretch() const { return ewma_.ready() ? ewma_.value() : 1.0; }
+
+double ComputeEstimator::percentile_stretch(double q) const {
+  return window_.ready() ? window_.percentile(q) : 1.0;
+}
+
+models::Device ComputeEstimator::device() const {
+  models::Device d = base_;
+  d.compute_scale = base_.compute_scale / stretch();
+  return d;
+}
+
+}  // namespace gradcomp::adapt

@@ -1,0 +1,144 @@
+// Online estimators for the adaptive-compression controller.
+//
+// The paper's verdict — compression pays off only in specific
+// bandwidth/compute regimes (Section 7) — is delivered statically by
+// core::advise(). These estimators recover the two regime coordinates from
+// live per-iteration measurements so the advisor can be re-run online:
+//
+//   * LinkEstimator inverts the alpha-beta collective cost model
+//     (comm/cost_model.hpp) to turn (bytes moved, collective wall time)
+//     into an EFFECTIVE bandwidth estimate — whatever mixture of link
+//     degradation, incast, and contention produced the observed time;
+//   * ComputeEstimator turns (measured backward time / modeled backward
+//     time) into a compute-stretch estimate covering stragglers, thermal
+//     throttling, and mis-calibrated device profiles alike.
+//
+// Both smooth their samples with an EWMA (half-life in iterations) and keep
+// a bounded window for percentile queries, so a controller can trade
+// responsiveness against straggler-spike robustness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "compress/compressor.hpp"
+#include "models/device.hpp"
+#include "models/model_profile.hpp"
+
+namespace gradcomp::adapt {
+
+// Exponentially weighted moving average parameterized by half-life: after
+// `half_life` updates an old sample contributes half its original weight.
+class Ewma {
+ public:
+  explicit Ewma(double half_life);
+
+  void update(double sample);
+  [[nodiscard]] bool ready() const noexcept { return count_ > 0; }
+  [[nodiscard]] int count() const noexcept { return count_; }
+  // Current estimate; throws std::logic_error before the first update.
+  [[nodiscard]] double value() const;
+
+ private:
+  double decay_ = 0.5;
+  double value_ = 0.0;
+  int count_ = 0;
+};
+
+// Bounded sliding window with percentile queries (exact, by sorting the
+// window — capacities are small).
+class WindowPercentile {
+ public:
+  explicit WindowPercentile(int capacity);
+
+  void update(double sample);
+  [[nodiscard]] bool ready() const noexcept { return !window_.empty(); }
+  // q in [0, 1]; nearest-rank percentile over the current window. Throws
+  // std::logic_error before the first update.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor
+  std::vector<double> window_;
+};
+
+// How a scheme's aggregation maps onto collectives: the number of back-to-
+// back collective calls (each paying its own alpha*(p-1) latency term) and
+// whether they are all-gathers (payload grows with p) or ring all-reduces.
+// Needed to invert a summed collective wall time back into a bandwidth.
+struct CollectiveShape {
+  int count = 1;
+  bool allgather = false;
+};
+
+[[nodiscard]] CollectiveShape collective_shape(const compress::CompressorConfig& config,
+                                               const models::ModelProfile& model,
+                                               std::int64_t bucket_bytes);
+
+// One iteration's measured signals, fed by the simulator (modeled timings)
+// or the trainer (wall clock).
+struct Observation {
+  double wire_bytes = 0.0;    // logical payload one rank moved (PerfModel::wire_bytes)
+  double collective_s = 0.0;  // summed collective wall time (busy, not exposed)
+  double backward_s = 0.0;    // measured backward-pass wall time
+  double nominal_backward_s = 0.0;  // modeled backward time on the base device
+  int world_size = 1;
+  CollectiveShape shape;
+};
+
+class LinkEstimator {
+ public:
+  // `base` supplies the latency term used in the inversion and the prior
+  // bandwidth reported before any valid sample arrives.
+  explicit LinkEstimator(comm::Network base, double half_life = 8.0, int window = 32);
+
+  // Inverts the alpha-beta model for the observation's collective shape.
+  // Observations whose wall time is not explainable at any positive
+  // bandwidth (time <= latency term, zero bytes) are discarded.
+  void observe(const Observation& o);
+
+  [[nodiscard]] bool ready() const noexcept { return ewma_.ready(); }
+  [[nodiscard]] int samples() const noexcept { return ewma_.count(); }
+  // EWMA effective bandwidth (bytes/s); the base network's before the first
+  // valid sample.
+  [[nodiscard]] double bandwidth_bps() const;
+  [[nodiscard]] double gbps() const { return bandwidth_bps() * 8.0 / 1e9; }
+  // Robust lower quantile over the window (e.g. q=0.5 for median), for
+  // controllers that want spike resistance instead of the EWMA.
+  [[nodiscard]] double percentile_bps(double q) const;
+  // The base network with its bandwidth replaced by the current estimate.
+  [[nodiscard]] comm::Network network() const;
+
+ private:
+  comm::Network base_;
+  Ewma ewma_;
+  WindowPercentile window_;
+};
+
+class ComputeEstimator {
+ public:
+  explicit ComputeEstimator(models::Device base, double half_life = 8.0, int window = 32);
+
+  // stretch sample = measured / nominal backward time; non-positive inputs
+  // are discarded. Clamped to a sane floor so a pathological measurement
+  // cannot produce an infinite device.
+  void observe(const Observation& o);
+
+  [[nodiscard]] bool ready() const noexcept { return ewma_.ready(); }
+  [[nodiscard]] int samples() const noexcept { return ewma_.count(); }
+  // EWMA compute stretch (> 1 means slower than the base device); 1.0
+  // before the first sample.
+  [[nodiscard]] double stretch() const;
+  [[nodiscard]] double percentile_stretch(double q) const;
+  // The base device rescaled by the estimated stretch.
+  [[nodiscard]] models::Device device() const;
+
+ private:
+  models::Device base_;
+  Ewma ewma_;
+  WindowPercentile window_;
+};
+
+}  // namespace gradcomp::adapt

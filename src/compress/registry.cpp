@@ -1,5 +1,8 @@
 #include "compress/registry.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "compress/atomo.hpp"
@@ -53,6 +56,159 @@ std::string method_name(Method method) {
     case Method::kNatural: return "natural";
   }
   throw std::invalid_argument("method_name: unknown method");
+}
+
+Method method_from_name(const std::string& name) {
+  for (const Method m : all_methods())
+    if (method_name(m) == name) return m;
+  throw std::invalid_argument("method_from_name: unknown method '" + name + "'");
+}
+
+namespace {
+
+// Which keys each method consumes — the single source of truth for the wire
+// form, its parser, and semantic equality. Key order here is emission order.
+enum class Key : std::uint8_t { kFraction, kRank, kLevels, kErrorFeedback, kFp16Values,
+                                kSeed, kWarmStart, kMomentum };
+
+struct KeySpec {
+  Key key;
+  const char* name;
+};
+
+std::vector<KeySpec> keys_for(Method method) {
+  switch (method) {
+    case Method::kSyncSgd:
+    case Method::kFp16:
+    case Method::kOneBit:
+      return {};
+    case Method::kSignSgd:
+      return {{Key::kErrorFeedback, "error_feedback"}};
+    case Method::kTopK:
+      return {{Key::kFraction, "fraction"},
+              {Key::kErrorFeedback, "error_feedback"},
+              {Key::kFp16Values, "fp16_values"}};
+    case Method::kRandomK:
+      return {{Key::kFraction, "fraction"}, {Key::kSeed, "seed"}};
+    case Method::kPowerSgd:
+      return {{Key::kRank, "rank"}, {Key::kWarmStart, "warm_start"}, {Key::kSeed, "seed"}};
+    case Method::kQsgd:
+      return {{Key::kLevels, "levels"}, {Key::kSeed, "seed"}};
+    case Method::kTernGrad:
+    case Method::kNatural:
+      return {{Key::kSeed, "seed"}};
+    case Method::kAtomo:
+      return {{Key::kRank, "rank"}, {Key::kSeed, "seed"}};
+    case Method::kDgc:
+      return {{Key::kFraction, "fraction"}, {Key::kMomentum, "momentum"}};
+  }
+  throw std::invalid_argument("keys_for: unknown method");
+}
+
+// %.17g round-trips any double exactly; trims to the short form when exact.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = std::strtod(buf, nullptr);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == parsed) return shorter;
+  }
+  return buf;
+}
+
+std::string format_value(const CompressorConfig& c, Key key) {
+  switch (key) {
+    case Key::kFraction: return format_double(c.fraction);
+    case Key::kRank: return std::to_string(c.rank);
+    case Key::kLevels: return std::to_string(c.levels);
+    case Key::kErrorFeedback: return c.error_feedback ? "1" : "0";
+    case Key::kFp16Values: return c.fp16_values ? "1" : "0";
+    case Key::kSeed: return std::to_string(c.seed);
+    case Key::kWarmStart: return c.warm_start ? "1" : "0";
+    case Key::kMomentum: return format_double(c.momentum);
+  }
+  throw std::invalid_argument("format_value: unknown key");
+}
+
+void parse_value(CompressorConfig& c, Key key, const std::string& text) {
+  const auto fail = [&](const char* what) {
+    throw std::invalid_argument("config_from_string: bad " + std::string(what) + " value '" +
+                                text + "'");
+  };
+  const auto as_bool = [&](const char* what) {
+    if (text == "1" || text == "true") return true;
+    if (text == "0" || text == "false") return false;
+    fail(what);
+    return false;
+  };
+  char* end = nullptr;
+  switch (key) {
+    case Key::kFraction:
+      c.fraction = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') fail("fraction");
+      break;
+    case Key::kRank:
+      c.rank = static_cast<int>(std::strtol(text.c_str(), &end, 10));
+      if (end == text.c_str() || *end != '\0') fail("rank");
+      break;
+    case Key::kLevels:
+      c.levels = static_cast<int>(std::strtol(text.c_str(), &end, 10));
+      if (end == text.c_str() || *end != '\0') fail("levels");
+      break;
+    case Key::kErrorFeedback: c.error_feedback = as_bool("error_feedback"); break;
+    case Key::kFp16Values: c.fp16_values = as_bool("fp16_values"); break;
+    case Key::kSeed:
+      c.seed = std::strtoull(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') fail("seed");
+      break;
+    case Key::kWarmStart: c.warm_start = as_bool("warm_start"); break;
+    case Key::kMomentum:
+      c.momentum = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') fail("momentum");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string config_to_string(const CompressorConfig& config) {
+  std::string out = method_name(config.method);
+  for (const KeySpec& spec : keys_for(config.method))
+    out += ' ' + std::string(spec.name) + '=' + format_value(config, spec.key);
+  return out;
+}
+
+CompressorConfig config_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string token;
+  if (!(is >> token))
+    throw std::invalid_argument("config_from_string: empty config string");
+  CompressorConfig config;
+  config.method = method_from_name(token);
+  const auto keys = keys_for(config.method);
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("config_from_string: expected key=value, got '" + token + "'");
+    const std::string key_name = token.substr(0, eq);
+    bool known = false;
+    for (const KeySpec& spec : keys) {
+      if (key_name != spec.name) continue;
+      parse_value(config, spec.key, token.substr(eq + 1));
+      known = true;
+      break;
+    }
+    if (!known)
+      throw std::invalid_argument("config_from_string: key '" + key_name +
+                                  "' does not apply to " + method_name(config.method));
+  }
+  return config;
+}
+
+bool operator==(const CompressorConfig& a, const CompressorConfig& b) {
+  return config_to_string(a) == config_to_string(b);
 }
 
 std::unique_ptr<Compressor> make_compressor(const CompressorConfig& config) {

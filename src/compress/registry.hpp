@@ -20,4 +20,30 @@ struct MethodInfo {
 // whether this library ships a working implementation.
 [[nodiscard]] std::vector<MethodInfo> table1_registry();
 
+// --- CompressorConfig wire form --------------------------------------------
+//
+// Canonical string form "method key=value ...": the method name followed by
+// exactly the parameters that method consumes (in a fixed key order), with
+// doubles printed at round-trip precision. The adaptive controller logs its
+// decisions in this form, so a recorded run can be replayed exactly.
+//
+//   config_from_string(config_to_string(c)) reproduces c up to the fields
+//   the method actually reads — the definition of equality below.
+[[nodiscard]] std::string config_to_string(const CompressorConfig& config);
+
+// Inverse of config_to_string; accepts any subset of the method's keys
+// (missing keys keep their defaults). Throws std::invalid_argument on an
+// unknown method, an unknown or irrelevant key, or a malformed value.
+[[nodiscard]] CompressorConfig config_from_string(const std::string& text);
+
+// Inverse of method_name(); throws std::invalid_argument on unknown names.
+[[nodiscard]] Method method_from_name(const std::string& name);
+
+// Semantic equality: same method and same values for every parameter that
+// method consumes (fields the method ignores do not participate).
+[[nodiscard]] bool operator==(const CompressorConfig& a, const CompressorConfig& b);
+[[nodiscard]] inline bool operator!=(const CompressorConfig& a, const CompressorConfig& b) {
+  return !(a == b);
+}
+
 }  // namespace gradcomp::compress

@@ -30,6 +30,13 @@ void validate(const FaultPlanOptions& o) {
     fail("link_degrade_prob must be in [0, 1]");
   if (o.link_factor <= 0.0 || o.link_factor > 1.0) fail("link_factor must be in (0, 1]");
   if (o.link_duration < 1) fail("link_duration must be >= 1");
+  for (const LinkWindow& w : o.link_windows) {
+    if (w.start < 0) fail("link window start must be >= 0");
+    if (w.duration < 1) fail("link window duration must be >= 1");
+    if (w.factor <= 0.0 || w.factor > 1.0) fail("link window factor must be in (0, 1]");
+    if (o.iterations > 0 && w.start >= o.iterations)
+      fail("link window starts past the schedule horizon");
+  }
   const bool has_fail_rank = o.fail_rank >= 0;
   const bool has_fail_iter = o.fail_at_iteration >= 0;
   if (has_fail_rank != has_fail_iter)
@@ -123,6 +130,14 @@ FaultPlan FaultPlan::generate(const FaultPlanOptions& options) {
       plan.events_.push_back(
           {FaultKind::kLinkDegradation, it, end - it, -1, options.link_factor});
     }
+  }
+
+  // Scheduled windows compound with any randomly drawn ones above.
+  for (const LinkWindow& w : options.link_windows) {
+    const int end = std::min(iters, w.start + w.duration);
+    for (int j = w.start; j < end; ++j)
+      plan.bandwidth_[static_cast<std::size_t>(j)] *= w.factor;
+    plan.events_.push_back({FaultKind::kLinkDegradation, w.start, end - w.start, -1, w.factor});
   }
 
   if (options.fail_rank >= 0)

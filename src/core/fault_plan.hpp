@@ -28,6 +28,14 @@ enum class StragglerDist : std::uint8_t { kNone, kBernoulli, kLognormal, kPareto
 
 [[nodiscard]] std::string straggler_dist_name(StragglerDist dist);
 
+// One deterministic link-degradation window: cluster bandwidth is multiplied
+// by `factor` for iterations [start, start + duration).
+struct LinkWindow {
+  int start = 0;
+  int duration = 1;
+  double factor = 0.5;  // in (0, 1]
+};
+
 struct FaultPlanOptions {
   int world_size = 1;
   int iterations = 0;  // schedule horizon; queries past it are fault-free
@@ -54,6 +62,14 @@ struct FaultPlanOptions {
   double link_degrade_prob = 0.0;
   double link_factor = 0.25;  // in (0, 1]
   int link_duration = 5;      // iterations, >= 1
+
+  // Explicitly scheduled degradation windows, applied on top of (and
+  // compounding with) any randomly drawn ones. These make regime-structured
+  // experiments reproducible without fishing for a seed: the adaptive-
+  // compression ablation opens one long window at a known iteration and
+  // checks the controller switches schemes inside it. Windows extending past
+  // the horizon are clamped to it.
+  std::vector<LinkWindow> link_windows;
 
   // Permanent rank failure: fail_rank dies at the start of iteration
   // fail_at_iteration (both -1 to disable).

@@ -1,0 +1,63 @@
+#include "sim/adaptive.hpp"
+
+#include <stdexcept>
+
+namespace gradcomp::sim {
+
+AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
+                            const AdaptiveOptions& options) {
+  if (options.iterations < 1)
+    throw std::invalid_argument("run_adaptive: iterations must be >= 1");
+
+  adapt::Controller controller(workload, sim.cluster(), options.controller);
+  const core::PerfModel model;
+  const auto& plan = sim.options().fault_plan;
+
+  AdaptiveResult out;
+  out.iteration_s.reserve(static_cast<std::size_t>(options.iterations));
+  double clock = 0.0;
+  double window_start = 0.0;
+  std::string running = controller.current().label;
+
+  for (int it = 0; it < options.iterations; ++it) {
+    const compress::CompressorConfig cfg = controller.current().config;
+    const SimResult r = sim.run_compressed(cfg, workload);
+    out.iteration_s.push_back(r.iteration_s);
+    out.config_per_iteration.push_back(cfg);
+    for (const auto& s : r.timeline.spans_on("fault"))
+      out.timeline.add("fault", s.label, clock + s.start_s, clock + s.end_s);
+    clock += r.iteration_s;
+
+    // Feed the modeled timings back: the simulator plays the role of the
+    // instrumented cluster, the controller only ever sees measurements.
+    adapt::Observation o;
+    o.wire_bytes = model.wire_bytes(cfg, workload.model);
+    o.collective_s = r.comm_s;
+    o.backward_s = r.compute_s;
+    o.nominal_backward_s = model.compressed(cfg, workload, sim.cluster()).compute_s;
+    o.shape = adapt::collective_shape(cfg, workload.model, sim.options().bucket_bytes);
+    int world = sim.cluster().world_size;
+    if (!plan.empty()) {
+      int alive = 0;
+      for (int rank = 0; rank < sim.cluster().world_size; ++rank)
+        if (!plan.rank_failed_by(rank, it)) ++alive;
+      world = alive > 0 ? alive : 1;
+    }
+    o.world_size = world;
+
+    if (const auto decision = controller.observe(o)) {
+      out.timeline.add("adapt", running + ": " + decision->reason, window_start, clock);
+      window_start = clock;
+      running = controller.current().label;
+      out.decisions.push_back(*decision);
+    }
+  }
+  if (clock > window_start)
+    out.timeline.add("adapt", running + " (active)", window_start, clock);
+
+  out.total_s = clock;
+  out.switches = controller.switches();
+  return out;
+}
+
+}  // namespace gradcomp::sim

@@ -1,0 +1,43 @@
+// Closed-loop adaptive compression on the cluster simulator.
+//
+// Runs ClusterSim iterations under the scheme the adapt::Controller holds
+// active, feeding each iteration's MODELED timings back as observations —
+// so a FaultPlan link-degradation window visibly drags the effective-
+// bandwidth estimate down, the next advisor run flips the verdict, and the
+// simulated job switches to (and later back from) a compression scheme.
+//
+// The returned timeline is cumulative across iterations and carries two
+// extra streams:
+//   * "adapt"  — one span per decision window, labelled with the active
+//                scheme and the controller's stated reason;
+//   * "fault"  — the per-iteration fault spans re-based to cumulative time.
+#pragma once
+
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "sim/ddp_sim.hpp"
+
+namespace gradcomp::sim {
+
+struct AdaptiveOptions {
+  int iterations = 100;
+  adapt::ControllerOptions controller;
+};
+
+struct AdaptiveResult {
+  double total_s = 0.0;
+  std::vector<double> iteration_s;  // per-iteration durations
+  // Scheme that ran each iteration (wire form via compress::config_to_string).
+  std::vector<compress::CompressorConfig> config_per_iteration;
+  std::vector<adapt::Decision> decisions;
+  trace::Timeline timeline;
+  int switches = 0;
+};
+
+// Drives `sim` for options.iterations, one ClusterSim iteration per plan
+// iteration. The controller's prior cluster is sim.cluster().
+[[nodiscard]] AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
+                                          const AdaptiveOptions& options);
+
+}  // namespace gradcomp::sim

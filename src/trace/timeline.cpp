@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <stdexcept>
@@ -79,6 +80,57 @@ void Timeline::render_ascii(std::ostream& os, int width) const {
   }
   os << std::left << std::setw(static_cast<int>(name_w)) << "" << "  0" << std::right
      << std::setw(width - 1) << Span{"", "", 0, total}.duration() * 1e3 << " ms\n";
+}
+
+namespace {
+
+// Minimal JSON string escaping for span labels and stream names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Fixed-point microseconds: trace viewers want plain numbers, and a stable
+// format keeps the golden test byte-exact across platforms.
+std::string json_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+void Timeline::render_chrome_json(std::ostream& os) const {
+  const auto names = streams();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t tid = 0; tid < names.size(); ++tid) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(names[tid]) << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    const auto tid =
+        static_cast<std::size_t>(std::find(names.begin(), names.end(), s.stream) -
+                                 names.begin());
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(s.label) << "\",\"cat\":\""
+       << json_escape(s.stream) << "\",\"ph\":\"X\",\"ts\":" << json_us(s.start_s)
+       << ",\"dur\":" << json_us(s.duration()) << ",\"pid\":0,\"tid\":" << tid << '}';
+  }
+  os << "\n]}\n";
 }
 
 void Timeline::render_csv(std::ostream& os) const {

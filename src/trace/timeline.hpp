@@ -40,6 +40,10 @@ class Timeline {
   void render_ascii(std::ostream& os, int width = 100) const;
   // "csv,stream,label,start_ms,end_ms" rows.
   void render_csv(std::ostream& os) const;
+  // Chrome trace-event JSON (load in about://tracing or ui.perfetto.dev):
+  // one complete ("X") event per span with timestamps in microseconds, each
+  // stream mapped to its own named thread row.
+  void render_chrome_json(std::ostream& os) const;
 
  private:
   std::vector<Span> spans_;

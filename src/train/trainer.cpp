@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "compress/registry.hpp"
+#include "core/perf_model.hpp"
 
 namespace gradcomp::train {
 
@@ -26,6 +30,7 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
                                 std::to_string(config_.fault_plan.world_size()) +
                                 ") != world_size (" + std::to_string(config_.world_size) + ")");
 
+  active_compression_ = config_.compression;
   shards_.reserve(static_cast<std::size_t>(config_.world_size));
   models_.reserve(static_cast<std::size_t>(config_.world_size));
   compressors_.reserve(static_cast<std::size_t>(config_.world_size));
@@ -34,8 +39,18 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
     shards_.push_back(shard(dataset_, r, config_.world_size));
     // Same seed everywhere: replicas start identical.
     models_.emplace_back(config_.layer_dims, config_.seed);
-    compressors_.push_back(compress::make_compressor(config_.compression));
+    compressors_.push_back(compress::make_compressor(active_compression_));
     optimizers_.emplace_back(config_.optimizer);
+  }
+
+  if (config_.adaptive.enabled) {
+    core::Cluster prior = config_.adaptive.cluster;
+    prior.world_size = config_.world_size;
+    adapt::ControllerOptions opts = config_.adaptive.controller;
+    opts.initial = {compress::config_to_string(active_compression_), active_compression_};
+    controller_ = std::make_unique<adapt::Controller>(config_.adaptive.workload, prior,
+                                                      std::move(opts));
+    running_label_ = controller_->current().label;
   }
 }
 
@@ -45,6 +60,8 @@ StepStats DataParallelTrainer::step() {
     const std::vector<int> active = comm_.active_ranks();
     std::vector<double> losses(n, 0.0);
     std::vector<compress::AggregateStats> agg(n);
+    std::vector<double> backward_s(n, 0.0);
+    std::vector<double> agg_wall_s(n, 0.0);
     std::atomic<bool> failure_seen{false};
     // The plan kills at most one rank per iteration; a dead rank is no
     // longer in `active`, so a retried or rewound step cannot re-kill it.
@@ -62,7 +79,9 @@ StepStats DataParallelTrainer::step() {
           return;
         }
         const Dataset local = batch(shards_[r], step_count_, config_.batch_per_worker);
+        const auto t0 = std::chrono::steady_clock::now();
         losses[r] = models_[r].compute_gradients(local.x, local.y);
+        const auto t1 = std::chrono::steady_clock::now();
 
         auto& layers = models_[r].layers();
         for (std::size_t i = 0; i < layers.size(); ++i) {
@@ -71,6 +90,9 @@ StepStats DataParallelTrainer::step() {
           agg[r] += compressors_[r]->aggregate(static_cast<compress::LayerId>(2 * i + 1), rank,
                                                comm_, layers[i].grad_b);
         }
+        const auto t2 = std::chrono::steady_clock::now();
+        backward_s[r] = std::chrono::duration<double>(t1 - t0).count();
+        agg_wall_s[r] = std::chrono::duration<double>(t2 - t1).count();
         optimizers_[r].step(models_[r]);
       } catch (const comm::RankFailure&) {
         // Consistent unwind: every survivor throws at the same collective,
@@ -88,12 +110,21 @@ StepStats DataParallelTrainer::step() {
     ++step_count_;
     StepStats stats;
     stats.active_workers = static_cast<int>(active.size());
+    double step_wall_s = 0.0;
     for (const int rank : active) {
       const auto r = static_cast<std::size_t>(rank);
       stats.mean_local_loss += losses[r];
       stats.encode_seconds += agg[r].encode_seconds;
       stats.decode_seconds += agg[r].decode_seconds;
+      stats.backward_seconds = std::max(stats.backward_seconds, backward_s[r]);
+      // Collective time = wall time in the aggregate phase minus the time
+      // this rank spent inside its own encode/decode kernels.
+      stats.comm_seconds =
+          std::max(stats.comm_seconds,
+                   agg_wall_s[r] - agg[r].encode_seconds - agg[r].decode_seconds);
+      step_wall_s = std::max(step_wall_s, backward_s[r] + agg_wall_s[r]);
     }
+    stats.comm_seconds = std::max(stats.comm_seconds, 0.0);
     const auto p = static_cast<double>(active.size());
     stats.mean_local_loss /= p;
     stats.encode_seconds /= p;
@@ -105,8 +136,53 @@ StepStats DataParallelTrainer::step() {
       last_checkpoint_ = make_checkpoint();
       has_checkpoint_ = true;
     }
+    feed_controller(stats, step_wall_s);
     return stats;
   }
+}
+
+void DataParallelTrainer::feed_controller(const StepStats& stats, double step_wall_s) {
+  clock_s_ += step_wall_s;
+  if (!controller_) return;
+
+  adapt::Observation o;
+  o.wire_bytes = static_cast<double>(stats.bytes_per_worker);
+  o.collective_s = stats.comm_seconds;
+  o.backward_s = stats.backward_seconds;
+  // Nominal backward time of the MODELED workload on the prior device: the
+  // stretch estimate rescales the advisor's device just like the bandwidth
+  // estimate rescales its network.
+  const core::PerfModel model;
+  core::Cluster prior = config_.adaptive.cluster;
+  prior.world_size = std::max(stats.active_workers, 1);
+  o.nominal_backward_s =
+      model.compressed(active_compression_, config_.adaptive.workload, prior).compute_s;
+  o.world_size = stats.active_workers;
+  o.shape = adapt::collective_shape(active_compression_, config_.adaptive.workload.model,
+                                    config_.adaptive.workload.bucket_bytes);
+
+  const auto decision = controller_->observe(o);
+  if (!decision) return;
+  timeline_.add("adapt", running_label_ + ": " + decision->reason, window_start_s_, clock_s_);
+  window_start_s_ = clock_s_;
+  if (decision->switched) {
+    active_compression_ = decision->chosen.config;
+    // Live swap between steps: fresh compressors mean fresh error-feedback /
+    // warm-start state (the schemes' state spaces are incompatible), and a
+    // held checkpoint's compressor blobs no longer apply to the new scheme —
+    // drop them so a rewind warm-starts cleanly instead of deserializing a
+    // mismatched blob.
+    for (const int rank : comm_.active_ranks())
+      compressors_[static_cast<std::size_t>(rank)] =
+          compress::make_compressor(active_compression_);
+    if (has_checkpoint_)
+      for (auto& rs : last_checkpoint_.ranks) rs.compressor_state.clear();
+  }
+  running_label_ = controller_->current().label;
+}
+
+std::vector<adapt::Decision> DataParallelTrainer::decisions() const {
+  return controller_ ? controller_->decisions() : std::vector<adapt::Decision>{};
 }
 
 void DataParallelTrainer::recover(const std::vector<int>& before) {
@@ -211,11 +287,13 @@ void DataParallelTrainer::restore(const Checkpoint& ck) {
     }
     optimizers_[r].set_state(ck.optimizer_lr, ck.velocity);
     // Error feedback drifted past the checkpoint: rebuild the compressor
-    // fresh, then load the blob saved for this original rank (a rank that
-    // joined no checkpoint keeps the fresh, empty state).
-    compressors_[r] = compress::make_compressor(config_.compression);
+    // fresh (under the scheme that is live NOW — an adaptive switch after
+    // the snapshot cleared the blobs), then load the blob saved for this
+    // original rank. Empty blob = keep the fresh, empty state.
+    compressors_[r] = compress::make_compressor(active_compression_);
     for (const auto& rs : ck.ranks)
-      if (rs.rank == rank) compressors_[r]->restore_state(rs.compressor_state);
+      if (rs.rank == rank && !rs.compressor_state.empty())
+        compressors_[r]->restore_state(rs.compressor_state);
   }
   step_count_ = ck.step;
   if (history_.size() > static_cast<std::size_t>(ck.step))

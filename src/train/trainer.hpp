@@ -21,9 +21,13 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "adapt/controller.hpp"
 #include "comm/thread_comm.hpp"
 #include "compress/compressor.hpp"
 #include "core/fault_plan.hpp"
+#include "trace/timeline.hpp"
 #include "train/checkpoint.hpp"
 #include "train/data.hpp"
 #include "train/nn.hpp"
@@ -54,6 +58,26 @@ struct TrainerConfig {
   int checkpoint_every = 0;
   // Deadline for every blocking collective wait in the thread group.
   std::chrono::milliseconds comm_timeout{10000};
+
+  // Online adaptive compression. When enabled, `compression` above is only
+  // the STARTING scheme: after each successful step the trainer feeds its
+  // wall-clock timings to an adapt::Controller, and a switch decision swaps
+  // every surviving rank's compressor between steps. Swapping resets
+  // error-feedback / warm-start state (the schemes' state spaces are
+  // incompatible), so the new scheme warms up from scratch — and any
+  // held checkpoint's compressor blobs are dropped for the same reason.
+  struct AdaptiveConfig {
+    bool enabled = false;
+    adapt::ControllerOptions controller;
+    // Modeled workload driving the advisor's candidate evaluation. The
+    // estimators calibrate the model's cluster to reality, so this profile
+    // sets the SHAPE of the trade-off, not its absolute scale.
+    core::Workload workload;
+    // Prior cluster (network/device) seeding the estimators; world_size
+    // follows the live group.
+    core::Cluster cluster;
+  };
+  AdaptiveConfig adaptive;
 };
 
 struct StepStats {
@@ -62,6 +86,10 @@ struct StepStats {
   double encode_seconds = 0.0;        // summed over layers, averaged over workers
   double decode_seconds = 0.0;
   int active_workers = 0;             // group size that executed this step
+  // Wall-clock signals (what the adaptive controller consumes): the slowest
+  // worker's backward pass, and its collective time net of encode/decode.
+  double backward_seconds = 0.0;
+  double comm_seconds = 0.0;
 };
 
 // One recovered failure: which ranks died before which step, and how the
@@ -108,6 +136,19 @@ class DataParallelTrainer {
   // Max elementwise parameter divergence across SURVIVING replicas (0).
   [[nodiscard]] double replica_divergence() const;
 
+  // --- adaptive compression ------------------------------------------------
+  // Scheme currently installed in every surviving rank's compressor; equals
+  // config.compression until the controller's first switch.
+  [[nodiscard]] const compress::CompressorConfig& compression() const noexcept {
+    return active_compression_;
+  }
+  [[nodiscard]] bool adaptive_enabled() const noexcept { return controller_ != nullptr; }
+  // Every decision the controller has emitted (empty when adaptive is off).
+  [[nodiscard]] std::vector<adapt::Decision> decisions() const;
+  // Wall-clock timeline: one "adapt" span per closed decision window,
+  // labelled with the scheme that ran it and the controller's reason.
+  [[nodiscard]] const trace::Timeline& timeline() const noexcept { return timeline_; }
+
   [[nodiscard]] std::int64_t steps_taken() const noexcept { return step_count_; }
   [[nodiscard]] int active_workers() const noexcept { return comm_.world_size(); }
   [[nodiscard]] std::vector<int> active_ranks() const { return comm_.active_ranks(); }
@@ -129,6 +170,9 @@ class DataParallelTrainer {
   // Recovery after run_ranks observed a failure: record it and apply the
   // configured policy. `before` is the active set prior to the failure.
   void recover(const std::vector<int>& before);
+  // Advances the wall clock and, when adaptive is on, feeds one observation
+  // to the controller and applies any switch it decides between steps.
+  void feed_controller(const StepStats& stats, double step_wall_s);
 
   TrainerConfig config_;
   Dataset dataset_;
@@ -142,6 +186,13 @@ class DataParallelTrainer {
   std::int64_t step_count_ = 0;
   Checkpoint last_checkpoint_;
   bool has_checkpoint_ = false;
+
+  compress::CompressorConfig active_compression_;
+  std::unique_ptr<adapt::Controller> controller_;  // null = adaptive off
+  trace::Timeline timeline_;
+  double clock_s_ = 0.0;         // cumulative successful-step wall time
+  double window_start_s_ = 0.0;  // start of the open "adapt" decision window
+  std::string running_label_;    // scheme label for the open window
 };
 
 }  // namespace gradcomp::train

@@ -1,0 +1,453 @@
+// Adaptive-compression subsystem: estimator inversion, controller policy
+// (hysteresis, determinism), and the closed loop on the simulator — a
+// scheduled link-degradation window must flip the advisor's verdict to a
+// compression scheme and back, visible as spans on the "adapt" stream.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/estimators.hpp"
+#include "compress/registry.hpp"
+#include "core/advisor.hpp"
+#include "models/bucketing.hpp"
+#include "sim/adaptive.hpp"
+#include "train/trainer.hpp"
+
+namespace gradcomp::adapt {
+namespace {
+
+core::Cluster cluster_at(int p, double gbps) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(gbps);
+  return c;
+}
+
+core::Workload resnet50_at(int batch) {
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = batch;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Ewma / WindowPercentile
+
+TEST(Ewma, FirstSampleSetsValueExactly) {
+  Ewma e(4.0);
+  EXPECT_FALSE(e.ready());
+  EXPECT_THROW(e.value(), std::logic_error);
+  e.update(3.5);
+  EXPECT_TRUE(e.ready());
+  EXPECT_DOUBLE_EQ(e.value(), 3.5);
+}
+
+TEST(Ewma, HalfLifeHalvesAnOldSamplesWeight) {
+  // Start at 1, then feed `h` zeros: the surviving weight of the initial
+  // sample must be exactly 1/2 (that is the half-life definition).
+  const int h = 6;
+  Ewma e(static_cast<double>(h));
+  e.update(1.0);
+  for (int i = 0; i < h; ++i) e.update(0.0);
+  EXPECT_NEAR(e.value(), 0.5, 1e-12);
+}
+
+TEST(Ewma, RejectsNonPositiveHalfLife) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(-1.0), std::invalid_argument);
+}
+
+TEST(WindowPercentile, EvictsOldestBeyondCapacity) {
+  WindowPercentile w(3);
+  EXPECT_THROW(w.percentile(0.5), std::logic_error);
+  for (const double s : {10.0, 20.0, 30.0, 40.0}) w.update(s);  // 10 evicted
+  EXPECT_DOUBLE_EQ(w.percentile(0.0), 20.0);
+  EXPECT_DOUBLE_EQ(w.percentile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(w.percentile(0.5), 30.0);
+}
+
+TEST(WindowPercentile, ValidatesArguments) {
+  EXPECT_THROW(WindowPercentile(0), std::invalid_argument);
+  WindowPercentile w(4);
+  w.update(1.0);
+  EXPECT_THROW(w.percentile(-0.1), std::invalid_argument);
+  EXPECT_THROW(w.percentile(1.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// LinkEstimator: the alpha-beta inversion must recover a synthesized truth.
+
+TEST(LinkEstimator, InvertsRingAllReduceExactly) {
+  const comm::Network base = comm::Network::from_gbps(10.0);
+  LinkEstimator est(base, 4.0, 8);
+  EXPECT_FALSE(est.ready());
+  EXPECT_DOUBLE_EQ(est.bandwidth_bps(), base.bandwidth_bps);
+
+  const double truth_bps = 2.5e9;  // 20 Gbps
+  const int p = 8;
+  Observation o;
+  o.world_size = p;
+  o.wire_bytes = 9.7e7;
+  o.shape = {4, false};
+  o.collective_s = 4.0 * base.alpha_s * (p - 1) +
+                   2.0 * o.wire_bytes * (p - 1) / (p * truth_bps);
+  est.observe(o);
+  ASSERT_TRUE(est.ready());
+  EXPECT_NEAR(est.bandwidth_bps(), truth_bps, truth_bps * 1e-9);
+  EXPECT_NEAR(est.gbps(), 20.0, 1e-6);
+}
+
+TEST(LinkEstimator, InvertsAllGatherExactly) {
+  const comm::Network base = comm::Network::from_gbps(10.0);
+  LinkEstimator est(base, 4.0, 8);
+  const double truth_bps = 5e8;
+  const int p = 16;
+  Observation o;
+  o.world_size = p;
+  o.wire_bytes = 1.2e6;
+  o.shape = {2, true};
+  o.collective_s = 2.0 * base.alpha_s * (p - 1) + o.wire_bytes * (p - 1) / truth_bps;
+  est.observe(o);
+  ASSERT_TRUE(est.ready());
+  EXPECT_NEAR(est.bandwidth_bps(), truth_bps, truth_bps * 1e-9);
+}
+
+TEST(LinkEstimator, DiscardsUnexplainableObservations) {
+  const comm::Network base = comm::Network::from_gbps(10.0);
+  LinkEstimator est(base, 4.0, 8);
+  Observation o;
+  o.world_size = 1;  // single rank: no collective happened
+  o.wire_bytes = 1e6;
+  o.collective_s = 1e-3;
+  est.observe(o);
+  o.world_size = 8;
+  o.collective_s = 0.0;  // no wall time
+  est.observe(o);
+  o.shape = {100, false};  // wall time below the latency floor
+  o.collective_s = 50.0 * base.alpha_s * 7.0;
+  est.observe(o);
+  EXPECT_EQ(est.samples(), 0);
+  EXPECT_DOUBLE_EQ(est.bandwidth_bps(), base.bandwidth_bps);
+}
+
+TEST(ComputeEstimator, TracksStretchAndRescalesDevice) {
+  models::Device base;
+  base.compute_scale = 2.0;
+  ComputeEstimator est(base, 4.0, 8);
+  EXPECT_DOUBLE_EQ(est.stretch(), 1.0);
+  Observation o;
+  o.backward_s = 3.0;
+  o.nominal_backward_s = 1.0;
+  est.observe(o);
+  EXPECT_DOUBLE_EQ(est.stretch(), 3.0);
+  EXPECT_DOUBLE_EQ(est.device().compute_scale, 2.0 / 3.0);
+  o.backward_s = 0.0;  // discarded, estimate unchanged
+  est.observe(o);
+  EXPECT_EQ(est.samples(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+
+// Observation stream synthesized from the perf model itself: syncSGD-shaped
+// collectives at a chosen TRUE bandwidth, so the estimator sees exactly the
+// regime we stage.
+Observation sync_obs_at(const core::Workload& w, int p, double gbps) {
+  const core::PerfModel model;
+  const core::Cluster truth = cluster_at(p, gbps);
+  const compress::CompressorConfig sync;  // default = syncSGD
+  const auto br = model.syncsgd(w, truth);
+  Observation o;
+  o.wire_bytes = model.wire_bytes(sync, w.model);
+  o.collective_s = br.comm_s;
+  o.backward_s = br.compute_s;
+  o.nominal_backward_s = br.compute_s;
+  o.world_size = p;
+  o.shape = collective_shape(sync, w.model, models::kDefaultBucketBytes);
+  return o;
+}
+
+ControllerOptions fast_options() {
+  ControllerOptions opts;
+  opts.decision_interval = 2;
+  opts.min_dwell = 4;
+  opts.switch_margin = 0.05;
+  opts.estimator_half_life = 2.0;
+  return opts;
+}
+
+// A panel of one aggressive scheme. With the full default panel the clean-
+// regime winner is FP16, whose modeled time never loses to syncSGD by the
+// switch margin — the controller (correctly) stays on it forever. The
+// switch-AND-return scenario needs a scheme with real encode overhead.
+std::vector<core::Candidate> powersgd_panel() {
+  core::Candidate c;
+  c.label = "powerSGD-r4";
+  c.config.method = compress::Method::kPowerSgd;
+  c.config.rank = 4;
+  return {c};
+}
+
+TEST(Controller, ValidatesOptions) {
+  const core::Workload w = resnet50_at(64);
+  const core::Cluster c = cluster_at(8, 16.0);
+  ControllerOptions bad = fast_options();
+  bad.decision_interval = 0;
+  EXPECT_THROW(Controller(w, c, bad), std::invalid_argument);
+  bad = fast_options();
+  bad.min_dwell = -1;
+  EXPECT_THROW(Controller(w, c, bad), std::invalid_argument);
+  bad = fast_options();
+  bad.switch_margin = -0.5;
+  EXPECT_THROW(Controller(w, c, bad), std::invalid_argument);
+  EXPECT_THROW(Controller(w, cluster_at(0, 16.0), fast_options()), std::invalid_argument);
+}
+
+TEST(Controller, StaysOnSyncSgdWhenTheLinkIsFast) {
+  const core::Workload w = resnet50_at(64);
+  Controller ctl(w, cluster_at(8, 16.0), fast_options());
+  for (int i = 0; i < 10; ++i) ctl.observe(sync_obs_at(w, 8, 16.0));
+  EXPECT_EQ(ctl.switches(), 0);
+  EXPECT_EQ(ctl.current().config.method, compress::Method::kSyncSgd);
+  ASSERT_FALSE(ctl.decisions().empty());
+  for (const auto& d : ctl.decisions()) {
+    EXPECT_FALSE(d.switched);
+    EXPECT_NEAR(d.effective_gbps, 16.0, 0.5);
+  }
+}
+
+TEST(Controller, SwitchesToCompressionWhenTheLinkDegrades) {
+  const core::Workload w = resnet50_at(64);
+  Controller ctl(w, cluster_at(8, 16.0), fast_options());
+  for (int i = 0; i < 16; ++i) ctl.observe(sync_obs_at(w, 8, 1.0));
+  EXPECT_GE(ctl.switches(), 1);
+  EXPECT_NE(ctl.current().config.method, compress::Method::kSyncSgd);
+  bool saw_switch_reason = false;
+  for (const auto& d : ctl.decisions())
+    if (d.switched) {
+      saw_switch_reason = d.reason.find("switch") != std::string::npos;
+      EXPECT_GT(d.incumbent_s, d.predicted_s);
+    }
+  EXPECT_TRUE(saw_switch_reason);
+}
+
+TEST(Controller, MinDwellBlocksEarlySwitches) {
+  const core::Workload w = resnet50_at(64);
+  ControllerOptions opts = fast_options();
+  opts.min_dwell = 1000;
+  Controller ctl(w, cluster_at(8, 16.0), opts);
+  bool saw_dwell_hold = false;
+  for (int i = 0; i < 20; ++i)
+    if (const auto d = ctl.observe(sync_obs_at(w, 8, 1.0)))
+      if (d->reason.find("dwell not elapsed") != std::string::npos) saw_dwell_hold = true;
+  EXPECT_EQ(ctl.switches(), 0);
+  EXPECT_TRUE(saw_dwell_hold);
+}
+
+TEST(Controller, SwitchMarginBlocksMarginalWins) {
+  const core::Workload w = resnet50_at(64);
+  ControllerOptions opts = fast_options();
+  opts.switch_margin = 1000.0;  // nothing is ever 1001x faster
+  Controller ctl(w, cluster_at(8, 16.0), opts);
+  bool saw_margin_hold = false;
+  for (int i = 0; i < 20; ++i)
+    if (const auto d = ctl.observe(sync_obs_at(w, 8, 1.0)))
+      if (d->reason.find("inside switch margin") != std::string::npos) saw_margin_hold = true;
+  EXPECT_EQ(ctl.switches(), 0);
+  EXPECT_TRUE(saw_margin_hold);
+}
+
+TEST(Controller, SwitchesBackAfterRecoveryAndDwell) {
+  const core::Workload w = resnet50_at(64);
+  ControllerOptions opts = fast_options();
+  opts.candidates = powersgd_panel();
+  Controller ctl(w, cluster_at(8, 16.0), opts);
+  for (int i = 0; i < 16; ++i) ctl.observe(sync_obs_at(w, 8, 1.0));
+  ASSERT_GE(ctl.switches(), 1);
+  for (int i = 0; i < 24; ++i) ctl.observe(sync_obs_at(w, 8, 16.0));
+  EXPECT_GE(ctl.switches(), 2);
+  EXPECT_EQ(ctl.current().config.method, compress::Method::kSyncSgd);
+}
+
+TEST(Controller, IdenticalObservationStreamsProduceIdenticalDecisions) {
+  const core::Workload w = resnet50_at(64);
+  Controller a(w, cluster_at(8, 16.0), fast_options());
+  Controller b(w, cluster_at(8, 16.0), fast_options());
+  for (int i = 0; i < 30; ++i) {
+    const double gbps = i < 15 ? 1.0 : 16.0;
+    a.observe(sync_obs_at(w, 8, gbps));
+    b.observe(sync_obs_at(w, 8, gbps));
+  }
+  ASSERT_EQ(a.decisions().size(), b.decisions().size());
+  for (std::size_t i = 0; i < a.decisions().size(); ++i) {
+    EXPECT_EQ(a.decisions()[i].switched, b.decisions()[i].switched);
+    EXPECT_EQ(a.decisions()[i].reason, b.decisions()[i].reason);
+    EXPECT_TRUE(a.decisions()[i].chosen.config == b.decisions()[i].chosen.config);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop on the simulator
+
+sim::SimOptions degraded_window_options(int iterations, int world) {
+  sim::SimOptions so;
+  core::FaultPlanOptions fo;
+  fo.world_size = world;
+  fo.iterations = iterations;
+  fo.link_windows.push_back({30, 40, 0.1});
+  so.fault_plan = core::FaultPlan::generate(fo);
+  return so;
+}
+
+TEST(RunAdaptive, SwitchesIntoAndOutOfADegradationWindow) {
+  const core::Workload w = resnet50_at(64);
+  sim::ClusterSim sim(cluster_at(8, 16.0), degraded_window_options(100, 8));
+  sim::AdaptiveOptions opts;
+  opts.iterations = 100;
+  opts.controller.decision_interval = 5;
+  opts.controller.min_dwell = 10;
+  opts.controller.estimator_half_life = 4.0;
+  opts.controller.candidates = powersgd_panel();
+  const auto result = sim::run_adaptive(sim, w, opts);
+
+  EXPECT_GE(result.switches, 2);
+  ASSERT_EQ(result.config_per_iteration.size(), 100U);
+  // Clean head runs syncSGD; deep inside the window PowerSGD runs; after
+  // recovery (plus estimator lag and dwell) syncSGD is back.
+  EXPECT_EQ(result.config_per_iteration[10].method, compress::Method::kSyncSgd);
+  EXPECT_EQ(result.config_per_iteration[60].method, compress::Method::kPowerSgd);
+  EXPECT_EQ(result.config_per_iteration[99].method, compress::Method::kSyncSgd);
+
+  // Gap-free "adapt" stream covering the whole run.
+  const auto spans = result.timeline.spans_on("adapt");
+  ASSERT_FALSE(spans.empty());
+  EXPECT_DOUBLE_EQ(spans.front().start_s, 0.0);
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_DOUBLE_EQ(spans[i].start_s, spans[i - 1].end_s);
+  EXPECT_NEAR(spans.back().end_s, result.total_s, 1e-9);
+  EXPECT_FALSE(result.decisions.empty());
+}
+
+TEST(RunAdaptive, BeatsTheWorseStaticPolicyUnderTheWindow) {
+  // The headline property (proved exhaustively by bench/ablation_adaptive):
+  // adaptive must not lose to the static scheme it abandons.
+  const core::Workload w = resnet50_at(64);
+  sim::AdaptiveOptions opts;
+  opts.iterations = 100;
+  opts.controller.decision_interval = 5;
+  opts.controller.min_dwell = 10;
+
+  sim::ClusterSim adaptive_sim(cluster_at(8, 16.0), degraded_window_options(100, 8));
+  const auto adaptive = sim::run_adaptive(adaptive_sim, w, opts);
+
+  sim::ClusterSim static_sim(cluster_at(8, 16.0), degraded_window_options(100, 8));
+  double static_sync = 0.0;
+  for (int i = 0; i < 100; ++i) static_sync += static_sim.run_syncsgd(w).iteration_s;
+
+  EXPECT_LT(adaptive.total_s, static_sync);
+}
+
+TEST(RunAdaptive, IsDeterministicForAFixedSeed) {
+  const core::Workload w = resnet50_at(64);
+  sim::AdaptiveOptions opts;
+  opts.iterations = 60;
+  opts.controller.decision_interval = 5;
+  opts.controller.min_dwell = 10;
+
+  std::vector<std::string> reasons[2];
+  double totals[2] = {0.0, 0.0};
+  for (int run = 0; run < 2; ++run) {
+    sim::ClusterSim sim(cluster_at(8, 16.0), degraded_window_options(60, 8));
+    const auto result = sim::run_adaptive(sim, w, opts);
+    totals[run] = result.total_s;
+    for (const auto& d : result.decisions) reasons[run].push_back(d.reason);
+  }
+  EXPECT_DOUBLE_EQ(totals[0], totals[1]);
+  EXPECT_EQ(reasons[0], reasons[1]);
+}
+
+TEST(RunAdaptive, ValidatesIterations) {
+  const core::Workload w = resnet50_at(64);
+  sim::ClusterSim sim(cluster_at(4, 10.0), sim::SimOptions{});
+  sim::AdaptiveOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW((void)sim::run_adaptive(sim, w, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop on the real trainer (wall-clock observations)
+
+train::TrainerConfig adaptive_trainer_config() {
+  train::TrainerConfig c;
+  c.world_size = 2;
+  c.layer_dims = {16, 32, 4};
+  c.batch_per_worker = 16;
+  c.optimizer.lr = 0.1;
+  c.adaptive.enabled = true;
+  // The modeled workload fixes the SHAPE of the trade-off. Measured against
+  // a modeled GPU profile, the in-process backward is absurdly fast, so the
+  // estimated device makes compute (and encode) free and the advisor ranks
+  // schemes by wire bytes alone — a deterministic switch away from syncSGD
+  // regardless of this machine's actual thread-scheduling noise.
+  c.adaptive.workload = resnet50_at(64);
+  c.adaptive.cluster = cluster_at(2, 10.0);
+  // The in-process fabric has no per-collective startup latency worth
+  // modeling; a real deployment would put the fabric's alpha here.
+  c.adaptive.cluster.network.alpha_s = 0.0;
+  c.adaptive.controller.decision_interval = 2;
+  c.adaptive.controller.min_dwell = 0;
+  c.adaptive.controller.estimator_half_life = 2.0;
+  return c;
+}
+
+TEST(TrainerAdaptive, SwapsTheLiveCompressorAndKeepsReplicasInLockstep) {
+  train::DataParallelTrainer trainer(adaptive_trainer_config(),
+                                     train::make_blobs(4, 16, 50, 0.6F, 21));
+  EXPECT_TRUE(trainer.adaptive_enabled());
+  trainer.train(12);
+  EXPECT_EQ(trainer.steps_taken(), 12);
+  EXPECT_FALSE(trainer.decisions().empty());
+  int switches = 0;
+  for (const auto& d : trainer.decisions()) switches += d.switched ? 1 : 0;
+  EXPECT_GE(switches, 1);
+  EXPECT_NE(trainer.compression().method, compress::Method::kSyncSgd);
+  // Every surviving replica swapped schemes at the same step boundary.
+  EXPECT_LT(trainer.replica_divergence(), 1e-6);
+  // Wall-clock signals made it into the per-step stats...
+  ASSERT_FALSE(trainer.history().empty());
+  EXPECT_GT(trainer.history().back().backward_seconds, 0.0);
+  // ...and the decision windows onto the "adapt" stream.
+  EXPECT_FALSE(trainer.timeline().spans_on("adapt").empty());
+}
+
+TEST(TrainerAdaptive, RestoreRebuildsCompressorsForTheLiveScheme) {
+  train::DataParallelTrainer trainer(adaptive_trainer_config(),
+                                     train::make_blobs(4, 16, 50, 0.6F, 21));
+  trainer.train(8);
+  ASSERT_NE(trainer.compression().method, compress::Method::kSyncSgd);
+  // A checkpoint whose compressor blobs were dropped (what an adaptive
+  // switch does to a held snapshot) must restore to fresh error-feedback
+  // state instead of deserializing a mismatched blob.
+  train::Checkpoint ck = trainer.make_checkpoint();
+  for (auto& rs : ck.ranks) rs.compressor_state.clear();
+  trainer.restore(ck);
+  trainer.train(4);
+  EXPECT_LT(trainer.replica_divergence(), 1e-6);
+}
+
+TEST(TrainerAdaptive, DisabledByDefault) {
+  train::TrainerConfig c = adaptive_trainer_config();
+  c.adaptive.enabled = false;
+  train::DataParallelTrainer trainer(c, train::make_blobs(4, 16, 50, 0.6F, 21));
+  trainer.train(4);
+  EXPECT_FALSE(trainer.adaptive_enabled());
+  EXPECT_TRUE(trainer.decisions().empty());
+  EXPECT_EQ(trainer.compression().method, compress::Method::kSyncSgd);
+  EXPECT_TRUE(trainer.timeline().spans_on("adapt").empty());
+}
+
+}  // namespace
+}  // namespace gradcomp::adapt

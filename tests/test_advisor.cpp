@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace gradcomp::core {
 namespace {
 
@@ -84,6 +86,29 @@ TEST(Advisor, RequiredCompressionPopulated) {
   EXPECT_LT(rec.required_compression, 20.0);
   EXPECT_GT(rec.ideal_s, 0.0);
   EXPECT_GT(rec.sync.total_s, rec.ideal_s);
+}
+
+TEST(Advisor, DegradedClusterCrossoverBracketsTheSignFlip) {
+  // A degraded link (2 Gbps — a healthy datacenter fabric squeezed by a
+  // factor ~5, the adaptive controller's target regime) flips the verdict
+  // to compression, and the reported winner crossover must bracket the
+  // measured sign flip: the winner beats syncSGD just below it and loses
+  // just above it.
+  const Workload w = workload_of(models::resnet50(), 64);
+  const auto rec = advise(w, cluster_at(8, 2.0));
+  const auto winner = rec.best();
+  ASSERT_TRUE(winner.has_value());
+  ASSERT_GT(rec.winner_crossover_gbps, 2.0);
+  ASSERT_TRUE(std::isfinite(rec.winner_crossover_gbps));
+
+  const PerfModel model;
+  const auto sync_minus_winner_at = [&](double gbps) {
+    const Cluster c = cluster_at(8, gbps);
+    return model.syncsgd(w, c).total_s -
+           model.compressed(winner->candidate.config, w, c).total_s;
+  };
+  EXPECT_GT(sync_minus_winner_at(rec.winner_crossover_gbps * 0.95), 0.0);
+  EXPECT_LT(sync_minus_winner_at(rec.winner_crossover_gbps * 1.05), 0.0);
 }
 
 TEST(Advisor, VggFavoursCompressionMost) {

@@ -195,6 +195,51 @@ TEST(FaultPlan, MaxStretchSkipsDeadRanks) {
   EXPECT_DOUBLE_EQ(plan.max_stretch(7), 4.0);         // rank 0 alone
 }
 
+TEST(FaultPlan, ScheduledLinkWindowIsExact) {
+  auto o = base(4, 40);
+  o.link_windows = {{10, 15, 0.2}};
+  const FaultPlan plan = FaultPlan::generate(o);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(9), 1.0);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(10), 0.2);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(24), 0.2);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(25), 1.0);
+  // The window appears as a single link-degradation event.
+  int windows = 0;
+  for (const auto& e : plan.events())
+    if (e.kind == FaultKind::kLinkDegradation) {
+      ++windows;
+      EXPECT_EQ(e.iteration, 10);
+      EXPECT_EQ(e.duration, 15);
+      EXPECT_DOUBLE_EQ(e.factor, 0.2);
+    }
+  EXPECT_EQ(windows, 1);
+}
+
+TEST(FaultPlan, ScheduledLinkWindowsCompoundAndClamp) {
+  auto o = base(4, 20);
+  o.link_windows = {{5, 10, 0.5}, {8, 100, 0.5}};  // overlap; second runs off the end
+  const FaultPlan plan = FaultPlan::generate(o);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(6), 0.5);
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(9), 0.25);  // overlapping windows compound
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(19), 0.5);  // second window clamped to horizon
+  EXPECT_DOUBLE_EQ(plan.bandwidth_factor(20), 1.0);  // past the horizon: clean
+}
+
+TEST(FaultPlan, ValidatesLinkWindows) {
+  auto bad = base();
+  bad.link_windows = {{-1, 5, 0.5}};
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+  bad = base();
+  bad.link_windows = {{0, 0, 0.5}};
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+  bad = base();
+  bad.link_windows = {{0, 5, 1.5}};
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+  bad = base(4, 50);
+  bad.link_windows = {{50, 5, 0.5}};  // starts past the horizon
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+}
+
 TEST(FaultPlan, EventsAreIterationOrdered) {
   auto o = base(8, 100);
   o.straggler_dist = StragglerDist::kPareto;

@@ -106,5 +106,91 @@ TEST(Factory, TraitsConsistentWithRegistry) {
   }
 }
 
+TEST(ConfigWireForm, RoundTripsEveryMethodWithNonDefaultParams) {
+  // One non-default configuration per method, exercising every key the
+  // method consumes; parse(format(c)) must be semantically equal to c.
+  std::vector<CompressorConfig> panel;
+  for (const Method m : all_methods()) {
+    CompressorConfig c;
+    c.method = m;
+    c.fraction = 0.0125;
+    c.rank = 7;
+    c.levels = 31;
+    c.error_feedback = true;
+    c.fp16_values = true;
+    c.seed = 12345;
+    c.warm_start = false;
+    c.momentum = 0.8;
+    panel.push_back(c);
+  }
+  for (const auto& c : panel) {
+    const std::string wire = config_to_string(c);
+    EXPECT_EQ(wire.rfind(method_name(c.method), 0), 0U) << wire;
+    const CompressorConfig back = config_from_string(wire);
+    EXPECT_TRUE(back == c) << wire << " vs " << config_to_string(back);
+    // And the canonical form is a fixed point.
+    EXPECT_EQ(config_to_string(back), wire);
+  }
+}
+
+TEST(ConfigWireForm, KnownStrings) {
+  CompressorConfig psgd;
+  psgd.method = Method::kPowerSgd;
+  psgd.rank = 4;
+  EXPECT_EQ(config_to_string(psgd), "powersgd rank=4 warm_start=1 seed=42");
+
+  CompressorConfig sync;
+  EXPECT_EQ(config_to_string(sync), "syncsgd");
+
+  CompressorConfig topk;
+  topk.method = Method::kTopK;
+  topk.fraction = 0.01;
+  topk.error_feedback = true;
+  EXPECT_EQ(config_to_string(topk), "topk fraction=0.01 error_feedback=1 fp16_values=0");
+}
+
+TEST(ConfigWireForm, ParseAcceptsPartialKeys) {
+  const CompressorConfig c = config_from_string("powersgd rank=8");
+  EXPECT_EQ(c.method, Method::kPowerSgd);
+  EXPECT_EQ(c.rank, 8);
+  EXPECT_TRUE(c.warm_start);  // default retained
+  EXPECT_EQ(c.seed, 42U);
+}
+
+TEST(ConfigWireForm, FractionRoundTripsAtFullPrecision) {
+  CompressorConfig c;
+  c.method = Method::kTopK;
+  c.fraction = 1.0 / 3.0;
+  const CompressorConfig back = config_from_string(config_to_string(c));
+  EXPECT_EQ(back.fraction, c.fraction);  // bit-exact, not approximate
+}
+
+TEST(ConfigWireForm, RejectsMalformedInput) {
+  EXPECT_THROW(config_from_string(""), std::invalid_argument);
+  EXPECT_THROW(config_from_string("warpdrive"), std::invalid_argument);
+  EXPECT_THROW(config_from_string("powersgd rank"), std::invalid_argument);
+  EXPECT_THROW(config_from_string("powersgd rank=x"), std::invalid_argument);
+  // Keys that don't apply to the method are an error, not silently dropped.
+  EXPECT_THROW(config_from_string("syncsgd rank=4"), std::invalid_argument);
+  EXPECT_THROW(config_from_string("topk levels=8"), std::invalid_argument);
+}
+
+TEST(ConfigWireForm, SemanticEqualityIgnoresIrrelevantFields) {
+  CompressorConfig a;
+  a.method = Method::kSignSgd;
+  a.seed = 1;  // SignSGD never reads the seed
+  CompressorConfig b;
+  b.method = Method::kSignSgd;
+  b.seed = 999;
+  EXPECT_TRUE(a == b);
+  b.error_feedback = true;  // ...but error_feedback it does read
+  EXPECT_TRUE(a != b);
+}
+
+TEST(Factory, MethodFromNameInvertsMethodName) {
+  for (const Method m : all_methods()) EXPECT_EQ(method_from_name(method_name(m)), m);
+  EXPECT_THROW(method_from_name("nope"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace gradcomp::compress

@@ -90,6 +90,35 @@ TEST(Timeline, CsvRenderRows) {
   EXPECT_NE(out.find("csv,comm,allreduce,1,2"), std::string::npos);
 }
 
+TEST(Timeline, ChromeJsonGolden) {
+  // Byte-exact golden: the export must stay loadable by about://tracing and
+  // Perfetto, so its shape is pinned down here.
+  Timeline t;
+  t.add("compute", "backward", 0.0, 0.002);
+  t.add("comm", "allreduce \"b0\"", 0.001, 0.0035);
+  std::ostringstream os;
+  t.render_chrome_json(os);
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"compute\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"comm\"}},\n"
+      "{\"name\":\"backward\",\"cat\":\"compute\",\"ph\":\"X\",\"ts\":0.000,"
+      "\"dur\":2000.000,\"pid\":0,\"tid\":0},\n"
+      "{\"name\":\"allreduce \\\"b0\\\"\",\"cat\":\"comm\",\"ph\":\"X\",\"ts\":1000.000,"
+      "\"dur\":2500.000,\"pid\":0,\"tid\":1}\n"
+      "]}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(Timeline, ChromeJsonEmptyIsValid) {
+  Timeline t;
+  std::ostringstream os;
+  t.render_chrome_json(os);
+  EXPECT_EQ(os.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
 TEST(Timeline, OverlapVisibleInGantt) {
   // Overlapping compute/comm spans must both mark the same columns.
   Timeline t;
