@@ -17,14 +17,14 @@ int main(int argc, char** argv) {
   const core::Cluster cluster = bench::default_cluster(64);
   const core::Workload workload = bench::make_workload(models::bert_base(), 10);
 
-  const double ideal = model.ideal_seconds(workload, cluster);
+  const double ideal = model.ideal_seconds(workload, cluster).value();
   const double powersgd =
       model.compressed(bench::make_config(compress::Method::kPowerSgd, 4), workload, cluster)
-          .total_s;
+          .total.value();
 
   stats::Table table({"accumulation steps", "amortized/minibatch (ms)", "overhead vs ideal"});
   for (int k : {1, 2, 4, 8, 16, 32}) {
-    const double t = model.syncsgd_accumulated_seconds_per_minibatch(workload, cluster, k);
+    const double t = model.syncsgd_accumulated_seconds_per_minibatch(workload, cluster, k).value();
     table.add_row({std::to_string(k), stats::Table::fmt_ms(t),
                    stats::Table::fmt((t / ideal - 1.0) * 100.0, 1) + "%"});
   }

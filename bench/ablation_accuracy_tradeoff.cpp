@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   core::PerfModel model;
   const auto cluster = bench::default_cluster(64);
   const auto workload = bench::make_workload(models::resnet50(), 64);
-  const double sync_ms = model.syncsgd(workload, cluster).total_s * 1e3;
+  const double sync_ms = model.syncsgd(workload, cluster).total.value() * 1e3;
 
   stats::Table table({"method", "train acc (100 steps)", "final loss", "bytes/step",
                       "modeled iter (ms, R50@64GPU)"});
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
     const double iter_ms = row.config.method == compress::Method::kSyncSgd
                                ? sync_ms
-                               : model.compressed(row.config, workload, cluster).total_s * 1e3;
+                               : model.compressed(row.config, workload, cluster).total.value() * 1e3;
     table.add_row({row.label, stats::Table::fmt(trainer.accuracy() * 100.0, 1) + "%",
                    stats::Table::fmt(trainer.loss(), 3),
                    std::to_string(trainer.history().back().bytes_per_worker),

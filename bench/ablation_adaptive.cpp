@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
     std::vector<double> per_iter;
     per_iter.reserve(static_cast<std::size_t>(total));
     for (int i = 0; i < total; ++i)
-      per_iter.push_back(sim.run_compressed(cfg, workload).iteration_s);
+      per_iter.push_back(sim.run_compressed(cfg, workload).iteration_time.value());
     return per_iter;
   };
 
@@ -140,7 +140,10 @@ int main(int argc, char** argv) {
   for (const auto& s : spans) {
     const RegimeMean sync_m = regime_mean(static_sync, s.begin, s.end, grace);
     const RegimeMean ps_m = regime_mean(static_ps, s.begin, s.end, grace);
-    const RegimeMean ad_m = regime_mean(adaptive.iteration_s, s.begin, s.end, grace);
+    std::vector<double> adaptive_s;
+    adaptive_s.reserve(adaptive.iteration_times.size());
+    for (const auto it : adaptive.iteration_times) adaptive_s.push_back(it.value());
+    const RegimeMean ad_m = regime_mean(adaptive_s, s.begin, s.end, grace);
     const double best_steady = std::min(sync_m.steady_ms, ps_m.steady_ms);
     const double ratio = ad_m.steady_ms / best_steady;
     within_5pct = within_5pct && ratio <= 1.05;
@@ -166,16 +169,16 @@ int main(int argc, char** argv) {
 
   stats::Table totals({"policy", "total (s)", "vs adaptive"});
   totals.add_row({"static-syncSGD", stats::Table::fmt(sync_total, 2),
-                  stats::Table::fmt(sync_total / adaptive.total_s, 2) + "x"});
+                  stats::Table::fmt(sync_total / adaptive.total.value(), 2) + "x"});
   totals.add_row({"static-PowerSGD", stats::Table::fmt(ps_total, 2),
-                  stats::Table::fmt(ps_total / adaptive.total_s, 2) + "x"});
-  totals.add_row({"adaptive", stats::Table::fmt(adaptive.total_s, 2), "1.00x"});
+                  stats::Table::fmt(ps_total / adaptive.total.value(), 2) + "x"});
+  totals.add_row({"adaptive", stats::Table::fmt(adaptive.total.value(), 2), "1.00x"});
   std::cout << "\nEnd-to-end (" << total << " iterations):\n";
   bench::emit(totals);
 
   json_rows.push_back({"total/syncSGD", sync_total * 1e3});
   json_rows.push_back({"total/powerSGD", ps_total * 1e3});
-  json_rows.push_back({"total/adaptive", adaptive.total_s * 1e3});
+  json_rows.push_back({"total/adaptive", adaptive.total.value() * 1e3});
   json_rows.push_back({"adaptive/switches", static_cast<double>(adaptive.switches), "count"});
   json_rows.push_back(
       {"adaptive/decisions", static_cast<double>(adaptive.decisions.size()), "count"});
@@ -186,7 +189,7 @@ int main(int argc, char** argv) {
     if (d.switched) std::cout << "  iter " << d.iteration << ": " << d.reason << "\n";
 
   const bool strictly_faster =
-      adaptive.total_s < sync_total && adaptive.total_s < ps_total;
+      adaptive.total.value() < sync_total && adaptive.total.value() < ps_total;
   std::cout << "\nShape check: adaptive within 5% of the best static in every regime: "
             << (within_5pct ? "PASS" : "FAIL")
             << "\nShape check: adaptive strictly faster than both statics end-to-end: "

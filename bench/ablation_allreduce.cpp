@@ -19,10 +19,10 @@ int main(int argc, char** argv) {
                       "PS 4 servers (ms)"});
   for (int p : {4, 8, 16, 32, 64, 96, 256, 1024}) {
     table.add_row({std::to_string(p),
-                   stats::Table::fmt_ms(comm::ring_allreduce_seconds(bytes, p, net)),
-                   stats::Table::fmt_ms(comm::tree_allreduce_seconds(bytes, p, net)),
-                   stats::Table::fmt_ms(comm::parameter_server_seconds(bytes, p, 1, net)),
-                   stats::Table::fmt_ms(comm::parameter_server_seconds(bytes, p, 4, net))});
+                   stats::Table::fmt_ms(comm::ring_allreduce_seconds(gradcomp::core::units::Bytes{bytes}, p, net).value()),
+                   stats::Table::fmt_ms(comm::tree_allreduce_seconds(gradcomp::core::units::Bytes{bytes}, p, net).value()),
+                   stats::Table::fmt_ms(comm::parameter_server_seconds(gradcomp::core::units::Bytes{bytes}, p, 1, net).value()),
+                   stats::Table::fmt_ms(comm::parameter_server_seconds(gradcomp::core::units::Bytes{bytes}, p, 4, net).value())});
   }
   bench::emit(table);
 
@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   stats::Table small({"workers", "ring (us)", "double-tree (us)"});
   for (int p : {8, 96, 1024})
     small.add_row({std::to_string(p),
-                   stats::Table::fmt(comm::ring_allreduce_seconds(4096, p, net) * 1e6, 1),
-                   stats::Table::fmt(comm::tree_allreduce_seconds(4096, p, net) * 1e6, 1)});
+                   stats::Table::fmt(comm::ring_allreduce_seconds(gradcomp::core::units::Bytes{4096}, p, net).value() * 1e6, 1),
+                   stats::Table::fmt(comm::tree_allreduce_seconds(gradcomp::core::units::Bytes{4096}, p, net).value() * 1e6, 1)});
   bench::emit(small);
 
   std::cout << "\nShape check: all-reduce columns grow slowly toward the 2n/BW asymptote;\n"

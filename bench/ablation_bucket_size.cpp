@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     const auto sizes = models::bucket_sizes(workload.model, workload.bucket_bytes);
     const auto b = model.syncsgd(workload, cluster);
     table.add_row({std::to_string(mb) + " MB", std::to_string(sizes.size()),
-                   stats::Table::fmt_ms(b.total_s), stats::Table::fmt_ms(b.exposed_comm_s)});
+                   stats::Table::fmt_ms(b.total.value()), stats::Table::fmt_ms(b.exposed_comm.value())});
   }
   bench::emit(table);
 

@@ -27,10 +27,10 @@ int main(int argc, char** argv) {
     const core::Workload w = bench::make_workload(models::resnet101(), batch);
     const double iters =
         std::ceil(static_cast<double>(kImageNet) / (static_cast<double>(batch) * 64.0));
-    const double sync_epoch = model.epoch_seconds({}, w, cluster, kImageNet);
-    const double ps_epoch = model.epoch_seconds(powersgd, w, cluster, kImageNet);
+    const double sync_epoch = model.epoch_seconds({}, w, cluster, kImageNet).value();
+    const double ps_epoch = model.epoch_seconds(powersgd, w, cluster, kImageNet).value();
     const bool ps_iter_wins =
-        model.compressed(powersgd, w, cluster).total_s < model.syncsgd(w, cluster).total_s;
+        model.compressed(powersgd, w, cluster).total.value() < model.syncsgd(w, cluster).total.value();
     table.add_row({std::to_string(batch), stats::Table::fmt(iters, 0),
                    stats::Table::fmt(sync_epoch, 1), stats::Table::fmt(ps_epoch, 1),
                    ps_iter_wins ? "PowerSGD" : "syncSGD",

@@ -102,13 +102,13 @@ int main(int argc, char** argv) {
       const auto opts = scenario_options(s, p, protocol.iterations);
       const auto sync = sim::measure(cluster, opts, {}, workload, protocol);
       const auto comp = sim::measure(cluster, opts, ps, workload, protocol);
-      table.add_row({std::to_string(p), scenario_name(s), stats::Table::fmt_ms(sync.mean_s),
-                     stats::Table::fmt_ms(comp.mean_s),
-                     stats::Table::fmt(sync.mean_s / comp.mean_s, 2) + "x"});
+      table.add_row({std::to_string(p), scenario_name(s), stats::Table::fmt_ms(sync.mean.value()),
+                     stats::Table::fmt_ms(comp.mean.value()),
+                     stats::Table::fmt(sync.mean.value() / comp.mean.value(), 2) + "x"});
       json_rows.push_back(
-          {"sim/" + scenario_name(s) + "/syncSGD/p" + std::to_string(p), sync.mean_s * 1e3});
+          {"sim/" + scenario_name(s) + "/syncSGD/p" + std::to_string(p), sync.mean.value() * 1e3});
       json_rows.push_back(
-          {"sim/" + scenario_name(s) + "/powerSGD/p" + std::to_string(p), comp.mean_s * 1e3});
+          {"sim/" + scenario_name(s) + "/powerSGD/p" + std::to_string(p), comp.mean.value() * 1e3});
     }
   }
   bench::emit(table);

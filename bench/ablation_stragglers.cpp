@@ -75,11 +75,11 @@ int main(int argc, char** argv) {
     const auto sync_slow = sim::measure(cluster, straggly, {}, workload, protocol);
     const auto ps_clean = sim::measure(cluster, clean, ps, workload, protocol);
     const auto ps_slow = sim::measure(cluster, straggly, ps, workload, protocol);
-    table.add_row({std::to_string(p), stats::Table::fmt_ms(sync_clean.mean_s),
-                   stats::Table::fmt_ms(sync_slow.mean_s), stats::Table::fmt_ms(ps_clean.mean_s),
-                   stats::Table::fmt_ms(ps_slow.mean_s)});
-    json_rows.push_back({"bernoulli/syncSGD/p" + std::to_string(p), sync_slow.mean_s * 1e3,
-                         sync_slow.stddev_s * 1e3});
+    table.add_row({std::to_string(p), stats::Table::fmt_ms(sync_clean.mean.value()),
+                   stats::Table::fmt_ms(sync_slow.mean.value()), stats::Table::fmt_ms(ps_clean.mean.value()),
+                   stats::Table::fmt_ms(ps_slow.mean.value())});
+    json_rows.push_back({"bernoulli/syncSGD/p" + std::to_string(p), sync_slow.mean.value() * 1e3,
+                         sync_slow.stddev.value() * 1e3});
   }
   bench::emit(table);
 
@@ -107,10 +107,10 @@ int main(int argc, char** argv) {
     for (const auto& [label, dist] : dists) {
       const auto opts = planned_options(dist, p, protocol.iterations);
       const auto m = sim::measure(cluster, opts, {}, workload, protocol);
-      row.push_back(stats::Table::fmt_ms(m.mean_s));
+      row.push_back(stats::Table::fmt_ms(m.mean.value()));
       if (dist != core::StragglerDist::kNone)
-        json_rows.push_back({label + "/syncSGD/p" + std::to_string(p), m.mean_s * 1e3,
-                             m.stddev_s * 1e3});
+        json_rows.push_back({label + "/syncSGD/p" + std::to_string(p), m.mean.value() * 1e3,
+                             m.stddev.value() * 1e3});
     }
     dist_table.add_row(std::move(row));
   }

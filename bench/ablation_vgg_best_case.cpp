@@ -20,12 +20,12 @@ int main(int argc, char** argv) {
     const auto rec = core::advise(workload, cluster);
 
     std::cout << "\n--- " << model.name << " (" << stats::Table::fmt(model.total_mb(), 0)
-              << " MB, backward " << stats::Table::fmt_ms(model.backward_seconds(64))
+              << " MB, backward " << stats::Table::fmt_ms(model.backward_seconds(64).value())
               << " ms @ batch 64) ---\n";
     stats::Table table({"method", "iteration (ms)", "speedup"});
-    table.add_row({"syncSGD", stats::Table::fmt_ms(rec.sync.total_s), "1.00x"});
+    table.add_row({"syncSGD", stats::Table::fmt_ms(rec.sync.total.value()), "1.00x"});
     for (const auto& r : rec.ranked)
-      table.add_row({r.candidate.label, stats::Table::fmt_ms(r.breakdown.total_s),
+      table.add_row({r.candidate.label, stats::Table::fmt_ms(r.breakdown.total.value()),
                      stats::Table::fmt(r.speedup, 2) + "x"});
     bench::emit(table);
     std::cout << rec.summary() << '\n';

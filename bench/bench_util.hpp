@@ -151,8 +151,8 @@ inline void run_scalability(const std::vector<models::ModelProfile>& model_list,
           row.push_back("OOM");
           continue;
         }
-        row.push_back(stats::Table::fmt(cells[t].mean_s * 1e3, 1) + " +/- " +
-                      stats::Table::fmt(cells[t].stddev_s * 1e3, 1));
+        row.push_back(stats::Table::fmt(cells[t].mean.value() * 1e3, 1) + " +/- " +
+                      stats::Table::fmt(cells[t].stddev.value() * 1e3, 1));
       }
       table.add_row(std::move(row));
     }

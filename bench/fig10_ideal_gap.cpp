@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
     stats::Table table({"workers", "ideal (ms)", "syncSGD (ms)", "gap (ms)"});
     for (int p : {8, 16, 32, 64, 96, 128, 150}) {
       const core::Cluster cluster = bench::default_cluster(p);
-      const double ideal = model.ideal_seconds(w, cluster);
-      const double observed = model.syncsgd(w, cluster).total_s;
+      const double ideal = model.ideal_seconds(w, cluster).value();
+      const double observed = model.syncsgd(w, cluster).total.value();
       table.add_row({std::to_string(p), stats::Table::fmt_ms(ideal),
                      stats::Table::fmt_ms(observed),
                      stats::Table::fmt_ms(observed - ideal)});

@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
     std::cout << "\n--- " << c.m.name << " ---\n";
     stats::Table table({"Gbps", "syncSGD (ms)", "PowerSGD r4 (ms)", "speedup"});
     for (const auto& pt : whatif.sweep_bandwidth(config, w, bench::default_cluster(64), gbps))
-      table.add_row({stats::Table::fmt(pt.x, 0), stats::Table::fmt_ms(pt.sync.total_s),
-                     stats::Table::fmt_ms(pt.compressed.total_s),
+      table.add_row({stats::Table::fmt(pt.x, 0), stats::Table::fmt_ms(pt.sync.total.value()),
+                     stats::Table::fmt_ms(pt.compressed.total.value()),
                      stats::Table::fmt(pt.speedup(), 2) + "x"});
     bench::emit(table);
     std::cout << "crossover bandwidth (syncSGD starts winning): "

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
     std::cout << "\n--- " << c.m.name << " ---\n";
     stats::Table table({"compute speedup", "syncSGD (ms)", "PowerSGD r4 (ms)", "speedup"});
     for (const auto& pt : whatif.sweep_compute(config, w, bench::default_cluster(64), factors))
-      table.add_row({stats::Table::fmt(pt.x, 1) + "x", stats::Table::fmt_ms(pt.sync.total_s),
-                     stats::Table::fmt_ms(pt.compressed.total_s),
+      table.add_row({stats::Table::fmt(pt.x, 1) + "x", stats::Table::fmt_ms(pt.sync.total.value()),
+                     stats::Table::fmt_ms(pt.compressed.total.value()),
                      stats::Table::fmt(pt.speedup(), 2) + "x"});
     bench::emit(table);
   }

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   stats::Table table({"k (encode / k)", "l (bytes x l*k)", "iteration (ms)", "speedup vs syncSGD"});
   for (const auto& pt : points)
     table.add_row({stats::Table::fmt(pt.k, 0), stats::Table::fmt(pt.l, 0),
-                   stats::Table::fmt_ms(pt.compressed.total_s),
+                   stats::Table::fmt_ms(pt.compressed.total.value()),
                    stats::Table::fmt(pt.speedup(), 2) + "x"});
   bench::emit(table);
 

@@ -17,16 +17,16 @@ int main(int argc, char** argv) {
   const auto result = simulator.run_syncsgd(bench::make_workload(models::resnet50(), 64));
 
   std::cout << "\nResNet-50, batch 64/GPU, 8 GPUs, 10 Gbps — one iteration ("
-            << stats::Table::fmt(result.iteration_s * 1e3, 1) << " ms):\n\n";
+            << stats::Table::fmt(result.iteration_time.value() * 1e3, 1) << " ms):\n\n";
   result.timeline.render_ascii(std::cout, 100);
   std::cout << '\n';
   result.timeline.render_csv(std::cout);
 
-  const double hidden = result.comm_s - result.exposed_comm_s;
-  std::cout << "\ncompute stream busy: " << stats::Table::fmt(result.compute_s * 1e3, 1)
-            << " ms; comm stream busy: " << stats::Table::fmt(result.comm_s * 1e3, 1)
+  const double hidden = result.comm.value() - result.exposed_comm.value();
+  std::cout << "\ncompute stream busy: " << stats::Table::fmt(result.compute.value() * 1e3, 1)
+            << " ms; comm stream busy: " << stats::Table::fmt(result.comm.value() * 1e3, 1)
             << " ms; comm hidden behind compute: " << stats::Table::fmt(hidden * 1e3, 1)
-            << " ms; exposed: " << stats::Table::fmt(result.exposed_comm_s * 1e3, 1) << " ms\n";
+            << " ms; exposed: " << stats::Table::fmt(result.exposed_comm.value() * 1e3, 1) << " ms\n";
   std::cout << "Shape check: the comm stream overlaps the compute stream for most of the\n"
                "iteration; the unhidden tail is the final bucket, as in the Nsight trace.\n";
   return 0;

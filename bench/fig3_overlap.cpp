@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
   stats::Table table({"method", "sequential (ms)", "overlapped (ms)", "overlap penalty"});
   for (const auto& row : rows) {
     const double seq =
-        sim::ClusterSim(cluster, sequential).run_compressed(row.config, workload).iteration_s;
+        sim::ClusterSim(cluster, sequential).run_compressed(row.config, workload).iteration_time.value();
     const double ovl =
-        sim::ClusterSim(cluster, overlapped).run_compressed(row.config, workload).iteration_s;
+        sim::ClusterSim(cluster, overlapped).run_compressed(row.config, workload).iteration_time.value();
     table.add_row({row.label, stats::Table::fmt_ms(seq), stats::Table::fmt_ms(ovl),
                    stats::Table::fmt(ovl / seq, 2) + "x"});
   }

@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   const auto sync = sim::measure(cluster, bench::testbed_options(), {}, workload);
   const auto sign = sim::measure(cluster, bench::testbed_options(),
                                  bench::make_config(compress::Method::kSignSgd), workload);
-  std::cout << "\nResNet-101 @ 96 GPUs: syncSGD " << stats::Table::fmt(sync.mean_s * 1e3, 0)
-            << " ms vs SignSGD " << stats::Table::fmt(sign.mean_s * 1e3, 0)
+  std::cout << "\nResNet-101 @ 96 GPUs: syncSGD " << stats::Table::fmt(sync.mean.value() * 1e3, 0)
+            << " ms vs SignSGD " << stats::Table::fmt(sign.mean.value() * 1e3, 0)
             << " ms (paper: 265 vs 1,075 ms)\n";
   std::cout << "Shape check: SignSGD time grows ~linearly with GPUs while syncSGD stays\n"
                "nearly flat; a ~32x compression ratio cannot offset losing all-reduce.\n";

@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
 
   stats::Table table({"batch/GPU", "syncSGD (ms)", "PowerSGD r4 (ms)", "speedup"});
   for (const auto& pt : points)
-    table.add_row({stats::Table::fmt(pt.x, 0), stats::Table::fmt_ms(pt.sync.total_s),
-                   stats::Table::fmt_ms(pt.compressed.total_s),
+    table.add_row({stats::Table::fmt(pt.x, 0), stats::Table::fmt_ms(pt.sync.total.value()),
+                   stats::Table::fmt_ms(pt.compressed.total.value()),
                    stats::Table::fmt((pt.speedup() - 1.0) * 100.0, 1) + "%"});
   bench::emit(table);
 

@@ -25,11 +25,11 @@ Series collect(const compress::CompressorConfig& config, const core::Workload& w
   Series s;
   for (int p : worker_counts) {
     const core::Cluster cluster = bench::default_cluster(p);
-    s.predicted.push_back(model.compressed(config, workload, cluster).total_s);
+    s.predicted.push_back(model.compressed(config, workload, cluster).total.value());
     const auto m = sim::measure(cluster, bench::testbed_options(/*jitter=*/0.03), config,
                                 workload);
-    s.measured_mean.push_back(m.mean_s);
-    s.measured_std.push_back(m.stddev_s);
+    s.measured_mean.push_back(m.mean.value());
+    s.measured_std.push_back(m.stddev.value());
   }
   return s;
 }
@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
   probe_opts.jitter_frac = 0.02;
   const auto est = sim::probe_network(bench::default_cluster(96), probe_opts);
   std::cout << "\nNetwork probe (as in Section 4.3): alpha = "
-            << stats::Table::fmt(est.alpha_s * 1e6, 2) << " us/hop, min pairwise BW = "
-            << stats::Table::fmt(est.min_pair_gbps, 2) << " Gbps (max "
-            << stats::Table::fmt(est.max_pair_gbps, 2) << ")\n";
+            << stats::Table::fmt(est.alpha.value() * 1e6, 2) << " us/hop, min pairwise BW = "
+            << stats::Table::fmt(est.min_pair.gbps(), 2) << " Gbps (max "
+            << stats::Table::fmt(est.max_pair.gbps(), 2) << ")\n";
 
   const std::vector<int> workers = {8, 16, 32, 64, 96};
   report("(a) syncSGD", {}, bench::make_workload(models::resnet50(), 64), workers);

@@ -49,8 +49,8 @@ void BM_CostRingVsTree(benchmark::State& state) {
   const comm::Network net = comm::Network::from_gbps(10.0);
   double sink = 0.0;
   for (auto _ : state) {
-    sink += comm::ring_allreduce_seconds(100e6, p, net);
-    sink += comm::tree_allreduce_seconds(100e6, p, net);
+    sink += comm::ring_allreduce_seconds(gradcomp::core::units::Bytes{100e6}, p, net).value();
+    sink += comm::tree_allreduce_seconds(gradcomp::core::units::Bytes{100e6}, p, net).value();
     benchmark::DoNotOptimize(sink);
   }
 }

@@ -80,9 +80,9 @@ bool measurements_equal(const std::vector<sim::ScalingPoint>& a,
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const auto eq = [](const sim::Measurement& x, const sim::Measurement& y) {
-      return x.mean_s == y.mean_s && x.stddev_s == y.stddev_s &&
-             x.mean_encode_s == y.mean_encode_s && x.mean_decode_s == y.mean_decode_s &&
-             x.mean_comm_s == y.mean_comm_s;
+      return x.mean.value() == y.mean.value() && x.stddev.value() == y.stddev.value() &&
+             x.mean_encode.value() == y.mean_encode.value() && x.mean_decode.value() == y.mean_decode.value() &&
+             x.mean_comm.value() == y.mean_comm.value();
     };
     if (a[i].workers != b[i].workers || !eq(a[i].sync, b[i].sync) ||
         !eq(a[i].compressed, b[i].compressed))

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
   for (const auto& row : rows) {
     const auto est = cost_model.estimate(row.config, r50, v100, 4);
     const double cpu_ms = measure_roundtrip_ms(row.config, grads, row.repeats);
-    table.add_row({row.method, row.parameter, stats::Table::fmt(est.total() * 1e3, 2),
+    table.add_row({row.method, row.parameter, stats::Table::fmt(est.total().value() * 1e3, 2),
                    stats::Table::fmt(cpu_ms, 1)});
   }
   bench::emit(table);

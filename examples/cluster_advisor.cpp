@@ -87,16 +87,16 @@ int main(int argc, char** argv) {
 
   const core::Recommendation rec = core::advise(workload, cluster);
 
-  std::cout << "syncSGD iteration: " << stats::Table::fmt_ms(rec.sync.total_s) << " ms ("
-            << stats::Table::fmt((rec.sync.total_s / rec.ideal_s - 1.0) * 100.0, 1)
+  std::cout << "syncSGD iteration: " << stats::Table::fmt_ms(rec.sync.total.value()) << " ms ("
+            << stats::Table::fmt((rec.sync.total.value() / rec.ideal.value() - 1.0) * 100.0, 1)
             << "% above perfect scaling — the budget any compressor must beat)\n"
             << "required compression for linear scaling: "
             << stats::Table::fmt(rec.required_compression, 2) << "x\n\n";
 
   stats::Table table({"method", "iteration (ms)", "encode+decode (ms)", "speedup", "verdict"});
   for (const auto& result : rec.ranked)
-    table.add_row({result.candidate.label, stats::Table::fmt_ms(result.breakdown.total_s),
-                   stats::Table::fmt_ms(result.breakdown.encode_decode_s()),
+    table.add_row({result.candidate.label, stats::Table::fmt_ms(result.breakdown.total.value()),
+                   stats::Table::fmt_ms(result.breakdown.encode_decode().value()),
                    stats::Table::fmt(result.speedup, 2) + "x",
                    result.helps() ? "helps" : "hurts"});
   table.print(std::cout);

@@ -44,10 +44,10 @@ int main() {
   const auto sync = model.syncsgd(workload, cluster);
   const auto compressed = model.compressed(config, workload, cluster);
   std::cout << "ResNet-50, batch 64/GPU, 64 GPUs, 10 Gbps:\n"
-            << "  syncSGD iteration:  " << sync.total_s * 1e3 << " ms\n"
-            << "  PowerSGD iteration: " << compressed.total_s * 1e3 << " ms ("
-            << compressed.encode_decode_s() * 1e3 << " ms of that is encode/decode)\n"
-            << "  verdict: " << (compressed.total_s < sync.total_s ? "compression helps"
+            << "  syncSGD iteration:  " << sync.total.value() * 1e3 << " ms\n"
+            << "  PowerSGD iteration: " << compressed.total.value() * 1e3 << " ms ("
+            << compressed.encode_decode().value() * 1e3 << " ms of that is encode/decode)\n"
+            << "  verdict: " << (compressed.total.value() < sync.total.value() ? "compression helps"
                                                                    : "stick with syncSGD")
             << "\n\n";
 

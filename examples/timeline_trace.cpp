@@ -11,7 +11,7 @@ namespace {
 using namespace gradcomp;
 
 void show(const char* title, const sim::SimResult& result) {
-  std::cout << "\n--- " << title << " — " << result.iteration_s * 1e3 << " ms ---\n";
+  std::cout << "\n--- " << title << " — " << result.iteration_time.value() * 1e3 << " ms ---\n";
   result.timeline.render_ascii(std::cout, 96);
 }
 

@@ -35,10 +35,10 @@ int main() {
       {"TopK 1%", {compress::Method::kTopK, 0.01}},
       {"SignSGD", {compress::Method::kSignSgd}},
   };
-  const double baseline = model.syncsgd(workload, cluster).total_s;
+  const double baseline = model.syncsgd(workload, cluster).total.value();
   stats::Table table({"method", "iteration (ms)", "vs syncSGD"});
   for (const auto& c : candidates) {
-    const double t = model.compressed(c.config, workload, cluster).total_s;
+    const double t = model.compressed(c.config, workload, cluster).total.value();
     table.add_row({c.label, stats::Table::fmt_ms(t),
                    stats::Table::fmt((baseline / t - 1.0) * 100.0, 1) + "%"});
   }

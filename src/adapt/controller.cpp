@@ -10,9 +10,9 @@ namespace gradcomp::adapt {
 
 namespace {
 
-std::string fmt_ms(double seconds) {
+std::string fmt_ms(Seconds seconds) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3g ms", seconds * 1e3);
+  std::snprintf(buf, sizeof(buf), "%.3g ms", seconds.ms());
   return buf;
 }
 
@@ -72,53 +72,53 @@ Decision Controller::decide() {
   // model evaluation when the controller was started on an off-panel scheme.
   const bool incumbent_is_sync =
       current_.config.method == compress::Method::kSyncSgd;
-  double incumbent_s = incumbent_is_sync ? rec.sync.total_s : 0.0;
+  Seconds incumbent = incumbent_is_sync ? rec.sync.total : Seconds{};
   if (!incumbent_is_sync) {
     for (const auto& r : rec.ranked)
       if (r.candidate.config == current_.config) {
-        incumbent_s = r.breakdown.total_s;
+        incumbent = r.breakdown.total;
         break;
       }
-    if (incumbent_s == 0.0)
-      incumbent_s =
-          core::PerfModel{}.compressed(current_.config, workload_, cluster).total_s;
+    if (incumbent.value() == 0.0)
+      incumbent =
+          core::PerfModel{}.compressed(current_.config, workload_, cluster).total;
   }
 
   core::Candidate challenger{"syncSGD", {}};
-  double challenger_s = rec.sync.total_s;
-  if (!rec.ranked.empty() && rec.ranked.front().breakdown.total_s < challenger_s) {
+  Seconds challenger_time = rec.sync.total;
+  if (!rec.ranked.empty() && rec.ranked.front().breakdown.total < challenger_time) {
     challenger = rec.ranked.front().candidate;
-    challenger_s = rec.ranked.front().breakdown.total_s;
+    challenger_time = rec.ranked.front().breakdown.total;
   }
 
   Decision d;
   d.iteration = iteration_;
-  d.effective_gbps = link_.gbps();
+  d.effective_bandwidth = link_.bandwidth();
   d.compute_stretch = compute_.stretch();
-  d.incumbent_s = incumbent_s;
+  d.incumbent = incumbent;
 
   char where[96];
-  std::snprintf(where, sizeof(where), " [%.2f Gbps eff, stretch %.2f]", d.effective_gbps,
-                d.compute_stretch);
+  std::snprintf(where, sizeof(where), " [%.2f Gbps eff, stretch %.2f]",
+                d.effective_bandwidth.gbps(), d.compute_stretch);
 
   if (challenger.config == current_.config) {
     d.chosen = current_;
-    d.predicted_s = incumbent_s;
-    d.reason = current_.label + " still predicted fastest (" + fmt_ms(incumbent_s) + ")" + where;
+    d.predicted = incumbent;
+    d.reason = current_.label + " still predicted fastest (" + fmt_ms(incumbent) + ")" + where;
     return d;
   }
 
-  const double advantage = challenger_s > 0.0 ? incumbent_s / challenger_s : 0.0;
+  const double advantage = challenger_time.value() > 0.0 ? incumbent / challenger_time : 0.0;
   if (iteration_ - last_switch_iteration_ < options_.min_dwell) {
     d.chosen = current_;
-    d.predicted_s = incumbent_s;
+    d.predicted = incumbent;
     d.reason = "hold " + current_.label + ": " + challenger.label + " predicted " +
                fmt_x(advantage) + " but dwell not elapsed" + where;
     return d;
   }
   if (advantage < 1.0 + options_.switch_margin) {
     d.chosen = current_;
-    d.predicted_s = incumbent_s;
+    d.predicted = incumbent;
     d.reason = "hold " + current_.label + ": " + challenger.label + " predicted " +
                fmt_x(advantage) + ", inside switch margin" + where;
     return d;
@@ -126,7 +126,7 @@ Decision Controller::decide() {
 
   d.switched = true;
   d.chosen = challenger;
-  d.predicted_s = challenger_s;
+  d.predicted = challenger_time;
   d.reason = "switch " + current_.label + " -> " + challenger.label + " (" +
              compress::config_to_string(challenger.config) + "): predicted " +
              fmt_x(advantage) + where;

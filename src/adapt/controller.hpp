@@ -50,12 +50,12 @@ struct ControllerOptions {
 struct Decision {
   int iteration = 0;   // observation index that closed the decision window
   bool switched = false;
-  core::Candidate chosen;       // active scheme AFTER this decision
-  std::string reason;           // human-readable justification
-  double predicted_s = 0.0;     // modeled iteration time of `chosen`
-  double incumbent_s = 0.0;     // modeled iteration time of the previous scheme
-  double effective_gbps = 0.0;  // link estimate the advisor saw
-  double compute_stretch = 1.0; // compute estimate the advisor saw
+  core::Candidate chosen;        // active scheme AFTER this decision
+  std::string reason;            // human-readable justification
+  Seconds predicted;             // modeled iteration time of `chosen`
+  Seconds incumbent;             // modeled iteration time of the previous scheme
+  BitsPerSecond effective_bandwidth;  // link estimate the advisor saw
+  double compute_stretch = 1.0;  // compute estimate the advisor saw
 };
 
 class Controller {

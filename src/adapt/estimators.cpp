@@ -72,7 +72,7 @@ CollectiveShape collective_shape(const compress::CompressorConfig& config,
       break;
     case Method::kPowerSgd: {
       const auto bytes = core::PerfModel::low_rank_bytes(model, config.rank);
-      shape.count = bytes.dense_bytes > 0 ? 3 : 2;  // P, Q, (+ 1-D layers)
+      shape.count = bytes.dense_bytes.value() > 0 ? 3 : 2;  // P, Q, (+ 1-D layers)
       break;
     }
     case Method::kRandomK:
@@ -84,7 +84,7 @@ CollectiveShape collective_shape(const compress::CompressorConfig& config,
       break;
     case Method::kAtomo: {
       const auto bytes = core::PerfModel::low_rank_bytes(model, config.rank);
-      shape = {bytes.dense_bytes > 0 ? 2 : 1, true};
+      shape = {bytes.dense_bytes.value() > 0 ? 2 : 1, true};
       break;
     }
     case Method::kSignSgd:
@@ -106,36 +106,38 @@ LinkEstimator::LinkEstimator(comm::Network base, double half_life, int window)
 
 void LinkEstimator::observe(const Observation& o) {
   const int p = o.world_size;
-  if (p < 2 || o.wire_bytes <= 0.0 || o.collective_s <= 0.0) return;
+  if (p < 2 || o.wire_bytes.value() <= 0.0 || o.collective.value() <= 0.0) return;
   // Ring all-reduce of b bytes:  T = alpha*(p-1) + 2*b*(p-1)/(p*BW)
   // All-gather of b bytes/rank:  T = alpha*(p-1) + b*(p-1)/BW
   // With `count` back-to-back collectives moving `wire_bytes` total, the
   // latency term multiplies by count and the bandwidth term keeps the total
-  // payload, so BW falls straight out of the measured wall time.
+  // payload, so BW falls straight out of the measured wall time. The EWMA
+  // and window run in bytes/s; the accessors wrap on the way out.
   const double latency =
-      static_cast<double>(o.shape.count) * base_.alpha_s * static_cast<double>(p - 1);
-  const double transfer = o.collective_s - latency;
+      static_cast<double>(o.shape.count) * base_.alpha.value() * static_cast<double>(p - 1);
+  const double transfer = o.collective.value() - latency;
   if (transfer <= 0.0) return;  // not explainable at any positive bandwidth
   const double pd = static_cast<double>(p);
   const double bw = o.shape.allgather
-                        ? o.wire_bytes * (pd - 1.0) / transfer
-                        : 2.0 * o.wire_bytes * (pd - 1.0) / (pd * transfer);
+                        ? o.wire_bytes.value() * (pd - 1.0) / transfer
+                        : 2.0 * o.wire_bytes.value() * (pd - 1.0) / (pd * transfer);
   if (!std::isfinite(bw) || bw <= 0.0) return;
   ewma_.update(bw);
   window_.update(bw);
 }
 
-double LinkEstimator::bandwidth_bps() const {
-  return ewma_.ready() ? ewma_.value() : base_.bandwidth_bps;
+BitsPerSecond LinkEstimator::bandwidth() const {
+  return ewma_.ready() ? BitsPerSecond::from_bytes_per_second(ewma_.value()) : base_.bandwidth;
 }
 
-double LinkEstimator::percentile_bps(double q) const {
-  return window_.ready() ? window_.percentile(q) : base_.bandwidth_bps;
+BitsPerSecond LinkEstimator::percentile_bandwidth(double q) const {
+  return window_.ready() ? BitsPerSecond::from_bytes_per_second(window_.percentile(q))
+                         : base_.bandwidth;
 }
 
 comm::Network LinkEstimator::network() const {
   comm::Network net = base_;
-  net.bandwidth_bps = bandwidth_bps();
+  net.bandwidth = bandwidth();
   return net;
 }
 
@@ -146,11 +148,11 @@ ComputeEstimator::ComputeEstimator(models::Device base, double half_life, int wi
     : base_(std::move(base)), ewma_(half_life), window_(window) {}
 
 void ComputeEstimator::observe(const Observation& o) {
-  if (o.backward_s <= 0.0 || o.nominal_backward_s <= 0.0) return;
+  if (o.backward.value() <= 0.0 || o.nominal_backward.value() <= 0.0) return;
   // Floor far below any physical speedup: keeps a degenerate measurement
   // (e.g. a microsecond-scale in-process backward against a modeled GPU
   // profile) finite without biasing realistic samples.
-  const double stretch = std::max(o.backward_s / o.nominal_backward_s, 1e-6);
+  const double stretch = std::max(o.backward / o.nominal_backward, 1e-6);
   ewma_.update(stretch);
   window_.update(stretch);
 }

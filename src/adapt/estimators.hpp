@@ -23,10 +23,15 @@
 
 #include "comm/cost_model.hpp"
 #include "compress/compressor.hpp"
+#include "core/units.hpp"
 #include "models/device.hpp"
 #include "models/model_profile.hpp"
 
 namespace gradcomp::adapt {
+
+using core::units::BitsPerSecond;
+using core::units::Bytes;
+using core::units::Seconds;
 
 // Exponentially weighted moving average parameterized by half-life: after
 // `half_life` updates an old sample contributes half its original weight.
@@ -80,10 +85,10 @@ struct CollectiveShape {
 // One iteration's measured signals, fed by the simulator (modeled timings)
 // or the trainer (wall clock).
 struct Observation {
-  double wire_bytes = 0.0;    // logical payload one rank moved (PerfModel::wire_bytes)
-  double collective_s = 0.0;  // summed collective wall time (busy, not exposed)
-  double backward_s = 0.0;    // measured backward-pass wall time
-  double nominal_backward_s = 0.0;  // modeled backward time on the base device
+  Bytes wire_bytes;          // logical payload one rank moved (PerfModel::wire_bytes)
+  Seconds collective;        // summed collective wall time (busy, not exposed)
+  Seconds backward;          // measured backward-pass wall time
+  Seconds nominal_backward;  // modeled backward time on the base device
   int world_size = 1;
   CollectiveShape shape;
 };
@@ -101,13 +106,12 @@ class LinkEstimator {
 
   [[nodiscard]] bool ready() const noexcept { return ewma_.ready(); }
   [[nodiscard]] int samples() const noexcept { return ewma_.count(); }
-  // EWMA effective bandwidth (bytes/s); the base network's before the first
-  // valid sample.
-  [[nodiscard]] double bandwidth_bps() const;
-  [[nodiscard]] double gbps() const { return bandwidth_bps() * 8.0 / 1e9; }
+  // EWMA effective bandwidth; the base network's before the first valid
+  // sample. Convert with .gbps() / .bytes_per_second() as needed.
+  [[nodiscard]] BitsPerSecond bandwidth() const;
   // Robust lower quantile over the window (e.g. q=0.5 for median), for
   // controllers that want spike resistance instead of the EWMA.
-  [[nodiscard]] double percentile_bps(double q) const;
+  [[nodiscard]] BitsPerSecond percentile_bandwidth(double q) const;
   // The base network with its bandwidth replaced by the current estimate.
   [[nodiscard]] comm::Network network() const;
 

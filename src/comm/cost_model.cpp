@@ -7,72 +7,79 @@ namespace gradcomp::comm {
 
 namespace {
 
-void require_valid(double bytes, int p, const Network& net) {
-  if (bytes < 0) throw std::invalid_argument("collective cost: negative byte count");
+void require_valid(Bytes bytes, int p, const Network& net) {
+  if (bytes.value() < 0) throw std::invalid_argument("collective cost: negative byte count");
   if (p < 1) throw std::invalid_argument("collective cost: world size must be >= 1");
-  if (net.bandwidth_bps <= 0) throw std::invalid_argument("collective cost: bandwidth <= 0");
+  if (net.bandwidth.value() <= 0)
+    throw std::invalid_argument("collective cost: bandwidth <= 0");
 }
 
 double log2_clamped(int p) { return p > 1 ? std::log2(static_cast<double>(p)) : 0.0; }
 
+// The formulas below unwrap to raw doubles so each expression keeps the
+// exact shape (and bit-exact result) of the validated model; the strong
+// types guard the call boundary.
+
 }  // namespace
 
-double ring_allreduce_seconds(double bytes, int p, const Network& net) {
+Seconds ring_allreduce_seconds(Bytes bytes, int p, const Network& net) {
   require_valid(bytes, p, net);
-  if (p == 1) return 0.0;
-  const double latency = net.alpha_s * static_cast<double>(p - 1);
-  const double bandwidth =
-      2.0 * bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
-  return latency + bandwidth;
+  if (p == 1) return Seconds{};
+  const double latency = net.alpha.value() * static_cast<double>(p - 1);
+  const double transfer = 2.0 * bytes.value() * static_cast<double>(p - 1) /
+                          (static_cast<double>(p) * net.bandwidth.bytes_per_second());
+  return Seconds{latency + transfer};
 }
 
-double tree_allreduce_seconds(double bytes, int p, const Network& net) {
+Seconds tree_allreduce_seconds(Bytes bytes, int p, const Network& net) {
   require_valid(bytes, p, net);
-  if (p == 1) return 0.0;
-  const double latency = net.alpha_s * log2_clamped(p);
-  const double bandwidth =
-      2.0 * bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
-  return latency + bandwidth;
+  if (p == 1) return Seconds{};
+  const double latency = net.alpha.value() * log2_clamped(p);
+  const double transfer = 2.0 * bytes.value() * static_cast<double>(p - 1) /
+                          (static_cast<double>(p) * net.bandwidth.bytes_per_second());
+  return Seconds{latency + transfer};
 }
 
-double allgather_seconds(double bytes_per_rank, int p, const Network& net) {
+Seconds allgather_seconds(Bytes bytes_per_rank, int p, const Network& net) {
   require_valid(bytes_per_rank, p, net);
-  if (p == 1) return 0.0;
-  const double latency = net.alpha_s * static_cast<double>(p - 1);
+  if (p == 1) return Seconds{};
+  const double latency = net.alpha.value() * static_cast<double>(p - 1);
   const double incast = 1.0 + net.incast_penalty * log2_clamped(p);
-  const double bandwidth =
-      bytes_per_rank * static_cast<double>(p - 1) / net.bandwidth_bps * incast;
-  return latency + bandwidth;
+  const double transfer = bytes_per_rank.value() * static_cast<double>(p - 1) /
+                          net.bandwidth.bytes_per_second() * incast;
+  return Seconds{latency + transfer};
 }
 
-double reduce_scatter_seconds(double bytes, int p, const Network& net) {
+Seconds reduce_scatter_seconds(Bytes bytes, int p, const Network& net) {
   require_valid(bytes, p, net);
-  if (p == 1) return 0.0;
-  const double latency = net.alpha_s * static_cast<double>(p - 1);
-  const double bandwidth =
-      bytes * static_cast<double>(p - 1) / (static_cast<double>(p) * net.bandwidth_bps);
-  return latency + bandwidth;
+  if (p == 1) return Seconds{};
+  const double latency = net.alpha.value() * static_cast<double>(p - 1);
+  const double transfer = bytes.value() * static_cast<double>(p - 1) /
+                          (static_cast<double>(p) * net.bandwidth.bytes_per_second());
+  return Seconds{latency + transfer};
 }
 
-double broadcast_seconds(double bytes, int p, const Network& net) {
+Seconds broadcast_seconds(Bytes bytes, int p, const Network& net) {
   require_valid(bytes, p, net);
-  if (p == 1) return 0.0;
+  if (p == 1) return Seconds{};
   const double hops = std::ceil(log2_clamped(p));
-  return hops * (net.alpha_s + bytes / net.bandwidth_bps);
+  return Seconds{hops * (net.alpha.value() + bytes.value() / net.bandwidth.bytes_per_second())};
 }
 
-double send_seconds(double bytes, const Network& net) {
+Seconds send_seconds(Bytes bytes, const Network& net) {
   require_valid(bytes, 1, net);
-  return net.alpha_s + bytes / net.bandwidth_bps;
+  return Seconds{net.alpha.value() + bytes.value() / net.bandwidth.bytes_per_second()};
 }
 
-double parameter_server_seconds(double bytes, int p, int servers, const Network& net) {
+Seconds parameter_server_seconds(Bytes bytes, int p, int servers, const Network& net) {
   require_valid(bytes, p, net);
   if (servers < 1) throw std::invalid_argument("parameter_server_seconds: servers must be >= 1");
-  if (p == 1) return 0.0;
-  const double per_server_bytes = static_cast<double>(p) * bytes / static_cast<double>(servers);
-  const double incast = 1.0 + net.incast_penalty * (p > 1 ? std::log2(static_cast<double>(p)) : 0.0);
-  return 2.0 * net.alpha_s + 2.0 * per_server_bytes / net.bandwidth_bps * incast;
+  if (p == 1) return Seconds{};
+  const double per_server_bytes =
+      static_cast<double>(p) * bytes.value() / static_cast<double>(servers);
+  const double incast = 1.0 + net.incast_penalty * log2_clamped(p);
+  return Seconds{2.0 * net.alpha.value() +
+                 2.0 * per_server_bytes / net.bandwidth.bytes_per_second() * incast};
 }
 
 }  // namespace gradcomp::comm

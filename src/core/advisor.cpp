@@ -13,8 +13,8 @@ std::optional<CandidateResult> Recommendation::best() const {
 std::string Recommendation::summary() const {
   std::ostringstream os;
   os.precision(3);
-  os << "syncSGD runs " << sync.total_s * 1e3 << " ms/iteration, "
-     << (sync.total_s / ideal_s - 1.0) * 100.0 << "% above perfect scaling; "
+  os << "syncSGD runs " << sync.total.ms() << " ms/iteration, "
+     << (sync.total / ideal - 1.0) * 100.0 << "% above perfect scaling; "
      << required_compression << "x compression would suffice for linear speedup. ";
   const auto winner = best();
   if (!winner) {
@@ -22,7 +22,7 @@ std::string Recommendation::summary() const {
           "stay with syncSGD (the paper's data-center verdict).";
   } else {
     os << "Recommended: " << winner->candidate.label << " at "
-       << winner->breakdown.total_s * 1e3 << " ms/iteration ("
+       << winner->breakdown.total.ms() << " ms/iteration ("
        << (winner->speedup - 1.0) * 100.0 << "% faster); it stops paying off above "
        << winner_crossover_gbps << " Gbps.";
   }
@@ -62,21 +62,22 @@ Recommendation advise(const Workload& workload, const Cluster& cluster,
   const PerfModel model;
   Recommendation rec;
   rec.sync = model.syncsgd(workload, cluster);
-  rec.ideal_s = model.ideal_seconds(workload, cluster);
+  rec.ideal = model.ideal_seconds(workload, cluster);
   rec.required_compression = model.required_compression_ratio(workload, cluster);
 
   rec.ranked.reserve(candidates.size());
   for (auto& candidate : candidates) {
     CandidateResult result;
     result.breakdown = model.compressed(candidate.config, workload, cluster);
-    result.speedup =
-        result.breakdown.total_s > 0 ? rec.sync.total_s / result.breakdown.total_s : 0.0;
+    result.speedup = result.breakdown.total.value() > 0
+                         ? rec.sync.total / result.breakdown.total
+                         : 0.0;
     result.candidate = std::move(candidate);
     rec.ranked.push_back(std::move(result));
   }
   std::sort(rec.ranked.begin(), rec.ranked.end(),
             [](const CandidateResult& a, const CandidateResult& b) {
-              return a.breakdown.total_s < b.breakdown.total_s;
+              return a.breakdown.total < b.breakdown.total;
             });
 
   if (const auto winner = rec.best()) {

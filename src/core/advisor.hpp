@@ -27,7 +27,7 @@ struct CandidateResult {
 
 struct Recommendation {
   IterationBreakdown sync;
-  double ideal_s = 0.0;                  // perfect-scaling floor
+  units::Seconds ideal;                  // perfect-scaling floor
   double required_compression = 0.0;     // Figure 9 solver output
   std::vector<CandidateResult> ranked;   // fastest first
 

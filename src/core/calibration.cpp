@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/units.hpp"
+
 namespace gradcomp::core {
 
 namespace {
@@ -148,36 +150,37 @@ EncodeDecodeEstimate EncodeCostModel::estimate(const compress::CompressorConfig&
   const double r50_bytes = static_cast<double>(models::resnet50().total_bytes());
   const auto p = static_cast<double>(world_size);
 
-  EncodeDecodeEstimate est;
+  double encode_s = 0.0;
+  double decode_s = 0.0;
   switch (config.method) {
     case compress::Method::kSyncSgd:
       break;
     case compress::Method::kFp16:
-      est.encode_s = bytes * kFp16PerByte;
-      est.decode_s = bytes * kFp16PerByte;
+      encode_s = bytes * kFp16PerByte;
+      decode_s = bytes * kFp16PerByte;
       break;
     case compress::Method::kSignSgd: {
       // Anchor: encode share at p=4 on ResNet-50.
       const double anchor_s = kSignSgdMs / 1e3;
       const double encode_per_byte = anchor_s * kSignEncodeShare / r50_bytes;
       const double decode_per_byte_rank = anchor_s * (1.0 - kSignEncodeShare) / (r50_bytes * 4.0);
-      est.encode_s = bytes * encode_per_byte;
-      est.decode_s = bytes * decode_per_byte_rank * p;  // unpack + vote over p vectors
+      encode_s = bytes * encode_per_byte;
+      decode_s = bytes * decode_per_byte_rank * p;  // unpack + vote over p vectors
       break;
     }
     case compress::Method::kTopK: {
-      est.encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes);
+      encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes);
       const double kept_values = config.fraction * static_cast<double>(model.total_params());
-      est.decode_s = kept_values * p * kScatterPerValue;
+      decode_s = kept_values * p * kScatterPerValue;
       break;
     }
     case compress::Method::kDgc: {
       // Top-K selection plus two accumulator passes (momentum correction and
       // gradient accumulation) over the full gradient.
-      est.encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes) +
+      encode_s = topk_resnet50_ms(config.fraction) / 1e3 * (bytes / r50_bytes) +
                      2.0 * bytes * kFp16PerByte;
       const double kept_values = config.fraction * static_cast<double>(model.total_params());
-      est.decode_s = kept_values * p * kScatterPerValue;
+      decode_s = kept_values * p * kScatterPerValue;
       break;
     }
     case compress::Method::kOneBit: {
@@ -186,21 +189,21 @@ EncodeDecodeEstimate EncodeCostModel::estimate(const compress::CompressorConfig&
       const double anchor_s = kSignSgdMs / 1e3;
       const double encode_per_byte = anchor_s * kSignEncodeShare / r50_bytes;
       const double decode_per_byte_rank = anchor_s * (1.0 - kSignEncodeShare) / (r50_bytes * 4.0);
-      est.encode_s = 2.0 * bytes * encode_per_byte;
-      est.decode_s = bytes * decode_per_byte_rank * p;
+      encode_s = 2.0 * bytes * encode_per_byte;
+      decode_s = bytes * decode_per_byte_rank * p;
       break;
     }
     case compress::Method::kNatural: {
       // Single exponent-rounding pass; cheapest quantizer in the library.
-      est.encode_s = bytes * kFp16PerByte;
-      est.decode_s = bytes * kFp16PerByte * p;
+      encode_s = bytes * kFp16PerByte;
+      decode_s = bytes * kFp16PerByte * p;
       break;
     }
     case compress::Method::kRandomK: {
       // No selection pass: gather k values (index set derived from seed).
       const double kept_values = config.fraction * static_cast<double>(model.total_params());
-      est.encode_s = kept_values * kScatterPerValue;
-      est.decode_s = kept_values * kScatterPerValue;
+      encode_s = kept_values * kScatterPerValue;
+      decode_s = kept_values * kScatterPerValue;
       break;
     }
     case compress::Method::kPowerSgd: {
@@ -208,30 +211,31 @@ EncodeDecodeEstimate EncodeCostModel::estimate(const compress::CompressorConfig&
           k_fix_ * matrix_layer_count(model) + k_gemm_ * powersgd_gemm_flops(model, config.rank) +
           k_orth_ * powersgd_orth_flops(model, config.rank);
       // 2 of 3 GEMMs + orth are encode-side; the reconstruction is decode.
-      est.encode_s = total_s * (2.0 / 3.0);
-      est.decode_s = total_s * (1.0 / 3.0);
+      encode_s = total_s * (2.0 / 3.0);
+      decode_s = total_s * (1.0 / 3.0);
       break;
     }
     case compress::Method::kAtomo: {
       const double gemm_per_iter = powersgd_gemm_flops(model, config.rank) * (4.0 / 6.0);
-      est.encode_s = k_fix_ * matrix_layer_count(model) +
+      encode_s = k_fix_ * matrix_layer_count(model) +
                      k_gemm_ * gemm_per_iter * kAtomoPowerIters +
                      k_orth_ * powersgd_orth_flops(model, config.rank) * kAtomoPowerIters;
       // Reconstruction of p gathered factor pairs.
-      est.decode_s = k_gemm_ * powersgd_gemm_flops(model, config.rank) * (2.0 / 6.0) * p;
+      decode_s = k_gemm_ * powersgd_gemm_flops(model, config.rank) * (2.0 / 6.0) * p;
       break;
     }
     case compress::Method::kQsgd:
-      est.encode_s = bytes * kQsgdPerByte;
-      est.decode_s = bytes * kQsgdPerByte * p;  // all-gather decode
+      encode_s = bytes * kQsgdPerByte;
+      decode_s = bytes * kQsgdPerByte * p;  // all-gather decode
       break;
     case compress::Method::kTernGrad:
-      est.encode_s = bytes * kTernGradPerByte;
-      est.decode_s = bytes * kTernGradPerByte * p;
+      encode_s = bytes * kTernGradPerByte;
+      decode_s = bytes * kTernGradPerByte * p;
       break;
   }
-  est.encode_s = device.scaled(est.encode_s);
-  est.decode_s = device.scaled(est.decode_s);
+  EncodeDecodeEstimate est;
+  est.encode = device.scaled(Seconds{encode_s});
+  est.decode = device.scaled(Seconds{decode_s});
   return est;
 }
 

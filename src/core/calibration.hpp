@@ -22,18 +22,19 @@
 #pragma once
 
 #include "compress/compressor.hpp"
+#include "core/units.hpp"
 #include "models/device.hpp"
 #include "models/model_profile.hpp"
 
 namespace gradcomp::core {
 
 struct EncodeDecodeEstimate {
-  double encode_s = 0.0;
+  units::Seconds encode;
   // Decode cost at world size p (all-gather methods pay p-proportional
   // decode; all-reduce methods decode once).
-  double decode_s = 0.0;
+  units::Seconds decode;
 
-  [[nodiscard]] double total() const { return encode_s + decode_s; }
+  [[nodiscard]] units::Seconds total() const { return encode + decode; }
 };
 
 class EncodeCostModel {
@@ -51,7 +52,7 @@ class EncodeCostModel {
   [[nodiscard]] static int matrix_layer_count(const models::ModelProfile& model);
 
   // Calibrated coefficients (exposed for tests/benches).
-  [[nodiscard]] double powersgd_fixed_per_layer_s() const { return k_fix_; }
+  [[nodiscard]] units::Seconds powersgd_fixed_per_layer() const { return units::Seconds{k_fix_}; }
   [[nodiscard]] double powersgd_gemm_s_per_flop() const { return k_gemm_; }
   [[nodiscard]] double powersgd_orth_s_per_flop() const { return k_orth_; }
 

@@ -16,56 +16,56 @@ void require_cluster(const Cluster& cluster) {
 
 }  // namespace
 
-double PerfModel::backward_seconds(const Workload& workload, const Cluster& cluster) const {
+Seconds PerfModel::backward_seconds(const Workload& workload, const Cluster& cluster) const {
   return cluster.device.scaled(workload.model.backward_seconds(workload.batch_size));
 }
 
 PerfModel::LowRankBytes PerfModel::low_rank_bytes(const models::ModelProfile& model, int rank) {
-  LowRankBytes bytes;
+  double p_bytes = 0.0;
+  double q_bytes = 0.0;
+  double dense_bytes = 0.0;
   for (const auto& layer : model.layers) {
     if (layer.is_matrix()) {
       const auto m = static_cast<double>(layer.matrix_rows());
       const auto n = static_cast<double>(layer.matrix_cols());
       const double r = std::min<double>(rank, std::min(m, n));
-      bytes.p_bytes += m * r * 4.0;
-      bytes.q_bytes += n * r * 4.0;
+      p_bytes += m * r * 4.0;
+      q_bytes += n * r * 4.0;
     } else {
-      bytes.dense_bytes += static_cast<double>(layer.bytes());
+      dense_bytes += static_cast<double>(layer.bytes());
     }
   }
-  return bytes;
+  return LowRankBytes{Bytes{p_bytes}, Bytes{q_bytes}, Bytes{dense_bytes}};
 }
 
-double PerfModel::wire_bytes(const compress::CompressorConfig& config,
-                             const models::ModelProfile& model) const {
+Bytes PerfModel::wire_bytes(const compress::CompressorConfig& config,
+                            const models::ModelProfile& model) const {
   const auto total_bytes = static_cast<double>(model.total_bytes());
   const auto total_params = static_cast<double>(model.total_params());
   switch (config.method) {
     case compress::Method::kSyncSgd:
-      return total_bytes;
+      return Bytes{total_bytes};
     case compress::Method::kFp16:
-      return total_bytes / 2.0;
+      return Bytes{total_bytes / 2.0};
     case compress::Method::kSignSgd:
-      return total_params / 8.0;
+      return Bytes{total_params / 8.0};
     case compress::Method::kOneBit:
-      return total_params / 8.0 + 8.0;  // sign bits + two reconstruction levels
+      return Bytes{total_params / 8.0 + 8.0};  // sign bits + two reconstruction levels
     case compress::Method::kTopK:
       // int32 index + fp32 (or fp16) value per kept coordinate.
-      return config.fraction * total_params * (config.fp16_values ? 6.0 : 8.0);
+      return Bytes{config.fraction * total_params * (config.fp16_values ? 6.0 : 8.0)};
     case compress::Method::kDgc:
-      return config.fraction * total_params * 8.0;  // fp32 value + int32 index
+      return Bytes{config.fraction * total_params * 8.0};  // fp32 value + int32 index
     case compress::Method::kRandomK:
-      return config.fraction * total_params * 4.0;  // values only
+      return Bytes{config.fraction * total_params * 4.0};  // values only
     case compress::Method::kPowerSgd:
-    case compress::Method::kAtomo: {
-      const LowRankBytes b = low_rank_bytes(model, config.rank);
-      return b.p_bytes + b.q_bytes + b.dense_bytes;
-    }
+    case compress::Method::kAtomo:
+      return low_rank_bytes(model, config.rank).total();
     case compress::Method::kQsgd:
     case compress::Method::kNatural:
-      return total_params;  // one byte per coordinate (+header, negligible)
+      return Bytes{total_params};  // one byte per coordinate (+header, negligible)
     case compress::Method::kTernGrad:
-      return total_params / 4.0;  // two bits per coordinate
+      return Bytes{total_params / 4.0};  // two bits per coordinate
   }
   throw std::invalid_argument("PerfModel::wire_bytes: unknown method");
 }
@@ -73,30 +73,33 @@ double PerfModel::wire_bytes(const compress::CompressorConfig& config,
 IterationBreakdown PerfModel::syncsgd(const Workload& workload, const Cluster& cluster) const {
   require_cluster(cluster);
   IterationBreakdown out;
-  const double t_comp = backward_seconds(workload, cluster);
+  const double t_comp = backward_seconds(workload, cluster).value();
   const double gamma = cluster.device.gamma;
   const int p = cluster.world_size;
 
   if (p == 1) {
-    out.compute_s = t_comp;
-    out.total_s = t_comp;
+    out.compute = Seconds{t_comp};
+    out.total = Seconds{t_comp};
     return out;
   }
 
   const auto buckets = models::bucket_sizes(workload.model, workload.bucket_bytes);
   double overlappable = 0.0;
   for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
-    overlappable += comm::ring_allreduce_seconds(static_cast<double>(buckets[i]), p,
-                                                 cluster.network);
-  const double last = comm::ring_allreduce_seconds(
-      static_cast<double>(buckets.empty() ? 0 : buckets.back()), p, cluster.network);
+    overlappable +=
+        comm::ring_allreduce_seconds(Bytes{static_cast<double>(buckets[i])}, p, cluster.network)
+            .value();
+  const double last =
+      comm::ring_allreduce_seconds(Bytes{static_cast<double>(buckets.empty() ? 0 : buckets.back())},
+                                   p, cluster.network)
+          .value();
 
   // The gamma slowdown only applies while communication actually shares the
   // GPU with the backward pass; with little comm to hide it vanishes.
-  out.compute_s = t_comp + (gamma - 1.0) * std::min(t_comp, overlappable);
-  out.comm_s = overlappable + last;
-  out.total_s = std::max(out.compute_s, overlappable) + last;
-  out.exposed_comm_s = out.total_s - out.compute_s;
+  out.compute = Seconds{t_comp + (gamma - 1.0) * std::min(t_comp, overlappable)};
+  out.comm = Seconds{overlappable + last};
+  out.total = Seconds{std::max(out.compute.value(), overlappable) + last};
+  out.exposed_comm = out.total - out.compute;
   return out;
 }
 
@@ -107,47 +110,52 @@ IterationBreakdown PerfModel::compressed(const compress::CompressorConfig& confi
   if (config.method == compress::Method::kSyncSgd) return syncsgd(workload, cluster);
 
   const int p = cluster.world_size;
-  const double t_comp = backward_seconds(workload, cluster);
+  const double t_comp = backward_seconds(workload, cluster).value();
   const auto& net = cluster.network;
   const auto& model = workload.model;
 
-  EncodeDecodeEstimate encdec =
-      encode_model_.estimate(config, model, cluster.device, p);
-  encdec.encode_s *= adjust.encode_decode_scale;
-  encdec.decode_s *= adjust.encode_decode_scale;
+  EncodeDecodeEstimate encdec = encode_model_.estimate(config, model, cluster.device, p);
+  encdec.encode *= adjust.encode_decode_scale;
+  encdec.decode *= adjust.encode_decode_scale;
 
   IterationBreakdown out;
-  out.encode_s = encdec.encode_s;
-  out.decode_s = encdec.decode_s;
+  out.encode = encdec.encode;
+  out.decode = encdec.decode;
 
   if (config.method == compress::Method::kFp16) {
     // FP16 keeps the DDP overlap structure with halved buckets; the cheap
     // conversion folds into the compute stream (gamma absorbs it).
     const double gamma = cluster.device.gamma;
     if (p == 1) {
-      out.compute_s = t_comp;
-      out.total_s = t_comp + encdec.total();
+      out.compute = Seconds{t_comp};
+      out.total = Seconds{t_comp} + encdec.total();
       return out;
     }
     const auto buckets = models::bucket_sizes(model, workload.bucket_bytes);
     double overlappable = 0.0;
     for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
-      overlappable += comm::ring_allreduce_seconds(
-          static_cast<double>(buckets[i]) / 2.0 * adjust.bytes_scale, p, net);
-    const double last = comm::ring_allreduce_seconds(
-        static_cast<double>(buckets.empty() ? 0 : buckets.back()) / 2.0 * adjust.bytes_scale, p,
-        net);
-    out.compute_s = t_comp + (gamma - 1.0) * std::min(t_comp, overlappable);
-    out.comm_s = overlappable + last;
-    out.total_s = std::max(out.compute_s + encdec.total(), overlappable) + last;
-    out.exposed_comm_s = out.total_s - out.compute_s - encdec.total();
+      overlappable +=
+          comm::ring_allreduce_seconds(
+              Bytes{static_cast<double>(buckets[i]) / 2.0 * adjust.bytes_scale}, p, net)
+              .value();
+    const double last =
+        comm::ring_allreduce_seconds(
+            Bytes{static_cast<double>(buckets.empty() ? 0 : buckets.back()) / 2.0 *
+                  adjust.bytes_scale},
+            p, net)
+            .value();
+    out.compute = Seconds{t_comp + (gamma - 1.0) * std::min(t_comp, overlappable)};
+    out.comm = Seconds{overlappable + last};
+    out.total =
+        Seconds{std::max(out.compute.value() + encdec.total().value(), overlappable) + last};
+    out.exposed_comm = out.total - out.compute - encdec.total();
     return out;
   }
 
   // Sequential pipeline (Section 3.1 takeaway): backward, then encode, then
   // collective(s), then decode. gamma does not apply (no overlap).
-  out.compute_s = t_comp;
-  double comm = 0.0;
+  out.compute = Seconds{t_comp};
+  Seconds comm;
   switch (config.method) {
     case compress::Method::kPowerSgd: {
       const LowRankBytes b = low_rank_bytes(model, config.rank);
@@ -155,7 +163,7 @@ IterationBreakdown PerfModel::compressed(const compress::CompressorConfig& confi
       // uncompressed 1-D layers in a third ring all-reduce.
       comm += comm::ring_allreduce_seconds(b.p_bytes * adjust.bytes_scale, p, net);
       comm += comm::ring_allreduce_seconds(b.q_bytes * adjust.bytes_scale, p, net);
-      if (b.dense_bytes > 0)
+      if (b.dense_bytes.value() > 0)
         comm += comm::ring_allreduce_seconds(b.dense_bytes * adjust.bytes_scale, p, net);
       break;
     }
@@ -166,7 +174,7 @@ IterationBreakdown PerfModel::compressed(const compress::CompressorConfig& confi
     case compress::Method::kTopK:
     case compress::Method::kDgc: {
       // Values and indices gathered separately -> twice the latency term.
-      const double half = wire_bytes(config, model) / 2.0 * adjust.bytes_scale;
+      const Bytes half = wire_bytes(config, model) / 2.0 * adjust.bytes_scale;
       comm += comm::allgather_seconds(half, p, net);
       comm += comm::allgather_seconds(half, p, net);
       break;
@@ -184,44 +192,44 @@ IterationBreakdown PerfModel::compressed(const compress::CompressorConfig& confi
     case compress::Method::kFp16:
       break;  // handled above
   }
-  out.comm_s = comm;
-  out.exposed_comm_s = comm;
-  out.total_s = t_comp + encdec.total() + comm;
+  out.comm = comm;
+  out.exposed_comm = comm;
+  out.total = Seconds{t_comp} + encdec.total() + comm;
   return out;
 }
 
-double PerfModel::ideal_seconds(const Workload& workload, const Cluster& cluster) const {
+Seconds PerfModel::ideal_seconds(const Workload& workload, const Cluster& cluster) const {
   require_cluster(cluster);
   return backward_seconds(workload, cluster);
 }
 
-double PerfModel::epoch_seconds(const compress::CompressorConfig& config,
-                                const Workload& workload, const Cluster& cluster,
-                                std::int64_t dataset_size) const {
+Seconds PerfModel::epoch_seconds(const compress::CompressorConfig& config,
+                                 const Workload& workload, const Cluster& cluster,
+                                 std::int64_t dataset_size) const {
   require_cluster(cluster);
   if (dataset_size < 1) throw std::invalid_argument("epoch_seconds: dataset_size must be >= 1");
   const double global_batch =
       static_cast<double>(workload.batch_size) * static_cast<double>(cluster.world_size);
   const double iterations = std::ceil(static_cast<double>(dataset_size) / global_batch);
-  return iterations * compressed(config, workload, cluster).total_s;
+  return iterations * compressed(config, workload, cluster).total;
 }
 
-double PerfModel::syncsgd_accumulated_seconds_per_minibatch(const Workload& workload,
-                                                            const Cluster& cluster,
-                                                            int accumulation_steps) const {
+Seconds PerfModel::syncsgd_accumulated_seconds_per_minibatch(const Workload& workload,
+                                                             const Cluster& cluster,
+                                                             int accumulation_steps) const {
   require_cluster(cluster);
   if (accumulation_steps < 1)
     throw std::invalid_argument("syncsgd_accumulated: accumulation_steps must be >= 1");
   // (k-1) local backward passes (no comm, no gamma) plus one synchronized
   // DDP iteration, amortized over k minibatches.
-  const double local = backward_seconds(workload, cluster);
-  const double synchronized = syncsgd(workload, cluster).total_s;
-  return (static_cast<double>(accumulation_steps - 1) * local + synchronized) /
-         static_cast<double>(accumulation_steps);
+  const double local = backward_seconds(workload, cluster).value();
+  const double synchronized = syncsgd(workload, cluster).total.value();
+  return Seconds{(static_cast<double>(accumulation_steps - 1) * local + synchronized) /
+                 static_cast<double>(accumulation_steps)};
 }
 
-double PerfModel::ideal_gap_seconds(const Workload& workload, const Cluster& cluster) const {
-  return syncsgd(workload, cluster).total_s - ideal_seconds(workload, cluster);
+Seconds PerfModel::ideal_gap_seconds(const Workload& workload, const Cluster& cluster) const {
+  return syncsgd(workload, cluster).total - ideal_seconds(workload, cluster);
 }
 
 double PerfModel::required_compression_ratio(const Workload& workload,
@@ -229,13 +237,13 @@ double PerfModel::required_compression_ratio(const Workload& workload,
   require_cluster(cluster);
   const int p = cluster.world_size;
   if (p == 1) return 1.0;
-  const double t_comp = ideal_seconds(workload, cluster);
+  const double t_comp = ideal_seconds(workload, cluster).value();
   const auto& net = cluster.network;
   // Solve T_comp = alpha*(p-1) + 2*g_hat*(p-1)/(p*BW) for g_hat.
-  const double latency = net.alpha_s * static_cast<double>(p - 1);
+  const double latency = net.alpha.value() * static_cast<double>(p - 1);
   if (t_comp <= latency) return std::numeric_limits<double>::infinity();
-  const double g_hat = (t_comp - latency) * static_cast<double>(p) * net.bandwidth_bps /
-                       (2.0 * static_cast<double>(p - 1));
+  const double g_hat = (t_comp - latency) * static_cast<double>(p) *
+                       net.bandwidth.bytes_per_second() / (2.0 * static_cast<double>(p - 1));
   const double ratio = static_cast<double>(workload.model.total_bytes()) / g_hat;
   return std::max(ratio, 1.0);
 }

@@ -24,6 +24,7 @@
 
 #include "comm/cost_model.hpp"
 #include "compress/compressor.hpp"
+#include "core/units.hpp"
 #include "core/calibration.hpp"
 #include "models/bucketing.hpp"
 #include "models/device.hpp"
@@ -46,14 +47,14 @@ struct Workload {
 // Per-iteration time decomposition (backward + aggregation; forward pass is
 // out of scope, matching the paper's measurements).
 struct IterationBreakdown {
-  double total_s = 0.0;
-  double compute_s = 0.0;       // backward pass (gamma-scaled when overlapped)
-  double encode_s = 0.0;
-  double decode_s = 0.0;
-  double comm_s = 0.0;          // total collective wall time
-  double exposed_comm_s = 0.0;  // collective time NOT hidden behind compute
+  units::Seconds total;
+  units::Seconds compute;       // backward pass (gamma-scaled when overlapped)
+  units::Seconds encode;
+  units::Seconds decode;
+  units::Seconds comm;          // total collective wall time
+  units::Seconds exposed_comm;  // collective time NOT hidden behind compute
 
-  [[nodiscard]] double encode_decode_s() const { return encode_s + decode_s; }
+  [[nodiscard]] units::Seconds encode_decode() const { return encode + decode; }
 };
 
 // Hypothetical knobs for the Figure 13 trade-off study: scale the
@@ -78,28 +79,29 @@ class PerfModel {
                                               const Adjust& adjust = {}) const;
 
   // Per-iteration time under perfect scaling: the backward pass alone.
-  [[nodiscard]] double ideal_seconds(const Workload& workload, const Cluster& cluster) const;
+  [[nodiscard]] units::Seconds ideal_seconds(const Workload& workload,
+                                             const Cluster& cluster) const;
 
   // Gradient accumulation (Section 2's "minimize the frequency of
   // communication"): run `accumulation_steps` backward passes locally and
   // synchronize once. Returns the amortized time per minibatch — the other
   // lever (besides compression) for hiding communication.
-  [[nodiscard]] double syncsgd_accumulated_seconds_per_minibatch(const Workload& workload,
-                                                                 const Cluster& cluster,
-                                                                 int accumulation_steps) const;
+  [[nodiscard]] units::Seconds syncsgd_accumulated_seconds_per_minibatch(
+      const Workload& workload, const Cluster& cluster, int accumulation_steps) const;
 
   // Finding 2's second mechanism: "when training for a fixed number of
   // epochs, larger batches lead to less frequent communication per epoch."
   // Time for one epoch over `dataset_size` samples under weak scaling:
   // ceil(N / (batch * p)) iterations of the given method.
-  [[nodiscard]] double epoch_seconds(const compress::CompressorConfig& config,
-                                     const Workload& workload, const Cluster& cluster,
-                                     std::int64_t dataset_size) const;
+  [[nodiscard]] units::Seconds epoch_seconds(const compress::CompressorConfig& config,
+                                             const Workload& workload, const Cluster& cluster,
+                                             std::int64_t dataset_size) const;
 
   // --- Section 5 analyses --------------------------------------------------
 
   // Gap between the observed syncSGD time and perfect scaling (Figure 10).
-  [[nodiscard]] double ideal_gap_seconds(const Workload& workload, const Cluster& cluster) const;
+  [[nodiscard]] units::Seconds ideal_gap_seconds(const Workload& workload,
+                                                 const Cluster& cluster) const;
 
   // Minimum compression ratio (original/compressed bytes) for which a fully
   // overlapped, all-reduced gradient hides behind the backward pass, i.e.
@@ -112,21 +114,24 @@ class PerfModel {
 
   // Bytes one rank transmits per iteration under a method (logical payload;
   // collective amplification is inside the cost model).
-  [[nodiscard]] double wire_bytes(const compress::CompressorConfig& config,
-                                  const models::ModelProfile& model) const;
+  [[nodiscard]] units::Bytes wire_bytes(const compress::CompressorConfig& config,
+                                        const models::ModelProfile& model) const;
 
   [[nodiscard]] const EncodeCostModel& encode_model() const noexcept { return encode_model_; }
 
   // Byte split of a low-rank method's payload (shared with the simulator).
   struct LowRankBytes {
-    double p_bytes = 0.0;       // left factors
-    double q_bytes = 0.0;       // right factors
-    double dense_bytes = 0.0;   // 1-D layers sent uncompressed
+    units::Bytes p_bytes;      // left factors
+    units::Bytes q_bytes;      // right factors
+    units::Bytes dense_bytes;  // 1-D layers sent uncompressed
+
+    [[nodiscard]] units::Bytes total() const { return p_bytes + q_bytes + dense_bytes; }
   };
   [[nodiscard]] static LowRankBytes low_rank_bytes(const models::ModelProfile& model, int rank);
 
  private:
-  [[nodiscard]] double backward_seconds(const Workload& workload, const Cluster& cluster) const;
+  [[nodiscard]] units::Seconds backward_seconds(const Workload& workload,
+                                                const Cluster& cluster) const;
 
   EncodeCostModel encode_model_;
 };

@@ -1,0 +1,248 @@
+// Zero-overhead strong types for the quantities the timing spine trades in.
+//
+// Every headline number in this reproduction — the alpha-beta collective
+// costs, the advisor crossovers, the adaptive controller's bandwidth
+// inversion — is a function of seconds, bytes, and bits-per-second. Passing
+// them as raw `double` makes a silent bps-vs-Gbps or bytes-vs-bits mix-up a
+// wrong benchmark JSON instead of a compile error. These wrappers close
+// that hole:
+//
+//   * construction from a raw double is `explicit`, and there is NO
+//     conversion back — crossing the boundary requires a named accessor
+//     (`value()`, `ms()`, `gbps()`, ...), so the unit is visible at every
+//     call site;
+//   * arithmetic is dimension-checked at compile time: Seconds add to
+//     Seconds, Bytes divided by BitsPerSecond yield Seconds (a transfer
+//     time), Bytes divided by Seconds yield BitsPerSecond (an effective
+//     rate) — and anything else simply does not compile;
+//   * everything is `constexpr` and each type is exactly one double, so
+//     the generated code is identical to the raw-double version.
+//
+// Bit-exactness note: the conversion factors (8 bits/byte, 1024^2 bytes
+// per MiB) are powers of two, so round-tripping through an accessor never
+// changes the stored value and cost-model formulas produce bit-identical
+// results to the pre-units code — the golden tests enforce this.
+#pragma once
+
+#include <compare>
+
+namespace gradcomp::core::units {
+
+// A duration in seconds. `Seconds{0.25}`, `Seconds::from_ms(250.0)`.
+class Seconds {
+ public:
+  constexpr Seconds() noexcept = default;
+  constexpr explicit Seconds(double seconds) noexcept : value_(seconds) {}
+
+  [[nodiscard]] static constexpr Seconds from_ms(double ms) noexcept {
+    return Seconds{ms / 1e3};
+  }
+  [[nodiscard]] static constexpr Seconds from_us(double us) noexcept {
+    return Seconds{us / 1e6};
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr double ms() const noexcept { return value_ * 1e3; }
+  [[nodiscard]] constexpr double us() const noexcept { return value_ * 1e6; }
+
+  constexpr Seconds& operator+=(Seconds rhs) noexcept {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Seconds& operator-=(Seconds rhs) noexcept {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Seconds& operator*=(double factor) noexcept {
+    value_ *= factor;
+    return *this;
+  }
+  constexpr Seconds& operator/=(double factor) noexcept {
+    value_ /= factor;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Seconds operator+(Seconds a, Seconds b) noexcept {
+    return Seconds{a.value_ + b.value_};
+  }
+  [[nodiscard]] friend constexpr Seconds operator-(Seconds a, Seconds b) noexcept {
+    return Seconds{a.value_ - b.value_};
+  }
+  [[nodiscard]] friend constexpr Seconds operator-(Seconds a) noexcept {
+    return Seconds{-a.value_};
+  }
+  [[nodiscard]] friend constexpr Seconds operator*(Seconds a, double factor) noexcept {
+    return Seconds{a.value_ * factor};
+  }
+  [[nodiscard]] friend constexpr Seconds operator*(double factor, Seconds a) noexcept {
+    return Seconds{factor * a.value_};
+  }
+  [[nodiscard]] friend constexpr Seconds operator/(Seconds a, double factor) noexcept {
+    return Seconds{a.value_ / factor};
+  }
+  // Ratio of two durations is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(Seconds a, Seconds b) noexcept {
+    return a.value_ / b.value_;
+  }
+  [[nodiscard]] friend constexpr bool operator==(Seconds a, Seconds b) noexcept {
+    return a.value_ == b.value_;
+  }
+  [[nodiscard]] friend constexpr auto operator<=>(Seconds a, Seconds b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// A data size in bytes. Fractional values are allowed: the analytical
+// models trade in expected payloads (e.g. total_params/8 sign bytes).
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(double bytes) noexcept : value_(bytes) {}
+
+  [[nodiscard]] static constexpr Bytes from_mib(double mib) noexcept {
+    return Bytes{mib * 1024.0 * 1024.0};
+  }
+  [[nodiscard]] static constexpr Bytes from_bits(double bits) noexcept {
+    return Bytes{bits / 8.0};
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr double bits() const noexcept { return value_ * 8.0; }
+  [[nodiscard]] constexpr double mib() const noexcept { return value_ / (1024.0 * 1024.0); }
+
+  constexpr Bytes& operator+=(Bytes rhs) noexcept {
+    value_ += rhs.value_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes rhs) noexcept {
+    value_ -= rhs.value_;
+    return *this;
+  }
+  constexpr Bytes& operator*=(double factor) noexcept {
+    value_ *= factor;
+    return *this;
+  }
+  constexpr Bytes& operator/=(double factor) noexcept {
+    value_ /= factor;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept {
+    return Bytes{a.value_ + b.value_};
+  }
+  [[nodiscard]] friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept {
+    return Bytes{a.value_ - b.value_};
+  }
+  [[nodiscard]] friend constexpr Bytes operator*(Bytes a, double factor) noexcept {
+    return Bytes{a.value_ * factor};
+  }
+  [[nodiscard]] friend constexpr Bytes operator*(double factor, Bytes a) noexcept {
+    return Bytes{factor * a.value_};
+  }
+  [[nodiscard]] friend constexpr Bytes operator/(Bytes a, double factor) noexcept {
+    return Bytes{a.value_ / factor};
+  }
+  // Ratio of two sizes (e.g. a compression ratio) is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(Bytes a, Bytes b) noexcept {
+    return a.value_ / b.value_;
+  }
+  [[nodiscard]] friend constexpr bool operator==(Bytes a, Bytes b) noexcept {
+    return a.value_ == b.value_;
+  }
+  [[nodiscard]] friend constexpr auto operator<=>(Bytes a, Bytes b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// A link rate in bits per second. `BitsPerSecond::from_gbps(10.0)` is the
+// paper's testbed; `bytes_per_second()` feeds the byte-denominated cost
+// formulas (exact: /8 only shifts the exponent).
+class BitsPerSecond {
+ public:
+  constexpr BitsPerSecond() noexcept = default;
+  constexpr explicit BitsPerSecond(double bps) noexcept : value_(bps) {}
+
+  [[nodiscard]] static constexpr BitsPerSecond from_gbps(double gbps) noexcept {
+    return BitsPerSecond{gbps * 1e9};
+  }
+  [[nodiscard]] static constexpr BitsPerSecond from_bytes_per_second(
+      double bytes_per_second) noexcept {
+    return BitsPerSecond{bytes_per_second * 8.0};
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  [[nodiscard]] constexpr double gbps() const noexcept { return value_ / 1e9; }
+  [[nodiscard]] constexpr double bytes_per_second() const noexcept { return value_ / 8.0; }
+
+  constexpr BitsPerSecond& operator*=(double factor) noexcept {
+    value_ *= factor;
+    return *this;
+  }
+  constexpr BitsPerSecond& operator/=(double factor) noexcept {
+    value_ /= factor;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr BitsPerSecond operator*(BitsPerSecond a,
+                                                         double factor) noexcept {
+    return BitsPerSecond{a.value_ * factor};
+  }
+  [[nodiscard]] friend constexpr BitsPerSecond operator*(double factor,
+                                                         BitsPerSecond a) noexcept {
+    return BitsPerSecond{factor * a.value_};
+  }
+  [[nodiscard]] friend constexpr BitsPerSecond operator/(BitsPerSecond a,
+                                                         double factor) noexcept {
+    return BitsPerSecond{a.value_ / factor};
+  }
+  // Ratio of two rates (e.g. a degradation factor) is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(BitsPerSecond a, BitsPerSecond b) noexcept {
+    return a.value_ / b.value_;
+  }
+  [[nodiscard]] friend constexpr bool operator==(BitsPerSecond a, BitsPerSecond b) noexcept {
+    return a.value_ == b.value_;
+  }
+  [[nodiscard]] friend constexpr auto operator<=>(BitsPerSecond a, BitsPerSecond b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+// --- Dimension-crossing arithmetic ------------------------------------------
+
+// Transfer time of a payload over a link. Computed in the byte domain so it
+// is bit-identical to the historical bytes/(bytes-per-second) formulas.
+[[nodiscard]] constexpr Seconds operator/(Bytes payload, BitsPerSecond rate) noexcept {
+  return Seconds{payload.value() / rate.bytes_per_second()};
+}
+
+// Effective rate that moved a payload in a measured time (the adaptive
+// controller's bandwidth inversion).
+[[nodiscard]] constexpr BitsPerSecond operator/(Bytes payload, Seconds elapsed) noexcept {
+  return BitsPerSecond::from_bytes_per_second(payload.value() / elapsed.value());
+}
+
+// Payload a link moves in a given time (the required-compression solver).
+[[nodiscard]] constexpr Bytes operator*(Seconds elapsed, BitsPerSecond rate) noexcept {
+  return Bytes{elapsed.value() * rate.bytes_per_second()};
+}
+[[nodiscard]] constexpr Bytes operator*(BitsPerSecond rate, Seconds elapsed) noexcept {
+  return Bytes{rate.bytes_per_second() * elapsed.value()};
+}
+
+}  // namespace gradcomp::core::units
+
+namespace gradcomp::core {
+// The spine spells these without the extra qualifier.
+using units::BitsPerSecond;
+using units::Bytes;
+using units::Seconds;
+}  // namespace gradcomp::core

@@ -23,7 +23,7 @@ std::vector<ComparisonPoint> WhatIf::sweep_bandwidth(const compress::CompressorC
         for (std::int64_t t = lo; t < hi; ++t) {
           const auto i = static_cast<std::size_t>(t);
           Cluster c = cluster;
-          c.network = comm::Network::from_gbps(gbps_values[i], cluster.network.alpha_s,
+          c.network = comm::Network::from_gbps(gbps_values[i], cluster.network.alpha,
                                                cluster.network.incast_penalty);
           points[i].x = gbps_values[i];
           points[i].sync = model_.syncsgd(workload, c);
@@ -128,10 +128,10 @@ double WhatIf::crossover_bandwidth_gbps(const compress::CompressorConfig& config
                                         const Workload& workload, Cluster cluster, double lo_gbps,
                                         double hi_gbps) const {
   const auto faster_at = [&](double gbps) {
-    cluster.network = comm::Network::from_gbps(gbps, cluster.network.alpha_s,
+    cluster.network = comm::Network::from_gbps(gbps, cluster.network.alpha,
                                                cluster.network.incast_penalty);
-    return model_.compressed(config, workload, cluster).total_s <
-           model_.syncsgd(workload, cluster).total_s;
+    return model_.compressed(config, workload, cluster).total <
+           model_.syncsgd(workload, cluster).total;
   };
   if (!faster_at(lo_gbps)) return lo_gbps;  // never faster
   if (faster_at(hi_gbps)) return std::numeric_limits<double>::infinity();

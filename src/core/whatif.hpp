@@ -17,7 +17,7 @@ struct ComparisonPoint {
 
   // > 1 means the compression method is faster.
   [[nodiscard]] double speedup() const {
-    return compressed.total_s > 0 ? sync.total_s / compressed.total_s : 0.0;
+    return compressed.total.value() > 0 ? sync.total / compressed.total : 0.0;
   }
 };
 
@@ -54,7 +54,7 @@ class WhatIf {
     IterationBreakdown sync;
     IterationBreakdown compressed;
     [[nodiscard]] double speedup() const {
-      return compressed.total_s > 0 ? sync.total_s / compressed.total_s : 0.0;
+      return compressed.total.value() > 0 ? sync.total / compressed.total : 0.0;
     }
   };
   [[nodiscard]] std::vector<TradeoffPoint> sweep_tradeoff(

@@ -10,7 +10,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/units.hpp"
+
 namespace gradcomp::models {
+
+using core::units::Seconds;
 
 struct Device {
   std::string name = "v100";
@@ -20,9 +24,9 @@ struct Device {
   // (the paper's gamma, measured via Nsight; Section 4.1). gamma >= 1.
   double gamma = 1.18;
 
-  [[nodiscard]] double scaled(double v100_seconds) const {
+  [[nodiscard]] Seconds scaled(Seconds v100_time) const {
     if (compute_scale <= 0) throw std::invalid_argument("Device: compute_scale must be > 0");
-    return v100_seconds / compute_scale;
+    return Seconds{v100_time.value() / compute_scale};
   }
 
   [[nodiscard]] static Device v100() { return Device{}; }

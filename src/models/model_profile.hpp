@@ -13,9 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "tensor/tensor.hpp"
 
 namespace gradcomp::models {
+
+using core::units::Bytes;
 
 struct LayerSpec {
   std::string name;
@@ -45,8 +48,8 @@ struct ModelProfile {
   [[nodiscard]] double total_mb() const {
     return static_cast<double>(total_bytes()) / (1024.0 * 1024.0);
   }
-  [[nodiscard]] double backward_seconds(int batch_size) const {
-    return backward_ms_per_sample * static_cast<double>(batch_size) / 1e3;
+  [[nodiscard]] core::units::Seconds backward_seconds(int batch_size) const {
+    return core::units::Seconds{backward_ms_per_sample * static_cast<double>(batch_size) / 1e3};
   }
 };
 

@@ -14,27 +14,27 @@ AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
   const auto& plan = sim.options().fault_plan;
 
   AdaptiveResult out;
-  out.iteration_s.reserve(static_cast<std::size_t>(options.iterations));
-  double clock = 0.0;
-  double window_start = 0.0;
+  out.iteration_times.reserve(static_cast<std::size_t>(options.iterations));
+  Seconds clock;
+  Seconds window_start;
   std::string running = controller.current().label;
 
   for (int it = 0; it < options.iterations; ++it) {
     const compress::CompressorConfig cfg = controller.current().config;
     const SimResult r = sim.run_compressed(cfg, workload);
-    out.iteration_s.push_back(r.iteration_s);
+    out.iteration_times.push_back(r.iteration_time);
     out.config_per_iteration.push_back(cfg);
     for (const auto& s : r.timeline.spans_on("fault"))
-      out.timeline.add("fault", s.label, clock + s.start_s, clock + s.end_s);
-    clock += r.iteration_s;
+      out.timeline.add("fault", s.label, clock + s.start, clock + s.end);
+    clock += r.iteration_time;
 
     // Feed the modeled timings back: the simulator plays the role of the
     // instrumented cluster, the controller only ever sees measurements.
     adapt::Observation o;
     o.wire_bytes = model.wire_bytes(cfg, workload.model);
-    o.collective_s = r.comm_s;
-    o.backward_s = r.compute_s;
-    o.nominal_backward_s = model.compressed(cfg, workload, sim.cluster()).compute_s;
+    o.collective = r.comm;
+    o.backward = r.compute;
+    o.nominal_backward = model.compressed(cfg, workload, sim.cluster()).compute;
     o.shape = adapt::collective_shape(cfg, workload.model, sim.options().bucket_bytes);
     int world = sim.cluster().world_size;
     if (!plan.empty()) {
@@ -55,7 +55,7 @@ AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
   if (clock > window_start)
     out.timeline.add("adapt", running + " (active)", window_start, clock);
 
-  out.total_s = clock;
+  out.total = clock;
   out.switches = controller.switches();
   return out;
 }

@@ -26,8 +26,8 @@ struct AdaptiveOptions {
 };
 
 struct AdaptiveResult {
-  double total_s = 0.0;
-  std::vector<double> iteration_s;  // per-iteration durations
+  Seconds total;
+  std::vector<Seconds> iteration_times;  // per-iteration durations
   // Scheme that ran each iteration (wire form via compress::config_to_string).
   std::vector<compress::CompressorConfig> config_per_iteration;
   std::vector<adapt::Decision> decisions;

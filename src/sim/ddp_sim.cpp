@@ -41,8 +41,8 @@ ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
   if (options_.incast_penalty < 0.0)
     throw std::invalid_argument("ClusterSim: incast_penalty must be >= 0, got " +
                                 std::to_string(options_.incast_penalty));
-  if (options_.recovery_detect_s < 0.0)
-    throw std::invalid_argument("ClusterSim: recovery_detect_s must be >= 0");
+  if (options_.recovery_detect < Seconds{})
+    throw std::invalid_argument("ClusterSim: recovery_detect must be >= 0");
   if (!options_.fault_plan.empty() &&
       options_.fault_plan.world_size() != cluster_.world_size)
     throw std::invalid_argument(
@@ -66,21 +66,21 @@ void ClusterSim::begin_iteration() {
     if (!plan.rank_failed_by(r, it)) ++alive;
   current_.world = std::max(1, alive);
   current_.failed_rank = plan.failed_rank_at(it);
-  if (current_.failed_rank >= 0) current_.recovery_s = options_.recovery_detect_s;
+  if (current_.failed_rank >= 0) current_.recovery = options_.recovery_detect;
 }
 
 void ClusterSim::record_fault_spans(SimResult& result) const {
   const auto& plan = options_.fault_plan;
   if (plan.empty() || current_.index < 0) return;
-  if (current_.recovery_s > 0.0) {
+  if (current_.recovery > Seconds{}) {
     // The failure iteration pays detection (survivor timeout) plus the
     // group-shrink consensus before its result counts.
-    const double start = result.iteration_s;
-    result.iteration_s += current_.recovery_s;
+    const Seconds start = result.iteration_time;
+    result.iteration_time += current_.recovery;
     result.timeline.add("fault",
                         "rank " + std::to_string(current_.failed_rank) +
                             " failure: detect + shrink",
-                        start, result.iteration_s);
+                        start, result.iteration_time);
   }
   for (const auto& ev : plan.events_at(current_.index)) {
     // A rank failure is permanent; record it once, at detection. Later
@@ -91,14 +91,14 @@ void ClusterSim::record_fault_spans(SimResult& result) const {
     char factor[32];
     std::snprintf(factor, sizeof(factor), " x%.2f", ev.factor);
     label += factor;
-    result.timeline.add("fault", label, 0.0, result.iteration_s);
+    result.timeline.add("fault", label, Seconds{}, result.iteration_time);
   }
 }
 
-double ClusterSim::jittered(double seconds) {
-  if (options_.jitter_frac <= 0.0) return seconds;
+Seconds ClusterSim::jittered(Seconds nominal) {
+  if (options_.jitter_frac <= 0.0) return nominal;
   const double noise = 1.0 + options_.jitter_frac * static_cast<double>(rng_.gaussian());
-  return seconds * std::max(noise, 0.05);
+  return nominal * std::max(noise, 0.05);
 }
 
 double ClusterSim::straggler_stretch() {
@@ -117,18 +117,18 @@ double ClusterSim::straggler_stretch() {
 comm::Network ClusterSim::effective_network() const {
   comm::Network net = cluster_.network;
   net.incast_penalty = options_.incast_penalty;
-  net.bandwidth_bps *= current_.bandwidth_factor;
+  net.bandwidth *= current_.bandwidth_factor;
   return net;
 }
 
-double ClusterSim::allreduce_seconds(double bytes) const {
+Seconds ClusterSim::allreduce_seconds(Bytes bytes) const {
   const comm::Network net = effective_network();
   return options_.use_tree_allreduce
              ? comm::tree_allreduce_seconds(bytes, current_.world, net)
              : comm::ring_allreduce_seconds(bytes, current_.world, net);
 }
 
-double ClusterSim::allgather_seconds(double bytes_per_rank) const {
+Seconds ClusterSim::allgather_seconds(Bytes bytes_per_rank) const {
   return comm::allgather_seconds(bytes_per_rank, current_.world, effective_network());
 }
 
@@ -136,14 +136,13 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
   begin_iteration();
   SimResult result;
   const int p = current_.world;
-  const double t_comp =
-      cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
+  const Seconds t_comp = cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
 
   if (p == 1) {
-    const double dur = jittered(t_comp) * straggler_stretch();
-    result.timeline.add("compute", "backward", 0.0, dur);
-    result.compute_s = dur;
-    result.iteration_s = dur;
+    const Seconds dur = jittered(t_comp) * straggler_stretch();
+    result.timeline.add("compute", "backward", Seconds{}, dur);
+    result.compute = dur;
+    result.iteration_time = dur;
     record_fault_spans(result);
     return result;
   }
@@ -155,9 +154,9 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
   // Matching the analytical model's interpretation: the gamma slowdown only
   // applies to the fraction of the backward pass that actually shares the
   // GPU with in-flight communication.
-  double overlappable_comm = 0.0;
+  Seconds overlappable_comm;
   for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
-    overlappable_comm += allreduce_seconds(static_cast<double>(buckets[i].bytes));
+    overlappable_comm += allreduce_seconds(Bytes{static_cast<double>(buckets[i].bytes)});
   const double gamma =
       1.0 + (cluster_.device.gamma - 1.0) * std::min(1.0, overlappable_comm / t_comp);
 
@@ -174,28 +173,30 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
 
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     const double share = static_cast<double>(buckets[i].layer_indices.size()) / total_layers;
-    const double slice = jittered(gamma * t_comp * share) * stretch;
-    result.timeline.add("compute", "backward bucket " + std::to_string(i), compute_t,
-                        compute_t + slice);
+    const double slice = jittered(Seconds{gamma * t_comp.value() * share}).value() * stretch;
+    result.timeline.add("compute", "backward bucket " + std::to_string(i), Seconds{compute_t},
+                        Seconds{compute_t + slice});
     compute_t += slice;
 
     const double ready = compute_t;
-    const double duration = jittered(allreduce_seconds(static_cast<double>(buckets[i].bytes)));
+    const double duration =
+        jittered(allreduce_seconds(Bytes{static_cast<double>(buckets[i].bytes)})).value();
     queue.schedule(ready, [&, i, duration] {
       const double start = std::max(queue.now(), comm_free);
       const double end = start + duration;
       comm_free = end;
       comm_busy += duration;
       last_comm_end = end;
-      result.timeline.add("comm", "allreduce bucket " + std::to_string(i), start, end);
+      result.timeline.add("comm", "allreduce bucket " + std::to_string(i), Seconds{start},
+                          Seconds{end});
     });
   }
   queue.run();
 
-  result.compute_s = compute_t;
-  result.comm_s = comm_busy;
-  result.iteration_s = std::max(compute_t, last_comm_end);
-  result.exposed_comm_s = result.iteration_s - result.compute_s;
+  result.compute = Seconds{compute_t};
+  result.comm = Seconds{comm_busy};
+  result.iteration_time = Seconds{std::max(compute_t, last_comm_end)};
+  result.exposed_comm = result.iteration_time - result.compute;
   record_fault_spans(result);
   return result;
 }
@@ -210,7 +211,7 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     // Halve wire bytes by doubling bucket capacity then halving each
     // all-reduce's bytes: simplest is to scale the network instead.
     ClusterSim inner(cluster_, options_);
-    inner.cluster_.network.bandwidth_bps *= 2.0;  // half the bytes == double BW
+    inner.cluster_.network.bandwidth *= 2.0;  // half the bytes == double BW
     inner.rng_ = rng_;
     inner.iteration_ = iteration_;  // keep the fault plan position in sync
     SimResult result = inner.run_syncsgd(halved);
@@ -220,93 +221,93 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     const auto encdec =
         encode_cost_model().estimate(config, workload.model, cluster_.device,
                                      cluster_.world_size);
-    const double enc = jittered(encdec.encode_s);
-    const double dec = jittered(encdec.decode_s);
-    result.timeline.add("encode", "fp16 convert", result.compute_s, result.compute_s + enc);
-    result.encode_s = enc;
-    result.decode_s = dec;
-    result.iteration_s = std::max(result.iteration_s, result.compute_s + enc) + dec;
+    const Seconds enc = jittered(encdec.encode);
+    const Seconds dec = jittered(encdec.decode);
+    result.timeline.add("encode", "fp16 convert", result.compute, result.compute + enc);
+    result.encode = enc;
+    result.decode = dec;
+    result.iteration_time = std::max(result.iteration_time, result.compute + enc) + dec;
     return result;
   }
 
   begin_iteration();
   SimResult result;
   const int p = current_.world;
-  const double t_comp =
-      cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
+  const Seconds t_comp = cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
   const auto encdec =
       encode_cost_model().estimate(config, workload.model, cluster_.device, p);
 
-  double t = 0.0;
+  Seconds t;
   const double stretch = straggler_stretch();
-  const double backward = jittered(t_comp) * stretch;
-  const double encode = jittered(encdec.encode_s) * stretch;
+  const Seconds backward = jittered(t_comp) * stretch;
+  const Seconds encode = jittered(encdec.encode) * stretch;
 
   if (options_.overlap_compression) {
     // Section 3.1 schedule: compression shares the GPU with the backward
     // pass; both slow down by the contention factor while co-resident.
     const double c = options_.contention_factor;
-    result.timeline.add("compute", "backward (contended)", 0.0, backward * c);
-    result.timeline.add("encode", "encode (contended)", 0.0, encode * c);
+    result.timeline.add("compute", "backward (contended)", Seconds{}, backward * c);
+    result.timeline.add("encode", "encode (contended)", Seconds{}, encode * c);
     t = std::max(backward * c, encode * c);
-    result.compute_s = backward * c;
-    result.encode_s = encode * c;
+    result.compute = backward * c;
+    result.encode = encode * c;
   } else {
-    result.timeline.add("compute", "backward", 0.0, backward);
+    result.timeline.add("compute", "backward", Seconds{}, backward);
     result.timeline.add("encode", "encode", backward, backward + encode);
     t = backward + encode;
-    result.compute_s = backward;
-    result.encode_s = encode;
+    result.compute = backward;
+    result.encode = encode;
   }
 
   // Collectives, serialized on the comm stream.
-  std::vector<std::pair<std::string, double>> collectives;
+  std::vector<std::pair<std::string, Seconds>> collectives;
   switch (config.method) {
     case compress::Method::kPowerSgd: {
       const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
       collectives.emplace_back("allreduce P", allreduce_seconds(bytes.p_bytes));
       collectives.emplace_back("allreduce Q", allreduce_seconds(bytes.q_bytes));
-      if (bytes.dense_bytes > 0)
+      if (bytes.dense_bytes.value() > 0)
         collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
       break;
     }
     case compress::Method::kRandomK: {
-      const double values_bytes =
-          config.fraction * static_cast<double>(workload.model.total_params()) * 4.0;
+      const Bytes values_bytes{config.fraction *
+                               static_cast<double>(workload.model.total_params()) * 4.0};
       collectives.emplace_back("allreduce values", allreduce_seconds(values_bytes));
       break;
     }
     case compress::Method::kTopK:
     case compress::Method::kDgc: {
-      const double half =
-          config.fraction * static_cast<double>(workload.model.total_params()) * 4.0;
+      const Bytes half{config.fraction * static_cast<double>(workload.model.total_params()) *
+                       4.0};
       collectives.emplace_back("allgather values", allgather_seconds(half));
       collectives.emplace_back("allgather indices", allgather_seconds(half));
       break;
     }
     case compress::Method::kSignSgd:
     case compress::Method::kOneBit: {
-      const double bytes = static_cast<double>(workload.model.total_params()) / 8.0;
+      const Bytes bytes{static_cast<double>(workload.model.total_params()) / 8.0};
       collectives.emplace_back("allgather signs", allgather_seconds(bytes));
       break;
     }
     case compress::Method::kQsgd:
     case compress::Method::kNatural: {
-      collectives.emplace_back("allgather codes",
-                               allgather_seconds(static_cast<double>(workload.model.total_params())));
+      collectives.emplace_back(
+          "allgather codes",
+          allgather_seconds(Bytes{static_cast<double>(workload.model.total_params())}));
       break;
     }
     case compress::Method::kTernGrad: {
       collectives.emplace_back(
           "allgather codes",
-          allgather_seconds(static_cast<double>(workload.model.total_params()) / 4.0));
+          allgather_seconds(Bytes{static_cast<double>(workload.model.total_params()) / 4.0}));
       break;
     }
     case compress::Method::kAtomo: {
       const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
       collectives.emplace_back("allgather factors",
                                allgather_seconds(bytes.p_bytes + bytes.q_bytes));
-      if (bytes.dense_bytes > 0)
+      if (bytes.dense_bytes.value() > 0)
         collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
       break;
     }
@@ -315,19 +316,19 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
       break;  // handled above
   }
   for (const auto& [label, nominal] : collectives) {
-    const double dur = jittered(nominal);
+    const Seconds dur = jittered(nominal);
     result.timeline.add("comm", label, t, t + dur);
     t += dur;
-    result.comm_s += dur;
+    result.comm += dur;
   }
 
-  const double decode = jittered(encdec.decode_s) * stretch;
+  const Seconds decode = jittered(encdec.decode) * stretch;
   result.timeline.add("decode", "decode", t, t + decode);
   t += decode;
-  result.decode_s = decode;
+  result.decode = decode;
 
-  result.iteration_s = t;
-  result.exposed_comm_s = result.comm_s;
+  result.iteration_time = t;
+  result.exposed_comm = result.comm;
   record_fault_spans(result);
   return result;
 }

@@ -22,10 +22,15 @@
 
 #include "core/fault_plan.hpp"
 #include "core/perf_model.hpp"
+#include "core/units.hpp"
 #include "tensor/rng.hpp"
 #include "trace/timeline.hpp"
 
 namespace gradcomp::sim {
+
+using core::units::BitsPerSecond;
+using core::units::Bytes;
+using core::units::Seconds;
 
 struct SimOptions {
   std::int64_t bucket_bytes = models::kDefaultBucketBytes;
@@ -57,16 +62,16 @@ struct SimOptions {
   // Wall-clock cost charged to the iteration in which a rank failure is
   // detected: the survivors' timeout + group-shrink consensus, our stand-in
   // for NCCL communicator teardown/re-init.
-  double recovery_detect_s = 0.05;
+  Seconds recovery_detect{0.05};
 };
 
 struct SimResult {
-  double iteration_s = 0.0;
-  double compute_s = 0.0;
-  double encode_s = 0.0;
-  double decode_s = 0.0;
-  double comm_s = 0.0;          // busy time on the comm stream
-  double exposed_comm_s = 0.0;  // iteration time beyond compute+encode+decode
+  Seconds iteration_time;
+  Seconds compute;
+  Seconds encode;
+  Seconds decode;
+  Seconds comm;          // busy time on the comm stream
+  Seconds exposed_comm;  // iteration time beyond compute+encode+decode
   trace::Timeline timeline;
 };
 
@@ -97,7 +102,7 @@ class ClusterSim {
     double bandwidth_factor = 1.0;  // link degradation multiplier
     int world = 1;                  // surviving rank count
     int failed_rank = -1;           // rank failing THIS iteration, or -1
-    double recovery_s = 0.0;        // detect + shrink cost if failed_rank >= 0
+    Seconds recovery;               // detect + shrink cost if failed_rank >= 0
   };
   // Advances iteration_ and snapshots the plan state into current_.
   void begin_iteration();
@@ -105,15 +110,15 @@ class ClusterSim {
   void record_fault_spans(SimResult& result) const;
 
   // Applies jitter (if configured) to a nominal duration.
-  [[nodiscard]] double jittered(double seconds);
+  [[nodiscard]] Seconds jittered(Seconds nominal);
   // Compute stretch for this iteration: the legacy Bernoulli knob combined
   // with the fault plan's per-worker draws (synchronous training waits for
   // the slowest surviving worker).
   [[nodiscard]] double straggler_stretch();
   // Collective time for one all-reduce of `bytes` under the cluster network
   // at the current iteration's surviving world size and link state.
-  [[nodiscard]] double allreduce_seconds(double bytes) const;
-  [[nodiscard]] double allgather_seconds(double bytes_per_rank) const;
+  [[nodiscard]] Seconds allreduce_seconds(Bytes bytes) const;
+  [[nodiscard]] Seconds allgather_seconds(Bytes bytes_per_rank) const;
   [[nodiscard]] comm::Network effective_network() const;
 
   core::Cluster cluster_;

@@ -16,11 +16,11 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  // Schedules `fn` at absolute time `at` (seconds); `at` must not precede
-  // the current simulation time.
-  void schedule(double at, Callback fn);
-  // Schedules `fn` at now() + delay.
-  void schedule_after(double delay, Callback fn);
+  // Schedules `fn` at absolute time `at_s` (seconds); `at_s` must not
+  // precede the current simulation time.
+  void schedule(double at_s, Callback fn);
+  // Schedules `fn` at now() + delay_s.
+  void schedule_after(double delay_s, Callback fn);
 
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }

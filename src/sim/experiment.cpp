@@ -19,12 +19,13 @@ Measurement measure(const core::Cluster& cluster, const SimOptions& options,
   stats::Summary comm(static_cast<std::size_t>(protocol.warmup));
   for (int i = 0; i < protocol.iterations; ++i) {
     const SimResult r = sim.run_compressed(config, workload);
-    total.add(r.iteration_s);
-    encode.add(r.encode_s);
-    decode.add(r.decode_s);
-    comm.add(r.comm_s);
+    total.add(r.iteration_time.value());
+    encode.add(r.encode.value());
+    decode.add(r.decode.value());
+    comm.add(r.comm.value());
   }
-  return Measurement{total.mean(), total.stddev(), encode.mean(), decode.mean(), comm.mean()};
+  return Measurement{Seconds{total.mean()}, Seconds{total.stddev()}, Seconds{encode.mean()},
+                     Seconds{decode.mean()}, Seconds{comm.mean()}};
 }
 
 std::vector<ScalingPoint> weak_scaling(core::Cluster cluster, const SimOptions& options,

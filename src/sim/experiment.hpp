@@ -16,11 +16,11 @@ struct MeasurementProtocol {
 };
 
 struct Measurement {
-  double mean_s = 0.0;
-  double stddev_s = 0.0;
-  double mean_encode_s = 0.0;
-  double mean_decode_s = 0.0;
-  double mean_comm_s = 0.0;
+  Seconds mean;
+  Seconds stddev;
+  Seconds mean_encode;
+  Seconds mean_decode;
+  Seconds mean_comm;
 };
 
 // Repeated simulated iterations of one configuration.
@@ -35,7 +35,7 @@ struct ScalingPoint {
   Measurement compressed;
 
   [[nodiscard]] double speedup() const {
-    return compressed.mean_s > 0 ? sync.mean_s / compressed.mean_s : 0.0;
+    return compressed.mean.value() > 0 ? sync.mean / compressed.mean : 0.0;
   }
 };
 

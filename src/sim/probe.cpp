@@ -12,12 +12,12 @@ NetworkEstimate probe_network(const core::Cluster& cluster, const ProbeOptions& 
     throw std::invalid_argument("probe_network: need at least two workers");
   if (options.jitter_frac < 0.0)
     throw std::invalid_argument("probe_network: jitter_frac must be >= 0");
-  if (options.alpha_probe_bytes <= 0.0)
-    throw std::invalid_argument("probe_network: alpha_probe_bytes must be > 0");
-  if (options.bandwidth_probe_bytes <= 0.0)
-    throw std::invalid_argument("probe_network: bandwidth_probe_bytes must be > 0");
+  if (options.alpha_probe.value() <= 0.0)
+    throw std::invalid_argument("probe_network: alpha_probe must be > 0");
+  if (options.bandwidth_probe.value() <= 0.0)
+    throw std::invalid_argument("probe_network: bandwidth_probe must be > 0");
   tensor::Rng rng(options.seed);
-  const auto jittered = [&](double seconds) {
+  const auto jittered = [&](Seconds seconds) {
     if (options.jitter_frac <= 0.0) return seconds;
     return seconds * std::max(1.0 + options.jitter_frac * static_cast<double>(rng.gaussian()),
                               0.05);
@@ -27,30 +27,30 @@ NetworkEstimate probe_network(const core::Cluster& cluster, const ProbeOptions& 
   NetworkEstimate estimate;
 
   // --- alpha: ring-reduce a tiny tensor, divide by (p-1) --------------------
-  const double tiny_time =
-      jittered(comm::ring_allreduce_seconds(options.alpha_probe_bytes, p, cluster.network));
-  estimate.alpha_s = tiny_time / static_cast<double>(p - 1);
+  const Seconds tiny_time =
+      jittered(comm::ring_allreduce_seconds(options.alpha_probe, p, cluster.network));
+  estimate.alpha = tiny_time / static_cast<double>(p - 1);
 
   // --- bandwidth: iperf3-style pairwise transfers, keep the minimum ---------
-  double min_bw = 0.0;
+  double min_bw = 0.0;  // bytes per second, converted on assignment below
   double max_bw = 0.0;
   bool first = true;
   for (int a = 0; a < p; ++a) {
     for (int b = a + 1; b < p; ++b) {
       const double transfer =
-          jittered(comm::send_seconds(options.bandwidth_probe_bytes, cluster.network));
-      const double effective = transfer > cluster.network.alpha_s
-                                   ? options.bandwidth_probe_bytes /
-                                         (transfer - cluster.network.alpha_s)
-                                   : options.bandwidth_probe_bytes / transfer;
+          jittered(comm::send_seconds(options.bandwidth_probe, cluster.network)).value();
+      const double effective = transfer > cluster.network.alpha.value()
+                                   ? options.bandwidth_probe.value() /
+                                         (transfer - cluster.network.alpha.value())
+                                   : options.bandwidth_probe.value() / transfer;
       if (first || effective < min_bw) min_bw = effective;
       if (first || effective > max_bw) max_bw = effective;
       first = false;
     }
   }
-  estimate.bandwidth_bps = min_bw;
-  estimate.min_pair_gbps = min_bw * 8.0 / 1e9;
-  estimate.max_pair_gbps = max_bw * 8.0 / 1e9;
+  estimate.bandwidth = BitsPerSecond::from_bytes_per_second(min_bw);
+  estimate.min_pair = BitsPerSecond::from_bytes_per_second(min_bw);
+  estimate.max_pair = BitsPerSecond::from_bytes_per_second(max_bw);
   return estimate;
 }
 

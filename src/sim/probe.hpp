@@ -18,19 +18,19 @@
 namespace gradcomp::sim {
 
 struct NetworkEstimate {
-  double alpha_s = 0.0;          // per-hop latency estimate
-  double bandwidth_bps = 0.0;    // effective bandwidth (min over pairs)
-  double min_pair_gbps = 0.0;    // worst pairwise iperf-style measurement
-  double max_pair_gbps = 0.0;    // best pairwise measurement
+  Seconds alpha;             // per-hop latency estimate
+  BitsPerSecond bandwidth;   // effective bandwidth (min over pairs)
+  BitsPerSecond min_pair;    // worst pairwise iperf-style measurement
+  BitsPerSecond max_pair;    // best pairwise measurement
 };
 
 struct ProbeOptions {
-  // Small tensor for the alpha measurement (bytes) — small enough that the
+  // Small tensor for the alpha measurement — small enough that the
   // bandwidth term is negligible, as the paper's "vector of size equivalent
   // to number of machines".
-  double alpha_probe_bytes = 4.0 * 96;
+  Bytes alpha_probe{4.0 * 96};
   // Large transfer for the pairwise bandwidth measurement.
-  double bandwidth_probe_bytes = 64.0 * 1024 * 1024;
+  Bytes bandwidth_probe{64.0 * 1024 * 1024};
   // Multiplicative jitter on each measurement (run-to-run variance).
   double jitter_frac = 0.02;
   std::uint64_t seed = 7;

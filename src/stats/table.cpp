@@ -53,9 +53,9 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
-std::string Table::fmt(double v, int precision) {
+std::string Table::fmt(double value, int precision) {
   std::ostringstream ss;
-  ss << std::fixed << std::setprecision(precision) << v;
+  ss << std::fixed << std::setprecision(precision) << value;
   return ss.str();
 }
 

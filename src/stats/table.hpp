@@ -27,7 +27,7 @@ class Table {
   void print_csv(std::ostream& os) const;
 
   // Formatting helpers for cells.
-  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(double value, int precision = 2);
   static std::string fmt_ms(double seconds, int precision = 1);
 
  private:

@@ -38,10 +38,10 @@ void ByteWriter::u64(std::uint64_t v) {
 
 void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 
-void ByteWriter::f64(double v) {
+void ByteWriter::f64(double value) {
   std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
   u64(bits);
 }
 

@@ -26,7 +26,7 @@ class ByteWriter {
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void i64(std::int64_t v);
-  void f64(double v);
+  void f64(double value);
   void bytes(std::span<const std::byte> data);
   void floats(std::span<const float> values);  // raw IEEE-754 payload, no length
   // Length-prefixed (u64) blob.

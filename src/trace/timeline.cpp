@@ -9,22 +9,22 @@
 
 namespace gradcomp::trace {
 
-void Timeline::add(std::string stream, std::string label, double start_s, double end_s) {
-  if (end_s < start_s) throw std::invalid_argument("Timeline::add: end before start");
-  spans_.push_back(Span{std::move(stream), std::move(label), start_s, end_s});
+void Timeline::add(std::string stream, std::string label, Seconds start, Seconds end) {
+  if (end < start) throw std::invalid_argument("Timeline::add: end before start");
+  spans_.push_back(Span{std::move(stream), std::move(label), start, end});
 }
 
-double Timeline::makespan() const noexcept {
+Seconds Timeline::makespan() const noexcept {
   double m = 0.0;
-  for (const auto& s : spans_) m = std::max(m, s.end_s);
-  return m;
+  for (const auto& s : spans_) m = std::max(m, s.end.value());
+  return Seconds{m};
 }
 
-double Timeline::stream_busy(const std::string& stream) const {
+Seconds Timeline::stream_busy(const std::string& stream) const {
   // Merge overlapping spans on the stream before summing.
   std::vector<std::pair<double, double>> intervals;
   for (const auto& s : spans_)
-    if (s.stream == stream) intervals.emplace_back(s.start_s, s.end_s);
+    if (s.stream == stream) intervals.emplace_back(s.start.value(), s.end.value());
   std::sort(intervals.begin(), intervals.end());
   double busy = 0.0;
   double cur_start = 0.0;
@@ -39,7 +39,7 @@ double Timeline::stream_busy(const std::string& stream) const {
     }
   }
   if (cur_end >= 0) busy += cur_end - cur_start;
-  return busy;
+  return Seconds{busy};
 }
 
 std::vector<Span> Timeline::spans_on(const std::string& stream) const {
@@ -58,7 +58,7 @@ std::vector<std::string> Timeline::streams() const {
 }
 
 void Timeline::render_ascii(std::ostream& os, int width) const {
-  const double total = makespan();
+  const double total = makespan().value();
   if (total <= 0 || width <= 0) {
     os << "(empty timeline)\n";
     return;
@@ -70,8 +70,8 @@ void Timeline::render_ascii(std::ostream& os, int width) const {
     std::string row(static_cast<std::size_t>(width), '.');
     for (const auto& s : spans_) {
       if (s.stream != name) continue;
-      auto lo = static_cast<int>(std::floor(s.start_s / total * width));
-      auto hi = static_cast<int>(std::ceil(s.end_s / total * width));
+      auto lo = static_cast<int>(std::floor(s.start.value() / total * width));
+      auto hi = static_cast<int>(std::ceil(s.end.value() / total * width));
       lo = std::clamp(lo, 0, width);
       hi = std::clamp(hi, lo, width);
       for (int i = lo; i < hi; ++i) row[static_cast<std::size_t>(i)] = '#';
@@ -79,7 +79,7 @@ void Timeline::render_ascii(std::ostream& os, int width) const {
     os << std::left << std::setw(static_cast<int>(name_w)) << name << " |" << row << "|\n";
   }
   os << std::left << std::setw(static_cast<int>(name_w)) << "" << "  0" << std::right
-     << std::setw(width - 1) << Span{"", "", 0, total}.duration() * 1e3 << " ms\n";
+     << std::setw(width - 1) << Seconds{total}.ms() << " ms\n";
 }
 
 namespace {
@@ -127,8 +127,8 @@ void Timeline::render_chrome_json(std::ostream& os) const {
     if (!first) os << ',';
     first = false;
     os << "\n{\"name\":\"" << json_escape(s.label) << "\",\"cat\":\""
-       << json_escape(s.stream) << "\",\"ph\":\"X\",\"ts\":" << json_us(s.start_s)
-       << ",\"dur\":" << json_us(s.duration()) << ",\"pid\":0,\"tid\":" << tid << '}';
+       << json_escape(s.stream) << "\",\"ph\":\"X\",\"ts\":" << json_us(s.start.value())
+       << ",\"dur\":" << json_us(s.duration().value()) << ",\"pid\":0,\"tid\":" << tid << '}';
   }
   os << "\n]}\n";
 }
@@ -136,7 +136,7 @@ void Timeline::render_chrome_json(std::ostream& os) const {
 void Timeline::render_csv(std::ostream& os) const {
   os << "csv,stream,label,start_ms,end_ms\n";
   for (const auto& s : spans_)
-    os << "csv," << s.stream << ',' << s.label << ',' << s.start_s * 1e3 << ',' << s.end_s * 1e3
+    os << "csv," << s.stream << ',' << s.label << ',' << s.start.ms() << ',' << s.end.ms()
        << '\n';
 }
 

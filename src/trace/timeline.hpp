@@ -7,28 +7,32 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
+
 namespace gradcomp::trace {
+
+using core::units::Seconds;
 
 struct Span {
   std::string stream;  // e.g. "compute", "comm", "encode"
   std::string label;   // e.g. "bucket 3 allreduce"
-  double start_s = 0.0;
-  double end_s = 0.0;
+  Seconds start;
+  Seconds end;
 
-  [[nodiscard]] double duration() const { return end_s - start_s; }
+  [[nodiscard]] Seconds duration() const { return end - start; }
 };
 
 class Timeline {
  public:
   // Adds a span; throws std::invalid_argument if end < start.
-  void add(std::string stream, std::string label, double start_s, double end_s);
+  void add(std::string stream, std::string label, Seconds start, Seconds end);
 
   [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
   [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
   // Latest end time across all spans (0 when empty).
-  [[nodiscard]] double makespan() const noexcept;
+  [[nodiscard]] Seconds makespan() const noexcept;
   // Total busy time on one stream.
-  [[nodiscard]] double stream_busy(const std::string& stream) const;
+  [[nodiscard]] Seconds stream_busy(const std::string& stream) const;
   // All spans on one stream, in insertion order (e.g. the "fault" stream the
   // simulator records injected fault events on).
   [[nodiscard]] std::vector<Span> spans_on(const std::string& stream) const;

@@ -146,24 +146,25 @@ void DataParallelTrainer::feed_controller(const StepStats& stats, double step_wa
   if (!controller_) return;
 
   adapt::Observation o;
-  o.wire_bytes = static_cast<double>(stats.bytes_per_worker);
-  o.collective_s = stats.comm_seconds;
-  o.backward_s = stats.backward_seconds;
+  o.wire_bytes = adapt::Bytes{static_cast<double>(stats.bytes_per_worker)};
+  o.collective = adapt::Seconds{stats.comm_seconds};
+  o.backward = adapt::Seconds{stats.backward_seconds};
   // Nominal backward time of the MODELED workload on the prior device: the
   // stretch estimate rescales the advisor's device just like the bandwidth
   // estimate rescales its network.
   const core::PerfModel model;
   core::Cluster prior = config_.adaptive.cluster;
   prior.world_size = std::max(stats.active_workers, 1);
-  o.nominal_backward_s =
-      model.compressed(active_compression_, config_.adaptive.workload, prior).compute_s;
+  o.nominal_backward =
+      model.compressed(active_compression_, config_.adaptive.workload, prior).compute;
   o.world_size = stats.active_workers;
   o.shape = adapt::collective_shape(active_compression_, config_.adaptive.workload.model,
                                     config_.adaptive.workload.bucket_bytes);
 
   const auto decision = controller_->observe(o);
   if (!decision) return;
-  timeline_.add("adapt", running_label_ + ": " + decision->reason, window_start_s_, clock_s_);
+  timeline_.add("adapt", running_label_ + ": " + decision->reason,
+                adapt::Seconds{window_start_s_}, adapt::Seconds{clock_s_});
   window_start_s_ = clock_s_;
   if (decision->switched) {
     active_compression_ = decision->chosen.config;

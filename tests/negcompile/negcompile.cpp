@@ -1,0 +1,67 @@
+// Negative-compile probes for the core::units boundary. Each NEGCOMPILE_*
+// macro selects one snippet that passes a raw double where the API now
+// demands a unit type; tests/negcompile/CMakeLists.txt builds each variant
+// as a WILL_FAIL ctest, so if one of these ever starts compiling the suite
+// goes red. The no-macro build is the positive control proving the harness
+// itself compiles against the real headers.
+#include "adapt/estimators.hpp"
+#include "comm/cost_model.hpp"
+#include "core/units.hpp"
+#include "sim/ddp_sim.hpp"
+
+namespace units = gradcomp::core::units;
+
+#if defined(NEGCOMPILE_COST_MODEL)
+
+// Raw byte count into a collective: the historical seconds-vs-bytes swap.
+units::Seconds probe() {
+  return gradcomp::comm::ring_allreduce_seconds(
+      100.0 * 1024 * 1024, 8, gradcomp::comm::Network::from_gbps(10.0));
+}
+
+#elif defined(NEGCOMPILE_SIM_OPTIONS)
+
+// Raw double into a Seconds option field.
+gradcomp::sim::SimOptions probe() {
+  gradcomp::sim::SimOptions options;
+  options.recovery_detect = 0.5;
+  return options;
+}
+
+#elif defined(NEGCOMPILE_ADAPT_OBSERVATION)
+
+// Raw double into an adapt::Observation timing field.
+gradcomp::adapt::Observation probe() {
+  gradcomp::adapt::Observation o;
+  o.collective = 0.025;
+  return o;
+}
+
+#elif defined(NEGCOMPILE_SECONDS_IMPLICIT)
+
+// Seconds must never decay to double implicitly.
+double probe() { return units::Seconds{1.0}; }
+
+#else
+
+// Positive control: the unit-typed spellings of all four probes compile.
+units::Seconds probe_cost() {
+  return gradcomp::comm::ring_allreduce_seconds(
+      units::Bytes::from_mib(100.0), 8, gradcomp::comm::Network::from_gbps(10.0));
+}
+
+gradcomp::sim::SimOptions probe_options() {
+  gradcomp::sim::SimOptions options;
+  options.recovery_detect = units::Seconds{0.5};
+  return options;
+}
+
+gradcomp::adapt::Observation probe_observation() {
+  gradcomp::adapt::Observation o;
+  o.collective = units::Seconds{0.025};
+  return o;
+}
+
+double probe_unwrap() { return units::Seconds{1.0}.value(); }
+
+#endif

@@ -84,20 +84,21 @@ TEST(LinkEstimator, InvertsRingAllReduceExactly) {
   const comm::Network base = comm::Network::from_gbps(10.0);
   LinkEstimator est(base, 4.0, 8);
   EXPECT_FALSE(est.ready());
-  EXPECT_DOUBLE_EQ(est.bandwidth_bps(), base.bandwidth_bps);
+  EXPECT_DOUBLE_EQ(est.bandwidth().bytes_per_second(), base.bandwidth.bytes_per_second());
 
   const double truth_bps = 2.5e9;  // 20 Gbps
   const int p = 8;
   Observation o;
   o.world_size = p;
-  o.wire_bytes = 9.7e7;
+  o.wire_bytes = gradcomp::core::units::Bytes{9.7e7};
   o.shape = {4, false};
-  o.collective_s = 4.0 * base.alpha_s * (p - 1) +
-                   2.0 * o.wire_bytes * (p - 1) / (p * truth_bps);
+  o.collective = gradcomp::core::units::Seconds{
+      4.0 * base.alpha.value() * (p - 1) +
+      2.0 * o.wire_bytes.value() * (p - 1) / (p * truth_bps)};
   est.observe(o);
   ASSERT_TRUE(est.ready());
-  EXPECT_NEAR(est.bandwidth_bps(), truth_bps, truth_bps * 1e-9);
-  EXPECT_NEAR(est.gbps(), 20.0, 1e-6);
+  EXPECT_NEAR(est.bandwidth().bytes_per_second(), truth_bps, truth_bps * 1e-9);
+  EXPECT_NEAR(est.bandwidth().gbps(), 20.0, 1e-6);
 }
 
 TEST(LinkEstimator, InvertsAllGatherExactly) {
@@ -107,12 +108,13 @@ TEST(LinkEstimator, InvertsAllGatherExactly) {
   const int p = 16;
   Observation o;
   o.world_size = p;
-  o.wire_bytes = 1.2e6;
+  o.wire_bytes = gradcomp::core::units::Bytes{1.2e6};
   o.shape = {2, true};
-  o.collective_s = 2.0 * base.alpha_s * (p - 1) + o.wire_bytes * (p - 1) / truth_bps;
+  o.collective = gradcomp::core::units::Seconds{
+      2.0 * base.alpha.value() * (p - 1) + o.wire_bytes.value() * (p - 1) / truth_bps};
   est.observe(o);
   ASSERT_TRUE(est.ready());
-  EXPECT_NEAR(est.bandwidth_bps(), truth_bps, truth_bps * 1e-9);
+  EXPECT_NEAR(est.bandwidth().bytes_per_second(), truth_bps, truth_bps * 1e-9);
 }
 
 TEST(LinkEstimator, DiscardsUnexplainableObservations) {
@@ -120,17 +122,17 @@ TEST(LinkEstimator, DiscardsUnexplainableObservations) {
   LinkEstimator est(base, 4.0, 8);
   Observation o;
   o.world_size = 1;  // single rank: no collective happened
-  o.wire_bytes = 1e6;
-  o.collective_s = 1e-3;
+  o.wire_bytes = gradcomp::core::units::Bytes{1e6};
+  o.collective = gradcomp::core::units::Seconds{1e-3};
   est.observe(o);
   o.world_size = 8;
-  o.collective_s = 0.0;  // no wall time
+  o.collective = gradcomp::core::units::Seconds{0.0};  // no wall time
   est.observe(o);
   o.shape = {100, false};  // wall time below the latency floor
-  o.collective_s = 50.0 * base.alpha_s * 7.0;
+  o.collective = gradcomp::core::units::Seconds{50.0 * base.alpha.value() * 7.0};
   est.observe(o);
   EXPECT_EQ(est.samples(), 0);
-  EXPECT_DOUBLE_EQ(est.bandwidth_bps(), base.bandwidth_bps);
+  EXPECT_DOUBLE_EQ(est.bandwidth().bytes_per_second(), base.bandwidth.bytes_per_second());
 }
 
 TEST(ComputeEstimator, TracksStretchAndRescalesDevice) {
@@ -139,12 +141,12 @@ TEST(ComputeEstimator, TracksStretchAndRescalesDevice) {
   ComputeEstimator est(base, 4.0, 8);
   EXPECT_DOUBLE_EQ(est.stretch(), 1.0);
   Observation o;
-  o.backward_s = 3.0;
-  o.nominal_backward_s = 1.0;
+  o.backward = gradcomp::core::units::Seconds{3.0};
+  o.nominal_backward = gradcomp::core::units::Seconds{1.0};
   est.observe(o);
   EXPECT_DOUBLE_EQ(est.stretch(), 3.0);
   EXPECT_DOUBLE_EQ(est.device().compute_scale, 2.0 / 3.0);
-  o.backward_s = 0.0;  // discarded, estimate unchanged
+  o.backward = gradcomp::core::units::Seconds{0.0};  // discarded, estimate unchanged
   est.observe(o);
   EXPECT_EQ(est.samples(), 1);
 }
@@ -161,10 +163,10 @@ Observation sync_obs_at(const core::Workload& w, int p, double gbps) {
   const compress::CompressorConfig sync;  // default = syncSGD
   const auto br = model.syncsgd(w, truth);
   Observation o;
-  o.wire_bytes = model.wire_bytes(sync, w.model);
-  o.collective_s = br.comm_s;
-  o.backward_s = br.compute_s;
-  o.nominal_backward_s = br.compute_s;
+  o.wire_bytes = gradcomp::core::units::Bytes{model.wire_bytes(sync, w.model).value()};
+  o.collective = gradcomp::core::units::Seconds{br.comm.value()};
+  o.backward = gradcomp::core::units::Seconds{br.compute.value()};
+  o.nominal_backward = gradcomp::core::units::Seconds{br.compute.value()};
   o.world_size = p;
   o.shape = collective_shape(sync, w.model, models::kDefaultBucketBytes);
   return o;
@@ -215,7 +217,7 @@ TEST(Controller, StaysOnSyncSgdWhenTheLinkIsFast) {
   ASSERT_FALSE(ctl.decisions().empty());
   for (const auto& d : ctl.decisions()) {
     EXPECT_FALSE(d.switched);
-    EXPECT_NEAR(d.effective_gbps, 16.0, 0.5);
+    EXPECT_NEAR(d.effective_bandwidth.gbps(), 16.0, 0.5);
   }
 }
 
@@ -229,7 +231,7 @@ TEST(Controller, SwitchesToCompressionWhenTheLinkDegrades) {
   for (const auto& d : ctl.decisions())
     if (d.switched) {
       saw_switch_reason = d.reason.find("switch") != std::string::npos;
-      EXPECT_GT(d.incumbent_s, d.predicted_s);
+      EXPECT_GT(d.incumbent.value(), d.predicted.value());
     }
   EXPECT_TRUE(saw_switch_reason);
 }
@@ -324,10 +326,10 @@ TEST(RunAdaptive, SwitchesIntoAndOutOfADegradationWindow) {
   // Gap-free "adapt" stream covering the whole run.
   const auto spans = result.timeline.spans_on("adapt");
   ASSERT_FALSE(spans.empty());
-  EXPECT_DOUBLE_EQ(spans.front().start_s, 0.0);
+  EXPECT_DOUBLE_EQ(spans.front().start.value(), 0.0);
   for (std::size_t i = 1; i < spans.size(); ++i)
-    EXPECT_DOUBLE_EQ(spans[i].start_s, spans[i - 1].end_s);
-  EXPECT_NEAR(spans.back().end_s, result.total_s, 1e-9);
+    EXPECT_DOUBLE_EQ(spans[i].start.value(), spans[i - 1].end.value());
+  EXPECT_NEAR(spans.back().end.value(), result.total.value(), 1e-9);
   EXPECT_FALSE(result.decisions.empty());
 }
 
@@ -345,9 +347,9 @@ TEST(RunAdaptive, BeatsTheWorseStaticPolicyUnderTheWindow) {
 
   sim::ClusterSim static_sim(cluster_at(8, 16.0), degraded_window_options(100, 8));
   double static_sync = 0.0;
-  for (int i = 0; i < 100; ++i) static_sync += static_sim.run_syncsgd(w).iteration_s;
+  for (int i = 0; i < 100; ++i) static_sync += static_sim.run_syncsgd(w).iteration_time.value();
 
-  EXPECT_LT(adaptive.total_s, static_sync);
+  EXPECT_LT(adaptive.total.value(), static_sync);
 }
 
 TEST(RunAdaptive, IsDeterministicForAFixedSeed) {
@@ -362,7 +364,7 @@ TEST(RunAdaptive, IsDeterministicForAFixedSeed) {
   for (int run = 0; run < 2; ++run) {
     sim::ClusterSim sim(cluster_at(8, 16.0), degraded_window_options(60, 8));
     const auto result = sim::run_adaptive(sim, w, opts);
-    totals[run] = result.total_s;
+    totals[run] = result.total.value();
     for (const auto& d : result.decisions) reasons[run].push_back(d.reason);
   }
   EXPECT_DOUBLE_EQ(totals[0], totals[1]);
@@ -396,7 +398,7 @@ train::TrainerConfig adaptive_trainer_config() {
   c.adaptive.cluster = cluster_at(2, 10.0);
   // The in-process fabric has no per-collective startup latency worth
   // modeling; a real deployment would put the fabric's alpha here.
-  c.adaptive.cluster.network.alpha_s = 0.0;
+  c.adaptive.cluster.network.alpha = gradcomp::core::units::Seconds{0.0};
   c.adaptive.controller.decision_interval = 2;
   c.adaptive.controller.min_dwell = 0;
   c.adaptive.controller.estimator_half_life = 2.0;

@@ -41,7 +41,7 @@ TEST(Advisor, RankedFastestFirst) {
   const auto rec = advise(workload_of(models::bert_base(), 10), cluster_at(96));
   ASSERT_FALSE(rec.ranked.empty());
   for (std::size_t i = 1; i < rec.ranked.size(); ++i)
-    EXPECT_LE(rec.ranked[i - 1].breakdown.total_s, rec.ranked[i].breakdown.total_s);
+    EXPECT_LE(rec.ranked[i - 1].breakdown.total.value(), rec.ranked[i].breakdown.total.value());
 }
 
 TEST(Advisor, RecommendsPowerSgdForBertAtScale) {
@@ -84,8 +84,8 @@ TEST(Advisor, RequiredCompressionPopulated) {
   const auto rec = advise(workload_of(models::resnet50(), 16), cluster_at(64));
   EXPECT_GT(rec.required_compression, 1.0);
   EXPECT_LT(rec.required_compression, 20.0);
-  EXPECT_GT(rec.ideal_s, 0.0);
-  EXPECT_GT(rec.sync.total_s, rec.ideal_s);
+  EXPECT_GT(rec.ideal.value(), 0.0);
+  EXPECT_GT(rec.sync.total.value(), rec.ideal.value());
 }
 
 TEST(Advisor, DegradedClusterCrossoverBracketsTheSignFlip) {
@@ -104,8 +104,8 @@ TEST(Advisor, DegradedClusterCrossoverBracketsTheSignFlip) {
   const PerfModel model;
   const auto sync_minus_winner_at = [&](double gbps) {
     const Cluster c = cluster_at(8, gbps);
-    return model.syncsgd(w, c).total_s -
-           model.compressed(winner->candidate.config, w, c).total_s;
+    return model.syncsgd(w, c).total.value() -
+           model.compressed(winner->candidate.config, w, c).total.value();
   };
   EXPECT_GT(sync_minus_winner_at(rec.winner_crossover_gbps * 0.95), 0.0);
   EXPECT_LT(sync_minus_winner_at(rec.winner_crossover_gbps * 1.05), 0.0);

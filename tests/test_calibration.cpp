@@ -23,7 +23,7 @@ class CalibrationTest : public ::testing::Test {
 };
 
 TEST_F(CalibrationTest, CoefficientsArePositive) {
-  EXPECT_GT(model_.powersgd_fixed_per_layer_s(), 0.0);
+  EXPECT_GT(model_.powersgd_fixed_per_layer().value(), 0.0);
   EXPECT_GT(model_.powersgd_gemm_s_per_flop(), 0.0);
   EXPECT_GT(model_.powersgd_orth_s_per_flop(), 0.0);
 }
@@ -35,7 +35,7 @@ TEST_F(CalibrationTest, PowerSgdReproducesTable2AnchorsExactly) {
        {std::pair<int, double>{4, 45.0}, {8, 64.0}, {16, 130.0}}) {
     const auto est = model_.estimate(config_of(compress::Method::kPowerSgd, 0.01, rank), r50_,
                                      v100_, 4);
-    EXPECT_NEAR(est.total() * 1e3, expect_ms, 0.5) << "rank " << rank;
+    EXPECT_NEAR(est.total().value() * 1e3, expect_ms, 0.5) << "rank " << rank;
   }
 }
 
@@ -45,31 +45,31 @@ TEST_F(CalibrationTest, TopKReproducesTable2Anchors) {
     const auto est =
         model_.estimate(config_of(compress::Method::kTopK, fraction), r50_, v100_, 4);
     // Encode matches the anchor; decode adds a small scatter term at p=4.
-    EXPECT_NEAR(est.encode_s * 1e3, expect_ms, 1.0) << fraction;
+    EXPECT_NEAR(est.encode.value() * 1e3, expect_ms, 1.0) << fraction;
   }
 }
 
 TEST_F(CalibrationTest, SignSgdReproducesTable2Anchor) {
   const auto est = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
-  EXPECT_NEAR(est.total() * 1e3, 16.34, 0.1);
+  EXPECT_NEAR(est.total().value() * 1e3, 16.34, 0.1);
 }
 
 TEST_F(CalibrationTest, SyncSgdHasZeroEncodeCost) {
   const auto est = model_.estimate(config_of(compress::Method::kSyncSgd), r50_, v100_, 4);
-  EXPECT_DOUBLE_EQ(est.total(), 0.0);
+  EXPECT_DOUBLE_EQ(est.total().value(), 0.0);
 }
 
 TEST_F(CalibrationTest, SignSgdDecodeScalesWithWorldSize) {
   const auto at4 = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
   const auto at96 = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 96);
-  EXPECT_NEAR(at96.decode_s / at4.decode_s, 24.0, 1e-6);
-  EXPECT_DOUBLE_EQ(at96.encode_s, at4.encode_s);  // encode independent of p
+  EXPECT_NEAR(at96.decode.value() / at4.decode.value(), 24.0, 1e-6);
+  EXPECT_DOUBLE_EQ(at96.encode.value(), at4.encode.value());  // encode independent of p
 }
 
 TEST_F(CalibrationTest, PowerSgdDecodeIndependentOfWorldSize) {
   const auto at4 = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
   const auto at96 = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 96);
-  EXPECT_DOUBLE_EQ(at96.decode_s, at4.decode_s);  // all-reduce method
+  EXPECT_DOUBLE_EQ(at96.decode.value(), at4.decode.value());  // all-reduce method
 }
 
 TEST_F(CalibrationTest, CostsScaleWithModelSize) {
@@ -78,7 +78,7 @@ TEST_F(CalibrationTest, CostsScaleWithModelSize) {
                  compress::Method::kPowerSgd, compress::Method::kFp16}) {
     const auto small = model_.estimate(config_of(m), r50_, v100_, 4);
     const auto large = model_.estimate(config_of(m), bert, v100_, 4);
-    EXPECT_GT(large.total(), small.total()) << method_name(m);
+    EXPECT_GT(large.total().value(), small.total().value()) << method_name(m);
   }
 }
 
@@ -86,7 +86,7 @@ TEST_F(CalibrationTest, FasterDeviceReducesCosts) {
   const models::Device fast = models::Device::v100_times(2.0);
   const auto slow = model_.estimate(config_of(compress::Method::kTopK), r50_, v100_, 4);
   const auto quick = model_.estimate(config_of(compress::Method::kTopK), r50_, fast, 4);
-  EXPECT_NEAR(quick.total() * 2.0, slow.total(), 1e-9);
+  EXPECT_NEAR(quick.total().value() * 2.0, slow.total().value(), 1e-9);
 }
 
 TEST_F(CalibrationTest, AtomoCostsMoreThanPowerSgd) {
@@ -94,14 +94,14 @@ TEST_F(CalibrationTest, AtomoCostsMoreThanPowerSgd) {
   // power iteration (Section 2.1).
   const auto ps = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
   const auto atomo = model_.estimate(config_of(compress::Method::kAtomo), r50_, v100_, 4);
-  EXPECT_GT(atomo.encode_s, 2.0 * ps.encode_s);
+  EXPECT_GT(atomo.encode.value(), 2.0 * ps.encode.value());
 }
 
 TEST_F(CalibrationTest, TopKEncodeNearlyFlatInFraction) {
   // Table 2's striking fact: 1% is barely cheaper than 20%.
   const auto low = model_.estimate(config_of(compress::Method::kTopK, 0.01), r50_, v100_, 4);
   const auto high = model_.estimate(config_of(compress::Method::kTopK, 0.20), r50_, v100_, 4);
-  EXPECT_LT(high.encode_s / low.encode_s, 1.3);
+  EXPECT_LT(high.encode.value() / low.encode.value(), 1.3);
 }
 
 TEST_F(CalibrationTest, RejectsInvalidWorldSize) {
@@ -113,8 +113,8 @@ TEST_F(CalibrationTest, SignSgdFastestEncodeAmongTable2Methods) {
   const auto sign = model_.estimate(config_of(compress::Method::kSignSgd), r50_, v100_, 4);
   const auto topk = model_.estimate(config_of(compress::Method::kTopK), r50_, v100_, 4);
   const auto ps = model_.estimate(config_of(compress::Method::kPowerSgd), r50_, v100_, 4);
-  EXPECT_LT(sign.total(), topk.total());
-  EXPECT_LT(sign.total(), ps.total());
+  EXPECT_LT(sign.total().value(), topk.total().value());
+  EXPECT_LT(sign.total().value(), ps.total().value());
 }
 
 TEST(Table2Anchors, SevenPublishedRows) {

@@ -46,18 +46,18 @@ TEST(ClusterSim, RejectsInvalidConfig) {
 TEST(ClusterSim, SingleWorkerIsBackwardOnly) {
   ClusterSim sim(cluster_at(1), exact_options());
   const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
-  EXPECT_NEAR(r.iteration_s * 1e3, 122.0, 1.0);
-  EXPECT_DOUBLE_EQ(r.comm_s, 0.0);
+  EXPECT_NEAR(r.iteration_time.value() * 1e3, 122.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.comm.value(), 0.0);
 }
 
 TEST(ClusterSim, SyncSgdOverlapsCommWithCompute) {
   ClusterSim sim(cluster_at(16), exact_options());
   const auto r = sim.run_syncsgd(workload_of(models::resnet50(), 64));
   // Total is far less than compute + comm (overlap happened)...
-  EXPECT_LT(r.iteration_s, r.compute_s + r.comm_s - 0.01);
+  EXPECT_LT(r.iteration_time.value(), r.compute.value() + r.comm.value() - 0.01);
   // ...but at least as long as each stream alone.
-  EXPECT_GE(r.iteration_s, r.compute_s - 1e-9);
-  EXPECT_GE(r.iteration_s + 1e-9, r.comm_s);
+  EXPECT_GE(r.iteration_time.value(), r.compute.value() - 1e-9);
+  EXPECT_GE(r.iteration_time.value() + 1e-9, r.comm.value());
 }
 
 TEST(ClusterSim, TimelineHasComputeAndCommStreams) {
@@ -80,24 +80,24 @@ TEST(ClusterSim, CommStreamSerializesBuckets) {
   double prev_end = -1.0;
   for (const auto& s : r.timeline.spans()) {
     if (s.stream != "comm") continue;
-    EXPECT_GE(s.start_s, prev_end - 1e-12);  // no overlap on one stream
-    prev_end = s.end_s;
+    EXPECT_GE(s.start.value(), prev_end - 1e-12);  // no overlap on one stream
+    prev_end = s.end.value();
   }
 }
 
 TEST(ClusterSim, DeterministicWithoutJitter) {
   ClusterSim a(cluster_at(8), exact_options());
   ClusterSim b(cluster_at(8), exact_options());
-  EXPECT_DOUBLE_EQ(a.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s,
-                   b.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s);
+  EXPECT_DOUBLE_EQ(a.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_time.value(),
+                   b.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_time.value());
 }
 
 TEST(ClusterSim, JitterProducesVariance) {
   SimOptions noisy = exact_options();
   noisy.jitter_frac = 0.05;
   ClusterSim sim(cluster_at(8), noisy);
-  const double t1 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s;
-  const double t2 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_s;
+  const double t1 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_time.value();
+  const double t2 = sim.run_syncsgd(workload_of(models::resnet50(), 64)).iteration_time.value();
   EXPECT_NE(t1, t2);
 }
 
@@ -106,8 +106,8 @@ TEST(ClusterSim, TreeAllreduceFasterAtScale) {
   SimOptions tree = exact_options();
   tree.use_tree_allreduce = true;
   const auto w = workload_of(models::bert_base(), 10);
-  const double t_ring = ClusterSim(cluster_at(96), ring).run_syncsgd(w).iteration_s;
-  const double t_tree = ClusterSim(cluster_at(96), tree).run_syncsgd(w).iteration_s;
+  const double t_ring = ClusterSim(cluster_at(96), ring).run_syncsgd(w).iteration_time.value();
+  const double t_tree = ClusterSim(cluster_at(96), tree).run_syncsgd(w).iteration_time.value();
   EXPECT_LE(t_tree, t_ring + 1e-12);
 }
 
@@ -116,8 +116,8 @@ TEST(ClusterSim, CompressedRunsSequentialPipeline) {
   const auto r = sim.run_compressed(method_config(compress::Method::kPowerSgd),
                                     workload_of(models::resnet50(), 64));
   // Sequential: total = compute + encode + comm + decode.
-  EXPECT_NEAR(r.iteration_s, r.compute_s + r.encode_s + r.comm_s + r.decode_s, 1e-9);
-  EXPECT_GT(r.encode_s, 0.0);
+  EXPECT_NEAR(r.iteration_time.value(), r.compute.value() + r.encode.value() + r.comm.value() + r.decode.value(), 1e-9);
+  EXPECT_GT(r.encode.value(), 0.0);
 }
 
 TEST(ClusterSim, PowerSgdTimelineHasThreeCollectives) {
@@ -140,9 +140,9 @@ TEST(ClusterSim, OverlappedCompressionSlower) {
   for (auto m : {compress::Method::kPowerSgd, compress::Method::kTopK,
                  compress::Method::kSignSgd}) {
     const double t_seq =
-        ClusterSim(cluster_at(16), sequential).run_compressed(method_config(m), w).iteration_s;
+        ClusterSim(cluster_at(16), sequential).run_compressed(method_config(m), w).iteration_time.value();
     const double t_ovl =
-        ClusterSim(cluster_at(16), overlapped).run_compressed(method_config(m), w).iteration_s;
+        ClusterSim(cluster_at(16), overlapped).run_compressed(method_config(m), w).iteration_time.value();
     EXPECT_GT(t_ovl, t_seq) << compress::method_name(m);
   }
 }
@@ -151,26 +151,26 @@ TEST(ClusterSim, SignSgdCommExplodesWithWorkers) {
   const auto w = workload_of(models::resnet101(), 64);
   const auto cfg = method_config(compress::Method::kSignSgd);
   const double t8 =
-      ClusterSim(cluster_at(8), exact_options()).run_compressed(cfg, w).comm_s;
+      ClusterSim(cluster_at(8), exact_options()).run_compressed(cfg, w).comm.value();
   const double t96 =
-      ClusterSim(cluster_at(96), exact_options()).run_compressed(cfg, w).comm_s;
+      ClusterSim(cluster_at(96), exact_options()).run_compressed(cfg, w).comm.value();
   EXPECT_GT(t96 / t8, 8.0);
 }
 
 TEST(ClusterSim, SyncSgdDispatchThroughCompressed) {
   ClusterSim sim(cluster_at(8), exact_options());
   const auto w = workload_of(models::resnet50(), 64);
-  EXPECT_DOUBLE_EQ(sim.run_compressed(method_config(compress::Method::kSyncSgd), w).iteration_s,
-                   sim.run_syncsgd(w).iteration_s);
+  EXPECT_DOUBLE_EQ(sim.run_compressed(method_config(compress::Method::kSyncSgd), w).iteration_time.value(),
+                   sim.run_syncsgd(w).iteration_time.value());
 }
 
 TEST(ClusterSim, Fp16FasterThanSyncWhenCommBound) {
   // Small batch + big model => comm bound => halved bytes help.
   const auto w = workload_of(models::bert_base(), 4);
   ClusterSim sim(cluster_at(64), exact_options());
-  const double sync = sim.run_syncsgd(w).iteration_s;
+  const double sync = sim.run_syncsgd(w).iteration_time.value();
   const double fp16 =
-      sim.run_compressed(method_config(compress::Method::kFp16), w).iteration_s;
+      sim.run_compressed(method_config(compress::Method::kFp16), w).iteration_time.value();
   EXPECT_LT(fp16, sync);
 }
 
@@ -180,8 +180,8 @@ TEST(ClusterSim, StragglersStretchIterations) {
   certain.straggler_factor = 2.0;
   const auto w = workload_of(models::resnet50(), 64);
   const double base =
-      ClusterSim(cluster_at(1), exact_options()).run_syncsgd(w).iteration_s;
-  const double stretched = ClusterSim(cluster_at(1), certain).run_syncsgd(w).iteration_s;
+      ClusterSim(cluster_at(1), exact_options()).run_syncsgd(w).iteration_time.value();
+  const double stretched = ClusterSim(cluster_at(1), certain).run_syncsgd(w).iteration_time.value();
   EXPECT_NEAR(stretched, base * 2.0, 1e-9);
 }
 
@@ -196,7 +196,7 @@ TEST(ClusterSim, StragglerImpactGrowsWithScale) {
   const auto protocol_runs = [&](int p) {
     ClusterSim sim(cluster_at(p), rare);
     double total = 0.0;
-    for (int i = 0; i < 200; ++i) total += sim.run_syncsgd(w).iteration_s;
+    for (int i = 0; i < 200; ++i) total += sim.run_syncsgd(w).iteration_time.value();
     return total / 200.0;
   };
   EXPECT_GT(protocol_runs(96), protocol_runs(2) * 1.2);
@@ -210,9 +210,9 @@ TEST(ClusterSim, StragglersAffectCompressedRunsToo) {
   const auto cfg = method_config(compress::Method::kPowerSgd);
   const auto base = ClusterSim(cluster_at(8), exact_options()).run_compressed(cfg, w);
   const auto slow = ClusterSim(cluster_at(8), certain).run_compressed(cfg, w);
-  EXPECT_NEAR(slow.compute_s, base.compute_s * 2.0, 1e-9);
-  EXPECT_NEAR(slow.encode_s, base.encode_s * 2.0, 1e-9);
-  EXPECT_NEAR(slow.comm_s, base.comm_s, 1e-9);  // network unaffected
+  EXPECT_NEAR(slow.compute.value(), base.compute.value() * 2.0, 1e-9);
+  EXPECT_NEAR(slow.encode.value(), base.encode.value() * 2.0, 1e-9);
+  EXPECT_NEAR(slow.comm.value(), base.comm.value(), 1e-9);  // network unaffected
 }
 
 TEST(ClusterSim, IncastPenaltySlowsAllgatherMethods) {
@@ -222,8 +222,8 @@ TEST(ClusterSim, IncastPenaltySlowsAllgatherMethods) {
   congested.incast_penalty = 0.15;
   const auto w = workload_of(models::resnet50(), 64);
   const auto cfg = method_config(compress::Method::kSignSgd);
-  EXPECT_GT(ClusterSim(cluster_at(32), congested).run_compressed(cfg, w).comm_s,
-            ClusterSim(cluster_at(32), clean).run_compressed(cfg, w).comm_s);
+  EXPECT_GT(ClusterSim(cluster_at(32), congested).run_compressed(cfg, w).comm.value(),
+            ClusterSim(cluster_at(32), clean).run_compressed(cfg, w).comm.value());
 }
 
 TEST(ClusterSim, ValidatesFaultAndNoiseOptions) {
@@ -290,24 +290,24 @@ TEST(ClusterSim, RankFailureShrinksWorldAndChargesRecovery) {
   fp.fail_rank = 0;
   fp.fail_at_iteration = 1;
   SimOptions faulted = planned_options(fp);
-  faulted.recovery_detect_s = 0.5;
+  faulted.recovery_detect = gradcomp::core::units::Seconds{0.5};
   ClusterSim sim(cluster_at(8), faulted);
   ClusterSim clean(cluster_at(8), exact_options());
   const auto w = workload_of(models::resnet50(), 64);
 
   const auto before = sim.run_syncsgd(w);
   const auto ref = clean.run_syncsgd(w);
-  EXPECT_NEAR(before.iteration_s, ref.iteration_s, 1e-9);  // iter 0 is clean
+  EXPECT_NEAR(before.iteration_time.value(), ref.iteration_time.value(), 1e-9);  // iter 0 is clean
 
   // The failure iteration pays the detection/shrink stall on top.
   const auto failure_iter = sim.run_syncsgd(w);
-  EXPECT_GT(failure_iter.iteration_s, ref.iteration_s + 0.49);
+  EXPECT_GT(failure_iter.iteration_time.value(), ref.iteration_time.value() + 0.49);
 
   // Subsequent iterations run at p-1: a 7-worker ring moves fewer bytes per
   // link than an 8-worker one, so comm time drops below the clean baseline.
   const auto after = sim.run_syncsgd(w);
   EXPECT_TRUE(after.timeline.spans_on("fault").empty());
-  EXPECT_LT(after.comm_s, ref.comm_s);
+  EXPECT_LT(after.comm.value(), ref.comm.value());
 }
 
 TEST(ClusterSim, LinkDegradationSlowsCommDuringWindow) {
@@ -322,7 +322,7 @@ TEST(ClusterSim, LinkDegradationSlowsCommDuringWindow) {
   const auto w = workload_of(models::resnet50(), 64);
   const auto slow = degraded.run_syncsgd(w);
   const auto fast = clean.run_syncsgd(w);
-  EXPECT_GT(slow.comm_s, fast.comm_s * 1.5);
+  EXPECT_GT(slow.comm.value(), fast.comm.value() * 1.5);
   EXPECT_FALSE(slow.timeline.spans_on("fault").empty());
 }
 
@@ -338,8 +338,8 @@ TEST(ClusterSim, HeavyTailedPlanStretchesCompute) {
   double stretched_total = 0.0;
   double clean_total = 0.0;
   for (int i = 0; i < 20; ++i) {
-    stretched_total += stretched.run_syncsgd(w).compute_s;
-    clean_total += clean.run_syncsgd(w).compute_s;
+    stretched_total += stretched.run_syncsgd(w).compute.value();
+    clean_total += clean.run_syncsgd(w).compute.value();
   }
   // max over 32 lognormal(sigma=0.5) draws is well above 1 every iteration.
   EXPECT_GT(stretched_total, clean_total * 1.2);

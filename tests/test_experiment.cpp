@@ -36,8 +36,8 @@ TEST(Measure, ZeroJitterZeroStddev) {
   protocol.iterations = 20;
   protocol.warmup = 5;
   const auto m = measure(cluster_at(8), o, {}, resnet50_w64(), protocol);
-  EXPECT_GT(m.mean_s, 0.0);
-  EXPECT_NEAR(m.stddev_s, 0.0, 1e-12);
+  EXPECT_GT(m.mean.value(), 0.0);
+  EXPECT_NEAR(m.stddev.value(), 0.0, 1e-12);
 }
 
 TEST(Measure, JitterYieldsPositiveStddev) {
@@ -47,8 +47,8 @@ TEST(Measure, JitterYieldsPositiveStddev) {
   protocol.iterations = 40;
   protocol.warmup = 5;
   const auto m = measure(cluster_at(8), o, {}, resnet50_w64(), protocol);
-  EXPECT_GT(m.stddev_s, 0.0);
-  EXPECT_LT(m.stddev_s / m.mean_s, 0.2);  // bounded variance
+  EXPECT_GT(m.stddev.value(), 0.0);
+  EXPECT_LT(m.stddev.value() / m.mean.value(), 0.2);  // bounded variance
 }
 
 TEST(Measure, ReportsComponentMeans) {
@@ -59,9 +59,9 @@ TEST(Measure, ReportsComponentMeans) {
   protocol.iterations = 15;
   protocol.warmup = 5;
   const auto m = measure(cluster_at(8), SimOptions{}, ps, resnet50_w64(), protocol);
-  EXPECT_GT(m.mean_encode_s, 0.0);
-  EXPECT_GT(m.mean_decode_s, 0.0);
-  EXPECT_GT(m.mean_comm_s, 0.0);
+  EXPECT_GT(m.mean_encode.value(), 0.0);
+  EXPECT_GT(m.mean_decode.value(), 0.0);
+  EXPECT_GT(m.mean_comm.value(), 0.0);
 }
 
 TEST(WeakScaling, ReturnsOnePointPerWorkerCount) {
@@ -76,8 +76,8 @@ TEST(WeakScaling, ReturnsOnePointPerWorkerCount) {
   EXPECT_EQ(pts[0].workers, 8);
   EXPECT_EQ(pts[2].workers, 32);
   for (const auto& pt : pts) {
-    EXPECT_GT(pt.sync.mean_s, 0.0);
-    EXPECT_GT(pt.compressed.mean_s, 0.0);
+    EXPECT_GT(pt.sync.mean.value(), 0.0);
+    EXPECT_GT(pt.compressed.mean.value(), 0.0);
     EXPECT_GT(pt.speedup(), 0.0);
   }
 }

@@ -56,20 +56,20 @@ class MethodModelSweep : public ::testing::TestWithParam<Case> {
 TEST_P(MethodModelSweep, ModelBreakdownInvariants) {
   core::PerfModel model;
   const auto b = model.compressed(config(), workload(), cluster(32));
-  EXPECT_TRUE(std::isfinite(b.total_s));
-  EXPECT_GT(b.total_s, 0.0);
-  EXPECT_GE(b.total_s + 1e-12, b.compute_s);
-  EXPECT_GE(b.encode_s, 0.0);
-  EXPECT_GE(b.decode_s, 0.0);
-  EXPECT_GE(b.comm_s, 0.0);
+  EXPECT_TRUE(std::isfinite(b.total.value()));
+  EXPECT_GT(b.total.value(), 0.0);
+  EXPECT_GE(b.total.value() + 1e-12, b.compute.value());
+  EXPECT_GE(b.encode.value(), 0.0);
+  EXPECT_GE(b.decode.value(), 0.0);
+  EXPECT_GE(b.comm.value(), 0.0);
   // No method can beat the pure-compute floor.
-  EXPECT_GE(b.total_s + 1e-12, model.ideal_seconds(workload(), cluster(32)));
+  EXPECT_GE(b.total.value() + 1e-12, model.ideal_seconds(workload(), cluster(32)).value());
 }
 
 TEST_P(MethodModelSweep, WireBytesNeverExceedRaw) {
   core::PerfModel model;
   const double raw = static_cast<double>(workload().model.total_bytes());
-  const double wire = model.wire_bytes(config(), workload().model);
+  const double wire = model.wire_bytes(config(), workload().model).value();
   EXPECT_GT(wire, 0.0);
   EXPECT_LE(wire, raw * 1.001);
 }
@@ -83,8 +83,8 @@ TEST_P(MethodModelSweep, SimulatorAgreesWithinBounds) {
   opts.incast_penalty = 0.0;  // remove the deliberate asymmetry
   const auto c = cluster(32);
   sim::ClusterSim sim(c, opts);
-  const double predicted = model.compressed(config(), workload(), c).total_s;
-  const double simulated = sim.run_compressed(config(), workload()).iteration_s;
+  const double predicted = model.compressed(config(), workload(), c).total.value();
+  const double simulated = sim.run_compressed(config(), workload()).iteration_time.value();
   EXPECT_NEAR(predicted, simulated, simulated * 0.12)
       << compress::method_name(GetParam().method) << " on " << GetParam().model_name;
 }
@@ -92,8 +92,8 @@ TEST_P(MethodModelSweep, SimulatorAgreesWithinBounds) {
 TEST_P(MethodModelSweep, MoreWorkersNeverFreeForGatherMethods) {
   core::PerfModel model;
   const auto traits = compress::make_compressor(config())->traits();
-  const double t8 = model.compressed(config(), workload(), cluster(8)).total_s;
-  const double t96 = model.compressed(config(), workload(), cluster(96)).total_s;
+  const double t8 = model.compressed(config(), workload(), cluster(8)).total.value();
+  const double t96 = model.compressed(config(), workload(), cluster(96)).total.value();
   EXPECT_GE(t96 + 1e-9, t8 * 0.999);
   if (!traits.allreduce_compatible) {
     // All-gather methods degrade noticeably from 8 to 96 workers.
@@ -110,8 +110,8 @@ TEST_P(MethodModelSweep, BandwidthMonotonicity) {
   slow.network = comm::Network::from_gbps(1.0);
   core::Cluster fast = cluster(32);
   fast.network = comm::Network::from_gbps(100.0);
-  EXPECT_GE(model.compressed(config(), workload(), slow).total_s + 1e-12,
-            model.compressed(config(), workload(), fast).total_s);
+  EXPECT_GE(model.compressed(config(), workload(), slow).total.value() + 1e-12,
+            model.compressed(config(), workload(), fast).total.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPairs, MethodModelSweep, ::testing::ValuesIn(all_cases()),

@@ -42,9 +42,9 @@ std::pair<std::vector<double>, std::vector<double>> predicted_and_simulated(
   std::vector<double> simulated;
   for (int p : {8, 16, 32, 64, 96}) {
     const core::Cluster c = cluster_at(p);
-    predicted.push_back(model.compressed(config, w, c).total_s);
+    predicted.push_back(model.compressed(config, w, c).total.value());
     sim::ClusterSim sim(c, testbed_options());
-    simulated.push_back(sim.run_compressed(config, w).iteration_s);
+    simulated.push_back(sim.run_compressed(config, w).iteration_time.value());
   }
   return {predicted, simulated};
 }
@@ -117,10 +117,10 @@ TEST(ModelVsSim, BothAgreeOnWinners) {
     const core::Workload w = workload_of(m, batch);
     const core::Cluster c = cluster_at(workers);
     const bool model_says_ps_wins =
-        model.compressed(ps, w, c).total_s < model.syncsgd(w, c).total_s;
+        model.compressed(ps, w, c).total.value() < model.syncsgd(w, c).total.value();
     sim::ClusterSim sim(c, testbed_options());
     const bool sim_says_ps_wins =
-        sim.run_compressed(ps, w).iteration_s < sim.run_syncsgd(w).iteration_s;
+        sim.run_compressed(ps, w).iteration_time.value() < sim.run_syncsgd(w).iteration_time.value();
     EXPECT_EQ(model_says_ps_wins, sim_says_ps_wins) << m.name;
   }
 }

@@ -65,12 +65,12 @@ TEST(Models, ResNet101DeeperThan50) {
 
 TEST(Models, BackwardTimeScalesLinearlyWithBatch) {
   const ModelProfile m = resnet50();
-  EXPECT_NEAR(m.backward_seconds(64), 2.0 * m.backward_seconds(32), 1e-12);
+  EXPECT_NEAR(m.backward_seconds(64).value(), 2.0 * m.backward_seconds(32).value(), 1e-12);
 }
 
 TEST(Models, ResNet50BackwardMatchesTable2Context) {
   // Table 2 discussion: T_comp ~= 122 ms for ResNet-50 (batch 64, V100).
-  EXPECT_NEAR(resnet50().backward_seconds(64) * 1e3, 122.0, 1.0);
+  EXPECT_NEAR(resnet50().backward_seconds(64).value() * 1e3, 122.0, 1.0);
 }
 
 TEST(Models, LookupByNameNormalizes) {
@@ -108,7 +108,7 @@ TEST(Vgg16, MostCommunicationHeavyPerCompute) {
   // VGG-16's bytes-per-backward-second exceeds every paper model at batch 64
   // — the most favourable realistic case for compression.
   const auto ratio = [](const ModelProfile& m, int batch) {
-    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch);
+    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch).value();
   };
   EXPECT_GT(ratio(vgg16(), 64), ratio(resnet50(), 64));
   EXPECT_GT(ratio(vgg16(), 64), ratio(bert_base(), 10));
@@ -129,7 +129,7 @@ TEST(Models, BertIsCommunicationHeavyRelativeToCompute) {
   // ~10, ResNets 64), BERT moves more gradient bytes per second of backward
   // compute — it is the communication-heavy workload.
   const auto ratio = [](const ModelProfile& m, int batch) {
-    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch);
+    return static_cast<double>(m.total_bytes()) / m.backward_seconds(batch).value();
   };
   EXPECT_GT(ratio(bert_base(), 10), ratio(resnet50(), 64));
   EXPECT_GT(ratio(bert_base(), 10), ratio(resnet101(), 64));

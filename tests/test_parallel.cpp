@@ -141,12 +141,12 @@ TEST(SweepDeterminism, WeakScalingBitExactAcrossJobCounts) {
     ASSERT_EQ(pooled.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
       EXPECT_EQ(pooled[i].workers, serial[i].workers);
-      EXPECT_EQ(pooled[i].sync.mean_s, serial[i].sync.mean_s);
-      EXPECT_EQ(pooled[i].sync.stddev_s, serial[i].sync.stddev_s);
-      EXPECT_EQ(pooled[i].compressed.mean_s, serial[i].compressed.mean_s);
-      EXPECT_EQ(pooled[i].compressed.stddev_s, serial[i].compressed.stddev_s);
-      EXPECT_EQ(pooled[i].compressed.mean_encode_s, serial[i].compressed.mean_encode_s);
-      EXPECT_EQ(pooled[i].compressed.mean_comm_s, serial[i].compressed.mean_comm_s);
+      EXPECT_EQ(pooled[i].sync.mean.value(), serial[i].sync.mean.value());
+      EXPECT_EQ(pooled[i].sync.stddev.value(), serial[i].sync.stddev.value());
+      EXPECT_EQ(pooled[i].compressed.mean.value(), serial[i].compressed.mean.value());
+      EXPECT_EQ(pooled[i].compressed.stddev.value(), serial[i].compressed.stddev.value());
+      EXPECT_EQ(pooled[i].compressed.mean_encode.value(), serial[i].compressed.mean_encode.value());
+      EXPECT_EQ(pooled[i].compressed.mean_comm.value(), serial[i].compressed.mean_comm.value());
     }
   }
   core::set_global_pool_threads(0);  // restore the default for other tests

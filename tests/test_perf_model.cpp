@@ -38,8 +38,8 @@ class PerfModelTest : public ::testing::Test {
 
 TEST_F(PerfModelTest, SingleWorkerIsComputeOnly) {
   const auto b = model_.syncsgd(workload_of(models::resnet50(), 64), cluster_at(1));
-  EXPECT_DOUBLE_EQ(b.comm_s, 0.0);
-  EXPECT_NEAR(b.total_s * 1e3, 122.0, 1.0);
+  EXPECT_DOUBLE_EQ(b.comm.value(), 0.0);
+  EXPECT_NEAR(b.total.value() * 1e3, 122.0, 1.0);
 }
 
 TEST_F(PerfModelTest, SyncSgdStructureMatchesEquation) {
@@ -51,19 +51,19 @@ TEST_F(PerfModelTest, SyncSgdStructureMatchesEquation) {
   double overlappable = 0.0;
   for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
     overlappable +=
-        comm::ring_allreduce_seconds(static_cast<double>(buckets[i]), 8, c.network);
+        comm::ring_allreduce_seconds(Bytes{static_cast<double>(buckets[i])}, 8, c.network).value();
   const double last =
-      comm::ring_allreduce_seconds(static_cast<double>(buckets.back()), 8, c.network);
-  const double gamma_comp = c.device.gamma * c.device.scaled(w.model.backward_seconds(64));
-  EXPECT_NEAR(b.total_s, std::max(gamma_comp, overlappable) + last, 1e-12);
+      comm::ring_allreduce_seconds(Bytes{static_cast<double>(buckets.back())}, 8, c.network).value();
+  const double gamma_comp = c.device.gamma * c.device.scaled(w.model.backward_seconds(64)).value();
+  EXPECT_NEAR(b.total.value(), std::max(gamma_comp, overlappable) + last, 1e-12);
 }
 
 TEST_F(PerfModelTest, SyncSgdWeakScalingNearFlat) {
   // All-reduce per-rank traffic is ~constant in p: iteration time grows only
   // mildly from 8 to 96 workers.
   const Workload w = workload_of(models::resnet50(), 64);
-  const double t8 = model_.syncsgd(w, cluster_at(8)).total_s;
-  const double t96 = model_.syncsgd(w, cluster_at(96)).total_s;
+  const double t8 = model_.syncsgd(w, cluster_at(8)).total.value();
+  const double t96 = model_.syncsgd(w, cluster_at(96)).total.value();
   EXPECT_LT(t96 / t8, 1.35);
 }
 
@@ -72,7 +72,7 @@ TEST_F(PerfModelTest, LargerBatchHidesCommunication) {
   const Cluster c = cluster_at(64);
   const auto small = model_.syncsgd(workload_of(models::resnet101(), 16), c);
   const auto large = model_.syncsgd(workload_of(models::resnet101(), 64), c);
-  EXPECT_GT(small.exposed_comm_s, large.exposed_comm_s);
+  EXPECT_GT(small.exposed_comm.value(), large.exposed_comm.value());
 }
 
 TEST_F(PerfModelTest, PowerSgdSlowerThanSyncOnResNet50Batch64) {
@@ -81,8 +81,8 @@ TEST_F(PerfModelTest, PowerSgdSlowerThanSyncOnResNet50Batch64) {
   const Workload w = workload_of(models::resnet50(), 64);
   for (int p : {8, 16, 32, 64, 96}) {
     const Cluster c = cluster_at(p);
-    EXPECT_GE(model_.compressed(method_config(compress::Method::kPowerSgd, 4), w, c).total_s,
-              model_.syncsgd(w, c).total_s * 0.97)
+    EXPECT_GE(model_.compressed(method_config(compress::Method::kPowerSgd, 4), w, c).total.value(),
+              model_.syncsgd(w, c).total.value() * 0.97)
         << p;
   }
 }
@@ -91,8 +91,8 @@ TEST_F(PerfModelTest, PowerSgdFasterThanSyncOnBertAt96) {
   // Figure 4: on BERT_BASE at 96 GPUs, rank-4 wins by ~23% and rank-16 loses.
   const Workload w = workload_of(models::bert_base(), 10);
   const Cluster c = cluster_at(96);
-  const double sync = model_.syncsgd(w, c).total_s;
-  const double r4 = model_.compressed(method_config(compress::Method::kPowerSgd, 4), w, c).total_s;
+  const double sync = model_.syncsgd(w, c).total.value();
+  const double r4 = model_.compressed(method_config(compress::Method::kPowerSgd, 4), w, c).total.value();
   EXPECT_LT(r4, sync);
   const double speedup = (sync - r4) / sync;
   EXPECT_GT(speedup, 0.10);
@@ -100,7 +100,7 @@ TEST_F(PerfModelTest, PowerSgdFasterThanSyncOnBertAt96) {
   // Rank-16's much heavier encode erodes most of the win (paper: it loses
   // outright).
   const double r16 =
-      model_.compressed(method_config(compress::Method::kPowerSgd, 16), w, c).total_s;
+      model_.compressed(method_config(compress::Method::kPowerSgd, 16), w, c).total.value();
   EXPECT_GT(r16, r4);
 }
 
@@ -110,8 +110,8 @@ TEST_F(PerfModelTest, TopKNeverFasterAtTenGbps) {
     const Workload w = workload_of(m, 64);
     for (int p : {8, 32, 96}) {
       const Cluster c = cluster_at(p);
-      EXPECT_GT(model_.compressed(method_config(compress::Method::kTopK), w, c).total_s,
-                model_.syncsgd(w, c).total_s)
+      EXPECT_GT(model_.compressed(method_config(compress::Method::kTopK), w, c).total.value(),
+                model_.syncsgd(w, c).total.value())
           << m.name << " " << p;
     }
   }
@@ -121,8 +121,8 @@ TEST_F(PerfModelTest, SignSgdBlowsUpAtScale) {
   // Figure 6 / finding 3: ~1,075 ms vs ~265 ms at 96 GPUs on ResNet-101.
   const Workload w = workload_of(models::resnet101(), 64);
   const Cluster c = cluster_at(96);
-  const double sync = model_.syncsgd(w, c).total_s;
-  const double sign = model_.compressed(method_config(compress::Method::kSignSgd), w, c).total_s;
+  const double sync = model_.syncsgd(w, c).total.value();
+  const double sign = model_.compressed(method_config(compress::Method::kSignSgd), w, c).total.value();
   EXPECT_GT(sign / sync, 2.5);
   EXPECT_NEAR(sync * 1e3, 265.0, 80.0);
   EXPECT_NEAR(sign * 1e3, 1075.0, 350.0);
@@ -132,7 +132,7 @@ TEST_F(PerfModelTest, SignSgdCommGrowsLinearlyInWorkers) {
   const Workload w = workload_of(models::resnet50(), 64);
   const auto c8 = model_.compressed(method_config(compress::Method::kSignSgd), w, cluster_at(8));
   const auto c64 = model_.compressed(method_config(compress::Method::kSignSgd), w, cluster_at(64));
-  EXPECT_NEAR(c64.comm_s / c8.comm_s, 63.0 / 7.0, 0.2);
+  EXPECT_NEAR(c64.comm.value() / c8.comm.value(), 63.0 / 7.0, 0.2);
 }
 
 TEST_F(PerfModelTest, Fp16OverlapsLikeSyncSgd) {
@@ -142,8 +142,8 @@ TEST_F(PerfModelTest, Fp16OverlapsLikeSyncSgd) {
   const auto sync = model_.syncsgd(w, c);
   // Half the bytes, same overlap structure: at worst the cheap conversion
   // cost above syncSGD, at best strictly faster.
-  EXPECT_LE(fp16.total_s, sync.total_s + fp16.encode_decode_s() + 1e-9);
-  EXPECT_LT(fp16.comm_s, sync.comm_s);
+  EXPECT_LE(fp16.total.value(), sync.total.value() + fp16.encode_decode().value() + 1e-9);
+  EXPECT_LT(fp16.comm.value(), sync.comm.value());
 }
 
 TEST_F(PerfModelTest, Fp16WinsWhenCommunicationBound) {
@@ -151,27 +151,27 @@ TEST_F(PerfModelTest, Fp16WinsWhenCommunicationBound) {
   // beats syncSGD outright — the paper's finding 1.
   const Workload w = workload_of(models::bert_base(), 4);
   const Cluster c = cluster_at(64);
-  EXPECT_LT(model_.compressed(method_config(compress::Method::kFp16), w, c).total_s,
-            model_.syncsgd(w, c).total_s);
+  EXPECT_LT(model_.compressed(method_config(compress::Method::kFp16), w, c).total.value(),
+            model_.syncsgd(w, c).total.value());
 }
 
 TEST_F(PerfModelTest, CompressedDispatchesSyncForSyncMethod) {
   const Workload w = workload_of(models::resnet50(), 64);
   const Cluster c = cluster_at(16);
-  EXPECT_DOUBLE_EQ(model_.compressed(method_config(compress::Method::kSyncSgd), w, c).total_s,
-                   model_.syncsgd(w, c).total_s);
+  EXPECT_DOUBLE_EQ(model_.compressed(method_config(compress::Method::kSyncSgd), w, c).total.value(),
+                   model_.syncsgd(w, c).total.value());
 }
 
 TEST_F(PerfModelTest, WireBytesAccounting) {
   const models::ModelProfile m = models::resnet50();
   const double raw = static_cast<double>(m.total_bytes());
-  EXPECT_DOUBLE_EQ(model_.wire_bytes(method_config(compress::Method::kSyncSgd), m), raw);
-  EXPECT_DOUBLE_EQ(model_.wire_bytes(method_config(compress::Method::kFp16), m), raw / 2);
-  EXPECT_NEAR(model_.wire_bytes(method_config(compress::Method::kSignSgd), m), raw / 32, 1.0);
+  EXPECT_DOUBLE_EQ(model_.wire_bytes(method_config(compress::Method::kSyncSgd), m).value(), raw);
+  EXPECT_DOUBLE_EQ(model_.wire_bytes(method_config(compress::Method::kFp16), m).value(), raw / 2);
+  EXPECT_NEAR(model_.wire_bytes(method_config(compress::Method::kSignSgd), m).value(), raw / 32, 1.0);
   // PowerSGD rank 4 on ResNet-50: >30x compression.
-  EXPECT_GT(raw / model_.wire_bytes(method_config(compress::Method::kPowerSgd, 4), m), 30.0);
+  EXPECT_GT(raw / model_.wire_bytes(method_config(compress::Method::kPowerSgd, 4), m).value(), 30.0);
   // TopK 1%: values+indices = 2% of raw.
-  EXPECT_NEAR(model_.wire_bytes(method_config(compress::Method::kTopK, 4, 0.01), m), raw * 0.02,
+  EXPECT_NEAR(model_.wire_bytes(method_config(compress::Method::kTopK, 4, 0.01), m).value(), raw * 0.02,
               raw * 0.001);
 }
 
@@ -180,10 +180,10 @@ TEST_F(PerfModelTest, IdealGapMatchesFigure10Magnitudes) {
   // ~100 ms (ResNet-101), ~200 ms (BERT with enough per-worker batch for
   // overlap).
   const Cluster c = cluster_at(150);
-  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::resnet50(), 64), c) * 1e3, 50.0, 40.0);
-  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::resnet101(), 64), c) * 1e3, 100.0,
+  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::resnet50(), 64), c).ms(), 50.0, 40.0);
+  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::resnet101(), 64), c).ms(), 100.0,
               60.0);
-  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::bert_base(), 16), c) * 1e3, 220.0,
+  EXPECT_NEAR(model_.ideal_gap_seconds(workload_of(models::bert_base(), 16), c).ms(), 220.0,
               160.0);
 }
 
@@ -212,7 +212,7 @@ TEST_F(PerfModelTest, RequiredCompressionDecreasesWithBatch) {
 TEST_F(PerfModelTest, RequiredCompressionInfiniteWhenLatencyBound) {
   // Sub-latency compute budget cannot be met by any finite payload.
   Cluster c = cluster_at(1000, 10.0);
-  c.network.alpha_s = 1.0;  // absurd 1 s/hop
+  c.network.alpha = gradcomp::core::units::Seconds{1.0};  // absurd 1 s/hop
   EXPECT_TRUE(std::isinf(
       model_.required_compression_ratio(workload_of(models::resnet50(), 1), c)));
 }
@@ -223,23 +223,23 @@ TEST_F(PerfModelTest, AdjustScalesEncodeAndBytes) {
   const auto base = model_.compressed(method_config(compress::Method::kPowerSgd), w, c);
   const auto cheap_encode =
       model_.compressed(method_config(compress::Method::kPowerSgd), w, c, Adjust{0.5, 1.0});
-  EXPECT_NEAR(cheap_encode.encode_decode_s(), base.encode_decode_s() * 0.5, 1e-12);
+  EXPECT_NEAR(cheap_encode.encode_decode().value(), base.encode_decode().value() * 0.5, 1e-12);
   const auto more_bytes =
       model_.compressed(method_config(compress::Method::kPowerSgd), w, c, Adjust{1.0, 4.0});
-  EXPECT_GT(more_bytes.comm_s, base.comm_s * 2.0);
+  EXPECT_GT(more_bytes.comm.value(), base.comm.value() * 2.0);
 }
 
 TEST_F(PerfModelTest, AccumulationAmortizesCommunication) {
   const Workload w = workload_of(models::bert_base(), 10);
   const Cluster c = cluster_at(64);
-  const double one = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 1);
-  const double four = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 4);
-  EXPECT_DOUBLE_EQ(one, model_.syncsgd(w, c).total_s);
+  const double one = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 1).value();
+  const double four = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 4).value();
+  EXPECT_DOUBLE_EQ(one, model_.syncsgd(w, c).total.value());
   EXPECT_LT(four, one);
   // Amortized time approaches the pure-compute floor as steps grow.
-  const double many = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 64);
-  EXPECT_NEAR(many, model_.ideal_seconds(w, c),
-              (one - model_.ideal_seconds(w, c)) * 0.1);
+  const double many = model_.syncsgd_accumulated_seconds_per_minibatch(w, c, 64).value();
+  EXPECT_NEAR(many, model_.ideal_seconds(w, c).value(),
+              (one - model_.ideal_seconds(w, c).value()) * 0.1);
 }
 
 TEST_F(PerfModelTest, EpochTimeFavorsLargeBatches) {
@@ -248,9 +248,9 @@ TEST_F(PerfModelTest, EpochTimeFavorsLargeBatches) {
   const Cluster c = cluster_at(64);
   constexpr std::int64_t kImageNet = 1'281'167;
   const double small_batch =
-      model_.epoch_seconds({}, workload_of(models::resnet50(), 16), c, kImageNet);
+      model_.epoch_seconds({}, workload_of(models::resnet50(), 16), c, kImageNet).value();
   const double large_batch =
-      model_.epoch_seconds({}, workload_of(models::resnet50(), 64), c, kImageNet);
+      model_.epoch_seconds({}, workload_of(models::resnet50(), 64), c, kImageNet).value();
   EXPECT_LT(large_batch, small_batch);
 }
 
@@ -258,10 +258,10 @@ TEST_F(PerfModelTest, EpochTimeMatchesIterationCount) {
   const Cluster c = cluster_at(8);
   const Workload w = workload_of(models::resnet50(), 64);
   // 8 workers x batch 64 = 512 samples per iteration; 5120 samples -> 10.
-  EXPECT_NEAR(model_.epoch_seconds({}, w, c, 5120), 10.0 * model_.syncsgd(w, c).total_s,
+  EXPECT_NEAR(model_.epoch_seconds({}, w, c, 5120).value(), 10.0 * model_.syncsgd(w, c).total.value(),
               1e-12);
   // Partial final iteration rounds up.
-  EXPECT_NEAR(model_.epoch_seconds({}, w, c, 5121), 11.0 * model_.syncsgd(w, c).total_s,
+  EXPECT_NEAR(model_.epoch_seconds({}, w, c, 5121).value(), 11.0 * model_.syncsgd(w, c).total.value(),
               1e-12);
 }
 
@@ -275,7 +275,7 @@ TEST_F(PerfModelTest, Fp16TopKValuesShrinkWire) {
   compress::CompressorConfig half = full;
   half.fp16_values = true;
   const models::ModelProfile m = models::resnet50();
-  EXPECT_NEAR(model_.wire_bytes(half, m) / model_.wire_bytes(full, m), 0.75, 1e-9);
+  EXPECT_NEAR(model_.wire_bytes(half, m).value() / model_.wire_bytes(full, m).value(), 0.75, 1e-9);
 }
 
 TEST_F(PerfModelTest, AccumulationRejectsBadSteps) {
@@ -300,12 +300,12 @@ TEST_P(BreakdownSweep, ComponentsNonNegativeAndConsistent) {
   compress::CompressorConfig config;
   config.method = GetParam();
   const auto b = model.compressed(config, w, c);
-  EXPECT_GE(b.compute_s, 0.0);
-  EXPECT_GE(b.encode_s, 0.0);
-  EXPECT_GE(b.decode_s, 0.0);
-  EXPECT_GE(b.comm_s, 0.0);
-  EXPECT_GT(b.total_s, 0.0);
-  EXPECT_GE(b.total_s + 1e-12, b.compute_s);
+  EXPECT_GE(b.compute.value(), 0.0);
+  EXPECT_GE(b.encode.value(), 0.0);
+  EXPECT_GE(b.decode.value(), 0.0);
+  EXPECT_GE(b.comm.value(), 0.0);
+  EXPECT_GT(b.total.value(), 0.0);
+  EXPECT_GE(b.total.value() + 1e-12, b.compute.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, BreakdownSweep,

@@ -10,7 +10,7 @@ namespace {
 core::Cluster cluster_at(int p, double gbps = 10.0, double alpha = 15e-6) {
   core::Cluster c;
   c.world_size = p;
-  c.network = comm::Network::from_gbps(gbps, alpha);
+  c.network = comm::Network::from_gbps(gbps, gradcomp::core::units::Seconds{alpha});
   return c;
 }
 
@@ -29,10 +29,10 @@ TEST(Probe, ValidatesOptions) {
   bad.jitter_frac = -0.5;
   EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
   bad = exact_probe();
-  bad.alpha_probe_bytes = 0.0;
+  bad.alpha_probe = gradcomp::core::units::Bytes{0.0};
   EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
   bad = exact_probe();
-  bad.bandwidth_probe_bytes = -1.0;
+  bad.bandwidth_probe = gradcomp::core::units::Bytes{-1.0};
   EXPECT_THROW(probe_network(cluster_at(4), bad), std::invalid_argument);
 }
 
@@ -40,20 +40,20 @@ TEST(Probe, RecoversAlphaExactly) {
   // Tiny-tensor ring-reduce / (p-1) — the paper's alpha procedure — is exact
   // when the bandwidth term is negligible and jitter is off.
   const auto est = probe_network(cluster_at(16), exact_probe());
-  EXPECT_NEAR(est.alpha_s, 15e-6, 0.1e-6);
+  EXPECT_NEAR(est.alpha.value(), 15e-6, 0.1e-6);
 }
 
 TEST(Probe, RecoversBandwidthExactly) {
   const auto est = probe_network(cluster_at(8, 10.0), exact_probe());
-  EXPECT_NEAR(est.bandwidth_bps * 8.0 / 1e9, 10.0, 0.05);
-  EXPECT_NEAR(est.min_pair_gbps, 10.0, 0.05);
-  EXPECT_NEAR(est.max_pair_gbps, 10.0, 0.05);
+  EXPECT_NEAR(est.bandwidth.bytes_per_second() * 8.0 / 1e9, 10.0, 0.05);
+  EXPECT_NEAR(est.min_pair.gbps(), 10.0, 0.05);
+  EXPECT_NEAR(est.max_pair.gbps(), 10.0, 0.05);
 }
 
 TEST(Probe, TracksConfiguredBandwidth) {
   for (double gbps : {1.0, 25.0, 100.0}) {
     const auto est = probe_network(cluster_at(4, gbps), exact_probe());
-    EXPECT_NEAR(est.bandwidth_bps * 8.0 / 1e9, gbps, gbps * 0.02) << gbps;
+    EXPECT_NEAR(est.bandwidth.bytes_per_second() * 8.0 / 1e9, gbps, gbps * 0.02) << gbps;
   }
 }
 
@@ -61,11 +61,11 @@ TEST(Probe, JitterSpreadsPairMeasurements) {
   ProbeOptions noisy;
   noisy.jitter_frac = 0.05;
   const auto est = probe_network(cluster_at(8), noisy);
-  EXPECT_LT(est.min_pair_gbps, est.max_pair_gbps);
+  EXPECT_LT(est.min_pair.gbps(), est.max_pair.gbps());
   // Paper takes the MIN pairwise bandwidth: the reported BW is the min.
-  EXPECT_DOUBLE_EQ(est.bandwidth_bps * 8.0 / 1e9, est.min_pair_gbps);
+  EXPECT_DOUBLE_EQ(est.bandwidth.bytes_per_second() * 8.0 / 1e9, est.min_pair.gbps());
   // Still in the right ballpark.
-  EXPECT_NEAR(est.min_pair_gbps, 10.0, 2.5);
+  EXPECT_NEAR(est.min_pair.gbps(), 10.0, 2.5);
 }
 
 TEST(Probe, EstimateFeedsPerfModelConsistently) {
@@ -74,15 +74,15 @@ TEST(Probe, EstimateFeedsPerfModelConsistently) {
   const core::Cluster truth = cluster_at(32);
   const auto est = probe_network(truth, exact_probe());
   core::Cluster probed = truth;
-  probed.network.bandwidth_bps = est.bandwidth_bps;
-  probed.network.alpha_s = est.alpha_s;
+  probed.network.bandwidth = gradcomp::core::units::BitsPerSecond::from_bytes_per_second(est.bandwidth.bytes_per_second());
+  probed.network.alpha = gradcomp::core::units::Seconds{est.alpha.value()};
 
   core::PerfModel model;
   core::Workload w;
   w.model = models::resnet50();
   w.batch_size = 64;
-  EXPECT_NEAR(model.syncsgd(w, probed).total_s, model.syncsgd(w, truth).total_s,
-              model.syncsgd(w, truth).total_s * 0.02);
+  EXPECT_NEAR(model.syncsgd(w, probed).total.value(), model.syncsgd(w, truth).total.value(),
+              model.syncsgd(w, truth).total.value() * 0.02);
 }
 
 }  // namespace

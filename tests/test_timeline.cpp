@@ -12,44 +12,44 @@ namespace {
 TEST(Timeline, EmptyTimeline) {
   Timeline t;
   EXPECT_TRUE(t.empty());
-  EXPECT_DOUBLE_EQ(t.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(t.makespan().value(), 0.0);
   EXPECT_TRUE(t.streams().empty());
 }
 
 TEST(Timeline, RejectsNegativeDuration) {
   Timeline t;
-  EXPECT_THROW(t.add("s", "bad", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add("s", "bad", gradcomp::core::units::Seconds{2.0}, gradcomp::core::units::Seconds{1.0}), std::invalid_argument);
 }
 
 TEST(Timeline, MakespanIsLatestEnd) {
   Timeline t;
-  t.add("compute", "a", 0.0, 1.0);
-  t.add("comm", "b", 0.5, 3.0);
-  t.add("compute", "c", 1.0, 2.0);
-  EXPECT_DOUBLE_EQ(t.makespan(), 3.0);
+  t.add("compute", "a", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{1.0});
+  t.add("comm", "b", gradcomp::core::units::Seconds{0.5}, gradcomp::core::units::Seconds{3.0});
+  t.add("compute", "c", gradcomp::core::units::Seconds{1.0}, gradcomp::core::units::Seconds{2.0});
+  EXPECT_DOUBLE_EQ(t.makespan().value(), 3.0);
 }
 
 TEST(Timeline, StreamBusyMergesOverlaps) {
   Timeline t;
-  t.add("comm", "a", 0.0, 2.0);
-  t.add("comm", "b", 1.0, 3.0);  // overlaps a
-  t.add("comm", "c", 5.0, 6.0);
-  EXPECT_DOUBLE_EQ(t.stream_busy("comm"), 4.0);  // [0,3] + [5,6]
+  t.add("comm", "a", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{2.0});
+  t.add("comm", "b", gradcomp::core::units::Seconds{1.0}, gradcomp::core::units::Seconds{3.0});  // overlaps a
+  t.add("comm", "c", gradcomp::core::units::Seconds{5.0}, gradcomp::core::units::Seconds{6.0});
+  EXPECT_DOUBLE_EQ(t.stream_busy("comm").value(), 4.0);  // [0,3] + [5,6]
 }
 
 TEST(Timeline, StreamBusyIgnoresOtherStreams) {
   Timeline t;
-  t.add("compute", "a", 0.0, 10.0);
-  t.add("comm", "b", 0.0, 1.0);
-  EXPECT_DOUBLE_EQ(t.stream_busy("comm"), 1.0);
-  EXPECT_DOUBLE_EQ(t.stream_busy("missing"), 0.0);
+  t.add("compute", "a", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{10.0});
+  t.add("comm", "b", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{1.0});
+  EXPECT_DOUBLE_EQ(t.stream_busy("comm").value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.stream_busy("missing").value(), 0.0);
 }
 
 TEST(Timeline, StreamsInFirstAppearanceOrder) {
   Timeline t;
-  t.add("compute", "a", 0, 1);
-  t.add("comm", "b", 0, 1);
-  t.add("compute", "c", 1, 2);
+  t.add("compute", "a", gradcomp::core::units::Seconds{0}, gradcomp::core::units::Seconds{1});
+  t.add("comm", "b", gradcomp::core::units::Seconds{0}, gradcomp::core::units::Seconds{1});
+  t.add("compute", "c", gradcomp::core::units::Seconds{1}, gradcomp::core::units::Seconds{2});
   const auto streams = t.streams();
   ASSERT_EQ(streams.size(), 2U);
   EXPECT_EQ(streams[0], "compute");
@@ -57,14 +57,15 @@ TEST(Timeline, StreamsInFirstAppearanceOrder) {
 }
 
 TEST(Timeline, SpanDuration) {
-  const Span s{"x", "y", 1.5, 4.0};
-  EXPECT_DOUBLE_EQ(s.duration(), 2.5);
+  const Span s{"x", "y", gradcomp::core::units::Seconds{1.5},
+               gradcomp::core::units::Seconds{4.0}};
+  EXPECT_DOUBLE_EQ(s.duration().value(), 2.5);
 }
 
 TEST(Timeline, AsciiRenderContainsStreams) {
   Timeline t;
-  t.add("compute", "bw", 0.0, 0.5);
-  t.add("comm", "ar", 0.25, 1.0);
+  t.add("compute", "bw", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{0.5});
+  t.add("comm", "ar", gradcomp::core::units::Seconds{0.25}, gradcomp::core::units::Seconds{1.0});
   std::ostringstream os;
   t.render_ascii(os, 40);
   const std::string out = os.str();
@@ -82,7 +83,7 @@ TEST(Timeline, AsciiRenderEmptyIsGraceful) {
 
 TEST(Timeline, CsvRenderRows) {
   Timeline t;
-  t.add("comm", "allreduce", 0.001, 0.002);
+  t.add("comm", "allreduce", gradcomp::core::units::Seconds{0.001}, gradcomp::core::units::Seconds{0.002});
   std::ostringstream os;
   t.render_csv(os);
   const std::string out = os.str();
@@ -94,8 +95,8 @@ TEST(Timeline, ChromeJsonGolden) {
   // Byte-exact golden: the export must stay loadable by about://tracing and
   // Perfetto, so its shape is pinned down here.
   Timeline t;
-  t.add("compute", "backward", 0.0, 0.002);
-  t.add("comm", "allreduce \"b0\"", 0.001, 0.0035);
+  t.add("compute", "backward", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{0.002});
+  t.add("comm", "allreduce \"b0\"", gradcomp::core::units::Seconds{0.001}, gradcomp::core::units::Seconds{0.0035});
   std::ostringstream os;
   t.render_chrome_json(os);
   const std::string expected =
@@ -122,8 +123,8 @@ TEST(Timeline, ChromeJsonEmptyIsValid) {
 TEST(Timeline, OverlapVisibleInGantt) {
   // Overlapping compute/comm spans must both mark the same columns.
   Timeline t;
-  t.add("compute", "bw", 0.0, 1.0);
-  t.add("comm", "ar", 0.0, 1.0);
+  t.add("compute", "bw", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{1.0});
+  t.add("comm", "ar", gradcomp::core::units::Seconds{0.0}, gradcomp::core::units::Seconds{1.0});
   std::ostringstream os;
   t.render_ascii(os, 10);
   std::istringstream is(os.str());

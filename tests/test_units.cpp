@@ -1,0 +1,142 @@
+// core::units strong types: constexpr round-trips, dimension-crossing
+// arithmetic, and the no-implicit-conversion guarantees the timing spine
+// relies on. Most of the checks are static_asserts — the point of the
+// wrappers is that unit errors die at compile time.
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace gradcomp::core::units {
+namespace {
+
+// ---------------------------------------------------------------------------
+// No implicit conversion in either direction, for any of the three types.
+
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<double, Bytes>);
+static_assert(!std::is_convertible_v<double, BitsPerSecond>);
+static_assert(!std::is_convertible_v<Seconds, double>);
+static_assert(!std::is_convertible_v<Bytes, double>);
+static_assert(!std::is_convertible_v<BitsPerSecond, double>);
+
+// The dimensions never cross-convert.
+static_assert(!std::is_convertible_v<Seconds, Bytes>);
+static_assert(!std::is_convertible_v<Bytes, Seconds>);
+static_assert(!std::is_convertible_v<Bytes, BitsPerSecond>);
+static_assert(!std::is_convertible_v<BitsPerSecond, Bytes>);
+static_assert(!std::is_constructible_v<Seconds, Bytes>);
+static_assert(!std::is_constructible_v<Bytes, BitsPerSecond>);
+
+// Explicit construction from double is allowed; each type is exactly one
+// double (the zero-overhead claim).
+static_assert(std::is_constructible_v<Seconds, double>);
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(Bytes) == sizeof(double));
+static_assert(sizeof(BitsPerSecond) == sizeof(double));
+
+// ---------------------------------------------------------------------------
+// Constexpr round-trips through the named constructors and accessors. The
+// conversion factors are exact (powers of two, or pure decimal shifts the
+// tests pin down), so these hold with == rather than near-comparisons.
+
+static_assert(Seconds::from_ms(250.0).value() == 0.25);
+static_assert(Seconds::from_us(1500.0).ms() == 1.5);
+static_assert(Seconds{0.25}.ms() == 250.0);
+static_assert(Seconds{2.5e-5}.us() == 25.0);
+
+static_assert(Bytes::from_mib(1.0).value() == 1024.0 * 1024.0);
+static_assert(Bytes::from_mib(97.5).mib() == 97.5);
+static_assert(Bytes::from_bits(32.0).value() == 4.0);
+static_assert(Bytes{13.0}.bits() == 104.0);
+
+static_assert(BitsPerSecond::from_gbps(10.0).value() == 10e9);
+static_assert(BitsPerSecond::from_gbps(10.0).gbps() == 10.0);
+static_assert(BitsPerSecond::from_gbps(10.0).bytes_per_second() == 10e9 / 8.0);
+static_assert(BitsPerSecond::from_bytes_per_second(1.25e9).gbps() == 10.0);
+
+// ---------------------------------------------------------------------------
+// Same-dimension arithmetic is closed and constexpr.
+
+static_assert((Seconds{1.5} + Seconds{0.5}).value() == 2.0);
+static_assert((Seconds{1.5} - Seconds{0.5}).value() == 1.0);
+static_assert((-Seconds{2.0}).value() == -2.0);
+static_assert((Seconds{2.0} * 3.0).value() == 6.0);
+static_assert((3.0 * Seconds{2.0}).value() == 6.0);
+static_assert((Seconds{6.0} / 3.0).value() == 2.0);
+static_assert(Seconds{6.0} / Seconds{3.0} == 2.0);  // ratio is dimensionless
+static_assert(Bytes{6.0} / Bytes{3.0} == 2.0);
+static_assert(BitsPerSecond{6.0} / BitsPerSecond{3.0} == 2.0);
+static_assert(Seconds{1.0} < Seconds{2.0});
+static_assert(Bytes{2.0} >= Bytes{2.0});
+static_assert(BitsPerSecond{1.0} != BitsPerSecond{2.0});
+
+// Default construction is zero, so accumulators start clean.
+static_assert(Seconds{}.value() == 0.0);
+static_assert(Bytes{}.value() == 0.0);
+static_assert(BitsPerSecond{}.value() == 0.0);
+
+// ---------------------------------------------------------------------------
+// Dimension-crossing arithmetic: Bytes / rate -> Seconds, Bytes / Seconds ->
+// rate, Seconds * rate -> Bytes, and the three compose consistently.
+
+static_assert((Bytes{1.25e9} / BitsPerSecond::from_gbps(10.0)).value() == 1.0);
+static_assert((Bytes{1.25e9} / Seconds{1.0}).gbps() == 10.0);
+static_assert((Seconds{2.0} * BitsPerSecond::from_gbps(10.0)).value() == 2.5e9);
+static_assert((BitsPerSecond::from_gbps(10.0) * Seconds{2.0}).value() == 2.5e9);
+
+TEST(Units, TransferTimeMatchesRawByteFormula) {
+  // The bit-exactness contract: payload / rate must be bit-identical to the
+  // historical bytes / bytes_per_second expression.
+  const double payload = 97.49 * 1024 * 1024;
+  const double bw_bytes_ps = 10e9 / 8.0;
+  EXPECT_DOUBLE_EQ((Bytes{payload} / BitsPerSecond::from_bytes_per_second(bw_bytes_ps)).value(),
+                   payload / bw_bytes_ps);
+}
+
+TEST(Units, RateInversionRoundTrips) {
+  // (payload / elapsed) recovers the rate that produced elapsed.
+  const Bytes payload{3.2e8};
+  const BitsPerSecond rate = BitsPerSecond::from_gbps(25.0);
+  const Seconds elapsed = payload / rate;
+  EXPECT_DOUBLE_EQ((payload / elapsed).value(), rate.value());
+}
+
+TEST(Units, ByteConversionFactorsAreExact) {
+  // x * 8 / 8 == x for every finite double in range: the bits()/from_bits
+  // pair never drifts.
+  for (const double v : {1.0, 1.0 / 3.0, 97.49e6, 5.0e-7, 1.23456789e12}) {
+    EXPECT_EQ(Bytes::from_bits(Bytes{v}.bits()).value(), v);
+    EXPECT_EQ(BitsPerSecond::from_bytes_per_second(v).bytes_per_second(), v);
+    EXPECT_EQ(Bytes::from_mib(Bytes{v}.mib()).value(), v);
+  }
+}
+
+TEST(Units, CompoundAssignmentMatchesBinaryOperators) {
+  Seconds s{1.0};
+  s += Seconds{0.5};
+  s -= Seconds{0.25};
+  s *= 4.0;
+  s /= 2.0;
+  EXPECT_DOUBLE_EQ(s.value(), 2.5);
+
+  Bytes b{100.0};
+  b *= 3.0;
+  b += Bytes{50.0};
+  EXPECT_DOUBLE_EQ(b.value(), 350.0);
+
+  BitsPerSecond r = BitsPerSecond::from_gbps(10.0);
+  r *= 0.5;  // a FaultPlan bandwidth_factor application
+  EXPECT_DOUBLE_EQ(r.gbps(), 5.0);
+}
+
+TEST(Units, OrderingSortsDurations) {
+  // The advisor sorts Recommendation entries by Seconds directly.
+  EXPECT_TRUE(Seconds{1e-6} < Seconds{1e-3});
+  EXPECT_TRUE(Bytes{10.0} > Bytes{2.0});
+  EXPECT_TRUE(BitsPerSecond::from_gbps(1.0) < BitsPerSecond::from_gbps(10.0));
+}
+
+}  // namespace
+}  // namespace gradcomp::core::units

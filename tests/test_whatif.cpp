@@ -53,8 +53,8 @@ TEST_F(WhatIfTest, LowBandwidthFavorsCompression) {
 TEST_F(WhatIfTest, SyncSgdBenefitsMoreFromBandwidth) {
   const auto pts = whatif_.sweep_bandwidth(powersgd4(), workload_of(models::resnet50(), 64),
                                            cluster_at(64), {1, 30});
-  const double sync_gain = pts[0].sync.total_s / pts[1].sync.total_s;
-  const double comp_gain = pts[0].compressed.total_s / pts[1].compressed.total_s;
+  const double sync_gain = pts[0].sync.total.value() / pts[1].sync.total.value();
+  const double comp_gain = pts[0].compressed.total.value() / pts[1].compressed.total.value();
   EXPECT_GT(sync_gain, comp_gain);
 }
 
@@ -114,7 +114,7 @@ TEST_F(WhatIfTest, SyncSgdBecomesCommBoundUnderFasterCompute) {
                                          cluster_at(64), {1.0, 4.0});
   // syncSGD barely improves (comm bound), so the 4x point's sync time is
   // well above total/4.
-  EXPECT_GT(pts[1].sync.total_s, pts[0].sync.total_s / 3.0);
+  EXPECT_GT(pts[1].sync.total.value(), pts[0].sync.total.value() / 3.0);
 }
 
 TEST_F(WhatIfTest, WorkerSweepMatchesScalabilityStory) {
@@ -153,7 +153,7 @@ TEST_F(WhatIfTest, TradeoffGridShapeAndBaseline) {
     if (pt.k == 1.0) {
       const auto base = WhatIf().model().compressed(
           powersgd4(), workload_of(models::resnet50(), 64), cluster_at(64));
-      EXPECT_NEAR(pt.compressed.total_s, base.total_s, 1e-12);
+      EXPECT_NEAR(pt.compressed.total.value(), base.total.value(), 1e-12);
     }
 }
 

@@ -1,0 +1,13 @@
+// Fixture: must produce zero findings. Exercises the allowed spellings of
+// everything the rules police, plus the contexts the tokenizer must ignore.
+#include <random>
+
+// rand() inside comments and strings must not count: rand(); srand(7);
+static const char* kDoc = "call rand() or std::thread here and nothing fires";
+
+int seeded_choice(int n) {
+  std::mt19937_64 rng(1234);  // explicitly seeded: fine
+  return static_cast<int>(rng() % static_cast<unsigned long long>(n));
+}
+
+const char* doc() { return kDoc; }

@@ -1,0 +1,17 @@
+// Fixture: must produce zero findings in a header. Suffixed double
+// parameters and [[nodiscard]] cost declarations are the approved shapes.
+#pragma once
+
+struct Seconds {
+  double v;
+};
+
+struct Model {
+  void set_alpha_s(double alpha_s);
+  void set_budget_bytes(double budget_bytes);
+  void set_bandwidth_gbps(double bandwidth_gbps);
+  void set_momentum(double momentum);  // dimensionless allowlist
+
+  [[nodiscard]] Seconds iteration_cost(int iterations) const;
+  [[nodiscard]] double backward_seconds(int batch) const;
+};

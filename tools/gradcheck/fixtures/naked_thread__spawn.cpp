@@ -1,0 +1,9 @@
+// Fixture: must trigger naked-thread (and nothing else).
+#include <thread>
+
+void do_work();
+
+void launch() {
+  std::thread worker(do_work);  // bypasses core::global_pool()
+  worker.join();
+}

@@ -1,0 +1,16 @@
+// Fixture: must trigger nodiscard-cost (and nothing else). Cost-returning
+// declarations lacking [[nodiscard]].
+#pragma once
+
+struct Seconds {
+  double v;
+};
+
+// Missing [[nodiscard]]: a dropped result here is a silently lost cost.
+Seconds iteration_cost(int iterations);
+
+// Cost-named raw double, same contract.
+double transfer_seconds(int chunks);
+
+// Annotated: must NOT fire.
+[[nodiscard]] Seconds annotated_cost(int iterations);

@@ -1,0 +1,7 @@
+// Fixture: must trigger sleep-in-model (and nothing else).
+#include <chrono>
+
+void simulate_iteration() {
+  // Wall-clock delay standing in for modeled time — exactly the bug class.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}

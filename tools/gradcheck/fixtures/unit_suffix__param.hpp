@@ -1,0 +1,10 @@
+// Fixture: must trigger unit-suffix (and nothing else). Raw-double boundary
+// parameters with no unit in the name.
+#pragma once
+
+struct Link {
+  void set_latency(double latency);      // seconds? ms? -> finding
+  void set_capacity(double capacity);    // bytes? bits/s? -> finding
+  void set_jitter_frac(double jitter_frac);  // suffixed: ok
+  void set_scale(double scale);              // dimensionless allowlist: ok
+};

@@ -1,0 +1,17 @@
+// Fixture: must trigger unseeded-rng (and nothing else). Never compiled —
+// gradcheck scans it as text.
+#include <cstdlib>
+#include <random>
+
+int noisy_choice(int n) {
+  return rand() % n;  // process-global, unseeded
+}
+
+void reseed() {
+  srand(42);  // still the global engine
+}
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // nondeterministic across runs
+  return rd();
+}

@@ -1,0 +1,470 @@
+// gradcheck — the repo's custom lint pass.
+//
+// Token-level checks for the failure modes that have actually bitten this
+// codebase (or nearly did): unseeded randomness that breaks replayable
+// simulations, ad-hoc threads that dodge the pool's determinism guarantees,
+// raw-double timing parameters with no unit in the name, wall-clock sleeps
+// inside modeled time, and silently dropped cost-model results. It is NOT a
+// compiler: it tokenizes (comments, string literals, and preprocessor lines
+// stripped) and pattern-matches, which is exactly enough for these rules and
+// keeps the tool a single dependency-free translation unit.
+//
+// Usage:
+//   gradcheck [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck --fixtures DIR
+//
+// The first form scans .hpp/.cpp files and exits non-zero on unsuppressed
+// findings. The second is the self-test: every fixtures/<rule>_*.cpp must
+// trigger exactly its named rule, and fixtures/clean*.cpp must trigger
+// nothing.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// --- Tokenizer --------------------------------------------------------------
+
+// Produces identifier/number/punctuation tokens with line numbers. Comments
+// and the contents of string/char literals never produce tokens; full
+// preprocessor lines (including line continuations) are skipped so macros
+// and includes cannot trip the rules.
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto at_line_start = [&](std::size_t pos) {
+    while (pos > 0) {
+      const char c = text[pos - 1];
+      if (c == '\n') return true;
+      if (c != ' ' && c != '\t') return false;
+      --pos;
+    }
+    return true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '#' && at_line_start(i)) {
+      while (i < n && (text[i] != '\n' || text[i - 1] == '\\')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, n);
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '_')) ++i;
+      tokens.push_back({text.substr(start, i - start), line});
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) || text[i] == '.' ||
+                       ((text[i] == '+' || text[i] == '-') &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E'))))
+        ++i;
+      tokens.push_back({text.substr(start, i - start), line});
+    } else if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+    } else if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+    } else {
+      tokens.push_back({std::string(1, c), line});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+bool is_ident(const Token& t) {
+  return !t.text.empty() &&
+         (std::isalpha(static_cast<unsigned char>(t.text[0])) || t.text[0] == '_');
+}
+
+bool path_contains(const std::string& path, const std::string& fragment) {
+  return path.find(fragment) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// --- Rules ------------------------------------------------------------------
+
+// unseeded-rng: rand()/srand()/std::random_device produce run-to-run
+// nondeterminism the replayable simulator and FaultPlan seeding exist to
+// prevent. Use tensor::Rng (or any explicitly seeded engine) instead.
+void rule_unseeded_rng(const std::string& path, const std::vector<Token>& toks,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if ((t == "rand" || t == "srand") && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        (i == 0 || toks[i - 1].text != "::" )) {
+      out.push_back({"unseeded-rng", path, toks[i].line,
+                     t + "() is unseeded process-global RNG; use an explicitly seeded engine "
+                         "(tensor::Rng)"});
+    }
+    if (t == "random_device" && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      out.push_back({"unseeded-rng", path, toks[i].line,
+                     "std::random_device is nondeterministic; seed from options/FaultPlan "
+                     "instead"});
+    }
+  }
+}
+
+// naked-thread: std::thread outside the communication fabric and the pool
+// implementation bypasses core::parallel's deterministic dispatch.
+void rule_naked_thread(const std::string& path, const std::vector<Token>& toks,
+                       std::vector<Finding>& out) {
+  if (path_contains(path, "src/comm/") || path_contains(path, "src/core/parallel")) return;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    // `std::thread::hardware_concurrency()` and friends only query; the rule
+    // targets thread *creation*, so a trailing `::` exempts the token.
+    if (toks[i].text == "thread" && toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+        (i + 1 >= toks.size() || toks[i + 1].text != "::")) {
+      out.push_back({"naked-thread", path, toks[i].line,
+                     "std::thread outside src/comm/ and core::parallel; use "
+                     "core::global_pool()"});
+    }
+  }
+}
+
+// sleep-in-model: wall-clock sleeps inside simulated/modeled time conflate
+// host scheduling with modeled seconds. Only the real fabric (src/comm/) and
+// the pool implementation may block on real time.
+void rule_sleep_in_model(const std::string& path, const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  if (path_contains(path, "src/comm/") || path_contains(path, "src/core/parallel")) return;
+  for (const auto& t : toks) {
+    if (t.text == "sleep_for" || t.text == "sleep_until") {
+      out.push_back({"sleep-in-model", path, t.line,
+                     t.text + " in model/sim code; modeled time must come from the cost "
+                              "model, not the host clock"});
+    }
+  }
+}
+
+// unit-suffix: a raw `double` parameter at a header boundary must carry its
+// unit (or be on the dimensionless allowlist). Typed quantities
+// (core::units) need no suffix — that is the point of the types.
+const std::set<std::string>& approved_suffixes() {
+  static const std::set<std::string> kSuffixes = {
+      "_s",     "_seconds", "_ms",    "_us",    "_bytes",  "_bits",    "_bps",
+      "_gbps",  "_mib",     "_flops", "_frac",  "_factor", "_scale",   "_ratio",
+      "_penalty", "_prob",  "_margin", "_rate", "_weight",  "_per_flop", "_per_sample",
+      "_per_second", "_lr"};
+  return kSuffixes;
+}
+
+const std::set<std::string>& bare_name_allowlist() {
+  static const std::set<std::string> kBare = {
+      // Dimensionless by construction or convention.
+      "q", "gamma", "fraction", "stretch", "advantage", "ratio", "factor", "scale",
+      "half_life", "lr", "momentum", "epsilon", "eps", "tol", "tolerance", "value",
+      "sample", "x", "y", "a", "b", "lo", "hi", "alpha", "beta", "probability",
+      // Unit-named quantities where the name IS the unit.
+      "seconds", "bytes", "ms", "us", "gbps", "bps", "bits", "mib", "flops"};
+  return kBare;
+}
+
+bool unit_suffixed(const std::string& name) {
+  if (bare_name_allowlist().count(name) > 0) return true;
+  for (const auto& suffix : approved_suffixes())
+    if (ends_with(name, suffix)) return true;
+  return false;
+}
+
+void rule_unit_suffix(const std::string& path, const std::vector<Token>& toks,
+                      std::vector<Finding>& out) {
+  if (!ends_with(path, ".hpp")) return;  // boundary rule: public signatures
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren_depth;
+    else if (t == ")") --paren_depth;
+    if (t != "double" || paren_depth <= 0 || i + 1 >= toks.size()) continue;
+    // `double name` directly inside a parameter list. Skip pointers,
+    // references, and template arguments (vector<double>).
+    if (i > 0 && (toks[i - 1].text == "<" || toks[i - 1].text == ",")
+        && i > 1 && toks[i - 2].text == "<")
+      continue;
+    const Token& next = toks[i + 1];
+    if (!is_ident(next)) continue;
+    // Must be a parameter: followed by ',', ')', or '=' (default value).
+    if (i + 2 < toks.size()) {
+      const std::string& after = toks[i + 2].text;
+      if (after != "," && after != ")" && after != "=") continue;
+    }
+    if (!unit_suffixed(next.text)) {
+      out.push_back({"unit-suffix", path, next.line,
+                     "double parameter '" + next.text +
+                         "' has no unit suffix; name the unit (*_seconds, *_bytes, *_bps, "
+                         "...) or use a core::units type"});
+    }
+  }
+}
+
+// nodiscard-cost: a function returning Seconds/Bytes/BitsPerSecond (or a
+// double spelled *_seconds/*_bytes/*_bps) whose result is dropped is a cost
+// computed and thrown away — require [[nodiscard]] at the declaration.
+void rule_nodiscard_cost(const std::string& path, const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  if (!ends_with(path, ".hpp")) return;
+  static const std::set<std::string> kCostTypes = {"Seconds", "Bytes", "BitsPerSecond"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const bool cost_type = kCostTypes.count(toks[i].text) > 0;
+    const bool cost_named_double =
+        toks[i].text == "double" && i + 1 < toks.size() && is_ident(toks[i + 1]) &&
+        (ends_with(toks[i + 1].text, "_seconds") || ends_with(toks[i + 1].text, "_bytes") ||
+         ends_with(toks[i + 1].text, "_bps"));
+    if (!cost_type && !cost_named_double) continue;
+    if (i + 2 >= toks.size()) continue;
+    // TYPE IDENT ( ...  -> a function declaration/definition returning the
+    // cost type. (Constructors are TYPE followed directly by '('; member
+    // variables lack the '('.)
+    const Token& name = toks[i + 1];
+    if (!is_ident(name)) continue;
+    std::size_t open = i + 2;
+    if (name.text == "operator") {
+      // `Seconds operator+(...)`: skip the operator symbol tokens up to '('.
+      while (open < toks.size() && toks[open].text != "(") ++open;
+    }
+    if (open >= toks.size() || toks[open].text != "(") continue;
+    // Reject declarator contexts that are not declarations. A qualified
+    // `units::Seconds name(...)` IS a declaration and must still be checked,
+    // so `::` does not exempt; member access and new-expressions do.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "return" || toks[i - 1].text == "new" ||
+                  toks[i - 1].text == "<"))
+      continue;
+    // Scan back to the start of the declaration for [[nodiscard]].
+    bool has_nodiscard = false;
+    for (std::size_t back = i; back > 0; --back) {
+      const std::string& b = toks[back - 1].text;
+      if (b == ";" || b == "{" || b == "}" || b == ")" || b == ",") break;
+      if (b == "nodiscard") {
+        has_nodiscard = true;
+        break;
+      }
+    }
+    if (!has_nodiscard) {
+      out.push_back({"nodiscard-cost", path, name.line,
+                     "'" + name.text + "' returns a cost (" + toks[i].text +
+                         ") without [[nodiscard]]; dropped costs are silent model bugs"});
+    }
+  }
+}
+
+// --- Driver -----------------------------------------------------------------
+
+struct Suppression {
+  std::string rule;
+  std::string path_fragment;
+};
+
+std::vector<Suppression> load_suppressions(const std::string& file) {
+  std::vector<Suppression> out;
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "gradcheck: cannot read suppressions file: " << file << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    Suppression s;
+    if (ls >> s.rule >> s.path_fragment) out.push_back(s);
+  }
+  return out;
+}
+
+bool suppressed(const Finding& f, const std::vector<Suppression>& sups) {
+  for (const auto& s : sups)
+    if (s.rule == f.rule && path_contains(f.path, s.path_fragment)) return true;
+  return false;
+}
+
+std::vector<Finding> check_file(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<Token> toks = tokenize(buffer.str());
+  const std::string p = path.generic_string();
+  std::vector<Finding> out;
+  rule_unseeded_rng(p, toks, out);
+  rule_naked_thread(p, toks, out);
+  rule_sleep_in_model(p, toks, out);
+  rule_unit_suffix(p, toks, out);
+  rule_nodiscard_cost(p, toks, out);
+  return out;
+}
+
+std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (fs::is_regular_file(root)) {
+      files.emplace_back(root);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int run_fixtures(const std::string& dir) {
+  int failures = 0;
+  for (const auto& file : collect_sources({dir})) {
+    const std::string stem = file.stem().string();
+    const auto findings = check_file(file);
+    std::set<std::string> rules_hit;
+    for (const auto& f : findings) rules_hit.insert(f.rule);
+    if (stem.rfind("clean", 0) == 0) {
+      if (!findings.empty()) {
+        std::cerr << "FAIL " << file << ": expected no findings, got:\n";
+        for (const auto& f : findings)
+          std::cerr << "  " << f.rule << " at line " << f.line << ": " << f.message << "\n";
+        ++failures;
+      } else {
+        std::cout << "ok   " << file.filename().string() << " (no findings)\n";
+      }
+      continue;
+    }
+    // <rule>_*.cpp must trigger exactly <rule>.
+    const auto cut = stem.find("__");
+    const std::string expect =
+        cut == std::string::npos ? stem : stem.substr(0, cut);
+    std::string expected_rule = expect;
+    std::replace(expected_rule.begin(), expected_rule.end(), '_', '-');
+    if (rules_hit.count(expected_rule) == 0) {
+      std::cerr << "FAIL " << file << ": expected rule '" << expected_rule
+                << "' to fire, it did not\n";
+      ++failures;
+    } else if (rules_hit.size() > 1) {
+      std::cerr << "FAIL " << file << ": expected only '" << expected_rule << "', got:";
+      for (const auto& r : rules_hit) std::cerr << " " << r;
+      std::cerr << "\n";
+      ++failures;
+    } else {
+      std::cout << "ok   " << file.filename().string() << " (" << expected_rule << " fired)\n";
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "gradcheck self-test: " << failures << " fixture(s) failed\n";
+    return 1;
+  }
+  std::cout << "gradcheck self-test: all fixtures behaved\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string suppressions_file;
+  std::string report_file;
+  std::string fixtures_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_file = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_file = argv[++i];
+    } else if (arg == "--fixtures" && i + 1 < argc) {
+      fixtures_dir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gradcheck [--suppressions FILE] [--report FILE] DIR...\n"
+                   "       gradcheck --fixtures DIR\n";
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (!fixtures_dir.empty()) return run_fixtures(fixtures_dir);
+  if (roots.empty()) {
+    std::cerr << "gradcheck: no inputs (try --help)\n";
+    return 2;
+  }
+
+  std::vector<Suppression> sups;
+  if (!suppressions_file.empty()) sups = load_suppressions(suppressions_file);
+
+  std::vector<Finding> reported;
+  int suppressed_count = 0;
+  int files_scanned = 0;
+  for (const auto& file : collect_sources(roots)) {
+    ++files_scanned;
+    for (auto& f : check_file(file)) {
+      if (suppressed(f, sups)) {
+        ++suppressed_count;
+      } else {
+        reported.push_back(std::move(f));
+      }
+    }
+  }
+
+  std::ostringstream report;
+  for (const auto& f : reported)
+    report << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  report << "gradcheck: " << files_scanned << " files, " << reported.size()
+         << " finding(s), " << suppressed_count << " suppressed\n";
+  std::cout << report.str();
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << report.str();
+  }
+  return reported.empty() ? 0 : 1;
+}
