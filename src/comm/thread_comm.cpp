@@ -123,8 +123,10 @@ void ThreadComm::sync(int rank) {
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   while (epoch_ == my_epoch) {
     if (aborted_) throw_failure_locked();
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && epoch_ == my_epoch &&
-        !aborted_) {
+    // Predicate-form wait (gradcheck conc: cv-wait-no-predicate): spurious
+    // wakeups re-check inside wait_until; a false return means the deadline
+    // passed with the barrier still incomplete and nobody aborted yet.
+    if (!cv_.wait_until(lock, deadline, [&] { return epoch_ != my_epoch || aborted_; })) {
       // Deadline passed with the barrier incomplete: blame every active rank
       // that has not arrived — it is hung or dead — and abort the collective
       // so the survivors get an error instead of waiting forever.
@@ -208,8 +210,9 @@ std::vector<int> ThreadComm::shrink(int rank) {
   }
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   while (shrink_epoch_ == my_epoch) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        shrink_epoch_ == my_epoch) {
+    // Predicate-form wait: a false return means the deadline passed with the
+    // shrink consensus still pending for our epoch.
+    if (!cv_.wait_until(lock, deadline, [&] { return shrink_epoch_ != my_epoch; })) {
       // A survivor died during recovery without declaring: blame the
       // missing ones and try to complete with whoever showed up.
       for (int r = 0; r < initial_world_size_; ++r) {

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace gradcomp::core {
+
+namespace {
+// Every blocking wait in the pool threads a deadline (gradcheck conc:
+// deadlineless-wait): a missed notify — or a bug in a future task-stealing
+// rewrite — degrades to one heartbeat of latency instead of a silent
+// deadlock. Correctness never depends on the heartbeat firing; the
+// predicate is always re-checked.
+constexpr auto kWaitHeartbeat = std::chrono::milliseconds(100);
+}  // namespace
 
 // Shared state of one parallel_for: helpers and the caller claim chunks
 // from `next` until exhausted; the last finisher signals `done_cv`. Held by
@@ -47,7 +57,8 @@ void ThreadPool::worker_loop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!cv_.wait_for(lock, kWaitHeartbeat, [this] { return stop_ || !queue_.empty(); })) {
+      }
       if (queue_.empty()) return;  // stop_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -118,9 +129,10 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   run_chunks(*task);  // caller participates (keeps nesting deadlock-free)
 
   std::unique_lock<std::mutex> lock(task->done_mutex);
-  task->done_cv.wait(lock, [&] {
+  while (!task->done_cv.wait_for(lock, kWaitHeartbeat, [&] {
     return task->finished.load(std::memory_order_acquire) >= task->nchunks;
-  });
+  })) {
+  }
   if (task->error) std::rethrow_exception(task->error);
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "trace/validate.hpp"
+
 namespace gradcomp::sim {
 
 AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
@@ -57,6 +59,18 @@ AdaptiveResult run_adaptive(ClusterSim& sim, const core::Workload& workload,
 
   out.total = clock;
   out.switches = controller.switches();
+
+  // Same debug gate as the per-iteration simulator: the cumulative timeline
+  // must tile its decision windows gap-free over [0, total] and keep every
+  // re-based fault span inside the run.
+  if (sim.options().validate_timeline) {
+    trace::ValidateOptions vo;
+    vo.annotation_lanes = {"fault", "adapt"};
+    vo.horizon = out.total;
+    vo.gap_free_lanes = {"adapt"};
+    vo.lane_windows = {{"fault", {{Seconds{}, out.total}}}};
+    trace::validate_or_throw(out.timeline, vo, "run_adaptive");
+  }
   return out;
 }
 

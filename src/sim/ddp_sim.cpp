@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "trace/validate.hpp"
 
 namespace gradcomp::sim {
 
@@ -95,6 +96,33 @@ void ClusterSim::record_fault_spans(SimResult& result) const {
   }
 }
 
+int ClusterSim::expected_fault_spans() const {
+  const auto& plan = options_.fault_plan;
+  if (plan.empty() || current_.index < 0) return 0;
+  int n = current_.recovery > Seconds{} ? 1 : 0;
+  for (const auto& ev : plan.events_at(current_.index)) {
+    // Mirrors record_fault_spans: a permanent rank failure is only recorded
+    // at its detection iteration.
+    if (ev.kind == core::FaultKind::kRankFailure && ev.iteration != current_.index) continue;
+    ++n;
+  }
+  return n;
+}
+
+void ClusterSim::validate_result(const SimResult& result, const char* what) const {
+  if (!options_.validate_timeline) return;
+  trace::ValidateOptions vo;
+  vo.annotation_lanes = {"fault"};
+  vo.horizon = result.iteration_time;
+  vo.expected_busy = {{"compute", result.compute},
+                      {"comm", result.comm},
+                      {"encode", result.encode},
+                      {"decode", result.decode}};
+  vo.lane_windows = {{"fault", {{Seconds{}, result.iteration_time}}}};
+  vo.expected_span_count = {{"fault", expected_fault_spans()}};
+  trace::validate_or_throw(result.timeline, vo, std::string("ClusterSim::") + what);
+}
+
 Seconds ClusterSim::jittered(Seconds nominal) {
   if (options_.jitter_frac <= 0.0) return nominal;
   const double noise = 1.0 + options_.jitter_frac * static_cast<double>(rng_.gaussian());
@@ -144,6 +172,7 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
     result.compute = dur;
     result.iteration_time = dur;
     record_fault_spans(result);
+    validate_result(result, "run_syncsgd");
     return result;
   }
   const double stretch = straggler_stretch();
@@ -198,6 +227,7 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
   result.iteration_time = Seconds{std::max(compute_t, last_comm_end)};
   result.exposed_comm = result.iteration_time - result.compute;
   record_fault_spans(result);
+  validate_result(result, "run_syncsgd");
   return result;
 }
 
@@ -226,7 +256,14 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     result.timeline.add("encode", "fp16 convert", result.compute, result.compute + enc);
     result.encode = enc;
     result.decode = dec;
-    result.iteration_time = std::max(result.iteration_time, result.compute + enc) + dec;
+    // The decode slot starts once both the overlapped comm and the encode
+    // have finished. (It was once missing from the timeline entirely —
+    // decode seconds were charged to the iteration but appeared on no lane,
+    // exactly the accounting drift trace::validate exists to catch.)
+    const Seconds decode_start = std::max(result.iteration_time, result.compute + enc);
+    result.timeline.add("decode", "fp16 convert back", decode_start, decode_start + dec);
+    result.iteration_time = decode_start + dec;
+    validate_result(result, "run_compressed(fp16)");
     return result;
   }
 
@@ -330,6 +367,7 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
   result.iteration_time = t;
   result.exposed_comm = result.comm;
   record_fault_spans(result);
+  validate_result(result, "run_compressed");
   return result;
 }
 

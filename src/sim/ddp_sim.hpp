@@ -32,6 +32,15 @@ using core::units::BitsPerSecond;
 using core::units::Bytes;
 using core::units::Seconds;
 
+// Default for SimOptions::validate_timeline: on in Debug builds, off in
+// Release hot paths (sweep drivers run thousands of iterations). Tests set
+// the flag explicitly so the invariants gate every CI configuration.
+#ifdef NDEBUG
+inline constexpr bool kValidateTimelineDefault = false;
+#else
+inline constexpr bool kValidateTimelineDefault = true;
+#endif
+
 struct SimOptions {
   std::int64_t bucket_bytes = models::kDefaultBucketBytes;
   // Use NCCL-style double-tree instead of ring for all-reduce.
@@ -63,6 +72,11 @@ struct SimOptions {
   // detected: the survivors' timeout + group-shrink consensus, our stand-in
   // for NCCL communicator teardown/re-init.
   Seconds recovery_detect{0.05};
+  // Debug gate: run trace::validate on every produced timeline (span order,
+  // intra-lane overlap, busy-time conservation against the SimResult
+  // accounting, fault spans inside the iteration window) and throw
+  // std::logic_error on any violation.
+  bool validate_timeline = kValidateTimelineDefault;
 };
 
 struct SimResult {
@@ -108,6 +122,11 @@ class ClusterSim {
   void begin_iteration();
   // Appends spans for current_'s active fault events and the recovery cost.
   void record_fault_spans(SimResult& result) const;
+  // Fault spans record_fault_spans() will/did emit for current_.
+  [[nodiscard]] int expected_fault_spans() const;
+  // trace::validate the finished result (options_.validate_timeline gate);
+  // throws std::logic_error naming `what` on any violation.
+  void validate_result(const SimResult& result, const char* what) const;
 
   // Applies jitter (if configured) to a nominal duration.
   [[nodiscard]] Seconds jittered(Seconds nominal);

@@ -1,0 +1,159 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gradcomp::trace {
+
+namespace {
+
+std::string fmt_ms(Seconds s) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f ms", s.ms());
+  return buf;
+}
+
+bool contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+// Spans of one lane sorted by (start, end); pointers into the timeline.
+std::vector<const Span*> lane_sorted(const Timeline& timeline, const std::string& lane) {
+  std::vector<const Span*> out;
+  for (const auto& s : timeline.spans())
+    if (s.stream == lane) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [](const Span* a, const Span* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->end < b->end;
+  });
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> validate(const Timeline& timeline, const ValidateOptions& options) {
+  std::vector<Violation> out;
+  const double tol = options.tolerance_seconds;
+
+  // --- Per-span sanity: finite, non-negative, monotone. ---------------------
+  for (const auto& s : timeline.spans()) {
+    if (!std::isfinite(s.start.value()) || !std::isfinite(s.end.value())) {
+      out.push_back({"span-finite", "lane '" + s.stream + "' span '" + s.label +
+                                        "' has a non-finite endpoint"});
+      continue;
+    }
+    if (s.start.value() < -tol)
+      out.push_back({"span-order", "lane '" + s.stream + "' span '" + s.label +
+                                       "' starts before t=0 (" + fmt_ms(s.start) + ")"});
+    if (s.end.value() < s.start.value() - tol)
+      out.push_back({"span-order", "lane '" + s.stream + "' span '" + s.label +
+                                       "' ends (" + fmt_ms(s.end) + ") before it starts (" +
+                                       fmt_ms(s.start) + ")"});
+    if (options.horizon >= Seconds{} && s.end.value() > options.horizon.value() + tol)
+      out.push_back({"horizon", "lane '" + s.stream + "' span '" + s.label + "' ends (" +
+                                    fmt_ms(s.end) + ") past the horizon (" +
+                                    fmt_ms(options.horizon) + ")"});
+  }
+
+  // --- Intra-lane overlap on execution lanes. -------------------------------
+  for (const auto& lane : timeline.streams()) {
+    if (contains(options.annotation_lanes, lane)) continue;
+    const auto spans = lane_sorted(timeline, lane);
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      const Span* prev = spans[i - 1];
+      const Span* cur = spans[i];
+      if (cur->start.value() < prev->end.value() - tol)
+        out.push_back({"lane-overlap", "lane '" + lane + "': '" + cur->label + "' starts (" +
+                                           fmt_ms(cur->start) + ") before '" + prev->label +
+                                           "' ends (" + fmt_ms(prev->end) + ")"});
+    }
+  }
+
+  // --- Busy-time conservation. ----------------------------------------------
+  for (const auto& [lane, expected] : options.expected_busy) {
+    const Seconds busy = timeline.stream_busy(lane);
+    const double slack = tol + 1e-9 * std::abs(expected.value());
+    if (std::abs(busy.value() - expected.value()) > slack)
+      out.push_back({"conservation", "lane '" + lane + "' busy time " + fmt_ms(busy) +
+                                         " != expected " + fmt_ms(expected)});
+  }
+
+  // --- Gap-free coverage of [0, horizon]. -----------------------------------
+  for (const auto& lane : options.gap_free_lanes) {
+    if (options.horizon < Seconds{}) {
+      out.push_back({"gap-free", "lane '" + lane + "' requires a horizon to check coverage"});
+      continue;
+    }
+    const auto spans = lane_sorted(timeline, lane);
+    if (spans.empty()) {
+      if (options.horizon.value() > tol)
+        out.push_back({"gap-free", "lane '" + lane + "' is empty but the horizon is " +
+                                       fmt_ms(options.horizon)});
+      continue;
+    }
+    if (spans.front()->start.value() > tol)
+      out.push_back({"gap-free", "lane '" + lane + "' starts at " +
+                                     fmt_ms(spans.front()->start) + ", not t=0"});
+    double covered = spans.front()->end.value();
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i]->start.value() > covered + tol)
+        out.push_back({"gap-free", "lane '" + lane + "' has a gap before '" +
+                                       spans[i]->label + "' (covered to " +
+                                       fmt_ms(Seconds{covered}) + ", next starts " +
+                                       fmt_ms(spans[i]->start) + ")"});
+      covered = std::max(covered, spans[i]->end.value());
+    }
+    if (covered < options.horizon.value() - tol)
+      out.push_back({"gap-free", "lane '" + lane + "' covers only to " +
+                                     fmt_ms(Seconds{covered}) + " of horizon " +
+                                     fmt_ms(options.horizon)});
+  }
+
+  // --- Window containment. --------------------------------------------------
+  for (const auto& [lane, windows] : options.lane_windows) {
+    for (const auto& s : timeline.spans()) {
+      if (s.stream != lane) continue;
+      const bool inside = std::any_of(windows.begin(), windows.end(), [&](const Interval& w) {
+        return s.start.value() >= w.start.value() - tol &&
+               s.end.value() <= w.end.value() + tol;
+      });
+      if (!inside)
+        out.push_back({"window", "lane '" + lane + "' span '" + s.label + "' [" +
+                                     fmt_ms(s.start) + ", " + fmt_ms(s.end) +
+                                     "] escapes every allowed window"});
+    }
+  }
+
+  // --- Exact span counts. ---------------------------------------------------
+  for (const auto& [lane, expected] : options.expected_span_count) {
+    const auto actual = static_cast<int>(timeline.spans_on(lane).size());
+    if (actual != expected)
+      out.push_back({"span-count", "lane '" + lane + "' has " + std::to_string(actual) +
+                                       " span(s), expected " + std::to_string(expected)});
+  }
+
+  return out;
+}
+
+std::string describe(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    if (!out.empty()) out += '\n';
+    out += "[" + v.check + "] " + v.detail;
+  }
+  return out;
+}
+
+void validate_or_throw(const Timeline& timeline, const ValidateOptions& options,
+                       const std::string& context) {
+  const auto violations = validate(timeline, options);
+  if (violations.empty()) return;
+  std::string msg = context.empty() ? "trace::validate" : context;
+  msg += ": timeline violates " + std::to_string(violations.size()) + " invariant(s):\n";
+  msg += describe(violations);
+  throw std::logic_error(msg);
+}
+
+}  // namespace gradcomp::trace

@@ -1,0 +1,80 @@
+// Timeline invariant verifier — the runtime half of the contract the
+// gradcheck static passes gate from the source side.
+//
+// The paper's claims are timing-model claims: every figure is ultimately a
+// sum over Timeline spans, so a span that runs backwards, two all-reduces
+// overlapping on one serialized stream, or busy time that disagrees with the
+// simulator's own accounting silently corrupts the end-to-end utility
+// numbers. validate() checks a produced timeline against the structural
+// invariants every producer (sim::ClusterSim, sim::run_adaptive,
+// train::DataParallelTrainer) promises:
+//
+//   * spans are finite, non-negative, and monotone (end >= start >= 0);
+//   * execution lanes ("compute", "comm", "encode", "decode") never overlap
+//     themselves — they model serialized streams; annotation lanes ("fault",
+//     "adapt") are exempt because they mark conditions, not occupancy;
+//   * no span escapes the stated horizon (the iteration / run makespan);
+//   * per-lane busy time conserves against the producer's scalar accounting
+//     (SimResult::compute/comm/encode/decode) within float tolerance;
+//   * designated lanes tile [0, horizon] gap-free (the adaptive controller's
+//     decision windows);
+//   * spans on windowed lanes fall inside their allowed windows (fault spans
+//     inside the FaultPlan-derived iteration window), with an optional exact
+//     span count.
+//
+// Producers run it behind a debug flag (SimOptions::validate_timeline);
+// tests assert it unconditionally.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/timeline.hpp"
+
+namespace gradcomp::trace {
+
+struct Violation {
+  std::string check;   // e.g. "span-order", "lane-overlap", "conservation"
+  std::string detail;  // human-readable description with lane/label/times
+};
+
+struct Interval {
+  Seconds start;
+  Seconds end;
+};
+
+struct ValidateOptions {
+  // Lanes carrying annotations (fault markers, decision windows) rather than
+  // exclusive stream occupancy; exempt from the intra-lane overlap check.
+  std::vector<std::string> annotation_lanes{"fault", "adapt"};
+  // When >= 0, every span must end by `horizon` (within tolerance).
+  Seconds horizon{-1.0};
+  // Expected total busy time per lane (overlap-merged, like
+  // Timeline::stream_busy); lanes not listed are unchecked.
+  std::vector<std::pair<std::string, Seconds>> expected_busy;
+  // Lanes that must cover [0, horizon] with no gaps; requires horizon >= 0.
+  std::vector<std::string> gap_free_lanes;
+  // Per-lane allowed windows: every span on the lane must be contained in at
+  // least one window.
+  std::vector<std::pair<std::string, std::vector<Interval>>> lane_windows;
+  // Exact expected span count per lane; lanes not listed are unchecked.
+  std::vector<std::pair<std::string, int>> expected_span_count;
+  // Absolute slack for all comparisons; conservation additionally allows
+  // 1e-9 relative slack (span endpoints are sums of jittered doubles).
+  double tolerance_seconds = 1e-9;
+};
+
+// Returns every invariant violation found (empty == clean).
+[[nodiscard]] std::vector<Violation> validate(const Timeline& timeline,
+                                              const ValidateOptions& options = {});
+
+// One-line-per-violation rendering, for error messages and logs.
+[[nodiscard]] std::string describe(const std::vector<Violation>& violations);
+
+// Throws std::logic_error carrying describe() when validate() is non-empty;
+// `context` names the producer (e.g. "ClusterSim::run_compressed").
+void validate_or_throw(const Timeline& timeline, const ValidateOptions& options = {},
+                       const std::string& context = {});
+
+}  // namespace gradcomp::trace

@@ -98,11 +98,14 @@ StepStats DataParallelTrainer::step() {
         // Consistent unwind: every survivor throws at the same collective,
         // before any optimizer update. Reap the dead and retry the step.
         comm_.shrink(rank);
-        failure_seen.store(true, std::memory_order_relaxed);
+        // Default (seq_cst) ordering: this flag crosses run_ranks' join, so
+        // relaxed buys nothing, and the conc discipline confines relaxed
+        // atomics to the fabric/pool internals.
+        failure_seen.store(true);
       }
     });
 
-    if (failure_seen.load(std::memory_order_relaxed)) {
+    if (failure_seen.load()) {
       recover(active);
       continue;  // retry (possibly after a checkpoint rewind)
     }

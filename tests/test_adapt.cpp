@@ -301,6 +301,7 @@ sim::SimOptions degraded_window_options(int iterations, int world) {
   fo.iterations = iterations;
   fo.link_windows.push_back({30, 40, 0.1});
   so.fault_plan = core::FaultPlan::generate(fo);
+  so.validate_timeline = true;  // assert Timeline invariants even in Release
   return so;
 }
 

@@ -33,6 +33,7 @@ compress::CompressorConfig method_config(compress::Method m, int rank = 4,
 SimOptions exact_options() {
   SimOptions o;
   o.jitter_frac = 0.0;
+  o.validate_timeline = true;  // assert Timeline invariants even in Release
   return o;
 }
 
@@ -260,6 +261,7 @@ SimOptions planned_options(const core::FaultPlanOptions& fp) {
   SimOptions o;
   o.jitter_frac = 0.0;
   o.fault_plan = core::FaultPlan::generate(fp);
+  o.validate_timeline = true;
   return o;
 }
 

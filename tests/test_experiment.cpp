@@ -21,16 +21,24 @@ core::Workload resnet50_w64() {
   return w;
 }
 
+// Every simulated timeline in this file runs through trace::validate, even
+// in Release builds where the SimOptions default is off.
+SimOptions validated_options() {
+  SimOptions o;
+  o.validate_timeline = true;
+  return o;
+}
+
 TEST(Measure, RejectsDegenerateProtocol) {
   MeasurementProtocol bad;
   bad.iterations = 10;
   bad.warmup = 10;
-  EXPECT_THROW(measure(cluster_at(4), SimOptions{}, {}, resnet50_w64(), bad),
+  EXPECT_THROW(measure(cluster_at(4), validated_options(), {}, resnet50_w64(), bad),
                std::invalid_argument);
 }
 
 TEST(Measure, ZeroJitterZeroStddev) {
-  SimOptions o;
+  SimOptions o = validated_options();
   o.jitter_frac = 0.0;
   MeasurementProtocol protocol;
   protocol.iterations = 20;
@@ -41,7 +49,7 @@ TEST(Measure, ZeroJitterZeroStddev) {
 }
 
 TEST(Measure, JitterYieldsPositiveStddev) {
-  SimOptions o;
+  SimOptions o = validated_options();
   o.jitter_frac = 0.05;
   MeasurementProtocol protocol;
   protocol.iterations = 40;
@@ -58,7 +66,7 @@ TEST(Measure, ReportsComponentMeans) {
   MeasurementProtocol protocol;
   protocol.iterations = 15;
   protocol.warmup = 5;
-  const auto m = measure(cluster_at(8), SimOptions{}, ps, resnet50_w64(), protocol);
+  const auto m = measure(cluster_at(8), validated_options(), ps, resnet50_w64(), protocol);
   EXPECT_GT(m.mean_encode.value(), 0.0);
   EXPECT_GT(m.mean_decode.value(), 0.0);
   EXPECT_GT(m.mean_comm.value(), 0.0);
@@ -70,7 +78,7 @@ TEST(WeakScaling, ReturnsOnePointPerWorkerCount) {
   MeasurementProtocol protocol;
   protocol.iterations = 12;
   protocol.warmup = 2;
-  const auto pts = weak_scaling(cluster_at(4), SimOptions{}, ps, resnet50_w64(), {8, 16, 32},
+  const auto pts = weak_scaling(cluster_at(4), validated_options(), ps, resnet50_w64(), {8, 16, 32},
                                 protocol);
   ASSERT_EQ(pts.size(), 3U);
   EXPECT_EQ(pts[0].workers, 8);
@@ -91,7 +99,7 @@ TEST(WeakScaling, SignSgdSpeedupDegradesWithScale) {
   core::Workload w;
   w.model = models::resnet101();
   w.batch_size = 64;
-  const auto pts = weak_scaling(cluster_at(4), SimOptions{}, sign, w, {8, 96}, protocol);
+  const auto pts = weak_scaling(cluster_at(4), validated_options(), sign, w, {8, 96}, protocol);
   EXPECT_GT(pts[0].speedup(), pts[1].speedup());
 }
 

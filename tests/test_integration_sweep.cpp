@@ -81,6 +81,7 @@ TEST_P(MethodModelSweep, SimulatorAgreesWithinBounds) {
   sim::SimOptions opts;
   opts.jitter_frac = 0.0;
   opts.incast_penalty = 0.0;  // remove the deliberate asymmetry
+  opts.validate_timeline = true;
   const auto c = cluster(32);
   sim::ClusterSim sim(c, opts);
   const double predicted = model.compressed(config(), workload(), c).total.value();

@@ -32,6 +32,7 @@ sim::SimOptions testbed_options() {
   sim::SimOptions o;
   o.jitter_frac = 0.0;
   o.incast_penalty = 0.08;  // the real-cluster effect the model omits
+  o.validate_timeline = true;
   return o;
 }
 

@@ -126,6 +126,7 @@ TEST(SweepDeterminism, WeakScalingBitExactAcrossJobCounts) {
   sim::SimOptions options;
   options.jitter_frac = 0.03;
   options.seed = 7;
+  options.validate_timeline = true;
   compress::CompressorConfig config;
   config.method = compress::Method::kPowerSgd;
   config.rank = 4;

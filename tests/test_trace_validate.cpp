@@ -1,0 +1,289 @@
+#include "trace/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "core/fault_plan.hpp"
+#include "models/model_profile.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/ddp_sim.hpp"
+
+namespace gradcomp::trace {
+namespace {
+
+bool has_check(const std::vector<Violation>& vs, const std::string& check) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.check == check; });
+}
+
+// --- Unit tests: each invariant, hand-built timeline ------------------------
+
+TEST(Validate, CleanTimelineHasNoViolations) {
+  Timeline t;
+  t.add("compute", "backward", Seconds{0.0}, Seconds{1.0});
+  t.add("comm", "allreduce", Seconds{0.5}, Seconds{1.5});
+  EXPECT_TRUE(validate(t).empty());
+}
+
+TEST(Validate, FlagsNegativeStart) {
+  Timeline t;
+  t.add("compute", "backward", Seconds{-0.5}, Seconds{1.0});
+  EXPECT_TRUE(has_check(validate(t), "span-order"));
+}
+
+TEST(Validate, FlagsNonFiniteSpan) {
+  Timeline t;
+  t.add("compute", "backward", Seconds{0.0},
+        Seconds{std::numeric_limits<double>::infinity()});
+  EXPECT_TRUE(has_check(validate(t), "span-finite"));
+}
+
+TEST(Validate, FlagsIntraLaneOverlap) {
+  Timeline t;
+  t.add("comm", "bucket 0", Seconds{0.0}, Seconds{1.0});
+  t.add("comm", "bucket 1", Seconds{0.5}, Seconds{1.5});
+  EXPECT_TRUE(has_check(validate(t), "lane-overlap"));
+}
+
+TEST(Validate, AnnotationLanesMayOverlap) {
+  Timeline t;
+  t.add("fault", "slowdown", Seconds{0.0}, Seconds{2.0});
+  t.add("fault", "congestion", Seconds{1.0}, Seconds{3.0});
+  EXPECT_TRUE(validate(t).empty());  // "fault" is an annotation lane by default
+}
+
+TEST(Validate, TouchingSpansAreNotOverlap) {
+  Timeline t;
+  t.add("comm", "bucket 0", Seconds{0.0}, Seconds{1.0});
+  t.add("comm", "bucket 1", Seconds{1.0}, Seconds{2.0});
+  EXPECT_TRUE(validate(t).empty());
+}
+
+TEST(Validate, FlagsSpanPastHorizon) {
+  Timeline t;
+  t.add("compute", "backward", Seconds{0.0}, Seconds{2.0});
+  ValidateOptions o;
+  o.horizon = Seconds{1.0};
+  EXPECT_TRUE(has_check(validate(t, o), "horizon"));
+}
+
+TEST(Validate, ConservationAcceptsExactBusyTime) {
+  Timeline t;
+  t.add("comm", "bucket 0", Seconds{0.0}, Seconds{1.0});
+  t.add("comm", "bucket 1", Seconds{2.0}, Seconds{2.5});
+  ValidateOptions o;
+  o.expected_busy = {{"comm", Seconds{1.5}}};
+  EXPECT_TRUE(validate(t, o).empty());
+}
+
+TEST(Validate, ConservationFlagsMissingSpan) {
+  Timeline t;
+  t.add("comm", "bucket 0", Seconds{0.0}, Seconds{1.0});
+  ValidateOptions o;
+  o.expected_busy = {{"comm", Seconds{1.5}}};
+  EXPECT_TRUE(has_check(validate(t, o), "conservation"));
+}
+
+TEST(Validate, ConservationChecksEmptyLaneAgainstNonzeroExpectation) {
+  Timeline t;
+  t.add("compute", "backward", Seconds{0.0}, Seconds{1.0});
+  ValidateOptions o;
+  o.expected_busy = {{"decode", Seconds{0.25}}};
+  EXPECT_TRUE(has_check(validate(t, o), "conservation"));
+}
+
+TEST(Validate, GapFreeAcceptsPerfectTiling) {
+  Timeline t;
+  t.add("adapt", "fp32", Seconds{0.0}, Seconds{1.0});
+  t.add("adapt", "topk", Seconds{1.0}, Seconds{3.0});
+  ValidateOptions o;
+  o.horizon = Seconds{3.0};
+  o.gap_free_lanes = {"adapt"};
+  EXPECT_TRUE(validate(t, o).empty());
+}
+
+TEST(Validate, GapFreeFlagsHole) {
+  Timeline t;
+  t.add("adapt", "fp32", Seconds{0.0}, Seconds{1.0});
+  t.add("adapt", "topk", Seconds{1.5}, Seconds{3.0});
+  ValidateOptions o;
+  o.horizon = Seconds{3.0};
+  o.gap_free_lanes = {"adapt"};
+  EXPECT_TRUE(has_check(validate(t, o), "gap-free"));
+}
+
+TEST(Validate, GapFreeFlagsShortCoverage) {
+  Timeline t;
+  t.add("adapt", "fp32", Seconds{0.0}, Seconds{2.0});
+  ValidateOptions o;
+  o.horizon = Seconds{3.0};
+  o.gap_free_lanes = {"adapt"};
+  EXPECT_TRUE(has_check(validate(t, o), "gap-free"));
+}
+
+TEST(Validate, WindowAcceptsContainedSpan) {
+  Timeline t;
+  t.add("fault", "slowdown", Seconds{0.2}, Seconds{0.8});
+  ValidateOptions o;
+  o.lane_windows = {{"fault", {{Seconds{0.0}, Seconds{1.0}}}}};
+  EXPECT_TRUE(validate(t, o).empty());
+}
+
+TEST(Validate, WindowFlagsEscapingSpan) {
+  Timeline t;
+  t.add("fault", "slowdown", Seconds{0.5}, Seconds{1.5});
+  ValidateOptions o;
+  o.lane_windows = {{"fault", {{Seconds{0.0}, Seconds{1.0}}}}};
+  EXPECT_TRUE(has_check(validate(t, o), "window"));
+}
+
+TEST(Validate, SpanCountMismatchFlagged) {
+  Timeline t;
+  t.add("fault", "slowdown", Seconds{0.0}, Seconds{1.0});
+  ValidateOptions o;
+  o.expected_span_count = {{"fault", 2}};
+  EXPECT_TRUE(has_check(validate(t, o), "span-count"));
+  o.expected_span_count = {{"fault", 1}};
+  EXPECT_TRUE(validate(t, o).empty());
+}
+
+TEST(Validate, ValidateOrThrowCarriesContextAndDetail) {
+  Timeline t;
+  t.add("comm", "a", Seconds{0.0}, Seconds{1.0});
+  t.add("comm", "b", Seconds{0.5}, Seconds{1.5});
+  try {
+    validate_or_throw(t, {}, "UnitTest::producer");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UnitTest::producer"), std::string::npos);
+    EXPECT_NE(what.find("lane-overlap"), std::string::npos);
+  }
+}
+
+TEST(Validate, DescribeRendersOneLinePerViolation) {
+  Timeline t;
+  t.add("comm", "a", Seconds{-1.0}, Seconds{2.0});
+  const auto vs = validate(t);
+  ASSERT_FALSE(vs.empty());
+  const std::string text = describe(vs);
+  // Violations are newline-separated (no trailing newline) and each line
+  // leads with its bracketed check name.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            vs.size() - 1);
+  EXPECT_EQ(text.rfind("[" + vs.front().check + "]", 0), 0U);
+}
+
+// --- Property tests: every simulator run yields a validate-clean Timeline --
+
+core::Cluster cluster_of(int world, double gbps) {
+  core::Cluster c;
+  c.world_size = world;
+  c.network = comm::Network::from_gbps(gbps);
+  return c;
+}
+
+// The cross-configuration guarantee the debug flag enforces in production:
+// ClusterSim never emits a timeline that trips its own validator, across
+// methods, topologies, overlap, world sizes, and jitter.
+TEST(ValidateProperty, EverySimRunIsValidateClean) {
+  const core::Workload w{models::resnet50(), 64};
+  for (const compress::Method method : compress::all_methods()) {
+    compress::CompressorConfig cfg;
+    cfg.method = method;
+    for (const bool tree : {false, true}) {
+      for (const bool overlap : {false, true}) {
+        for (const int world : {1, 4, 16}) {
+          for (const double jitter : {0.0, 0.05}) {
+            sim::SimOptions o;
+            o.jitter_frac = jitter;
+            o.use_tree_allreduce = tree;
+            o.overlap_compression = overlap;
+            o.validate_timeline = true;  // run_* throws on any violation
+            sim::ClusterSim sim(cluster_of(world, 10.0), o);
+            const sim::SimResult r = method == compress::Method::kSyncSgd
+                                         ? sim.run_syncsgd(w)
+                                         : sim.run_compressed(cfg, w);
+            // Re-validate externally so the test does not depend on the
+            // producer's internal gate staying wired.
+            ValidateOptions vo;
+            vo.annotation_lanes = {"fault"};
+            vo.horizon = r.iteration_time;
+            vo.expected_busy = {{"compute", r.compute},
+                                {"comm", r.comm},
+                                {"encode", r.encode},
+                                {"decode", r.decode}};
+            const auto vs = validate(r.timeline, vo);
+            EXPECT_TRUE(vs.empty())
+                << "method=" << compress::method_name(method) << " tree=" << tree
+                << " overlap=" << overlap << " world=" << world << " jitter=" << jitter
+                << "\n"
+                << describe(vs);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Fault-plan runs: fault spans must stay inside the iteration and the
+// validator must hold across failure/recovery iterations.
+TEST(ValidateProperty, FaultedSimRunsAreValidateClean) {
+  core::FaultPlanOptions fo;
+  fo.world_size = 8;
+  fo.iterations = 40;
+  fo.straggler_dist = core::StragglerDist::kPareto;
+  fo.link_degrade_prob = 0.1;
+  fo.fail_rank = 2;
+  fo.fail_at_iteration = 25;
+  fo.seed = 11;
+
+  sim::SimOptions o;
+  o.jitter_frac = 0.02;
+  o.fault_plan = core::FaultPlan::generate(fo);
+  o.validate_timeline = true;
+  sim::ClusterSim sim(cluster_of(8, 10.0), o);
+
+  compress::CompressorConfig topk;
+  topk.method = compress::Method::kTopK;
+  const core::Workload w{models::resnet50(), 64};
+  for (int it = 0; it < fo.iterations; ++it) {
+    const auto r = sim.run_compressed(topk, w);  // throws if validation fails
+    EXPECT_GE(r.iteration_time.value(), 0.0);
+  }
+}
+
+// run_adaptive stitches per-iteration timelines into a cumulative one; its
+// "adapt" lane must tile [0, total] gap-free and re-based fault spans must
+// stay inside the run, including under a degraded-link window.
+TEST(ValidateProperty, AdaptiveRunIsValidateClean) {
+  core::FaultPlanOptions fo;
+  fo.world_size = 8;
+  fo.iterations = 60;
+  fo.link_windows.push_back({20, 35, 0.1});
+  sim::SimOptions so;
+  so.fault_plan = core::FaultPlan::generate(fo);
+  so.validate_timeline = true;
+  sim::ClusterSim sim(cluster_of(8, 16.0), so);
+
+  sim::AdaptiveOptions opts;
+  opts.iterations = 60;
+  const sim::AdaptiveResult out =
+      sim::run_adaptive(sim, core::Workload{models::resnet50(), 64}, opts);
+
+  ValidateOptions vo;
+  vo.horizon = out.total;
+  vo.gap_free_lanes = {"adapt"};
+  vo.lane_windows = {{"fault", {{Seconds{}, out.total}}}};
+  const auto vs = validate(out.timeline, vo);
+  EXPECT_TRUE(vs.empty()) << describe(vs);
+}
+
+}  // namespace
+}  // namespace gradcomp::trace

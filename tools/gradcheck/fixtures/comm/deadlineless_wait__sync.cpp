@@ -1,0 +1,11 @@
+// Fixture: must trigger exactly `deadlineless-wait`. It lives under a
+// comm/ path (the rule is scoped to the fabric/pool) and uses the
+// predicate overload so cv-wait-no-predicate stays quiet — the finding is
+// purely the missing deadline.
+#include <condition_variable>
+#include <mutex>
+
+void sync_point(std::condition_variable& cv, std::mutex& mu, bool& done) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done; });  // a hung peer blocks this forever
+}

@@ -1,0 +1,8 @@
+// Fixture: must trigger exactly `cv-wait-no-predicate`.
+#include <condition_variable>
+#include <mutex>
+
+void wait_for_ready(std::condition_variable& cv, std::mutex& mu) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk);  // spurious wakeup falls straight through
+}

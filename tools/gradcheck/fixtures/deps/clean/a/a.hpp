@@ -1,0 +1,4 @@
+#pragma once
+#include "b/b.hpp"
+
+inline int a_value() { return b_value() + 1; }

@@ -1,0 +1,3 @@
+#pragma once
+
+inline int b_value() { return 41; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "a/a.hpp"
+
+inline int b_value();

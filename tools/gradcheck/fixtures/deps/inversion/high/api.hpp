@@ -1,0 +1,3 @@
+#pragma once
+
+inline int high_api() { return 7; }

@@ -1,0 +1,4 @@
+#pragma once
+#include "high/api.hpp"
+
+inline int low_helper() { return high_api(); }

@@ -1,0 +1,10 @@
+// Fixture: must trigger exactly `raii-lock` (twice: lock and unlock).
+#include <mutex>
+
+int g_counter = 0;
+
+void bump(std::mutex& mu) {
+  mu.lock();
+  ++g_counter;  // an exception here leaks the lock
+  mu.unlock();
+}

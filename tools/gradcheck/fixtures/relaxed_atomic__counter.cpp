@@ -1,0 +1,7 @@
+// Fixture: must trigger exactly `relaxed-atomic` (this path is not on the
+// fabric/pool allowlist).
+#include <atomic>
+
+int sample(const std::atomic<int>& hits) {
+  return hits.load(std::memory_order_relaxed);
+}

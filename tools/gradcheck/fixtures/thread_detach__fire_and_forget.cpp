@@ -1,0 +1,6 @@
+// Fixture: must trigger exactly `thread-detach`. The thread type is a
+// template parameter so the fixture does not also trip naked-thread.
+template <typename Thread>
+void fire_and_forget(Thread& worker) {
+  worker.detach();  // outlives every join point
+}

@@ -1,26 +1,52 @@
-// gradcheck — the repo's custom lint pass.
+// gradcheck — the repo's custom multi-pass static analyzer.
 //
-// Token-level checks for the failure modes that have actually bitten this
-// codebase (or nearly did): unseeded randomness that breaks replayable
-// simulations, ad-hoc threads that dodge the pool's determinism guarantees,
-// raw-double timing parameters with no unit in the name, wall-clock sleeps
-// inside modeled time, and silently dropped cost-model results. It is NOT a
-// compiler: it tokenizes (comments, string literals, and preprocessor lines
-// stripped) and pattern-matches, which is exactly enough for these rules and
-// keeps the tool a single dependency-free translation unit.
+// v1 was a single token-level lint; v2 grows it into three passes that gate
+// the same contract the runtime Timeline verifier (src/trace/validate.hpp)
+// checks from the other side:
+//
+//   token pass (default)  — the failure modes that have actually bitten this
+//       codebase: unseeded randomness breaking replayable simulations,
+//       ad-hoc threads dodging the pool's determinism, wall-clock sleeps in
+//       modeled time, raw-double timing parameters with no unit in the name,
+//       and silently dropped cost-model results.
+//
+//   --conc                — concurrency-discipline lints, brace/scope-aware:
+//       condition-variable waits without a predicate, bare .lock()/.unlock()
+//       instead of RAII guards, std::thread::detach, relaxed atomics outside
+//       the fabric/pool allowlist, and deadline-less blocking waits inside
+//       comm::ThreadComm / core::parallel. These are exactly the rules the
+//       pool-backed ThreadComm rewrite (ROADMAP) must obey.
+//
+//   --deps                — dependency/layering analysis: parses #include
+//       directives under the scan root, maps files to modules via the
+//       checked-in layers.conf, fails on layer inversions (an edge the conf
+//       does not allow) and on any cycle in the observed or allowed module
+//       graph, and emits a DOT rendering of the architecture (--dot).
+//
+// It is NOT a compiler: the token passes tokenize (comments, string
+// literals, and preprocessor lines stripped) and pattern-match, which is
+// exactly enough for these rules and keeps the tool a single dependency-free
+// translation unit.
 //
 // Usage:
-//   gradcheck [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck [--conc] [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck --deps ROOT... --layers FILE [--dot FILE] [--report FILE]
 //   gradcheck --fixtures DIR
 //
-// The first form scans .hpp/.cpp files and exits non-zero on unsuppressed
-// findings. The second is the self-test: every fixtures/<rule>_*.cpp must
-// trigger exactly its named rule, and fixtures/clean*.cpp must trigger
-// nothing.
+// The scanning forms exit non-zero on unsuppressed findings — including
+// suppression entries that no longer match anything (stale suppressions are
+// errors, so the file can only shrink). Rule sets are per-directory: src/
+// gets the full battery, bench/ and tools/ the subsets that make sense for
+// leaf executables and host-side tools. --fixtures is the self-test: every
+// fixtures/<rule>_*.cpp must trigger exactly its named rule (token and conc
+// rules alike), fixtures/clean*.cpp must trigger nothing, and the deps
+// fixture trees are exercised by dedicated WILL_FAIL ctest entries.
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <set>
@@ -134,7 +160,48 @@ bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// --- Rules ------------------------------------------------------------------
+// Index of the ')' matching toks[open] (which must be "("); toks.size() if
+// unbalanced. Tracks all three bracket kinds so lambdas and subscripts
+// inside an argument list do not desynchronize the scan.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int paren = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren;
+    else if (t == ")" && --paren == 0) return i;
+  }
+  return toks.size();
+}
+
+// Commas that separate the call's own arguments: depth-1 parens, not inside
+// nested parens, braces (lambda bodies), or brackets (captures, subscripts).
+int top_level_commas(const std::vector<Token>& toks, std::size_t open, std::size_t close) {
+  int paren = 0;
+  int brace = 0;
+  int bracket = 0;
+  int commas = 0;
+  for (std::size_t i = open; i <= close && i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") ++paren;
+    else if (t == ")") --paren;
+    else if (t == "{") ++brace;
+    else if (t == "}") --brace;
+    else if (t == "[") ++bracket;
+    else if (t == "]") --bracket;
+    else if (t == "," && paren == 1 && brace == 0 && bracket == 0) ++commas;
+  }
+  return commas;
+}
+
+// True when toks[i] is a member-call name: preceded by '.' or '->' and
+// followed by '('.
+bool member_call(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0 || i + 1 >= toks.size()) return false;
+  const std::string& prev = toks[i - 1].text;
+  return (prev == "." || prev == "->") && toks[i + 1].text == "(";
+}
+
+// --- Token-pass rules -------------------------------------------------------
 
 // unseeded-rng: rand()/srand()/std::random_device produce run-to-run
 // nondeterminism the replayable simulator and FaultPlan seeding exist to
@@ -300,11 +367,168 @@ void rule_nodiscard_cost(const std::string& path, const std::vector<Token>& toks
   }
 }
 
-// --- Driver -----------------------------------------------------------------
+// --- Concurrency-pass rules -------------------------------------------------
+
+// cv-wait-no-predicate: a condition-variable wait without a predicate lets a
+// spurious (or stolen) wakeup sail straight through the blocking point.
+// `wait(lock)` needs a second (predicate) argument; `wait_for`/`wait_until`
+// need a third.
+void rule_cv_wait_no_predicate(const std::string& path, const std::vector<Token>& toks,
+                               std::vector<Finding>& out) {
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "wait" && t != "wait_for" && t != "wait_until") continue;
+    if (!member_call(toks, i)) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_paren(toks, open);
+    if (close >= toks.size()) continue;  // unbalanced; not our problem
+    const int commas = top_level_commas(toks, open, close);
+    const int needed = t == "wait" ? 1 : 2;
+    if (commas < needed) {
+      out.push_back({"cv-wait-no-predicate", path, toks[i].line,
+                     "." + t + " without a predicate argument; spurious wakeups bypass the "
+                              "wait condition — use the predicate overload"});
+    }
+  }
+}
+
+// raii-lock: bare .lock()/.unlock() calls manage the mutex by hand; an early
+// return or exception between them leaks the lock. Use std::lock_guard /
+// std::unique_lock / std::scoped_lock.
+void rule_raii_lock(const std::string& path, const std::vector<Token>& toks,
+                    std::vector<Finding>& out) {
+  for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t != "lock" && t != "unlock") continue;
+    if (!member_call(toks, i)) continue;
+    if (toks[i + 2].text != ")") continue;  // zero-argument member call only
+    out.push_back({"raii-lock", path, toks[i].line,
+                   "bare ." + t + "() manages the mutex by hand; use an RAII guard "
+                                  "(std::lock_guard / std::unique_lock / std::scoped_lock)"});
+  }
+}
+
+// thread-detach: a detached thread outlives every join point and any sane
+// shutdown order; the pool and the rank harness always join.
+void rule_thread_detach(const std::string& path, const std::vector<Token>& toks,
+                        std::vector<Finding>& out) {
+  for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "detach") continue;
+    if (!member_call(toks, i)) continue;
+    if (toks[i + 2].text != ")") continue;
+    out.push_back({"thread-detach", path, toks[i].line,
+                   ".detach() abandons the thread past every join point; keep the handle "
+                   "and join (or use core::global_pool())"});
+  }
+}
+
+// relaxed-atomic: std::memory_order_relaxed is reserved for the audited
+// fabric/pool internals (pure counters, lock-protected mirrors). Everywhere
+// else the default seq_cst is both correct and fast enough.
+const std::set<std::string>& relaxed_atomic_allowlist() {
+  static const std::set<std::string> kAllow = {
+      // active_count_ mirrors state only mutated under the group mutex.
+      "comm/thread_comm",
+      // chunk-claim ticket counter; completion uses acq_rel.
+      "core/parallel",
+  };
+  return kAllow;
+}
+
+void rule_relaxed_atomic(const std::string& path, const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  for (const auto& fragment : relaxed_atomic_allowlist())
+    if (path_contains(path, fragment)) return;
+  for (const auto& t : toks) {
+    if (t.text == "memory_order_relaxed") {
+      out.push_back({"relaxed-atomic", path, t.line,
+                     "memory_order_relaxed outside the audited fabric/pool allowlist; use "
+                     "the default ordering unless the site is reviewed into the list"});
+    }
+  }
+}
+
+// deadlineless-wait: inside the communication fabric and the shared pool,
+// every blocking wait must thread a deadline (wait_for/wait_until) so a hung
+// peer degrades to a timeout + RankFailure instead of a silent deadlock.
+// This is the contract the pool-backed ThreadComm rewrite must keep.
+void rule_deadlineless_wait(const std::string& path, const std::vector<Token>& toks,
+                            std::vector<Finding>& out) {
+  if (!path_contains(path, "comm/") && !path_contains(path, "core/parallel")) return;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "wait") continue;
+    if (!member_call(toks, i)) continue;
+    out.push_back({"deadlineless-wait", path, toks[i].line,
+                   "plain .wait() in the fabric/pool never times out; thread a deadline "
+                   "(wait_until/wait_for with the group timeout)"});
+  }
+}
+
+// --- Rule registry and per-directory rule sets ------------------------------
+
+using RuleFn = void (*)(const std::string&, const std::vector<Token>&, std::vector<Finding>&);
+
+const std::map<std::string, RuleFn>& token_rules() {
+  static const std::map<std::string, RuleFn> kRules = {
+      {"unseeded-rng", rule_unseeded_rng},   {"naked-thread", rule_naked_thread},
+      {"sleep-in-model", rule_sleep_in_model}, {"unit-suffix", rule_unit_suffix},
+      {"nodiscard-cost", rule_nodiscard_cost}};
+  return kRules;
+}
+
+const std::map<std::string, RuleFn>& conc_rules() {
+  static const std::map<std::string, RuleFn> kRules = {
+      {"cv-wait-no-predicate", rule_cv_wait_no_predicate},
+      {"raii-lock", rule_raii_lock},
+      {"thread-detach", rule_thread_detach},
+      {"relaxed-atomic", rule_relaxed_atomic},
+      {"deadlineless-wait", rule_deadlineless_wait}};
+  return kRules;
+}
+
+// Per-directory rule sets for the token pass. src/ carries the public API
+// and the modeled-time code, so everything applies; bench/ is leaf
+// executable code whose headers are not API boundaries (signature rules
+// off); tools/ are host-side programs where wall-clock time is legitimate.
+std::set<std::string> token_rules_for(const std::string& path) {
+  if (path_contains(path, "bench/"))
+    return {"unseeded-rng", "naked-thread", "sleep-in-model"};
+  if (path_contains(path, "tools/")) return {"unseeded-rng", "naked-thread"};
+  std::set<std::string> all;
+  for (const auto& [name, fn] : token_rules()) all.insert(name);
+  return all;
+}
+
+std::set<std::string> conc_rules_for(const std::string&) {
+  // The conc rules carry their own path scoping (allowlists, fabric-only
+  // rules); every scanned directory gets the full set.
+  std::set<std::string> all;
+  for (const auto& [name, fn] : conc_rules()) all.insert(name);
+  return all;
+}
+
+std::vector<Finding> check_file(const fs::path& path, const std::map<std::string, RuleFn>& rules,
+                                const std::set<std::string>& enabled) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<Token> toks = tokenize(buffer.str());
+  const std::string p = path.generic_string();
+  std::vector<Finding> out;
+  for (const auto& [name, fn] : rules)
+    if (enabled.count(name) > 0) fn(p, toks, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return out;
+}
+
+// --- Suppressions -----------------------------------------------------------
 
 struct Suppression {
   std::string rule;
   std::string path_fragment;
+  int line = 0;     // line in the suppressions file, for stale reporting
+  int matched = 0;  // findings this entry absorbed in the current scan
 };
 
 std::vector<Suppression> load_suppressions(const std::string& file) {
@@ -315,37 +539,37 @@ std::vector<Suppression> load_suppressions(const std::string& file) {
     std::exit(2);
   }
   std::string line;
+  int lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     std::istringstream ls(line);
     Suppression s;
-    if (ls >> s.rule >> s.path_fragment) out.push_back(s);
+    if (ls >> s.rule >> s.path_fragment) {
+      s.line = lineno;
+      out.push_back(s);
+    }
   }
   return out;
 }
 
-bool suppressed(const Finding& f, const std::vector<Suppression>& sups) {
-  for (const auto& s : sups)
-    if (s.rule == f.rule && path_contains(f.path, s.path_fragment)) return true;
+bool suppressed(const Finding& f, std::vector<Suppression>& sups) {
+  for (auto& s : sups) {
+    if (s.rule == f.rule && path_contains(f.path, s.path_fragment)) {
+      ++s.matched;
+      return true;
+    }
+  }
   return false;
 }
 
-std::vector<Finding> check_file(const fs::path& path) {
-  std::ifstream in(path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::vector<Token> toks = tokenize(buffer.str());
-  const std::string p = path.generic_string();
-  std::vector<Finding> out;
-  rule_unseeded_rng(p, toks, out);
-  rule_naked_thread(p, toks, out);
-  rule_sleep_in_model(p, toks, out);
-  rule_unit_suffix(p, toks, out);
-  rule_nodiscard_cost(p, toks, out);
-  return out;
-}
+// --- Source collection ------------------------------------------------------
 
+// Recursively collects .hpp/.cpp files. Directories named "fixtures" are
+// skipped unless the root itself points into one — the fixture corpus is
+// deliberately full of violations and must only be scanned by --fixtures or
+// an explicit root.
 std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
   std::vector<fs::path> files;
   for (const auto& root : roots) {
@@ -353,8 +577,12 @@ std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
       files.emplace_back(root);
       continue;
     }
+    const bool root_is_fixtures = path_contains(fs::path(root).generic_string(), "fixtures");
     for (const auto& entry : fs::recursive_directory_iterator(root)) {
       if (!entry.is_regular_file()) continue;
+      if (!root_is_fixtures &&
+          path_contains(entry.path().generic_string(), "/fixtures/"))
+        continue;
       const auto ext = entry.path().extension();
       if (ext == ".hpp" || ext == ".cpp") files.push_back(entry.path());
     }
@@ -363,11 +591,279 @@ std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
   return files;
 }
 
+// --- Dependency / layering pass (--deps) ------------------------------------
+
+struct LayersConfig {
+  struct Module {
+    std::string name;
+    std::string prefix;  // path prefix relative to the scan root
+  };
+  std::vector<Module> modules;
+  std::vector<std::pair<std::string, std::string>> allow;  // declaration order
+  std::set<std::pair<std::string, std::string>> allow_set;
+};
+
+LayersConfig load_layers(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::cerr << "gradcheck: cannot read layers config: " << file << "\n";
+    std::exit(2);
+  }
+  LayersConfig cfg;
+  std::set<std::string> names;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;
+    if (kind == "module") {
+      LayersConfig::Module m;
+      if (!(ls >> m.name >> m.prefix)) {
+        std::cerr << file << ":" << lineno << ": expected 'module NAME PATH-PREFIX'\n";
+        std::exit(2);
+      }
+      cfg.modules.push_back(m);
+      names.insert(m.name);
+    } else if (kind == "allow") {
+      std::string from;
+      std::string to;
+      if (!(ls >> from >> to)) {
+        std::cerr << file << ":" << lineno << ": expected 'allow FROM TO'\n";
+        std::exit(2);
+      }
+      cfg.allow.emplace_back(from, to);
+      cfg.allow_set.emplace(from, to);
+    } else {
+      std::cerr << file << ":" << lineno << ": unknown directive '" << kind << "'\n";
+      std::exit(2);
+    }
+  }
+  for (const auto& [from, to] : cfg.allow) {
+    if (names.count(from) == 0 || names.count(to) == 0) {
+      std::cerr << file << ": allow " << from << " " << to
+                << " references an undeclared module\n";
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+// Longest-prefix module match; empty string when nothing matches.
+std::string module_of(const LayersConfig& cfg, const std::string& rel_path) {
+  std::string best;
+  std::size_t best_len = 0;
+  for (const auto& m : cfg.modules) {
+    if (rel_path.rfind(m.prefix, 0) == 0 && m.prefix.size() >= best_len) {
+      best = m.name;
+      best_len = m.prefix.size();
+    }
+  }
+  return best;
+}
+
+// First cycle found in the graph, as [a, b, ..., a]; empty when acyclic.
+std::vector<std::string> find_cycle(const std::map<std::string, std::set<std::string>>& graph) {
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  std::function<bool(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    stack.push_back(node);
+    const auto it = graph.find(node);
+    if (it != graph.end()) {
+      for (const auto& next : it->second) {
+        if (color[next] == 1) {
+          const auto at = std::find(stack.begin(), stack.end(), next);
+          cycle.assign(at, stack.end());
+          cycle.push_back(next);
+          return true;
+        }
+        if (color[next] == 0 && dfs(next)) return true;
+      }
+    }
+    color[node] = 2;
+    stack.pop_back();
+    return false;
+  };
+
+  for (const auto& [node, targets] : graph)
+    if (color[node] == 0 && dfs(node)) return cycle;
+  return {};
+}
+
+std::string join_cycle(const std::vector<std::string>& cycle) {
+  std::string out;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += cycle[i];
+  }
+  return out;
+}
+
+struct DepEdge {
+  std::string from;
+  std::string to;
+  std::string site;  // file:line of the first include creating the edge
+  int count = 0;     // number of includes mapping onto this edge
+};
+
+// Extracts `#include "..."` targets with line numbers. Works on raw lines —
+// the tokenizer deliberately strips preprocessor directives.
+std::vector<std::pair<std::string, int>> parse_includes(const fs::path& file) {
+  std::vector<std::pair<std::string, int>> out;
+  std::ifstream in(file);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string::npos || line.compare(i, 7, "include") != 0) continue;
+    const auto open = line.find('"', i + 7);
+    if (open == std::string::npos) continue;  // <system> include
+    const auto close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    out.emplace_back(line.substr(open + 1, close - open - 1), lineno);
+  }
+  return out;
+}
+
+int run_deps(const std::vector<std::string>& roots, const std::string& layers_file,
+             const std::string& dot_file, const std::string& report_file) {
+  const LayersConfig cfg = load_layers(layers_file);
+  std::vector<Finding> findings;
+
+  // The allow table itself must describe a layering, i.e. be acyclic —
+  // otherwise "no cycles" below is unenforceable by construction.
+  {
+    std::map<std::string, std::set<std::string>> allow_graph;
+    for (const auto& [from, to] : cfg.allow) allow_graph[from].insert(to);
+    const auto cycle = find_cycle(allow_graph);
+    if (!cycle.empty())
+      findings.push_back({"allow-cycle", layers_file, 0,
+                          "the allow table permits a dependency cycle: " + join_cycle(cycle)});
+  }
+
+  // Observed module-level edges.
+  std::map<std::pair<std::string, std::string>, DepEdge> edges;
+  int files_scanned = 0;
+  for (const auto& root : roots) {
+    for (const auto& file : collect_sources({root})) {
+      ++files_scanned;
+      const std::string rel =
+          fs::relative(file, root).generic_string();
+      const std::string from = module_of(cfg, rel);
+      if (from.empty()) {
+        findings.push_back({"unmapped-file", file.generic_string(), 0,
+                            "no module in " + layers_file + " matches '" + rel + "'"});
+        continue;
+      }
+      for (const auto& [target, lineno] : parse_includes(file)) {
+        const std::string to = module_of(cfg, target);
+        if (to.empty()) {
+          findings.push_back({"unmapped-include", file.generic_string(), lineno,
+                              "include \"" + target + "\" matches no module in " + layers_file});
+          continue;
+        }
+        if (to == from) continue;
+        auto& e = edges[{from, to}];
+        if (e.count == 0) {
+          e.from = from;
+          e.to = to;
+          e.site = file.generic_string() + ":" + std::to_string(lineno);
+        }
+        ++e.count;
+      }
+    }
+  }
+
+  // Layer inversions: observed edges the table does not allow.
+  for (const auto& [key, e] : edges) {
+    if (cfg.allow_set.count(key) == 0)
+      findings.push_back({"layer-violation", e.site, 0,
+                          "module '" + e.from + "' must not depend on '" + e.to +
+                              "' (edge not in " + layers_file + ", " +
+                              std::to_string(e.count) + " include(s))"});
+  }
+
+  // Cycles in the observed graph (reported even if every edge is allowed —
+  // belt and suspenders with the allow-cycle check above).
+  {
+    std::map<std::string, std::set<std::string>> observed;
+    for (const auto& [key, e] : edges) observed[e.from].insert(e.to);
+    const auto cycle = find_cycle(observed);
+    if (!cycle.empty())
+      findings.push_back({"layer-cycle", layers_file, 0,
+                          "observed include cycle: " + join_cycle(cycle)});
+  }
+
+  // DOT artifact: the architecture as checked, violations in red, allowed-
+  // but-unused edges dashed.
+  if (!dot_file.empty()) {
+    std::ofstream dot(dot_file);
+    if (!dot) {
+      std::cerr << "gradcheck: cannot write DOT file: " << dot_file << "\n";
+      return 2;
+    }
+    dot << "// generated by gradcheck --deps from " << layers_file << "\n";
+    dot << "digraph gradcomp_layers {\n";
+    dot << "  rankdir=BT;\n";
+    dot << "  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n";
+    for (const auto& m : cfg.modules) dot << "  \"" << m.name << "\";\n";
+    for (const auto& [key, e] : edges) {
+      dot << "  \"" << e.from << "\" -> \"" << e.to << "\"";
+      if (cfg.allow_set.count(key) == 0)
+        dot << " [color=red, penwidth=2.0, label=\"VIOLATION\"]";
+      dot << ";\n";
+    }
+    for (const auto& [from, to] : cfg.allow)
+      if (edges.count({from, to}) == 0)
+        dot << "  \"" << from << "\" -> \"" << to << "\" [style=dashed, color=gray60];\n";
+    dot << "}\n";
+  }
+
+  std::ostringstream report;
+  for (const auto& f : findings) {
+    report << f.path;
+    if (f.line > 0) report << ":" << f.line;
+    report << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  report << "gradcheck --deps: " << files_scanned << " files, " << edges.size()
+         << " module edge(s), " << findings.size() << " finding(s)\n";
+  std::cout << report.str();
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << report.str();
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+// --- Fixtures self-test -----------------------------------------------------
+
 int run_fixtures(const std::string& dir) {
+  // Fixture files get every token AND conc rule: each must trip exactly its
+  // named rule and nothing else, which doubles as a cross-rule independence
+  // check. The deps fixture trees (fixtures/deps/...) follow a different
+  // protocol — whole-tree scans driven by WILL_FAIL ctest entries — so they
+  // are skipped here.
+  std::map<std::string, RuleFn> all_rules = token_rules();
+  for (const auto& [name, fn] : conc_rules()) all_rules.emplace(name, fn);
+  std::set<std::string> all_names;
+  for (const auto& [name, fn] : all_rules) all_names.insert(name);
+
   int failures = 0;
+  int checked = 0;
   for (const auto& file : collect_sources({dir})) {
+    if (path_contains(file.generic_string(), "/deps/")) continue;
+    ++checked;
     const std::string stem = file.stem().string();
-    const auto findings = check_file(file);
+    const auto findings = check_file(file, all_rules, all_names);
     std::set<std::string> rules_hit;
     for (const auto& f : findings) rules_hit.insert(f.rule);
     if (stem.rfind("clean", 0) == 0) {
@@ -404,7 +900,7 @@ int run_fixtures(const std::string& dir) {
     std::cerr << "gradcheck self-test: " << failures << " fixture(s) failed\n";
     return 1;
   }
-  std::cout << "gradcheck self-test: all fixtures behaved\n";
+  std::cout << "gradcheck self-test: all " << checked << " fixtures behaved\n";
   return 0;
 }
 
@@ -415,6 +911,10 @@ int main(int argc, char** argv) {
   std::string suppressions_file;
   std::string report_file;
   std::string fixtures_dir;
+  std::string layers_file;
+  std::string dot_file;
+  bool conc_mode = false;
+  bool deps_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -424,8 +924,17 @@ int main(int argc, char** argv) {
       report_file = argv[++i];
     } else if (arg == "--fixtures" && i + 1 < argc) {
       fixtures_dir = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_file = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_file = argv[++i];
+    } else if (arg == "--conc") {
+      conc_mode = true;
+    } else if (arg == "--deps") {
+      deps_mode = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: gradcheck [--suppressions FILE] [--report FILE] DIR...\n"
+      std::cout << "usage: gradcheck [--conc] [--suppressions FILE] [--report FILE] DIR...\n"
+                   "       gradcheck --deps DIR... --layers FILE [--dot FILE] [--report FILE]\n"
                    "       gradcheck --fixtures DIR\n";
       return 0;
     } else {
@@ -438,16 +947,38 @@ int main(int argc, char** argv) {
     std::cerr << "gradcheck: no inputs (try --help)\n";
     return 2;
   }
+  if (deps_mode) {
+    if (layers_file.empty()) {
+      std::cerr << "gradcheck: --deps requires --layers FILE\n";
+      return 2;
+    }
+    return run_deps(roots, layers_file, dot_file, report_file);
+  }
+
+  const auto& rules = conc_mode ? conc_rules() : token_rules();
+  std::set<std::string> rule_universe;
+  for (const auto& [name, fn] : rules) rule_universe.insert(name);
 
   std::vector<Suppression> sups;
-  if (!suppressions_file.empty()) sups = load_suppressions(suppressions_file);
+  if (!suppressions_file.empty()) {
+    sups = load_suppressions(suppressions_file);
+    for (const auto& s : sups) {
+      if (token_rules().count(s.rule) == 0 && conc_rules().count(s.rule) == 0) {
+        std::cerr << suppressions_file << ":" << s.line << ": unknown rule '" << s.rule
+                  << "' in suppression entry\n";
+        return 2;
+      }
+    }
+  }
 
   std::vector<Finding> reported;
   int suppressed_count = 0;
   int files_scanned = 0;
   for (const auto& file : collect_sources(roots)) {
     ++files_scanned;
-    for (auto& f : check_file(file)) {
+    const std::string p = file.generic_string();
+    const auto enabled = conc_mode ? conc_rules_for(p) : token_rules_for(p);
+    for (auto& f : check_file(file, rules, enabled)) {
       if (suppressed(f, sups)) {
         ++suppressed_count;
       } else {
@@ -456,11 +987,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Stale suppressions are findings: an entry that absorbs nothing is a
+  // reviewed exception whose reason has evaporated, and the file may only
+  // shrink. Entries for the other pass's rules are left to that pass.
+  for (const auto& s : sups) {
+    if (rule_universe.count(s.rule) == 0) continue;
+    if (s.matched == 0)
+      reported.push_back({"stale-suppression", suppressions_file, s.line,
+                          "suppression '" + s.rule + " " + s.path_fragment +
+                              "' matches no finding; delete the entry"});
+  }
+
   std::ostringstream report;
   for (const auto& f : reported)
     report << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
-  report << "gradcheck: " << files_scanned << " files, " << reported.size()
-         << " finding(s), " << suppressed_count << " suppressed\n";
+  report << "gradcheck" << (conc_mode ? " --conc" : "") << ": " << files_scanned << " files, "
+         << reported.size() << " finding(s), " << suppressed_count << " suppressed\n";
   std::cout << report.str();
   if (!report_file.empty()) {
     std::ofstream out(report_file);

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Gating clang-tidy pass: the curated bugprone-*/concurrency-* subset,
+# ratcheted against tools/tidy/baseline.txt. The full .clang-tidy check set
+# stays advisory in CI; this script is the hard gate.
+#
+# Usage:  tools/tidy/check_tidy.sh [BUILD_DIR] [--update]
+#   BUILD_DIR  cmake build dir with compile_commands.json (default: build)
+#   --update   rewrite the baseline from the current warnings (ratchet reset;
+#              only for shrinking the file after a fix, never for adding)
+set -eu
+
+cd "$(dirname "$0")/../.."
+build_dir=build
+update=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) update=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+baseline=tools/tidy/baseline.txt
+checks='-*,bugprone-*,concurrency-*'
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "check_tidy: $build_dir/compile_commands.json not found" >&2
+  echo "check_tidy: configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+current=$(mktemp)
+expected=$(mktemp)
+trap 'rm -f "$current" "$expected"' EXIT
+
+# Signature = "<src-relative file> [<check-id>]": stable across line-number
+# churn, specific enough that a new warning kind in a file is always new.
+find src -name '*.cpp' -print0 \
+  | xargs -0 clang-tidy -p "$build_dir" -checks="$checks" 2>/dev/null \
+  | grep -E 'warning: .* \[(bugprone|concurrency)-' \
+  | sed -E 's|^.*[/ ](src/[^:]+):[0-9]+:[0-9]+: warning: .* (\[[a-zA-Z0-9.,-]+\])$|\1 \2|' \
+  | sort -u > "$current" || true
+
+grep -v '^[[:space:]]*#' "$baseline" | grep -v '^[[:space:]]*$' | sort -u > "$expected" || true
+
+if [ "$update" = 1 ]; then
+  {
+    sed -n '/^#/p' "$baseline"
+    cat "$current"
+  } > "$baseline"
+  echo "check_tidy: baseline updated ($(wc -l < "$current") signature(s))"
+  exit 0
+fi
+
+new_warnings=$(comm -13 "$expected" "$current")
+fixed=$(comm -23 "$expected" "$current")
+
+if [ -n "$fixed" ]; then
+  echo "check_tidy: stale baseline entries (warning fixed — shrink the baseline):"
+  printf '%s\n' "$fixed" | sed 's/^/  /'
+fi
+if [ -n "$new_warnings" ]; then
+  echo "check_tidy: NEW gated warnings (bugprone-*/concurrency-*):"
+  printf '%s\n' "$new_warnings" | sed 's/^/  /'
+  echo "check_tidy: fix them (preferred) or discuss before touching the baseline"
+  exit 1
+fi
+
+echo "check_tidy: clean ($(wc -l < "$current") warning(s), all baselined)"
