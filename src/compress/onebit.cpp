@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "stats/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::compress {
 
@@ -33,9 +34,10 @@ std::vector<std::byte> OneBitCompressor::encode(std::span<const float> values) {
   std::vector<std::byte> out(2 * sizeof(float) + (values.size() + 7) / 8, std::byte{0});
   std::memcpy(out.data(), &pos_level, sizeof(float));
   std::memcpy(out.data() + sizeof(float), &neg_level, sizeof(float));
-  std::byte* bits = out.data() + 2 * sizeof(float);
-  for (std::size_t i = 0; i < values.size(); ++i)
-    if (values[i] >= 0.0F) bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+  // Same wire layout as SignSGD (bit i%8 of byte i/8 is `v >= 0`), so the
+  // dispatched sign-pack kernel is shared.
+  tensor::simd::pack_signs(values.data(), static_cast<std::int64_t>(values.size()),
+                           out.data() + 2 * sizeof(float));
   return out;
 }
 
@@ -48,10 +50,8 @@ std::vector<float> OneBitCompressor::decode(std::span<const std::byte> payload, 
   std::memcpy(&neg_level, payload.data() + sizeof(float), sizeof(float));
   const std::byte* bits = payload.data() + 2 * sizeof(float);
   std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool positive = (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
-    out[i] = positive ? pos_level : neg_level;
-  }
+  tensor::simd::unpack_select(bits, static_cast<std::int64_t>(n), pos_level, neg_level,
+                              out.data());
   return out;
 }
 

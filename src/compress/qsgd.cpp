@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "stats/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::compress {
 
@@ -50,11 +51,10 @@ std::vector<float> QsgdCompressor::decode(std::span<const std::byte> payload, st
   std::memcpy(&norm, payload.data(), sizeof(norm));
   const auto* codes = reinterpret_cast<const std::uint8_t*>(payload.data() + sizeof(float));
   std::vector<float> out(n);
-  const auto s = static_cast<float>(levels);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float magnitude = norm * static_cast<float>(codes[i] & 0x7FU) / s;
-    out[i] = (codes[i] & 0x80U) != 0 ? -magnitude : magnitude;
-  }
+  // Decode is the hot direction (p messages per aggregate); encode stays
+  // scalar because its stochastic rounding consumes a sequential RNG stream.
+  tensor::simd::qsgd_decode(codes, static_cast<std::int64_t>(n), norm,
+                            static_cast<float>(levels), out.data());
   return out;
 }
 

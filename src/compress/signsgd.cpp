@@ -8,6 +8,7 @@
 
 #include "core/parallel.hpp"
 #include "stats/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::compress {
 
@@ -34,31 +35,21 @@ void SignSgdCompressor::pack_signs_into(std::span<const float> values,
   const std::size_t n = values.size();
   if (bits.size() != (n + 7) / 8)
     throw std::invalid_argument("pack_signs_into: bits span has wrong size");
-  // Word-at-a-time: 32 signs per uint32_t with no per-bit branches, written
-  // out byte-by-byte so the LSB-first wire layout (bit i%8 of byte i/8) is
-  // endianness-independent. Chunks are whole words, so parallel workers
-  // touch disjoint bytes.
+  // Chunks are whole 32-sign words, so parallel workers touch disjoint bytes
+  // and the dispatched kernel (tensor::simd) sees word-aligned sub-ranges;
+  // the LSB-first wire layout (bit i%8 of byte i/8) is the kernel's contract.
   const std::size_t nwords = n / 32;
   constexpr std::int64_t kWordGrain = 1 << 12;  // 128 KiB of floats per chunk
   core::global_pool().parallel_for(
       0, static_cast<std::int64_t>(nwords), kWordGrain,
       [&](std::int64_t w0, std::int64_t w1) {
-        for (std::int64_t w = w0; w < w1; ++w) {
-          const float* v = values.data() + w * 32;
-          std::uint32_t word = 0;
-          for (unsigned b = 0; b < 32; ++b)
-            word |= static_cast<std::uint32_t>(v[b] >= 0.0F) << b;
-          std::byte* out = bits.data() + w * 4;
-          out[0] = static_cast<std::byte>(word & 0xFFU);
-          out[1] = static_cast<std::byte>((word >> 8) & 0xFFU);
-          out[2] = static_cast<std::byte>((word >> 16) & 0xFFU);
-          out[3] = static_cast<std::byte>((word >> 24) & 0xFFU);
-        }
+        tensor::simd::pack_signs(values.data() + w0 * 32, (w1 - w0) * 32,
+                                 bits.data() + w0 * 4);
       });
-  // Tail (< 32 elements): per-bit, starting from zeroed bytes.
-  for (std::size_t i = nwords * 4; i < bits.size(); ++i) bits[i] = std::byte{0};
-  for (std::size_t i = nwords * 32; i < n; ++i)
-    if (values[i] >= 0.0F) bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+  // Tail (< 32 elements): the kernel zeroes the pad bits.
+  const auto tail = static_cast<std::int64_t>(n - nwords * 32);
+  if (tail > 0)
+    tensor::simd::pack_signs(values.data() + nwords * 32, tail, bits.data() + nwords * 4);
 }
 
 std::vector<std::byte> SignSgdCompressor::pack_signs(std::span<const float> values) {
@@ -75,22 +66,12 @@ void SignSgdCompressor::unpack_signs_into(std::span<const std::byte> bits, std::
   core::global_pool().parallel_for(
       0, static_cast<std::int64_t>(nwords), kWordGrain,
       [&](std::int64_t w0, std::int64_t w1) {
-        for (std::int64_t w = w0; w < w1; ++w) {
-          const std::byte* in = bits.data() + w * 4;
-          const std::uint32_t word = static_cast<std::uint32_t>(in[0]) |
-                                     (static_cast<std::uint32_t>(in[1]) << 8) |
-                                     (static_cast<std::uint32_t>(in[2]) << 16) |
-                                     (static_cast<std::uint32_t>(in[3]) << 24);
-          float* v = out.data() + w * 32;
-          for (unsigned b = 0; b < 32; ++b)
-            v[b] = static_cast<float>(((word >> b) & 1U) * 2U) - 1.0F;
-        }
+        tensor::simd::unpack_signs(bits.data() + w0 * 4, (w1 - w0) * 32,
+                                   out.data() + w0 * 32);
       });
-  for (std::size_t i = nwords * 32; i < n; ++i) {
-    const bool positive =
-        (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
-    out[i] = positive ? 1.0F : -1.0F;
-  }
+  const auto tail = static_cast<std::int64_t>(n - nwords * 32);
+  if (tail > 0)
+    tensor::simd::unpack_signs(bits.data() + nwords * 4, tail, out.data() + nwords * 32);
 }
 
 std::vector<float> SignSgdCompressor::unpack_signs(std::span<const std::byte> bits,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "stats/timer.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::compress {
 
@@ -38,14 +39,9 @@ std::vector<float> TernGradCompressor::decode(std::span<const std::byte> payload
   float scale = 0.0F;
   std::memcpy(&scale, payload.data(), sizeof(scale));
   const auto* codes = reinterpret_cast<const std::uint8_t*>(payload.data() + sizeof(float));
-  std::vector<float> out(n, 0.0F);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t code = (codes[i / 4] >> (2 * (i % 4))) & 0x3U;
-    if (code == 1)
-      out[i] = scale;
-    else if (code == 2)
-      out[i] = -scale;
-  }
+  std::vector<float> out(n);
+  // Decode is the hot direction; encode keeps its sequential RNG stream.
+  tensor::simd::terngrad_decode(codes, static_cast<std::int64_t>(n), scale, out.data());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "tensor/simd.hpp"
+
 namespace gradcomp::tensor {
 
 std::uint16_t float_to_half(float value) noexcept {
@@ -60,15 +62,18 @@ float half_to_float(std::uint16_t bits) noexcept {
   return std::bit_cast<float>(sign | (exp32 << 23) | (mantissa << 13));
 }
 
+// Bulk conversions dispatch through tensor::simd (F16C when available); the
+// kernels are bit-exact against float_to_half / half_to_float above,
+// including the canonical NaN form.
 std::vector<std::uint16_t> to_half(std::span<const float> src) {
   std::vector<std::uint16_t> out(src.size());
-  for (std::size_t i = 0; i < src.size(); ++i) out[i] = float_to_half(src[i]);
+  simd::to_half(src.data(), static_cast<std::int64_t>(src.size()), out.data());
   return out;
 }
 
 void from_half(std::span<const std::uint16_t> src, std::span<float> dst) {
   if (src.size() != dst.size()) throw std::invalid_argument("from_half: size mismatch");
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = half_to_float(src[i]);
+  simd::from_half(src.data(), static_cast<std::int64_t>(src.size()), dst.data());
 }
 
 }  // namespace gradcomp::tensor

@@ -6,15 +6,35 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::tensor {
 
 namespace {
 
-// Row-block grain for the pool-parallel GEMM paths. Each C row is computed
-// independently with a fixed accumulation order, so any grain/thread count
-// yields identical bits; 64 matches the cache block.
-constexpr std::int64_t kRowGrain = 64;
+// Row-panel grain for the pool-parallel GEMM paths. Each C row is a pure
+// function of the inputs with a fixed per-row accumulation order, so the
+// grain affects performance only, never bits. Tiny products run as a single
+// inline chunk — below ~2 MFLOP the pool's wake/claim overhead exceeds the
+// work (the source of the old matmul/pool regression). Larger products use
+// row panels sized so a panel's streaming working set (one A row plus one C
+// row, ~4*(k+n) bytes per row) stays within half an L2 (256 KiB), rounded
+// to a multiple of the 8-row register tile so SIMD full-tile kernels do not
+// straddle chunk boundaries.
+std::int64_t pick_row_grain(std::int64_t m, std::int64_t k, std::int64_t n) {
+  const int threads = core::global_pool().size();
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  if (threads == 1 || flops < 2e6) return std::max<std::int64_t>(m, 1);
+  const std::int64_t bytes_per_row = 4 * (k + n);
+  std::int64_t rows = bytes_per_row > 0 ? (std::int64_t{256} << 10) / bytes_per_row : m;
+  // Never split finer than ~4 chunks per thread: more chunks only add
+  // claim/dispatch overhead once the panels already fit in L2.
+  const std::int64_t min_rows = (m + 4 * threads - 1) / (4 * threads);
+  rows = std::clamp<std::int64_t>(std::max(rows, min_rows), 16,
+                                  std::max<std::int64_t>(m, 16));
+  return (rows / 8) * 8;
+}
 
 // Reduction grain for orthonormalization dot products: one chunk per
 // 32k rows keeps every matrix in the test suite single-chunk (bit-identical
@@ -49,58 +69,6 @@ Tensor materialize(const Tensor& a, Transpose op) {
 
 }  // namespace
 
-namespace {
-
-// C[i0:i1] += A B for row-major A (m x k), B (k x n): cache-blocked i-k-j;
-// the inner j loop is a contiguous AXPY, which auto-vectorizes well.
-void gemm_nn_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
-                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t n) {
-  constexpr std::int64_t kBlock = 64;
-  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
-    const std::int64_t k1 = std::min(k0 + kBlock, k);
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t kk = k0; kk < k1; ++kk) {
-        const float aik = pa[i * k + kk];
-        const float* __restrict brow = pb + kk * n;
-        float* __restrict crow = pc + i * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      }
-    }
-  }
-}
-
-// C[i0:i1] += A^T B for A stored (k x m): same ascending-kk accumulation
-// order as the materialized path, so results are bit-identical to it.
-void gemm_tn_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
-                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t m,
-                  std::int64_t n) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    float* __restrict crow = pc + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[kk * m + i];
-      const float* __restrict brow = pb + kk * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
-}
-
-// C[i0:i1] += A B^T for B stored (n x k): row-dot-row, kk ascending.
-void gemm_nt_rows(const float* __restrict pa, const float* __restrict pb, float* __restrict pc,
-                  std::int64_t i0, std::int64_t i1, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = i0; i < i1; ++i) {
-    const float* __restrict arow = pa + i * k;
-    float* __restrict crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* __restrict brow = pb + j * k;
-      float acc = crow[j];
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
-}
-
-}  // namespace
-
 void matmul_into(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb, Tensor& out) {
   require_2d(a, "matmul(a)");
   require_2d(b, "matmul(b)");
@@ -126,14 +94,17 @@ void matmul_into(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb, T
   const float* pb = b.data().data();
   float* pc = out.data().data();
 
-  core::global_pool().parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
-    if (ta == Transpose::kYes)
-      gemm_tn_rows(pa, pb, pc, i0, i1, k, m, n);
-    else if (tb == Transpose::kYes)
-      gemm_nt_rows(pa, pb, pc, i0, i1, k, n);
-    else
-      gemm_nn_rows(pa, pb, pc, i0, i1, k, n);
-  });
+  // Row kernels live in tensor::simd (8x8 FMA register tiles on AVX2, the
+  // historical cache-blocked loops as the scalar reference).
+  core::global_pool().parallel_for(
+      0, m, pick_row_grain(m, k, n), [&](std::int64_t i0, std::int64_t i1) {
+        if (ta == Transpose::kYes)
+          simd::gemm_tn(pa, pb, pc, i0, i1, k, m, n);
+        else if (tb == Transpose::kYes)
+          simd::gemm_nt(pa, pb, pc, i0, i1, k, n);
+        else
+          simd::gemm_nn(pa, pb, pc, i0, i1, k, n);
+      });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Transpose ta, Transpose tb) {

@@ -1,0 +1,641 @@
+// The only translation unit in the repo allowed to contain raw vector
+// intrinsics (enforced by gradcheck's `raw-intrinsic` rule). Every kernel
+// comes in two variants:
+//
+//   *_scalar — the portable reference, kept textually boring so it is easy
+//       to audit against the pre-SIMD code it replaced;
+//   *_avx2   — AVX2/FMA/F16C, compiled via per-function target attributes
+//       so the rest of this file (and the whole build) stays baseline-ISA;
+//       running them is gated on the runtime dispatch below.
+//
+// Exactness: the bit-level kernels (sign pack/unpack/select, FP16 convert,
+// threshold count/filter, dequantize) are lane-independent and use the same
+// IEEE operations in the same per-element order as the scalar reference, so
+// they are bit-exact — including NaN, -0.0, and denormal inputs. The two
+// hardware-vs-software FP16 NaN mismatches (float->half NaN payload
+// truncation, half->float signaling-NaN quieting) are canonicalized with an
+// explicit blend to match the software converter. The GEMM kernels tile and
+// FMA the k-reduction, so they are only tolerance-equal (documented in the
+// header).
+#include "tensor/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/half.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define GRADCOMP_SIMD_X86 1
+#include <immintrin.h>
+#include <x86intrin.h>
+#else
+#define GRADCOMP_SIMD_X86 0
+#endif
+
+namespace gradcomp::tensor::simd {
+
+namespace {
+
+// --- scalar reference kernels ------------------------------------------------
+
+// Word-at-a-time sign packing (32 signs per uint32), byte-wise LSB-first
+// store so the wire layout is endianness-independent.
+void pack_signs_scalar(const float* values, std::int64_t n, std::byte* bits) {
+  const std::int64_t nwords = n / 32;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    const float* v = values + w * 32;
+    std::uint32_t word = 0;
+    for (unsigned b = 0; b < 32; ++b)
+      word |= static_cast<std::uint32_t>(v[b] >= 0.0F) << b;
+    std::byte* out = bits + w * 4;
+    out[0] = static_cast<std::byte>(word & 0xFFU);
+    out[1] = static_cast<std::byte>((word >> 8) & 0xFFU);
+    out[2] = static_cast<std::byte>((word >> 16) & 0xFFU);
+    out[3] = static_cast<std::byte>((word >> 24) & 0xFFU);
+  }
+  const std::int64_t nbytes = (n + 7) / 8;
+  for (std::int64_t i = nwords * 4; i < nbytes; ++i) bits[i] = std::byte{0};
+  for (std::int64_t i = nwords * 32; i < n; ++i)
+    if (values[i] >= 0.0F)
+      bits[i / 8] |= static_cast<std::byte>(1U << (i % 8));
+}
+
+void unpack_select_scalar(const std::byte* bits, std::int64_t n, float pos_level,
+                          float neg_level, float* out) {
+  const std::int64_t nwords = n / 32;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    const std::byte* in = bits + w * 4;
+    const std::uint32_t word = static_cast<std::uint32_t>(in[0]) |
+                               (static_cast<std::uint32_t>(in[1]) << 8) |
+                               (static_cast<std::uint32_t>(in[2]) << 16) |
+                               (static_cast<std::uint32_t>(in[3]) << 24);
+    float* v = out + w * 32;
+    for (unsigned b = 0; b < 32; ++b) v[b] = ((word >> b) & 1U) != 0 ? pos_level : neg_level;
+  }
+  for (std::int64_t i = nwords * 32; i < n; ++i) {
+    const bool set = (bits[i / 8] & static_cast<std::byte>(1U << (i % 8))) != std::byte{0};
+    out[i] = set ? pos_level : neg_level;
+  }
+}
+
+void to_half_scalar(const float* src, std::int64_t n, std::uint16_t* dst) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = float_to_half(src[i]);
+}
+
+void from_half_scalar(const std::uint16_t* src, std::int64_t n, float* dst) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
+}
+
+std::int64_t count_abs_ge_scalar(const float* values, std::int64_t n, float threshold) {
+  std::int64_t count = 0;
+  for (std::int64_t i = 0; i < n; ++i) count += std::abs(values[i]) >= threshold ? 1 : 0;
+  return count;
+}
+
+std::int64_t collect_abs_ge_scalar(const float* values, std::int64_t n, float threshold,
+                                   std::int64_t index_base, std::int64_t* out) {
+  std::int64_t at = 0;
+  for (std::int64_t i = 0; i < n; ++i)
+    if (std::abs(values[i]) >= threshold) out[at++] = index_base + i;
+  return at;
+}
+
+void qsgd_decode_scalar(const std::uint8_t* codes, std::int64_t n, float norm, float levels,
+                        float* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float magnitude = norm * static_cast<float>(codes[i] & 0x7FU) / levels;
+    out[i] = (codes[i] & 0x80U) != 0 ? -magnitude : magnitude;
+  }
+}
+
+void terngrad_decode_scalar(const std::uint8_t* codes, std::int64_t n, float scale,
+                            float* out) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::uint8_t code = (codes[i / 4] >> (2 * (i % 4))) & 0x3U;
+    if (code == 1)
+      out[i] = scale;
+    else if (code == 2)
+      out[i] = -scale;
+    else
+      out[i] = 0.0F;
+  }
+}
+
+// Cache-blocked i-k-j with a contiguous AXPY inner loop — the pre-SIMD
+// kernel, unchanged, so the scalar dispatch path reproduces historical bits.
+void gemm_nn_scalar(const float* __restrict pa, const float* __restrict pb,
+                    float* __restrict pc, std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t n) {
+  constexpr std::int64_t kBlock = 64;
+  for (std::int64_t k0 = 0; k0 < k; k0 += kBlock) {
+    const std::int64_t k1 = std::min(k0 + kBlock, k);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      for (std::int64_t kk = k0; kk < k1; ++kk) {
+        const float aik = pa[i * k + kk];
+        const float* __restrict brow = pb + kk * n;
+        float* __restrict crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_tn_scalar(const float* __restrict pa, const float* __restrict pb,
+                    float* __restrict pc, std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t m, std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* __restrict crow = pc + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[kk * m + i];
+      const float* __restrict brow = pb + kk * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_nt_scalar(const float* __restrict pa, const float* __restrict pb,
+                    float* __restrict pc, std::int64_t i0, std::int64_t i1, std::int64_t k,
+                    std::int64_t n) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* __restrict arow = pa + i * k;
+    float* __restrict crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* __restrict brow = pb + j * k;
+      float acc = crow[j];
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+#if GRADCOMP_SIMD_X86
+
+#define GRADCOMP_AVX2 __attribute__((target("avx2,fma,f16c")))
+
+// Lane masks for j-tails: kTailMask[r] has the top bit set in the first r
+// lanes (maskload/maskstore honor only the sign bit).
+alignas(32) constexpr std::int32_t kTailMaskTable[16] = {
+    -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+
+GRADCOMP_AVX2 inline __m256i tail_mask(std::int64_t rem) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kTailMaskTable + 8 - rem));
+}
+
+// --- sign bits ---------------------------------------------------------------
+
+// bit = (v >= 0): _CMP_GE_OQ matches the scalar `>=` on every input class
+// (NaN -> false, -0.0 >= 0.0 -> true), and movemask collects lane i into
+// bit i, so the uint32 store reproduces the LSB-first wire layout.
+GRADCOMP_AVX2 void pack_signs_avx2(const float* values, std::int64_t n, std::byte* bits) {
+  const __m256 zero = _mm256_setzero_ps();
+  const std::int64_t nwords = n / 32;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    const float* v = values + w * 32;
+    const auto m0 = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(v + 0), zero, _CMP_GE_OQ)));
+    const auto m1 = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(v + 8), zero, _CMP_GE_OQ)));
+    const auto m2 = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(v + 16), zero, _CMP_GE_OQ)));
+    const auto m3 = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(_mm256_loadu_ps(v + 24), zero, _CMP_GE_OQ)));
+    const std::uint32_t word = m0 | (m1 << 8) | (m2 << 16) | (m3 << 24);
+    std::memcpy(bits + w * 4, &word, 4);  // x86 is little-endian: LSB-first
+  }
+  const std::int64_t done = nwords * 32;
+  if (done < n) pack_signs_scalar(values + done, n - done, bits + nwords * 4);
+}
+
+GRADCOMP_AVX2 void unpack_select_avx2(const std::byte* bits, std::int64_t n, float pos_level,
+                                      float neg_level, float* out) {
+  const __m256 pos = _mm256_set1_ps(pos_level);
+  const __m256 neg = _mm256_set1_ps(neg_level);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i shift0 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i shift1 = _mm256_setr_epi32(8, 9, 10, 11, 12, 13, 14, 15);
+  const __m256i shift2 = _mm256_setr_epi32(16, 17, 18, 19, 20, 21, 22, 23);
+  const __m256i shift3 = _mm256_setr_epi32(24, 25, 26, 27, 28, 29, 30, 31);
+  const std::int64_t nwords = n / 32;
+  for (std::int64_t w = 0; w < nwords; ++w) {
+    std::uint32_t word = 0;
+    std::memcpy(&word, bits + w * 4, 4);
+    const __m256i wv = _mm256_set1_epi32(static_cast<std::int32_t>(word));
+    float* v = out + w * 32;
+    const auto emit = [&](const __m256i& shifts, float* dst) GRADCOMP_AVX2 {
+      const __m256i bit = _mm256_and_si256(_mm256_srlv_epi32(wv, shifts), one);
+      const __m256 mask = _mm256_castsi256_ps(_mm256_cmpeq_epi32(bit, one));
+      _mm256_storeu_ps(dst, _mm256_blendv_ps(neg, pos, mask));
+    };
+    emit(shift0, v + 0);
+    emit(shift1, v + 8);
+    emit(shift2, v + 16);
+    emit(shift3, v + 24);
+  }
+  const std::int64_t done = nwords * 32;
+  if (done < n)
+    unpack_select_scalar(bits + nwords * 4, n - done, pos_level, neg_level, out + done);
+}
+
+// --- FP16 convert ------------------------------------------------------------
+
+// vcvtps2ph rounds to nearest-even exactly like the software converter, but
+// keeps (truncated) NaN payloads where the software path canonicalizes every
+// NaN to sign | 0x7E00 — so NaN lanes are blended to the canonical form.
+GRADCOMP_AVX2 void to_half_avx2(const float* src, std::int64_t n, std::uint16_t* dst) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(src + i);
+    __m128i h = _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256i nan32 = _mm256_castps_si256(_mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    const __m128i nan16 = _mm_packs_epi32(_mm256_castsi256_si128(nan32),
+                                          _mm256_extracti128_si256(nan32, 1));
+    const __m128i canonical = _mm_or_si128(
+        _mm_and_si128(h, _mm_set1_epi16(static_cast<short>(0x8000))), _mm_set1_epi16(0x7E00));
+    h = _mm_blendv_epi8(h, canonical, nan16);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  if (i < n) to_half_scalar(src + i, n - i, dst + i);
+}
+
+// vcvtph2ps is exact except that it quiets signaling NaNs; the software
+// widener shifts the payload up unmodified, so NaN lanes are rebuilt from
+// the half bits (sign | 0x7F800000 | mantissa << 13) and blended in.
+GRADCOMP_AVX2 void from_half_avx2(const std::uint16_t* src, std::int64_t n, float* dst) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m256 f = _mm256_cvtph_ps(h);
+    const __m256i w = _mm256_cvtepu16_epi32(h);
+    const __m256i exp = _mm256_and_si256(w, _mm256_set1_epi32(0x7C00));
+    const __m256i mant = _mm256_and_si256(w, _mm256_set1_epi32(0x3FF));
+    const __m256i is_nan =
+        _mm256_and_si256(_mm256_cmpeq_epi32(exp, _mm256_set1_epi32(0x7C00)),
+                         _mm256_cmpgt_epi32(mant, _mm256_setzero_si256()));
+    const __m256i rebuilt = _mm256_or_si256(
+        _mm256_slli_epi32(_mm256_and_si256(w, _mm256_set1_epi32(0x8000)), 16),
+        _mm256_or_si256(_mm256_set1_epi32(0x7F800000), _mm256_slli_epi32(mant, 13)));
+    f = _mm256_blendv_ps(f, _mm256_castsi256_ps(rebuilt), _mm256_castsi256_ps(is_nan));
+    _mm256_storeu_ps(dst + i, f);
+  }
+  if (i < n) from_half_scalar(src + i, n - i, dst + i);
+}
+
+// --- top-k threshold filtering ----------------------------------------------
+
+GRADCOMP_AVX2 std::int64_t count_abs_ge_avx2(const float* values, std::int64_t n,
+                                             float threshold) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  const __m256 t = _mm256_set1_ps(threshold);
+  std::int64_t count = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(values + i), absmask);
+    const int mask = _mm256_movemask_ps(_mm256_cmp_ps(a, t, _CMP_GE_OQ));
+    count += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  if (i < n) count += count_abs_ge_scalar(values + i, n - i, threshold);
+  return count;
+}
+
+GRADCOMP_AVX2 std::int64_t collect_abs_ge_avx2(const float* values, std::int64_t n,
+                                               float threshold, std::int64_t index_base,
+                                               std::int64_t* out) {
+  const __m256 absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  const __m256 t = _mm256_set1_ps(threshold);
+  std::int64_t at = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(values + i), absmask);
+    auto mask = static_cast<unsigned>(_mm256_movemask_ps(_mm256_cmp_ps(a, t, _CMP_GE_OQ)));
+    while (mask != 0) {  // ascending bit order == ascending index order
+      const int lane = __builtin_ctz(mask);
+      out[at++] = index_base + i + lane;
+      mask &= mask - 1;
+    }
+  }
+  if (i < n) at += collect_abs_ge_scalar(values + i, n - i, threshold, index_base + i, out + at);
+  return at;
+}
+
+// --- dequantize --------------------------------------------------------------
+
+GRADCOMP_AVX2 void qsgd_decode_avx2(const std::uint8_t* codes, std::int64_t n, float norm,
+                                    float levels, float* out) {
+  const __m256 norm_v = _mm256_set1_ps(norm);
+  const __m256 s_v = _mm256_set1_ps(levels);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, codes + i, 8);
+    const __m256i c = _mm256_cvtepu8_epi32(
+        _mm_cvtsi64_si128(static_cast<long long>(raw)));
+    // Same operation order as the scalar decoder: (norm * level) / s.
+    const __m256 mag = _mm256_div_ps(
+        _mm256_mul_ps(norm_v, _mm256_cvtepi32_ps(
+                                  _mm256_and_si256(c, _mm256_set1_epi32(0x7F)))),
+        s_v);
+    const __m256i sign =
+        _mm256_slli_epi32(_mm256_and_si256(c, _mm256_set1_epi32(0x80)), 24);
+    _mm256_storeu_ps(out + i, _mm256_xor_ps(mag, _mm256_castsi256_ps(sign)));
+  }
+  if (i < n) qsgd_decode_scalar(codes + i, n - i, norm, levels, out + i);
+}
+
+GRADCOMP_AVX2 void terngrad_decode_avx2(const std::uint8_t* codes, std::int64_t n, float scale,
+                                        float* out) {
+  const __m256 pos = _mm256_set1_ps(scale);
+  const __m256 neg = _mm256_set1_ps(-scale);
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i shifts = _mm256_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {  // 8 codes span exactly 2 payload bytes
+    std::uint16_t raw = 0;
+    std::memcpy(&raw, codes + i / 4, 2);
+    const __m256i c = _mm256_and_si256(
+        _mm256_srlv_epi32(_mm256_set1_epi32(raw), shifts), three);
+    const __m256 take_pos =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(c, _mm256_set1_epi32(1)));
+    const __m256 take_neg =
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(c, _mm256_set1_epi32(2)));
+    _mm256_storeu_ps(out + i, _mm256_or_ps(_mm256_and_ps(take_pos, pos),
+                                           _mm256_and_ps(take_neg, neg)));
+  }
+  for (; i < n; ++i) {  // tail shares bytes with the last vector group; per-code decode
+    const std::uint8_t code = (codes[i / 4] >> (2 * (i % 4))) & 0x3U;
+    out[i] = code == 1 ? scale : code == 2 ? -scale : 0.0F;
+  }
+}
+
+// --- GEMM --------------------------------------------------------------------
+
+GRADCOMP_AVX2 inline float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// 8x8 register-tiled FMA microkernel: 8 C-row accumulators stay in ymm
+// registers for the whole k-loop, each loaded B vector feeds 8 FMAs.
+// `a_stride`/`a_rowstep` abstract over the NN (A row-major, m x k) and TN
+// (A stored k x m, read down a column) indexings, which share the kernel.
+GRADCOMP_AVX2 inline void gemm_rows8_avx2(const float* a_base, std::int64_t a_kstep,
+                                          std::int64_t a_rowstep, const float* pb, float* pc,
+                                          std::int64_t i, std::int64_t k, std::int64_t n) {
+  for (std::int64_t j = 0; j < n; j += 8) {
+    const std::int64_t rem = std::min<std::int64_t>(8, n - j);
+    __m256 acc[8];
+    if (rem == 8) {
+      for (int r = 0; r < 8; ++r) acc[r] = _mm256_loadu_ps(pc + (i + r) * n + j);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const __m256 b = _mm256_loadu_ps(pb + kk * n + j);
+        const float* ak = a_base + kk * a_kstep;
+        for (int r = 0; r < 8; ++r)
+          acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(ak[r * a_rowstep]), b, acc[r]);
+      }
+      for (int r = 0; r < 8; ++r) _mm256_storeu_ps(pc + (i + r) * n + j, acc[r]);
+    } else {
+      const __m256i mask = tail_mask(rem);
+      for (int r = 0; r < 8; ++r) acc[r] = _mm256_maskload_ps(pc + (i + r) * n + j, mask);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const __m256 b = _mm256_maskload_ps(pb + kk * n + j, mask);
+        const float* ak = a_base + kk * a_kstep;
+        for (int r = 0; r < 8; ++r)
+          acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(ak[r * a_rowstep]), b, acc[r]);
+      }
+      for (int r = 0; r < 8; ++r) _mm256_maskstore_ps(pc + (i + r) * n + j, mask, acc[r]);
+    }
+  }
+}
+
+// Single-row fallback for the m % 8 remainder: plain FMA AXPY over j.
+GRADCOMP_AVX2 inline void gemm_row1_avx2(const float* a_base, std::int64_t a_kstep,
+                                         const float* pb, float* crow, std::int64_t k,
+                                         std::int64_t n) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const __m256 av = _mm256_set1_ps(a_base[kk * a_kstep]);
+    const float* brow = pb + kk * n;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8)
+      _mm256_storeu_ps(crow + j,
+                       _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j), _mm256_loadu_ps(crow + j)));
+    if (j < n) {
+      const __m256i mask = tail_mask(n - j);
+      _mm256_maskstore_ps(crow + j, mask,
+                          _mm256_fmadd_ps(av, _mm256_maskload_ps(brow + j, mask),
+                                          _mm256_maskload_ps(crow + j, mask)));
+    }
+  }
+}
+
+GRADCOMP_AVX2 void gemm_nn_avx2(const float* pa, const float* pb, float* pc, std::int64_t i0,
+                                std::int64_t i1, std::int64_t k, std::int64_t n) {
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) gemm_rows8_avx2(pa + i * k, 1, k, pb, pc, i, k, n);
+  for (; i < i1; ++i) gemm_row1_avx2(pa + i * k, 1, pb, pc + i * n, k, n);
+}
+
+GRADCOMP_AVX2 void gemm_tn_avx2(const float* pa, const float* pb, float* pc, std::int64_t i0,
+                                std::int64_t i1, std::int64_t k, std::int64_t m,
+                                std::int64_t n) {
+  // A stored (k x m): element (kk, i) at pa[kk * m + i] — consecutive rows
+  // of C read consecutive floats, so a_rowstep = 1 and a_kstep = m.
+  std::int64_t i = i0;
+  for (; i + 8 <= i1; i += 8) gemm_rows8_avx2(pa + i, m, 1, pb, pc, i, k, n);
+  for (; i < i1; ++i) gemm_row1_avx2(pa + i, m, pb, pc + i * n, k, n);
+}
+
+GRADCOMP_AVX2 void gemm_nt_avx2(const float* pa, const float* pb, float* pc, std::int64_t i0,
+                                std::int64_t i1, std::int64_t k, std::int64_t n) {
+  // C[i][j] = dot(A row i, B row j): 8 B rows share each loaded A vector.
+  for (std::int64_t i = i0; i < i1; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc[8];
+      for (int r = 0; r < 8; ++r) acc[r] = _mm256_setzero_ps();
+      std::int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        const __m256 av = _mm256_loadu_ps(arow + kk);
+        for (int r = 0; r < 8; ++r)
+          acc[r] = _mm256_fmadd_ps(av, _mm256_loadu_ps(pb + (j + r) * k + kk), acc[r]);
+      }
+      float dots[8];
+      for (int r = 0; r < 8; ++r) dots[r] = hsum8(acc[r]);
+      for (; kk < k; ++kk)
+        for (int r = 0; r < 8; ++r) dots[r] += arow[kk] * pb[(j + r) * k + kk];
+      for (int r = 0; r < 8; ++r) crow[j + r] += dots[r];
+    }
+    for (; j < n; ++j) {
+      const float* brow = pb + j * k;
+      __m256 acc = _mm256_setzero_ps();
+      std::int64_t kk = 0;
+      for (; kk + 8 <= k; kk += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk), _mm256_loadu_ps(brow + kk), acc);
+      float dot = hsum8(acc);
+      for (; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] += dot;
+    }
+  }
+}
+
+#undef GRADCOMP_AVX2
+
+#endif  // GRADCOMP_SIMD_X86
+
+// --- dispatch state ----------------------------------------------------------
+
+Level resolve_initial_level() {
+  Level level = detected_level();
+  if (const char* env = std::getenv("GRADCOMP_SIMD")) {
+    if (const auto parsed = parse_level(env)) {
+      // A downgrade always works; an upgrade request on an unsupported
+      // build/host is ignored rather than crashing later on an illegal
+      // instruction.
+      if (*parsed == Level::kScalar || detected_level() == Level::kAvx2) level = *parsed;
+    }
+  }
+  return level;
+}
+
+std::atomic<Level>& level_cell() {
+  static std::atomic<Level> cell{resolve_initial_level()};
+  return cell;
+}
+
+}  // namespace
+
+bool compiled_with_avx2() noexcept { return GRADCOMP_SIMD_X86 != 0; }
+
+bool host_supports_avx2() noexcept {
+#if GRADCOMP_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+         __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+Level detected_level() noexcept {
+  return compiled_with_avx2() && host_supports_avx2() ? Level::kAvx2 : Level::kScalar;
+}
+
+Level active_level() noexcept { return level_cell().load(); }
+
+void set_level(Level level) {
+  if (level == Level::kAvx2 && detected_level() != Level::kAvx2)
+    throw std::invalid_argument("simd::set_level: AVX2 not available on this build/host");
+  level_cell().store(level);
+}
+
+const char* level_name(Level level) noexcept {
+  return level == Level::kAvx2 ? "avx2" : "scalar";
+}
+
+std::optional<Level> parse_level(std::string_view name) noexcept {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "avx2") return Level::kAvx2;
+  return std::nullopt;
+}
+
+std::uint64_t cycle_counter() noexcept {
+#if GRADCOMP_SIMD_X86
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
+
+// --- dispatched entry points -------------------------------------------------
+
+#if GRADCOMP_SIMD_X86
+#define GRADCOMP_DISPATCH(avx2_call, scalar_call) \
+  do {                                            \
+    if (active_level() == Level::kAvx2) {         \
+      avx2_call;                                  \
+    } else {                                      \
+      scalar_call;                                \
+    }                                             \
+  } while (false)
+#else
+#define GRADCOMP_DISPATCH(avx2_call, scalar_call) \
+  do {                                            \
+    scalar_call;                                  \
+  } while (false)
+#endif
+
+void pack_signs(const float* values, std::int64_t n, std::byte* bits) {
+  GRADCOMP_DISPATCH(pack_signs_avx2(values, n, bits), pack_signs_scalar(values, n, bits));
+}
+
+void unpack_signs(const std::byte* bits, std::int64_t n, float* out) {
+  unpack_select(bits, n, 1.0F, -1.0F, out);
+}
+
+void unpack_select(const std::byte* bits, std::int64_t n, float pos_level, float neg_level,
+                   float* out) {
+  GRADCOMP_DISPATCH(unpack_select_avx2(bits, n, pos_level, neg_level, out),
+                    unpack_select_scalar(bits, n, pos_level, neg_level, out));
+}
+
+void to_half(const float* src, std::int64_t n, std::uint16_t* dst) {
+  GRADCOMP_DISPATCH(to_half_avx2(src, n, dst), to_half_scalar(src, n, dst));
+}
+
+void from_half(const std::uint16_t* src, std::int64_t n, float* dst) {
+  GRADCOMP_DISPATCH(from_half_avx2(src, n, dst), from_half_scalar(src, n, dst));
+}
+
+std::int64_t count_abs_ge(const float* values, std::int64_t n, float threshold) {
+#if GRADCOMP_SIMD_X86
+  if (active_level() == Level::kAvx2) return count_abs_ge_avx2(values, n, threshold);
+#endif
+  return count_abs_ge_scalar(values, n, threshold);
+}
+
+std::int64_t collect_abs_ge(const float* values, std::int64_t n, float threshold,
+                            std::int64_t index_base, std::int64_t* out) {
+#if GRADCOMP_SIMD_X86
+  if (active_level() == Level::kAvx2)
+    return collect_abs_ge_avx2(values, n, threshold, index_base, out);
+#endif
+  return collect_abs_ge_scalar(values, n, threshold, index_base, out);
+}
+
+void qsgd_decode(const std::uint8_t* codes, std::int64_t n, float norm, float levels,
+                 float* out) {
+  GRADCOMP_DISPATCH(qsgd_decode_avx2(codes, n, norm, levels, out),
+                    qsgd_decode_scalar(codes, n, norm, levels, out));
+}
+
+void terngrad_decode(const std::uint8_t* codes, std::int64_t n, float scale, float* out) {
+  GRADCOMP_DISPATCH(terngrad_decode_avx2(codes, n, scale, out),
+                    terngrad_decode_scalar(codes, n, scale, out));
+}
+
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t i1,
+             std::int64_t k, std::int64_t n) {
+  GRADCOMP_DISPATCH(gemm_nn_avx2(a, b, c, i0, i1, k, n), gemm_nn_scalar(a, b, c, i0, i1, k, n));
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t i1,
+             std::int64_t k, std::int64_t m, std::int64_t n) {
+  GRADCOMP_DISPATCH(gemm_tn_avx2(a, b, c, i0, i1, k, m, n),
+                    gemm_tn_scalar(a, b, c, i0, i1, k, m, n));
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t i0, std::int64_t i1,
+             std::int64_t k, std::int64_t n) {
+  GRADCOMP_DISPATCH(gemm_nt_avx2(a, b, c, i0, i1, k, n), gemm_nt_scalar(a, b, c, i0, i1, k, n));
+}
+
+#undef GRADCOMP_DISPATCH
+
+}  // namespace gradcomp::tensor::simd

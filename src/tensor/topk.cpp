@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/simd.hpp"
 
 namespace gradcomp::tensor {
 
@@ -101,10 +102,8 @@ void top_k_abs_into(std::span<const float> data, std::int64_t k, TopKResult& out
   const std::int64_t nchunks = (n + kFilterGrain - 1) / kFilterGrain;
   w.chunk_off.resize(static_cast<std::size_t>(nchunks) + 1);
   pool.parallel_for(0, n, kFilterGrain, [&](std::int64_t lo, std::int64_t hi) {
-    std::int64_t count = 0;
-    for (std::int64_t i = lo; i < hi; ++i)
-      count += std::abs(data[static_cast<std::size_t>(i)]) >= t ? 1 : 0;
-    w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain) + 1] = count;
+    w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain) + 1] =
+        simd::count_abs_ge(data.data() + lo, hi - lo, t);
   });
   w.chunk_off[0] = 0;
   for (std::int64_t c = 0; c < nchunks; ++c)
@@ -126,10 +125,8 @@ void top_k_abs_into(std::span<const float> data, std::int64_t k, TopKResult& out
   // order overall, independent of thread count.
   w.candidates.resize(static_cast<std::size_t>(m));
   pool.parallel_for(0, n, kFilterGrain, [&](std::int64_t lo, std::int64_t hi) {
-    std::int64_t at = w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain)];
-    for (std::int64_t i = lo; i < hi; ++i)
-      if (std::abs(data[static_cast<std::size_t>(i)]) >= t)
-        w.candidates[static_cast<std::size_t>(at++)] = i;
+    const std::int64_t at = w.chunk_off[static_cast<std::size_t>(lo / kFilterGrain)];
+    simd::collect_abs_ge(data.data() + lo, hi - lo, t, lo, w.candidates.data() + at);
   });
 
   finish_selection(data, k, w.candidates, out);

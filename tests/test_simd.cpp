@@ -1,0 +1,387 @@
+// Scalar-vs-AVX2 equivalence for the tensor::simd dispatch layer.
+//
+// Every bit-level kernel must produce identical bytes at either dispatch
+// level across unaligned pointers, every tail length (n mod 8, and n mod 32
+// for the sign-word kernels), and hostile inputs (NaN, +/-0, denormals,
+// infinities). The GEMM kernels reassociate the k-reduction, so they are
+// compared to a relative tolerance instead. On hosts without AVX2 the
+// cross-level tests skip; the scalar path is still exercised against the
+// element-wise reference converters.
+#include "tensor/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tensor/half.hpp"
+#include "tensor/rng.hpp"
+
+namespace gradcomp::tensor::simd {
+namespace {
+
+// Restores the dispatch level even when an assertion bails out of the test.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level) : saved_(active_level()) { set_level(level); }
+  ~ScopedLevel() { set_level(saved_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level saved_;
+};
+
+bool avx2_available() { return detected_level() == Level::kAvx2; }
+
+// Mixed-magnitude input with the hostile values planted at varying offsets:
+// NaN, +/-inf, +/-0, float denormals, and values that become half denormals
+// or overflow to half inf.
+std::vector<float> hostile_input(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  const float specials[] = {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            0.0F,
+                            -0.0F,
+                            std::numeric_limits<float>::denorm_min(),
+                            -std::numeric_limits<float>::denorm_min(),
+                            1e-7F,   // half denormal range
+                            -1e-7F,
+                            7e4F,    // overflows half
+                            -7e4F,
+                            1.0F,
+                            -1.0F};
+  const std::int64_t nspecial = static_cast<std::int64_t>(std::size(specials));
+  for (std::int64_t i = 0; i < n; i += 7)
+    v[static_cast<std::size_t>(i)] = specials[(i / 7) % nspecial];
+  return v;
+}
+
+// Offsets 0..3 into an over-allocated buffer exercise every pointer
+// misalignment class the loadu/storeu paths must handle.
+constexpr std::int64_t kOffsets[] = {0, 1, 2, 3};
+constexpr std::int64_t kPad = 4;
+
+TEST(SimdDispatch, ParseLevelVocabulary) {
+  EXPECT_EQ(parse_level("scalar"), Level::kScalar);
+  EXPECT_EQ(parse_level("avx2"), Level::kAvx2);
+  EXPECT_FALSE(parse_level("sse2").has_value());
+  EXPECT_FALSE(parse_level("").has_value());
+  EXPECT_FALSE(parse_level("AVX2").has_value());
+  EXPECT_STREQ(level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(level_name(Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, ScalarAlwaysSettable) {
+  ScopedLevel forced(Level::kScalar);
+  EXPECT_EQ(active_level(), Level::kScalar);
+}
+
+TEST(SimdDispatch, DetectedLevelIsSettable) {
+  set_level(detected_level());
+  EXPECT_EQ(active_level(), detected_level());
+}
+
+TEST(SimdDispatch, ForcingUnsupportedLevelThrows) {
+  if (avx2_available()) GTEST_SKIP() << "AVX2 supported; nothing is unsupported here";
+  EXPECT_THROW(set_level(Level::kAvx2), std::invalid_argument);
+}
+
+TEST(SimdPackSigns, MatchesScalarAcrossTailsAndOffsets) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  // n mod 32 covers 0..31 via these sizes; offsets cover misalignment.
+  for (std::int64_t n : {0, 1, 7, 8, 31, 32, 33, 63, 64, 95, 96, 100, 257, 1024, 1027}) {
+    for (std::int64_t off : kOffsets) {
+      std::vector<float> buf = hostile_input(n + kPad, 42 + static_cast<std::uint64_t>(n));
+      const float* values = buf.data() + off;
+      const auto nbytes = static_cast<std::size_t>((n + 7) / 8);
+      std::vector<std::byte> scalar_bits(nbytes, std::byte{0xAA});
+      std::vector<std::byte> simd_bits(nbytes, std::byte{0x55});
+      {
+        ScopedLevel forced(Level::kScalar);
+        pack_signs(values, n, scalar_bits.data());
+      }
+      {
+        ScopedLevel forced(Level::kAvx2);
+        pack_signs(values, n, simd_bits.data());
+      }
+      EXPECT_EQ(scalar_bits, simd_bits) << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST(SimdPackSigns, NanPacksAsZeroNegativeZeroAsOne) {
+  const float vals[] = {std::numeric_limits<float>::quiet_NaN(), -0.0F, 0.0F, -1.0F};
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    if (level == Level::kAvx2 && !avx2_available()) continue;
+    ScopedLevel forced(level);
+    std::byte bits{0xFF};
+    pack_signs(vals, 4, &bits);
+    // bit0: NaN >= 0 is false; bit1: -0.0 >= 0 is true; bit2: true; bit3: false.
+    EXPECT_EQ(bits, std::byte{0b0110}) << level_name(level);
+  }
+}
+
+TEST(SimdUnpackSelect, MatchesScalarAndRoundTrips) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  for (std::int64_t n : {1, 31, 32, 33, 64, 97, 255, 256, 1000}) {
+    std::vector<float> buf = hostile_input(n, 7);
+    std::vector<std::byte> bits(static_cast<std::size_t>((n + 7) / 8));
+    pack_signs(buf.data(), n, bits.data());
+    std::vector<float> scalar_out(static_cast<std::size_t>(n));
+    std::vector<float> simd_out(static_cast<std::size_t>(n));
+    {
+      ScopedLevel forced(Level::kScalar);
+      unpack_select(bits.data(), n, 0.25F, -0.75F, scalar_out.data());
+    }
+    {
+      ScopedLevel forced(Level::kAvx2);
+      unpack_select(bits.data(), n, 0.25F, -0.75F, simd_out.data());
+    }
+    EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
+                             static_cast<std::size_t>(n) * sizeof(float)))
+        << "n=" << n;
+    // unpack_signs is unpack_select(+1, -1).
+    std::vector<float> signs(static_cast<std::size_t>(n));
+    unpack_signs(bits.data(), n, signs.data());
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_TRUE(signs[static_cast<std::size_t>(i)] == 1.0F ||
+                  signs[static_cast<std::size_t>(i)] == -1.0F);
+  }
+}
+
+TEST(SimdHalf, BitExactAgainstReferenceConverter) {
+  // Both dispatch levels must match float_to_half element-for-element,
+  // including the canonical NaN form — this is what keeps the golden wire
+  // bytes identical whichever path ran.
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    if (level == Level::kAvx2 && !avx2_available()) continue;
+    ScopedLevel forced(level);
+    for (std::int64_t n : {0, 1, 3, 7, 8, 9, 15, 16, 17, 255, 1000}) {
+      for (std::int64_t off : kOffsets) {
+        std::vector<float> buf = hostile_input(n + kPad, 11 + static_cast<std::uint64_t>(n));
+        const float* src = buf.data() + off;
+        std::vector<std::uint16_t> dst(static_cast<std::size_t>(n) + 1, 0xDEAD);
+        to_half(src, n, dst.data());
+        for (std::int64_t i = 0; i < n; ++i)
+          EXPECT_EQ(dst[static_cast<std::size_t>(i)], float_to_half(src[i]))
+              << level_name(level) << " n=" << n << " off=" << off << " i=" << i;
+        EXPECT_EQ(dst[static_cast<std::size_t>(n)], 0xDEAD) << "kernel wrote past n";
+      }
+    }
+  }
+}
+
+TEST(SimdHalf, FromHalfBitExactIncludingNanPayloads) {
+  // Every half pattern class: zeros, denormals, normals, inf, quiet and
+  // signaling NaN payloads (vcvtph2ps would quiet the latter; the kernel
+  // must not).
+  std::vector<std::uint16_t> patterns = {0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400,
+                                         0x3C00, 0xBC00, 0x7BFF, 0xFBFF, 0x7C00, 0xFC00,
+                                         0x7C01, 0xFC01, 0x7E00, 0xFE00, 0x7D55, 0xFFFF};
+  while (patterns.size() % 8 != 3) patterns.push_back(0x5555);  // force a tail
+  const auto n = static_cast<std::int64_t>(patterns.size());
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    if (level == Level::kAvx2 && !avx2_available()) continue;
+    ScopedLevel forced(level);
+    std::vector<float> out(patterns.size());
+    from_half(patterns.data(), n, out.data());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float expect = half_to_float(patterns[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(out[static_cast<std::size_t>(i)]),
+                std::bit_cast<std::uint32_t>(expect))
+          << level_name(level) << " pattern=" << std::hex
+          << patterns[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+TEST(SimdThresholdFilter, CountAndCollectMatchScalar) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  for (std::int64_t n : {0, 1, 5, 8, 13, 64, 100, 1000, 4096, 4099}) {
+    for (std::int64_t off : kOffsets) {
+      std::vector<float> buf = hostile_input(n + kPad, 99 + static_cast<std::uint64_t>(n));
+      const float* values = buf.data() + off;
+      for (float t : {0.5F, 0.0F, -1.0F, std::numeric_limits<float>::quiet_NaN()}) {
+        std::int64_t scalar_count = 0;
+        std::int64_t simd_count = 0;
+        std::vector<std::int64_t> scalar_idx(static_cast<std::size_t>(n) + 1);
+        std::vector<std::int64_t> simd_idx(static_cast<std::size_t>(n) + 1);
+        std::int64_t scalar_written = 0;
+        std::int64_t simd_written = 0;
+        {
+          ScopedLevel forced(Level::kScalar);
+          scalar_count = count_abs_ge(values, n, t);
+          scalar_written = collect_abs_ge(values, n, t, 1000, scalar_idx.data());
+        }
+        {
+          ScopedLevel forced(Level::kAvx2);
+          simd_count = count_abs_ge(values, n, t);
+          simd_written = collect_abs_ge(values, n, t, 1000, simd_idx.data());
+        }
+        EXPECT_EQ(scalar_count, simd_count) << "n=" << n << " t=" << t;
+        ASSERT_EQ(scalar_written, simd_written) << "n=" << n << " t=" << t;
+        EXPECT_EQ(scalar_count, scalar_written);
+        for (std::int64_t i = 0; i < scalar_written; ++i)
+          EXPECT_EQ(scalar_idx[static_cast<std::size_t>(i)],
+                    simd_idx[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+}
+
+TEST(SimdDequantize, QsgdDecodeBitExact) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Rng rng(5);
+  for (std::int64_t n : {1, 7, 8, 9, 16, 100, 1000, 1003}) {
+    std::vector<std::uint8_t> codes(static_cast<std::size_t>(n));
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+    for (float norm : {0.0F, 1.0F, 3.75F, 1e30F}) {
+      std::vector<float> scalar_out(static_cast<std::size_t>(n));
+      std::vector<float> simd_out(static_cast<std::size_t>(n));
+      {
+        ScopedLevel forced(Level::kScalar);
+        qsgd_decode(codes.data(), n, norm, 127.0F, scalar_out.data());
+      }
+      {
+        ScopedLevel forced(Level::kAvx2);
+        qsgd_decode(codes.data(), n, norm, 127.0F, simd_out.data());
+      }
+      EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
+                               static_cast<std::size_t>(n) * sizeof(float)))
+          << "n=" << n << " norm=" << norm;
+    }
+  }
+}
+
+TEST(SimdDequantize, TernGradDecodeBitExact) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Rng rng(6);
+  for (std::int64_t n : {1, 3, 4, 7, 8, 9, 31, 32, 100, 1001}) {
+    std::vector<std::uint8_t> codes((static_cast<std::size_t>(n) + 3) / 4);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+    for (float scale : {0.0F, 0.5F, 2.5F}) {
+      std::vector<float> scalar_out(static_cast<std::size_t>(n));
+      std::vector<float> simd_out(static_cast<std::size_t>(n));
+      {
+        ScopedLevel forced(Level::kScalar);
+        terngrad_decode(codes.data(), n, scale, scalar_out.data());
+      }
+      {
+        ScopedLevel forced(Level::kAvx2);
+        terngrad_decode(codes.data(), n, scale, simd_out.data());
+      }
+      EXPECT_EQ(0, std::memcmp(scalar_out.data(), simd_out.data(),
+                               static_cast<std::size_t>(n) * sizeof(float)))
+          << "n=" << n << " scale=" << scale;
+    }
+  }
+}
+
+// GEMM: relative tolerance O(k * eps) — FMA tiles reassociate the sum.
+void expect_gemm_close(const std::vector<float>& a, const std::vector<float>& b,
+                       std::int64_t k, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  const double tol = 1e-6 * static_cast<double>(k);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(static_cast<double>(a[i])));
+    EXPECT_NEAR(a[i], b[i], tol * denom) << what << " i=" << i;
+  }
+}
+
+TEST(SimdGemm, AllVariantsMatchScalarWithinTolerance) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  Rng rng(8);
+  // Shapes hit full 8x8 tiles, row remainders, and j/k tails.
+  struct Shape {
+    std::int64_t m, k, n;
+  };
+  for (const Shape s : {Shape{8, 8, 8}, Shape{17, 5, 9}, Shape{64, 64, 64}, Shape{3, 100, 7},
+                        Shape{23, 31, 41}, Shape{1, 1, 1}}) {
+    std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+    std::vector<float> bt(static_cast<std::size_t>(s.n * s.k));
+    std::vector<float> at(static_cast<std::size_t>(s.k * s.m));
+    for (auto& x : a) x = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    for (auto& x : b) x = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+    for (std::int64_t i = 0; i < s.n; ++i)
+      for (std::int64_t j = 0; j < s.k; ++j)
+        bt[static_cast<std::size_t>(i * s.k + j)] = b[static_cast<std::size_t>(j * s.n + i)];
+    for (std::int64_t i = 0; i < s.k; ++i)
+      for (std::int64_t j = 0; j < s.m; ++j)
+        at[static_cast<std::size_t>(i * s.m + j)] = a[static_cast<std::size_t>(j * s.k + i)];
+
+    std::vector<float> c_scalar(static_cast<std::size_t>(s.m * s.n), 0.5F);
+    std::vector<float> c_simd = c_scalar;  // non-zero C: kernels accumulate
+    {
+      ScopedLevel forced(Level::kScalar);
+      gemm_nn(a.data(), b.data(), c_scalar.data(), 0, s.m, s.k, s.n);
+    }
+    {
+      ScopedLevel forced(Level::kAvx2);
+      gemm_nn(a.data(), b.data(), c_simd.data(), 0, s.m, s.k, s.n);
+    }
+    expect_gemm_close(c_scalar, c_simd, s.k, "nn");
+
+    std::fill(c_scalar.begin(), c_scalar.end(), 0.0F);
+    std::fill(c_simd.begin(), c_simd.end(), 0.0F);
+    {
+      ScopedLevel forced(Level::kScalar);
+      gemm_tn(at.data(), b.data(), c_scalar.data(), 0, s.m, s.k, s.m, s.n);
+    }
+    {
+      ScopedLevel forced(Level::kAvx2);
+      gemm_tn(at.data(), b.data(), c_simd.data(), 0, s.m, s.k, s.m, s.n);
+    }
+    expect_gemm_close(c_scalar, c_simd, s.k, "tn");
+
+    std::fill(c_scalar.begin(), c_scalar.end(), 0.0F);
+    std::fill(c_simd.begin(), c_simd.end(), 0.0F);
+    {
+      ScopedLevel forced(Level::kScalar);
+      gemm_nt(a.data(), bt.data(), c_scalar.data(), 0, s.m, s.k, s.n);
+    }
+    {
+      ScopedLevel forced(Level::kAvx2);
+      gemm_nt(a.data(), bt.data(), c_simd.data(), 0, s.m, s.k, s.n);
+    }
+    expect_gemm_close(c_scalar, c_simd, s.k, "nt");
+  }
+}
+
+TEST(SimdGemm, PartialRowRangeTouchesOnlyItsRows) {
+  // Row-partitioned callers hand each chunk [i0, i1); rows outside must not
+  // be written at either level.
+  Rng rng(9);
+  const std::int64_t m = 20;
+  const std::int64_t k = 13;
+  const std::int64_t n = 11;
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& x : a) x = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  for (auto& x : b) x = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  for (Level level : {Level::kScalar, Level::kAvx2}) {
+    if (level == Level::kAvx2 && !avx2_available()) continue;
+    ScopedLevel forced(level);
+    std::vector<float> c(static_cast<std::size_t>(m * n), 7.0F);
+    gemm_nn(a.data(), b.data(), c.data(), 4, 12, k, n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const bool inside = i >= 4 && i < 12;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float v = c[static_cast<std::size_t>(i * n + j)];
+        if (!inside)
+          EXPECT_EQ(v, 7.0F) << level_name(level) << " row " << i << " written outside range";
+        else
+          EXPECT_NE(v, 7.0F) << level_name(level) << " row " << i << " not updated";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gradcomp::tensor::simd

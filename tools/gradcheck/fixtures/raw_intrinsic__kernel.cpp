@@ -1,0 +1,12 @@
+// Fixture: must trigger exactly `raw-intrinsic` — a hand-rolled AVX2 loop
+// outside tensor/simd, i.e. a kernel the dispatch layer (and the scalar
+// equivalence suite) never sees. Scanned as text, never compiled.
+#include <immintrin.h>
+
+void scale_inplace(float* data, long n, float factor) {
+  const __m256 f = _mm256_set1_ps(factor);
+  for (long i = 0; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(data + i);  // SIGILLs on pre-AVX2 hosts
+    _mm256_storeu_ps(data + i, _mm256_mul_ps(v, f));
+  }
+}

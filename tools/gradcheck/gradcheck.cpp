@@ -367,6 +367,32 @@ void rule_nodiscard_cost(const std::string& path, const std::vector<Token>& toks
   }
 }
 
+// raw-intrinsic: vector intrinsics (`_mm*` calls, `__m128/__m256/__m512`
+// types) outside the dispatch module bypass the runtime CPU check — code
+// that compiles everywhere but SIGILLs on hosts without the extension, and
+// a second copy of a kernel the equivalence suite will never see. All
+// intrinsics live in src/tensor/simd.cpp behind tensor::simd's dispatch.
+bool raw_intrinsic_token(const std::string& t) {
+  static const char* const kPrefixes[] = {"_mm_",    "_mm256_", "_mm512_",
+                                          "__m128",  "__m256",  "__m512"};
+  for (const char* prefix : kPrefixes)
+    if (t.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+void rule_raw_intrinsic(const std::string& path, const std::vector<Token>& toks,
+                        std::vector<Finding>& out) {
+  if (path_contains(path, "tensor/simd.")) return;  // the one sanctioned home
+  for (const auto& t : toks) {
+    if (raw_intrinsic_token(t.text)) {
+      out.push_back({"raw-intrinsic", path, t.line,
+                     "raw vector intrinsic '" + t.text +
+                         "' outside tensor/simd; route through the tensor::simd dispatch "
+                         "layer so the scalar fallback and CPUID gate stay intact"});
+    }
+  }
+}
+
 // --- Concurrency-pass rules -------------------------------------------------
 
 // cv-wait-no-predicate: a condition-variable wait without a predicate lets a
@@ -472,7 +498,7 @@ const std::map<std::string, RuleFn>& token_rules() {
   static const std::map<std::string, RuleFn> kRules = {
       {"unseeded-rng", rule_unseeded_rng},   {"naked-thread", rule_naked_thread},
       {"sleep-in-model", rule_sleep_in_model}, {"unit-suffix", rule_unit_suffix},
-      {"nodiscard-cost", rule_nodiscard_cost}};
+      {"nodiscard-cost", rule_nodiscard_cost}, {"raw-intrinsic", rule_raw_intrinsic}};
   return kRules;
 }
 
@@ -492,8 +518,8 @@ const std::map<std::string, RuleFn>& conc_rules() {
 // off); tools/ are host-side programs where wall-clock time is legitimate.
 std::set<std::string> token_rules_for(const std::string& path) {
   if (path_contains(path, "bench/"))
-    return {"unseeded-rng", "naked-thread", "sleep-in-model"};
-  if (path_contains(path, "tools/")) return {"unseeded-rng", "naked-thread"};
+    return {"unseeded-rng", "naked-thread", "sleep-in-model", "raw-intrinsic"};
+  if (path_contains(path, "tools/")) return {"unseeded-rng", "naked-thread", "raw-intrinsic"};
   std::set<std::string> all;
   for (const auto& [name, fn] : token_rules()) all.insert(name);
   return all;
