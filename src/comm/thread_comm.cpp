@@ -47,6 +47,8 @@ ThreadComm::ThreadComm(int world_size, std::chrono::milliseconds timeout)
       failed_(static_cast<std::size_t>(world_size), 0),
       active_count_(world_size),
       shrink_flag_(static_cast<std::size_t>(world_size), 0),
+      grow_flag_(static_cast<std::size_t>(world_size), 0),
+      rejoin_flag_(static_cast<std::size_t>(world_size), 0),
       dense_(static_cast<std::size_t>(world_size)),
       ranks_(static_cast<std::size_t>(world_size)),
       mail_(static_cast<std::size_t>(world_size)),
@@ -153,6 +155,10 @@ void ThreadComm::fail(int rank) {
 }
 
 void ThreadComm::rebuild_dense_locked() {
+  // Size for the worst case first: a grow() re-expands the group, and the
+  // dense->original table must be able to hold every readmitted rank before
+  // the loop assigns (it is trimmed back down below).
+  ranks_.resize(static_cast<std::size_t>(initial_world_size_));
   int d = 0;
   for (int r = 0; r < initial_world_size_; ++r) {
     const auto u = static_cast<std::size_t>(r);
@@ -210,9 +216,16 @@ std::vector<int> ThreadComm::shrink(int rank) {
   }
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
   while (shrink_epoch_ == my_epoch) {
-    // Predicate-form wait: a false return means the deadline passed with the
-    // shrink consensus still pending for our epoch.
-    if (!cv_.wait_until(lock, deadline, [&] { return shrink_epoch_ != my_epoch; })) {
+    // Predicate-form wait: besides the epoch advancing, wake when the
+    // consensus condition becomes satisfiable without us doing anything —
+    // a second rank dying (double fault) via fail() while we are parked
+    // here removes itself from the survivor count, and fail()'s notify
+    // must let a waiter re-check completion instead of hanging until the
+    // deadline. A false return means the deadline passed with the shrink
+    // consensus still pending for our epoch.
+    if (!cv_.wait_until(lock, deadline, [&] {
+          return shrink_epoch_ != my_epoch || shrink_arrived_ == survivors();
+        })) {
       // A survivor died during recovery without declaring: blame the
       // missing ones and try to complete with whoever showed up.
       for (int r = 0; r < initial_world_size_; ++r) {
@@ -220,9 +233,177 @@ std::vector<int> ThreadComm::shrink(int rank) {
         if (active_[u] && !failed_[u] && !shrink_flag_[u]) failed_[u] = 1;
       }
       if (shrink_arrived_ == survivors()) complete();
+    } else if (shrink_epoch_ == my_epoch && shrink_arrived_ == survivors()) {
+      // Double fault: the newly-dead rank will never enter shrink(), so the
+      // ranks that did arrive are now the whole consensus — reap both
+      // casualties in this round.
+      complete();
     }
   }
   return shrink_removed_;
+}
+
+bool ThreadComm::grow_ready_locked() const {
+  if (grow_expected_.empty() || grow_aborted_) return false;
+  int live = 0;
+  for (int r = 0; r < initial_world_size_; ++r) {
+    const auto u = static_cast<std::size_t>(r);
+    if (active_[u] && !failed_[u]) ++live;
+  }
+  if (grow_arrived_ != live) return false;
+  for (const int j : grow_expected_)
+    if (!rejoin_flag_[static_cast<std::size_t>(j)]) return false;
+  return true;
+}
+
+void ThreadComm::complete_grow_locked() {
+  for (const int j : grow_expected_) {
+    const auto u = static_cast<std::size_t>(j);
+    active_[u] = 1;
+    failed_[u] = 0;
+    rejoin_flag_[u] = 0;
+    // Drop any traffic addressed to this rank id in a past life: the joiner
+    // must only ever observe messages from its new generation.
+    mail_[u].clear();
+    byte_slots_[u].clear();
+  }
+  rebuild_dense_locked();
+  arrived_ = 0;
+  std::fill(arrived_flag_.begin(), arrived_flag_.end(), 0);
+  std::fill(grow_flag_.begin(), grow_flag_.end(), 0);
+  grow_arrived_ = 0;
+  grow_expected_.clear();
+  // A rank that died mid-round stays blamed; otherwise the group is clean.
+  bool any_failed = false;
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) any_failed = true;
+  aborted_ = any_failed;
+  grow_result_.clear();
+  for (const int r : ranks_) grow_result_.push_back(r);
+  ++grow_epoch_;
+  cv_.notify_all();
+}
+
+void ThreadComm::abort_grow_locked() {
+  // The round cannot complete: the survivors that never entered grow() are
+  // hung or dead — blame them so collectives surface the failure. Missing
+  // joiners are simply not admitted.
+  for (int r = 0; r < initial_world_size_; ++r) {
+    const auto u = static_cast<std::size_t>(r);
+    if (active_[u] && !failed_[u] && !grow_flag_[u]) {
+      failed_[u] = 1;
+      aborted_ = true;
+    }
+  }
+  grow_aborted_ = true;
+  cv_.notify_all();
+}
+
+void ThreadComm::throw_grow_abort_locked() const {
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (failed_[static_cast<std::size_t>(r)]) throw_failure_locked();
+  throw std::logic_error("ThreadComm: grow/rejoin round aborted (joiner set mismatch)");
+}
+
+std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
+      failed_[static_cast<std::size_t>(rank)])
+    throw std::logic_error("ThreadComm::grow: caller is not a live group member");
+  if (grow_flag_[static_cast<std::size_t>(rank)])
+    throw std::logic_error("ThreadComm::grow: re-entered by the same rank");
+
+  std::vector<int> want(joiners.begin(), joiners.end());
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  if (want.empty()) throw std::invalid_argument("ThreadComm::grow: empty joiner set");
+  for (const int j : want) {
+    if (j < 0 || j >= initial_world_size_)
+      throw std::invalid_argument("ThreadComm::grow: joiner rank out of range");
+    if (active_[static_cast<std::size_t>(j)])
+      throw std::logic_error(
+          "ThreadComm::grow: joiner " + std::to_string(j) +
+          " is still a group member (a dead rank must be reaped by shrink() first)");
+  }
+  if (grow_expected_.empty()) {
+    grow_expected_ = want;
+    grow_aborted_ = false;  // a fresh round supersedes a past aborted one
+  } else if (grow_expected_ != want) {
+    // SPMD misuse: survivors disagree on who is joining. Abort the round so
+    // every participant unwinds instead of deadlocking on a set nobody
+    // satisfies.
+    grow_aborted_ = true;
+    cv_.notify_all();
+    throw std::logic_error("ThreadComm::grow: joiner set mismatch across survivors");
+  }
+  grow_flag_[static_cast<std::size_t>(rank)] = 1;
+  ++grow_arrived_;
+
+  const std::uint64_t my_epoch = grow_epoch_;
+  if (grow_ready_locked()) {
+    complete_grow_locked();
+    return grow_result_;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (grow_epoch_ == my_epoch) {
+    if (grow_aborted_) {
+      grow_flag_[static_cast<std::size_t>(rank)] = 0;
+      --grow_arrived_;
+      if (grow_arrived_ == 0) grow_expected_.clear();
+      throw_grow_abort_locked();
+    }
+    // Predicate-form wait: wake on round completion, abort, or the consensus
+    // becoming satisfiable (e.g. a straggling survivor died via fail() while
+    // we were parked — its notify must trigger a re-check, not a hang).
+    if (!cv_.wait_until(lock, deadline, [&] {
+          return grow_epoch_ != my_epoch || grow_aborted_ || grow_ready_locked();
+        })) {
+      abort_grow_locked();
+    } else if (grow_epoch_ == my_epoch && !grow_aborted_ && grow_ready_locked()) {
+      complete_grow_locked();
+    }
+  }
+  return grow_result_;
+}
+
+std::vector<int> ThreadComm::rejoin(int rank) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (rank < 0 || rank >= initial_world_size_)
+    throw std::invalid_argument("ThreadComm::rejoin: rank out of range");
+  const auto u = static_cast<std::size_t>(rank);
+  if (active_[u])
+    throw std::logic_error("ThreadComm::rejoin: rank is still a group member");
+  if (rejoin_flag_[u]) throw std::logic_error("ThreadComm::rejoin: re-entered by the same rank");
+  rejoin_flag_[u] = 1;
+
+  const std::uint64_t my_epoch = grow_epoch_;
+  if (grow_ready_locked()) {
+    complete_grow_locked();
+    return grow_result_;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  while (grow_epoch_ == my_epoch) {
+    if (grow_aborted_) {
+      rejoin_flag_[u] = 0;
+      throw_grow_abort_locked();
+    }
+    if (!cv_.wait_until(lock, deadline, [&] {
+          return grow_epoch_ != my_epoch || grow_aborted_ || grow_ready_locked();
+        })) {
+      // The survivors never (all) called grow(): the joiner cannot be
+      // admitted. Blame the absentees and unwind.
+      abort_grow_locked();
+    } else if (grow_epoch_ == my_epoch && !grow_aborted_ && grow_ready_locked()) {
+      complete_grow_locked();
+    }
+  }
+  if (!active_[u]) {
+    // The round completed but this rank was not in the survivors' expected
+    // joiner set.
+    rejoin_flag_[u] = 0;
+    throw std::logic_error("ThreadComm::rejoin: the group did not expect this rank");
+  }
+  return grow_result_;
 }
 
 void ThreadComm::barrier(int rank) {
@@ -406,6 +587,16 @@ void ThreadComm::broadcast(int rank, int root, std::span<float> data) {
     if (broadcast_len_ != data.size()) throw std::invalid_argument("broadcast: size mismatch");
     std::copy(broadcast_src_, broadcast_src_ + broadcast_len_, data.begin());
   }
+  sync(rank);
+}
+
+void ThreadComm::broadcast_bytes(int rank, int root, std::vector<std::byte>& data) {
+  validate_rank(rank);
+  validate_rank(root);
+  if (active_count_.load(std::memory_order_relaxed) == 1) return;
+  if (rank == root) byte_broadcast_src_ = &data;
+  sync(rank);
+  if (rank != root) data = *byte_broadcast_src_;
   sync(rank);
 }
 

@@ -15,6 +15,14 @@
 // rebuilt over a dense re-indexing of the survivors, and the group continues
 // at world size p-1 — world_size() always reports the ACTIVE count, which is
 // what gives compressor mean-reduction its p-1 reweighting for free.
+//
+// Elastic re-expansion: grow()/rejoin() are the inverse of shrink(). A
+// replacement worker re-spawned under a previously-reaped rank id parks in
+// rejoin() while every survivor calls grow() with the expected joiner set;
+// when both sides meet, the joiners are re-admitted, their stale mailboxes
+// are cleared, and the dense ring/tree order is rebuilt at the larger world
+// size. State resync (params, optimizer, compressor state) is the caller's
+// job, done in-band right after the grow via broadcast_bytes().
 #pragma once
 
 #include <atomic>
@@ -86,7 +94,27 @@ class ThreadComm {
   // rank from the group, rebuilds the dense ring order, clears aborted
   // collective state, and returns the ranks that were removed (identical on
   // every caller). Throws std::runtime_error if no survivors would remain.
+  // If yet another rank dies (fail()) while survivors are parked inside the
+  // shrink barrier, the consensus re-forms without it: both casualties are
+  // reaped in the same shrink.
   std::vector<int> shrink(int rank);
+
+  // Collective re-admission of previously-reaped ranks. Every ACTIVE rank
+  // calls grow(rank, joiners) with the SAME joiner set (ascending original
+  // rank ids, all currently inactive) while each joiner calls rejoin(rank);
+  // when all survivors and all expected joiners have arrived, the joiners
+  // are reactivated, their stale mailboxes are dropped, and the dense
+  // ring/tree order is rebuilt. Both calls return the new active rank list
+  // (identical on every participant). On timeout the absent survivors are
+  // blamed as failed and RankFailure is thrown; a mismatched joiner set
+  // aborts the round with std::logic_error on every participant.
+  std::vector<int> grow(int rank, std::span<const int> joiners);
+  std::vector<int> rejoin(int rank);
+
+  // Copies root's byte payload into every active rank's `data` (receivers
+  // are resized to match — the variable-length counterpart of broadcast(),
+  // used for the rejoin state-resync blob).
+  void broadcast_bytes(int rank, int root, std::vector<std::byte>& data);
 
   // Which all-reduce algorithm to execute. Ring is bandwidth-optimal with
   // latency ~p; the binomial double-tree-style reduce+broadcast has latency
@@ -128,6 +156,16 @@ class ThreadComm {
   void sync(int rank);
   [[noreturn]] void throw_failure_locked() const;
   void rebuild_dense_locked();
+  // True when every live survivor has entered grow() and every expected
+  // joiner is parked in rejoin().
+  [[nodiscard]] bool grow_ready_locked() const;
+  // Re-admits the expected joiners and publishes the new ring.
+  void complete_grow_locked();
+  // Deadline handling shared by grow() and rejoin(): blames absent
+  // survivors and aborts the round.
+  void abort_grow_locked();
+  // Thrown by grow()/rejoin() waiters observing an aborted round.
+  [[noreturn]] void throw_grow_abort_locked() const;
   void allreduce_ring(int rank, std::span<float> data);
   // Binomial-tree reduce to the dense root followed by binomial broadcast.
   void allreduce_tree(int rank, std::span<float> data);
@@ -149,6 +187,14 @@ class ThreadComm {
   std::uint64_t shrink_epoch_ = 0;
   std::vector<int> shrink_removed_;  // result of the in-progress shrink
 
+  std::vector<char> grow_flag_;    // by original rank, survivors inside grow()
+  std::vector<char> rejoin_flag_;  // by original rank, joiners parked in rejoin()
+  int grow_arrived_ = 0;           // survivors that have entered grow()
+  std::uint64_t grow_epoch_ = 0;   // completed grow rounds
+  bool grow_aborted_ = false;      // the in-progress round failed; waiters unwind
+  std::vector<int> grow_expected_;  // sorted joiner set of the in-progress grow
+  std::vector<int> grow_result_;    // active ranks after the completed grow
+
   // Dense re-indexing of the active ranks: dense_[orig] in [0, active) or
   // -1; ranks_[dense] = orig. Rebuilt by shrink(); read by collectives
   // without the lock (mutations only happen while every survivor is parked
@@ -161,6 +207,7 @@ class ThreadComm {
   std::vector<std::vector<std::byte>> byte_slots_;
   const float* broadcast_src_ = nullptr;
   std::size_t broadcast_len_ = 0;
+  const std::vector<std::byte>* byte_broadcast_src_ = nullptr;
   std::uint64_t allreduce_ops_ = 0;
 };
 

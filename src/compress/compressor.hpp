@@ -79,6 +79,23 @@ class Compressor {
     if (!bytes.empty())
       throw std::runtime_error(name() + ": unexpected compressor state blob");
   }
+
+  // The subset of compressor state that must be IDENTICAL across ranks for
+  // aggregation to stay correct: RandomK's per-layer round counters (they
+  // seed the shared index draw) and PowerSGD's warm-start Q (it is
+  // all-reduced every step, so all live ranks hold the same copy). A
+  // replacement rank rejoining the group must adopt this from a survivor or
+  // the collective silently corrupts. Per-rank state — error-feedback
+  // residuals, DGC velocity — is deliberately EXCLUDED: a joiner restarts
+  // with zero residual rather than reintroducing stale error feedback.
+  [[nodiscard]] virtual std::vector<std::byte> serialize_shared_state() const { return {}; }
+  // Installs shared state produced by serialize_shared_state() on an
+  // identically configured instance. Throws std::runtime_error on malformed
+  // input.
+  virtual void restore_shared_state(std::span<const std::byte> bytes) {
+    if (!bytes.empty())
+      throw std::runtime_error(name() + ": unexpected shared compressor state blob");
+  }
 };
 
 // ---------------------------------------------------------------------------

@@ -162,5 +162,35 @@ void PowerSgdCompressor::restore_state(std::span<const std::byte> bytes) {
   states_ = std::move(states);
 }
 
+std::vector<std::byte> PowerSgdCompressor::serialize_shared_state() const {
+  tensor::ByteWriter writer;
+  writer.u64(states_.size());
+  for (const LayerId key : detail::sorted_keys(states_)) {
+    const LayerState& state = states_.at(key);
+    writer.i64(key);
+    // The residual shape (m x n) is not derivable from Q (n x r) alone, so
+    // carry m explicitly; the joiner's residual is a fresh zero tensor.
+    writer.i64(state.residual.dim(0));
+    writer.tensor(state.q);
+  }
+  return writer.take();
+}
+
+void PowerSgdCompressor::restore_shared_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " shared state");
+  std::unordered_map<LayerId, LayerState> states;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LayerId key = reader.i64();
+    const std::int64_t m = reader.i64();
+    LayerState state;
+    state.q = reader.tensor();
+    state.residual = tensor::Tensor({m, state.q.dim(0)});  // zero error feedback
+    state.initialized = true;
+    states.emplace(key, std::move(state));
+  }
+  reader.expect_done();
+  states_ = std::move(states);
+}
 
 }  // namespace gradcomp::compress

@@ -38,6 +38,11 @@ class PowerSgdCompressor final : public Compressor {
   // scratch tensors are rebuilt on demand).
   [[nodiscard]] std::vector<std::byte> serialize_state() const override;
   void restore_state(std::span<const std::byte> bytes) override;
+  // Shared state for a rejoining rank: the warm-start Q per layer (identical
+  // on every live rank after each step's all-reduce). The joiner's
+  // error-feedback residual starts at zero.
+  [[nodiscard]] std::vector<std::byte> serialize_shared_state() const override;
+  void restore_shared_state(std::span<const std::byte> bytes) override;
 
   [[nodiscard]] int target_rank() const noexcept { return rank_; }
 

@@ -5,8 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "compress/state_io.hpp"
 #include "stats/timer.hpp"
 #include "tensor/rng.hpp"
+#include "tensor/serial.hpp"
 #include "tensor/topk.hpp"
 
 namespace gradcomp::compress {
@@ -86,6 +88,28 @@ tensor::Tensor RandomKCompressor::roundtrip(LayerId layer, const tensor::Tensor&
   tensor::Tensor out(grad.shape());
   tensor::scatter(indices, values, out.data());
   return out;
+}
+
+std::vector<std::byte> RandomKCompressor::serialize_shared_state() const {
+  tensor::ByteWriter writer;
+  writer.u64(rounds_.size());
+  for (const LayerId key : detail::sorted_keys(rounds_)) {
+    writer.i64(key);
+    writer.u64(rounds_.at(key));
+  }
+  return writer.take();
+}
+
+void RandomKCompressor::restore_shared_state(std::span<const std::byte> bytes) {
+  tensor::ByteReader reader(bytes, name() + " shared state");
+  std::unordered_map<LayerId, std::uint64_t> rounds;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const LayerId key = reader.i64();
+    rounds[key] = reader.u64();
+  }
+  reader.expect_done();
+  rounds_ = std::move(rounds);
 }
 
 }  // namespace gradcomp::compress

@@ -27,6 +27,11 @@ class RandomKCompressor final : public Compressor {
   AggregateStats aggregate(LayerId layer, int rank, comm::ThreadComm& comm,
                            tensor::Tensor& grad) override;
   [[nodiscard]] tensor::Tensor roundtrip(LayerId layer, const tensor::Tensor& grad) override;
+  // Shared state for a rejoining rank: the per-layer round counters. A
+  // joiner starting from round 0 would draw a DIFFERENT index set than the
+  // survivors at round N and silently corrupt the all-reduce.
+  [[nodiscard]] std::vector<std::byte> serialize_shared_state() const override;
+  void restore_shared_state(std::span<const std::byte> bytes) override;
 
   [[nodiscard]] std::int64_t k_for(std::int64_t numel) const;
   // The shared index set for a given (layer, round, n). Deterministic in its

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "tensor/rng.hpp"
@@ -44,6 +45,39 @@ void validate(const FaultPlanOptions& o) {
   if (has_fail_rank && o.fail_rank >= o.world_size) fail("fail_rank out of range");
   if (has_fail_iter && o.fail_at_iteration >= o.iterations && o.iterations > 0)
     fail("fail_at_iteration past the schedule horizon");
+  for (const RecoveryWindow& w : o.recovery_windows) {
+    if (w.rank < 0 || w.rank >= o.world_size) fail("recovery window rank out of range");
+    if (w.death_iteration < 0) fail("recovery window death_iteration must be >= 0");
+    if (o.iterations > 0 && w.death_iteration >= o.iterations)
+      fail("recovery window death past the schedule horizon");
+  }
+  if (o.death_prob < 0.0 || o.death_prob > 1.0) fail("death_prob must be in [0, 1]");
+  if (o.downtime_mean_iterations < 0.0) fail("downtime_mean_iterations must be >= 0");
+}
+
+// The full recovery schedule must stay consumable by the trainer: at most
+// one death per iteration (the step loop reaps one casualty at a time) and
+// no overlapping windows per rank (a rank can only die again after its
+// replacement rejoined).
+void validate_windows(const std::vector<RecoveryWindow>& windows) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("FaultPlan: " + what);
+  };
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      const RecoveryWindow& a = windows[i];
+      const RecoveryWindow& b = windows[j];
+      if (a.death_iteration == b.death_iteration)
+        fail("two recovery windows schedule a death at iteration " +
+             std::to_string(a.death_iteration));
+      if (a.rank != b.rank) continue;
+      const RecoveryWindow& first = a.death_iteration < b.death_iteration ? a : b;
+      const RecoveryWindow& second = a.death_iteration < b.death_iteration ? b : a;
+      if (first.downtime <= 0 ||
+          second.death_iteration < first.death_iteration + first.downtime)
+        fail("overlapping recovery windows for rank " + std::to_string(a.rank));
+    }
+  }
 }
 
 }  // namespace
@@ -64,6 +98,7 @@ std::string fault_kind_name(FaultKind kind) {
     case FaultKind::kRackStraggler: return "rack-straggler";
     case FaultKind::kLinkDegradation: return "link-degradation";
     case FaultKind::kRankFailure: return "rank-failure";
+    case FaultKind::kRankRejoin: return "rank-rejoin";
   }
   return "?";
 }
@@ -140,10 +175,76 @@ FaultPlan FaultPlan::generate(const FaultPlanOptions& options) {
     plan.events_.push_back({FaultKind::kLinkDegradation, w.start, end - w.start, -1, w.factor});
   }
 
+  // --- Rank recovery schedule: legacy fail_rank + explicit windows + drawn
+  // churn, all normalized into windows_.
   if (options.fail_rank >= 0)
-    plan.events_.push_back({FaultKind::kRankFailure, options.fail_at_iteration,
-                            std::max(1, iters - options.fail_at_iteration), options.fail_rank,
-                            0.0});
+    plan.windows_.push_back({options.fail_rank, options.fail_at_iteration, 0});
+  for (const RecoveryWindow& w : options.recovery_windows)
+    plan.windows_.push_back({w.rank, w.death_iteration, std::max(0, w.downtime)});
+
+  if (options.death_prob > 0.0 && p > 1) {
+    // Ranks named in explicit windows are off-limits to the churn draw so
+    // the two schedules cannot produce overlapping windows.
+    std::vector<char> reserved(static_cast<std::size_t>(p), 0);
+    for (const RecoveryWindow& w : plan.windows_)
+      reserved[static_cast<std::size_t>(w.rank)] = 1;
+    std::vector<char> taken_iteration(static_cast<std::size_t>(iters), 0);
+    for (const RecoveryWindow& w : plan.windows_)
+      if (w.death_iteration < iters)
+        taken_iteration[static_cast<std::size_t>(w.death_iteration)] = 1;
+    // dead_until[r]: first iteration rank r is live again (INT_MAX = never).
+    constexpr int kNever = std::numeric_limits<int>::max();
+    std::vector<int> dead_until(static_cast<std::size_t>(p), 0);
+    const auto explicit_dead = [&](int r, int it) {
+      for (const RecoveryWindow& w : plan.windows_)
+        if (w.rank == r && w.death_iteration <= it &&
+            (w.downtime <= 0 || it < w.death_iteration + w.downtime))
+          return true;
+      return false;
+    };
+    for (int it = 0; it < iters; ++it) {
+      if (taken_iteration[static_cast<std::size_t>(it)]) continue;
+      if (rng.next_double() >= options.death_prob) continue;
+      std::vector<int> candidates;
+      int alive = 0;
+      for (int r = 0; r < p; ++r) {
+        const bool dead =
+            dead_until[static_cast<std::size_t>(r)] > it || explicit_dead(r, it);
+        if (dead) continue;
+        ++alive;
+        if (!reserved[static_cast<std::size_t>(r)]) candidates.push_back(r);
+      }
+      // Never kill the last live rank: the trainer cannot continue at p=0.
+      if (alive < 2 || candidates.empty()) continue;
+      const int victim =
+          candidates[static_cast<std::size_t>(rng.next_below(candidates.size()))];
+      int downtime = 0;
+      if (options.downtime_mean_iterations > 0.0) {
+        // Exponential downtime with the given mean, floored at 1 iteration.
+        const double u = rng.next_double();
+        downtime = 1 + static_cast<int>(options.downtime_mean_iterations *
+                                        -std::log(1.0 - u));
+      }
+      plan.windows_.push_back({victim, it, downtime});
+      dead_until[static_cast<std::size_t>(victim)] =
+          downtime > 0 ? it + downtime : kNever;
+    }
+  }
+
+  std::stable_sort(plan.windows_.begin(), plan.windows_.end(),
+                   [](const RecoveryWindow& a, const RecoveryWindow& b) {
+                     return a.death_iteration < b.death_iteration;
+                   });
+  validate_windows(plan.windows_);
+
+  for (const RecoveryWindow& w : plan.windows_) {
+    const int duration =
+        w.downtime > 0 ? w.downtime : std::max(1, iters - w.death_iteration);
+    plan.events_.push_back({FaultKind::kRankFailure, w.death_iteration, duration, w.rank, 0.0});
+    const int rejoin_it = w.death_iteration + w.downtime;
+    if (w.downtime > 0 && (iters == 0 || rejoin_it < iters))
+      plan.events_.push_back({FaultKind::kRankRejoin, rejoin_it, 1, w.rank, 0.0});
+  }
 
   std::stable_sort(plan.events_.begin(), plan.events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -174,14 +275,26 @@ double FaultPlan::bandwidth_factor(int iteration) const {
 }
 
 int FaultPlan::failed_rank_at(int iteration) const {
-  return options_.fail_rank >= 0 && options_.fail_at_iteration == iteration
-             ? options_.fail_rank
-             : -1;
+  for (const RecoveryWindow& w : windows_)
+    if (w.death_iteration == iteration) return w.rank;
+  return -1;
 }
 
 bool FaultPlan::rank_failed_by(int rank, int iteration) const {
-  return options_.fail_rank == rank && options_.fail_at_iteration >= 0 &&
-         options_.fail_at_iteration <= iteration;
+  for (const RecoveryWindow& w : windows_)
+    if (w.rank == rank && w.death_iteration <= iteration &&
+        (w.downtime <= 0 || iteration < w.death_iteration + w.downtime))
+      return true;
+  return false;
+}
+
+std::vector<int> FaultPlan::rejoining_ranks_at(int iteration) const {
+  std::vector<int> ranks;
+  for (const RecoveryWindow& w : windows_)
+    if (w.downtime > 0 && w.death_iteration + w.downtime == iteration)
+      ranks.push_back(w.rank);
+  std::sort(ranks.begin(), ranks.end());
+  return ranks;
 }
 
 std::vector<FaultEvent> FaultPlan::events_at(int iteration) const {

@@ -15,7 +15,11 @@
 //     together (top-of-rack oversubscription, co-scheduled neighbors);
 //   * transient link degradation — cluster bandwidth multiplied by a factor
 //     < 1 for a window of iterations;
-//   * permanent rank failure at a given iteration.
+//   * rank recovery windows — a rank dies at an iteration and (optionally) a
+//     replacement rejoins under the same rank id after a downtime, either
+//     scheduled explicitly or drawn from seeded churn knobs (death
+//     probability x downtime distribution). A window with no rejoin is the
+//     legacy permanent failure.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +38,16 @@ struct LinkWindow {
   int start = 0;
   int duration = 1;
   double factor = 0.5;  // in (0, 1]
+};
+
+// One rank recovery window: `rank` dies at the start of `death_iteration`;
+// a replacement re-spawned under the same rank id rejoins at the start of
+// iteration death_iteration + downtime. downtime <= 0 means the rank never
+// comes back (the legacy permanent failure).
+struct RecoveryWindow {
+  int rank = -1;
+  int death_iteration = 0;
+  int downtime = 0;
 };
 
 struct FaultPlanOptions {
@@ -72,9 +86,25 @@ struct FaultPlanOptions {
   std::vector<LinkWindow> link_windows;
 
   // Permanent rank failure: fail_rank dies at the start of iteration
-  // fail_at_iteration (both -1 to disable).
+  // fail_at_iteration (both -1 to disable). Legacy sugar for a
+  // RecoveryWindow with downtime 0.
   int fail_rank = -1;
   int fail_at_iteration = -1;
+
+  // Explicitly scheduled death -> downtime -> rejoin windows. Constraints
+  // (validated): at most one death per iteration across all windows, and a
+  // rank's windows must not overlap (it can only die again after it
+  // rejoined).
+  std::vector<RecoveryWindow> recovery_windows;
+
+  // Seeded random churn, drawn on top of the explicit windows: each
+  // iteration one currently-live rank dies with probability death_prob
+  // (1/MTBF); its downtime is exponential with the given mean in iterations
+  // (0 = permanent). Ranks named in explicit windows are excluded from the
+  // draw so the two schedules cannot conflict, and the draw never kills the
+  // last live rank.
+  double death_prob = 0.0;
+  double downtime_mean_iterations = 0.0;
 };
 
 enum class FaultKind : std::uint8_t {
@@ -82,6 +112,7 @@ enum class FaultKind : std::uint8_t {
   kRackStraggler,
   kLinkDegradation,
   kRankFailure,
+  kRankRejoin,
 };
 
 [[nodiscard]] std::string fault_kind_name(FaultKind kind);
@@ -121,13 +152,22 @@ class FaultPlan {
   [[nodiscard]] double bandwidth_factor(int iteration) const;
   // Rank failing exactly at `iteration`, or -1.
   [[nodiscard]] int failed_rank_at(int iteration) const;
-  // True if `rank` failed at or before `iteration`.
+  // True if `rank` is dead at `iteration`: it died at or before `iteration`
+  // and has not rejoined yet.
   [[nodiscard]] bool rank_failed_by(int rank, int iteration) const;
+  // Ranks whose replacement rejoins at the start of `iteration`, ascending.
+  [[nodiscard]] std::vector<int> rejoining_ranks_at(int iteration) const;
+  // The normalized recovery schedule (explicit windows, drawn churn, and the
+  // legacy fail_rank all folded in), ordered by death iteration.
+  [[nodiscard]] const std::vector<RecoveryWindow>& recovery_windows() const noexcept {
+    return windows_;
+  }
   // Events whose window covers `iteration` (for span recording).
   [[nodiscard]] std::vector<FaultEvent> events_at(int iteration) const;
 
  private:
   FaultPlanOptions options_;
+  std::vector<RecoveryWindow> windows_;  // death-ordered
   std::vector<FaultEvent> events_;
   std::vector<double> stretch_;  // iterations x world_size, row-major
   std::vector<double> bandwidth_;  // per iteration

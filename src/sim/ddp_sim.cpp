@@ -44,6 +44,8 @@ ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
                                 std::to_string(options_.incast_penalty));
   if (options_.recovery_detect < Seconds{})
     throw std::invalid_argument("ClusterSim: recovery_detect must be >= 0");
+  if (options_.rejoin_rebuild < Seconds{})
+    throw std::invalid_argument("ClusterSim: rejoin_rebuild must be >= 0");
   if (!options_.fault_plan.empty() &&
       options_.fault_plan.world_size() != cluster_.world_size)
     throw std::invalid_argument(
@@ -53,7 +55,7 @@ ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
   current_.world = cluster_.world_size;
 }
 
-void ClusterSim::begin_iteration() {
+void ClusterSim::begin_iteration(const core::Workload& workload) {
   const int it = iteration_++;
   current_ = IterationFaults{};
   current_.index = it;
@@ -68,11 +70,30 @@ void ClusterSim::begin_iteration() {
   current_.world = std::max(1, alive);
   current_.failed_rank = plan.failed_rank_at(it);
   if (current_.failed_rank >= 0) current_.recovery = options_.recovery_detect;
+  current_.rejoiners = plan.rejoining_ranks_at(it);
+  if (!current_.rejoiners.empty()) {
+    // Each joiner pays the group-rebuild consensus plus the in-band resync
+    // broadcast: params + optimizer velocity in fp32 (~2x model bytes)
+    // through the re-expanded group over the current link state.
+    const Bytes resync_bytes{2.0 * static_cast<double>(workload.model.total_params()) * 4.0};
+    current_.resync_per_rank =
+        options_.rejoin_rebuild +
+        comm::broadcast_seconds(resync_bytes, current_.world, effective_network());
+  }
 }
 
 void ClusterSim::record_fault_spans(SimResult& result) const {
   const auto& plan = options_.fault_plan;
   if (plan.empty() || current_.index < 0) return;
+  // Rejoin resyncs stall the whole group at the step boundary: one span per
+  // joiner, charged on top of the iteration's useful work.
+  for (const int rank : current_.rejoiners) {
+    const Seconds start = result.iteration_time;
+    result.iteration_time += current_.resync_per_rank;
+    result.timeline.add("rejoin",
+                        "rank " + std::to_string(rank) + " rejoin: rebuild + resync", start,
+                        result.iteration_time);
+  }
   if (current_.recovery > Seconds{}) {
     // The failure iteration pays detection (survivor timeout) plus the
     // group-shrink consensus before its result counts.
@@ -84,9 +105,11 @@ void ClusterSim::record_fault_spans(SimResult& result) const {
                         start, result.iteration_time);
   }
   for (const auto& ev : plan.events_at(current_.index)) {
-    // A rank failure is permanent; record it once, at detection. Later
-    // iterations already show its effect through the shrunken world size.
+    // A rank failure spans its whole downtime; record it once, at detection.
+    // Later iterations already show its effect through the shrunken world
+    // size. Rejoins get their own costed lane above, not a fault marker.
     if (ev.kind == core::FaultKind::kRankFailure && ev.iteration != current_.index) continue;
+    if (ev.kind == core::FaultKind::kRankRejoin) continue;
     std::string label = core::fault_kind_name(ev.kind);
     if (ev.rank >= 0) label += " rank " + std::to_string(ev.rank);
     char factor[32];
@@ -101,9 +124,10 @@ int ClusterSim::expected_fault_spans() const {
   if (plan.empty() || current_.index < 0) return 0;
   int n = current_.recovery > Seconds{} ? 1 : 0;
   for (const auto& ev : plan.events_at(current_.index)) {
-    // Mirrors record_fault_spans: a permanent rank failure is only recorded
-    // at its detection iteration.
+    // Mirrors record_fault_spans: a rank failure is only recorded at its
+    // detection iteration, and rejoins live on their own lane.
     if (ev.kind == core::FaultKind::kRankFailure && ev.iteration != current_.index) continue;
+    if (ev.kind == core::FaultKind::kRankRejoin) continue;
     ++n;
   }
   return n;
@@ -112,14 +136,16 @@ int ClusterSim::expected_fault_spans() const {
 void ClusterSim::validate_result(const SimResult& result, const char* what) const {
   if (!options_.validate_timeline) return;
   trace::ValidateOptions vo;
-  vo.annotation_lanes = {"fault"};
+  vo.annotation_lanes = {"fault", "rejoin"};
   vo.horizon = result.iteration_time;
   vo.expected_busy = {{"compute", result.compute},
                       {"comm", result.comm},
                       {"encode", result.encode},
                       {"decode", result.decode}};
-  vo.lane_windows = {{"fault", {{Seconds{}, result.iteration_time}}}};
-  vo.expected_span_count = {{"fault", expected_fault_spans()}};
+  vo.lane_windows = {{"fault", {{Seconds{}, result.iteration_time}}},
+                     {"rejoin", {{Seconds{}, result.iteration_time}}}};
+  vo.expected_span_count = {{"fault", expected_fault_spans()},
+                            {"rejoin", static_cast<int>(current_.rejoiners.size())}};
   trace::validate_or_throw(result.timeline, vo, std::string("ClusterSim::") + what);
 }
 
@@ -161,7 +187,7 @@ Seconds ClusterSim::allgather_seconds(Bytes bytes_per_rank) const {
 }
 
 SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
-  begin_iteration();
+  begin_iteration(workload);
   SimResult result;
   const int p = current_.world;
   const Seconds t_comp = cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));
@@ -267,7 +293,7 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     return result;
   }
 
-  begin_iteration();
+  begin_iteration(workload);
   SimResult result;
   const int p = current_.world;
   const Seconds t_comp = cluster_.device.scaled(workload.model.backward_seconds(workload.batch_size));

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/fault_plan.hpp"
 #include "core/perf_model.hpp"
@@ -72,6 +73,11 @@ struct SimOptions {
   // detected: the survivors' timeout + group-shrink consensus, our stand-in
   // for NCCL communicator teardown/re-init.
   Seconds recovery_detect{0.05};
+  // Group-rebuild consensus stall charged per rejoining rank, on top of the
+  // modeled params+optimizer resync broadcast (~2x model bytes through the
+  // current link state). Together they make the cost of churn visible as
+  // "rejoin" spans in every benchmark timeline.
+  Seconds rejoin_rebuild{0.02};
   // Debug gate: run trace::validate on every produced timeline (span order,
   // intra-lane overlap, busy-time conservation against the SimResult
   // accounting, fault spans inside the iteration window) and throw
@@ -117,10 +123,14 @@ class ClusterSim {
     int world = 1;                  // surviving rank count
     int failed_rank = -1;           // rank failing THIS iteration, or -1
     Seconds recovery;               // detect + shrink cost if failed_rank >= 0
+    std::vector<int> rejoiners;     // ranks rejoining at THIS step boundary
+    Seconds resync_per_rank;        // rebuild + state broadcast per rejoiner
   };
-  // Advances iteration_ and snapshots the plan state into current_.
-  void begin_iteration();
-  // Appends spans for current_'s active fault events and the recovery cost.
+  // Advances iteration_ and snapshots the plan state into current_; the
+  // workload sizes the rejoin resync broadcast (params + optimizer state).
+  void begin_iteration(const core::Workload& workload);
+  // Appends spans for current_'s rejoin resyncs, active fault events, and
+  // the failure recovery cost.
   void record_fault_spans(SimResult& result) const;
   // Fault spans record_fault_spans() will/did emit for current_.
   [[nodiscard]] int expected_fault_spans() const;

@@ -1,11 +1,71 @@
 #include "train/checkpoint.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "tensor/serial.hpp"
 
 namespace gradcomp::train {
+
+namespace {
+
+// Byte offsets of the header fields, for error context.
+constexpr std::uint64_t kMagicOffset = 0;
+constexpr std::uint64_t kVersionOffset = 4;
+constexpr std::uint64_t kPayloadLenOffset = 8;
+constexpr std::uint64_t kHeaderSize = 20;
+
+std::string error_context(const std::string& path, std::uint64_t offset) {
+  std::string ctx;
+  if (!path.empty()) ctx += " [" + path + "]";
+  ctx += " (at byte offset " + std::to_string(offset) + ")";
+  return ctx;
+}
+
+// Flushes user-space and kernel buffers for a just-written file so the
+// atomic rename below publishes bytes that are actually on disk.
+void flush_to_disk(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0)
+    throw CheckpointError("checkpoint: flush failed", path, 0);
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(file)) != 0)
+    throw CheckpointError("checkpoint: fsync failed", path, 0);
+#endif
+}
+
+// Durability for the rename itself: fsync the containing directory
+// (best-effort — some filesystems refuse directory handles).
+void sync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const auto parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+CheckpointError::CheckpointError(const std::string& what, std::string path,
+                                 std::uint64_t offset, std::uint32_t crc_expected,
+                                 std::uint32_t crc_actual)
+    : std::runtime_error(what + error_context(path, offset)),
+      path_(std::move(path)),
+      offset_(offset),
+      crc_expected_(crc_expected),
+      crc_actual_(crc_actual) {}
 
 std::vector<std::byte> Checkpoint::serialize() const {
   tensor::ByteWriter payload;
@@ -36,71 +96,176 @@ std::vector<std::byte> Checkpoint::serialize() const {
   return out.take();
 }
 
-Checkpoint Checkpoint::deserialize(std::span<const std::byte> bytes) {
+Checkpoint Checkpoint::deserialize(std::span<const std::byte> bytes, const std::string& path) {
   tensor::ByteReader header(bytes, "checkpoint");
-  if (header.remaining() < 20) throw std::runtime_error("checkpoint: truncated header");
+  if (header.remaining() < kHeaderSize)
+    throw CheckpointError("checkpoint: truncated header", path, header.remaining());
   if (header.u32() != kCheckpointMagic)
-    throw std::runtime_error("checkpoint: bad magic (not a checkpoint file)");
+    throw CheckpointError("checkpoint: bad magic (not a checkpoint file)", path, kMagicOffset);
   const std::uint32_t version = header.u32();
   if (version != kCheckpointVersion)
-    throw std::runtime_error("checkpoint: unsupported version " + std::to_string(version));
+    throw CheckpointError("checkpoint: unsupported version " + std::to_string(version), path,
+                          kVersionOffset);
   const std::uint64_t payload_len = header.u64();
   const std::uint32_t expected_crc = header.u32();
   if (header.remaining() != payload_len)
-    throw std::runtime_error("checkpoint: truncated payload (header declares " +
-                             std::to_string(payload_len) + " bytes, file has " +
-                             std::to_string(header.remaining()) + ")");
+    throw CheckpointError("checkpoint: truncated payload (header declares " +
+                              std::to_string(payload_len) + " bytes, file has " +
+                              std::to_string(header.remaining()) + ")",
+                          path, kPayloadLenOffset);
   const auto payload = bytes.subspan(bytes.size() - payload_len);
-  if (tensor::crc32(payload) != expected_crc)
-    throw std::runtime_error("checkpoint: CRC mismatch (corrupted payload)");
+  const std::uint32_t actual_crc = tensor::crc32(payload);
+  if (actual_crc != expected_crc)
+    throw CheckpointError("checkpoint: CRC mismatch (corrupted payload)", path, kHeaderSize,
+                          expected_crc, actual_crc);
 
   tensor::ByteReader reader(payload, "checkpoint payload");
-  Checkpoint ck;
-  ck.step = reader.i64();
-  const std::uint64_t n_dims = reader.u64();
-  ck.layer_dims.reserve(n_dims);
-  for (std::uint64_t i = 0; i < n_dims; ++i) ck.layer_dims.push_back(reader.i64());
-  const std::uint64_t n_params = reader.u64();
-  ck.params.reserve(n_params);
-  for (std::uint64_t i = 0; i < n_params; ++i) ck.params.push_back(reader.tensor());
-  ck.optimizer_lr = reader.f64();
-  const std::uint64_t n_velocity = reader.u64();
-  ck.velocity.reserve(n_velocity);
-  for (std::uint64_t i = 0; i < n_velocity; ++i) {
-    auto vw = reader.tensor();
-    auto vb = reader.tensor();
-    ck.velocity.emplace_back(std::move(vw), std::move(vb));
+  try {
+    Checkpoint ck;
+    ck.step = reader.i64();
+    const std::uint64_t n_dims = reader.u64();
+    ck.layer_dims.reserve(n_dims);
+    for (std::uint64_t i = 0; i < n_dims; ++i) ck.layer_dims.push_back(reader.i64());
+    const std::uint64_t n_params = reader.u64();
+    ck.params.reserve(n_params);
+    for (std::uint64_t i = 0; i < n_params; ++i) ck.params.push_back(reader.tensor());
+    ck.optimizer_lr = reader.f64();
+    const std::uint64_t n_velocity = reader.u64();
+    ck.velocity.reserve(n_velocity);
+    for (std::uint64_t i = 0; i < n_velocity; ++i) {
+      auto vw = reader.tensor();
+      auto vb = reader.tensor();
+      ck.velocity.emplace_back(std::move(vw), std::move(vb));
+    }
+    const std::uint64_t n_ranks = reader.u64();
+    ck.ranks.reserve(n_ranks);
+    for (std::uint64_t i = 0; i < n_ranks; ++i) {
+      RankState rs;
+      rs.rank = static_cast<int>(reader.i64());
+      rs.compressor_state = reader.blob();
+      ck.ranks.push_back(std::move(rs));
+    }
+    reader.expect_done();
+    return ck;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    // A CRC-clean payload that still fails to parse (a format bug, not
+    // corruption): report where in the file the parse stopped.
+    throw CheckpointError(e.what(), path, kHeaderSize + (payload_len - reader.remaining()));
   }
-  const std::uint64_t n_ranks = reader.u64();
-  ck.ranks.reserve(n_ranks);
-  for (std::uint64_t i = 0; i < n_ranks; ++i) {
-    RankState rs;
-    rs.rank = static_cast<int>(reader.i64());
-    rs.compressor_state = reader.blob();
-    ck.ranks.push_back(std::move(rs));
-  }
-  reader.expect_done();
-  return ck;
 }
 
 void Checkpoint::save(const std::string& path) const {
   const auto bytes = serialize();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path + " for writing");
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("checkpoint: write failed for " + path);
+  // Crash consistency: write a temp sibling (same directory, so the rename
+  // stays within one filesystem), force it to disk, then atomically rename
+  // over the target. A crash at any point leaves `path` as either the old
+  // complete checkpoint or the new complete one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr)
+    throw CheckpointError("checkpoint: cannot open temp file for writing", tmp, 0);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  if (written != bytes.size()) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: short write", tmp, written);
+  }
+  try {
+    flush_to_disk(file, tmp);
+  } catch (...) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  std::fclose(file);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint: atomic rename failed", path, 0);
+  }
+  sync_parent_dir(path);
 }
 
 Checkpoint Checkpoint::load(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (!in) throw CheckpointError("checkpoint: cannot open", path, 0);
   const std::streamsize size = in.tellg();
   in.seekg(0);
   std::vector<std::byte> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) throw std::runtime_error("checkpoint: read failed for " + path);
-  return deserialize(bytes);
+  if (!in) throw CheckpointError("checkpoint: read failed", path, 0);
+  return deserialize(bytes, path);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointRing.
+
+CheckpointRing::CheckpointRing(std::string dir, int capacity, std::string prefix)
+    : dir_(std::move(dir)), capacity_(capacity), prefix_(std::move(prefix)) {
+  if (capacity_ < 1) throw std::invalid_argument("CheckpointRing: capacity must be >= 1");
+  if (prefix_.empty()) throw std::invalid_argument("CheckpointRing: prefix must be non-empty");
+  std::filesystem::create_directories(dir_);
+}
+
+std::vector<std::string> CheckpointRing::snapshot_paths() const {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > prefix_.size() + 4 && name.rfind(prefix_ + "-", 0) == 0 &&
+        name.ends_with(".ck"))
+      paths.push_back(entry.path().string());
+  }
+  // Step numbers are zero-padded, so lexicographic order is save order.
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string CheckpointRing::save(const Checkpoint& ck) {
+  std::string step_str = std::to_string(std::max<std::int64_t>(0, ck.step));
+  if (step_str.size() < 8) step_str.insert(0, 8 - step_str.size(), '0');
+  const std::string path =
+      (std::filesystem::path(dir_) / (prefix_ + "-" + step_str + ".ck")).string();
+  ck.save(path);
+  if (post_save_hook_) post_save_hook_(path, ck.step);
+  auto paths = snapshot_paths();
+  for (std::size_t i = 0; i + static_cast<std::size_t>(capacity_) < paths.size(); ++i)
+    std::filesystem::remove(paths[i]);
+  return path;
+}
+
+Checkpoint CheckpointRing::load_latest_valid() {
+  const auto paths = snapshot_paths();
+  for (auto it = paths.rbegin(); it != paths.rend(); ++it) {
+    try {
+      return Checkpoint::load(*it);
+    } catch (const CheckpointError& e) {
+      skipped_.push_back({*it, e.what()});
+    }
+  }
+  throw CheckpointError("checkpoint ring: no valid snapshot (" +
+                            std::to_string(paths.size()) + " file(s), all invalid)",
+                        dir_, 0);
+}
+
+void corrupt_file(const std::string& path, std::uint64_t offset, CorruptionKind kind) {
+  if (kind == CorruptionKind::kTruncate) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, offset, ec);
+    if (ec) throw CheckpointError("corrupt_file: truncate failed", path, offset);
+    return;
+  }
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) throw CheckpointError("corrupt_file: cannot open", path, offset);
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  if (!file.read(&byte, 1))
+    throw CheckpointError("corrupt_file: offset past end of file", path, offset);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  if (!file) throw CheckpointError("corrupt_file: write failed", path, offset);
 }
 
 }  // namespace gradcomp::train

@@ -1,4 +1,4 @@
-// Versioned, CRC-guarded training checkpoints.
+// Versioned, CRC-guarded, crash-consistent training checkpoints.
 //
 // A checkpoint captures everything needed to resume a data-parallel run
 // bit-exactly: model parameters (stored once — replicas are identical by
@@ -11,11 +11,22 @@
 //   [magic:u32 = 0x47434B50 "PKCG"][version:u32][payload_len:u64][crc32:u32]
 //   [payload: payload_len bytes]
 // The CRC covers the payload only; truncation, bad magic, an unsupported
-// version, and a CRC mismatch each produce a distinct error message.
+// version, and a CRC mismatch each produce a distinct CheckpointError
+// carrying the file path and byte offset where validation failed.
+//
+// Crash consistency: save() writes a temp sibling, flushes it to disk, and
+// atomically renames it over the target — a crash mid-write can tear the
+// temp file but never the published checkpoint. CheckpointRing keeps the
+// last K snapshots so that even a checkpoint corrupted AFTER publication
+// (torn disk, bit rot, an injected fault) only costs one ring slot:
+// load_latest_valid() falls back to the newest snapshot that still
+// validates.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,6 +37,28 @@ namespace gradcomp::train {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x47434B50;  // "PKCG" on disk
 inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// A checkpoint that failed to save, load, or validate. Carries enough
+// context for actionable soak-harness logs: which file, at what byte offset
+// validation stopped, and (for CRC failures) the expected vs actual
+// checksum. `path` is empty when deserializing an in-memory buffer; the CRC
+// fields are zero unless the failure is a checksum mismatch.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(const std::string& what, std::string path, std::uint64_t offset,
+                  std::uint32_t crc_expected = 0, std::uint32_t crc_actual = 0);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::uint32_t crc_expected() const noexcept { return crc_expected_; }
+  [[nodiscard]] std::uint32_t crc_actual() const noexcept { return crc_actual_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_;
+  std::uint32_t crc_expected_;
+  std::uint32_t crc_actual_;
+};
 
 struct RankState {
   int rank = 0;  // original rank id (stable across shrinks)
@@ -44,12 +77,68 @@ struct Checkpoint {
   std::vector<RankState> ranks;
 
   [[nodiscard]] std::vector<std::byte> serialize() const;
-  // Throws std::runtime_error with a distinct message for truncated input,
-  // bad magic, unsupported version, and CRC mismatch.
-  [[nodiscard]] static Checkpoint deserialize(std::span<const std::byte> bytes);
+  // Throws CheckpointError with a distinct message for truncated input,
+  // bad magic, unsupported version, and CRC mismatch. `path` only provides
+  // error context (empty for in-memory buffers).
+  [[nodiscard]] static Checkpoint deserialize(std::span<const std::byte> bytes,
+                                              const std::string& path = "");
 
+  // Crash-consistent write: temp sibling + fsync + atomic rename. The
+  // published file at `path` is always either the previous checkpoint or
+  // the complete new one, never a torn mix. Throws CheckpointError on I/O
+  // failure.
   void save(const std::string& path) const;
   [[nodiscard]] static Checkpoint load(const std::string& path);
 };
+
+// Rolling window of the last `capacity` checkpoints, one file per snapshot
+// ("<prefix>-<step padded to 8 digits>.ck" so lexicographic order is step
+// order). save() publishes atomically and evicts the oldest snapshot beyond
+// capacity; load_latest_valid() walks newest-to-oldest past torn or
+// CRC-failed files, recording what it skipped.
+class CheckpointRing {
+ public:
+  // Creates `dir` if missing. capacity >= 1.
+  CheckpointRing(std::string dir, int capacity, std::string prefix = "ckpt");
+
+  // Saves `ck` as the newest snapshot and returns its path. The post-save
+  // hook (fault injection in the chaos harness) runs after the file is
+  // durable, before eviction.
+  std::string save(const Checkpoint& ck);
+
+  // Newest snapshot that deserializes cleanly; invalid files are skipped
+  // and recorded in skipped(). Throws CheckpointError when no snapshot
+  // validates.
+  [[nodiscard]] Checkpoint load_latest_valid();
+
+  // Snapshot paths currently in the ring, oldest to newest.
+  [[nodiscard]] std::vector<std::string> snapshot_paths() const;
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  struct SkippedFile {
+    std::string path;
+    std::string reason;
+  };
+  // Files load_latest_valid() had to skip, in the order encountered
+  // (cumulative across calls).
+  [[nodiscard]] const std::vector<SkippedFile>& skipped() const noexcept { return skipped_; }
+
+  void set_post_save_hook(std::function<void(const std::string& path, std::int64_t step)> hook) {
+    post_save_hook_ = std::move(hook);
+  }
+
+ private:
+  std::string dir_;
+  int capacity_;
+  std::string prefix_;
+  std::vector<SkippedFile> skipped_;
+  std::function<void(const std::string&, std::int64_t)> post_save_hook_;
+};
+
+// Deliberately damages a checkpoint file for recovery testing: kTruncate
+// cuts the file to `offset` bytes; kBitFlip XORs one bit at byte `offset`.
+enum class CorruptionKind : std::uint8_t { kTruncate, kBitFlip };
+void corrupt_file(const std::string& path, std::uint64_t offset, CorruptionKind kind);
 
 }  // namespace gradcomp::train

@@ -8,6 +8,7 @@
 
 #include "compress/registry.hpp"
 #include "core/perf_model.hpp"
+#include "tensor/serial.hpp"
 
 namespace gradcomp::train {
 
@@ -57,6 +58,7 @@ DataParallelTrainer::DataParallelTrainer(TrainerConfig config, Dataset dataset)
 StepStats DataParallelTrainer::step() {
   const auto n = static_cast<std::size_t>(config_.world_size);
   for (;;) {
+    maybe_rejoin();
     const std::vector<int> active = comm_.active_ranks();
     std::vector<double> losses(n, 0.0);
     std::vector<compress::AggregateStats> agg(n);
@@ -207,6 +209,111 @@ void DataParallelTrainer::recover(const std::vector<int>& before) {
   failures_.push_back(std::move(record));
 }
 
+void DataParallelTrainer::maybe_rejoin() {
+  if (config_.fault_plan.empty()) return;
+  std::vector<int> joiners;
+  for (const int r : config_.fault_plan.rejoining_ranks_at(static_cast<int>(step_count_)))
+    // After a checkpoint rewind this step may run again with the rank
+    // already re-admitted; the window fires exactly once.
+    if (!comm_.is_active(r)) joiners.push_back(r);
+  if (joiners.empty()) return;
+
+  const std::vector<int> survivors = comm_.active_ranks();
+  const int root = survivors.front();
+  std::vector<int> participants = survivors;
+  participants.insert(participants.end(), joiners.begin(), joiners.end());
+  std::sort(participants.begin(), participants.end());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> resync_bytes{0};
+  comm::run_ranks(participants, [&](int rank) {
+    const bool joining = std::find(joiners.begin(), joiners.end(), rank) != joiners.end();
+    if (joining) {
+      comm_.rejoin(rank);
+    } else {
+      comm_.grow(rank, joiners);
+    }
+    // In-band state resync: the first survivor serializes params + optimizer
+    // + shared compressor state and broadcasts it to the whole (re-expanded)
+    // group; only the joiners install it.
+    std::vector<std::byte> blob;
+    if (rank == root) {
+      blob = serialize_resync(root);
+      resync_bytes.store(blob.size());
+    }
+    comm_.broadcast_bytes(rank, root, blob);
+    if (joining) apply_resync(rank, blob);
+  });
+  const double resync_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  RejoinRecord record;
+  record.step = step_count_;
+  record.rejoined_ranks = joiners;
+  record.resync_bytes = resync_bytes.load();
+  // One "rejoin" span per re-admitted rank; the group rebuild + resync
+  // advances the trainer's wall clock like any other work (keeping later
+  // "adapt" windows contiguous).
+  for (const int r : joiners)
+    timeline_.add("rejoin",
+                  "rank " + std::to_string(r) + " rejoin: resync " +
+                      std::to_string(record.resync_bytes) + " B",
+                  adapt::Seconds{clock_s_}, adapt::Seconds{clock_s_ + resync_s});
+  clock_s_ += resync_s;
+  rejoins_.push_back(std::move(record));
+}
+
+std::vector<std::byte> DataParallelTrainer::serialize_resync(int root) const {
+  const auto r = static_cast<std::size_t>(root);
+  tensor::ByteWriter writer;
+  const auto& layers = models_[r].layers();
+  writer.u64(layers.size() * 2);
+  for (const auto& layer : layers) {
+    writer.tensor(layer.w);
+    writer.tensor(layer.b);
+  }
+  writer.f64(optimizers_[r].current_lr());
+  const auto velocity = optimizers_[r].velocity();
+  writer.u64(velocity.size());
+  for (const auto& [vw, vb] : velocity) {
+    writer.tensor(vw);
+    writer.tensor(vb);
+  }
+  writer.blob(compressors_[r]->serialize_shared_state());
+  return writer.take();
+}
+
+void DataParallelTrainer::apply_resync(int rank, std::span<const std::byte> blob) {
+  const auto r = static_cast<std::size_t>(rank);
+  tensor::ByteReader reader(blob, "rejoin resync");
+  auto& layers = models_[r].layers();
+  const std::uint64_t n_params = reader.u64();
+  if (n_params != layers.size() * 2)
+    throw std::runtime_error("rejoin resync: parameter count mismatch");
+  for (auto& layer : layers) {
+    layer.w = reader.tensor();
+    layer.b = reader.tensor();
+  }
+  const double lr = reader.f64();
+  const std::uint64_t n_velocity = reader.u64();
+  std::vector<std::pair<tensor::Tensor, tensor::Tensor>> velocity;
+  velocity.reserve(n_velocity);
+  for (std::uint64_t i = 0; i < n_velocity; ++i) {
+    auto vw = reader.tensor();
+    auto vb = reader.tensor();
+    velocity.emplace_back(std::move(vw), std::move(vb));
+  }
+  optimizers_[r].set_state(lr, velocity);
+  const auto shared = reader.blob();
+  reader.expect_done();
+  // Fresh compressor under the live scheme: zero error feedback (stale
+  // residuals from the rank's past life must NOT be reintroduced), then the
+  // shared state every rank must agree on (RandomK round counters, PowerSGD
+  // warm-start Q).
+  compressors_[r] = compress::make_compressor(active_compression_);
+  if (!shared.empty()) compressors_[r]->restore_shared_state(shared);
+}
+
 std::vector<double> DataParallelTrainer::train(int steps) {
   std::vector<double> losses;
   losses.reserve(static_cast<std::size_t>(std::max(steps, 0)));
@@ -298,6 +405,29 @@ void DataParallelTrainer::restore(const Checkpoint& ck) {
     for (const auto& rs : ck.ranks)
       if (rs.rank == rank && !rs.compressor_state.empty())
         compressors_[r]->restore_state(rs.compressor_state);
+  }
+  // Ranks absent from the checkpoint (their replacement rejoined after the
+  // snapshot, or a full restart re-spawned the whole group) still must agree
+  // with the restored ranks on the SHARED compressor state — RandomK's round
+  // counters, PowerSGD's warm-start Q — or the next aggregation silently
+  // diverges. Resync them from the first restored rank.
+  const auto in_ck = [&](int rank) {
+    for (const auto& rs : ck.ranks)
+      if (rs.rank == rank) return !rs.compressor_state.empty();
+    return false;
+  };
+  int donor = -1;
+  for (const int rank : comm_.active_ranks())
+    if (in_ck(rank)) {
+      donor = rank;
+      break;
+    }
+  if (donor >= 0) {
+    const auto shared = compressors_[static_cast<std::size_t>(donor)]->serialize_shared_state();
+    if (!shared.empty())
+      for (const int rank : comm_.active_ranks())
+        if (!in_ck(rank))
+          compressors_[static_cast<std::size_t>(rank)]->restore_shared_state(shared);
   }
   step_count_ = ck.step;
   if (history_.size() > static_cast<std::size_t>(ck.step))

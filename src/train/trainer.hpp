@@ -13,6 +13,14 @@
 // either continuing from current state (shrink-and-continue, gradients
 // automatically reweighted because world_size() reports the active count)
 // or rewinding to the last checkpoint first (restore-from-checkpoint).
+//
+// Elastic re-expansion: when the plan schedules a rejoin (death + downtime
+// window), the replacement rank re-enters at the step boundary via
+// comm::grow()/rejoin(), receives params + optimizer + shared compressor
+// state in-band from the first survivor (its error feedback restarts at
+// zero — stale residuals must not be reintroduced), and the step runs at
+// the re-expanded world size. Each resync is recorded as a "rejoin" span on
+// the trainer's timeline.
 #pragma once
 
 #include <chrono>
@@ -102,6 +110,14 @@ struct FailureRecord {
                                      // step after a restore
 };
 
+// One completed re-expansion: which ranks rejoined before which step and how
+// many bytes the in-band state resync broadcast moved.
+struct RejoinRecord {
+  std::int64_t step = 0;            // step about to run when the grow completed
+  std::vector<int> rejoined_ranks;  // original rank ids re-admitted, ascending
+  std::size_t resync_bytes = 0;     // size of the broadcast resync blob
+};
+
 class DataParallelTrainer {
  public:
   DataParallelTrainer(TrainerConfig config, Dataset dataset);
@@ -132,6 +148,8 @@ class DataParallelTrainer {
   [[nodiscard]] const std::vector<FailureRecord>& failures() const noexcept {
     return failures_;
   }
+  // Re-expansions completed so far, oldest first.
+  [[nodiscard]] const std::vector<RejoinRecord>& rejoins() const noexcept { return rejoins_; }
 
   // Max elementwise parameter divergence across SURVIVING replicas (0).
   [[nodiscard]] double replica_divergence() const;
@@ -145,8 +163,9 @@ class DataParallelTrainer {
   [[nodiscard]] bool adaptive_enabled() const noexcept { return controller_ != nullptr; }
   // Every decision the controller has emitted (empty when adaptive is off).
   [[nodiscard]] std::vector<adapt::Decision> decisions() const;
-  // Wall-clock timeline: one "adapt" span per closed decision window,
-  // labelled with the scheme that ran it and the controller's reason.
+  // Wall-clock timeline: one "adapt" span per closed decision window
+  // (labelled with the scheme that ran it and the controller's reason) and
+  // one "rejoin" span per re-admitted rank covering its state resync.
   [[nodiscard]] const trace::Timeline& timeline() const noexcept { return timeline_; }
 
   [[nodiscard]] std::int64_t steps_taken() const noexcept { return step_count_; }
@@ -170,6 +189,16 @@ class DataParallelTrainer {
   // Recovery after run_ranks observed a failure: record it and apply the
   // configured policy. `before` is the active set prior to the failure.
   void recover(const std::vector<int>& before);
+  // Re-admits any ranks whose recovery window closes at the current step:
+  // runs the grow/rejoin collective, broadcasts the resync blob from the
+  // first survivor, and records a "rejoin" timeline span. No-op when the
+  // plan schedules nothing (or the ranks are already active after a
+  // checkpoint rewind re-ran this step).
+  void maybe_rejoin();
+  // The in-band resync payload: params + optimizer state + the SHARED
+  // compressor state (error feedback deliberately excluded).
+  [[nodiscard]] std::vector<std::byte> serialize_resync(int root) const;
+  void apply_resync(int rank, std::span<const std::byte> blob);
   // Advances the wall clock and, when adaptive is on, feeds one observation
   // to the controller and applies any switch it decides between steps.
   void feed_controller(const StepStats& stats, double step_wall_s);
@@ -183,6 +212,7 @@ class DataParallelTrainer {
   comm::ThreadComm comm_;
   std::vector<StepStats> history_;
   std::vector<FailureRecord> failures_;
+  std::vector<RejoinRecord> rejoins_;
   std::int64_t step_count_ = 0;
   Checkpoint last_checkpoint_;
   bool has_checkpoint_ = false;

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "train/trainer.hpp"
 
@@ -172,6 +175,164 @@ TEST(Checkpoint, FaultedRunReplaysBitIdentically) {
   ASSERT_EQ(a.failures().size(), 1U);
   ASSERT_EQ(b.failures().size(), 1U);
   EXPECT_EQ(a.failures()[0].failed_ranks, b.failures()[0].failed_ranks);
+}
+
+// --- error context ----------------------------------------------------------
+
+TEST(CheckpointError, CrcMismatchCarriesPathOffsetAndChecksums) {
+  const std::string path = ::testing::TempDir() + "gradcomp_ck_crc.bin";
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(3);
+  trainer.make_checkpoint().save(path);
+  corrupt_file(path, 64, CorruptionKind::kBitFlip);  // inside the payload
+  try {
+    (void)Checkpoint::load(path);
+    FAIL() << "expected CRC error";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.offset(), 20U);  // validation stops at the header/payload seam
+    EXPECT_NE(e.crc_expected(), e.crc_actual());
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST(CheckpointError, TruncationCarriesPathAndNoCrc) {
+  const std::string path = ::testing::TempDir() + "gradcomp_ck_trunc.bin";
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(3);
+  trainer.make_checkpoint().save(path);
+  const auto full = std::filesystem::file_size(path);
+  corrupt_file(path, full / 2, CorruptionKind::kTruncate);
+  try {
+    (void)Checkpoint::load(path);
+    FAIL() << "expected truncation error";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.crc_expected(), 0U);
+    EXPECT_EQ(e.crc_actual(), 0U);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, CorruptFileKindsDamageAsAdvertised) {
+  const std::string path = ::testing::TempDir() + "gradcomp_ck_corrupt.bin";
+  DataParallelTrainer trainer(base_config(), blobs());
+  trainer.train(1);
+  trainer.make_checkpoint().save(path);
+  const auto before = std::filesystem::file_size(path);
+
+  corrupt_file(path, 24, CorruptionKind::kBitFlip);
+  EXPECT_EQ(std::filesystem::file_size(path), before);  // bit flip keeps the size
+  EXPECT_THROW((void)Checkpoint::load(path), CheckpointError);
+
+  corrupt_file(path, 10, CorruptionKind::kTruncate);
+  EXPECT_EQ(std::filesystem::file_size(path), 10U);
+  EXPECT_THROW(corrupt_file(path, 500, CorruptionKind::kBitFlip), CheckpointError);
+}
+
+// --- crash-consistent publication -------------------------------------------
+
+TEST(Checkpoint, SaveAtomicallyReplacesAndLeavesNoTempFiles) {
+  const std::string dir = ::testing::TempDir() + "gradcomp_ck_atomic";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/state.ck";
+
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  trainer.train(2);
+  trainer.make_checkpoint().save(path);
+  trainer.train(3);
+  trainer.make_checkpoint().save(path);  // replaces the published file
+
+  // Only the published checkpoint remains: the temp sibling used for the
+  // write-then-rename protocol must not leak.
+  int entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().string(), path);
+  }
+  EXPECT_EQ(entries, 1);
+  EXPECT_EQ(Checkpoint::load(path).step, 5);
+}
+
+// --- checkpoint ring --------------------------------------------------------
+
+std::string fresh_ring_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CheckpointRing, KeepsOnlyTheLastCapacitySnapshots) {
+  CheckpointRing ring(fresh_ring_dir("gradcomp_ring_cap"), 3);
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  for (int i = 0; i < 5; ++i) {
+    trainer.train(2);
+    ring.save(trainer.make_checkpoint());
+  }
+  const auto paths = ring.snapshot_paths();
+  ASSERT_EQ(paths.size(), 3U);  // snapshots at steps 2 and 4 were evicted
+  EXPECT_EQ(Checkpoint::load(paths[0]).step, 6);
+  EXPECT_EQ(Checkpoint::load(paths[2]).step, 10);
+  EXPECT_EQ(ring.load_latest_valid().step, 10);
+  EXPECT_TRUE(ring.skipped().empty());
+}
+
+TEST(CheckpointRing, LoadLatestValidWalksPastTornAndCorruptSnapshots) {
+  CheckpointRing ring(fresh_ring_dir("gradcomp_ring_skip"), 3);
+  DataParallelTrainer trainer(stateful_config(), blobs());
+  for (int i = 0; i < 3; ++i) {
+    trainer.train(2);
+    ring.save(trainer.make_checkpoint());
+  }
+  const auto paths = ring.snapshot_paths();
+  ASSERT_EQ(paths.size(), 3U);
+  // Newest torn mid-write, middle hit by bit rot; only the oldest survives.
+  corrupt_file(paths[2], std::filesystem::file_size(paths[2]) / 2, CorruptionKind::kTruncate);
+  corrupt_file(paths[1], 40, CorruptionKind::kBitFlip);
+
+  const Checkpoint ck = ring.load_latest_valid();
+  EXPECT_EQ(ck.step, 2);
+  ASSERT_EQ(ring.skipped().size(), 2U);
+  EXPECT_EQ(ring.skipped()[0].path, paths[2]);  // newest-to-oldest walk order
+  EXPECT_EQ(ring.skipped()[1].path, paths[1]);
+  EXPECT_NE(ring.skipped()[0].reason.find("truncated"), std::string::npos);
+  EXPECT_NE(ring.skipped()[1].reason.find("CRC"), std::string::npos);
+}
+
+TEST(CheckpointRing, ThrowsWhenNoSnapshotValidates) {
+  CheckpointRing ring(fresh_ring_dir("gradcomp_ring_dead"), 2);
+  DataParallelTrainer trainer(base_config(), blobs());
+  trainer.train(1);
+  ring.save(trainer.make_checkpoint());
+  for (const auto& p : ring.snapshot_paths()) corrupt_file(p, 4, CorruptionKind::kTruncate);
+  EXPECT_THROW((void)ring.load_latest_valid(), CheckpointError);
+
+  CheckpointRing empty(fresh_ring_dir("gradcomp_ring_empty"), 2);
+  EXPECT_THROW((void)empty.load_latest_valid(), CheckpointError);
+}
+
+TEST(CheckpointRing, PostSaveHookSeesDurablePublishedFile) {
+  // The chaos harness injects corruption from this hook, so it must fire
+  // after the snapshot is published (file readable at its final path) and
+  // before eviction.
+  CheckpointRing ring(fresh_ring_dir("gradcomp_ring_hook"), 2);
+  std::vector<std::int64_t> hook_steps;
+  ring.set_post_save_hook([&](const std::string& path, std::int64_t step) {
+    hook_steps.push_back(step);
+    EXPECT_EQ(Checkpoint::load(path).step, step);
+  });
+  DataParallelTrainer trainer(base_config(), blobs());
+  trainer.train(1);
+  ring.save(trainer.make_checkpoint());
+  trainer.train(1);
+  const std::string newest = ring.save(trainer.make_checkpoint());
+  EXPECT_EQ(hook_steps, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(Checkpoint::load(newest).step, 2);
+}
+
+TEST(CheckpointRing, ValidatesCapacity) {
+  EXPECT_THROW(CheckpointRing(fresh_ring_dir("gradcomp_ring_bad"), 0), std::invalid_argument);
 }
 
 }  // namespace

@@ -312,6 +312,70 @@ TEST(ClusterSim, RankFailureShrinksWorldAndChargesRecovery) {
   EXPECT_LT(after.comm.value(), ref.comm.value());
 }
 
+TEST(ClusterSim, RejoinRestoresWorldAndChargesResync) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 6;
+  fp.recovery_windows = {{3, 1, 2}};  // dies at iter 1, replacement at iter 3
+  ClusterSim sim(cluster_at(8), planned_options(fp));
+  ClusterSim clean(cluster_at(8), exact_options());
+  const auto w = workload_of(models::resnet50(), 64);
+
+  const auto ref = clean.run_syncsgd(w);
+  (void)sim.run_syncsgd(w);                    // iter 0: clean
+  (void)sim.run_syncsgd(w);                    // iter 1: failure + shrink
+  const auto degraded = sim.run_syncsgd(w);    // iter 2: p = 7
+  EXPECT_LT(degraded.comm.value(), ref.comm.value());
+  EXPECT_TRUE(degraded.timeline.spans_on("rejoin").empty());
+
+  // Iter 3: the replacement is back. Comm runs at the full ring again and
+  // the iteration pays the group-rebuild stall plus the modeled state-resync
+  // broadcast on top, recorded as one "rejoin" span.
+  const auto rejoin_iter = sim.run_syncsgd(w);
+  EXPECT_NEAR(rejoin_iter.comm.value(), ref.comm.value(), 1e-9);
+  const auto spans = rejoin_iter.timeline.spans_on("rejoin");
+  ASSERT_EQ(spans.size(), 1U);
+  EXPECT_NE(spans[0].label.find("rank 3"), std::string::npos);
+  EXPECT_GT(rejoin_iter.iteration_time.value(), ref.iteration_time.value());
+
+  // Iter 4: back to the clean baseline, no spans.
+  const auto after = sim.run_syncsgd(w);
+  EXPECT_NEAR(after.iteration_time.value(), ref.iteration_time.value(), 1e-9);
+  EXPECT_TRUE(after.timeline.spans_on("rejoin").empty());
+}
+
+TEST(ClusterSim, RejoinSpanScalesWithModelSizeAndRebuildStall) {
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 4;
+  fp.recovery_windows = {{2, 1, 1}};  // rejoins at iter 2
+  SimOptions cheap = planned_options(fp);
+  cheap.rejoin_rebuild = gradcomp::core::units::Seconds{0.0};
+  SimOptions costly = planned_options(fp);
+  costly.rejoin_rebuild = gradcomp::core::units::Seconds{1.0};
+
+  const auto w = workload_of(models::resnet50(), 64);
+  const auto span_length = [&w](SimOptions o) {
+    ClusterSim sim(cluster_at(8), std::move(o));
+    (void)sim.run_syncsgd(w);
+    (void)sim.run_syncsgd(w);
+    const auto r = sim.run_syncsgd(w);
+    const auto spans = r.timeline.spans_on("rejoin");
+    EXPECT_EQ(spans.size(), 1U);
+    return spans.empty() ? 0.0 : spans[0].duration().value();
+  };
+  const double cheap_span = span_length(cheap);
+  const double costly_span = span_length(costly);
+  // The resync broadcast (~2x model bytes) keeps even the zero-stall span
+  // positive; the rebuild stall adds on top.
+  EXPECT_GT(cheap_span, 0.0);
+  EXPECT_NEAR(costly_span - cheap_span, 1.0, 1e-9);
+
+  SimOptions bad = planned_options(fp);
+  bad.rejoin_rebuild = gradcomp::core::units::Seconds{-0.1};
+  EXPECT_THROW(ClusterSim(cluster_at(8), bad), std::invalid_argument);
+}
+
 TEST(ClusterSim, LinkDegradationSlowsCommDuringWindow) {
   core::FaultPlanOptions fp;
   fp.world_size = 8;

@@ -240,6 +240,146 @@ TEST(FaultPlan, ValidatesLinkWindows) {
   EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
 }
 
+TEST(FaultPlan, RecoveryWindowQueries) {
+  auto o = base(4, 50);
+  o.recovery_windows = {{2, 10, 5}, {1, 20, 0}};  // rank 2 rejoins; rank 1 never
+  const FaultPlan plan = FaultPlan::generate(o);
+
+  // Death instants.
+  EXPECT_EQ(plan.failed_rank_at(9), -1);
+  EXPECT_EQ(plan.failed_rank_at(10), 2);
+  EXPECT_EQ(plan.failed_rank_at(20), 1);
+
+  // Rank 2 is dead only inside [10, 15); its replacement runs after that.
+  EXPECT_FALSE(plan.rank_failed_by(2, 9));
+  EXPECT_TRUE(plan.rank_failed_by(2, 10));
+  EXPECT_TRUE(plan.rank_failed_by(2, 14));
+  EXPECT_FALSE(plan.rank_failed_by(2, 15));
+  EXPECT_FALSE(plan.rank_failed_by(2, 49));
+  // Rank 1's window has no rejoin: the legacy permanent failure.
+  EXPECT_TRUE(plan.rank_failed_by(1, 20));
+  EXPECT_TRUE(plan.rank_failed_by(1, 49));
+
+  EXPECT_EQ(plan.rejoining_ranks_at(15), std::vector<int>{2});
+  EXPECT_TRUE(plan.rejoining_ranks_at(14).empty());
+  EXPECT_TRUE(plan.rejoining_ranks_at(20).empty());
+
+  ASSERT_EQ(plan.recovery_windows().size(), 2U);
+  EXPECT_EQ(plan.recovery_windows()[0].rank, 2);
+  EXPECT_EQ(plan.recovery_windows()[1].rank, 1);
+
+  // The schedule surfaces as one failure event per window (duration = the
+  // downtime, or to the horizon when permanent) plus one rejoin event.
+  int failures = 0;
+  int rejoins = 0;
+  for (const auto& e : plan.events()) {
+    if (e.kind == FaultKind::kRankFailure) {
+      ++failures;
+      if (e.rank == 2) EXPECT_EQ(e.duration, 5);
+    }
+    if (e.kind == FaultKind::kRankRejoin) {
+      ++rejoins;
+      EXPECT_EQ(e.rank, 2);
+      EXPECT_EQ(e.iteration, 15);
+    }
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(rejoins, 1);
+}
+
+TEST(FaultPlan, LegacyFailRankIsAPermanentWindow) {
+  auto o = base(4, 50);
+  o.fail_rank = 3;
+  o.fail_at_iteration = 12;
+  const FaultPlan plan = FaultPlan::generate(o);
+  ASSERT_EQ(plan.recovery_windows().size(), 1U);
+  EXPECT_EQ(plan.recovery_windows()[0].rank, 3);
+  EXPECT_EQ(plan.recovery_windows()[0].death_iteration, 12);
+  EXPECT_LE(plan.recovery_windows()[0].downtime, 0);
+  for (int it = 0; it < 50; ++it) EXPECT_TRUE(plan.rejoining_ranks_at(it).empty());
+}
+
+TEST(FaultPlan, ValidatesRecoveryWindows) {
+  auto bad = base(4, 50);
+  bad.recovery_windows = {{9, 5, 3}};  // rank out of range
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base(4, 50);
+  bad.recovery_windows = {{1, 60, 3}};  // death past the horizon
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base(4, 50);
+  bad.recovery_windows = {{1, 5, 3}, {2, 5, 3}};  // two deaths, one iteration
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base(4, 50);
+  bad.recovery_windows = {{1, 5, 10}, {1, 8, 3}};  // rank 1 dies while dead
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  bad = base(4, 50);
+  bad.recovery_windows = {{1, 5, 0}, {1, 20, 3}};  // dies again after permanent death
+  EXPECT_THROW(FaultPlan::generate(bad), std::invalid_argument);
+
+  // Back-to-back windows for the same rank are legal once the first closed.
+  auto ok = base(4, 50);
+  ok.recovery_windows = {{1, 5, 5}, {1, 10, 5}};
+  EXPECT_NO_THROW((void)FaultPlan::generate(ok));
+}
+
+TEST(FaultPlan, ChurnDrawsAreDeterministicAndSafe) {
+  auto o = base(4, 300);
+  o.death_prob = 0.05;
+  o.downtime_mean_iterations = 5.0;
+  const FaultPlan a = FaultPlan::generate(o);
+  const FaultPlan b = FaultPlan::generate(o);
+
+  // Same seed, same windows.
+  ASSERT_EQ(a.recovery_windows().size(), b.recovery_windows().size());
+  EXPECT_GT(a.recovery_windows().size(), 0U);
+  for (std::size_t i = 0; i < a.recovery_windows().size(); ++i) {
+    EXPECT_EQ(a.recovery_windows()[i].rank, b.recovery_windows()[i].rank);
+    EXPECT_EQ(a.recovery_windows()[i].death_iteration, b.recovery_windows()[i].death_iteration);
+    EXPECT_EQ(a.recovery_windows()[i].downtime, b.recovery_windows()[i].downtime);
+  }
+
+  // The drawn schedule respects the invariants the trainer depends on:
+  // at most one death per iteration, and never a fully dead cluster.
+  for (int it = 0; it < o.iterations; ++it) {
+    int deaths_here = 0;
+    int alive = 0;
+    for (const auto& w : a.recovery_windows())
+      if (w.death_iteration == it) ++deaths_here;
+    for (int r = 0; r < o.world_size; ++r)
+      if (!a.rank_failed_by(r, it)) ++alive;
+    EXPECT_LE(deaths_here, 1) << "iteration " << it;
+    EXPECT_GE(alive, 1) << "iteration " << it;
+  }
+
+  o.seed = 1234;
+  const FaultPlan c = FaultPlan::generate(o);
+  bool differs = a.recovery_windows().size() != c.recovery_windows().size();
+  for (std::size_t i = 0; !differs && i < a.recovery_windows().size(); ++i)
+    differs = a.recovery_windows()[i].death_iteration != c.recovery_windows()[i].death_iteration ||
+              a.recovery_windows()[i].rank != c.recovery_windows()[i].rank;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, ChurnExcludesExplicitlyScheduledRanks) {
+  auto o = base(4, 300);
+  o.death_prob = 0.1;
+  o.downtime_mean_iterations = 4.0;
+  o.recovery_windows = {{0, 10, 5}};
+  const FaultPlan plan = FaultPlan::generate(o);
+  int explicit_windows = 0;
+  for (const auto& w : plan.recovery_windows()) {
+    if (w.rank == 0) {
+      ++explicit_windows;
+      EXPECT_EQ(w.death_iteration, 10);  // only the scheduled window, no draws
+    }
+  }
+  EXPECT_EQ(explicit_windows, 1);
+}
+
 TEST(FaultPlan, EventsAreIterationOrdered) {
   auto o = base(8, 100);
   o.straggler_dist = StragglerDist::kPareto;

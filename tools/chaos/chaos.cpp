@@ -1,0 +1,326 @@
+// chaos: deterministic chaos soak for the fault-tolerant trainer.
+//
+// From one seed the driver fuzzes a full fault schedule — rank deaths with
+// exponential-ish downtimes, rejoins, one torn on-disk checkpoint, one
+// simulated process crash + gang restart from the checkpoint ring — and runs
+// a REAL DataParallelTrainer (in-process ThreadComm collectives, real
+// compressors) through it, re-checking invariants after every step:
+//
+//   * the mean step loss stays finite, and the run still learns
+//     (tail-mean loss below head-mean loss despite the churn);
+//   * surviving replicas remain bit-identical (replica_divergence == 0),
+//     including right after every rejoin resync;
+//   * the live world size always matches a driver-side replay of the
+//     schedule, and in particular re-expands to full p after every
+//     recovery window;
+//   * CheckpointRing::load_latest_valid() steps over the corrupted
+//     snapshot (skipped() must name it) and the restart still converges;
+//   * trace::validate passes on every trainer instance's timeline with the
+//     EXACT number of "rejoin" spans its rejoin records promise.
+//
+// Any violation prints CHAOS VIOLATION and exits non-zero; a clean soak
+// writes a JSON report and a chrome-trace timeline and exits 0. Same seed,
+// same run — the tool is a ctest entry (chaos_soak) and a CI artifact
+// producer, not a flaky stress test.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compress/registry.hpp"
+#include "core/fault_plan.hpp"
+#include "tensor/rng.hpp"
+#include "trace/validate.hpp"
+#include "train/checkpoint.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace gradcomp;
+
+struct Options {
+  std::uint64_t seed = 7;
+  int steps = 200;
+  int world = 8;
+  std::string method = "powersgd rank=2";
+  int ring_cap = 3;
+  int checkpoint_every = 10;
+  int crash_at = -1;  // < 0: defaults to just past the midpoint
+  std::string ring_dir = "chaos_ring";
+  std::string report_path = "chaos_report.json";
+  std::string timeline_path = "chaos_timeline.json";
+  bool verbose = false;
+};
+
+[[noreturn]] void violation(const std::string& what) {
+  std::cerr << "CHAOS VIOLATION: " << what << "\n";
+  std::exit(1);
+}
+
+[[noreturn]] void usage(int code) {
+  std::cout << "chaos — seeded fault-schedule soak for the fault-tolerant trainer\n"
+               "  --seed N              schedule seed (default 7)\n"
+               "  --steps N             successful steps to complete (default 200)\n"
+               "  --world N             starting world size (default 8)\n"
+               "  --method STR          compressor config string (default 'powersgd rank=2')\n"
+               "  --ring-dir PATH       on-disk checkpoint ring directory\n"
+               "  --ring-cap N          snapshots kept in the ring (default 3)\n"
+               "  --checkpoint-every N  ring save cadence in steps (default 10)\n"
+               "  --crash-at N          step after which to tear a snapshot and gang-restart\n"
+               "  --report PATH         JSON soak report (default chaos_report.json)\n"
+               "  --timeline PATH       chrome-trace timeline of the final instance\n"
+               "  --smoke               reduced profile (120 steps) for sanitizer runs\n";
+  std::exit(code);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed") opt.seed = std::stoull(next(i));
+    else if (arg == "--steps") opt.steps = std::stoi(next(i));
+    else if (arg == "--world") opt.world = std::stoi(next(i));
+    else if (arg == "--method") opt.method = next(i);
+    else if (arg == "--ring-dir") opt.ring_dir = next(i);
+    else if (arg == "--ring-cap") opt.ring_cap = std::stoi(next(i));
+    else if (arg == "--checkpoint-every") opt.checkpoint_every = std::stoi(next(i));
+    else if (arg == "--crash-at") opt.crash_at = std::stoi(next(i));
+    else if (arg == "--report") opt.report_path = next(i);
+    else if (arg == "--timeline") opt.timeline_path = next(i);
+    else if (arg == "--smoke") opt.steps = 120;
+    else if (arg == "--verbose") opt.verbose = true;
+    else if (arg == "--help" || arg == "-h") usage(0);
+    else usage(2);
+  }
+  if (opt.steps < 60) violation("--steps must be >= 60 (the schedule needs room)");
+  if (opt.world < 4) violation("--world must be >= 4 (concurrent windows need spare ranks)");
+  if (opt.checkpoint_every < 1) violation("--checkpoint-every must be >= 1");
+  if (opt.crash_at < 0) opt.crash_at = opt.steps * 11 / 20;
+  if (opt.crash_at <= 2 * opt.checkpoint_every || opt.crash_at >= opt.steps)
+    violation("--crash-at must leave >= 2 ring saves before it and steps after it");
+  return opt;
+}
+
+// Fuzzes the recovery schedule: >= 4 death -> downtime -> rejoin windows
+// spread over the middle of the run, each rejoining before the run ends so
+// the world provably re-expands to full p every time.
+std::vector<core::RecoveryWindow> fuzz_schedule(const Options& opt, tensor::Rng& rng) {
+  constexpr int kDeaths = 4;
+  const int lo = opt.steps / 10;
+  const int seg = std::max(1, (opt.steps * 8 / 10 - lo) / kDeaths);
+  std::vector<core::RecoveryWindow> windows;
+  for (int i = 0; i < kDeaths; ++i) {
+    core::RecoveryWindow w;
+    w.death_iteration =
+        lo + i * seg + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                           std::max(1, seg / 2))));
+    w.downtime = 3 + static_cast<int>(rng.next_below(6));
+    w.downtime = std::min(w.downtime, opt.steps - 1 - w.death_iteration);
+    // Redraw the victim until its previous window (if any) has closed;
+    // guaranteed to terminate because concurrent windows < world.
+    for (;;) {
+      w.rank = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(opt.world)));
+      bool clear = true;
+      for (const auto& prev : windows)
+        if (prev.rank == w.rank && prev.death_iteration + prev.downtime > w.death_iteration)
+          clear = false;
+      if (clear) break;
+    }
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+// Exact "rejoin" span count the trainer's records promise, then a full
+// trace::validate of its timeline with that count pinned.
+void check_timeline(const train::DataParallelTrainer& trainer, const std::string& who) {
+  int rejoin_spans = 0;
+  for (const auto& rec : trainer.rejoins())
+    rejoin_spans += static_cast<int>(rec.rejoined_ranks.size());
+  trace::ValidateOptions vo;
+  vo.annotation_lanes = {"fault", "adapt", "rejoin"};
+  vo.expected_span_count = {{"rejoin", rejoin_spans}};
+  const auto violations = trace::validate(trainer.timeline(), vo);
+  if (!violations.empty())
+    violation(who + " timeline invalid:\n" + trace::describe(violations));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  tensor::Rng rng(opt.seed);
+
+  const auto windows = fuzz_schedule(opt, rng);
+  core::FaultPlanOptions fp;
+  fp.world_size = opt.world;
+  fp.iterations = opt.steps;
+  fp.seed = opt.seed;
+  fp.recovery_windows = windows;
+  const auto plan = core::FaultPlan::generate(fp);
+
+  train::TrainerConfig cfg;
+  cfg.world_size = opt.world;
+  cfg.layer_dims = {16, 32, 4};
+  cfg.compression = compress::config_from_string(opt.method);
+  cfg.optimizer.lr = 0.1;
+  cfg.seed = 11;
+  cfg.fault_plan = plan;
+  cfg.recovery = train::RecoveryPolicy::kShrinkContinue;
+  const auto dataset = train::make_blobs(4, 16, 8 * opt.world, 0.6F, 21);
+
+  std::filesystem::remove_all(opt.ring_dir);
+  train::CheckpointRing ring(opt.ring_dir, opt.ring_cap);
+
+  std::cout << "chaos soak: seed=" << opt.seed << " steps=" << opt.steps
+            << " world=" << opt.world << " method='" << opt.method << "' crash-at="
+            << opt.crash_at << "\n  schedule:";
+  for (const auto& w : windows)
+    std::cout << " [rank " << w.rank << " dies@" << w.death_iteration << " rejoins@"
+              << w.death_iteration + w.downtime << "]";
+  std::cout << "\n";
+
+  auto trainer = std::make_unique<train::DataParallelTrainer>(cfg, dataset);
+  // Driver-side replay of the schedule, mirroring the trainer's gating: a
+  // death fires only while the rank is alive, a rejoin only while it is
+  // dead, and a gang restart revives everyone.
+  std::vector<char> alive(static_cast<std::size_t>(opt.world), 1);
+  const auto expected_world = [&] {
+    return static_cast<int>(std::count(alive.begin(), alive.end(), 1));
+  };
+
+  std::vector<double> losses;
+  int deaths = 0;
+  int rejoins = 0;
+  int restarts = 0;
+  bool crashed = false;
+  std::string corrupted_path;
+
+  while (trainer->steps_taken() < opt.steps) {
+    const int s = static_cast<int>(trainer->steps_taken());
+    for (const int r : plan.rejoining_ranks_at(s))
+      if (!alive[static_cast<std::size_t>(r)]) {
+        alive[static_cast<std::size_t>(r)] = 1;
+        ++rejoins;
+      }
+    const int doomed = plan.failed_rank_at(s);
+    if (doomed >= 0 && alive[static_cast<std::size_t>(doomed)]) {
+      alive[static_cast<std::size_t>(doomed)] = 0;
+      ++deaths;
+    }
+    if (opt.verbose)
+      std::cerr << "step " << s << " expect world " << expected_world() << "\n";
+
+    const auto stats = trainer->step();
+    losses.push_back(stats.mean_local_loss);
+    if (!std::isfinite(stats.mean_local_loss))
+      violation("non-finite loss at step " + std::to_string(s));
+    if (trainer->active_workers() != expected_world())
+      violation("world size " + std::to_string(trainer->active_workers()) + " at step " +
+                std::to_string(s) + ", schedule replay expects " +
+                std::to_string(expected_world()));
+    if (trainer->replica_divergence() != 0.0)
+      violation("surviving replicas diverged at step " + std::to_string(s));
+
+    const auto done = trainer->steps_taken();
+    if (done % opt.checkpoint_every == 0) ring.save(trainer->make_checkpoint());
+
+    if (!crashed && done == opt.crash_at) {
+      crashed = true;
+      check_timeline(*trainer, "pre-crash instance");
+      // Tear the newest snapshot the way a dying writer or bad disk would,
+      // then "crash": drop the whole trainer and gang-restart every rank
+      // from the newest snapshot that still validates.
+      const auto snapshots = ring.snapshot_paths();
+      if (snapshots.empty()) violation("checkpoint ring empty at the crash point");
+      corrupted_path = snapshots.back();
+      const auto size = std::filesystem::file_size(corrupted_path);
+      if (rng.next_double() < 0.5) {
+        train::corrupt_file(corrupted_path, size / 2, train::CorruptionKind::kTruncate);
+      } else {
+        train::corrupt_file(corrupted_path, 20 + rng.next_below(size - 20),
+                            train::CorruptionKind::kBitFlip);
+      }
+      train::Checkpoint ck;
+      try {
+        ck = ring.load_latest_valid();
+      } catch (const train::CheckpointError& e) {
+        violation(std::string("no valid snapshot survived the injected fault: ") + e.what());
+      }
+      if (ring.skipped().empty())
+        violation("load_latest_valid() did not skip the corrupted snapshot");
+      trainer = std::make_unique<train::DataParallelTrainer>(cfg, dataset);
+      trainer->restore(ck);
+      std::fill(alive.begin(), alive.end(), 1);
+      ++restarts;
+      std::cout << "  crash@" << opt.crash_at << ": tore " << corrupted_path
+                << ", restarted all " << opt.world << " ranks from step " << ck.step << "\n";
+    }
+  }
+
+  check_timeline(*trainer, "final instance");
+  if (trainer->active_workers() != opt.world)
+    violation("world did not re-expand to " + std::to_string(opt.world) + " by the end");
+  if (deaths < 3 || rejoins < 3)
+    violation("schedule too tame: " + std::to_string(deaths) + " deaths, " +
+              std::to_string(rejoins) + " rejoins (need >= 3 of each)");
+  if (restarts < 1 || corrupted_path.empty())
+    violation("the soak never exercised the torn-checkpoint restart");
+  const std::size_t head = losses.size() / 5;
+  double head_mean = 0.0;
+  double tail_mean = 0.0;
+  for (std::size_t i = 0; i < head; ++i) head_mean += losses[i] / static_cast<double>(head);
+  for (std::size_t i = losses.size() - head; i < losses.size(); ++i)
+    tail_mean += losses[i] / static_cast<double>(head);
+  if (tail_mean >= head_mean)
+    violation("run did not learn through the churn (head mean " + std::to_string(head_mean) +
+              " -> tail mean " + std::to_string(tail_mean) + ")");
+
+  {
+    std::ofstream out(opt.timeline_path);
+    trainer->timeline().render_chrome_json(out);
+  }
+  std::ostringstream report;
+  report << "{\n"
+         << "  \"seed\": " << opt.seed << ",\n"
+         << "  \"steps\": " << opt.steps << ",\n"
+         << "  \"world\": " << opt.world << ",\n"
+         << "  \"method\": \"" << json_escape(opt.method) << "\",\n"
+         << "  \"deaths\": " << deaths << ",\n"
+         << "  \"rejoins\": " << rejoins << ",\n"
+         << "  \"restarts\": " << restarts << ",\n"
+         << "  \"corrupted_snapshot\": \"" << json_escape(corrupted_path) << "\",\n"
+         << "  \"snapshots_skipped\": " << ring.skipped().size() << ",\n"
+         << "  \"head_mean_loss\": " << head_mean << ",\n"
+         << "  \"tail_mean_loss\": " << tail_mean << ",\n"
+         << "  \"final_loss\": " << trainer->loss() << ",\n"
+         << "  \"final_accuracy\": " << trainer->accuracy() << ",\n"
+         << "  \"status\": \"ok\"\n"
+         << "}\n";
+  std::ofstream(opt.report_path) << report.str();
+
+  std::cout << "  survived: " << deaths << " deaths, " << rejoins << " rejoins, " << restarts
+            << " torn-checkpoint restart(s); loss " << head_mean << " -> " << tail_mean
+            << "\nchaos soak OK — report: " << opt.report_path << ", timeline: "
+            << opt.timeline_path << "\n";
+  return 0;
+}

@@ -474,13 +474,17 @@ void rule_relaxed_atomic(const std::string& path, const std::vector<Token>& toks
   }
 }
 
-// deadlineless-wait: inside the communication fabric and the shared pool,
-// every blocking wait must thread a deadline (wait_for/wait_until) so a hung
-// peer degrades to a timeout + RankFailure instead of a silent deadlock.
-// This is the contract the pool-backed ThreadComm rewrite must keep.
+// deadlineless-wait: inside the communication fabric, the shared pool, the
+// trainer's recovery/rejoin path, and the chaos soak driver, every blocking
+// wait must thread a deadline (wait_for/wait_until) so a hung peer degrades
+// to a timeout + RankFailure instead of a silent deadlock. A joiner parked
+// in rejoin() forever because the survivors never called grow() is exactly
+// the hang this rule exists to prevent.
 void rule_deadlineless_wait(const std::string& path, const std::vector<Token>& toks,
                             std::vector<Finding>& out) {
-  if (!path_contains(path, "comm/") && !path_contains(path, "core/parallel")) return;
+  if (!path_contains(path, "comm/") && !path_contains(path, "core/parallel") &&
+      !path_contains(path, "train/") && !path_contains(path, "tools/chaos"))
+    return;
   for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
     if (toks[i].text != "wait") continue;
     if (!member_call(toks, i)) continue;
