@@ -1,0 +1,156 @@
+#include "fabric/collectives.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gradcomp::fabric {
+
+namespace {
+
+CollectiveResult finish(Fabric& fab) {
+  CollectiveResult result;
+  result.elapsed = fab.run();
+  result.queue_delay = fab.total_queue_delay();
+  result.max_queue_depth = fab.max_queue_depth();
+  result.links = fab.link_usage();
+  result.flows = fab.take_flows();
+  return result;
+}
+
+void require_ring_order(const std::vector<int>& order, int world) {
+  if (static_cast<int>(order.size()) != world)
+    throw std::invalid_argument("fabric ring order: size " + std::to_string(order.size()) +
+                                " != world " + std::to_string(world));
+  std::vector<char> seen(static_cast<std::size_t>(world), 0);
+  for (int r : order) {
+    if (r < 0 || r >= world || seen[static_cast<std::size_t>(r)])
+      throw std::invalid_argument("fabric ring order: not a permutation of 0..world-1");
+    seen[static_cast<std::size_t>(r)] = 1;
+  }
+}
+
+// Shared engine for ring reduce-scatter/all-gather phases: p concurrent
+// chains, one rooted at each ring position. The chain that starts at
+// position i performs step s as a send from position (i+s) to (i+s+1); a
+// step launches as soon as the previous step's data has fully arrived.
+CollectiveResult ring_pass(const Topology& topology, const FabricOptions& options, Bytes chunk,
+                           int steps, const std::vector<int>& order, const std::string& label) {
+  const int p = static_cast<int>(order.size());
+  Fabric fab(topology, options);
+  std::function<void(int, int, Seconds)> launch = [&](int pos, int step, Seconds at) {
+    if (step >= steps) return;
+    const int src = order[static_cast<std::size_t>(pos)];
+    const int dst = order[static_cast<std::size_t>((pos + 1) % p)];
+    fab.send(src, dst, chunk, label, at, [&launch, pos, p, step](Seconds done) {
+      launch((pos + 1) % p, step + 1, done);
+    });
+  };
+  for (int i = 0; i < p; ++i) launch(i, 0, Seconds{});
+  return finish(fab);
+}
+
+}  // namespace
+
+CollectiveResult ring_allreduce(const Topology& topology, const FabricOptions& options,
+                                Bytes bytes) {
+  return ring_allreduce(topology, options, bytes, topology.ring_order());
+}
+
+CollectiveResult ring_allreduce(const Topology& topology, const FabricOptions& options, Bytes bytes,
+                                const std::vector<int>& ring_order) {
+  const int p = topology.spec().world_size;
+  require_ring_order(ring_order, p);
+  if (p < 2) return CollectiveResult{};
+  const Bytes chunk = bytes / static_cast<double>(p);
+  return ring_pass(topology, options, chunk, 2 * (p - 1), ring_order, "ring-allreduce");
+}
+
+CollectiveResult tree_allreduce(const Topology& topology, const FabricOptions& options,
+                                Bytes bytes) {
+  const int p = topology.spec().world_size;
+  if (p < 2) return CollectiveResult{};
+  const int q = static_cast<int>(std::bit_floor(static_cast<unsigned>(p)));
+  const int rounds = std::countr_zero(static_cast<unsigned>(q));
+  const int extra = p - q;
+
+  Fabric fab(topology, options);
+
+  // Per-active-rank fold gate: a rank that absorbs a remainder rank's
+  // gradient may not transmit its (combined) data before that fold lands,
+  // even if its exchange partner is already waiting on it. Triggers that
+  // arrive early are parked in `pending` and flushed at fold arrival.
+  struct RankState {
+    bool ready = false;
+    Seconds data_ready;
+    std::vector<std::pair<int, Seconds>> pending;  // (step, trigger time)
+  };
+  std::vector<RankState> states(static_cast<std::size_t>(q));
+
+  std::function<void(int, int, Seconds)> issue = [&](int i, int step, Seconds at) {
+    if (step == 2 * rounds) {
+      // Post-phase: return the fully reduced vector to the folded rank.
+      if (i < extra) fab.send(i, q + i, bytes, "tree-unfold", at, nullptr);
+      return;
+    }
+    int partner;
+    Bytes size;
+    if (step < rounds) {
+      // Recursive halving (reduce-scatter): distance q/2, q/4, ...
+      partner = i ^ (q >> (step + 1));
+      size = bytes / static_cast<double>(1 << (step + 1));
+    } else {
+      // Recursive doubling (all-gather): distance 1, 2, ...
+      const int j = step - rounds;
+      partner = i ^ (1 << j);
+      size = bytes * (static_cast<double>(1 << j) / static_cast<double>(q));
+    }
+    fab.send(i, partner, size, step < rounds ? "tree-halving" : "tree-doubling", at,
+             [&, partner, step](Seconds done) {
+               RankState& st = states[static_cast<std::size_t>(partner)];
+               if (!st.ready) {
+                 st.pending.emplace_back(step + 1, done);
+                 return;
+               }
+               issue(partner, step + 1, std::max(done, st.data_ready));
+             });
+  };
+
+  for (int i = extra; i < q; ++i) {
+    states[static_cast<std::size_t>(i)].ready = true;
+    issue(i, 0, Seconds{});
+  }
+  for (int j = 0; j < extra; ++j) {
+    // Pre-phase: remainder rank q+j folds its whole gradient onto rank j.
+    fab.send(q + j, j, bytes, "tree-fold", Seconds{}, [&, j](Seconds done) {
+      RankState& st = states[static_cast<std::size_t>(j)];
+      st.ready = true;
+      st.data_ready = done;
+      issue(j, 0, done);
+      for (const auto& [step, at] : st.pending) issue(j, step, std::max(at, done));
+      st.pending.clear();
+    });
+  }
+  return finish(fab);
+}
+
+CollectiveResult allgather(const Topology& topology, const FabricOptions& options,
+                           Bytes bytes_per_rank, GatherPattern pattern) {
+  const int p = topology.spec().world_size;
+  if (p < 2) return CollectiveResult{};
+  if (pattern == GatherPattern::kRing)
+    return ring_pass(topology, options, bytes_per_rank, p - 1, topology.ring_order(),
+                     "allgather-ring");
+  // kDirect: every rank unicasts its block to every other rank, all at t=0.
+  // The p-1 flows converging on each receiver's ingress link are the incast.
+  Fabric fab(topology, options);
+  for (int src = 0; src < p; ++src)
+    for (int dst = 0; dst < p; ++dst)
+      if (src != dst) fab.send(src, dst, bytes_per_rank, "allgather-direct", Seconds{}, nullptr);
+  return finish(fab);
+}
+
+}  // namespace gradcomp::fabric

@@ -1,0 +1,70 @@
+// Collective algorithms implemented as message schedules ON the fabric.
+//
+// Where comm/cost_model.hpp asserts a closed-form alpha-beta cost, these
+// routines inject the actual per-step transfers of each algorithm into the
+// packet engine and let completion time emerge from link queueing:
+//
+//   * ring_allreduce — the paper's Eq. 1 algorithm: 2(p-1) chunked steps
+//     around a ring. The default ring order is topology-aware (neighbors
+//     share a node/rack); passing Topology::interleaved_ring_order() shows
+//     what a placement-oblivious ring costs on an oversubscribed spine.
+//   * tree_allreduce — recursive halving-doubling (the latency-optimal
+//     large-scale algorithm the analytic tree formula approximates), with
+//     the standard fold-to-power-of-two pre/post phase for non-2^k worlds.
+//   * allgather — the fallback for non-all-reducible compressors
+//     (Section 4.2). kRing is the bandwidth-optimal (p-1)-step ring;
+//     kDirect is the naive everyone-to-everyone pattern whose p-1
+//     concurrent flows into one downlink ARE incast — the effect the
+//     paper's Section 4.3 could only fudge with a log2(p) penalty.
+//
+// Agreement contract (pinned by tests/test_fabric.cpp, quantified in
+// docs/fabric.md): on an uncongested full-bisection topology the emergent
+// times match the analytic formulas up to two documented terms — the
+// per-step latency that Eq. 1 halves away, and the store-and-forward
+// pipeline fill (H-1)*min(chunk, packet)/BW per message.
+#pragma once
+
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "fabric/topology.hpp"
+
+namespace gradcomp::fabric {
+
+enum class GatherPattern {
+  kRing,    // (p-1) neighbor steps, bandwidth-optimal
+  kDirect,  // p-1 concurrent unicasts per rank: the incast-prone pattern
+};
+
+struct CollectiveResult {
+  Seconds elapsed;
+  // Per-transfer spans in collective-local time (start at 0); recorded onto
+  // the trace::Timeline by sim::ClusterSim.
+  std::vector<Flow> flows;
+  // Emergent-contention summary: zero delay / depth <= 1 means the links
+  // never queued and the run was bandwidth- or latency-bound only.
+  Seconds queue_delay;
+  int max_queue_depth = 0;
+  std::vector<LinkUsage> links;
+};
+
+// Ring all-reduce of `bytes` (per-rank gradient size): reduce-scatter then
+// all-gather, 2(p-1) steps of bytes/p chunks. Default order is
+// Topology::ring_order().
+[[nodiscard]] CollectiveResult ring_allreduce(const Topology& topology,
+                                              const FabricOptions& options, Bytes bytes);
+[[nodiscard]] CollectiveResult ring_allreduce(const Topology& topology,
+                                              const FabricOptions& options, Bytes bytes,
+                                              const std::vector<int>& ring_order);
+
+// Recursive halving-doubling all-reduce (the "tree" collective of the cost
+// model): 2*log2(q) pairwise exchange rounds at the largest power of two
+// q <= p, plus a fold/unfold round-trip for the p - q remainder ranks.
+[[nodiscard]] CollectiveResult tree_allreduce(const Topology& topology,
+                                              const FabricOptions& options, Bytes bytes);
+
+// All-gather of `bytes_per_rank` from every rank to every rank.
+[[nodiscard]] CollectiveResult allgather(const Topology& topology, const FabricOptions& options,
+                                         Bytes bytes_per_rank, GatherPattern pattern);
+
+}  // namespace gradcomp::fabric

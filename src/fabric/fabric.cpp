@@ -1,0 +1,114 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace gradcomp::fabric {
+
+Fabric::Fabric(const Topology& topology, FabricOptions options)
+    : topology_(topology), options_(options) {
+  if (options_.packet_bytes.value() <= 0)
+    throw std::invalid_argument("Fabric: packet_bytes must be > 0");
+  if (options_.bandwidth_factor <= 0)
+    throw std::invalid_argument("Fabric: bandwidth_factor must be > 0");
+  links_.resize(topology_.links().size());
+}
+
+void Fabric::send(int src_rank, int dst_rank, Bytes bytes, std::string label, Seconds start,
+                  CompletionFn on_complete) {
+  if (bytes.value() < 0) throw std::invalid_argument("Fabric::send: negative byte count");
+  Transfer tr;
+  tr.src = src_rank;
+  tr.dst = dst_rank;
+  tr.bytes = bytes;
+  tr.packet_count =
+      std::max(1, static_cast<int>(std::ceil(bytes.value() / options_.packet_bytes.value())));
+  tr.packet = bytes / static_cast<double>(tr.packet_count);
+  tr.remaining = tr.packet_count;
+  tr.start = start;
+  tr.label = std::move(label);
+  tr.on_complete = std::move(on_complete);
+  tr.route = topology_.path(src_rank, dst_rank);  // validates ranks and src != dst
+  transfers_.push_back(std::move(tr));
+  const int id = static_cast<int>(transfers_.size()) - 1;
+  queue_.schedule(start, [this, id] { inject(id); });
+}
+
+void Fabric::inject(int transfer_id) {
+  // All packets enter the first link's FIFO at once: the sender's NIC queue.
+  const int n = transfers_[static_cast<std::size_t>(transfer_id)].packet_count;
+  for (int k = 0; k < n; ++k) packet_hop(transfer_id, 0, queue_.now());
+}
+
+void Fabric::packet_hop(int transfer_id, int hop, Seconds arrival) {
+  const Transfer& tr = transfers_[static_cast<std::size_t>(transfer_id)];
+  const int link_id = tr.route[static_cast<std::size_t>(hop)];
+  const Link& link = topology_.links()[static_cast<std::size_t>(link_id)];
+  LinkState& state = links_[static_cast<std::size_t>(link_id)];
+
+  const Seconds begin = std::max(arrival, state.free_at);
+  const Seconds tx = tr.packet / (link.bandwidth * options_.bandwidth_factor);
+  state.queue_delay += begin - arrival;
+  state.busy += tx;
+  state.packets += 1;
+  state.free_at = begin + tx;
+  // Queue depth: completions still pending at this packet's arrival, plus
+  // this packet. in_service is monotone, so expiring the front is O(drained).
+  while (!state.in_service.empty() && state.in_service.front() <= arrival)
+    state.in_service.pop_front();
+  state.in_service.push_back(begin + tx);
+  state.max_depth = std::max(state.max_depth, static_cast<int>(state.in_service.size()));
+
+  const Seconds next = begin + tx + link.latency;
+  if (hop + 1 < static_cast<int>(tr.route.size())) {
+    queue_.schedule(next,
+                    [this, transfer_id, hop] { packet_hop(transfer_id, hop + 1, queue_.now()); });
+  } else {
+    queue_.schedule(next, [this, transfer_id] { packet_delivered(transfer_id); });
+  }
+}
+
+void Fabric::packet_delivered(int transfer_id) {
+  Transfer& tr = transfers_[static_cast<std::size_t>(transfer_id)];
+  if (--tr.remaining > 0) return;
+  const Seconds done = queue_.now();
+  if (options_.record_flows)
+    flows_.push_back(Flow{tr.src, tr.dst, tr.bytes, tr.start, done, tr.label});
+  if (tr.on_complete) {
+    // Move the callback out before invoking: it may call send(), growing
+    // transfers_ and (with a deque) leaving `tr` valid but this callback
+    // re-entrant-unsafe if it captured state by value only once.
+    CompletionFn fn = std::move(tr.on_complete);
+    tr.on_complete = nullptr;
+    fn(done);
+  }
+}
+
+Seconds Fabric::run() { return queue_.run(); }
+
+Seconds Fabric::total_queue_delay() const {
+  Seconds total;
+  for (const auto& state : links_) total += state.queue_delay;
+  return total;
+}
+
+int Fabric::max_queue_depth() const {
+  int depth = 0;
+  for (const auto& state : links_) depth = std::max(depth, state.max_depth);
+  return depth;
+}
+
+std::vector<LinkUsage> Fabric::link_usage() const {
+  std::vector<LinkUsage> usage;
+  usage.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkState& state = links_[i];
+    usage.push_back(LinkUsage{topology_.links()[i].name, state.busy, state.queue_delay,
+                              state.packets, state.max_depth});
+  }
+  return usage;
+}
+
+}  // namespace gradcomp::fabric

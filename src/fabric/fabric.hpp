@@ -1,0 +1,124 @@
+// Event-driven per-link packet engine: the fabric's queueing core.
+//
+// A transfer is chunked into packets of at most `packet_bytes`; each packet
+// is routed hop-by-hop along its Topology path on the shared discrete-event
+// queue (sim::EventQueue). Every link serializes packets through a FIFO:
+// a packet arriving at time t starts service at max(t, link_free), occupies
+// the link for bytes/bandwidth, and reaches the next hop one link-latency
+// later (store-and-forward). Nothing else is modeled — so fair sharing
+// between competing flows, queue buildup behind an oversubscribed spine
+// uplink, and all-gather incast at a receiver's downlink all EMERGE from
+// packets interleaving in the FIFOs rather than being asserted by a
+// formula.
+//
+// Determinism: no randomness anywhere; ties execute in insertion order
+// (EventQueue's seq), so a run is a pure function of (topology, options,
+// injected sends).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "sim/event_queue.hpp"
+
+namespace gradcomp::fabric {
+
+struct FabricOptions {
+  // Chunking granularity. Smaller packets interleave competing flows more
+  // finely (fairer sharing, more events); larger packets coarsen both. The
+  // store-and-forward pipeline-fill cost of a path with H links is
+  // (H-1) * min(transfer, packet_bytes) / bandwidth — the one term the
+  // closed-form model has no word for (documented in docs/fabric.md).
+  Bytes packet_bytes{64.0 * 1024.0};
+  // Uniform link degradation, the fault plan's transient bandwidth scaling.
+  double bandwidth_factor = 1.0;
+  // Keep per-transfer Flow records (sources of the Timeline fabric spans).
+  bool record_flows = true;
+};
+
+// One completed rank-to-rank transfer, in fabric-local time (the collective
+// starts at 0).
+struct Flow {
+  int src_rank = -1;
+  int dst_rank = -1;
+  Bytes bytes;
+  Seconds start;  // injection time
+  Seconds end;    // last-packet arrival
+  std::string label;
+};
+
+// Post-run per-link accounting, for the incast diagnostics.
+struct LinkUsage {
+  std::string name;
+  Seconds busy;         // accumulated serialization time
+  Seconds queue_delay;  // total FIFO wait across packets
+  int packets = 0;
+  int max_queue_depth = 0;  // packets resident (queued + in service) at once
+};
+
+class Fabric {
+ public:
+  using CompletionFn = std::function<void(Seconds)>;
+
+  // `topology` is referenced, not copied: it must outlive the Fabric.
+  Fabric(const Topology& topology, FabricOptions options);
+
+  // Injects a transfer at absolute fabric time `start` (>= now() when
+  // called from inside a running callback). `on_complete` (nullable) fires
+  // at last-packet arrival. Self-sends are invalid.
+  void send(int src_rank, int dst_rank, Bytes bytes, std::string label, Seconds start,
+            CompletionFn on_complete);
+
+  [[nodiscard]] Seconds now() const noexcept { return queue_.now(); }
+
+  // Drains the event queue; returns the time of the last event (== the last
+  // packet arrival, i.e. the makespan of everything injected).
+  [[nodiscard]] Seconds run();
+
+  [[nodiscard]] const std::vector<Flow>& flows() const noexcept { return flows_; }
+  [[nodiscard]] std::vector<Flow> take_flows() noexcept { return std::move(flows_); }
+
+  // Congestion summary over the finished run. A single uncongested flow has
+  // zero queue delay and depth 1.
+  [[nodiscard]] Seconds total_queue_delay() const;
+  [[nodiscard]] int max_queue_depth() const;
+  [[nodiscard]] std::vector<LinkUsage> link_usage() const;
+
+ private:
+  struct LinkState {
+    Seconds free_at;
+    Seconds busy;
+    Seconds queue_delay;
+    int packets = 0;
+    int max_depth = 0;
+    std::deque<Seconds> in_service;  // service completion times, monotone
+  };
+  struct Transfer {
+    int src = -1;
+    int dst = -1;
+    Bytes bytes;
+    Bytes packet;  // per-packet payload (bytes / packet_count, exactly)
+    int packet_count = 0;
+    int remaining = 0;
+    Seconds start;
+    std::string label;
+    CompletionFn on_complete;
+    std::vector<int> route;
+  };
+
+  void inject(int transfer_id);
+  void packet_hop(int transfer_id, int hop, Seconds arrival);
+  void packet_delivered(int transfer_id);
+
+  const Topology& topology_;
+  FabricOptions options_;
+  sim::EventQueue queue_;
+  std::vector<LinkState> links_;
+  std::deque<Transfer> transfers_;  // deque: stable under mid-run appends
+  std::vector<Flow> flows_;
+};
+
+}  // namespace gradcomp::fabric

@@ -1,0 +1,167 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace gradcomp::fabric {
+
+namespace {
+
+void require_spec(const TopologySpec& spec) {
+  if (spec.world_size < 1)
+    throw std::invalid_argument("Topology: world_size must be >= 1");
+  if (spec.ranks_per_node < 1)
+    throw std::invalid_argument("Topology: ranks_per_node must be >= 1");
+  if (spec.nodes_per_rack < 1)
+    throw std::invalid_argument("Topology: nodes_per_rack must be >= 1");
+  if (spec.nic_bandwidth.value() <= 0)
+    throw std::invalid_argument("Topology: nic_bandwidth must be set (> 0)");
+  if (spec.nic_latency < Seconds{})
+    throw std::invalid_argument("Topology: nic_latency must be set (>= 0)");
+  if (spec.ranks_per_node > 1) {
+    if (spec.intra_node_bandwidth.value() <= 0)
+      throw std::invalid_argument("Topology: intra_node_bandwidth must be > 0");
+    if (spec.intra_node_latency < Seconds{})
+      throw std::invalid_argument("Topology: intra_node_latency must be >= 0");
+  }
+  if (spec.oversubscription <= 0)
+    throw std::invalid_argument("Topology: oversubscription must be > 0");
+}
+
+}  // namespace
+
+Topology::Topology(TopologySpec spec) : spec_(spec) {
+  if (spec_.spine_latency < Seconds{}) spec_.spine_latency = spec_.nic_latency;
+  require_spec(spec_);
+
+  const int p = spec_.world_size;
+  const int nodes = spec_.node_count();
+  const int racks = spec_.rack_count();
+  const bool multi_rank_nodes = spec_.ranks_per_node > 1;
+
+  rank_up_.assign(static_cast<std::size_t>(p), -1);
+  rank_down_.assign(static_cast<std::size_t>(p), -1);
+  node_up_.assign(static_cast<std::size_t>(nodes), -1);
+  node_down_.assign(static_cast<std::size_t>(nodes), -1);
+  rack_up_.assign(static_cast<std::size_t>(racks), -1);
+  rack_down_.assign(static_cast<std::size_t>(racks), -1);
+
+  const auto add_link = [this](BitsPerSecond bw, Seconds lat, std::string name) {
+    links_.push_back(Link{bw, lat, std::move(name)});
+    return static_cast<int>(links_.size()) - 1;
+  };
+
+  for (int r = 0; r < p; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (multi_rank_nodes) {
+      // Rank <-> node-local switch: the NVLink-class tier.
+      rank_up_[ri] = add_link(spec_.intra_node_bandwidth, spec_.intra_node_latency,
+                              "intra-up g" + std::to_string(r));
+      rank_down_[ri] = add_link(spec_.intra_node_bandwidth, spec_.intra_node_latency,
+                                "intra-down g" + std::to_string(r));
+    } else {
+      // One rank per node: the rank's link IS the node NIC.
+      rank_up_[ri] = add_link(spec_.nic_bandwidth, spec_.nic_latency,
+                              "nic-up n" + std::to_string(r));
+      rank_down_[ri] = add_link(spec_.nic_bandwidth, spec_.nic_latency,
+                                "nic-down n" + std::to_string(r));
+    }
+  }
+  if (multi_rank_nodes) {
+    for (int n = 0; n < nodes; ++n) {
+      const auto ni = static_cast<std::size_t>(n);
+      node_up_[ni] = add_link(spec_.nic_bandwidth, spec_.nic_latency,
+                              "nic-up n" + std::to_string(n));
+      node_down_[ni] = add_link(spec_.nic_bandwidth, spec_.nic_latency,
+                                "nic-down n" + std::to_string(n));
+    }
+  }
+  if (racks > 1) {
+    // Each ToR aggregates nodes_per_rack NICs, divided by the
+    // oversubscription ratio — the knob the incast ablation sweeps.
+    const BitsPerSecond spine_bw =
+        spec_.nic_bandwidth * (static_cast<double>(spec_.nodes_per_rack) /
+                               spec_.oversubscription);
+    for (int k = 0; k < racks; ++k) {
+      const auto ki = static_cast<std::size_t>(k);
+      rack_up_[ki] = add_link(spine_bw, spec_.spine_latency, "spine-up r" + std::to_string(k));
+      rack_down_[ki] =
+          add_link(spine_bw, spec_.spine_latency, "spine-down r" + std::to_string(k));
+    }
+  }
+}
+
+void Topology::require_rank(int rank) const {
+  if (rank < 0 || rank >= spec_.world_size)
+    throw std::invalid_argument("Topology: rank " + std::to_string(rank) +
+                                " out of range for world " + std::to_string(spec_.world_size));
+}
+
+std::vector<int> Topology::path(int src_rank, int dst_rank) const {
+  require_rank(src_rank);
+  require_rank(dst_rank);
+  if (src_rank == dst_rank)
+    throw std::invalid_argument("Topology::path: src == dst (" + std::to_string(src_rank) + ")");
+
+  const bool multi_rank_nodes = spec_.ranks_per_node > 1;
+  const int src_node = spec_.node_of(src_rank);
+  const int dst_node = spec_.node_of(dst_rank);
+
+  std::vector<int> route;
+  route.push_back(rank_up_[static_cast<std::size_t>(src_rank)]);
+  if (multi_rank_nodes && src_node == dst_node) {
+    // Stays on the node-local switch.
+    route.push_back(rank_down_[static_cast<std::size_t>(dst_rank)]);
+    return route;
+  }
+  if (multi_rank_nodes) route.push_back(node_up_[static_cast<std::size_t>(src_node)]);
+  const int src_rack = spec_.rack_of(src_rank);
+  const int dst_rack = spec_.rack_of(dst_rank);
+  if (src_rack != dst_rack) {
+    route.push_back(rack_up_[static_cast<std::size_t>(src_rack)]);
+    route.push_back(rack_down_[static_cast<std::size_t>(dst_rack)]);
+  }
+  if (multi_rank_nodes) route.push_back(node_down_[static_cast<std::size_t>(dst_node)]);
+  route.push_back(rank_down_[static_cast<std::size_t>(dst_rank)]);
+  return route;
+}
+
+std::vector<int> Topology::ring_order() const {
+  std::vector<int> order(static_cast<std::size_t>(spec_.world_size));
+  for (int r = 0; r < spec_.world_size; ++r) order[static_cast<std::size_t>(r)] = r;
+  // Rank numbering is already (rack, node, rank)-contiguous; the sort makes
+  // the neighbor-locality contract explicit rather than incidental.
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    const auto key = [this](int r) {
+      return std::make_pair(spec_.rack_of(r), spec_.node_of(r));
+    };
+    return key(a) < key(b);
+  });
+  return order;
+}
+
+std::vector<int> Topology::interleaved_ring_order() const {
+  // Round-robin across racks (or nodes, with one rack): position i and i+1
+  // almost never share a boundary, so every ring step crosses the hierarchy.
+  const bool by_rack = spec_.rack_count() > 1;
+  const int groups = by_rack ? spec_.rack_count() : spec_.node_count();
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(groups));
+  for (int r = 0; r < spec_.world_size; ++r) {
+    const int g = by_rack ? spec_.rack_of(r) : spec_.node_of(r);
+    buckets[static_cast<std::size_t>(g)].push_back(r);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(spec_.world_size));
+  for (std::size_t i = 0; order.size() < static_cast<std::size_t>(spec_.world_size); ++i)
+    for (auto& bucket : buckets)
+      if (i < bucket.size()) order.push_back(bucket[i]);
+  return order;
+}
+
+int Topology::rank_ingress_link(int rank) const {
+  require_rank(rank);
+  return rank_down_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace gradcomp::fabric

@@ -1,0 +1,117 @@
+// Hierarchical cluster-network topology for the contention-aware fabric.
+//
+// The analytic cost model (comm/cost_model.hpp) prices every collective
+// against ONE flat link, so contention can only enter as a hand-tuned fudge
+// (Network::incast_penalty). The fabric instead describes the network the
+// paper's testbed actually had: ranks on multi-GPU nodes joined by fast
+// intra-node links, nodes behind a per-node NIC into a rack (ToR) switch,
+// and racks joined by a fat-tree spine whose uplinks may be oversubscribed.
+// Each physical hop is a directed Link with its own alpha-beta
+// serialization model; collective cost then *emerges* from packets queueing
+// on these links (fabric.hpp) instead of being asserted by a formula.
+//
+// Latency convention: per-link latencies are charged per direction, so one
+// intra-rack rank-to-rank message costs 2 * nic_latency. Setting
+// nic_latency = alpha/2 therefore reproduces the analytic model's single
+// per-message alpha on the uncongested path — the agreement the property
+// tests pin down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace gradcomp::fabric {
+
+using core::units::BitsPerSecond;
+using core::units::Bytes;
+using core::units::Seconds;
+
+// Declarative description of the hierarchy. Ranks are numbered so that
+// consecutive ranks share a node and consecutive nodes share a rack
+// (rank / ranks_per_node = node, node / nodes_per_rack = rack).
+struct TopologySpec {
+  int world_size = 1;
+  int ranks_per_node = 1;
+  int nodes_per_rack = 4;
+
+  // NIC path (node <-> ToR switch; the rank's own link when ranks_per_node
+  // is 1). Zero bandwidth / negative latency mean "inherit from the cluster
+  // network" when the spec reaches sim::ClusterSim; a standalone Topology
+  // requires both to be set.
+  BitsPerSecond nic_bandwidth{};
+  Seconds nic_latency{-1.0};
+
+  // Intra-node links (rank <-> node-local switch), NVLink-class; only
+  // materialized when ranks_per_node > 1.
+  BitsPerSecond intra_node_bandwidth = BitsPerSecond::from_gbps(300.0);
+  Seconds intra_node_latency{1e-6};
+
+  // Fat-tree spine: each ToR uplink carries nodes_per_rack NICs' worth of
+  // traffic divided by this ratio. 1.0 = full bisection; > 1 is the classic
+  // oversubscribed spine where incast and multi-flow sharing bite.
+  double oversubscription = 1.0;
+  // Per-direction ToR <-> spine latency; negative inherits nic_latency.
+  Seconds spine_latency{-1.0};
+
+  [[nodiscard]] int node_count() const noexcept {
+    return (world_size + ranks_per_node - 1) / ranks_per_node;
+  }
+  [[nodiscard]] int rack_count() const noexcept {
+    return (node_count() + nodes_per_rack - 1) / nodes_per_rack;
+  }
+  [[nodiscard]] int node_of(int rank) const noexcept { return rank / ranks_per_node; }
+  [[nodiscard]] int rack_of(int rank) const noexcept { return node_of(rank) / nodes_per_rack; }
+};
+
+// One directed physical link: an alpha-beta serializer with a FIFO queue in
+// front of it (the queue lives in fabric::Fabric's per-link state).
+struct Link {
+  BitsPerSecond bandwidth;
+  Seconds latency;
+  std::string name;  // e.g. "nic-up n3", "spine-down r1"
+};
+
+// Immutable link graph + deterministic hierarchical routing built from a
+// spec. Throws std::invalid_argument on an unusable spec.
+class Topology {
+ public:
+  explicit Topology(TopologySpec spec);
+
+  [[nodiscard]] const TopologySpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+  // Directed route (link indices, in traversal order) between two distinct
+  // rank endpoints: up through the source's switches, across the spine if
+  // the racks differ, down to the destination.
+  [[nodiscard]] std::vector<int> path(int src_rank, int dst_rank) const;
+
+  // Topology-aware ring: consecutive positions share a node, then a rack,
+  // so each node/rack boundary is crossed exactly once per direction and
+  // the spine carries a single flow per rack pair.
+  [[nodiscard]] std::vector<int> ring_order() const;
+  // Adversarial ring for the contention ablation: round-robin across racks
+  // (nodes, when there is one rack), maximizing boundary crossings.
+  [[nodiscard]] std::vector<int> interleaved_ring_order() const;
+
+  // Named link indices, for tests and the incast diagnostics: the link INTO
+  // a rank endpoint (its NIC downlink, or intra-node downlink when
+  // ranks_per_node > 1).
+  [[nodiscard]] int rank_ingress_link(int rank) const;
+
+ private:
+  void require_rank(int rank) const;
+
+  TopologySpec spec_;
+  std::vector<Link> links_;
+  // Per-entity link ids (-1 when the tier is not materialized).
+  std::vector<int> rank_up_;   // rank -> node switch (or ToR when 1 rank/node)
+  std::vector<int> rank_down_;
+  std::vector<int> node_up_;   // node switch -> ToR (the node NIC)
+  std::vector<int> node_down_;
+  std::vector<int> rack_up_;   // ToR -> spine
+  std::vector<int> rack_down_;
+};
+
+}  // namespace gradcomp::fabric

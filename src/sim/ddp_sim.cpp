@@ -46,6 +46,9 @@ ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
     throw std::invalid_argument("ClusterSim: recovery_detect must be >= 0");
   if (options_.rejoin_rebuild < Seconds{})
     throw std::invalid_argument("ClusterSim: rejoin_rebuild must be >= 0");
+  if (options_.network_model == NetworkModel::kFabric &&
+      options_.fabric_packet_bytes.value() <= 0)
+    throw std::invalid_argument("ClusterSim: fabric_packet_bytes must be > 0");
   if (!options_.fault_plan.empty() &&
       options_.fault_plan.world_size() != cluster_.world_size)
     throw std::invalid_argument(
@@ -57,6 +60,7 @@ ClusterSim::ClusterSim(core::Cluster cluster, SimOptions options)
 
 void ClusterSim::begin_iteration(const core::Workload& workload) {
   const int it = iteration_++;
+  fabric_span_count_ = 0;
   current_ = IterationFaults{};
   current_.index = it;
   current_.world = cluster_.world_size;
@@ -136,16 +140,18 @@ int ClusterSim::expected_fault_spans() const {
 void ClusterSim::validate_result(const SimResult& result, const char* what) const {
   if (!options_.validate_timeline) return;
   trace::ValidateOptions vo;
-  vo.annotation_lanes = {"fault", "rejoin"};
+  vo.annotation_lanes = {"fault", "rejoin", "fabric"};
   vo.horizon = result.iteration_time;
   vo.expected_busy = {{"compute", result.compute},
                       {"comm", result.comm},
                       {"encode", result.encode},
                       {"decode", result.decode}};
   vo.lane_windows = {{"fault", {{Seconds{}, result.iteration_time}}},
-                     {"rejoin", {{Seconds{}, result.iteration_time}}}};
+                     {"rejoin", {{Seconds{}, result.iteration_time}}},
+                     {"fabric", {{Seconds{}, result.iteration_time}}}};
   vo.expected_span_count = {{"fault", expected_fault_spans()},
-                            {"rejoin", static_cast<int>(current_.rejoiners.size())}};
+                            {"rejoin", static_cast<int>(current_.rejoiners.size())},
+                            {"fabric", fabric_span_count_}};
   trace::validate_or_throw(result.timeline, vo, std::string("ClusterSim::") + what);
 }
 
@@ -175,15 +181,74 @@ comm::Network ClusterSim::effective_network() const {
   return net;
 }
 
-Seconds ClusterSim::allreduce_seconds(Bytes bytes) const {
-  const comm::Network net = effective_network();
-  return options_.use_tree_allreduce
-             ? comm::tree_allreduce_seconds(bytes, current_.world, net)
-             : comm::ring_allreduce_seconds(bytes, current_.world, net);
+const fabric::Topology& ClusterSim::topology_for(int world) {
+  const auto it = topologies_.find(world);
+  if (it != topologies_.end()) return it->second;
+  fabric::TopologySpec spec = options_.fabric_topology;
+  spec.world_size = world;
+  if (spec.nic_bandwidth.value() <= 0) spec.nic_bandwidth = cluster_.network.bandwidth;
+  // Per-direction latency: alpha/2 each way makes one rank-to-rank message
+  // cost exactly the analytic model's single alpha.
+  if (spec.nic_latency < Seconds{}) spec.nic_latency = cluster_.network.alpha / 2.0;
+  return topologies_.try_emplace(world, spec).first->second;
 }
 
-Seconds ClusterSim::allgather_seconds(Bytes bytes_per_rank) const {
-  return comm::allgather_seconds(bytes_per_rank, current_.world, effective_network());
+fabric::FabricOptions ClusterSim::fabric_options() const {
+  fabric::FabricOptions fo;
+  fo.packet_bytes = options_.fabric_packet_bytes;
+  // The fault plan's link degradation hits every fabric link uniformly, the
+  // event-queue analogue of effective_network()'s bandwidth scaling.
+  fo.bandwidth_factor = current_.bandwidth_factor;
+  return fo;
+}
+
+ClusterSim::CollectiveCost ClusterSim::allreduce_cost(Bytes bytes) {
+  if (options_.network_model == NetworkModel::kAnalytic) {
+    const comm::Network net = effective_network();
+    return CollectiveCost{options_.use_tree_allreduce
+                              ? comm::tree_allreduce_seconds(bytes, current_.world, net)
+                              : comm::ring_allreduce_seconds(bytes, current_.world, net),
+                          {},
+                          Seconds{},
+                          0};
+  }
+  const fabric::Topology& topo = topology_for(current_.world);
+  fabric::CollectiveResult r = options_.use_tree_allreduce
+                                   ? fabric::tree_allreduce(topo, fabric_options(), bytes)
+                                   : fabric::ring_allreduce(topo, fabric_options(), bytes);
+  return CollectiveCost{r.elapsed, std::move(r.flows), r.queue_delay, r.max_queue_depth};
+}
+
+ClusterSim::CollectiveCost ClusterSim::allgather_cost(Bytes bytes_per_rank) {
+  if (options_.network_model == NetworkModel::kAnalytic)
+    return CollectiveCost{
+        comm::allgather_seconds(bytes_per_rank, current_.world, effective_network()),
+        {},
+        Seconds{},
+        0};
+  fabric::CollectiveResult r = fabric::allgather(topology_for(current_.world), fabric_options(),
+                                                 bytes_per_rank, options_.fabric_gather);
+  return CollectiveCost{r.elapsed, std::move(r.flows), r.queue_delay, r.max_queue_depth};
+}
+
+void ClusterSim::record_fabric(SimResult& result, const CollectiveCost& cost, Seconds offset,
+                               double scale, const std::string& label) {
+  if (cost.flows.empty()) return;
+  if (!options_.fabric_flow_spans) {
+    char stats[96];
+    std::snprintf(stats, sizeof(stats), " [%zu flows, queue %.1fus, depth %d]",
+                  cost.flows.size(), cost.queue_delay.us(), cost.max_queue_depth);
+    result.timeline.add("fabric", label + stats, offset, offset + cost.elapsed * scale);
+    ++fabric_span_count_;
+    return;
+  }
+  for (const auto& flow : cost.flows) {
+    result.timeline.add("fabric",
+                        flow.label + " r" + std::to_string(flow.src_rank) + "->r" +
+                            std::to_string(flow.dst_rank),
+                        offset + flow.start * scale, offset + flow.end * scale);
+    ++fabric_span_count_;
+  }
 }
 
 SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
@@ -206,12 +271,19 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
   const auto buckets = models::make_buckets(workload.model, options_.bucket_bytes);
   const auto total_layers = static_cast<double>(workload.model.layers.size());
 
+  // Price every bucket's all-reduce once up front (in fabric mode each is a
+  // full event-driven run whose flow schedule is replayed onto the trace).
+  std::vector<CollectiveCost> bucket_costs;
+  bucket_costs.reserve(buckets.size());
+  for (const auto& bucket : buckets)
+    bucket_costs.push_back(allreduce_cost(Bytes{static_cast<double>(bucket.bytes)}));
+
   // Matching the analytical model's interpretation: the gamma slowdown only
   // applies to the fraction of the backward pass that actually shares the
   // GPU with in-flight communication.
   Seconds overlappable_comm;
   for (std::size_t i = 0; i + 1 < buckets.size(); ++i)
-    overlappable_comm += allreduce_seconds(Bytes{static_cast<double>(buckets[i].bytes)});
+    overlappable_comm += bucket_costs[i].elapsed;
   const double gamma =
       1.0 + (cluster_.device.gamma - 1.0) * std::min(1.0, overlappable_comm / t_comp);
 
@@ -234,19 +306,25 @@ SimResult ClusterSim::run_syncsgd(const core::Workload& workload) {
     compute_t += slice;
 
     const double ready = compute_t;
-    const double duration =
-        jittered(allreduce_seconds(Bytes{static_cast<double>(buckets[i].bytes)})).value();
-    queue.schedule(ready, [&, i, duration] {
-      const double start = std::max(queue.now(), comm_free);
+    const double duration = jittered(bucket_costs[i].elapsed).value();
+    queue.schedule(Seconds{ready}, [&, i, duration] {
+      const double start = std::max(queue.now().value(), comm_free);
       const double end = start + duration;
       comm_free = end;
       comm_busy += duration;
       last_comm_end = end;
       result.timeline.add("comm", "allreduce bucket " + std::to_string(i), Seconds{start},
                           Seconds{end});
+      const double scale = bucket_costs[i].elapsed > Seconds{}
+                               ? duration / bucket_costs[i].elapsed.value()
+                               : 1.0;
+      record_fabric(result, bucket_costs[i], Seconds{start}, scale,
+                    "allreduce bucket " + std::to_string(i));
     });
   }
-  queue.run();
+  // The makespan is tracked via last_comm_end; the drain time itself (== the
+  // final bucket's comm end) is not needed separately.
+  static_cast<void>(queue.run());
 
   result.compute = Seconds{compute_t};
   result.comm = Seconds{comm_busy};
@@ -274,6 +352,7 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
     rng_ = inner.rng_;
     iteration_ = inner.iteration_;
     current_ = inner.current_;
+    fabric_span_count_ = inner.fabric_span_count_;  // inner comm spans carry over
     const auto encdec =
         encode_cost_model().estimate(config, workload.model, cluster_.device,
                                      cluster_.world_size);
@@ -323,64 +402,66 @@ SimResult ClusterSim::run_compressed(const compress::CompressorConfig& config,
   }
 
   // Collectives, serialized on the comm stream.
-  std::vector<std::pair<std::string, Seconds>> collectives;
+  std::vector<std::pair<std::string, CollectiveCost>> collectives;
   switch (config.method) {
     case compress::Method::kPowerSgd: {
       const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
-      collectives.emplace_back("allreduce P", allreduce_seconds(bytes.p_bytes));
-      collectives.emplace_back("allreduce Q", allreduce_seconds(bytes.q_bytes));
+      collectives.emplace_back("allreduce P", allreduce_cost(bytes.p_bytes));
+      collectives.emplace_back("allreduce Q", allreduce_cost(bytes.q_bytes));
       if (bytes.dense_bytes.value() > 0)
-        collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
+        collectives.emplace_back("allreduce 1-D layers", allreduce_cost(bytes.dense_bytes));
       break;
     }
     case compress::Method::kRandomK: {
       const Bytes values_bytes{config.fraction *
                                static_cast<double>(workload.model.total_params()) * 4.0};
-      collectives.emplace_back("allreduce values", allreduce_seconds(values_bytes));
+      collectives.emplace_back("allreduce values", allreduce_cost(values_bytes));
       break;
     }
     case compress::Method::kTopK:
     case compress::Method::kDgc: {
       const Bytes half{config.fraction * static_cast<double>(workload.model.total_params()) *
                        4.0};
-      collectives.emplace_back("allgather values", allgather_seconds(half));
-      collectives.emplace_back("allgather indices", allgather_seconds(half));
+      collectives.emplace_back("allgather values", allgather_cost(half));
+      collectives.emplace_back("allgather indices", allgather_cost(half));
       break;
     }
     case compress::Method::kSignSgd:
     case compress::Method::kOneBit: {
       const Bytes bytes{static_cast<double>(workload.model.total_params()) / 8.0};
-      collectives.emplace_back("allgather signs", allgather_seconds(bytes));
+      collectives.emplace_back("allgather signs", allgather_cost(bytes));
       break;
     }
     case compress::Method::kQsgd:
     case compress::Method::kNatural: {
       collectives.emplace_back(
           "allgather codes",
-          allgather_seconds(Bytes{static_cast<double>(workload.model.total_params())}));
+          allgather_cost(Bytes{static_cast<double>(workload.model.total_params())}));
       break;
     }
     case compress::Method::kTernGrad: {
       collectives.emplace_back(
           "allgather codes",
-          allgather_seconds(Bytes{static_cast<double>(workload.model.total_params()) / 4.0}));
+          allgather_cost(Bytes{static_cast<double>(workload.model.total_params()) / 4.0}));
       break;
     }
     case compress::Method::kAtomo: {
       const auto bytes = core::PerfModel::low_rank_bytes(workload.model, config.rank);
       collectives.emplace_back("allgather factors",
-                               allgather_seconds(bytes.p_bytes + bytes.q_bytes));
+                               allgather_cost(bytes.p_bytes + bytes.q_bytes));
       if (bytes.dense_bytes.value() > 0)
-        collectives.emplace_back("allreduce 1-D layers", allreduce_seconds(bytes.dense_bytes));
+        collectives.emplace_back("allreduce 1-D layers", allreduce_cost(bytes.dense_bytes));
       break;
     }
     case compress::Method::kSyncSgd:
     case compress::Method::kFp16:
       break;  // handled above
   }
-  for (const auto& [label, nominal] : collectives) {
-    const Seconds dur = jittered(nominal);
+  for (const auto& [label, cost] : collectives) {
+    const Seconds dur = jittered(cost.elapsed);
     result.timeline.add("comm", label, t, t + dur);
+    const double scale = cost.elapsed > Seconds{} ? dur / cost.elapsed : 1.0;
+    record_fabric(result, cost, t, scale, label);
     t += dur;
     result.comm += dur;
   }

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/fault_plan.hpp"
 #include "core/perf_model.hpp"
 #include "core/units.hpp"
+#include "fabric/collectives.hpp"
 #include "tensor/rng.hpp"
 #include "trace/timeline.hpp"
 
@@ -41,6 +43,17 @@ inline constexpr bool kValidateTimelineDefault = false;
 #else
 inline constexpr bool kValidateTimelineDefault = true;
 #endif
+
+// How the simulator prices each collective.
+//   kAnalytic — the closed-form alpha-beta formulas of comm/cost_model.hpp
+//     (one flat link; contention only via the incast_penalty fudge).
+//   kFabric — the event-driven per-link queueing network of src/fabric:
+//     the collective's actual message schedule runs over a hierarchical
+//     topology and contention (incast, oversubscription, multi-flow
+//     sharing) emerges from packet FIFOs. incast_penalty is ignored in
+//     this mode; the fault plan's bandwidth degradation applies uniformly
+//     to every link, and the rejoin resync broadcast stays analytic.
+enum class NetworkModel { kAnalytic, kFabric };
 
 struct SimOptions {
   std::int64_t bucket_bytes = models::kDefaultBucketBytes;
@@ -78,6 +91,21 @@ struct SimOptions {
   // current link state). Together they make the cost of churn visible as
   // "rejoin" spans in every benchmark timeline.
   Seconds rejoin_rebuild{0.02};
+  // Collective pricing backend (see NetworkModel above).
+  NetworkModel network_model = NetworkModel::kAnalytic;
+  // Fabric-mode topology. world_size is overridden each iteration with the
+  // surviving rank count; zero nic_bandwidth inherits the cluster network's
+  // bandwidth and negative nic_latency inherits alpha/2 (per-direction, so
+  // one rank-to-rank hop costs exactly alpha — the analytic convention).
+  fabric::TopologySpec fabric_topology;
+  // Packet granularity of the fabric's store-and-forward engine.
+  Bytes fabric_packet_bytes{64.0 * 1024.0};
+  // All-gather schedule in fabric mode. kDirect reproduces the incast the
+  // analytic model can only fudge with incast_penalty.
+  fabric::GatherPattern fabric_gather = fabric::GatherPattern::kDirect;
+  // Fabric-mode trace detail: false records one aggregate "fabric" span per
+  // collective; true records every rank-to-rank flow (large timelines).
+  bool fabric_flow_spans = false;
   // Debug gate: run trace::validate on every produced timeline (span order,
   // intra-lane overlap, busy-time conservation against the SimResult
   // accounting, fault spans inside the iteration window) and throw
@@ -144,17 +172,36 @@ class ClusterSim {
   // with the fault plan's per-worker draws (synchronous training waits for
   // the slowest surviving worker).
   [[nodiscard]] double straggler_stretch();
-  // Collective time for one all-reduce of `bytes` under the cluster network
+  // One priced collective: the nominal duration plus, in fabric mode, the
+  // emergent per-flow schedule backing it (empty under kAnalytic).
+  struct CollectiveCost {
+    Seconds elapsed;
+    std::vector<fabric::Flow> flows;
+    Seconds queue_delay;
+    int max_queue_depth = 0;
+  };
+  // Collective cost for one all-reduce of `bytes` under the cluster network
   // at the current iteration's surviving world size and link state.
-  [[nodiscard]] Seconds allreduce_seconds(Bytes bytes) const;
-  [[nodiscard]] Seconds allgather_seconds(Bytes bytes_per_rank) const;
+  [[nodiscard]] CollectiveCost allreduce_cost(Bytes bytes);
+  [[nodiscard]] CollectiveCost allgather_cost(Bytes bytes_per_rank);
   [[nodiscard]] comm::Network effective_network() const;
+  // Fabric topology for a surviving world size (built on demand, cached);
+  // resolves the spec's inherit-from-cluster sentinels.
+  [[nodiscard]] const fabric::Topology& topology_for(int world);
+  [[nodiscard]] fabric::FabricOptions fabric_options() const;
+  // Records `cost`'s flow schedule on the "fabric" annotation lane, shifted
+  // to `offset` and scaled by `scale` (the jitter stretch applied to the
+  // collective's span on the comm lane). No-op when there are no flows.
+  void record_fabric(SimResult& result, const CollectiveCost& cost, Seconds offset, double scale,
+                     const std::string& label);
 
   core::Cluster cluster_;
   SimOptions options_;
   tensor::Rng rng_;
   int iteration_ = 0;
   IterationFaults current_;
+  std::map<int, fabric::Topology> topologies_;  // keyed by surviving world size
+  int fabric_span_count_ = 0;                   // "fabric" spans this iteration
 };
 
 }  // namespace gradcomp::sim

@@ -5,17 +5,17 @@
 
 namespace gradcomp::sim {
 
-void EventQueue::schedule(double at_s, Callback fn) {
-  if (at_s < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
-  events_.push(Event{at_s, next_seq_++, std::move(fn)});
+void EventQueue::schedule(Seconds at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  events_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
-void EventQueue::schedule_after(double delay_s, Callback fn) {
-  if (delay_s < 0) throw std::invalid_argument("EventQueue::schedule_after: negative delay");
-  schedule(now_ + delay_s, std::move(fn));
+void EventQueue::schedule_after(Seconds delay, Callback fn) {
+  if (delay < Seconds{}) throw std::invalid_argument("EventQueue::schedule_after: negative delay");
+  schedule(now_ + delay, std::move(fn));
 }
 
-double EventQueue::run() {
+EventQueue::Seconds EventQueue::run() {
   while (!events_.empty()) {
     // priority_queue::top returns const&; move the callback out via a copy of
     // the wrapper (cheap: std::function move after const_cast is UB-prone,

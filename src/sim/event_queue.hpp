@@ -2,7 +2,12 @@
 //
 // Events are (time, callback) pairs executed in time order; ties break by
 // insertion order so runs are deterministic. The DDP simulator schedules
-// layer-completion and collective-completion events on this queue.
+// layer-completion and collective-completion events on this queue; the
+// fabric packet engine schedules per-packet link events.
+//
+// All timestamps cross this boundary as core::units::Seconds — a raw double
+// does not compile, closing the last raw-double hole in the timing spine
+// (the negcompile suite pins this).
 #pragma once
 
 #include <cstdint>
@@ -10,29 +15,32 @@
 #include <queue>
 #include <vector>
 
+#include "core/units.hpp"
+
 namespace gradcomp::sim {
 
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+  using Seconds = core::units::Seconds;
 
-  // Schedules `fn` at absolute time `at_s` (seconds); `at_s` must not
-  // precede the current simulation time.
-  void schedule(double at_s, Callback fn);
-  // Schedules `fn` at now() + delay_s.
-  void schedule_after(double delay_s, Callback fn);
+  // Schedules `fn` at absolute time `at`; `at` must not precede the current
+  // simulation time.
+  void schedule(Seconds at, Callback fn);
+  // Schedules `fn` at now() + delay.
+  void schedule_after(Seconds delay, Callback fn);
 
-  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
 
   // Executes events in time order until the queue drains. Returns the final
   // simulation time.
-  double run();
+  [[nodiscard]] Seconds run();
 
  private:
   struct Event {
-    double time;
+    Seconds time;
     std::uint64_t seq;
     Callback fn;
   };
@@ -43,7 +51,7 @@ class EventQueue {
     }
   };
 
-  double now_ = 0.0;
+  Seconds now_{};
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
 };

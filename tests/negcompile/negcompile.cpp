@@ -8,6 +8,7 @@
 #include "comm/cost_model.hpp"
 #include "core/units.hpp"
 #include "sim/ddp_sim.hpp"
+#include "sim/event_queue.hpp"
 
 namespace units = gradcomp::core::units;
 
@@ -42,6 +43,15 @@ gradcomp::adapt::Observation probe() {
 // Seconds must never decay to double implicitly.
 double probe() { return units::Seconds{1.0}; }
 
+#elif defined(NEGCOMPILE_EVENT_QUEUE)
+
+// Raw double timestamp into the discrete-event queue (the last raw-double
+// hole in the timing spine before the fabric landed on it).
+void probe() {
+  gradcomp::sim::EventQueue queue;
+  queue.schedule(0.25, [] {});
+}
+
 #else
 
 // Positive control: the unit-typed spellings of all four probes compile.
@@ -63,5 +73,11 @@ gradcomp::adapt::Observation probe_observation() {
 }
 
 double probe_unwrap() { return units::Seconds{1.0}.value(); }
+
+void probe_event_queue() {
+  gradcomp::sim::EventQueue queue;
+  queue.schedule(units::Seconds{0.25}, [] {});
+  queue.schedule_after(units::Seconds::from_ms(1.0), [] {});
+}
 
 #endif

@@ -8,68 +8,71 @@
 namespace gradcomp::sim {
 namespace {
 
+using core::units::Seconds;
+
 TEST(EventQueue, StartsEmptyAtTimeZero) {
   EventQueue q;
   EXPECT_TRUE(q.empty());
-  EXPECT_DOUBLE_EQ(q.now(), 0.0);
-  EXPECT_DOUBLE_EQ(q.run(), 0.0);
+  EXPECT_DOUBLE_EQ(q.now().value(), 0.0);
+  EXPECT_DOUBLE_EQ(q.run().value(), 0.0);
 }
 
 TEST(EventQueue, ExecutesInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(3.0, [&] { order.push_back(3); });
-  q.schedule(1.0, [&] { order.push_back(1); });
-  q.schedule(2.0, [&] { order.push_back(2); });
-  q.run();
+  q.schedule(Seconds{3.0}, [&] { order.push_back(3); });
+  q.schedule(Seconds{1.0}, [&] { order.push_back(1); });
+  q.schedule(Seconds{2.0}, [&] { order.push_back(2); });
+  static_cast<void>(q.run());
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueue, TiesBreakByInsertionOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(1.0, [&] { order.push_back(10); });
-  q.schedule(1.0, [&] { order.push_back(20); });
-  q.schedule(1.0, [&] { order.push_back(30); });
-  q.run();
+  q.schedule(Seconds{1.0}, [&] { order.push_back(10); });
+  q.schedule(Seconds{1.0}, [&] { order.push_back(20); });
+  q.schedule(Seconds{1.0}, [&] { order.push_back(30); });
+  static_cast<void>(q.run());
   EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
 }
 
 TEST(EventQueue, NowAdvancesDuringRun) {
   EventQueue q;
-  double seen = -1.0;
-  q.schedule(2.5, [&] { seen = q.now(); });
-  const double end = q.run();
-  EXPECT_DOUBLE_EQ(seen, 2.5);
-  EXPECT_DOUBLE_EQ(end, 2.5);
+  Seconds seen{-1.0};
+  q.schedule(Seconds{2.5}, [&] { seen = q.now(); });
+  const Seconds end = q.run();
+  EXPECT_DOUBLE_EQ(seen.value(), 2.5);
+  EXPECT_DOUBLE_EQ(end.value(), 2.5);
 }
 
 TEST(EventQueue, CallbacksMayScheduleMoreEvents) {
   EventQueue q;
-  std::vector<double> times;
-  q.schedule(1.0, [&] {
+  std::vector<Seconds> times;
+  q.schedule(Seconds{1.0}, [&] {
     times.push_back(q.now());
-    q.schedule_after(0.5, [&] { times.push_back(q.now()); });
+    q.schedule_after(Seconds{0.5}, [&] { times.push_back(q.now()); });
   });
-  q.run();
+  static_cast<void>(q.run());
   ASSERT_EQ(times.size(), 2U);
-  EXPECT_DOUBLE_EQ(times[0], 1.0);
-  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[0].value(), 1.0);
+  EXPECT_DOUBLE_EQ(times[1].value(), 1.5);
 }
 
 TEST(EventQueue, RejectsPastScheduling) {
   EventQueue q;
-  q.schedule(5.0, [&] { EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument); });
-  q.run();
-  EXPECT_THROW(q.schedule_after(-1.0, [] {}), std::invalid_argument);
+  q.schedule(Seconds{5.0},
+             [&] { EXPECT_THROW(q.schedule(Seconds{1.0}, [] {}), std::invalid_argument); });
+  static_cast<void>(q.run());
+  EXPECT_THROW(q.schedule_after(Seconds{-1.0}, [] {}), std::invalid_argument);
 }
 
 TEST(EventQueue, PendingCount) {
   EventQueue q;
-  q.schedule(1.0, [] {});
-  q.schedule(2.0, [] {});
+  q.schedule(Seconds{1.0}, [] {});
+  q.schedule(Seconds{2.0}, [] {});
   EXPECT_EQ(q.pending(), 2U);
-  q.run();
+  static_cast<void>(q.run());
   EXPECT_EQ(q.pending(), 0U);
 }
 
@@ -78,12 +81,12 @@ TEST(EventQueue, ChainedCascade) {
   EventQueue q;
   int count = 0;
   std::function<void()> tick = [&] {
-    if (++count < 100) q.schedule_after(0.1, tick);
+    if (++count < 100) q.schedule_after(Seconds{0.1}, tick);
   };
-  q.schedule(0.0, tick);
-  const double end = q.run();
+  q.schedule(Seconds{}, tick);
+  const Seconds end = q.run();
   EXPECT_EQ(count, 100);
-  EXPECT_NEAR(end, 9.9, 1e-9);
+  EXPECT_NEAR(end.value(), 9.9, 1e-9);
 }
 
 }  // namespace

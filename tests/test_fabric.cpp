@@ -1,0 +1,469 @@
+// Property tests for the contention-aware fabric (src/fabric).
+//
+// The agreement contract with the analytic alpha-beta model, verified here
+// and documented in docs/fabric.md: on an UNCONGESTED topology (single
+// rack, one rank per node, full-bisection) the fabric's emergent collective
+// times equal the closed-form algorithm walk-through EXACTLY, and differ
+// from comm/cost_model.hpp's formulas only by two documented terms:
+//
+//   1. per-step latency: a physical ring pays alpha on every one of its
+//      2(p-1) step boundaries (Eq. 1 books only alpha*(p-1)); recursive
+//      halving-doubling pays 2*alpha*log2(p) against the model's
+//      alpha*log2(p); ring all-gather's alpha*(p-1) matches exactly;
+//   2. store-and-forward pipeline fill: each message additionally pays one
+//      packet serialization per extra hop, (H-1)*min(msg, packet)/BW.
+//
+// In the bandwidth-bound regime both terms vanish relative to the transfer
+// itself (ratio <= 1.05 at 64 MiB); in the latency-bound regime the ring
+// ratio approaches 2 (term 1 dominates). Contention — multi-flow sharing,
+// oversubscription, incast — then appears ONLY through queue buildup, which
+// the remaining tests pin down.
+#include "fabric/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "comm/cost_model.hpp"
+#include "sim/ddp_sim.hpp"
+
+namespace gradcomp::fabric {
+namespace {
+
+constexpr double kGbps = 10.0;
+constexpr double kAlpha = 15e-6;
+
+// Uncongested validation topology: p single-rank nodes on one full-bisection
+// rack; nic_latency = alpha/2 makes one rank-to-rank message cost exactly
+// one analytic alpha in propagation.
+Topology flat(int p) {
+  TopologySpec spec;
+  spec.world_size = p;
+  spec.ranks_per_node = 1;
+  spec.nodes_per_rack = std::max(p, 2);
+  spec.nic_bandwidth = BitsPerSecond::from_gbps(kGbps);
+  spec.nic_latency = Seconds{kAlpha / 2.0};
+  return Topology{spec};
+}
+
+// Two racks behind an oversubscribed spine.
+Topology two_racks(int p, double oversubscription) {
+  TopologySpec spec;
+  spec.world_size = p;
+  spec.ranks_per_node = 1;
+  spec.nodes_per_rack = p / 2;
+  spec.nic_bandwidth = BitsPerSecond::from_gbps(kGbps);
+  spec.nic_latency = Seconds{kAlpha / 2.0};
+  spec.oversubscription = oversubscription;
+  return Topology{spec};
+}
+
+double bw_bytes_per_s() { return BitsPerSecond::from_gbps(kGbps).bytes_per_second(); }
+
+// Delivery time of one message over the 2-hop intra-rack path (uplink,
+// downlink): full serialization on the first link, one packet's worth of
+// store-and-forward fill on the second, plus the path's propagation.
+double message_seconds(double bytes, double packet_bytes) {
+  const int n = std::max(1, static_cast<int>(std::ceil(bytes / packet_bytes)));
+  const double fill = bytes / n;
+  return bytes / bw_bytes_per_s() + fill / bw_bytes_per_s() + kAlpha;
+}
+
+comm::Network analytic_net() { return comm::Network::from_gbps(kGbps, Seconds{kAlpha}); }
+
+// --- Exact closed-form mirrors of the fabric algorithms ---------------------
+
+TEST(FabricCollectives, RingAllreduceMatchesStepMirrorExactly) {
+  const FabricOptions opt;
+  for (const int p : {2, 4, 8, 16}) {
+    for (const double bytes : {4096.0, 1e6, 64.0 * 1024 * 1024}) {
+      const auto r = ring_allreduce(flat(p), opt, Bytes{bytes});
+      const double mirror =
+          2.0 * (p - 1) * message_seconds(bytes / p, opt.packet_bytes.value());
+      EXPECT_NEAR(r.elapsed.value(), mirror, 1e-12 + 1e-9 * mirror)
+          << "p=" << p << " bytes=" << bytes;
+      // p concurrent chains of 2(p-1) chunk transfers each.
+      EXPECT_EQ(r.flows.size(), static_cast<std::size_t>(2 * p * (p - 1)));
+    }
+  }
+}
+
+TEST(FabricCollectives, TreeAllreduceMatchesRoundMirrorExactly) {
+  const FabricOptions opt;
+  for (const int p : {2, 4, 8, 16}) {
+    for (const double bytes : {4096.0, 1e6, 64.0 * 1024 * 1024}) {
+      const auto r = tree_allreduce(flat(p), opt, Bytes{bytes});
+      // Halving rounds send b/2, b/4, ..., b/p; doubling mirrors them back.
+      double mirror = 0.0;
+      for (int s = p; s >= 2; s /= 2)
+        mirror += 2.0 * message_seconds(bytes / s, opt.packet_bytes.value());
+      EXPECT_NEAR(r.elapsed.value(), mirror, 1e-12 + 1e-9 * mirror)
+          << "p=" << p << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(FabricCollectives, RingAllgatherMatchesStepMirrorExactly) {
+  const FabricOptions opt;
+  for (const int p : {2, 4, 8, 16}) {
+    for (const double bytes : {4096.0, 1e6, 16.0 * 1024 * 1024}) {
+      const auto r = allgather(flat(p), opt, Bytes{bytes}, GatherPattern::kRing);
+      const double mirror = (p - 1) * message_seconds(bytes, opt.packet_bytes.value());
+      EXPECT_NEAR(r.elapsed.value(), mirror, 1e-12 + 1e-9 * mirror)
+          << "p=" << p << " bytes=" << bytes;
+      EXPECT_EQ(r.flows.size(), static_cast<std::size_t>(p * (p - 1)));
+    }
+  }
+}
+
+// --- Documented tolerance against the analytic formulas ---------------------
+
+TEST(FabricCollectives, BandwidthBoundRingWithinFivePercentOfAnalytic) {
+  const FabricOptions opt;
+  const double bytes = 64.0 * 1024 * 1024;
+  for (const int p : {2, 4, 8, 16}) {
+    const auto r = ring_allreduce(flat(p), opt, Bytes{bytes});
+    const double analytic =
+        comm::ring_allreduce_seconds(Bytes{bytes}, p, analytic_net()).value();
+    const double ratio = r.elapsed.value() / analytic;
+    EXPECT_GE(ratio, 1.0) << "p=" << p;       // the fabric never undercuts Eq. 1
+    EXPECT_LE(ratio, 1.05) << "p=" << p;      // fill + extra alpha are noise here
+  }
+}
+
+TEST(FabricCollectives, LatencyBoundRingPaysDoubledAlphaTerm) {
+  // At 4 KiB the alpha terms dominate: the fabric's 2*alpha*(p-1) against
+  // Eq. 1's alpha*(p-1) pushes the ratio toward 2 — the documented
+  // divergence, not an error.
+  const FabricOptions opt;
+  const double bytes = 4096.0;
+  for (const int p : {4, 8, 16}) {
+    const auto r = ring_allreduce(flat(p), opt, Bytes{bytes});
+    const double analytic =
+        comm::ring_allreduce_seconds(Bytes{bytes}, p, analytic_net()).value();
+    const double ratio = r.elapsed.value() / analytic;
+    EXPECT_GE(ratio, 1.0) << "p=" << p;
+    EXPECT_LE(ratio, 2.2) << "p=" << p;
+  }
+}
+
+TEST(FabricCollectives, BandwidthBoundTreeAndGatherTrackAnalytic) {
+  const FabricOptions opt;
+  const double bytes = 64.0 * 1024 * 1024;
+  for (const int p : {2, 4, 8, 16}) {
+    const double tree_ratio =
+        tree_allreduce(flat(p), opt, Bytes{bytes}).elapsed.value() /
+        comm::tree_allreduce_seconds(Bytes{bytes}, p, analytic_net()).value();
+    EXPECT_GE(tree_ratio, 1.0) << "p=" << p;
+    EXPECT_LE(tree_ratio, 1.05) << "p=" << p;
+    const double gather_ratio =
+        allgather(flat(p), opt, Bytes{bytes / p}, GatherPattern::kRing).elapsed.value() /
+        comm::allgather_seconds(Bytes{bytes / p}, p, analytic_net()).value();
+    EXPECT_GE(gather_ratio, 1.0) << "p=" << p;
+    EXPECT_LE(gather_ratio, 1.05) << "p=" << p;
+  }
+}
+
+TEST(FabricCollectives, UncongestedRunsNeverQueueAcrossFlows) {
+  // Self-serialization at the sender's own NIC is the only queueing an
+  // uncongested ring sees: depth never exceeds one chunk's packet count.
+  FabricOptions opt;
+  opt.packet_bytes = Bytes{64.0 * 1024};
+  const double bytes = 8.0 * 1024 * 1024;
+  const int p = 8;
+  const auto r = ring_allreduce(flat(p), opt, Bytes{bytes});
+  const int packets_per_chunk =
+      static_cast<int>(std::ceil(bytes / p / opt.packet_bytes.value()));
+  EXPECT_LE(r.max_queue_depth, packets_per_chunk);
+}
+
+// --- Non-power-of-two tree --------------------------------------------------
+
+TEST(FabricCollectives, TreeHandlesNonPowerOfTwoWorlds) {
+  const FabricOptions opt;
+  const double bytes = 1e6;
+  for (const int p : {3, 5, 6, 12, 24}) {
+    const auto r = tree_allreduce(flat(p), opt, Bytes{bytes});
+    const auto pow2 = tree_allreduce(flat(static_cast<int>(std::bit_floor(
+                                         static_cast<unsigned>(p)))),
+                                     opt, Bytes{bytes});
+    // Fold + unfold cost strictly more than the embedded power-of-two tree.
+    EXPECT_GT(r.elapsed.value(), pow2.elapsed.value()) << "p=" << p;
+    // fold and unfold flows present for each remainder rank.
+    const auto folds = std::count_if(r.flows.begin(), r.flows.end(), [](const Flow& f) {
+      return f.label == "tree-fold";
+    });
+    const auto unfolds = std::count_if(r.flows.begin(), r.flows.end(), [](const Flow& f) {
+      return f.label == "tree-unfold";
+    });
+    const int extra = p - static_cast<int>(std::bit_floor(static_cast<unsigned>(p)));
+    EXPECT_EQ(folds, extra) << "p=" << p;
+    EXPECT_EQ(unfolds, extra) << "p=" << p;
+  }
+}
+
+// --- Emergent contention ----------------------------------------------------
+
+TEST(FabricCollectives, DirectAllgatherShowsEmergentIncast) {
+  // Everyone pushes to everyone at t=0: each receiver's downlink must absorb
+  // p-1 simultaneous flows. Queue depth at the hot link grows with p and the
+  // completion time diverges from the ring schedule even with NO
+  // oversubscription fudge factor anywhere.
+  const FabricOptions opt;
+  const double bytes = 1e6;
+  int last_depth = 0;
+  for (const int p : {4, 8, 16}) {
+    const auto direct = allgather(flat(p), opt, Bytes{bytes}, GatherPattern::kDirect);
+    const auto ring = allgather(flat(p), opt, Bytes{bytes}, GatherPattern::kRing);
+    EXPECT_GT(direct.queue_delay.value(), 0.0) << "p=" << p;
+    EXPECT_GT(direct.max_queue_depth, last_depth) << "p=" << p;
+    last_depth = direct.max_queue_depth;
+    // Incast concentrates service: the direct gather cannot beat the
+    // pipelined ring by more than the removed chaining latency.
+    EXPECT_GT(direct.elapsed.value(), (p - 1) * bytes / bw_bytes_per_s() * 0.99) << "p=" << p;
+    EXPECT_GT(ring.elapsed.value(), 0.0);
+  }
+}
+
+TEST(FabricCollectives, OversubscriptionStretchesCrossRackTraffic) {
+  const FabricOptions opt;
+  const double bytes = 8.0 * 1024 * 1024;
+  const int p = 8;
+  const auto full = allgather(two_racks(p, 1.0), opt, Bytes{bytes}, GatherPattern::kDirect);
+  // At 8:1 the spine (0.5x NIC rate for 4 nodes' worth of cross traffic)
+  // becomes the binding constraint instead of the endpoints' own NICs.
+  const auto over8 = allgather(two_racks(p, 8.0), opt, Bytes{bytes}, GatherPattern::kDirect);
+  EXPECT_GT(over8.elapsed.value(), full.elapsed.value() * 1.4);
+  // The spine uplink is the queueing hot spot.
+  const auto usage = over8.links;
+  const auto spine = std::find_if(usage.begin(), usage.end(), [](const LinkUsage& u) {
+    return u.name == "spine-up r0";
+  });
+  ASSERT_NE(spine, usage.end());
+  EXPECT_GT(spine->queue_delay.value(), 0.0);
+}
+
+TEST(FabricCollectives, TopologyAwareRingBeatsInterleavedRingOnOversubscribedSpine) {
+  const FabricOptions opt;
+  const double bytes = 8.0 * 1024 * 1024;
+  const int p = 8;
+  const Topology topo = two_racks(p, 4.0);
+  const auto aware = ring_allreduce(topo, opt, Bytes{bytes});
+  const auto interleaved = ring_allreduce(topo, opt, Bytes{bytes}, topo.interleaved_ring_order());
+  // The aware ring crosses the spine once per direction; the interleaved
+  // ring crosses on (almost) every step and pays for it.
+  EXPECT_LT(aware.elapsed.value(), interleaved.elapsed.value());
+}
+
+TEST(FabricCollectives, SharedDestinationFlowsSerialize) {
+  // Two senders into one receiver: the receiver's downlink serializes them,
+  // so the pair takes ~2x one transfer while disjoint pairs run in parallel.
+  const Topology topo = flat(4);
+  Fabric shared(topo, FabricOptions{});
+  const double bytes = 4.0 * 1024 * 1024;
+  shared.send(0, 2, Bytes{bytes}, "a", Seconds{}, nullptr);
+  shared.send(1, 2, Bytes{bytes}, "b", Seconds{}, nullptr);
+  const double t_shared = shared.run().value();
+
+  Fabric disjoint(topo, FabricOptions{});
+  disjoint.send(0, 2, Bytes{bytes}, "a", Seconds{}, nullptr);
+  disjoint.send(1, 3, Bytes{bytes}, "b", Seconds{}, nullptr);
+  const double t_disjoint = disjoint.run().value();
+
+  EXPECT_GT(t_shared, t_disjoint * 1.8);
+  EXPECT_GT(shared.total_queue_delay().value(), disjoint.total_queue_delay().value());
+}
+
+TEST(FabricCollectives, RunsAreDeterministic) {
+  const FabricOptions opt;
+  const auto a = allgather(two_racks(8, 4.0), opt, Bytes{1e6}, GatherPattern::kDirect);
+  const auto b = allgather(two_racks(8, 4.0), opt, Bytes{1e6}, GatherPattern::kDirect);
+  EXPECT_EQ(a.elapsed.value(), b.elapsed.value());
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].src_rank, b.flows[i].src_rank);
+    EXPECT_EQ(a.flows[i].dst_rank, b.flows[i].dst_rank);
+    EXPECT_EQ(a.flows[i].end.value(), b.flows[i].end.value());
+  }
+}
+
+TEST(FabricCollectives, PacketSizeRefinesButDoesNotExplodeCost) {
+  // Finer packets shrink the store-and-forward fill term monotonically
+  // toward the fluid limit; coarser packets bound it by one full chunk.
+  const double bytes = 8.0 * 1024 * 1024;
+  const int p = 8;
+  FabricOptions fine;
+  fine.packet_bytes = Bytes{8.0 * 1024};
+  FabricOptions coarse;
+  coarse.packet_bytes = Bytes{1024.0 * 1024};
+  const auto tf = ring_allreduce(flat(p), fine, Bytes{bytes});
+  const auto tc = ring_allreduce(flat(p), coarse, Bytes{bytes});
+  EXPECT_LE(tf.elapsed.value(), tc.elapsed.value());
+  // Both stay within the documented fill bound of the fluid mirror.
+  const double fluid =
+      2.0 * (p - 1) * (bytes / p / bw_bytes_per_s() + kAlpha);
+  EXPECT_LE(tc.elapsed.value(),
+            fluid + 2.0 * (p - 1) * (bytes / p) / bw_bytes_per_s() + 1e-9);
+}
+
+// --- Validation & guard rails ----------------------------------------------
+
+TEST(FabricTopology, RejectsUnusableSpecs) {
+  TopologySpec bad;
+  bad.world_size = 0;
+  EXPECT_THROW(Topology{bad}, std::invalid_argument);
+  TopologySpec unset;  // nic bandwidth/latency left at inherit sentinels
+  unset.world_size = 4;
+  EXPECT_THROW(Topology{unset}, std::invalid_argument);
+}
+
+TEST(FabricTopology, RoutesStayInsideRackWhenPossible) {
+  const Topology topo = two_racks(8, 2.0);
+  // Same rack: NIC up + NIC down only.
+  EXPECT_EQ(topo.path(0, 3).size(), 2U);
+  // Cross rack: NIC up, spine up, spine down, NIC down.
+  EXPECT_EQ(topo.path(0, 4).size(), 4U);
+}
+
+TEST(FabricTopology, MultiRankNodesRouteThroughNodeSwitch) {
+  TopologySpec spec;
+  spec.world_size = 8;
+  spec.ranks_per_node = 4;
+  spec.nodes_per_rack = 2;
+  spec.nic_bandwidth = BitsPerSecond::from_gbps(kGbps);
+  spec.nic_latency = Seconds{kAlpha / 2.0};
+  const Topology topo{spec};
+  // Same node: intra up + intra down.
+  EXPECT_EQ(topo.path(0, 1).size(), 2U);
+  // Cross node, same rack: intra up, NIC up, NIC down, intra down.
+  EXPECT_EQ(topo.path(0, 5).size(), 4U);
+  // Intra-node hop is much faster than the NIC hop.
+  const FabricOptions opt;
+  Fabric intra(topo, opt);
+  intra.send(0, 1, Bytes{1e6}, "intra", Seconds{}, nullptr);
+  Fabric inter(topo, opt);
+  inter.send(0, 5, Bytes{1e6}, "inter", Seconds{}, nullptr);
+  EXPECT_LT(intra.run().value(), inter.run().value());
+}
+
+TEST(FabricEngine, RejectsInvalidSends) {
+  const Topology topo = flat(4);
+  Fabric fab(topo, FabricOptions{});
+  EXPECT_THROW(fab.send(0, 0, Bytes{1.0}, "self", Seconds{}, nullptr), std::invalid_argument);
+  EXPECT_THROW(fab.send(0, 9, Bytes{1.0}, "oob", Seconds{}, nullptr), std::invalid_argument);
+  EXPECT_THROW(fab.send(0, 1, Bytes{-1.0}, "neg", Seconds{}, nullptr), std::invalid_argument);
+  FabricOptions bad;
+  bad.packet_bytes = Bytes{};
+  EXPECT_THROW(Fabric(topo, bad), std::invalid_argument);
+}
+
+// --- ClusterSim integration -------------------------------------------------
+
+core::Cluster cluster_at(int p) {
+  core::Cluster c;
+  c.world_size = p;
+  c.network = comm::Network::from_gbps(kGbps, Seconds{kAlpha});
+  return c;
+}
+
+sim::SimOptions fabric_sim_options() {
+  sim::SimOptions o;
+  o.network_model = sim::NetworkModel::kFabric;
+  o.fabric_topology.nodes_per_rack = 4;
+  o.fabric_topology.oversubscription = 2.0;
+  o.validate_timeline = true;  // trace::validate every produced timeline
+  return o;
+}
+
+TEST(ClusterSimFabric, SyncSgdTimelineValidatesAndCarriesFabricSpans) {
+  sim::ClusterSim fab(cluster_at(8), fabric_sim_options());
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  const auto r = fab.run_syncsgd(w);  // throws on any timeline violation
+  EXPECT_GT(r.iteration_time.value(), 0.0);
+  const auto fabric_spans = r.timeline.spans_on("fabric");
+  EXPECT_EQ(fabric_spans.size(), r.timeline.spans_on("comm").size());
+
+  // The analytic model has no word for the hierarchy; the emergent cost on
+  // an oversubscribed two-rack cluster is at least as large.
+  sim::SimOptions analytic;
+  analytic.validate_timeline = true;
+  sim::ClusterSim ana(cluster_at(8), analytic);
+  const auto ra = ana.run_syncsgd(w);
+  EXPECT_GE(r.iteration_time.value(), ra.iteration_time.value() * 0.99);
+}
+
+TEST(ClusterSimFabric, CompressedMethodsValidateInFabricMode) {
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  for (const auto method : {compress::Method::kSignSgd, compress::Method::kPowerSgd,
+                            compress::Method::kTopK, compress::Method::kFp16}) {
+    sim::ClusterSim fab(cluster_at(8), fabric_sim_options());
+    compress::CompressorConfig cfg;
+    cfg.method = method;
+    cfg.rank = 4;
+    cfg.fraction = 0.01;
+    const auto r = fab.run_compressed(cfg, w);  // validate_timeline throws on drift
+    EXPECT_GT(r.iteration_time.value(), 0.0);
+    EXPECT_FALSE(r.timeline.spans_on("fabric").empty());
+  }
+}
+
+TEST(ClusterSimFabric, PerFlowSpansValidateToo) {
+  auto opts = fabric_sim_options();
+  opts.fabric_flow_spans = true;
+  sim::ClusterSim fab(cluster_at(4), opts);
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  const auto r = fab.run_syncsgd(w);
+  // Every bucket all-reduce expands into its full flow schedule.
+  EXPECT_GT(r.timeline.spans_on("fabric").size(), r.timeline.spans_on("comm").size());
+}
+
+TEST(ClusterSimFabric, TreeModeHandlesNonPowerOfTwoSurvivors) {
+  // A rank failure shrinks the world 8 -> 7 mid-run: the fabric tree must
+  // fold the remainder and the timeline must still validate.
+  auto opts = fabric_sim_options();
+  opts.use_tree_allreduce = true;
+  core::FaultPlanOptions fp;
+  fp.world_size = 8;
+  fp.iterations = 6;
+  fp.fail_rank = 3;
+  fp.fail_at_iteration = 2;
+  opts.fault_plan = core::FaultPlan::generate(fp);
+  sim::ClusterSim fab(cluster_at(8), opts);
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  Seconds before, after;
+  for (int i = 0; i < 4; ++i) {
+    const auto r = fab.run_syncsgd(w);
+    if (i == 1) before = r.iteration_time;
+    if (i == 3) after = r.iteration_time;
+  }
+  EXPECT_GT(before.value(), 0.0);
+  EXPECT_GT(after.value(), 0.0);
+}
+
+TEST(ClusterSimFabric, JitteredFabricTimelinesStillValidate) {
+  auto opts = fabric_sim_options();
+  opts.jitter_frac = 0.05;
+  opts.seed = 7;
+  sim::ClusterSim fab(cluster_at(8), opts);
+  core::Workload w;
+  w.model = models::resnet50();
+  w.batch_size = 64;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = fab.run_syncsgd(w);  // fabric spans are rescaled with the jitter
+    EXPECT_GT(r.iteration_time.value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gradcomp::fabric
