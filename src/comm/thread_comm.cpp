@@ -64,7 +64,7 @@ ThreadComm::ThreadComm(int world_size, std::chrono::milliseconds timeout)
 void ThreadComm::set_timeout(std::chrono::milliseconds timeout) {
   if (timeout.count() <= 0)
     throw std::invalid_argument("ThreadComm: timeout must be positive");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
   timeout_ = timeout;
 }
 
@@ -79,13 +79,13 @@ void ThreadComm::validate_rank(int rank) const {
 
 bool ThreadComm::is_active(int rank) const {
   if (rank < 0 || rank >= initial_world_size_) return false;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
   return active_[static_cast<std::size_t>(rank)] != 0 &&
          failed_[static_cast<std::size_t>(rank)] == 0;
 }
 
 std::vector<int> ThreadComm::active_ranks() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
   std::vector<int> out;
   for (int r = 0; r < initial_world_size_; ++r)
     if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)])
@@ -94,7 +94,7 @@ std::vector<int> ThreadComm::active_ranks() const {
 }
 
 std::vector<int> ThreadComm::failed_ranks() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
   std::vector<int> out;
   for (int r = 0; r < initial_world_size_; ++r)
     if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
@@ -110,7 +110,7 @@ void ThreadComm::throw_failure_locked() const {
 }
 
 void ThreadComm::sync(int rank) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
   if (aborted_) throw_failure_locked();
   const std::uint64_t my_epoch = epoch_;
   arrived_flag_[static_cast<std::size_t>(rank)] = 1;
@@ -146,7 +146,7 @@ void ThreadComm::sync(int rank) {
 void ThreadComm::fail(int rank) {
   if (rank < 0 || rank >= initial_world_size_)
     throw std::invalid_argument("ThreadComm::fail: rank out of range");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
   const auto u = static_cast<std::size_t>(rank);
   if (!active_[u] || failed_[u]) return;  // already dead
   failed_[u] = 1;
@@ -175,7 +175,7 @@ void ThreadComm::rebuild_dense_locked() {
 }
 
 std::vector<int> ThreadComm::shrink(int rank) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
   if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
       failed_[static_cast<std::size_t>(rank)])
     throw std::logic_error("ThreadComm::shrink: caller is not a live group member");
@@ -306,7 +306,7 @@ void ThreadComm::throw_grow_abort_locked() const {
 }
 
 std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
   if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
       failed_[static_cast<std::size_t>(rank)])
     throw std::logic_error("ThreadComm::grow: caller is not a live group member");
@@ -367,7 +367,7 @@ std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
 }
 
 std::vector<int> ThreadComm::rejoin(int rank) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
   if (rank < 0 || rank >= initial_world_size_)
     throw std::invalid_argument("ThreadComm::rejoin: rank out of range");
   const auto u = static_cast<std::size_t>(rank);

@@ -27,15 +27,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace gradcomp::comm {
 
@@ -173,8 +173,12 @@ class ThreadComm {
   int initial_world_size_;
   std::chrono::milliseconds timeout_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  // Rank-ordered (core::sync): the group lock sits above the pool locks, so
+  // pool workers parked in a future pool-backed collective wait acquire in
+  // hierarchy order — and a collective entered while holding the trainer
+  // lock trips the OrderedMutex check instead of risking a deadlock.
+  mutable core::sync::OrderedMutex mu_{core::sync::LockRank::kCommGroup, "comm-group"};
+  core::sync::OrderedCondVar cv_;
   std::uint64_t epoch_ = 0;  // completed barrier generations
   int arrived_ = 0;
   bool aborted_ = false;  // a failure interrupted in-flight collectives

@@ -30,8 +30,8 @@ struct ThreadPool::ForTask {
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> finished{0};
   std::atomic<bool> failed{false};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  sync::OrderedMutex done_mutex{sync::LockRank::kPoolTask, "pool-task-done"};
+  sync::OrderedCondVar done_cv;
   std::exception_ptr error;  // first exception wins, guarded by done_mutex
 };
 
@@ -45,7 +45,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<sync::OrderedMutex> lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -56,7 +56,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<sync::OrderedMutex> lock(mutex_);
       while (!cv_.wait_for(lock, kWaitHeartbeat, [this] { return stop_ || !queue_.empty(); })) {
       }
       if (queue_.empty()) return;  // stop_ and drained
@@ -81,14 +81,14 @@ void ThreadPool::run_chunks(ForTask& task) {
         task.body(lo, hi);
       } catch (...) {
         {
-          const std::lock_guard<std::mutex> lock(task.done_mutex);
+          const std::lock_guard<sync::OrderedMutex> lock(task.done_mutex);
           if (!task.error) task.error = std::current_exception();
         }
         task.failed.store(true, std::memory_order_release);
       }
     }
     if (task.finished.fetch_add(1, std::memory_order_acq_rel) + 1 == task.nchunks) {
-      const std::lock_guard<std::mutex> lock(task.done_mutex);
+      const std::lock_guard<sync::OrderedMutex> lock(task.done_mutex);
       task.done_cv.notify_all();
     }
   }
@@ -118,7 +118,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   const auto helpers = static_cast<int>(
       std::min<std::int64_t>(static_cast<std::int64_t>(size_) - 1, nchunks - 1));
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<sync::OrderedMutex> lock(mutex_);
     for (int i = 0; i < helpers; ++i) queue_.emplace_back([task] { run_chunks(*task); });
   }
   if (helpers == 1)
@@ -128,7 +128,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
   run_chunks(*task);  // caller participates (keeps nesting deadlock-free)
 
-  std::unique_lock<std::mutex> lock(task->done_mutex);
+  std::unique_lock<sync::OrderedMutex> lock(task->done_mutex);
   while (!task->done_cv.wait_for(lock, kWaitHeartbeat, [&] {
     return task->finished.load(std::memory_order_acquire) >= task->nchunks;
   })) {
@@ -137,18 +137,18 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 }
 
 namespace {
-std::mutex g_pool_mutex;
+sync::OrderedMutex g_pool_mutex{sync::LockRank::kPoolRegistry, "pool-registry"};
 std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp)
 }  // namespace
 
 ThreadPool& global_pool() {
-  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const std::lock_guard<sync::OrderedMutex> lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return *g_pool;
 }
 
 void set_global_pool_threads(int threads) {
-  const std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const std::lock_guard<sync::OrderedMutex> lock(g_pool_mutex);
   g_pool = std::make_unique<ThreadPool>(threads);
 }
 

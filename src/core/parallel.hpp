@@ -20,14 +20,14 @@
 // so the compressor kernels and the sweep drivers share one pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.hpp"
 
 namespace gradcomp::core {
 
@@ -84,8 +84,8 @@ class ThreadPool {
 
   int size_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  sync::OrderedMutex mutex_{sync::LockRank::kPoolQueue, "pool-queue"};
+  sync::OrderedCondVar cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
 };

@@ -1,0 +1,99 @@
+#include "core/sync.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+namespace gradcomp::core::sync {
+
+namespace {
+
+// Per-thread stack of held mutexes, in acquisition order. Maintained
+// unconditionally (even with checks off) so set_checks_enabled() mid-run can
+// never leave the stack unbalanced.
+//
+// Deliberately a trivially-destructible POD array, NOT a std::vector: the
+// main thread's thread_local destructors run BEFORE static-storage
+// destructors ([basic.start.term]), and the static global_pool's ~ThreadPool
+// still takes its OrderedMutex during teardown — pushing into a destructed
+// vector there corrupts the heap. A POD array has no destructor, so the
+// storage stays valid through static destruction. Depth is bounded by the
+// LockRank hierarchy when checks are on; with checks off an overflowing
+// acquisition is simply not recorded (checking degrades, memory never does).
+constexpr int kMaxHeld = 64;
+thread_local const OrderedMutex* t_held[kMaxHeld];
+thread_local int t_held_count = 0;
+
+bool initial_checks_enabled() {
+  if (const char* env = std::getenv("GRADCOMP_SYNC_CHECK")) {
+    return env[0] != '0';
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool>& checks_flag() {
+  static std::atomic<bool> flag{initial_checks_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool checks_enabled() noexcept { return checks_flag().load(std::memory_order_relaxed); }
+
+void set_checks_enabled(bool enabled) noexcept {
+  checks_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<int> held_ranks() {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(t_held_count));
+  for (int i = 0; i < t_held_count; ++i) out.push_back(static_cast<int>(t_held[i]->rank()));
+  return out;
+}
+
+void OrderedMutex::check_order_before_acquire() const {
+  if (!checks_enabled() || t_held_count == 0) return;
+  const OrderedMutex* top = t_held[t_held_count - 1];
+  // Ranks must be strictly ascending: same-rank (including re-acquiring this
+  // very mutex — a guaranteed self-deadlock) is as fatal as an inversion.
+  if (static_cast<int>(rank_) > static_cast<int>(top->rank_)) return;
+  std::ostringstream msg;
+  msg << "lock-order violation: acquiring \"" << name_ << "\" (rank " << static_cast<int>(rank_)
+      << ") while holding \"" << top->name_ << "\" (rank " << static_cast<int>(top->rank_)
+      << "); ranks must be strictly ascending (held:";
+  for (int i = 0; i < t_held_count; ++i) msg << ' ' << static_cast<int>(t_held[i]->rank_);
+  msg << ")";
+  throw LockOrderError(msg.str());
+}
+
+void OrderedMutex::lock() {
+  check_order_before_acquire();
+  mu_.lock();
+  if (t_held_count < kMaxHeld) t_held[t_held_count++] = this;
+}
+
+bool OrderedMutex::try_lock() {
+  check_order_before_acquire();
+  if (!mu_.try_lock()) return false;
+  if (t_held_count < kMaxHeld) t_held[t_held_count++] = this;
+  return true;
+}
+
+void OrderedMutex::unlock() {
+  // Releases are usually LIFO (guards), but a condvar wait or manual
+  // unique_lock::unlock() may release out of order — erase wherever it is.
+  for (int i = t_held_count - 1; i >= 0; --i) {
+    if (t_held[i] == this) {
+      for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+      --t_held_count;
+      break;
+    }
+  }
+  mu_.unlock();
+}
+
+}  // namespace gradcomp::core::sync

@@ -1,0 +1,131 @@
+// Rank-ordered synchronization primitives — the lock-layer analogue of
+// trace::validate.
+//
+// Every mutex in the concurrent half of the stack (the thread-backed comm
+// fabric, the shared pool, the trainer's cross-rank state) is a
+// core::sync::OrderedMutex carrying a LockRank. The rank encodes the ONE
+// global acquisition order the codebase is allowed to use: a thread may only
+// acquire a mutex whose rank is STRICTLY GREATER than every rank it already
+// holds. Any violation — an AB/BA inversion, a same-rank double acquisition,
+// a self-deadlock — throws LockOrderError at the acquisition site the moment
+// it happens, on whichever thread interleaving the test run produced, instead
+// of deadlocking one run in a thousand.
+//
+// This is the runtime counterpart of `gradcheck --locks`: the static pass
+// proves the *observed* acquisition graph is acyclic across translation
+// units; OrderedMutex proves the *executed* order honors the declared
+// hierarchy even through call chains the token-level pass cannot follow.
+// The planned pool-backed ThreadComm rewrite (ROADMAP: 1024 in-process
+// ranks) will make pool workers park inside rank-blocking collective waits —
+// exactly the cross-module lock nesting this checker exists to police.
+//
+// Checking is cheap but not free (a thread_local held-lock stack), so the
+// order assertion is gated: on by default in Debug builds, off in Release,
+// overridable either way with GRADCOMP_SYNC_CHECK=0/1 (the chaos soak runs a
+// seed with it forced on in every build type). The held-stack bookkeeping
+// itself is unconditional so toggling mid-run can never unbalance it.
+//
+// Raw std::mutex / std::condition_variable declarations outside this module
+// are a gradcheck token-pass error (`raw-sync`), mirroring how raw vector
+// intrinsics are confined to tensor/simd.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gradcomp::core::sync {
+
+// The global lock hierarchy, lowest first. Acquisition order must be
+// strictly ascending, so a level may only be taken while holding levels
+// listed ABOVE it. Gaps leave room for new layers without renumbering.
+enum class LockRank : int {
+  kPoolRegistry = 10,   // global pool slot (core::parallel global_pool swap)
+  kPoolQueue = 20,      // ThreadPool job queue + stop flag
+  kPoolTask = 30,       // per-parallel_for completion latch
+  kCommGroup = 40,      // ThreadComm group state (barrier/shrink/grow)
+  kTrainerShared = 50,  // trainer cross-rank failure/resync state
+};
+
+// Thrown at the acquisition site of the out-of-order lock. The message names
+// both mutexes and their ranks, so the fix (reorder, or split the critical
+// section) is readable straight off the test failure.
+class LockOrderError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Whether the order assertion is live. Initialized once from
+// GRADCOMP_SYNC_CHECK ("0" disables, anything else enables); when the
+// variable is unset, defaults to on in Debug builds (!NDEBUG) and off in
+// Release.
+[[nodiscard]] bool checks_enabled() noexcept;
+
+// Test hook: force the assertion on/off for the current process.
+void set_checks_enabled(bool enabled) noexcept;
+
+// Ranks currently held by the calling thread, in acquisition order — test
+// and diagnostic introspection only.
+[[nodiscard]] std::vector<int> held_ranks();
+
+// A std::mutex that knows its place in the global hierarchy. Satisfies
+// Lockable, so std::lock_guard<OrderedMutex>, std::unique_lock<OrderedMutex>
+// and std::scoped_lock all work unchanged.
+class OrderedMutex {
+ public:
+  explicit OrderedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  // Asserts the hierarchy (throws LockOrderError BEFORE blocking, so a real
+  // inversion reports instead of deadlocking), then acquires.
+  void lock();
+  // Same assertion; acquisition failure returns false without recording.
+  [[nodiscard]] bool try_lock();
+  void unlock();
+
+  [[nodiscard]] LockRank rank() const noexcept { return rank_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  void check_order_before_acquire() const;
+
+  std::mutex mu_;  // raw-sync confinement: the one sanctioned raw mutex home
+  LockRank rank_;
+  const char* name_;
+};
+
+// Condition variable paired with OrderedMutex (any Lockable, via
+// std::condition_variable_any). Only the predicate overloads exist — the
+// predicate-less forms are banned by gradcheck --conc anyway — and the
+// unlock/relock a wait performs routes through OrderedMutex, so the
+// held-lock stack stays exact across the park.
+class OrderedCondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  template <typename Lock, typename Predicate>
+  void wait(Lock& lock, Predicate pred) {
+    cv_.wait(lock, std::move(pred));
+  }
+
+  template <typename Lock, typename Clock, typename Duration, typename Predicate>
+  bool wait_until(Lock& lock, const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) {
+    return cv_.wait_until(lock, deadline, std::move(pred));
+  }
+
+  template <typename Lock, typename Rep, typename Period, typename Predicate>
+  bool wait_for(Lock& lock, const std::chrono::duration<Rep, Period>& timeout, Predicate pred) {
+    return cv_.wait_for(lock, timeout, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace gradcomp::core::sync

@@ -1,7 +1,6 @@
 #include "train/trainer.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -64,7 +63,7 @@ StepStats DataParallelTrainer::step() {
     std::vector<compress::AggregateStats> agg(n);
     std::vector<double> backward_s(n, 0.0);
     std::vector<double> agg_wall_s(n, 0.0);
-    std::atomic<bool> failure_seen{false};
+    bool failure_seen = false;  // guarded by shared_mu_ while workers run
     // The plan kills at most one rank per iteration; a dead rank is no
     // longer in `active`, so a retried or rewound step cannot re-kill it.
     const int doomed = config_.fault_plan.empty()
@@ -99,15 +98,19 @@ StepStats DataParallelTrainer::step() {
       } catch (const comm::RankFailure&) {
         // Consistent unwind: every survivor throws at the same collective,
         // before any optimizer update. Reap the dead and retry the step.
+        // shrink() has returned (and released the group lock) before the
+        // trainer lock is taken — kTrainerShared is the TOP rank, so taking
+        // it the other way around would throw LockOrderError.
         comm_.shrink(rank);
-        // Default (seq_cst) ordering: this flag crosses run_ranks' join, so
-        // relaxed buys nothing, and the conc discipline confines relaxed
-        // atomics to the fabric/pool internals.
-        failure_seen.store(true);
+        const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
+        failure_seen = true;
       }
     });
 
-    if (failure_seen.load()) {
+    if ([&] {
+          const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
+          return failure_seen;
+        }()) {
       recover(active);
       continue;  // retry (possibly after a checkpoint rewind)
     }
@@ -225,7 +228,7 @@ void DataParallelTrainer::maybe_rejoin() {
   std::sort(participants.begin(), participants.end());
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::atomic<std::size_t> resync_bytes{0};
+  std::size_t resync_bytes = 0;  // guarded by shared_mu_ while workers run
   comm::run_ranks(participants, [&](int rank) {
     const bool joining = std::find(joiners.begin(), joiners.end(), rank) != joiners.end();
     if (joining) {
@@ -239,7 +242,8 @@ void DataParallelTrainer::maybe_rejoin() {
     std::vector<std::byte> blob;
     if (rank == root) {
       blob = serialize_resync(root);
-      resync_bytes.store(blob.size());
+      const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
+      resync_bytes = blob.size();
     }
     comm_.broadcast_bytes(rank, root, blob);
     if (joining) apply_resync(rank, blob);
@@ -250,7 +254,10 @@ void DataParallelTrainer::maybe_rejoin() {
   RejoinRecord record;
   record.step = step_count_;
   record.rejoined_ranks = joiners;
-  record.resync_bytes = resync_bytes.load();
+  {
+    const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
+    record.resync_bytes = resync_bytes;
+  }
   // One "rejoin" span per re-admitted rank; the group rebuild + resync
   // advances the trainer's wall clock like any other work (keeping later
   // "adapt" windows contiguous).

@@ -35,6 +35,7 @@
 #include "comm/thread_comm.hpp"
 #include "compress/compressor.hpp"
 #include "core/fault_plan.hpp"
+#include "core/sync.hpp"
 #include "trace/timeline.hpp"
 #include "train/checkpoint.hpp"
 #include "train/data.hpp"
@@ -210,6 +211,14 @@ class DataParallelTrainer {
   std::vector<std::unique_ptr<compress::Compressor>> compressors_;
   std::vector<SgdOptimizer> optimizers_;
   comm::ThreadComm comm_;
+  // Guards the cross-rank state the step/rejoin worker lambdas write
+  // (failure detection, resync accounting). TOP of the lock hierarchy
+  // (kTrainerShared > kCommGroup): entering a collective while holding this
+  // lock is a rank-order violation, so OrderedMutex turns "trainer lock held
+  // across a blocking collective" — the classic elastic-training deadlock —
+  // into an immediate LockOrderError in debug runs.
+  mutable core::sync::OrderedMutex shared_mu_{core::sync::LockRank::kTrainerShared,
+                                              "trainer-shared"};
   std::vector<StepStats> history_;
   std::vector<FailureRecord> failures_;
   std::vector<RejoinRecord> rejoins_;

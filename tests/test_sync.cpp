@@ -1,0 +1,205 @@
+// core::sync::OrderedMutex / OrderedCondVar: the runtime lock-order checker.
+//
+// These tests pin the contract the rest of the concurrent stack builds on:
+// strictly-ascending rank acquisition is clean, ANY other order (inversion,
+// same-rank, self-relock) throws LockOrderError at the acquisition site
+// before blocking, the held-stack bookkeeping survives out-of-LIFO unlocks
+// and condition-variable parks, and the assertion can be toggled without
+// unbalancing the stack.
+#include "core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using gradcomp::core::sync::checks_enabled;
+using gradcomp::core::sync::held_ranks;
+using gradcomp::core::sync::LockOrderError;
+using gradcomp::core::sync::LockRank;
+using gradcomp::core::sync::OrderedCondVar;
+using gradcomp::core::sync::OrderedMutex;
+using gradcomp::core::sync::set_checks_enabled;
+
+// Every test forces the assertion to a known state and restores the prior
+// one, so the suite behaves identically in Debug and Release builds.
+class CheckGuard {
+ public:
+  explicit CheckGuard(bool on) : prev_(checks_enabled()) { set_checks_enabled(on); }
+  ~CheckGuard() { set_checks_enabled(prev_); }
+  CheckGuard(const CheckGuard&) = delete;
+  CheckGuard& operator=(const CheckGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+TEST(OrderedMutex, AscendingAcquisitionIsClean) {
+  const CheckGuard guard(true);
+  OrderedMutex a(LockRank::kPoolRegistry, "a");
+  OrderedMutex b(LockRank::kPoolQueue, "b");
+  OrderedMutex c(LockRank::kCommGroup, "c");
+  {
+    const std::lock_guard<OrderedMutex> la(a);
+    const std::lock_guard<OrderedMutex> lb(b);
+    const std::lock_guard<OrderedMutex> lc(c);
+    EXPECT_EQ(held_ranks(), (std::vector<int>{10, 20, 40}));
+  }
+  EXPECT_TRUE(held_ranks().empty());
+}
+
+TEST(OrderedMutex, DescendingAcquisitionThrows) {
+  const CheckGuard guard(true);
+  OrderedMutex group(LockRank::kCommGroup, "comm-group");
+  OrderedMutex queue(LockRank::kPoolQueue, "pool-queue");
+  const std::lock_guard<OrderedMutex> lg(group);
+  EXPECT_THROW(queue.lock(), LockOrderError);
+  // The failed acquisition must not have been recorded.
+  EXPECT_EQ(held_ranks(), (std::vector<int>{40}));
+}
+
+TEST(OrderedMutex, SameRankAcquisitionThrows) {
+  const CheckGuard guard(true);
+  OrderedMutex a(LockRank::kCommGroup, "group-a");
+  OrderedMutex b(LockRank::kCommGroup, "group-b");
+  const std::lock_guard<OrderedMutex> la(a);
+  EXPECT_THROW(b.lock(), LockOrderError);
+}
+
+TEST(OrderedMutex, SelfRelockThrowsInsteadOfDeadlocking) {
+  const CheckGuard guard(true);
+  OrderedMutex m(LockRank::kPoolQueue, "pool-queue");
+  const std::lock_guard<OrderedMutex> lm(m);
+  // Without the check this would deadlock the thread; with it, the same-rank
+  // rule reports the self-relock immediately.
+  EXPECT_THROW(m.lock(), LockOrderError);
+}
+
+TEST(OrderedMutex, ErrorNamesBothMutexesAndRanks) {
+  const CheckGuard guard(true);
+  OrderedMutex held(LockRank::kTrainerShared, "trainer-shared");
+  OrderedMutex wanted(LockRank::kCommGroup, "comm-group");
+  const std::lock_guard<OrderedMutex> lh(held);
+  try {
+    wanted.lock();
+    FAIL() << "descending acquisition must throw";
+  } catch (const LockOrderError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trainer-shared"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("comm-group"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("50"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("40"), std::string::npos) << msg;
+  }
+}
+
+TEST(OrderedMutex, DisabledChecksStillMaintainTheStack) {
+  const CheckGuard guard(false);
+  OrderedMutex group(LockRank::kCommGroup, "comm-group");
+  OrderedMutex queue(LockRank::kPoolQueue, "pool-queue");
+  group.lock();
+  queue.lock();  // inversion, but the assertion is off
+  // Bookkeeping is unconditional so re-enabling mid-run can never corrupt it.
+  EXPECT_EQ(held_ranks(), (std::vector<int>{40, 20}));
+  queue.unlock();
+  group.unlock();
+  EXPECT_TRUE(held_ranks().empty());
+}
+
+TEST(OrderedMutex, OutOfLifoUnlockIsSupported) {
+  const CheckGuard guard(true);
+  OrderedMutex a(LockRank::kPoolRegistry, "a");
+  OrderedMutex b(LockRank::kPoolQueue, "b");
+  OrderedMutex c(LockRank::kCommGroup, "c");
+  std::unique_lock<OrderedMutex> la(a);
+  std::unique_lock<OrderedMutex> lb(b);
+  la.unlock();  // release the OLDER lock first (what a condvar wait does)
+  EXPECT_EQ(held_ranks(), (std::vector<int>{20}));
+  // Top of the stack is now rank 20: rank 40 is legal, rank 10 is not.
+  const std::lock_guard<OrderedMutex> lc(c);
+  EXPECT_THROW(a.lock(), LockOrderError);
+}
+
+TEST(OrderedMutex, TryLockChecksAndRecords) {
+  const CheckGuard guard(true);
+  OrderedMutex group(LockRank::kCommGroup, "comm-group");
+  OrderedMutex queue(LockRank::kPoolQueue, "pool-queue");
+  ASSERT_TRUE(queue.try_lock());
+  EXPECT_EQ(held_ranks(), (std::vector<int>{20}));
+  ASSERT_TRUE(group.try_lock());  // ascending: legal
+  EXPECT_EQ(held_ranks(), (std::vector<int>{20, 40}));
+  group.unlock();
+  // Descending try_lock is an order violation like lock(), not a false.
+  group.lock();
+  EXPECT_THROW((void)queue.try_lock(), LockOrderError);
+  group.unlock();
+  queue.unlock();
+}
+
+TEST(OrderedMutex, HeldStackIsPerThread) {
+  const CheckGuard guard(true);
+  OrderedMutex group(LockRank::kCommGroup, "comm-group");
+  const std::lock_guard<OrderedMutex> lg(group);
+  std::vector<int> other_thread_held{-1};
+  std::thread observer([&] { other_thread_held = held_ranks(); });
+  observer.join();
+  EXPECT_TRUE(other_thread_held.empty());
+  EXPECT_EQ(held_ranks(), (std::vector<int>{40}));
+}
+
+TEST(OrderedCondVar, WaitKeepsTheHeldStackExact) {
+  const CheckGuard guard(true);
+  OrderedMutex m(LockRank::kCommGroup, "comm-group");
+  OrderedCondVar cv;
+  bool ready = false;
+  std::vector<int> held_inside_predicate;
+  std::vector<int> held_after_wait;
+
+  std::thread waiter([&] {
+    std::unique_lock<OrderedMutex> lk(m);
+    cv.wait(lk, [&] {
+      held_inside_predicate = held_ranks();  // predicate runs with m held
+      return ready;
+    });
+    held_after_wait = held_ranks();  // the park's unlock/relock balanced out
+  });
+
+  {
+    const std::lock_guard<OrderedMutex> lk(m);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+
+  EXPECT_EQ(held_inside_predicate, (std::vector<int>{40}));
+  EXPECT_EQ(held_after_wait, (std::vector<int>{40}));
+  EXPECT_TRUE(held_ranks().empty());
+}
+
+TEST(OrderedCondVar, WaitForTimesOutWithStackBalanced) {
+  const CheckGuard guard(true);
+  OrderedMutex m(LockRank::kCommGroup, "comm-group");
+  OrderedCondVar cv;
+  std::unique_lock<OrderedMutex> lk(m);
+  const bool satisfied =
+      cv.wait_for(lk, std::chrono::milliseconds(10), [] { return false; });
+  EXPECT_FALSE(satisfied);
+  EXPECT_EQ(held_ranks(), (std::vector<int>{40}));
+}
+
+TEST(OrderedMutex, CollectiveUnderTrainerLockPatternThrows) {
+  // The violation the kTrainerShared > kCommGroup ordering exists to catch:
+  // entering a comm collective (which takes the group lock) while holding
+  // the trainer's shared-state lock.
+  const CheckGuard guard(true);
+  OrderedMutex trainer(LockRank::kTrainerShared, "trainer-shared");
+  OrderedMutex group(LockRank::kCommGroup, "comm-group");
+  const std::lock_guard<OrderedMutex> lt(trainer);
+  EXPECT_THROW((void)std::lock_guard<OrderedMutex>(group), LockOrderError);
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Fixture: must trigger exactly `address-ordering`. A pointer-keyed ordered
+// map iterates in allocation-address order, which varies run to run (ASLR,
+// allocator state) — any output derived from the walk is nondeterministic.
+// Key by a stable id instead.
+#include <map>
+
+struct Span {
+  int id = 0;
+};
+
+int count_open(const std::map<Span*, int>& depth_by_span) {
+  return static_cast<int>(depth_by_span.size());
+}

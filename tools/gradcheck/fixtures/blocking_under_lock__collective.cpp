@@ -1,0 +1,14 @@
+// Fixture: must trigger exactly `blocking-under-lock`. Entering a blocking
+// collective while holding a lock is the classic elastic-training deadlock:
+// the peer that must arrive to release this rank may be parked on the very
+// lock this rank holds. Templated over the sync/comm types so raw-sync and
+// the layering rules stay quiet — the finding is purely the held guard.
+#include <cstddef>
+#include <mutex>
+#include <span>
+
+template <typename Mutex, typename Comm>
+void aggregate_under_lock(Mutex& mu, Comm& comm, std::span<float> grads) {
+  const std::lock_guard<Mutex> lock(mu);
+  comm.allreduce_sum(0, grads);  // collective entered while holding `mu`
+}

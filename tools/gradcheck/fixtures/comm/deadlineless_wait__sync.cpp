@@ -1,11 +1,12 @@
 // Fixture: must trigger exactly `deadlineless-wait`. It lives under a
 // comm/ path (the rule is scoped to the fabric/pool) and uses the
 // predicate overload so cv-wait-no-predicate stays quiet — the finding is
-// purely the missing deadline.
-#include <condition_variable>
+// purely the missing deadline. Templated over the sync primitives so the
+// raw-sync confinement rule stays quiet too.
 #include <mutex>
 
-void sync_point(std::condition_variable& cv, std::mutex& mu, bool& done) {
-  std::unique_lock<std::mutex> lk(mu);
+template <typename CondVar, typename Mutex>
+void sync_point(CondVar& cv, Mutex& mu, bool& done) {
+  std::unique_lock<Mutex> lk(mu);
   cv.wait(lk, [&] { return done; });  // a hung peer blocks this forever
 }

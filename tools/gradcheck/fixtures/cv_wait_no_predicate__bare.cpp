@@ -1,8 +1,10 @@
-// Fixture: must trigger exactly `cv-wait-no-predicate`.
-#include <condition_variable>
+// Fixture: must trigger exactly `cv-wait-no-predicate`. Templated over the
+// sync primitives so the raw-sync confinement rule stays quiet — the
+// finding is purely the bare wait.
 #include <mutex>
 
-void wait_for_ready(std::condition_variable& cv, std::mutex& mu) {
-  std::unique_lock<std::mutex> lk(mu);
+template <typename CondVar, typename Mutex>
+void wait_for_ready(CondVar& cv, Mutex& mu) {
+  std::unique_lock<Mutex> lk(mu);
   cv.wait(lk);  // spurious wakeup falls straight through
 }

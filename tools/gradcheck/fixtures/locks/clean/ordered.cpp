@@ -1,0 +1,20 @@
+// Locks-pass fixture tree: `gradcheck --locks` on fixtures/locks/clean must
+// exit 0. Two call sites take the same two locks in the SAME order, so the
+// acquisition graph has one edge (a -> b) and no cycle.
+#include <mutex>
+
+std::mutex a;
+std::mutex b;
+int g_hits = 0;
+
+void first_path() {
+  const std::lock_guard<std::mutex> la(a);
+  const std::lock_guard<std::mutex> lb(b);
+  ++g_hits;
+}
+
+void second_path() {
+  const std::lock_guard<std::mutex> la(a);
+  const std::lock_guard<std::mutex> lb(b);
+  --g_hits;
+}

@@ -1,0 +1,14 @@
+// Locks-pass fixture tree: `gradcheck --locks` on fixtures/locks/deadlock
+// must report a potential-deadlock cycle. This TU acquires a before b; the
+// sibling TU (ba.cpp) acquires b before a — the classic two-lock inversion.
+#include <mutex>
+
+std::mutex a;
+std::mutex b;
+int g_forward = 0;
+
+void a_then_b() {
+  const std::lock_guard<std::mutex> la(a);
+  const std::lock_guard<std::mutex> lb(b);
+  ++g_forward;
+}

@@ -1,0 +1,13 @@
+// Sibling of ab.cpp: acquires b before a, closing the a <-> b cycle the
+// locks pass must report as potential-deadlock.
+#include <mutex>
+
+extern std::mutex a;
+extern std::mutex b;
+int g_backward = 0;
+
+void b_then_a() {
+  const std::lock_guard<std::mutex> lb(b);
+  const std::lock_guard<std::mutex> la(a);
+  ++g_backward;
+}

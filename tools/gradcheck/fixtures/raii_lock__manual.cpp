@@ -1,9 +1,10 @@
 // Fixture: must trigger exactly `raii-lock` (twice: lock and unlock).
-#include <mutex>
-
+// Templated over the mutex type so the raw-sync confinement rule stays
+// quiet — the finding is purely the manual lock()/unlock() pair.
 int g_counter = 0;
 
-void bump(std::mutex& mu) {
+template <typename Mutex>
+void bump(Mutex& mu) {
   mu.lock();
   ++g_counter;  // an exception here leaks the lock
   mu.unlock();

@@ -1,0 +1,6 @@
+// Fixture: must trigger exactly `raw-sync`. A bare std::mutex outside
+// core/sync carries no LockRank, so neither the static --locks pass nor the
+// runtime OrderedMutex check can place it in the acquisition hierarchy.
+#include <mutex>
+
+std::mutex g_registry_mu;  // should be core::sync::OrderedMutex

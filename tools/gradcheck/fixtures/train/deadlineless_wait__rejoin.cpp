@@ -2,11 +2,12 @@
 // train/ path (the rule also covers the trainer's recovery/rejoin path) and
 // uses the predicate overload so cv-wait-no-predicate stays quiet — the
 // finding is purely the missing deadline: a joiner parked like this hangs
-// forever if the survivors never run the matching grow().
-#include <condition_variable>
+// forever if the survivors never run the matching grow(). Templated over
+// the sync primitives so the raw-sync confinement rule stays quiet too.
 #include <mutex>
 
-void park_until_admitted(std::condition_variable& cv, std::mutex& mu, bool& admitted) {
-  std::unique_lock<std::mutex> lk(mu);
+template <typename CondVar, typename Mutex>
+void park_until_admitted(CondVar& cv, Mutex& mu, bool& admitted) {
+  std::unique_lock<Mutex> lk(mu);
   cv.wait(lk, [&] { return admitted; });  // no deadline: a lost grow() hangs the joiner
 }

@@ -1,0 +1,13 @@
+// Fixture: must trigger exactly `unordered-iteration`. Walking a hash map
+// in bucket order leaks the hash function (and libstdc++ version) into
+// whatever the loop accumulates in float arithmetic — results stop being
+// reproducible across toolchains. Sort the keys first (compress/state_io
+// style) before iterating.
+#include <string>
+#include <unordered_map>
+
+double sum_losses(const std::unordered_map<std::string, double>& by_layer) {
+  double total = 0.0;
+  for (const auto& kv : by_layer) total += kv.second;  // hash order leaks into the sum
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: must trigger exactly `wallclock-time`. system_clock is the
+// host's wall clock: it jumps on NTP adjustment and differs per machine, so
+// anything it feeds (timelines, BENCH numbers, simulated schedules) is not
+// reproducible. Use steady_clock for durations and the cost model for
+// simulated time.
+#include <chrono>
+
+double stamp_seconds() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

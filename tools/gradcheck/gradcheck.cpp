@@ -1,14 +1,16 @@
 // gradcheck — the repo's custom multi-pass static analyzer.
 //
-// v1 was a single token-level lint; v2 grows it into three passes that gate
-// the same contract the runtime Timeline verifier (src/trace/validate.hpp)
-// checks from the other side:
+// v1 was a single token-level lint; v2 grew it to three passes; v3 is five
+// passes gating the same contract the runtime verifiers (trace::validate,
+// core::sync::OrderedMutex) check from the other side:
 //
 //   token pass (default)  — the failure modes that have actually bitten this
 //       codebase: unseeded randomness breaking replayable simulations,
 //       ad-hoc threads dodging the pool's determinism, wall-clock sleeps in
 //       modeled time, raw-double timing parameters with no unit in the name,
-//       and silently dropped cost-model results.
+//       silently dropped cost-model results, and raw std::mutex /
+//       std::condition_variable declarations outside core/sync (every lock
+//       must carry a core::sync::LockRank).
 //
 //   --conc                — concurrency-discipline lints, brace/scope-aware:
 //       condition-variable waits without a predicate, bare .lock()/.unlock()
@@ -16,6 +18,25 @@
 //       the fabric/pool allowlist, and deadline-less blocking waits inside
 //       comm::ThreadComm / core::parallel. These are exactly the rules the
 //       pool-backed ThreadComm rewrite (ROADMAP) must obey.
+//
+//   --locks               — cross-TU lock-order analysis: extracts mutex
+//       declarations (with their LockRank) and RAII acquisition sites,
+//       builds the lock-acquisition-order graph (edge A -> B when B is
+//       taken while A is held, scope-aware), reports any cycle as
+//       potential-deadlock, flags blocking calls (ThreadComm collectives,
+//       pool dispatch, thread joins, sleeps, fsync) made while a lock is
+//       held as blocking-under-lock, and emits a DOT rendering of the lock
+//       hierarchy (--dot, checked in as docs/locks.dot). The static half of
+//       core::sync::OrderedMutex: the runtime checker proves the executed
+//       order on whatever interleaving a test run produces; this pass
+//       proves the lexically visible order across every TU at once.
+//
+//   --det                 — determinism lints keeping simulator/bench output
+//       bit-reproducible: range-for over unordered containers (iteration
+//       order is hash-seed- and address-dependent; sort the keys first, see
+//       compress/state_io), wall-clock reads (system_clock, time(), ...)
+//       outside the real-time fabric, and ordered containers keyed on
+//       pointers (address-dependent iteration order).
 //
 //   --deps                — dependency/layering analysis: parses #include
 //       directives under the scan root, maps files to modules via the
@@ -29,18 +50,22 @@
 // translation unit.
 //
 // Usage:
-//   gradcheck [--conc] [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck [--conc|--det] [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck --locks ROOT... [--dot FILE] [--suppressions FILE] [--report FILE]
 //   gradcheck --deps ROOT... --layers FILE [--dot FILE] [--report FILE]
 //   gradcheck --fixtures DIR
 //
 // The scanning forms exit non-zero on unsuppressed findings — including
 // suppression entries that no longer match anything (stale suppressions are
-// errors, so the file can only shrink). Rule sets are per-directory: src/
-// gets the full battery, bench/ and tools/ the subsets that make sense for
-// leaf executables and host-side tools. --fixtures is the self-test: every
-// fixtures/<rule>_*.cpp must trigger exactly its named rule (token and conc
-// rules alike), fixtures/clean*.cpp must trigger nothing, and the deps
-// fixture trees are exercised by dedicated WILL_FAIL ctest entries.
+// errors, so the file can only shrink). A suppression rule of `*` suppresses
+// every rule for the matching path (file-scoped); duplicate entries are a
+// configuration error. Rule sets are per-directory: src/ gets the full
+// battery; bench/, tools/, tests/, and examples/ the subsets that make sense
+// for leaf executables, host-side tools, and test code. --fixtures is the
+// self-test: every fixtures/<rule>__*.cpp must trigger exactly its named
+// rule (token, conc, det, and blocking-under-lock alike), fixtures/clean*.cpp
+// must trigger nothing, and the deps/locks/sup fixture trees are exercised
+// by dedicated WILL_FAIL ctest entries.
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
@@ -393,6 +418,28 @@ void rule_raw_intrinsic(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// raw-sync: raw standard mutex/condvar declarations outside core/sync bypass
+// the rank-ordered lock hierarchy — an OrderedMutex-free lock is invisible to
+// the runtime deadlock checker AND to the --locks rank annotations. Mirrors
+// raw-intrinsic: exactly one sanctioned home (core/sync wraps the one real
+// std::mutex / condition_variable_any).
+void rule_raw_sync(const std::string& path, const std::vector<Token>& toks,
+                   std::vector<Finding>& out) {
+  if (path_contains(path, "core/sync")) return;  // the one sanctioned home
+  static const std::set<std::string> kRawSync = {
+      "mutex",          "timed_mutex",        "recursive_mutex",
+      "shared_mutex",   "recursive_timed_mutex",
+      "condition_variable", "condition_variable_any"};
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (kRawSync.count(toks[i].text) == 0) continue;
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "std") continue;
+    out.push_back({"raw-sync", path, toks[i].line,
+                   "raw std::" + toks[i].text +
+                       " outside core/sync; use core::sync::OrderedMutex / OrderedCondVar so "
+                       "the lock carries a LockRank and the deadlock checker can see it"});
+  }
+}
+
 // --- Concurrency-pass rules -------------------------------------------------
 
 // cv-wait-no-predicate: a condition-variable wait without a predicate lets a
@@ -423,6 +470,9 @@ void rule_cv_wait_no_predicate(const std::string& path, const std::vector<Token>
 // std::unique_lock / std::scoped_lock.
 void rule_raii_lock(const std::string& path, const std::vector<Token>& toks,
                     std::vector<Finding>& out) {
+  // core/sync IS the RAII layer: OrderedMutex::lock()/unlock() necessarily
+  // forward to the wrapped mutex's bare lock()/unlock().
+  if (path_contains(path, "core/sync")) return;
   for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
     const std::string& t = toks[i].text;
     if (t != "lock" && t != "unlock") continue;
@@ -457,6 +507,9 @@ const std::set<std::string>& relaxed_atomic_allowlist() {
       "comm/thread_comm",
       // chunk-claim ticket counter; completion uses acq_rel.
       "core/parallel",
+      // the checks_enabled flag is an independent on/off switch; no data is
+      // published through it (the held-stack is thread_local).
+      "core/sync",
   };
   return kAllow;
 }
@@ -494,6 +547,318 @@ void rule_deadlineless_wait(const std::string& path, const std::vector<Token>& t
   }
 }
 
+// --- Determinism-pass rules (--det) -----------------------------------------
+
+// Matching '>' for toks[open] == "<", treating every '<'/'>' as an angle
+// bracket (good enough inside a template argument list; the tokenizer never
+// fuses ">>"). toks.size() when unbalanced — or when the '<' was really a
+// comparison, which in practice fails to balance before the statement ends.
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    else if (t == ">" && --depth == 0) return i;
+    else if (t == ";") break;  // statement ended: not a template arg list
+  }
+  return toks.size();
+}
+
+// unordered-iteration: range-for over an unordered container visits elements
+// in hash-seed- and allocation-address-dependent order; if that order feeds
+// SimResult / Timeline / BENCH output, runs stop being bit-reproducible.
+// Collect the keys, sort, then iterate — compress/state_io::sorted_keys is
+// the sanctioned helper (and the one allowlisted home of a direct walk).
+void rule_unordered_iteration(const std::string& path, const std::vector<Token>& toks,
+                              std::vector<Finding>& out) {
+  if (path_contains(path, "compress/state_io")) return;  // the sort-first helper
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+  // Pass 1: names declared with an unordered container type (members, locals,
+  // and parameters alike — single-TU scan, so cross-file aliasing is out of
+  // scope by design).
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (kUnordered.count(toks[i].text) == 0 || toks[i + 1].text != "<") continue;
+    const std::size_t close = match_angle(toks, i + 1);
+    if (close >= toks.size()) continue;
+    std::size_t j = close + 1;
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*")) ++j;
+    if (j < toks.size() && is_ident(toks[j])) names.insert(toks[j].text);
+  }
+  if (names.empty()) return;
+
+  // Pass 2: `for ( ... : NAME )` where NAME is one of those declarations.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_paren(toks, open);
+    if (close >= toks.size()) continue;
+    // The range-for ':' sits at paren depth 1 outside brackets/braces.
+    std::size_t colon = 0;
+    int paren = 0;
+    int other = 0;
+    for (std::size_t j = open; j < close; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++paren;
+      else if (t == ")") --paren;
+      else if (t == "[" || t == "{") ++other;
+      else if (t == "]" || t == "}") --other;
+      else if (t == ":" && paren == 1 && other == 0) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;
+    // Flag only when the range expression is a bare declared name: qualified
+    // or transformed ranges (x.sorted(), sorted_keys(m)) are presumed fixed.
+    if (colon + 2 == close && is_ident(toks[colon + 1]) && names.count(toks[colon + 1].text) > 0) {
+      out.push_back({"unordered-iteration", path, toks[colon + 1].line,
+                     "range-for over unordered container '" + toks[colon + 1].text +
+                         "'; iteration order is hash/address-dependent — sort the keys first "
+                         "(see compress/state_io::sorted_keys)"});
+    }
+  }
+}
+
+// wallclock-time: reading the wall clock inside modeled/simulated code makes
+// output depend on when (and how loaded) the host is. steady_clock is fine —
+// it prices real work (timers, deadlines); calendar time is not. The
+// real-time fabric and the pool own their deadlines, so they are exempt.
+void rule_wallclock_time(const std::string& path, const std::vector<Token>& toks,
+                         std::vector<Finding>& out) {
+  static const char* const kAllow[] = {"comm/", "core/parallel"};
+  for (const char* fragment : kAllow)
+    if (path_contains(path, fragment)) return;
+  static const std::set<std::string> kClockIdents = {
+      "system_clock", "high_resolution_clock", "gettimeofday", "localtime", "gmtime"};
+  static const std::set<std::string> kClockCalls = {"time", "clock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (kClockIdents.count(t) > 0) {
+      out.push_back({"wallclock-time", path, toks[i].line,
+                     "'" + t + "' reads the wall clock; modeled time comes from the cost "
+                               "model, measured time from steady_clock (stats/timer)"});
+      continue;
+    }
+    // Free calls `time(...)` / `clock(...)`: C's process-global clocks.
+    // Member/qualified spellings (x.time(), Clock::clock()) are someone
+    // else's API and stay quiet. (rand() is the token pass's unseeded-rng.)
+    if (kClockCalls.count(t) > 0 && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->" &&
+                    toks[i - 1].text != "::"))) {
+      out.push_back({"wallclock-time", path, toks[i].line,
+                     t + "() reads the process wall clock; nondeterministic across runs"});
+    }
+  }
+}
+
+// address-ordering: an ordered container keyed on a pointer iterates in
+// allocation-address order — stable within a run, different across runs.
+// Key on a stable id (rank, LayerId, name) instead.
+void rule_address_ordering(const std::string& path, const std::vector<Token>& toks,
+                           std::vector<Finding>& out) {
+  static const std::set<std::string> kOrdered = {"map", "set", "multimap", "multiset"};
+  for (std::size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (kOrdered.count(toks[i].text) == 0) continue;
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "std") continue;
+    if (toks[i + 1].text != "<") continue;
+    const std::size_t close = match_angle(toks, i + 1);
+    if (close >= toks.size()) continue;
+    // Scan the FIRST template argument (the key / element type) for a '*'.
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "<") ++depth;
+      else if (t == ">") --depth;
+      else if (t == "," && depth == 1) break;  // past the key type
+      else if (t == "*" && depth == 1) {
+        out.push_back({"address-ordering", path, toks[j].line,
+                       "std::" + toks[i].text +
+                           " keyed on a pointer iterates in allocation-address order; key on "
+                           "a stable id instead"});
+        break;
+      }
+    }
+  }
+}
+
+// --- Lock-order pass (--locks) ----------------------------------------------
+
+// A mutex declaration discovered in the scan: the graph node. Named locks
+// are merged across TUs by variable name — a deliberate approximation (the
+// codebase's locks are uniquely named; raw-sync keeps ad-hoc ones out).
+struct LockDecl {
+  std::string name;
+  std::string rank;  // LockRank enumerator when declared as OrderedMutex
+  std::string site;  // file:line of the declaration
+};
+
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string site;  // file:line of the first acquisition creating the edge
+  int count = 0;
+};
+
+// Calls that can block indefinitely (or for real wall time) and therefore
+// must never happen while a lock is held: a parked peer needing that lock to
+// make progress is a deadlock, and fsync/sleep under a lock is a convoy.
+// Condvar waits are deliberately absent — they RELEASE the lock while parked
+// and have their own rules (cv-wait-no-predicate, deadlineless-wait).
+const std::set<std::string>& blocking_calls() {
+  static const std::set<std::string> kBlocking = {
+      // ThreadComm collectives and membership operations
+      "barrier", "allreduce_sum", "allgather", "allgather_floats", "allgather_ring",
+      "broadcast", "broadcast_bytes", "shrink", "grow", "rejoin",
+      // pool dispatch (the caller participates until every chunk completes)
+      "parallel_for", "reduce_ordered", "submit",
+      // thread joins and wall-clock sleeps
+      "join", "sleep_for", "sleep_until",
+      // checkpoint durability I/O
+      "fsync", "fdatasync"};
+  return kBlocking;
+}
+
+// Scans one file: collects mutex declarations, lock-acquisition-order edges
+// (scope-aware: an RAII guard holds its lock until its enclosing brace
+// closes), and blocking-under-lock findings. decls/edges may be null when
+// only the findings matter (the fixtures self-test).
+void analyze_locks_file(const std::string& path, const std::vector<Token>& toks,
+                        std::vector<LockDecl>* decls,
+                        std::map<std::pair<std::string, std::string>, LockEdge>* edges,
+                        std::vector<Finding>& findings) {
+  const auto site = [&](int line) { return path + ":" + std::to_string(line); };
+
+  // Declarations: `OrderedMutex NAME {|(|;|=` (rank read from the
+  // initializer) and raw `std::mutex NAME ...`. core/sync's own internals
+  // are the wrapper, not lockable API — skip them.
+  if (decls != nullptr && !path_contains(path, "core/sync")) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const bool ordered = toks[i].text == "OrderedMutex";
+      const bool raw = toks[i].text == "mutex" && i >= 2 && toks[i - 1].text == "::" &&
+                       toks[i - 2].text == "std";
+      if (!ordered && !raw) continue;
+      const Token& name = toks[i + 1];
+      if (!is_ident(name)) continue;  // template arg, ctor, class decl, ...
+      if (i + 2 < toks.size()) {
+        const std::string& after = toks[i + 2].text;
+        if (after != ";" && after != "{" && after != "=" && after != ",") continue;
+      }
+      LockDecl d;
+      d.name = name.text;
+      d.site = site(name.line);
+      if (ordered) {
+        // `... OrderedMutex name{LockRank::kFoo, "label"};` — the enumerator
+        // names the hierarchy level in the DOT artifact.
+        for (std::size_t j = i + 2; j < toks.size() && toks[j].text != ";"; ++j) {
+          if (toks[j].text == "LockRank" && j + 2 < toks.size() && toks[j + 1].text == "::") {
+            d.rank = toks[j + 2].text;
+            break;
+          }
+        }
+      }
+      decls->push_back(std::move(d));
+    }
+  }
+
+  // Scope-aware guard tracking. A guard declared at brace depth d holds its
+  // lock until depth drops below d. Acquiring while others are held adds an
+  // edge from every held lock to the new one.
+  struct HeldGuard {
+    int depth;
+    std::string lock;
+  };
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock", "scoped_lock"};
+  static const std::set<std::string> kTags = {"adopt_lock", "defer_lock", "try_to_lock",
+                                              "adopt_lock_t", "defer_lock_t", "try_to_lock_t"};
+  std::vector<HeldGuard> held;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+
+    // Blocking call while a lock is held?
+    if (!held.empty() && blocking_calls().count(t) > 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(" && (i == 0 || toks[i - 1].text != "::")) {
+      std::string held_names;
+      for (const auto& h : held) held_names += (held_names.empty() ? "" : ", ") + h.lock;
+      findings.push_back({"blocking-under-lock", path, toks[i].line,
+                          "'" + t + "' can block while holding lock(s) [" + held_names +
+                              "]; release before blocking (a parked peer needing the lock "
+                              "deadlocks, and I/O under a lock convoys every waiter)"});
+    }
+
+    // RAII guard acquisition site?
+    if (kGuards.count(t) == 0) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      const std::size_t close_angle = match_angle(toks, j);
+      if (close_angle >= toks.size()) continue;
+      j = close_angle + 1;
+    }
+    if (j >= toks.size() || !is_ident(toks[j])) continue;  // guard variable name
+    if (j + 1 >= toks.size() || toks[j + 1].text != "(") continue;
+    const std::size_t open = j + 1;
+    const std::size_t close = match_paren(toks, open);
+    if (close >= toks.size()) continue;
+
+    // Each top-level argument names one lock (scoped_lock takes several);
+    // the lock is the LAST identifier in the argument (`task.done_mutex` ->
+    // done_mutex). std::defer_lock defers the acquisition entirely.
+    std::vector<std::string> acquired;
+    bool deferred = false;
+    std::string current_last_ident;
+    int paren = 0;
+    int other = 0;
+    for (std::size_t k = open; k <= close; ++k) {
+      const std::string& a = toks[k].text;
+      if (a == "(") ++paren;
+      else if (a == ")") --paren;
+      if (a == "[" || a == "{") ++other;
+      else if (a == "]" || a == "}") --other;
+      const bool arg_end = (a == "," && paren == 1 && other == 0) || (a == ")" && paren == 0);
+      if (arg_end) {
+        if (!current_last_ident.empty()) {
+          if (kTags.count(current_last_ident) > 0) {
+            if (current_last_ident.rfind("defer_lock", 0) == 0) deferred = true;
+          } else {
+            acquired.push_back(current_last_ident);
+          }
+        }
+        current_last_ident.clear();
+      } else if (is_ident(toks[k]) && k != open) {
+        current_last_ident = a;
+      }
+    }
+    if (deferred) continue;  // not acquired here; .lock() later is raii-lock's beat
+    for (const auto& lock_name : acquired) {
+      if (edges != nullptr) {
+        for (const auto& h : held) {
+          auto& e = (*edges)[{h.lock, lock_name}];
+          if (e.count == 0) {
+            e.from = h.lock;
+            e.to = lock_name;
+            e.site = site(toks[i].line);
+          }
+          ++e.count;
+        }
+      }
+      held.push_back({depth, lock_name});
+    }
+    i = close;
+  }
+}
+
 // --- Rule registry and per-directory rule sets ------------------------------
 
 using RuleFn = void (*)(const std::string&, const std::vector<Token>&, std::vector<Finding>&);
@@ -502,7 +867,16 @@ const std::map<std::string, RuleFn>& token_rules() {
   static const std::map<std::string, RuleFn> kRules = {
       {"unseeded-rng", rule_unseeded_rng},   {"naked-thread", rule_naked_thread},
       {"sleep-in-model", rule_sleep_in_model}, {"unit-suffix", rule_unit_suffix},
-      {"nodiscard-cost", rule_nodiscard_cost}, {"raw-intrinsic", rule_raw_intrinsic}};
+      {"nodiscard-cost", rule_nodiscard_cost}, {"raw-intrinsic", rule_raw_intrinsic},
+      {"raw-sync", rule_raw_sync}};
+  return kRules;
+}
+
+const std::map<std::string, RuleFn>& det_rules() {
+  static const std::map<std::string, RuleFn> kRules = {
+      {"unordered-iteration", rule_unordered_iteration},
+      {"wallclock-time", rule_wallclock_time},
+      {"address-ordering", rule_address_ordering}};
   return kRules;
 }
 
@@ -519,11 +893,17 @@ const std::map<std::string, RuleFn>& conc_rules() {
 // Per-directory rule sets for the token pass. src/ carries the public API
 // and the modeled-time code, so everything applies; bench/ is leaf
 // executable code whose headers are not API boundaries (signature rules
-// off); tools/ are host-side programs where wall-clock time is legitimate.
+// off); tools/ are host-side programs where wall-clock time is legitimate;
+// tests/ and examples/ are exercised like bench/ (their headers are not API
+// boundaries either, but the determinism and sync-confinement rules apply
+// in full — a nondeterministic test is a flaky test).
 std::set<std::string> token_rules_for(const std::string& path) {
   if (path_contains(path, "bench/"))
-    return {"unseeded-rng", "naked-thread", "sleep-in-model", "raw-intrinsic"};
-  if (path_contains(path, "tools/")) return {"unseeded-rng", "naked-thread", "raw-intrinsic"};
+    return {"unseeded-rng", "naked-thread", "sleep-in-model", "raw-intrinsic", "raw-sync"};
+  if (path_contains(path, "tools/"))
+    return {"unseeded-rng", "naked-thread", "raw-intrinsic", "raw-sync"};
+  if (path_contains(path, "tests/") || path_contains(path, "examples/"))
+    return {"unseeded-rng", "naked-thread", "sleep-in-model", "raw-intrinsic", "raw-sync"};
   std::set<std::string> all;
   for (const auto& [name, fn] : token_rules()) all.insert(name);
   return all;
@@ -534,6 +914,17 @@ std::set<std::string> conc_rules_for(const std::string&) {
   // rules); every scanned directory gets the full set.
   std::set<std::string> all;
   for (const auto& [name, fn] : conc_rules()) all.insert(name);
+  return all;
+}
+
+// Per-directory rule sets for the determinism pass. Host-side tools and
+// leaf benches may read the wall clock (that is their job: measuring);
+// unordered iteration and pointer-keyed ordering are banned everywhere.
+std::set<std::string> det_rules_for(const std::string& path) {
+  if (path_contains(path, "bench/") || path_contains(path, "tools/"))
+    return {"unordered-iteration", "address-ordering"};
+  std::set<std::string> all;
+  for (const auto& [name, fn] : det_rules()) all.insert(name);
   return all;
 }
 
@@ -578,20 +969,71 @@ std::vector<Suppression> load_suppressions(const std::string& file) {
     Suppression s;
     if (ls >> s.rule >> s.path_fragment) {
       s.line = lineno;
+      // Exact duplicates are a configuration error, not a harmless repeat:
+      // one of them will ALWAYS be stale-by-construction (the first match
+      // wins), which would poison the stale-entry ratchet.
+      for (const auto& prev : out) {
+        if (prev.rule == s.rule && prev.path_fragment == s.path_fragment) {
+          std::cerr << file << ":" << lineno << ": duplicate suppression '" << s.rule << " "
+                    << s.path_fragment << "' (first at line " << prev.line << ")\n";
+          std::exit(2);
+        }
+      }
       out.push_back(s);
     }
   }
   return out;
 }
 
+// Every rule name a suppression entry may reference, across all passes, plus
+// the file-scoped wildcard.
+const std::set<std::string>& all_suppressible_rules() {
+  static const std::set<std::string> kAll = [] {
+    std::set<std::string> names{"*", "potential-deadlock", "blocking-under-lock"};
+    for (const auto& [name, fn] : token_rules()) names.insert(name);
+    for (const auto& [name, fn] : conc_rules()) names.insert(name);
+    for (const auto& [name, fn] : det_rules()) names.insert(name);
+    return names;
+  }();
+  return kAll;
+}
+
+void validate_suppressions(const std::string& file, const std::vector<Suppression>& sups) {
+  for (const auto& s : sups) {
+    if (all_suppressible_rules().count(s.rule) == 0) {
+      std::cerr << file << ":" << s.line << ": unknown rule '" << s.rule
+                << "' in suppression entry\n";
+      std::exit(2);
+    }
+  }
+}
+
 bool suppressed(const Finding& f, std::vector<Suppression>& sups) {
   for (auto& s : sups) {
-    if (s.rule == f.rule && path_contains(f.path, s.path_fragment)) {
+    // `*` is the file-scoped form: any rule, matching paths only.
+    if ((s.rule == f.rule || s.rule == "*") && path_contains(f.path, s.path_fragment)) {
       ++s.matched;
       return true;
     }
   }
   return false;
+}
+
+// Stale-suppression findings for entries this pass was responsible for and
+// that absorbed nothing. Entries naming another pass's rules are left to
+// that pass; `*` entries span passes — no single invocation can prove one
+// stale, so they are exempt from the ratchet (the cost of the convenience:
+// prefer named rules).
+void append_stale(std::vector<Finding>& reported, const std::string& suppressions_file,
+                  const std::vector<Suppression>& sups,
+                  const std::set<std::string>& rule_universe) {
+  for (const auto& s : sups) {
+    if (s.rule == "*" || rule_universe.count(s.rule) == 0) continue;
+    if (s.matched == 0)
+      reported.push_back({"stale-suppression", suppressions_file, s.line,
+                          "suppression '" + s.rule + " " + s.path_fragment +
+                              "' matches no finding; delete the entry"});
+  }
 }
 
 // --- Source collection ------------------------------------------------------
@@ -874,26 +1316,142 @@ int run_deps(const std::vector<std::string>& roots, const std::string& layers_fi
   return findings.empty() ? 0 : 1;
 }
 
+// --- Lock-order driver (--locks) --------------------------------------------
+
+int run_locks(const std::vector<std::string>& roots, const std::string& dot_file,
+              const std::string& suppressions_file, const std::string& report_file) {
+  std::vector<LockDecl> decls;
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  std::vector<Finding> findings;
+
+  int files_scanned = 0;
+  for (const auto& file : collect_sources(roots)) {
+    ++files_scanned;
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<Token> toks = tokenize(buffer.str());
+    analyze_locks_file(file.generic_string(), toks, &decls, &edges, findings);
+  }
+
+  // Dedup declarations by name (a lock declared in a header is seen once
+  // per scan, but the same NAME in two classes merges — see LockDecl).
+  std::map<std::string, LockDecl> locks;
+  for (const auto& d : decls)
+    if (locks.emplace(d.name, d).second == false && !d.rank.empty()) locks[d.name] = d;
+
+  // Any cycle in the acquisition-order graph is a potential AB/BA deadlock:
+  // two threads walking the cycle from different entry points block each
+  // other forever on some interleaving.
+  std::set<std::pair<std::string, std::string>> cycle_edges;
+  {
+    std::map<std::string, std::set<std::string>> graph;
+    for (const auto& [key, e] : edges) graph[e.from].insert(e.to);
+    const auto cycle = find_cycle(graph);
+    if (!cycle.empty()) {
+      for (std::size_t i = 0; i + 1 < cycle.size(); ++i)
+        cycle_edges.emplace(cycle[i], cycle[i + 1]);
+      const auto first = edges.find({cycle[0], cycle[1]});
+      findings.push_back({"potential-deadlock",
+                          first != edges.end() ? first->second.site : roots.front(), 0,
+                          "lock-acquisition-order cycle: " + join_cycle(cycle) +
+                              " — two threads entering at different points deadlock; impose "
+                              "one order (core::sync::LockRank) and acquire ascending"});
+    }
+  }
+
+  std::vector<Suppression> sups;
+  if (!suppressions_file.empty()) {
+    sups = load_suppressions(suppressions_file);
+    validate_suppressions(suppressions_file, sups);
+  }
+  std::vector<Finding> reported;
+  int suppressed_count = 0;
+  for (auto& f : findings) {
+    if (suppressed(f, sups)) {
+      ++suppressed_count;
+    } else {
+      reported.push_back(std::move(f));
+    }
+  }
+  append_stale(reported, suppressions_file, sups, {"potential-deadlock", "blocking-under-lock"});
+
+  // DOT artifact: the lock hierarchy as observed. Nodes are declared locks
+  // (rank-annotated when OrderedMutex declares one), solid edges are
+  // observed nested acquisitions, cycle edges red. Isolated nodes are locks
+  // never held together with another — the healthy steady state.
+  if (!dot_file.empty()) {
+    std::ofstream dot(dot_file);
+    if (!dot) {
+      std::cerr << "gradcheck: cannot write DOT file: " << dot_file << "\n";
+      return 2;
+    }
+    dot << "// generated by gradcheck --locks\n";
+    dot << "digraph gradcomp_locks {\n";
+    dot << "  rankdir=BT;\n";
+    dot << "  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n";
+    for (const auto& [name, d] : locks) {
+      dot << "  \"" << name << "\"";
+      if (!d.rank.empty()) dot << " [label=\"" << name << "\\n" << d.rank << "\"]";
+      dot << ";\n";
+    }
+    for (const auto& [key, e] : edges) {
+      dot << "  \"" << e.from << "\" -> \"" << e.to << "\"";
+      if (cycle_edges.count(key) > 0) dot << " [color=red, penwidth=2.0, label=\"CYCLE\"]";
+      dot << ";\n";
+    }
+    dot << "}\n";
+  }
+
+  std::ostringstream report;
+  for (const auto& f : reported) {
+    report << f.path;
+    if (f.line > 0) report << ":" << f.line;
+    report << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  report << "gradcheck --locks: " << files_scanned << " files, " << locks.size() << " lock(s), "
+         << edges.size() << " order edge(s), " << reported.size() << " finding(s), "
+         << suppressed_count << " suppressed\n";
+  std::cout << report.str();
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << report.str();
+  }
+  return reported.empty() ? 0 : 1;
+}
+
 // --- Fixtures self-test -----------------------------------------------------
 
 int run_fixtures(const std::string& dir) {
-  // Fixture files get every token AND conc rule: each must trip exactly its
-  // named rule and nothing else, which doubles as a cross-rule independence
-  // check. The deps fixture trees (fixtures/deps/...) follow a different
-  // protocol — whole-tree scans driven by WILL_FAIL ctest entries — so they
-  // are skipped here.
+  // Fixture files get every token, conc, AND det rule plus the per-file
+  // blocking-under-lock analysis: each must trip exactly its named rule and
+  // nothing else, which doubles as a cross-rule independence check. The
+  // deps/locks/sup fixture trees follow different protocols — whole-tree
+  // scans and suppressions files driven by WILL_FAIL ctest entries — so
+  // they are skipped here.
   std::map<std::string, RuleFn> all_rules = token_rules();
   for (const auto& [name, fn] : conc_rules()) all_rules.emplace(name, fn);
+  for (const auto& [name, fn] : det_rules()) all_rules.emplace(name, fn);
   std::set<std::string> all_names;
   for (const auto& [name, fn] : all_rules) all_names.insert(name);
 
   int failures = 0;
   int checked = 0;
   for (const auto& file : collect_sources({dir})) {
-    if (path_contains(file.generic_string(), "/deps/")) continue;
+    const std::string gp = file.generic_string();
+    if (path_contains(gp, "/deps/") || path_contains(gp, "/locks/") ||
+        path_contains(gp, "/sup/"))
+      continue;
     ++checked;
     const std::string stem = file.stem().string();
-    const auto findings = check_file(file, all_rules, all_names);
+    auto findings = check_file(file, all_rules, all_names);
+    {
+      std::ifstream in(file);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      const std::vector<Token> toks = tokenize(buffer.str());
+      analyze_locks_file(gp, toks, nullptr, nullptr, findings);
+    }
     std::set<std::string> rules_hit;
     for (const auto& f : findings) rules_hit.insert(f.rule);
     if (stem.rfind("clean", 0) == 0) {
@@ -945,6 +1503,8 @@ int main(int argc, char** argv) {
   std::string dot_file;
   bool conc_mode = false;
   bool deps_mode = false;
+  bool locks_mode = false;
+  bool det_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -962,8 +1522,14 @@ int main(int argc, char** argv) {
       conc_mode = true;
     } else if (arg == "--deps") {
       deps_mode = true;
+    } else if (arg == "--locks") {
+      locks_mode = true;
+    } else if (arg == "--det") {
+      det_mode = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: gradcheck [--conc] [--suppressions FILE] [--report FILE] DIR...\n"
+      std::cout << "usage: gradcheck [--conc|--det] [--suppressions FILE] [--report FILE] DIR...\n"
+                   "       gradcheck --locks DIR... [--dot FILE] [--suppressions FILE] "
+                   "[--report FILE]\n"
                    "       gradcheck --deps DIR... --layers FILE [--dot FILE] [--report FILE]\n"
                    "       gradcheck --fixtures DIR\n";
       return 0;
@@ -984,21 +1550,16 @@ int main(int argc, char** argv) {
     }
     return run_deps(roots, layers_file, dot_file, report_file);
   }
+  if (locks_mode) return run_locks(roots, dot_file, suppressions_file, report_file);
 
-  const auto& rules = conc_mode ? conc_rules() : token_rules();
+  const auto& rules = det_mode ? det_rules() : conc_mode ? conc_rules() : token_rules();
   std::set<std::string> rule_universe;
   for (const auto& [name, fn] : rules) rule_universe.insert(name);
 
   std::vector<Suppression> sups;
   if (!suppressions_file.empty()) {
     sups = load_suppressions(suppressions_file);
-    for (const auto& s : sups) {
-      if (token_rules().count(s.rule) == 0 && conc_rules().count(s.rule) == 0) {
-        std::cerr << suppressions_file << ":" << s.line << ": unknown rule '" << s.rule
-                  << "' in suppression entry\n";
-        return 2;
-      }
-    }
+    validate_suppressions(suppressions_file, sups);
   }
 
   std::vector<Finding> reported;
@@ -1007,7 +1568,8 @@ int main(int argc, char** argv) {
   for (const auto& file : collect_sources(roots)) {
     ++files_scanned;
     const std::string p = file.generic_string();
-    const auto enabled = conc_mode ? conc_rules_for(p) : token_rules_for(p);
+    const auto enabled =
+        det_mode ? det_rules_for(p) : conc_mode ? conc_rules_for(p) : token_rules_for(p);
     for (auto& f : check_file(file, rules, enabled)) {
       if (suppressed(f, sups)) {
         ++suppressed_count;
@@ -1019,19 +1581,14 @@ int main(int argc, char** argv) {
 
   // Stale suppressions are findings: an entry that absorbs nothing is a
   // reviewed exception whose reason has evaporated, and the file may only
-  // shrink. Entries for the other pass's rules are left to that pass.
-  for (const auto& s : sups) {
-    if (rule_universe.count(s.rule) == 0) continue;
-    if (s.matched == 0)
-      reported.push_back({"stale-suppression", suppressions_file, s.line,
-                          "suppression '" + s.rule + " " + s.path_fragment +
-                              "' matches no finding; delete the entry"});
-  }
+  // shrink. Entries for the other passes' rules are left to those passes.
+  append_stale(reported, suppressions_file, sups, rule_universe);
 
+  const char* mode_label = det_mode ? " --det" : conc_mode ? " --conc" : "";
   std::ostringstream report;
   for (const auto& f : reported)
     report << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
-  report << "gradcheck" << (conc_mode ? " --conc" : "") << ": " << files_scanned << " files, "
+  report << "gradcheck" << mode_label << ": " << files_scanned << " files, "
          << reported.size() << " finding(s), " << suppressed_count << " suppressed\n";
   std::cout << report.str();
   if (!report_file.empty()) {

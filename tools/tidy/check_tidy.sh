@@ -54,15 +54,22 @@ fi
 new_warnings=$(comm -13 "$expected" "$current")
 fixed=$(comm -23 "$expected" "$current")
 
+status=0
 if [ -n "$fixed" ]; then
+  # The ratchet only turns one way: an entry whose warning no longer fires
+  # is dead weight that would mask the warning coming back. Failing here is
+  # what keeps the baseline shrinking monotonically (it is empty today).
   echo "check_tidy: stale baseline entries (warning fixed — shrink the baseline):"
   printf '%s\n' "$fixed" | sed 's/^/  /'
+  echo "check_tidy: run tools/tidy/check_tidy.sh $build_dir --update to drop them"
+  status=1
 fi
 if [ -n "$new_warnings" ]; then
   echo "check_tidy: NEW gated warnings (bugprone-*/concurrency-*):"
   printf '%s\n' "$new_warnings" | sed 's/^/  /'
   echo "check_tidy: fix them (preferred) or discuss before touching the baseline"
-  exit 1
+  status=1
 fi
+[ "$status" = 0 ] || exit "$status"
 
 echo "check_tidy: clean ($(wc -l < "$current") warning(s), all baselined)"
