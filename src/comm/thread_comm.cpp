@@ -53,7 +53,7 @@ ThreadComm::ThreadComm(int world_size, std::chrono::milliseconds timeout)
       ranks_(static_cast<std::size_t>(world_size)),
       mail_(static_cast<std::size_t>(world_size)),
       byte_slots_(static_cast<std::size_t>(world_size)) {
-  if (timeout_.count() <= 0)
+  if (timeout.count() <= 0)
     throw std::invalid_argument("ThreadComm: timeout must be positive");
   for (int r = 0; r < world_size; ++r) {
     dense_[static_cast<std::size_t>(r)] = r;
@@ -64,28 +64,32 @@ ThreadComm::ThreadComm(int world_size, std::chrono::milliseconds timeout)
 void ThreadComm::set_timeout(std::chrono::milliseconds timeout) {
   if (timeout.count() <= 0)
     throw std::invalid_argument("ThreadComm: timeout must be positive");
-  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   timeout_ = timeout;
+}
+
+std::chrono::milliseconds ThreadComm::timeout() const {
+  const core::sync::LockGuard lock(mu_);
+  return timeout_;
 }
 
 void ThreadComm::validate_rank(int rank) const {
   if (rank < 0 || rank >= initial_world_size_)
     throw std::invalid_argument("ThreadComm: rank out of range");
-  // active_ only mutates while every rank thread is parked inside shrink(),
-  // so this unlocked read is race-free for participating threads.
+  const core::sync::LockGuard lock(mu_);
   if (!active_[static_cast<std::size_t>(rank)])
     throw std::logic_error("ThreadComm: removed rank used the group");
 }
 
 bool ThreadComm::is_active(int rank) const {
   if (rank < 0 || rank >= initial_world_size_) return false;
-  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   return active_[static_cast<std::size_t>(rank)] != 0 &&
          failed_[static_cast<std::size_t>(rank)] == 0;
 }
 
 std::vector<int> ThreadComm::active_ranks() const {
-  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<int> out;
   for (int r = 0; r < initial_world_size_; ++r)
     if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)])
@@ -94,7 +98,7 @@ std::vector<int> ThreadComm::active_ranks() const {
 }
 
 std::vector<int> ThreadComm::failed_ranks() const {
-  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   std::vector<int> out;
   for (int r = 0; r < initial_world_size_; ++r)
     if (failed_[static_cast<std::size_t>(r)]) out.push_back(r);
@@ -110,7 +114,7 @@ void ThreadComm::throw_failure_locked() const {
 }
 
 void ThreadComm::sync(int rank) {
-  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   if (aborted_) throw_failure_locked();
   const std::uint64_t my_epoch = epoch_;
   arrived_flag_[static_cast<std::size_t>(rank)] = 1;
@@ -128,7 +132,10 @@ void ThreadComm::sync(int rank) {
     // Predicate-form wait (gradcheck conc: cv-wait-no-predicate): spurious
     // wakeups re-check inside wait_until; a false return means the deadline
     // passed with the barrier still incomplete and nobody aborted yet.
-    if (!cv_.wait_until(lock, deadline, [&] { return epoch_ != my_epoch || aborted_; })) {
+    if (!cv_.wait_until(lock, deadline, [&] {
+          mu_.assert_held();  // predicate only ever runs locked
+          return epoch_ != my_epoch || aborted_;
+        })) {
       // Deadline passed with the barrier incomplete: blame every active rank
       // that has not arrived — it is hung or dead — and abort the collective
       // so the survivors get an error instead of waiting forever.
@@ -146,7 +153,7 @@ void ThreadComm::sync(int rank) {
 void ThreadComm::fail(int rank) {
   if (rank < 0 || rank >= initial_world_size_)
     throw std::invalid_argument("ThreadComm::fail: rank out of range");
-  const std::lock_guard<core::sync::OrderedMutex> lock(mu_);
+  const core::sync::LockGuard lock(mu_);
   const auto u = static_cast<std::size_t>(rank);
   if (!active_[u] || failed_[u]) return;  // already dead
   failed_[u] = 1;
@@ -174,8 +181,35 @@ void ThreadComm::rebuild_dense_locked() {
   active_count_.store(d, std::memory_order_relaxed);
 }
 
+int ThreadComm::live_survivors_locked() const {
+  int c = 0;
+  for (int r = 0; r < initial_world_size_; ++r)
+    if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)]) ++c;
+  return c;
+}
+
+void ThreadComm::complete_shrink_locked() {
+  shrink_removed_.clear();
+  for (int r = 0; r < initial_world_size_; ++r) {
+    const auto u = static_cast<std::size_t>(r);
+    if (failed_[u]) {
+      shrink_removed_.push_back(r);
+      active_[u] = 0;
+      failed_[u] = 0;
+    }
+  }
+  rebuild_dense_locked();
+  arrived_ = 0;
+  std::fill(arrived_flag_.begin(), arrived_flag_.end(), 0);
+  std::fill(shrink_flag_.begin(), shrink_flag_.end(), 0);
+  aborted_ = false;
+  shrink_arrived_ = 0;
+  ++shrink_epoch_;
+  cv_.notify_all();
+}
+
 std::vector<int> ThreadComm::shrink(int rank) {
-  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
       failed_[static_cast<std::size_t>(rank)])
     throw std::logic_error("ThreadComm::shrink: caller is not a live group member");
@@ -184,34 +218,8 @@ std::vector<int> ThreadComm::shrink(int rank) {
   shrink_flag_[static_cast<std::size_t>(rank)] = 1;
   ++shrink_arrived_;
 
-  const auto survivors = [&] {
-    int c = 0;
-    for (int r = 0; r < initial_world_size_; ++r)
-      if (active_[static_cast<std::size_t>(r)] && !failed_[static_cast<std::size_t>(r)]) ++c;
-    return c;
-  };
-  const auto complete = [&] {
-    shrink_removed_.clear();
-    for (int r = 0; r < initial_world_size_; ++r) {
-      const auto u = static_cast<std::size_t>(r);
-      if (failed_[u]) {
-        shrink_removed_.push_back(r);
-        active_[u] = 0;
-        failed_[u] = 0;
-      }
-    }
-    rebuild_dense_locked();
-    arrived_ = 0;
-    std::fill(arrived_flag_.begin(), arrived_flag_.end(), 0);
-    std::fill(shrink_flag_.begin(), shrink_flag_.end(), 0);
-    aborted_ = false;
-    shrink_arrived_ = 0;
-    ++shrink_epoch_;
-    cv_.notify_all();
-  };
-
-  if (shrink_arrived_ == survivors()) {
-    complete();
+  if (shrink_arrived_ == live_survivors_locked()) {
+    complete_shrink_locked();
     return shrink_removed_;
   }
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
@@ -224,7 +232,8 @@ std::vector<int> ThreadComm::shrink(int rank) {
     // deadline. A false return means the deadline passed with the shrink
     // consensus still pending for our epoch.
     if (!cv_.wait_until(lock, deadline, [&] {
-          return shrink_epoch_ != my_epoch || shrink_arrived_ == survivors();
+          mu_.assert_held();  // predicate only ever runs locked
+          return shrink_epoch_ != my_epoch || shrink_arrived_ == live_survivors_locked();
         })) {
       // A survivor died during recovery without declaring: blame the
       // missing ones and try to complete with whoever showed up.
@@ -232,12 +241,12 @@ std::vector<int> ThreadComm::shrink(int rank) {
         const auto u = static_cast<std::size_t>(r);
         if (active_[u] && !failed_[u] && !shrink_flag_[u]) failed_[u] = 1;
       }
-      if (shrink_arrived_ == survivors()) complete();
-    } else if (shrink_epoch_ == my_epoch && shrink_arrived_ == survivors()) {
+      if (shrink_arrived_ == live_survivors_locked()) complete_shrink_locked();
+    } else if (shrink_epoch_ == my_epoch && shrink_arrived_ == live_survivors_locked()) {
       // Double fault: the newly-dead rank will never enter shrink(), so the
       // ranks that did arrive are now the whole consensus — reap both
       // casualties in this round.
-      complete();
+      complete_shrink_locked();
     }
   }
   return shrink_removed_;
@@ -245,12 +254,7 @@ std::vector<int> ThreadComm::shrink(int rank) {
 
 bool ThreadComm::grow_ready_locked() const {
   if (grow_expected_.empty() || grow_aborted_) return false;
-  int live = 0;
-  for (int r = 0; r < initial_world_size_; ++r) {
-    const auto u = static_cast<std::size_t>(r);
-    if (active_[u] && !failed_[u]) ++live;
-  }
-  if (grow_arrived_ != live) return false;
+  if (grow_arrived_ != live_survivors_locked()) return false;
   for (const int j : grow_expected_)
     if (!rejoin_flag_[static_cast<std::size_t>(j)]) return false;
   return true;
@@ -306,7 +310,7 @@ void ThreadComm::throw_grow_abort_locked() const {
 }
 
 std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
-  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   if (rank < 0 || rank >= initial_world_size_ || !active_[static_cast<std::size_t>(rank)] ||
       failed_[static_cast<std::size_t>(rank)])
     throw std::logic_error("ThreadComm::grow: caller is not a live group member");
@@ -356,6 +360,7 @@ std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
     // becoming satisfiable (e.g. a straggling survivor died via fail() while
     // we were parked — its notify must trigger a re-check, not a hang).
     if (!cv_.wait_until(lock, deadline, [&] {
+          mu_.assert_held();  // predicate only ever runs locked
           return grow_epoch_ != my_epoch || grow_aborted_ || grow_ready_locked();
         })) {
       abort_grow_locked();
@@ -367,7 +372,7 @@ std::vector<int> ThreadComm::grow(int rank, std::span<const int> joiners) {
 }
 
 std::vector<int> ThreadComm::rejoin(int rank) {
-  std::unique_lock<core::sync::OrderedMutex> lock(mu_);
+  core::sync::UniqueLock lock(mu_);
   if (rank < 0 || rank >= initial_world_size_)
     throw std::invalid_argument("ThreadComm::rejoin: rank out of range");
   const auto u = static_cast<std::size_t>(rank);
@@ -388,6 +393,7 @@ std::vector<int> ThreadComm::rejoin(int rank) {
       throw_grow_abort_locked();
     }
     if (!cv_.wait_until(lock, deadline, [&] {
+          mu_.assert_held();  // predicate only ever runs locked
           return grow_epoch_ != my_epoch || grow_aborted_ || grow_ready_locked();
         })) {
       // The survivors never (all) called grow(): the joiner cannot be

@@ -75,7 +75,7 @@ class ThreadComm {
   [[nodiscard]] std::vector<int> failed_ranks() const;
 
   void set_timeout(std::chrono::milliseconds timeout);
-  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept { return timeout_; }
+  [[nodiscard]] std::chrono::milliseconds timeout() const;
 
   // All collectives must be entered by every ACTIVE rank (SPMD). Rank is the
   // caller's ORIGINAL identity in [0, initial_world_size); identities are
@@ -154,24 +154,28 @@ class ThreadComm {
   void validate_rank(int rank) const;
   // The deadline-bounded generation barrier under every collective.
   void sync(int rank);
-  [[noreturn]] void throw_failure_locked() const;
-  void rebuild_dense_locked();
+  [[noreturn]] void throw_failure_locked() const GRADCOMP_REQUIRES(mu_);
+  void rebuild_dense_locked() GRADCOMP_REQUIRES(mu_);
   // True when every live survivor has entered grow() and every expected
   // joiner is parked in rejoin().
-  [[nodiscard]] bool grow_ready_locked() const;
+  [[nodiscard]] bool grow_ready_locked() const GRADCOMP_REQUIRES(mu_);
   // Re-admits the expected joiners and publishes the new ring.
-  void complete_grow_locked();
+  void complete_grow_locked() GRADCOMP_REQUIRES(mu_);
   // Deadline handling shared by grow() and rejoin(): blames absent
   // survivors and aborts the round.
-  void abort_grow_locked();
+  void abort_grow_locked() GRADCOMP_REQUIRES(mu_);
   // Thrown by grow()/rejoin() waiters observing an aborted round.
-  [[noreturn]] void throw_grow_abort_locked() const;
+  [[noreturn]] void throw_grow_abort_locked() const GRADCOMP_REQUIRES(mu_);
+  // Count of still-live survivors of the in-progress shrink.
+  [[nodiscard]] int live_survivors_locked() const GRADCOMP_REQUIRES(mu_);
+  // Reaps the agreed casualties and publishes the post-shrink ring.
+  void complete_shrink_locked() GRADCOMP_REQUIRES(mu_);
   void allreduce_ring(int rank, std::span<float> data);
   // Binomial-tree reduce to the dense root followed by binomial broadcast.
   void allreduce_tree(int rank, std::span<float> data);
 
-  int initial_world_size_;
-  std::chrono::milliseconds timeout_;
+  const int initial_world_size_;
+  std::chrono::milliseconds timeout_ GRADCOMP_GUARDED_BY(mu_);
 
   // Rank-ordered (core::sync): the group lock sits above the pool locks, so
   // pool workers parked in a future pool-backed collective wait acquire in
@@ -179,40 +183,47 @@ class ThreadComm {
   // lock trips the OrderedMutex check instead of risking a deadlock.
   mutable core::sync::OrderedMutex mu_{core::sync::LockRank::kCommGroup, "comm-group"};
   core::sync::OrderedCondVar cv_;
-  std::uint64_t epoch_ = 0;  // completed barrier generations
-  int arrived_ = 0;
-  bool aborted_ = false;  // a failure interrupted in-flight collectives
-  std::vector<char> arrived_flag_;  // by original rank, for timeout blame
-  std::vector<char> active_;        // by original rank
-  std::vector<char> failed_;        // dead but not yet reaped by shrink()
+  // Control plane: every field below is group-membership / barrier state,
+  // mutated and read only under mu_ (machine-checked by clang -Wthread-safety
+  // and gradcheck --share).
+  std::uint64_t epoch_ GRADCOMP_GUARDED_BY(mu_) = 0;  // completed barrier generations
+  int arrived_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  bool aborted_ GRADCOMP_GUARDED_BY(mu_) = false;  // a failure interrupted collectives
+  std::vector<char> arrived_flag_ GRADCOMP_GUARDED_BY(mu_);  // by original rank, for blame
+  std::vector<char> active_ GRADCOMP_GUARDED_BY(mu_);        // by original rank
+  std::vector<char> failed_ GRADCOMP_GUARDED_BY(mu_);  // dead, not yet reaped by shrink()
   std::atomic<int> active_count_;
-  std::vector<char> shrink_flag_;  // by original rank, survivors inside shrink()
-  int shrink_arrived_ = 0;         // recovery barrier (survivors entering shrink)
-  std::uint64_t shrink_epoch_ = 0;
-  std::vector<int> shrink_removed_;  // result of the in-progress shrink
+  std::vector<char> shrink_flag_ GRADCOMP_GUARDED_BY(mu_);  // survivors inside shrink()
+  int shrink_arrived_ GRADCOMP_GUARDED_BY(mu_) = 0;  // survivors entering shrink
+  std::uint64_t shrink_epoch_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  std::vector<int> shrink_removed_ GRADCOMP_GUARDED_BY(mu_);  // in-progress shrink result
 
-  std::vector<char> grow_flag_;    // by original rank, survivors inside grow()
-  std::vector<char> rejoin_flag_;  // by original rank, joiners parked in rejoin()
-  int grow_arrived_ = 0;           // survivors that have entered grow()
-  std::uint64_t grow_epoch_ = 0;   // completed grow rounds
-  bool grow_aborted_ = false;      // the in-progress round failed; waiters unwind
-  std::vector<int> grow_expected_;  // sorted joiner set of the in-progress grow
-  std::vector<int> grow_result_;    // active ranks after the completed grow
+  std::vector<char> grow_flag_ GRADCOMP_GUARDED_BY(mu_);    // survivors inside grow()
+  std::vector<char> rejoin_flag_ GRADCOMP_GUARDED_BY(mu_);  // joiners parked in rejoin()
+  int grow_arrived_ GRADCOMP_GUARDED_BY(mu_) = 0;  // survivors that have entered grow()
+  std::uint64_t grow_epoch_ GRADCOMP_GUARDED_BY(mu_) = 0;  // completed grow rounds
+  bool grow_aborted_ GRADCOMP_GUARDED_BY(mu_) = false;  // round failed; waiters unwind
+  std::vector<int> grow_expected_ GRADCOMP_GUARDED_BY(mu_);  // sorted in-progress joiner set
+  std::vector<int> grow_result_ GRADCOMP_GUARDED_BY(mu_);  // active ranks after the grow
 
+  // Data plane: rebuilt only while every participant is parked inside the
+  // same barrier/shrink/grow generation, then read by the collectives
+  // without the lock — the generation barrier's mutex orders publication.
   // Dense re-indexing of the active ranks: dense_[orig] in [0, active) or
-  // -1; ranks_[dense] = orig. Rebuilt by shrink(); read by collectives
-  // without the lock (mutations only happen while every survivor is parked
-  // inside shrink(), and the barrier's mutex orders the publication).
-  std::vector<int> dense_;
-  std::vector<int> ranks_;
+  // -1; ranks_[dense] = orig.
+  std::vector<int> dense_ GRADCOMP_SYNC_EXTERNAL("barrier-published ring order");
+  std::vector<int> ranks_ GRADCOMP_SYNC_EXTERNAL("barrier-published ring order");
 
   // mail_[r] is the message most recently addressed to original rank r.
-  std::vector<std::vector<float>> mail_;
-  std::vector<std::vector<std::byte>> byte_slots_;
-  const float* broadcast_src_ = nullptr;
-  std::size_t broadcast_len_ = 0;
-  const std::vector<std::byte>* byte_broadcast_src_ = nullptr;
-  std::uint64_t allreduce_ops_ = 0;
+  std::vector<std::vector<float>> mail_
+      GRADCOMP_SYNC_EXTERNAL("slot r written by one peer per step, epoch-fenced");
+  std::vector<std::vector<std::byte>> byte_slots_
+      GRADCOMP_SYNC_EXTERNAL("slot r written by one peer per step, epoch-fenced");
+  const float* broadcast_src_ GRADCOMP_SYNC_EXTERNAL("root-written between barriers") = nullptr;
+  std::size_t broadcast_len_ GRADCOMP_SYNC_EXTERNAL("root-written between barriers") = 0;
+  const std::vector<std::byte>* byte_broadcast_src_
+      GRADCOMP_SYNC_EXTERNAL("root-written between barriers") = nullptr;
+  std::uint64_t allreduce_ops_ GRADCOMP_SYNC_EXTERNAL("dense rank 0 writes, epoch-fenced") = 0;
 };
 
 // Runs `body(rank)` on world_size threads and joins them. Exceptions thrown

@@ -21,23 +21,27 @@ constexpr auto kWaitHeartbeat = std::chrono::milliseconds(100);
 // shared_ptr so a helper dequeued after the call returned (all chunks
 // already claimed) still finds valid state.
 struct ThreadPool::ForTask {
-  std::int64_t begin = 0;
-  std::int64_t end = 0;
-  std::int64_t grain = 1;
-  std::int64_t nchunks = 0;
-  std::function<void(std::int64_t, std::int64_t)> body;
+  std::int64_t begin GRADCOMP_SYNC_EXTERNAL("set before publication to the queue") = 0;
+  std::int64_t end GRADCOMP_SYNC_EXTERNAL("set before publication to the queue") = 0;
+  std::int64_t grain GRADCOMP_SYNC_EXTERNAL("set before publication to the queue") = 1;
+  std::int64_t nchunks GRADCOMP_SYNC_EXTERNAL("set before publication to the queue") = 0;
+  std::function<void(std::int64_t, std::int64_t)> body
+      GRADCOMP_SYNC_EXTERNAL("set before publication to the queue");
 
   std::atomic<std::int64_t> next{0};
   std::atomic<std::int64_t> finished{0};
   std::atomic<bool> failed{false};
   sync::OrderedMutex done_mutex{sync::LockRank::kPoolTask, "pool-task-done"};
   sync::OrderedCondVar done_cv;
-  std::exception_ptr error;  // first exception wins, guarded by done_mutex
+  std::exception_ptr error GRADCOMP_GUARDED_BY(done_mutex);  // first exception wins
 };
 
-ThreadPool::ThreadPool(int threads) {
+int ThreadPool::resolve_threads(int threads) noexcept {
   if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
-  size_ = std::max(threads, 1);
+  return std::max(threads, 1);
+}
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
   // size_ - 1 helpers: the calling thread is the remaining worker.
   workers_.reserve(static_cast<std::size_t>(size_ - 1));
   for (int i = 0; i < size_ - 1; ++i) workers_.emplace_back([this] { worker_loop(); });
@@ -45,7 +49,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<sync::OrderedMutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -56,8 +60,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<sync::OrderedMutex> lock(mutex_);
-      while (!cv_.wait_for(lock, kWaitHeartbeat, [this] { return stop_ || !queue_.empty(); })) {
+      sync::UniqueLock lock(mutex_);
+      while (!cv_.wait_for(lock, kWaitHeartbeat, [this] {
+        mutex_.assert_held();  // predicate only ever runs locked
+        return stop_ || !queue_.empty();
+      })) {
       }
       if (queue_.empty()) return;  // stop_ and drained
       job = std::move(queue_.front());
@@ -81,14 +88,14 @@ void ThreadPool::run_chunks(ForTask& task) {
         task.body(lo, hi);
       } catch (...) {
         {
-          const std::lock_guard<sync::OrderedMutex> lock(task.done_mutex);
+          const sync::LockGuard lock(task.done_mutex);
           if (!task.error) task.error = std::current_exception();
         }
         task.failed.store(true, std::memory_order_release);
       }
     }
     if (task.finished.fetch_add(1, std::memory_order_acq_rel) + 1 == task.nchunks) {
-      const std::lock_guard<sync::OrderedMutex> lock(task.done_mutex);
+      const sync::LockGuard lock(task.done_mutex);
       task.done_cv.notify_all();
     }
   }
@@ -118,7 +125,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
   const auto helpers = static_cast<int>(
       std::min<std::int64_t>(static_cast<std::int64_t>(size_) - 1, nchunks - 1));
   {
-    const std::lock_guard<sync::OrderedMutex> lock(mutex_);
+    const sync::LockGuard lock(mutex_);
     for (int i = 0; i < helpers; ++i) queue_.emplace_back([task] { run_chunks(*task); });
   }
   if (helpers == 1)
@@ -128,7 +135,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
   run_chunks(*task);  // caller participates (keeps nesting deadlock-free)
 
-  std::unique_lock<sync::OrderedMutex> lock(task->done_mutex);
+  sync::UniqueLock lock(task->done_mutex);
   while (!task->done_cv.wait_for(lock, kWaitHeartbeat, [&] {
     return task->finished.load(std::memory_order_acquire) >= task->nchunks;
   })) {
@@ -138,17 +145,17 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t
 
 namespace {
 sync::OrderedMutex g_pool_mutex{sync::LockRank::kPoolRegistry, "pool-registry"};
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT(cert-err58-cpp)
+std::unique_ptr<ThreadPool> g_pool GRADCOMP_GUARDED_BY(g_pool_mutex);  // NOLINT(cert-err58-cpp)
 }  // namespace
 
 ThreadPool& global_pool() {
-  const std::lock_guard<sync::OrderedMutex> lock(g_pool_mutex);
+  const sync::LockGuard lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>();
   return *g_pool;
 }
 
 void set_global_pool_threads(int threads) {
-  const std::lock_guard<sync::OrderedMutex> lock(g_pool_mutex);
+  const sync::LockGuard lock(g_pool_mutex);
   g_pool = std::make_unique<ThreadPool>(threads);
 }
 

@@ -81,13 +81,14 @@ class ThreadPool {
 
   void worker_loop();
   static void run_chunks(ForTask& task);
+  [[nodiscard]] static int resolve_threads(int threads) noexcept;
 
-  int size_ = 1;
-  std::vector<std::thread> workers_;
+  const int size_;
+  std::vector<std::thread> workers_ GRADCOMP_SYNC_EXTERNAL("ctor spawns, dtor joins");
   sync::OrderedMutex mutex_{sync::LockRank::kPoolQueue, "pool-queue"};
   sync::OrderedCondVar cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ GRADCOMP_GUARDED_BY(mutex_);
+  bool stop_ GRADCOMP_GUARDED_BY(mutex_) = false;
 };
 
 // Process-wide pool shared by the compressor kernels and the sweep drivers.

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "core/sync_annotations.hpp"
+
 namespace gradcomp::core::sync {
 
 // The global lock hierarchy, lowest first. Acquisition order must be
@@ -71,9 +73,12 @@ void set_checks_enabled(bool enabled) noexcept;
 [[nodiscard]] std::vector<int> held_ranks();
 
 // A std::mutex that knows its place in the global hierarchy. Satisfies
-// Lockable, so std::lock_guard<OrderedMutex>, std::unique_lock<OrderedMutex>
-// and std::scoped_lock all work unchanged.
-class OrderedMutex {
+// Lockable, and is a Clang thread-safety capability, so clang understands
+// which GRADCOMP_GUARDED_BY fields each lock()/unlock() pair protects.
+// Prefer sync::LockGuard / sync::UniqueLock over the std guards: the std
+// templates carry no thread-safety annotations, so clang cannot see them
+// acquire anything.
+class GRADCOMP_CAPABILITY("mutex") OrderedMutex {
  public:
   explicit OrderedMutex(LockRank rank, const char* name) : rank_(rank), name_(name) {}
 
@@ -82,10 +87,17 @@ class OrderedMutex {
 
   // Asserts the hierarchy (throws LockOrderError BEFORE blocking, so a real
   // inversion reports instead of deadlocking), then acquires.
-  void lock();
+  void lock() GRADCOMP_ACQUIRE();
   // Same assertion; acquisition failure returns false without recording.
-  [[nodiscard]] bool try_lock();
-  void unlock();
+  [[nodiscard]] bool try_lock() GRADCOMP_TRY_ACQUIRE(true);
+  void unlock() GRADCOMP_RELEASE();
+
+  // Tells the analyzers this thread already holds the mutex. Clang analyzes
+  // lambda bodies as standalone functions with an empty lock set, so a
+  // cv-wait predicate reading GUARDED_BY state would warn even though
+  // OrderedCondVar::wait only evaluates it locked — call this at the top of
+  // the predicate. Runtime no-op.
+  void assert_held() const GRADCOMP_ASSERT_CAPABILITY(this) {}
 
   [[nodiscard]] LockRank rank() const noexcept { return rank_; }
   [[nodiscard]] const char* name() const noexcept { return name_; }
@@ -96,6 +108,54 @@ class OrderedMutex {
   std::mutex mu_;  // raw-sync confinement: the one sanctioned raw mutex home
   LockRank rank_;
   const char* name_;
+};
+
+// Annotated replacement for std::lock_guard<OrderedMutex>. libstdc++'s
+// std::lock_guard is not SCOPED_CAPABILITY, so clang treats it as never
+// acquiring anything; this one carries the attributes both analyzers read.
+class GRADCOMP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(OrderedMutex& mu) GRADCOMP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() GRADCOMP_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  OrderedMutex& mu_;
+};
+
+// Annotated replacement for std::unique_lock<OrderedMutex>: relockable, and
+// usable as the Lock argument of OrderedCondVar::wait (the condvar calls
+// lock()/unlock() through it, keeping the held-lock stack exact). Always
+// constructed locked — defer/adopt tags are not supported.
+class GRADCOMP_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(OrderedMutex& mu) GRADCOMP_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() GRADCOMP_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() GRADCOMP_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() GRADCOMP_RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+
+  [[nodiscard]] bool owns_lock() const noexcept { return owns_; }
+  [[nodiscard]] OrderedMutex* mutex() const noexcept { return &mu_; }
+
+ private:
+  OrderedMutex& mu_;
+  bool owns_;
 };
 
 // Condition variable paired with OrderedMutex (any Lockable, via

@@ -1,0 +1,76 @@
+// Thread-safety annotation macros — the static face of core::sync.
+//
+// Every macro expands to the corresponding Clang thread-safety attribute
+// under __clang__ and to nothing under every other compiler, so the same
+// annotated tree is enforced by TWO independent analyzers:
+//
+//   1. clang -Wthread-safety -Werror=thread-safety-analysis (a CI job builds
+//      the tier-1 subset this way) — full intra-procedural dataflow.
+//   2. `gradcheck --share` — a dependency-free token-level pass that parses
+//      these exact macro spellings, so the check also gates GCC-only builds
+//      where the attributes vanish at preprocessing time.
+//
+// Which macro when (the long-form guide lives in docs/static-analysis.md):
+//
+//   GRADCOMP_CAPABILITY("mutex")   on the lock class itself (OrderedMutex).
+//   GRADCOMP_GUARDED_BY(mu_)      on a data member every access of which
+//                                  must happen while mu_ is held.
+//   GRADCOMP_PT_GUARDED_BY(mu_)   same, but for the pointee of a pointer.
+//   GRADCOMP_REQUIRES(mu_)        on a private `*_locked()` helper the
+//                                  caller must enter with mu_ already held.
+//   GRADCOMP_EXCLUDES(mu_)        on a public method that takes mu_ itself
+//                                  and therefore must NOT be entered with it.
+//   GRADCOMP_ACQUIRE / GRADCOMP_RELEASE / GRADCOMP_TRY_ACQUIRE
+//                                  on lock()/unlock()/try_lock() of a
+//                                  capability, and on scoped-guard ctors.
+//   GRADCOMP_ASSERT_CAPABILITY    on OrderedMutex::assert_held() — called at
+//                                  the top of cv-wait predicate lambdas,
+//                                  which clang analyzes as standalone
+//                                  functions with no inherited lock set.
+//   GRADCOMP_SYNC_EXTERNAL(why)   expands to nothing EVERYWHERE; it is a
+//                                  machine-readable waiver telling
+//                                  `gradcheck --share` that a mutable member
+//                                  of a concurrent class is synchronized by
+//                                  something other than a mutex (barrier
+//                                  publication, rank sharding, main-thread
+//                                  confinement). The reason string is
+//                                  mandatory and shows up in code review.
+//
+// If a field is a simple monotonically-updated counter or flag, prefer
+// std::atomic over a guard annotation — see the doc for the decision table.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GRADCOMP_TSA(x) __attribute__((x))
+#else
+#define GRADCOMP_TSA(x)  // no-op outside clang
+#endif
+
+#define GRADCOMP_CAPABILITY(x) GRADCOMP_TSA(capability(x))
+
+#define GRADCOMP_SCOPED_CAPABILITY GRADCOMP_TSA(scoped_lockable)
+
+#define GRADCOMP_GUARDED_BY(x) GRADCOMP_TSA(guarded_by(x))
+
+#define GRADCOMP_PT_GUARDED_BY(x) GRADCOMP_TSA(pt_guarded_by(x))
+
+#define GRADCOMP_REQUIRES(...) GRADCOMP_TSA(requires_capability(__VA_ARGS__))
+
+#define GRADCOMP_EXCLUDES(...) GRADCOMP_TSA(locks_excluded(__VA_ARGS__))
+
+#define GRADCOMP_ACQUIRE(...) GRADCOMP_TSA(acquire_capability(__VA_ARGS__))
+
+#define GRADCOMP_TRY_ACQUIRE(...) GRADCOMP_TSA(try_acquire_capability(__VA_ARGS__))
+
+#define GRADCOMP_RELEASE(...) GRADCOMP_TSA(release_capability(__VA_ARGS__))
+
+#define GRADCOMP_ASSERT_CAPABILITY(x) GRADCOMP_TSA(assert_capability(x))
+
+#define GRADCOMP_RETURN_CAPABILITY(x) GRADCOMP_TSA(lock_returned(x))
+
+#define GRADCOMP_NO_THREAD_SAFETY_ANALYSIS GRADCOMP_TSA(no_thread_safety_analysis)
+
+// Documented waiver for `gradcheck --share`: the member is shared-mutable but
+// synchronized without a mutex. Expands to nothing for every compiler; the
+// reason is part of the source contract, not the binary.
+#define GRADCOMP_SYNC_EXTERNAL(reason)

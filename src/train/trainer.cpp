@@ -63,7 +63,10 @@ StepStats DataParallelTrainer::step() {
     std::vector<compress::AggregateStats> agg(n);
     std::vector<double> backward_s(n, 0.0);
     std::vector<double> agg_wall_s(n, 0.0);
-    bool failure_seen = false;  // guarded by shared_mu_ while workers run
+    {
+      const core::sync::LockGuard lock(shared_mu_);
+      step_failure_seen_ = false;
+    }
     // The plan kills at most one rank per iteration; a dead rank is no
     // longer in `active`, so a retried or rewound step cannot re-kill it.
     const int doomed = config_.fault_plan.empty()
@@ -102,14 +105,14 @@ StepStats DataParallelTrainer::step() {
         // trainer lock is taken — kTrainerShared is the TOP rank, so taking
         // it the other way around would throw LockOrderError.
         comm_.shrink(rank);
-        const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
-        failure_seen = true;
+        const core::sync::LockGuard lock(shared_mu_);
+        step_failure_seen_ = true;
       }
     });
 
     if ([&] {
-          const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
-          return failure_seen;
+          const core::sync::LockGuard lock(shared_mu_);
+          return step_failure_seen_;
         }()) {
       recover(active);
       continue;  // retry (possibly after a checkpoint rewind)
@@ -228,7 +231,10 @@ void DataParallelTrainer::maybe_rejoin() {
   std::sort(participants.begin(), participants.end());
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::size_t resync_bytes = 0;  // guarded by shared_mu_ while workers run
+  {
+    const core::sync::LockGuard lock(shared_mu_);
+    pending_resync_bytes_ = 0;
+  }
   comm::run_ranks(participants, [&](int rank) {
     const bool joining = std::find(joiners.begin(), joiners.end(), rank) != joiners.end();
     if (joining) {
@@ -242,8 +248,8 @@ void DataParallelTrainer::maybe_rejoin() {
     std::vector<std::byte> blob;
     if (rank == root) {
       blob = serialize_resync(root);
-      const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
-      resync_bytes = blob.size();
+      const core::sync::LockGuard lock(shared_mu_);
+      pending_resync_bytes_ = blob.size();
     }
     comm_.broadcast_bytes(rank, root, blob);
     if (joining) apply_resync(rank, blob);
@@ -255,8 +261,8 @@ void DataParallelTrainer::maybe_rejoin() {
   record.step = step_count_;
   record.rejoined_ranks = joiners;
   {
-    const std::lock_guard<core::sync::OrderedMutex> lock(shared_mu_);
-    record.resync_bytes = resync_bytes;
+    const core::sync::LockGuard lock(shared_mu_);
+    record.resync_bytes = pending_resync_bytes_;
   }
   // One "rejoin" span per re-admitted rank; the group rebuild + resync
   // advances the trainer's wall clock like any other work (keeping later

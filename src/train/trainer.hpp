@@ -204,13 +204,16 @@ class DataParallelTrainer {
   // to the controller and applies any switch it decides between steps.
   void feed_controller(const StepStats& stats, double step_wall_s);
 
-  TrainerConfig config_;
-  Dataset dataset_;
-  std::vector<Dataset> shards_;
-  std::vector<Mlp> models_;                // indexed by ORIGINAL rank
-  std::vector<std::unique_ptr<compress::Compressor>> compressors_;
-  std::vector<SgdOptimizer> optimizers_;
-  comm::ThreadComm comm_;
+  TrainerConfig config_ GRADCOMP_SYNC_EXTERNAL("immutable after ctor");
+  Dataset dataset_ GRADCOMP_SYNC_EXTERNAL("immutable after ctor");
+  std::vector<Dataset> shards_ GRADCOMP_SYNC_EXTERNAL("rank-sharded: worker r reads shard r");
+  // indexed by ORIGINAL rank
+  std::vector<Mlp> models_ GRADCOMP_SYNC_EXTERNAL("rank-sharded: worker r touches index r");
+  std::vector<std::unique_ptr<compress::Compressor>> compressors_
+      GRADCOMP_SYNC_EXTERNAL("rank-sharded: worker r touches index r");
+  std::vector<SgdOptimizer> optimizers_
+      GRADCOMP_SYNC_EXTERNAL("rank-sharded: worker r touches index r");
+  comm::ThreadComm comm_ GRADCOMP_SYNC_EXTERNAL("internally synchronized");
   // Guards the cross-rank state the step/rejoin worker lambdas write
   // (failure detection, resync accounting). TOP of the lock hierarchy
   // (kTrainerShared > kCommGroup): entering a collective while holding this
@@ -219,19 +222,30 @@ class DataParallelTrainer {
   // into an immediate LockOrderError in debug runs.
   mutable core::sync::OrderedMutex shared_mu_{core::sync::LockRank::kTrainerShared,
                                               "trainer-shared"};
-  std::vector<StepStats> history_;
-  std::vector<FailureRecord> failures_;
-  std::vector<RejoinRecord> rejoins_;
-  std::int64_t step_count_ = 0;
-  Checkpoint last_checkpoint_;
-  bool has_checkpoint_ = false;
+  // Cross-rank state the step/rejoin worker lambdas write concurrently —
+  // the fields gradcheck --share and clang -Wthread-safety exist to police.
+  // Any survivor's shrink path may set this while peers are still working.
+  bool step_failure_seen_ GRADCOMP_GUARDED_BY(shared_mu_) = false;
+  // Written by the resync root while the rejoin workers run.
+  std::size_t pending_resync_bytes_ GRADCOMP_GUARDED_BY(shared_mu_) = 0;
+  std::vector<StepStats> history_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  std::vector<FailureRecord> failures_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  std::vector<RejoinRecord> rejoins_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  std::int64_t step_count_
+      GRADCOMP_SYNC_EXTERNAL("main thread writes between steps; workers read") = 0;
+  Checkpoint last_checkpoint_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  bool has_checkpoint_ GRADCOMP_SYNC_EXTERNAL("main thread only") = false;
 
-  compress::CompressorConfig active_compression_;
-  std::unique_ptr<adapt::Controller> controller_;  // null = adaptive off
-  trace::Timeline timeline_;
-  double clock_s_ = 0.0;         // cumulative successful-step wall time
-  double window_start_s_ = 0.0;  // start of the open "adapt" decision window
-  std::string running_label_;    // scheme label for the open window
+  compress::CompressorConfig active_compression_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  // null = adaptive off
+  std::unique_ptr<adapt::Controller> controller_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  trace::Timeline timeline_ GRADCOMP_SYNC_EXTERNAL("main thread only");
+  // cumulative successful-step wall time
+  double clock_s_ GRADCOMP_SYNC_EXTERNAL("main thread only") = 0.0;
+  // start of the open "adapt" decision window
+  double window_start_s_ GRADCOMP_SYNC_EXTERNAL("main thread only") = 0.0;
+  // scheme label for the open window
+  std::string running_label_ GRADCOMP_SYNC_EXTERNAL("main thread only");
 };
 
 }  // namespace gradcomp::train

@@ -1,0 +1,45 @@
+// Clang thread-safety negative-compile probe. The GRADCOMP_* annotations in
+// core/sync_annotations.hpp are enforced twice: by gradcheck --share on
+// every compiler, and natively by clang under -Werror=thread-safety-analysis.
+// The NEGCOMPILE_TSA_UNGUARDED variant touches a GRADCOMP_GUARDED_BY field
+// without its lock and MUST fail to compile under clang; the control build
+// (no define) compiles the locked spellings and must succeed, proving the
+// failure comes from the analysis and not a broken harness.
+#include "core/sync.hpp"
+#include "core/sync_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(long v) {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    balance_ += v;
+  }
+
+  [[nodiscard]] long balance() const {
+    gradcomp::core::sync::UniqueLock lock(mu_);
+    return balance_;
+  }
+
+#ifdef NEGCOMPILE_TSA_UNGUARDED
+  // MUST NOT COMPILE: guarded field touched without holding mu_.
+  void leak(long v) { balance_ += v; }
+#endif
+
+ private:
+  mutable gradcomp::core::sync::OrderedMutex mu_{
+      gradcomp::core::sync::LockRank::kPoolTask, "negcompile-tsa"};
+  long balance_ GRADCOMP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+long negcompile_tsa_anchor() {
+  Account a;
+  a.deposit(1);
+#ifdef NEGCOMPILE_TSA_UNGUARDED
+  a.leak(1);
+#endif
+  return a.balance();
+}

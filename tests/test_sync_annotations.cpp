@@ -1,0 +1,120 @@
+// core/sync_annotations.hpp: the GRADCOMP_* thread-safety macros and the
+// annotated RAII guards built on them.
+//
+// The macros route to clang's thread-safety attributes under __clang__ and
+// MUST vanish entirely under every other compiler — this suite pins the
+// no-op contract (GCC is the container default, so a stray expansion would
+// break the tier-1 build) and the runtime semantics of LockGuard/UniqueLock
+// against the OrderedMutex held-rank bookkeeping they wrap.
+#include "core/sync.hpp"
+#include "core/sync_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using gradcomp::core::sync::held_ranks;
+using gradcomp::core::sync::LockGuard;
+using gradcomp::core::sync::LockRank;
+using gradcomp::core::sync::OrderedMutex;
+using gradcomp::core::sync::UniqueLock;
+
+// Double indirection so the macro is expanded BEFORE stringification: the
+// result is the literal expansion text ("" when the macro is a no-op).
+#define GRADCOMP_TEST_STR2(x) #x
+#define GRADCOMP_TEST_STR(x) GRADCOMP_TEST_STR2(x)
+
+TEST(SyncAnnotations, MacrosAreNoOpsOutsideClang) {
+#if !defined(__clang__)
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_CAPABILITY("mutex")));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_SCOPED_CAPABILITY));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_GUARDED_BY(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_PT_GUARDED_BY(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_REQUIRES(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_EXCLUDES(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_ACQUIRE(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_TRY_ACQUIRE(true, mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_RELEASE(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_ASSERT_CAPABILITY(mu)));
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_NO_THREAD_SAFETY_ANALYSIS));
+#else
+  // Under clang the access macros must expand to a real attribute.
+  EXPECT_NE(std::string(""), GRADCOMP_TEST_STR(GRADCOMP_GUARDED_BY(mu)));
+#endif
+  // The waiver macro is documentation for gradcheck --share and expands to
+  // nothing under EVERY compiler, clang included.
+  EXPECT_STREQ("", GRADCOMP_TEST_STR(GRADCOMP_SYNC_EXTERNAL("protocol")));
+}
+
+// A class annotated with the full macro set must compile and behave
+// identically under GCC — the attributes carry no runtime semantics.
+class Annotated {
+ public:
+  void add(long v) {
+    LockGuard lock(mu_);
+    total_ += v;
+  }
+
+  [[nodiscard]] long total() const {
+    LockGuard lock(mu_);
+    return total_;
+  }
+
+  [[nodiscard]] long unsafe_total() const GRADCOMP_REQUIRES(mu_) { return total_; }
+
+ private:
+  mutable OrderedMutex mu_{LockRank::kPoolTask, "test-annotated"};
+  long total_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  long waived_ GRADCOMP_SYNC_EXTERNAL("single-threaded in this test") = 0;
+};
+
+TEST(SyncAnnotations, AnnotatedClassBehavesNormally) {
+  Annotated a;
+  a.add(3);
+  a.add(4);
+  EXPECT_EQ(7, a.total());
+}
+
+TEST(SyncAnnotations, LockGuardAcquiresAndReleases) {
+  OrderedMutex mu(LockRank::kPoolQueue, "test-guard");
+  EXPECT_TRUE(held_ranks().empty());
+  {
+    LockGuard lock(mu);
+    mu.assert_held();  // compiles to nothing; must be callable while held
+    ASSERT_EQ(1u, held_ranks().size());
+    EXPECT_EQ(static_cast<int>(LockRank::kPoolQueue), held_ranks().front());
+  }
+  EXPECT_TRUE(held_ranks().empty());
+}
+
+TEST(SyncAnnotations, UniqueLockRelocksAndReportsOwnership) {
+  OrderedMutex mu(LockRank::kCommGroup, "test-unique");
+  UniqueLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  EXPECT_EQ(&mu, lock.mutex());
+  ASSERT_EQ(1u, held_ranks().size());
+
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  EXPECT_TRUE(held_ranks().empty());
+
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+  ASSERT_EQ(1u, held_ranks().size());
+  EXPECT_EQ(static_cast<int>(LockRank::kCommGroup), held_ranks().front());
+}
+
+TEST(SyncAnnotations, NestedGuardsFollowRankOrder) {
+  OrderedMutex lo(LockRank::kPoolQueue, "test-lo");
+  OrderedMutex hi(LockRank::kTrainerShared, "test-hi");
+  LockGuard outer(lo);
+  {
+    UniqueLock inner(hi);
+    ASSERT_EQ(2u, held_ranks().size());
+  }
+  ASSERT_EQ(1u, held_ranks().size());
+}
+
+}  // namespace

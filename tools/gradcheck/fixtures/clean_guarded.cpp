@@ -1,0 +1,32 @@
+// Clean: every guarded field is touched only under its guard, a helper is
+// GRADCOMP_REQUIRES-annotated instead of re-locking, and a main-thread-only
+// member carries an explicit GRADCOMP_SYNC_EXTERNAL waiver.
+#include "core/sync.hpp"
+#include "core/sync_annotations.hpp"
+
+namespace fx {
+
+class Ledger {
+ public:
+  void add(long v) {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    total_ += v;
+    bump_locked();
+  }
+
+  long total() const {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    return total_;
+  }
+
+ private:
+  void bump_locked() GRADCOMP_REQUIRES(mu_) { ++entries_; }
+
+  mutable gradcomp::core::sync::OrderedMutex mu_{
+      gradcomp::core::sync::LockRank::kPoolTask, "fx-ledger"};
+  long total_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  long entries_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  long snapshot_ GRADCOMP_SYNC_EXTERNAL("read only after join") = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fires unannotated-shared-field: `pending` is a mutable member of a class
+// that owns an OrderedMutex (so it is shared across threads by construction)
+// yet declares no synchronization — no GRADCOMP_GUARDED_BY, not atomic, and
+// no GRADCOMP_SYNC_EXTERNAL waiver.
+#include "core/sync.hpp"
+#include "core/sync_annotations.hpp"
+
+namespace fx {
+
+class Channel {
+ public:
+  void advance() {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    ++epoch_;
+  }
+
+ private:
+  gradcomp::core::sync::OrderedMutex mu_{
+      gradcomp::core::sync::LockRank::kCommGroup, "fx-channel"};
+  long epoch_ GRADCOMP_GUARDED_BY(mu_) = 0;
+  int pending = 0;  // <- finding: who synchronizes this?
+};
+
+}  // namespace fx

@@ -1,0 +1,38 @@
+// Two classes each own locks named `mu_` and `outer_`, and their methods
+// nest the acquisitions in OPPOSITE orders. Under bare-name cross-TU merging
+// these alias into a phantom outer_ -> mu_ -> outer_ cycle; scope-qualified
+// lock identity keeps fxa::Alpha::mu_ and fxb::Beta::mu_ distinct, so the
+// scan sees four locks, two unrelated edges, and no deadlock.
+#include <mutex>
+
+namespace fxa {
+
+class Alpha {
+ public:
+  void run() {
+    std::lock_guard<std::mutex> g1(outer_);
+    std::lock_guard<std::mutex> g2(mu_);
+  }
+
+ private:
+  std::mutex outer_;
+  std::mutex mu_;
+};
+
+}  // namespace fxa
+
+namespace fxb {
+
+class Beta {
+ public:
+  void run() {
+    std::lock_guard<std::mutex> g1(mu_);
+    std::lock_guard<std::mutex> g2(outer_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::mutex outer_;
+};
+
+}  // namespace fxb

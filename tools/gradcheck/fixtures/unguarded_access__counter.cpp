@@ -1,0 +1,28 @@
+// Fires unguarded-access: `value_` is GRADCOMP_GUARDED_BY(mu_) but bump()
+// touches it without holding the lock. The locked paths stay quiet.
+#include "core/sync.hpp"
+#include "core/sync_annotations.hpp"
+
+namespace fx {
+
+class Counter {
+ public:
+  void bump() { ++value_; }  // <- finding: guard not held
+
+  void bump_locked() {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  long read() const {
+    gradcomp::core::sync::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable gradcomp::core::sync::OrderedMutex mu_{
+      gradcomp::core::sync::LockRank::kPoolTask, "fx-counter"};
+  long value_ GRADCOMP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fx

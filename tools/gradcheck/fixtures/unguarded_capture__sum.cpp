@@ -1,0 +1,16 @@
+// Fires unguarded-capture: `sum` is captured by reference and accumulated
+// from every worker chunk of a parallel_for concurrently. The sanctioned
+// pattern is a per-chunk slot vector reduced after the join.
+#include "core/parallel.hpp"
+
+namespace fx {
+
+double racy_sum(gradcomp::core::ThreadPool& pool, const double* x, long n) {
+  double sum = 0.0;
+  pool.parallel_for(0, n, 1024, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) sum += x[i];  // <- finding: concurrent +=
+  });
+  return sum;
+}
+
+}  // namespace fx

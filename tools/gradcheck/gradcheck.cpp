@@ -1,8 +1,8 @@
 // gradcheck — the repo's custom multi-pass static analyzer.
 //
-// v1 was a single token-level lint; v2 grew it to three passes; v3 is five
-// passes gating the same contract the runtime verifiers (trace::validate,
-// core::sync::OrderedMutex) check from the other side:
+// v1 was a single token-level lint; v2 grew it to three passes; v3 five; v4
+// is six passes gating the same contract the runtime verifiers
+// (trace::validate, core::sync::OrderedMutex) check from the other side:
 //
 //   token pass (default)  — the failure modes that have actually bitten this
 //       codebase: unseeded randomness breaking replayable simulations,
@@ -38,6 +38,20 @@
 //       outside the real-time fabric, and ordered containers keyed on
 //       pointers (address-dependent iteration order).
 //
+//   --share               — race-surface analysis over the GRADCOMP_GUARDED_BY
+//       annotation layer (core/sync_annotations.hpp). Builds the field ->
+//       guard map per class across TUs from the annotations themselves, then
+//       checks: guarded fields touched in scopes that do not lexically hold
+//       the guard (unguarded-access), by-reference lambda captures mutated
+//       inside work handed to another thread — ThreadPool::submit /
+//       parallel_for / reduce_ordered, comm::run_ranks, std::thread —
+//       (unguarded-capture), and mutable members of mutex-owning classes in
+//       comm/, core/parallel, train/, and fabric/ that carry neither a guard
+//       annotation, std::atomic, nor an explicit GRADCOMP_SYNC_EXTERNAL
+//       waiver (unannotated-shared-field). Clang enforces the same
+//       annotations natively (-Wthread-safety); this pass makes them load-
+//       bearing on every compiler, GCC builds included.
+//
 //   --deps                — dependency/layering analysis: parses #include
 //       directives under the scan root, maps files to modules via the
 //       checked-in layers.conf, fails on layer inversions (an edge the conf
@@ -50,7 +64,7 @@
 // translation unit.
 //
 // Usage:
-//   gradcheck [--conc|--det] [--suppressions FILE] [--report FILE] DIR_OR_FILE...
+//   gradcheck [--conc|--det|--share] [--suppressions FILE] [--report FILE] DIR_OR_FILE...
 //   gradcheck --locks ROOT... [--dot FILE] [--suppressions FILE] [--report FILE]
 //   gradcheck --deps ROOT... --layers FILE [--dot FILE] [--report FILE]
 //   gradcheck --fixtures DIR
@@ -63,7 +77,7 @@
 // battery; bench/, tools/, tests/, and examples/ the subsets that make sense
 // for leaf executables, host-side tools, and test code. --fixtures is the
 // self-test: every fixtures/<rule>__*.cpp must trigger exactly its named
-// rule (token, conc, det, and blocking-under-lock alike), fixtures/clean*.cpp
+// rule (token, conc, det, share, and blocking-under-lock alike), fixtures/clean*.cpp
 // must trigger nothing, and the deps/locks/sup fixture trees are exercised
 // by dedicated WILL_FAIL ctest entries.
 #include <algorithm>
@@ -684,15 +698,235 @@ void rule_address_ordering(const std::string& path, const std::vector<Token>& to
   }
 }
 
+// --- Lexical scope tracking (shared by --locks and --share) -----------------
+
+// Follows namespace and class nesting through a linear token scan so
+// declarations and accesses can be keyed by qualified scope ("ns::Class")
+// instead of bare name. feed(i) must be called once per token, in order,
+// before any rule logic runs for that token. Anonymous namespaces are
+// transparent (their contents belong to the enclosing scope, matching
+// internal linkage); out-of-line member definitions (`void C::m(...) {`)
+// push the class so member lookups resolve inside method bodies; ctor and
+// dtor bodies (and init lists) are marked exempt — the object is not yet /
+// no longer shared there, mirroring Clang's thread-safety analysis.
+class ScopeTracker {
+ public:
+  explicit ScopeTracker(const std::vector<Token>& toks) : toks_(toks) {}
+
+  void feed(std::size_t i) {
+    const std::string& t = toks_[i].text;
+    if (t == "{") {
+      Entry e;
+      if (pending_ != Pending::kNone) {
+        e.kind = pending_ == Pending::kNamespace ? Entry::kNamespace : Entry::kClass;
+        e.components = pending_components_;
+        e.exempt = pending_exempt_;
+        e.method = pending_method_;
+        entered_method_ = pending_ == Pending::kMethod;
+      } else {
+        e.kind = Entry::kPlain;
+        entered_method_ = false;
+      }
+      clear_pending();
+      stack_.push_back(std::move(e));
+      return;
+    }
+    entered_method_ = false;
+    if (t == "}") {
+      if (!stack_.empty()) stack_.pop_back();
+      return;
+    }
+    if (t == ";") {  // a pending construct that never opened was a declaration
+      clear_pending();
+      return;
+    }
+    if (pending_ != Pending::kNone) return;  // waiting for '{' / ';'
+
+    if (t == "namespace") {
+      std::size_t j = i + 1;
+      std::vector<std::string> comps;
+      while (j < toks_.size() && (is_ident(toks_[j]) || toks_[j].text == "::")) {
+        if (is_ident(toks_[j])) comps.push_back(toks_[j].text);
+        ++j;
+      }
+      // `namespace {` (anonymous, comps empty) is transparent; an alias
+      // (`namespace fs = ...`) never reaches '{' and is cleared at ';'.
+      if (j < toks_.size() && toks_[j].text == "{") {
+        pending_ = Pending::kNamespace;
+        pending_components_ = std::move(comps);
+      }
+      return;
+    }
+
+    if ((t == "class" || t == "struct") &&
+        (i == 0 || (toks_[i - 1].text != "enum" && toks_[i - 1].text != "friend"))) {
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < toks_.size()) {
+        if (is_ident(toks_[j])) {
+          name = toks_[j].text;
+          // Attribute-style macros between `class` and the name (e.g.
+          // GRADCOMP_CAPABILITY("mutex")) may carry an argument list.
+          if (j + 1 < toks_.size() && toks_[j + 1].text == "(" &&
+              name.rfind("GRADCOMP_", 0) == 0) {
+            j = match_paren(toks_, j + 1);
+            name.clear();
+            if (j >= toks_.size()) return;
+          }
+          ++j;
+          continue;
+        }
+        if (toks_[j].text == "::") {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (name.empty() || j >= toks_.size()) return;
+      const std::string& after = toks_[j].text;
+      // '{' opens the body; ':' a base clause; anything else is a forward
+      // declaration, template parameter, or elaborated type specifier.
+      if (after == "{" || after == ":" || after == "final") {
+        pending_ = Pending::kClass;
+        pending_components_ = {name};
+      }
+      return;
+    }
+
+    // Out-of-line member definition at namespace level: `C::m(`, `C::C(`,
+    // `C::~C(`. The class is pushed for the body so fields resolve; ctors
+    // and dtors are exempt from guarded-field checking.
+    if (namespaces_only() && is_ident(toks_[i]) && i + 3 < toks_.size() &&
+        toks_[i + 1].text == "::" && (i == 0 || (toks_[i - 1].text != "::" &&
+                                                 toks_[i - 1].text != "." &&
+                                                 toks_[i - 1].text != "->"))) {
+      const std::string& cls = toks_[i].text;
+      if (toks_[i + 2].text == "~" && i + 4 < toks_.size() && toks_[i + 3].text == cls &&
+          toks_[i + 4].text == "(") {
+        pending_ = Pending::kMethod;
+        pending_components_ = {cls};
+        pending_method_ = "~" + cls;
+        pending_exempt_ = true;
+      } else if (is_ident(toks_[i + 2]) && toks_[i + 3].text == "(") {
+        pending_ = Pending::kMethod;
+        pending_components_ = {cls};
+        pending_method_ = toks_[i + 2].text;
+        pending_exempt_ = toks_[i + 2].text == cls;
+      }
+      return;
+    }
+  }
+
+  // Qualified current scope, e.g. "gradcomp::comm::ThreadComm".
+  [[nodiscard]] std::string qualified() const {
+    std::string q;
+    for (const auto& e : stack_)
+      for (const auto& c : e.components) q += (q.empty() ? "" : "::") + c;
+    return q;
+  }
+
+  // Enclosing scope prefixes, innermost first, ending with "" (global).
+  [[nodiscard]] std::vector<std::string> chain() const {
+    std::vector<std::string> out;
+    std::string cur;
+    out.push_back(cur);
+    for (const auto& e : stack_)
+      for (const auto& c : e.components) {
+        cur += (cur.empty() ? "" : "::") + c;
+        out.push_back(cur);
+      }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  // True inside a ctor/dtor body or its init list (object not yet shared).
+  [[nodiscard]] bool in_exempt() const {
+    if (pending_exempt_) return true;
+    for (const auto& e : stack_)
+      if (e.exempt) return true;
+    return false;
+  }
+
+  // Set right after feed() consumed a '{' that opened an out-of-line member
+  // definition; method() then names it (REQUIRES seeding hook).
+  [[nodiscard]] bool entered_method() const { return entered_method_; }
+  [[nodiscard]] const std::string& method() const {
+    return stack_.empty() ? pending_method_ : stack_.back().method;
+  }
+
+  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  struct Entry {
+    enum Kind { kNamespace, kClass, kPlain } kind = kPlain;
+    std::vector<std::string> components;  // scope names this entry adds
+    std::string method;                   // out-of-line definitions only
+    bool exempt = false;                  // ctor/dtor body
+  };
+  enum class Pending { kNone, kNamespace, kClass, kMethod };
+
+  [[nodiscard]] bool namespaces_only() const {
+    for (const auto& e : stack_)
+      if (e.kind != Entry::kNamespace) return false;
+    return true;
+  }
+
+  void clear_pending() {
+    pending_ = Pending::kNone;
+    pending_components_.clear();
+    pending_method_.clear();
+    pending_exempt_ = false;
+  }
+
+  const std::vector<Token>& toks_;
+  std::vector<Entry> stack_;
+  Pending pending_ = Pending::kNone;
+  std::vector<std::string> pending_components_;
+  std::string pending_method_;
+  bool pending_exempt_ = false;
+  bool entered_method_ = false;
+};
+
 // --- Lock-order pass (--locks) ----------------------------------------------
 
-// A mutex declaration discovered in the scan: the graph node. Named locks
-// are merged across TUs by variable name — a deliberate approximation (the
-// codebase's locks are uniquely named; raw-sync keeps ad-hoc ones out).
+// A mutex declaration discovered in the scan: the graph node. Lock identity
+// is the declaration's qualified scope plus its name ("ns::Class::mu_"), so
+// two classes reusing a member name stay distinct nodes — merging by bare
+// name used to fabricate phantom edges (and phantom cycles) between them.
 struct LockDecl {
   std::string name;
-  std::string rank;  // LockRank enumerator when declared as OrderedMutex
-  std::string site;  // file:line of the declaration
+  std::string scope;  // qualified enclosing scope ("" at global scope)
+  std::string rank;   // LockRank enumerator when declared as OrderedMutex
+  std::string site;   // file:line of the declaration
+
+  [[nodiscard]] std::string id() const { return scope.empty() ? name : scope + "::" + name; }
+};
+
+// Cross-TU lock-identity table. Acquisition sites name locks by bare
+// identifier; resolution walks the enclosing scopes innermost-out (member
+// access from inside the class), then falls back to a unique bare-name match
+// (an `obj.member_mutex` acquisition from outside the class, or a file-scope
+// global shared across TUs via extern).
+struct LockIndex {
+  std::map<std::string, LockDecl> by_id;
+  std::map<std::string, std::set<std::string>> by_name;
+
+  void add(const LockDecl& d) {
+    auto [it, inserted] = by_id.emplace(d.id(), d);
+    if (!inserted && !d.rank.empty()) it->second = d;  // prefer the ranked decl
+    by_name[d.name].insert(d.id());
+  }
+
+  [[nodiscard]] std::string resolve(const std::vector<std::string>& scope_chain,
+                                    const std::string& bare) const {
+    for (const auto& prefix : scope_chain) {
+      const std::string id = prefix.empty() ? bare : prefix + "::" + bare;
+      if (by_id.count(id) > 0) return id;
+    }
+    const auto it = by_name.find(bare);
+    if (it != by_name.end() && it->second.size() == 1) return *it->second.begin();
+    return bare;  // undeclared or ambiguous: keep the bare name
+  }
 };
 
 struct LockEdge {
@@ -721,61 +955,72 @@ const std::set<std::string>& blocking_calls() {
   return kBlocking;
 }
 
-// Scans one file: collects mutex declarations, lock-acquisition-order edges
-// (scope-aware: an RAII guard holds its lock until its enclosing brace
-// closes), and blocking-under-lock findings. decls/edges may be null when
-// only the findings matter (the fixtures self-test).
+// Declarations: `OrderedMutex NAME {|(|;|=` (rank read from the
+// initializer) and raw `std::mutex NAME ...`, each keyed by its qualified
+// enclosing scope. core/sync's own internals are the wrapper, not lockable
+// API — skip them.
+void collect_lock_decls(const std::string& path, const std::vector<Token>& toks,
+                        std::vector<LockDecl>& decls) {
+  if (path_contains(path, "core/sync")) return;
+  ScopeTracker scope(toks);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    scope.feed(i);
+    const bool ordered = toks[i].text == "OrderedMutex";
+    const bool raw = toks[i].text == "mutex" && i >= 2 && toks[i - 1].text == "::" &&
+                     toks[i - 2].text == "std";
+    if (!ordered && !raw) continue;
+    const Token& name = toks[i + 1];
+    if (!is_ident(name)) continue;  // template arg, ctor, class decl, ...
+    if (i + 2 < toks.size()) {
+      const std::string& after = toks[i + 2].text;
+      if (after != ";" && after != "{" && after != "=" && after != ",") continue;
+    }
+    LockDecl d;
+    d.name = name.text;
+    d.scope = scope.qualified();
+    d.site = path + ":" + std::to_string(name.line);
+    if (ordered) {
+      // `... OrderedMutex name{LockRank::kFoo, "label"};` — the enumerator
+      // names the hierarchy level in the DOT artifact.
+      for (std::size_t j = i + 2; j < toks.size() && toks[j].text != ";"; ++j) {
+        if (toks[j].text == "LockRank" && j + 2 < toks.size() && toks[j + 1].text == "::") {
+          d.rank = toks[j + 2].text;
+          break;
+        }
+      }
+    }
+    decls.push_back(std::move(d));
+  }
+}
+
+// Scans one file for lock-acquisition-order edges (scope-aware: an RAII
+// guard holds its lock until its enclosing brace closes) and
+// blocking-under-lock findings. `index` resolves bare acquisition names to
+// their scope-qualified identity; it (and edges) may be null when only the
+// findings matter (the fixtures self-test), in which case bare names are
+// kept.
 void analyze_locks_file(const std::string& path, const std::vector<Token>& toks,
-                        std::vector<LockDecl>* decls,
+                        const LockIndex* index,
                         std::map<std::pair<std::string, std::string>, LockEdge>* edges,
                         std::vector<Finding>& findings) {
   const auto site = [&](int line) { return path + ":" + std::to_string(line); };
 
-  // Declarations: `OrderedMutex NAME {|(|;|=` (rank read from the
-  // initializer) and raw `std::mutex NAME ...`. core/sync's own internals
-  // are the wrapper, not lockable API — skip them.
-  if (decls != nullptr && !path_contains(path, "core/sync")) {
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-      const bool ordered = toks[i].text == "OrderedMutex";
-      const bool raw = toks[i].text == "mutex" && i >= 2 && toks[i - 1].text == "::" &&
-                       toks[i - 2].text == "std";
-      if (!ordered && !raw) continue;
-      const Token& name = toks[i + 1];
-      if (!is_ident(name)) continue;  // template arg, ctor, class decl, ...
-      if (i + 2 < toks.size()) {
-        const std::string& after = toks[i + 2].text;
-        if (after != ";" && after != "{" && after != "=" && after != ",") continue;
-      }
-      LockDecl d;
-      d.name = name.text;
-      d.site = site(name.line);
-      if (ordered) {
-        // `... OrderedMutex name{LockRank::kFoo, "label"};` — the enumerator
-        // names the hierarchy level in the DOT artifact.
-        for (std::size_t j = i + 2; j < toks.size() && toks[j].text != ";"; ++j) {
-          if (toks[j].text == "LockRank" && j + 2 < toks.size() && toks[j + 1].text == "::") {
-            d.rank = toks[j + 2].text;
-            break;
-          }
-        }
-      }
-      decls->push_back(std::move(d));
-    }
-  }
-
-  // Scope-aware guard tracking. A guard declared at brace depth d holds its
-  // lock until depth drops below d. Acquiring while others are held adds an
-  // edge from every held lock to the new one.
+  // A guard declared at brace depth d holds its lock until depth drops
+  // below d. Acquiring while others are held adds an edge from every held
+  // lock to the new one.
   struct HeldGuard {
     int depth;
     std::string lock;
   };
-  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock", "scoped_lock"};
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock", "scoped_lock",
+                                                "LockGuard", "UniqueLock"};
   static const std::set<std::string> kTags = {"adopt_lock", "defer_lock", "try_to_lock",
                                               "adopt_lock_t", "defer_lock_t", "try_to_lock_t"};
+  ScopeTracker scope(toks);
   std::vector<HeldGuard> held;
   int depth = 0;
   for (std::size_t i = 0; i < toks.size(); ++i) {
+    scope.feed(i);
     const std::string& t = toks[i].text;
     if (t == "{") {
       ++depth;
@@ -841,7 +1086,8 @@ void analyze_locks_file(const std::string& path, const std::vector<Token>& toks,
       }
     }
     if (deferred) continue;  // not acquired here; .lock() later is raii-lock's beat
-    for (const auto& lock_name : acquired) {
+    for (const auto& bare : acquired) {
+      const std::string lock_name = index != nullptr ? index->resolve(scope.chain(), bare) : bare;
       if (edges != nullptr) {
         for (const auto& h : held) {
           auto& e = (*edges)[{h.lock, lock_name}];
@@ -855,11 +1101,485 @@ void analyze_locks_file(const std::string& path, const std::vector<Token>& toks,
       }
       held.push_back({depth, lock_name});
     }
+    // Keep the scope tracker in sync with the argument tokens the guard
+    // parse consumed before jumping past them.
+    for (std::size_t s = i + 1; s <= close && s < toks.size(); ++s) scope.feed(s);
     i = close;
   }
 }
 
-// --- Rule registry and per-directory rule sets ------------------------------
+// --- Shared-state pass (--share) --------------------------------------------
+
+// The race-surface analysis over core/sync_annotations.hpp. Clang's
+// -Wthread-safety enforces the same annotations natively; this pass parses
+// them dependency-free so GCC builds (the container default) are gated too.
+
+// Field -> guard map and method -> required-capability map, accumulated
+// across every scanned TU before any file is analyzed (annotations live in
+// headers; accesses live in .cpp files).
+struct ShareDB {
+  // qualified class/namespace scope -> field name -> guarding mutex
+  std::map<std::string, std::map<std::string, std::string>> guarded;
+  // (qualified scope, method name) -> mutexes the method requires held
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> required;
+
+  [[nodiscard]] std::size_t guarded_fields() const {
+    std::size_t n = 0;
+    for (const auto& [scope, fields] : guarded) n += fields.size();
+    return n;
+  }
+};
+
+void collect_share_file(const std::vector<Token>& toks, ShareDB& db) {
+  ScopeTracker scope(toks);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    scope.feed(i);
+    const std::string& t = toks[i].text;
+    if ((t == "GRADCOMP_GUARDED_BY" || t == "GRADCOMP_PT_GUARDED_BY") && i > 0 &&
+        is_ident(toks[i - 1]) && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      // `TYPE field GRADCOMP_GUARDED_BY(mu)` — field is the preceding
+      // identifier, the guard the last identifier in the argument.
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close >= toks.size()) continue;
+      std::string guard;
+      for (std::size_t j = i + 2; j < close; ++j)
+        if (is_ident(toks[j])) guard = toks[j].text;
+      if (!guard.empty()) db.guarded[scope.qualified()][toks[i - 1].text] = guard;
+    } else if (t == "GRADCOMP_REQUIRES" && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      // `ret name(params) [const noexcept] GRADCOMP_REQUIRES(mu)` — walk
+      // back over the qualifiers and the parameter list to the method name.
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close >= toks.size()) continue;
+      std::size_t j = i;
+      while (j > 0 && (toks[j - 1].text == "const" || toks[j - 1].text == "noexcept" ||
+                       toks[j - 1].text == "override" || toks[j - 1].text == "final"))
+        --j;
+      if (j == 0 || toks[j - 1].text != ")") continue;
+      int paren = 0;
+      std::size_t k = j - 1;
+      while (true) {
+        if (toks[k].text == ")") ++paren;
+        else if (toks[k].text == "(" && --paren == 0) break;
+        if (k == 0) break;
+        --k;
+      }
+      if (k == 0 || !is_ident(toks[k - 1])) continue;
+      auto& req = db.required[{scope.qualified(), toks[k - 1].text}];
+      for (std::size_t g = i + 2; g < close; ++g)
+        if (is_ident(toks[g])) req.insert(toks[g].text);
+    }
+  }
+}
+
+// unannotated-shared-field: a class that owns an OrderedMutex is shared
+// across threads by construction, so every mutable member must declare its
+// synchronization: GRADCOMP_GUARDED_BY, std::atomic, or an explicit
+// GRADCOMP_SYNC_EXTERNAL waiver naming the protocol (barrier-published,
+// rank-sharded, main-thread-only). Scoped to the directories whose objects
+// actually cross threads; tensor/compress value types stay unannotated.
+bool share_field_scoped(const std::string& path) {
+  return path_contains(path, "comm/") || path_contains(path, "core/parallel") ||
+         path_contains(path, "train/") || path_contains(path, "fabric/");
+}
+
+void check_shared_fields(const std::string& path, const std::vector<Token>& toks,
+                         std::vector<Finding>& findings) {
+  if (!share_field_scoped(path)) return;
+  for (std::size_t ci = 0; ci + 2 < toks.size(); ++ci) {
+    if (toks[ci].text != "class" && toks[ci].text != "struct") continue;
+    if (ci > 0 && (toks[ci - 1].text == "enum" || toks[ci - 1].text == "friend")) continue;
+    std::size_t j = ci + 1;
+    std::string cls;
+    while (j < toks.size() && (is_ident(toks[j]) || toks[j].text == "::")) {
+      if (is_ident(toks[j])) cls = toks[j].text;
+      ++j;
+    }
+    if (cls.empty() || j >= toks.size()) continue;
+    if (toks[j].text == ":")  // base clause
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j >= toks.size() || toks[j].text != "{") continue;  // forward decl
+
+    // Body extent, and the concurrency test: does the class own a mutex?
+    std::size_t body_end = j;
+    int d = 0;
+    bool concurrent = false;
+    for (std::size_t k = j; k < toks.size(); ++k) {
+      if (toks[k].text == "{") ++d;
+      else if (toks[k].text == "}" && --d == 0) {
+        body_end = k;
+        break;
+      } else if (toks[k].text == "OrderedMutex") {
+        concurrent = true;
+      }
+    }
+    if (!concurrent || body_end == j) continue;
+
+    // Member statements at body depth 1; method bodies and brace
+    // initializers are skipped wholesale.
+    static const std::set<std::string> kExemptKw = {
+        "static", "constexpr", "constinit", "using", "friend", "typedef", "enum",
+        "class", "struct", "template", "operator", "public", "private", "protected"};
+    static const std::set<std::string> kSyncTypes = {
+        "atomic", "atomic_flag", "OrderedMutex", "OrderedCondVar", "mutex",
+        "shared_mutex", "condition_variable", "condition_variable_any"};
+    std::vector<std::size_t> stmt;
+    const auto flush = [&]() {
+      if (stmt.empty()) return;
+      bool has_const = false;
+      bool has_ptr = false;
+      bool deleted = false;
+      for (std::size_t s = 0; s < stmt.size(); ++s) {
+        const std::string& w = toks[stmt[s]].text;
+        if (kExemptKw.count(w) > 0 || kSyncTypes.count(w) > 0) {
+          stmt.clear();
+          return;
+        }
+        if (w == "const") has_const = true;
+        if (w == "*") has_ptr = true;
+        if (w == "=" && s + 1 < stmt.size() &&
+            (toks[stmt[s + 1]].text == "delete" || toks[stmt[s + 1]].text == "default"))
+          deleted = true;
+      }
+      if (deleted || (has_const && !has_ptr)) {
+        stmt.clear();
+        return;
+      }
+      for (const std::size_t idx : stmt) {
+        if (!is_ident(toks[idx]) || idx + 1 >= toks.size()) continue;
+        const std::string& next = toks[idx + 1].text;
+        if (next == "(") break;  // function / ctor declaration
+        if (next == "GRADCOMP_GUARDED_BY" || next == "GRADCOMP_PT_GUARDED_BY" ||
+            next == "GRADCOMP_SYNC_EXTERNAL")
+          break;  // annotated
+        if (next == ";" || next == "=" || next == "{" || next == "[") {
+          findings.push_back(
+              {"unannotated-shared-field", path, toks[idx].line,
+               "mutable member '" + toks[idx].text + "' of concurrent class '" + cls +
+                   "' (owns an OrderedMutex) has no GRADCOMP_GUARDED_BY, is not atomic, "
+                   "and carries no GRADCOMP_SYNC_EXTERNAL waiver — declare who "
+                   "synchronizes it"});
+          break;
+        }
+      }
+      stmt.clear();
+    };
+    std::size_t k = j + 1;
+    while (k < body_end) {
+      const std::string& t = toks[k].text;
+      if (t == "{") {  // method body or brace initializer
+        int dd = 0;
+        while (k < body_end) {
+          if (toks[k].text == "{") ++dd;
+          else if (toks[k].text == "}" && --dd == 0) break;
+          ++k;
+        }
+        ++k;
+        // A brace initializer is followed by ';' (collect it into the
+        // statement); a method body ends its member declaration outright.
+        if (k < body_end && toks[k].text == ";") {
+          flush();
+          ++k;
+        } else {
+          stmt.clear();
+        }
+        continue;
+      }
+      if (t == ";") {
+        flush();
+        ++k;
+        continue;
+      }
+      if (t == ":" && stmt.size() == 1 &&
+          (toks[stmt[0]].text == "public" || toks[stmt[0]].text == "private" ||
+           toks[stmt[0]].text == "protected")) {
+        stmt.clear();
+        ++k;
+        continue;
+      }
+      stmt.push_back(k);
+      ++k;
+    }
+    flush();
+  }
+}
+
+// Thread / pool / comm submission points whose callable escapes the current
+// thread: a by-reference capture mutated inside one is written concurrently
+// from several workers.
+const std::set<std::string>& submission_calls() {
+  static const std::set<std::string> kSubmit = {"parallel_for", "reduce_ordered", "submit",
+                                                "run_ranks"};
+  return kSubmit;
+}
+
+// unguarded-capture: scan every lambda inside the submission call's argument
+// list for by-ref captured locals mutated in the body. Indexed writes
+// (`out[i] = ...`) are the sanctioned per-chunk output pattern and stay
+// quiet; so do locals declared inside the lambda, members (trailing '_',
+// covered by the field rules), guarded fields, and writes made while a
+// lock is held inside the lambda.
+void scan_submission_lambdas(const std::string& path, const std::vector<Token>& toks,
+                             std::size_t open, std::size_t close, const ShareDB& db,
+                             const std::vector<std::string>& scope_chain,
+                             const std::string& call_name, std::vector<Finding>& findings) {
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock", "scoped_lock",
+                                                "LockGuard", "UniqueLock"};
+  const auto guarded_anywhere = [&](const std::string& name) {
+    for (const auto& prefix : scope_chain) {
+      const auto s = db.guarded.find(prefix);
+      if (s != db.guarded.end() && s->second.count(name) > 0) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (toks[i].text != "[") continue;
+    const std::string& before = toks[i - 1].text;
+    if (before != "(" && before != ",") continue;  // subscript, not a lambda intro
+    std::size_t cend = i;
+    int br = 0;
+    for (std::size_t k = i; k <= close; ++k) {
+      if (toks[k].text == "[") ++br;
+      else if (toks[k].text == "]" && --br == 0) {
+        cend = k;
+        break;
+      }
+    }
+    if (cend == i) break;
+    bool byref_default = false;
+    std::set<std::string> byref;
+    for (std::size_t k = i + 1; k < cend; ++k) {
+      if (toks[k].text != "&") continue;
+      if (k + 1 < cend && is_ident(toks[k + 1])) {
+        byref.insert(toks[k + 1].text);
+        ++k;
+      } else {
+        byref_default = true;
+      }
+    }
+    if (!byref_default && byref.empty()) {
+      i = cend;
+      continue;
+    }
+    std::size_t j = cend + 1;
+    std::size_t popen = 0;
+    std::size_t pclose = 0;
+    if (j < close && toks[j].text == "(") {
+      popen = j;
+      pclose = match_paren(toks, j);
+      j = pclose + 1;
+    }
+    while (j < close && toks[j].text != "{") ++j;  // skip mutable / -> ret
+    if (j >= close) {
+      i = cend;
+      continue;
+    }
+    std::size_t bend = j;
+    int bd = 0;
+    for (std::size_t k = j; k < toks.size(); ++k) {
+      if (toks[k].text == "{") ++bd;
+      else if (toks[k].text == "}" && --bd == 0) {
+        bend = k;
+        break;
+      }
+    }
+
+    // Lambda parameters are locals, never captures.
+    std::set<std::string> locals;
+    if (popen != 0)
+      for (std::size_t k = popen + 1; k < pclose; ++k)
+        if (is_ident(toks[k]) && (toks[k + 1].text == "," || toks[k + 1].text == ")"))
+          locals.insert(toks[k].text);
+
+    const auto first_use_is_decl = [&](const std::string& name) {
+      for (std::size_t k = j + 1; k < bend; ++k) {
+        if (toks[k].text != name) continue;
+        const std::string& p = toks[k - 1].text;
+        return is_ident(toks[k - 1]) || p == "*" || p == "&" || p == ">";
+      }
+      return false;
+    };
+
+    static const std::set<std::string> kCompound = {"+", "-", "*", "/", "%", "|", "&", "^"};
+    std::vector<int> guard_depths;  // locks taken inside the lambda body
+    std::set<std::string> reported;
+    int ldepth = 0;
+    for (std::size_t k = j; k < bend; ++k) {
+      const std::string& t = toks[k].text;
+      if (t == "{") {
+        ++ldepth;
+        continue;
+      }
+      if (t == "}") {
+        --ldepth;
+        while (!guard_depths.empty() && guard_depths.back() > ldepth) guard_depths.pop_back();
+        continue;
+      }
+      if (kGuards.count(t) > 0 || t == "assert_held") {
+        guard_depths.push_back(ldepth);
+        continue;
+      }
+      if (!is_ident(toks[k]) || k + 2 >= toks.size() || k == 0) continue;
+      const std::string& prev = toks[k - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") continue;
+      const std::string& n1 = toks[k + 1].text;
+      const std::string& n2 = toks[k + 2].text;
+      const bool assigned = n1 == "=" && n2 != "=" && prev != "=" && prev != "!" &&
+                            prev != "<" && prev != ">";
+      const bool compound = kCompound.count(n1) > 0 && n2 == "=";
+      const bool incdec = (n1 == "+" && n2 == "+") || (n1 == "-" && n2 == "-") ||
+                          (k >= 2 && ((prev == "+" && toks[k - 2].text == "+") ||
+                                      (prev == "-" && toks[k - 2].text == "-")));
+      if (!assigned && !compound && !incdec) continue;
+      const std::string& name = t;
+      if (reported.count(name) > 0 || locals.count(name) > 0) continue;
+      if (!name.empty() && name.back() == '_') continue;  // member: field rules own it
+      if (!byref_default && byref.count(name) == 0) continue;
+      if (byref_default && byref.count(name) == 0 && first_use_is_decl(name)) continue;
+      if (!guard_depths.empty()) continue;  // mutated under a lock taken in the lambda
+      if (guarded_anywhere(name)) continue;  // unguarded-access owns that diagnosis
+      reported.insert(name);
+      findings.push_back(
+          {"unguarded-capture", path, toks[k].line,
+           "by-ref capture '" + name + "' is mutated inside a lambda handed to '" + call_name +
+               "'; concurrent workers race on it — write per-chunk slots (out[i] = ...), "
+               "guard it, or make it atomic"});
+    }
+    i = bend;
+  }
+}
+
+// Per-file analysis against the cross-TU guard map: unguarded-access,
+// unguarded-capture, and (dir-scoped) unannotated-shared-field.
+void analyze_share_file(const std::string& path, const std::vector<Token>& toks,
+                        const ShareDB& db, std::vector<Finding>& findings) {
+  if (path_contains(path, "core/sync")) return;  // the wrapper itself
+  check_shared_fields(path, toks, findings);
+
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock", "scoped_lock",
+                                                "LockGuard", "UniqueLock"};
+  static const std::set<std::string> kAnnotations = {
+      "GRADCOMP_GUARDED_BY", "GRADCOMP_PT_GUARDED_BY", "GRADCOMP_SYNC_EXTERNAL"};
+  struct HeldGuard {
+    int depth;
+    std::string lock;
+  };
+  ScopeTracker scope(toks);
+  std::vector<HeldGuard> held;
+  std::vector<std::string> seed_next_brace;  // inline GRADCOMP_REQUIRES bodies
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    scope.feed(i);
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      if (scope.entered_method()) {
+        // Out-of-line member definition: seed the held set with the
+        // declaration's GRADCOMP_REQUIRES capabilities.
+        const auto req = db.required.find({scope.qualified(), scope.method()});
+        if (req != db.required.end())
+          for (const auto& mu : req->second) held.push_back({depth, mu});
+      }
+      for (const auto& mu : seed_next_brace) held.push_back({depth, mu});
+      seed_next_brace.clear();
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+
+    // RAII guard acquisition: `LockGuard lock(mu_)` and the std guards.
+    if (kGuards.count(t) > 0) {
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        const std::size_t close_angle = match_angle(toks, j);
+        if (close_angle >= toks.size()) continue;
+        j = close_angle + 1;
+      }
+      if (j + 1 < toks.size() && is_ident(toks[j]) && toks[j + 1].text == "(") {
+        const std::size_t close = match_paren(toks, j + 1);
+        std::string lock_name;
+        for (std::size_t k = j + 2; k < close && k < toks.size(); ++k)
+          if (is_ident(toks[k])) lock_name = toks[k].text;
+        if (!lock_name.empty()) held.push_back({depth, lock_name});
+      }
+      continue;
+    }
+    // `mu_.assert_held()` pins the capability for the enclosing scope — the
+    // cv-predicate idiom (predicates only ever run with the lock held).
+    if (t == "assert_held" && i >= 2 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") && is_ident(toks[i - 2])) {
+      held.push_back({depth, toks[i - 2].text});
+      continue;
+    }
+    // Inline method declaration with REQUIRES and a body in the class.
+    if (t == "GRADCOMP_REQUIRES" && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close >= toks.size()) continue;
+      std::size_t j = close + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "const" || toks[j].text == "noexcept" ||
+              toks[j].text == "override" || toks[j].text == "final"))
+        ++j;
+      if (j < toks.size() && toks[j].text == "{")
+        for (std::size_t g = i + 2; g < close; ++g)
+          if (is_ident(toks[g])) seed_next_brace.push_back(toks[g].text);
+      continue;
+    }
+
+    // Submission sites: lambdas whose captures escape to other threads.
+    const bool submit_site = submission_calls().count(t) > 0 && i + 1 < toks.size() &&
+                             toks[i + 1].text == "(";
+    bool thread_site = false;
+    std::size_t thread_open = 0;
+    if (t == "thread" && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "std") {
+      std::size_t j = i + 1;
+      if (j < toks.size() && is_ident(toks[j])) ++j;  // `std::thread name(...)`
+      if (j < toks.size() && toks[j].text == "(") {
+        thread_site = true;
+        thread_open = j;
+      }
+    }
+    if (submit_site || thread_site) {
+      const std::size_t open = submit_site ? i + 1 : thread_open;
+      const std::size_t close = match_paren(toks, open);
+      if (close < toks.size())
+        scan_submission_lambdas(path, toks, open, close, db, scope.chain(),
+                                submit_site ? t : "std::thread", findings);
+      continue;
+    }
+
+    // unguarded-access: a guarded field of the current scope touched while
+    // its guard is not lexically held. Declaration sites (the annotation
+    // follows the name), ctor/dtor bodies, and member access through
+    // another object (`obj.field`) are exempt.
+    if (!is_ident(toks[i])) continue;
+    if (scope.in_exempt()) continue;
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "::"))
+      continue;
+    if (i + 1 < toks.size() && kAnnotations.count(toks[i + 1].text) > 0) continue;
+    for (const auto& prefix : scope.chain()) {
+      const auto s = db.guarded.find(prefix);
+      if (s == db.guarded.end()) continue;
+      const auto f = s->second.find(t);
+      if (f == s->second.end()) continue;
+      bool ok = false;
+      for (const auto& h : held)
+        if (h.lock == f->second) ok = true;
+      if (!ok)
+        findings.push_back(
+            {"unguarded-access", path, toks[i].line,
+             "field '" + t + "' is GRADCOMP_GUARDED_BY(" + f->second +
+                 ") but is touched without holding it; take core::sync::LockGuard lock(" +
+                 f->second + ") or mark the enclosing method GRADCOMP_REQUIRES(" + f->second +
+                 ")"});
+      break;  // innermost declaring scope governs
+    }
+  }
+}
 
 using RuleFn = void (*)(const std::string&, const std::vector<Token>&, std::vector<Finding>&);
 
@@ -989,7 +1709,12 @@ std::vector<Suppression> load_suppressions(const std::string& file) {
 // the file-scoped wildcard.
 const std::set<std::string>& all_suppressible_rules() {
   static const std::set<std::string> kAll = [] {
-    std::set<std::string> names{"*", "potential-deadlock", "blocking-under-lock"};
+    std::set<std::string> names{"*",
+                                "potential-deadlock",
+                                "blocking-under-lock",
+                                "unguarded-access",
+                                "unguarded-capture",
+                                "unannotated-shared-field"};
     for (const auto& [name, fn] : token_rules()) names.insert(name);
     for (const auto& [name, fn] : conc_rules()) names.insert(name);
     for (const auto& [name, fn] : det_rules()) names.insert(name);
@@ -1320,25 +2045,31 @@ int run_deps(const std::vector<std::string>& roots, const std::string& layers_fi
 
 int run_locks(const std::vector<std::string>& roots, const std::string& dot_file,
               const std::string& suppressions_file, const std::string& report_file) {
+  // Phase 1: tokenize every file once and collect scope-qualified mutex
+  // declarations; phase 2 re-walks the token streams resolving acquisition
+  // sites against the full cross-TU table (a lock declared in a header is
+  // acquired from the .cpp, so resolution needs every declaration first).
+  std::vector<std::pair<std::string, std::vector<Token>>> sources;
   std::vector<LockDecl> decls;
-  std::map<std::pair<std::string, std::string>, LockEdge> edges;
-  std::vector<Finding> findings;
-
   int files_scanned = 0;
   for (const auto& file : collect_sources(roots)) {
     ++files_scanned;
     std::ifstream in(file);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    const std::vector<Token> toks = tokenize(buffer.str());
-    analyze_locks_file(file.generic_string(), toks, &decls, &edges, findings);
+    sources.emplace_back(file.generic_string(), tokenize(buffer.str()));
+    collect_lock_decls(sources.back().first, sources.back().second, decls);
   }
 
-  // Dedup declarations by name (a lock declared in a header is seen once
-  // per scan, but the same NAME in two classes merges — see LockDecl).
-  std::map<std::string, LockDecl> locks;
-  for (const auto& d : decls)
-    if (locks.emplace(d.name, d).second == false && !d.rank.empty()) locks[d.name] = d;
+  LockIndex index;
+  for (const auto& d : decls) index.add(d);
+
+  std::map<std::pair<std::string, std::string>, LockEdge> edges;
+  std::vector<Finding> findings;
+  for (const auto& [path, toks] : sources)
+    analyze_locks_file(path, toks, &index, &edges, findings);
+
+  const std::map<std::string, LockDecl>& locks = index.by_id;
 
   // Any cycle in the acquisition-order graph is a potential AB/BA deadlock:
   // two threads walking the cycle from different entry points block each
@@ -1420,6 +2151,60 @@ int run_locks(const std::vector<std::string>& roots, const std::string& dot_file
   return reported.empty() ? 0 : 1;
 }
 
+int run_share(const std::vector<std::string>& roots, const std::string& suppressions_file,
+              const std::string& report_file) {
+  // Same two-phase shape as --locks: annotations live in headers, accesses
+  // in .cpp files, so the guard map must be complete before any file is
+  // judged.
+  std::vector<std::pair<std::string, std::vector<Token>>> sources;
+  ShareDB db;
+  int files_scanned = 0;
+  for (const auto& file : collect_sources(roots)) {
+    ++files_scanned;
+    std::ifstream in(file);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    sources.emplace_back(file.generic_string(), tokenize(buffer.str()));
+    collect_share_file(sources.back().second, db);
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [path, toks] : sources) analyze_share_file(path, toks, db, findings);
+
+  std::vector<Suppression> sups;
+  if (!suppressions_file.empty()) {
+    sups = load_suppressions(suppressions_file);
+    validate_suppressions(suppressions_file, sups);
+  }
+  std::vector<Finding> reported;
+  int suppressed_count = 0;
+  for (auto& f : findings) {
+    if (suppressed(f, sups)) {
+      ++suppressed_count;
+    } else {
+      reported.push_back(std::move(f));
+    }
+  }
+  append_stale(reported, suppressions_file, sups,
+               {"unguarded-access", "unguarded-capture", "unannotated-shared-field"});
+
+  std::ostringstream report;
+  for (const auto& f : reported) {
+    report << f.path;
+    if (f.line > 0) report << ":" << f.line;
+    report << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  report << "gradcheck --share: " << files_scanned << " files, " << db.guarded_fields()
+         << " guarded field(s), " << reported.size() << " finding(s), " << suppressed_count
+         << " suppressed\n";
+  std::cout << report.str();
+  if (!report_file.empty()) {
+    std::ofstream out(report_file);
+    out << report.str();
+  }
+  return reported.empty() ? 0 : 1;
+}
+
 // --- Fixtures self-test -----------------------------------------------------
 
 int run_fixtures(const std::string& dir) {
@@ -1451,6 +2236,11 @@ int run_fixtures(const std::string& dir) {
       buffer << in.rdbuf();
       const std::vector<Token> toks = tokenize(buffer.str());
       analyze_locks_file(gp, toks, nullptr, nullptr, findings);
+      // Share rules run per-fixture with a guard map built from the file
+      // itself — a fixture is a self-contained TU.
+      ShareDB db;
+      collect_share_file(toks, db);
+      analyze_share_file(gp, toks, db, findings);
     }
     std::set<std::string> rules_hit;
     for (const auto& f : findings) rules_hit.insert(f.rule);
@@ -1505,6 +2295,7 @@ int main(int argc, char** argv) {
   bool deps_mode = false;
   bool locks_mode = false;
   bool det_mode = false;
+  bool share_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1526,10 +2317,13 @@ int main(int argc, char** argv) {
       locks_mode = true;
     } else if (arg == "--det") {
       det_mode = true;
+    } else if (arg == "--share") {
+      share_mode = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gradcheck [--conc|--det] [--suppressions FILE] [--report FILE] DIR...\n"
                    "       gradcheck --locks DIR... [--dot FILE] [--suppressions FILE] "
                    "[--report FILE]\n"
+                   "       gradcheck --share DIR... [--suppressions FILE] [--report FILE]\n"
                    "       gradcheck --deps DIR... --layers FILE [--dot FILE] [--report FILE]\n"
                    "       gradcheck --fixtures DIR\n";
       return 0;
@@ -1551,6 +2345,7 @@ int main(int argc, char** argv) {
     return run_deps(roots, layers_file, dot_file, report_file);
   }
   if (locks_mode) return run_locks(roots, dot_file, suppressions_file, report_file);
+  if (share_mode) return run_share(roots, suppressions_file, report_file);
 
   const auto& rules = det_mode ? det_rules() : conc_mode ? conc_rules() : token_rules();
   std::set<std::string> rule_universe;
